@@ -1,0 +1,222 @@
+//! Arctic-route tradeoff analysis (§5.1 of the paper).
+//!
+//! "With the increased melting of Arctic ice, there are ongoing efforts
+//! to lay cables through the Arctic. While this is helpful for improving
+//! latency, these cables are prone to higher risk." This module
+//! quantifies the tradeoff for a Europe–Asia link: the Arctic route's
+//! latency advantage (it is simply shorter) against its storm-failure
+//! probability (it spends thousands of kilometres above 70°).
+
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::{GeoPoint, Polyline};
+use solarstorm_gic::{
+    integration, DamageCurve, FailureModel, GeoelectricField, GicError, LatitudeBandFailure,
+    PowerFeedSystem,
+};
+use solarstorm_solar::StormClass;
+
+/// Speed of light in fiber, km/ms (c × ~0.66).
+const FIBER_KM_PER_MS: f64 = 204.0;
+
+/// One candidate route between two endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteOption {
+    /// Route label.
+    pub name: String,
+    /// Cable length, km (route slack included).
+    pub length_km: f64,
+    /// Highest absolute latitude along the route.
+    pub max_abs_lat_deg: f64,
+    /// One-way propagation latency, ms.
+    pub latency_ms: f64,
+    /// Failure probability under the banded S1 model (150 km spacing).
+    pub s1_failure_probability: f64,
+    /// Route-resolved **mean per-repeater** failure probability under a
+    /// 1921-class (Severe) storm (whole-cable failure saturates at 1 for
+    /// any 15,000 km system; the per-repeater rate is what differs).
+    pub physics_repeater_failure_probability: f64,
+    /// Expected number of repeaters destroyed (drives repair time and
+    /// cost).
+    pub expected_repeaters_destroyed: f64,
+}
+
+/// The London–Tokyo comparison the Arctic debate is about: a polar
+/// route via the Northeast Passage versus the traditional southern
+/// route via Suez and Malacca.
+pub fn london_tokyo_routes() -> Result<Vec<(String, Polyline)>, GicError> {
+    let p = |lat: f64, lon: f64| GeoPoint::new(lat, lon).expect("route waypoint valid");
+    let arctic = Polyline::new(vec![
+        p(51.5, -0.1),   // London
+        p(60.4, 5.3),    // Bergen
+        p(71.0, 25.0),   // North Cape
+        p(73.5, 55.0),   // Kara Strait
+        p(74.0, 100.0),  // Laptev shelf
+        p(70.0, 160.0),  // East Siberian shelf
+        p(65.0, -171.0), // Bering Strait
+        p(50.0, 155.0),  // Kuril chain
+        p(35.7, 139.7),  // Tokyo
+    ])
+    .expect("arctic route has >= 2 points");
+    let southern = Polyline::new(vec![
+        p(51.5, -0.1),  // London
+        p(36.0, -6.0),  // Gibraltar
+        p(31.2, 29.9),  // Alexandria
+        p(29.9, 32.5),  // Suez
+        p(12.0, 45.0),  // Aden
+        p(6.9, 79.8),   // Colombo
+        p(1.3, 103.8),  // Singapore
+        p(22.3, 114.2), // Hong Kong
+        p(35.7, 139.7), // Tokyo
+    ])
+    .expect("southern route has >= 2 points");
+    Ok(vec![
+        ("Arctic (Northeast Passage)".to_string(), arctic),
+        ("Southern (Suez & Malacca)".to_string(), southern),
+    ])
+}
+
+/// Evaluates the tradeoff for a set of routes.
+pub fn evaluate_routes(
+    routes: &[(String, Polyline)],
+    route_slack: f64,
+) -> Result<Vec<RouteOption>, GicError> {
+    let field = GeoelectricField::calibrated();
+    let pfe = PowerFeedSystem::calibrated();
+    let damage = DamageCurve::calibrated();
+    let s1 = LatitudeBandFailure::s1();
+    let mut out = Vec::with_capacity(routes.len());
+    for (name, route) in routes {
+        let length_km = route.length_km() * route_slack;
+        let max_lat = route.max_abs_lat_deg();
+        let profile = solarstorm_gic::CableProfile {
+            length_km,
+            max_abs_lat_deg: max_lat,
+            submarine: true,
+        };
+        let s1_fail = 1.0 - s1.cable_survival_probability(&profile, 150.0);
+        // Physics: length-weighted mean per-repeater failure probability
+        // along the route under a 1921-class (Severe) storm — routes that
+        // merely depart from a mid-latitude city differ sharply from
+        // routes that spend thousands of km in the auroral zone.
+        let p_repeater = integration::mean_repeater_failure_probability(
+            route,
+            &field,
+            &pfe,
+            &damage,
+            StormClass::Severe,
+            true,
+            true,
+            800.0,
+        )?;
+        let n = profile.repeater_count(150.0);
+        out.push(RouteOption {
+            name: name.clone(),
+            length_km,
+            max_abs_lat_deg: max_lat,
+            latency_ms: length_km / FIBER_KM_PER_MS,
+            s1_failure_probability: s1_fail,
+            physics_repeater_failure_probability: p_repeater,
+            expected_repeaters_destroyed: p_repeater * n as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the canonical London–Tokyo comparison.
+pub fn reproduce() -> Result<Vec<RouteOption>, GicError> {
+    evaluate_routes(&london_tokyo_routes()?, 1.15)
+}
+
+/// Renders the tradeoff table.
+pub fn render_table(routes: &[RouteOption]) -> String {
+    let mut out = String::from("Arctic vs southern routing (London-Tokyo), §5.1 tradeoff\n");
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>8} {:>11} {:>9} {:>11} {:>12}\n",
+        "route", "km", "max|lat|", "latency ms", "P_f (S1)", "P_rep phys", "E[destroyed]"
+    ));
+    for r in routes {
+        out.push_str(&format!(
+            "{:<28} {:>9.0} {:>8.1} {:>11.1} {:>9.2} {:>11.2} {:>12.0}\n",
+            r.name,
+            r.length_km,
+            r.max_abs_lat_deg,
+            r.latency_ms,
+            r.s1_failure_probability,
+            r.physics_repeater_failure_probability,
+            r.expected_repeaters_destroyed
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arctic_is_faster_but_riskier() {
+        let routes = reproduce().unwrap();
+        assert_eq!(routes.len(), 2);
+        let arctic = &routes[0];
+        let southern = &routes[1];
+        // The whole point of Arctic cables: lower latency.
+        assert!(
+            arctic.latency_ms < southern.latency_ms - 5.0,
+            "arctic {} ms vs southern {} ms",
+            arctic.latency_ms,
+            southern.latency_ms
+        );
+        // The paper's warning: higher storm risk — the Arctic route's
+        // repeaters sit in the auroral zone, so each one is far likelier
+        // to die, and far more of the system needs repair afterwards.
+        assert!(
+            arctic.physics_repeater_failure_probability
+                > southern.physics_repeater_failure_probability,
+            "arctic {} vs southern {}",
+            arctic.physics_repeater_failure_probability,
+            southern.physics_repeater_failure_probability
+        );
+        assert!(arctic.max_abs_lat_deg > 70.0);
+        assert!(
+            arctic.expected_repeaters_destroyed > southern.expected_repeaters_destroyed,
+            "arctic {} vs southern {}",
+            arctic.expected_repeaters_destroyed,
+            southern.expected_repeaters_destroyed
+        );
+        // A 1921-class storm destroys most of the Arctic system's
+        // repeaters.
+        assert!(arctic.physics_repeater_failure_probability > 0.6);
+    }
+
+    #[test]
+    fn lengths_are_plausible() {
+        let routes = reproduce().unwrap();
+        for r in &routes {
+            assert!(
+                (10_000.0..=30_000.0).contains(&r.length_km),
+                "{}: {} km",
+                r.name,
+                r.length_km
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table(&reproduce().unwrap());
+        assert!(t.contains("Arctic"));
+        assert!(t.contains("Southern"));
+        assert!(t.contains("latency"));
+    }
+
+    #[test]
+    fn slack_scales_length_and_latency() {
+        let routes = london_tokyo_routes().unwrap();
+        let lean = evaluate_routes(&routes, 1.0).unwrap();
+        let slack = evaluate_routes(&routes, 1.3).unwrap();
+        for (a, b) in lean.iter().zip(&slack) {
+            assert!(b.length_km > a.length_km);
+            assert!(b.latency_ms > a.latency_ms);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+use serde::{Deserialize, Serialize};
+use solarstorm_data::{
+    dns, ixp, population, DataError, IntertubesConfig, ItuConfig, RouterConfig, RouterDataset,
+    SubmarineConfig,
+};
+use solarstorm_geo::LonLatGrid;
+use solarstorm_topology::Network;
+
+/// Configuration bundle for every dataset the experiments consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetsConfig {
+    /// Submarine network generator config.
+    pub submarine: SubmarineConfig,
+    /// US long-haul generator config.
+    pub intertubes: IntertubesConfig,
+    /// ITU land-network generator config.
+    pub itu: ItuConfig,
+    /// Router/AS generator config.
+    pub routers: RouterConfig,
+    /// IXP directory size (paper: 1,026).
+    pub ixp_total: usize,
+    /// Shared seed for the point datasets (DNS, IXP).
+    pub seed: u64,
+}
+
+impl Default for DatasetsConfig {
+    fn default() -> Self {
+        DatasetsConfig {
+            submarine: SubmarineConfig::default(),
+            intertubes: IntertubesConfig::default(),
+            itu: ItuConfig::default(),
+            routers: RouterConfig::default(),
+            ixp_total: 1_026,
+            seed: 0x50_1A_12,
+        }
+    }
+}
+
+impl DatasetsConfig {
+    /// A scaled-down configuration for fast tests: every distributional
+    /// calibration knob is kept, only the counts shrink.
+    pub fn small() -> Self {
+        DatasetsConfig {
+            itu: ItuConfig {
+                total_nodes: 1_200,
+                total_links: 1_260,
+                ..ItuConfig::default()
+            },
+            routers: RouterConfig {
+                total_routers: 30_000,
+                total_ases: 1_500,
+                ..RouterConfig::default()
+            },
+            ..DatasetsConfig::default()
+        }
+    }
+}
+
+/// Every dataset the paper's experiments consume, built deterministically
+/// from one [`DatasetsConfig`].
+pub struct Datasets {
+    /// Global submarine-cable network (§4.1.1).
+    pub submarine: Network,
+    /// US long-haul fiber (§4.1.2).
+    pub intertubes: Network,
+    /// Global ITU land network (§4.1.3).
+    pub itu: Network,
+    /// Router/AS dataset (§4.1.4).
+    pub routers: RouterDataset,
+    /// DNS root instances (§4.1.5).
+    pub dns: Vec<dns::DnsRootInstance>,
+    /// IXP directory (§4.1.6).
+    pub ixps: Vec<ixp::Ixp>,
+    /// Gridded world population (§4.1.8).
+    pub population: LonLatGrid,
+}
+
+impl Datasets {
+    /// Builds everything from a config.
+    pub fn build(cfg: &DatasetsConfig) -> Result<Self, DataError> {
+        Ok(Datasets {
+            submarine: solarstorm_data::submarine::build(&cfg.submarine)?,
+            intertubes: solarstorm_data::intertubes::build(&cfg.intertubes)?,
+            itu: solarstorm_data::itu::build(&cfg.itu)?,
+            routers: solarstorm_data::routers::build(&cfg.routers)?,
+            dns: dns::build(cfg.seed)?,
+            ixps: ixp::build(cfg.ixp_total, cfg.seed)?,
+            population: population::build_grid(1.0)?,
+        })
+    }
+
+    /// Builds the paper-scale datasets.
+    pub fn build_default() -> Result<Self, DataError> {
+        Self::build(&DatasetsConfig::default())
+    }
+
+    /// Builds the fast test-scale datasets.
+    pub fn build_small() -> Result<Self, DataError> {
+        Self::build(&DatasetsConfig::small())
+    }
+
+    /// Cached test-scale bundle: built once per process. Tests and
+    /// benchmarks share it instead of regenerating identical datasets.
+    pub fn small_cached() -> &'static Datasets {
+        static CACHE: std::sync::OnceLock<Datasets> = std::sync::OnceLock::new();
+        CACHE.get_or_init(|| Datasets::build_small().expect("small datasets build"))
+    }
+
+    /// Cached paper-scale bundle: built once per process.
+    pub fn default_cached() -> &'static Datasets {
+        static CACHE: std::sync::OnceLock<Datasets> = std::sync::OnceLock::new();
+        CACHE.get_or_init(|| Datasets::build_default().expect("default datasets build"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bundle_builds_consistently() {
+        let d = Datasets::build_small().unwrap();
+        assert_eq!(d.submarine.cable_count(), 470);
+        assert_eq!(d.intertubes.cable_count(), 542);
+        assert_eq!(d.itu.cable_count(), 1_260);
+        assert_eq!(d.dns.len(), 1_076);
+        assert_eq!(d.ixps.len(), 1_026);
+        assert!(d.routers.routers.len() == 30_000);
+        assert!(d.population.total_weight() > 7_000.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Economic-impact estimation (§1 and §5.5 of the paper).
+//!
+//! The paper anchors the stakes in two numbers: a one-day Internet
+//! shutdown costs the US over $7 billion (NetBlocks cost tool), and a
+//! grid failure over $40 billion/day. This module scales the first
+//! anchor across countries — daily outage cost proportional to each
+//! country's digital-economy weight (population × internet index),
+//! calibrated so the US lands at $7.0 B/day — and integrates it over a
+//! storm scenario: expected service degradation from the Monte Carlo
+//! engine times outage duration from the repair model.
+
+use crate::Datasets;
+use serde::{Deserialize, Serialize};
+use solarstorm_data::cities;
+use solarstorm_gic::FailureModel;
+use solarstorm_sim::monte_carlo::{run_outcomes, MonteCarloConfig};
+use solarstorm_sim::repair::{self, RepairFleet, RepairStrategy};
+use solarstorm_sim::SimError;
+
+/// The paper's anchor: a one-day US Internet shutdown costs $7B.
+pub const US_DAILY_COST_BUSD: f64 = 7.0;
+
+/// Daily full-outage cost for a country, billions of USD.
+///
+/// Scaled from the US anchor by digital-economy weight
+/// `population × internet_index²` (wealthier networks lose more value
+/// per person-day offline).
+pub fn daily_outage_cost_busd(country_code: &str) -> f64 {
+    let weight = |code: &str| -> f64 {
+        let pop: f64 = cities::cities_of(code).map(|c| c.population_m).sum();
+        let dev = cities::country(code)
+            .map(|c| c.internet_index)
+            .unwrap_or(0.3);
+        pop * dev * dev
+    };
+    let us = weight("US");
+    if us <= 0.0 {
+        return 0.0;
+    }
+    US_DAILY_COST_BUSD * weight(country_code) / us
+}
+
+/// Economic impact of one storm scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EconomicImpact {
+    /// Failure-model name.
+    pub model: String,
+    /// Expected cost of the first day, billions USD: each country's
+    /// daily full-outage cost weighted by the expected fraction of its
+    /// international cables that failed (partial loss degrades service
+    /// pro-rata).
+    pub first_day_cost_busd: f64,
+    /// Days until 95 % of nodes are reachable again (repair model,
+    /// connectivity-greedy strategy).
+    pub recovery_days: f64,
+    /// Integrated cost over the recovery, billions USD, assuming each
+    /// country's outage ends when overall reachability is restored
+    /// pro-rata (linear decay of the affected fraction).
+    pub total_cost_busd: f64,
+    /// The five costliest countries: `(code, expected first-day cost)`.
+    pub top_countries: Vec<(String, f64)>,
+}
+
+/// Estimates the economic impact of a storm under the given model.
+pub fn reproduce<M: FailureModel>(
+    data: &Datasets,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<EconomicImpact, SimError> {
+    let net = &data.submarine;
+    let outcomes = run_outcomes(net, model, cfg)?;
+    // Per-country expected service degradation.
+    let mut codes: Vec<String> = net.nodes().map(|(_, info)| info.country.clone()).collect();
+    codes.sort();
+    codes.dedup();
+    let mut per_country: Vec<(String, f64)> = Vec::new();
+    let mut first_day = 0.0;
+    for code in &codes {
+        let nodes = net.nodes_of_country(code);
+        let mut cables: Vec<_> = nodes.iter().flat_map(|n| net.cables_at(*n)).collect();
+        cables.sort();
+        cables.dedup();
+        if cables.is_empty() {
+            continue;
+        }
+        // Expected failed fraction of this country's cables: partial
+        // cable loss degrades service pro-rata (capacity, not blackout).
+        let failed_fraction = outcomes
+            .iter()
+            .map(|o| cables.iter().filter(|c| o.dead[c.0]).count() as f64 / cables.len() as f64)
+            .sum::<f64>()
+            / outcomes.len() as f64;
+        let cost = daily_outage_cost_busd(code) * failed_fraction;
+        if cost > 0.0 {
+            per_country.push((code.clone(), cost));
+            first_day += cost;
+        }
+    }
+    per_country.sort_by(|a, b| b.1.total_cmp(&a.1));
+    per_country.truncate(5);
+
+    // Recovery duration from the repair model on the first outcome.
+    let recovery = repair::simulate_repairs(
+        net,
+        &outcomes[0].dead,
+        &RepairFleet::default(),
+        RepairStrategy::ConnectivityGreedy,
+    )?;
+    let recovery_days = recovery.days_to_95pct_nodes;
+    // Linear decay: affected fraction falls from 1 to 0 over recovery.
+    let total = first_day * recovery_days / 2.0;
+    Ok(EconomicImpact {
+        model: model.name(),
+        first_day_cost_busd: first_day,
+        recovery_days,
+        total_cost_busd: total,
+        top_countries: per_country,
+    })
+}
+
+/// Renders the impact estimate.
+pub fn render_table(e: &EconomicImpact) -> String {
+    let mut out = format!(
+        "Economic impact under {}\n\
+         expected first-day cost: ${:.1} B\n\
+         recovery to 95% reachability: {:.0} days\n\
+         integrated cost over recovery: ${:.0} B\n\
+         costliest countries (expected first-day): ",
+        e.model, e.first_day_cost_busd, e.recovery_days, e.total_cost_busd
+    );
+    let tops: Vec<String> = e
+        .top_countries
+        .iter()
+        .map(|(c, v)| format!("{c}=${v:.2}B"))
+        .collect();
+    out.push_str(&tops.join(" "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+
+    fn cfg() -> MonteCarloConfig {
+        MonteCarloConfig {
+            spacing_km: 150.0,
+            trials: 10,
+            seed: 13,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn us_anchor_holds() {
+        assert!((daily_outage_cost_busd("US") - 7.0).abs() < 1e-9);
+        // Smaller digital economies cost less per day.
+        assert!(daily_outage_cost_busd("FJ") < 0.5);
+        assert!(daily_outage_cost_busd("ZZ") == 0.0);
+    }
+
+    #[test]
+    fn no_failures_no_cost() {
+        let data = Datasets::small_cached();
+        let model = UniformFailure::new(0.0).unwrap();
+        let e = reproduce(&data, &model, &cfg()).unwrap();
+        assert_eq!(e.first_day_cost_busd, 0.0);
+        assert_eq!(e.total_cost_busd, 0.0);
+        assert_eq!(e.recovery_days, 0.0);
+    }
+
+    #[test]
+    fn s1_costs_more_than_s2() {
+        let data = Datasets::small_cached();
+        let s1 = reproduce(&data, &LatitudeBandFailure::s1(), &cfg()).unwrap();
+        let s2 = reproduce(&data, &LatitudeBandFailure::s2(), &cfg()).unwrap();
+        assert!(
+            s1.first_day_cost_busd >= s2.first_day_cost_busd,
+            "S1 ${} vs S2 ${}",
+            s1.first_day_cost_busd,
+            s2.first_day_cost_busd
+        );
+        assert!(s1.total_cost_busd >= s2.total_cost_busd);
+    }
+
+    #[test]
+    fn severe_storms_cost_billions_over_months() {
+        let data = Datasets::small_cached();
+        let e = reproduce(&data, &LatitudeBandFailure::s1(), &cfg()).unwrap();
+        // The paper's "outage lasting several months" stake: recovery is
+        // long and the integrated cost is material.
+        assert!(e.recovery_days > 30.0, "recovery {} days", e.recovery_days);
+        assert!(e.total_cost_busd > 1.0, "total ${} B", e.total_cost_busd);
+        assert!(e.top_countries.len() <= 5);
+    }
+
+    #[test]
+    fn table_renders() {
+        let data = Datasets::small_cached();
+        let e = reproduce(&data, &LatitudeBandFailure::s2(), &cfg()).unwrap();
+        let t = render_table(&e);
+        assert!(t.contains("Economic impact"));
+        assert!(t.contains("recovery"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 3: probability density of population and submarine-cable
+//! endpoints with respect to latitude (2° bins).
+
+use crate::{Datasets, Figure, Series};
+use solarstorm_geo::LatitudeHistogram;
+
+/// Reproduces Fig. 3.
+pub fn reproduce(data: &Datasets) -> Figure {
+    let mut submarine = LatitudeHistogram::new(2.0).expect("valid bin width");
+    let locations = data.submarine.node_locations();
+    submarine.add_points(&locations);
+    let population = data
+        .population
+        .latitude_histogram(2.0)
+        .expect("valid bin width");
+    Figure {
+        id: "fig3".into(),
+        title: "PDF of population and submarine cable end points vs latitude".into(),
+        x_label: "Latitude (deg)".into(),
+        y_label: "Probability density (%)".into(),
+        log_x: false,
+        series: vec![
+            Series::new("Population", population.pdf_percent()),
+            Series::new("Submarine endpoints", submarine.pdf_percent()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_sum_to_100_each() {
+        let data = Datasets::small_cached();
+        let fig = reproduce(&data);
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            let sum: f64 = s.points.iter().map(|(_, y)| y).sum();
+            assert!((sum - 100.0).abs() < 1e-6, "{} sums to {sum}", s.name);
+        }
+    }
+
+    #[test]
+    fn submarine_endpoints_skew_north_of_population() {
+        // The paper's observation: endpoint density is concentrated at
+        // higher latitudes than people are.
+        let data = Datasets::small_cached();
+        let fig = reproduce(&data);
+        let above_45 = |s: &Series| -> f64 {
+            s.points
+                .iter()
+                .filter(|(lat, _)| *lat >= 45.0)
+                .map(|(_, y)| y)
+                .sum()
+        };
+        let pop = above_45(&fig.series[0]);
+        let sub = above_45(&fig.series[1]);
+        assert!(
+            sub > 1.5 * pop,
+            "submarine density above 45°N ({sub}%) should dwarf population ({pop}%)"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure 4: distribution of network elements and population as the
+//! percentage above absolute-latitude thresholds.
+//!
+//! (a) long-distance cable endpoints — submarine endpoints, submarine
+//! endpoints within one hop of the threshold set, Intertubes endpoints —
+//! against population; (b) Internet routers, IXPs and DNS root servers
+//! against population.
+
+use crate::{Datasets, Figure, Series};
+use solarstorm_geo::{percent_points_above_abs_lat, GeoPoint};
+use solarstorm_topology::NodeId;
+
+/// Thresholds swept on the x axis (the paper plots 0..90).
+pub fn thresholds() -> Vec<f64> {
+    (0..=90).step_by(5).map(|t| t as f64).collect()
+}
+
+/// Percentage of population weight above each threshold.
+fn population_series(data: &Datasets) -> Series {
+    let h = data
+        .population
+        .latitude_histogram(1.0)
+        .expect("valid bin width");
+    Series::new(
+        "Population",
+        thresholds()
+            .into_iter()
+            .map(|t| (t, h.percent_above_abs_lat(t)))
+            .collect(),
+    )
+}
+
+/// Submarine endpoints within a direct cable connection of the
+/// above-threshold endpoint set ("one-hop endpoints" in the paper).
+fn one_hop_percent(data: &Datasets, threshold: f64) -> f64 {
+    let net = &data.submarine;
+    let seeds: Vec<NodeId> = net
+        .nodes()
+        .filter(|(_, info)| info.location.abs_lat_deg() >= threshold)
+        .map(|(id, _)| id)
+        .collect();
+    let closure = net.one_hop_closure(&seeds);
+    100.0 * closure.len() as f64 / net.node_count().max(1) as f64
+}
+
+/// Reproduces Fig. 4a (long-distance cable endpoints).
+pub fn reproduce_a(data: &Datasets) -> Figure {
+    let sub_pts = data.submarine.node_locations();
+    let us_pts = data.intertubes.node_locations();
+    let submarine = Series::new(
+        "Submarine endpoints",
+        thresholds()
+            .into_iter()
+            .map(|t| (t, percent_points_above_abs_lat(&sub_pts, t)))
+            .collect(),
+    );
+    let one_hop = Series::new(
+        "One-hop endpoints",
+        thresholds()
+            .into_iter()
+            .map(|t| (t, one_hop_percent(data, t)))
+            .collect(),
+    );
+    let intertubes = Series::new(
+        "Intertubes endpoints",
+        thresholds()
+            .into_iter()
+            .map(|t| (t, percent_points_above_abs_lat(&us_pts, t)))
+            .collect(),
+    );
+    Figure {
+        id: "fig4a".into(),
+        title: "Long-distance cable endpoints above latitude thresholds".into(),
+        x_label: "|Latitude| threshold (deg)".into(),
+        y_label: "Percentage above threshold".into(),
+        log_x: false,
+        series: vec![submarine, one_hop, intertubes, population_series(data)],
+    }
+}
+
+/// Reproduces Fig. 4b (routers, IXPs, DNS root servers).
+pub fn reproduce_b(data: &Datasets) -> Figure {
+    let router_pts = data.routers.router_locations();
+    let ixp_pts: Vec<GeoPoint> = data.ixps.iter().map(|i| i.location).collect();
+    let dns_pts: Vec<GeoPoint> = data.dns.iter().map(|i| i.location).collect();
+    let mk = |name: &str, pts: &[GeoPoint]| {
+        Series::new(
+            name,
+            thresholds()
+                .into_iter()
+                .map(|t| (t, percent_points_above_abs_lat(pts, t)))
+                .collect(),
+        )
+    };
+    Figure {
+        id: "fig4b".into(),
+        title: "Other infrastructure above latitude thresholds".into(),
+        x_label: "|Latitude| threshold (deg)".into(),
+        y_label: "Percentage above threshold".into(),
+        log_x: false,
+        series: vec![
+            mk("Internet routers", &router_pts),
+            mk("IXPs", &ixp_pts),
+            mk("DNS root servers", &dns_pts),
+            population_series(data),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_40(s: &Series) -> f64 {
+        s.points
+            .iter()
+            .find(|(t, _)| *t == 40.0)
+            .map(|(_, y)| *y)
+            .expect("threshold 40 present")
+    }
+
+    #[test]
+    fn headline_shares_at_forty_degrees() {
+        // §4.2.2: 31% submarine, 40% Intertubes, 43% IXPs, 38% routers,
+        // 39% DNS roots, 16% population.
+        let data = Datasets::small_cached();
+        let a = reproduce_a(&data);
+        let b = reproduce_b(&data);
+        let sub = at_40(&a.series[0]);
+        let one_hop = at_40(&a.series[1]);
+        let us = at_40(&a.series[2]);
+        let pop = at_40(&a.series[3]);
+        let routers = at_40(&b.series[0]);
+        let ixps = at_40(&b.series[1]);
+        let dns = at_40(&b.series[2]);
+        assert!((24.0..=38.0).contains(&sub), "submarine {sub}% vs 31%");
+        assert!((28.0..=50.0).contains(&us), "intertubes {us}% vs 40%");
+        assert!((13.0..=19.0).contains(&pop), "population {pop}% vs 16%");
+        assert!(
+            (30.0..=48.0).contains(&routers),
+            "routers {routers}% vs 38%"
+        );
+        assert!((35.0..=51.0).contains(&ixps), "ixps {ixps}% vs 43%");
+        assert!((28.0..=50.0).contains(&dns), "dns {dns}% vs 39%");
+        // One-hop closure adds about 14 points over raw endpoints.
+        assert!(
+            one_hop > sub + 5.0,
+            "one-hop {one_hop}% should exceed submarine {sub}% by several points"
+        );
+    }
+
+    #[test]
+    fn all_series_monotone_decreasing() {
+        let data = Datasets::small_cached();
+        for fig in [reproduce_a(&data), reproduce_b(&data)] {
+            for s in &fig.series {
+                for w in s.points.windows(2) {
+                    assert!(
+                        w[1].1 <= w[0].1 + 1e-9,
+                        "{} not monotone at {:?}",
+                        s.name,
+                        w
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_includes_everything() {
+        let data = Datasets::small_cached();
+        let a = reproduce_a(&data);
+        for s in &a.series {
+            assert!((s.points[0].1 - 100.0).abs() < 1e-9, "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 5: CDF of cable lengths for the submarine network, the US
+//! long-haul network (Intertubes) and the ITU land network.
+
+use crate::{cdf_points, Datasets, Figure, Series};
+use solarstorm_topology::Network;
+
+fn lengths(net: &Network) -> Vec<f64> {
+    net.cables().iter().map(|c| c.length_km).collect()
+}
+
+/// Reproduces Fig. 5.
+pub fn reproduce(data: &Datasets) -> Figure {
+    Figure {
+        id: "fig5".into(),
+        title: "Cable length CDFs".into(),
+        x_label: "Length (km)".into(),
+        y_label: "CDF".into(),
+        log_x: true,
+        series: vec![
+            Series::new("ITU (global, land)", cdf_points(&lengths(&data.itu))),
+            Series::new(
+                "Intertubes (US, land)",
+                cdf_points(&lengths(&data.intertubes)),
+            ),
+            Series::new("Submarine (global)", cdf_points(&lengths(&data.submarine))),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile;
+
+    #[test]
+    fn submarine_an_order_of_magnitude_longer() {
+        // §4.2.2: submarine median 775 km, p99 28,000 km, max 39,000 km;
+        // land networks an order of magnitude shorter.
+        let data = Datasets::small_cached();
+        let sub = lengths(&data.submarine);
+        let itu = lengths(&data.itu);
+        let us = lengths(&data.intertubes);
+        let med = |v: &[f64]| percentile(v, 50.0).unwrap();
+        assert!(
+            (500.0..=1100.0).contains(&med(&sub)),
+            "submarine median {}",
+            med(&sub)
+        );
+        assert!(
+            med(&sub) > 3.0 * med(&us),
+            "submarine vs intertubes medians"
+        );
+        assert!(med(&sub) > 3.0 * med(&itu), "submarine vs ITU medians");
+        let p99 = percentile(&sub, 99.0).unwrap();
+        assert!(p99 > 20_000.0, "submarine p99 {p99} vs 28000");
+        let max = percentile(&sub, 100.0).unwrap();
+        assert!((38_000.0..=40_000.0).contains(&max), "max {max} vs 39000");
+    }
+
+    #[test]
+    fn cdfs_are_valid() {
+        let data = Datasets::small_cached();
+        let fig = reproduce(&data);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert!(!s.points.is_empty());
+            assert!((s.points.last().unwrap().1 - 1.0).abs() < 1e-9);
+            assert!(s
+                .points
+                .windows(2)
+                .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 7: nodes unreachable under uniform repeater-failure
+//! probability (same sweep as Fig. 6, node metric).
+
+use crate::fig6::{sweep_all, SweepResult};
+use crate::{Datasets, Figure, Series};
+use solarstorm_sim::SimError;
+
+/// Converts sweep results into the Fig. 7 panel (nodes unreachable).
+pub fn to_nodes_figure(results: &[SweepResult], spacing_km: f64) -> Figure {
+    let series = results
+        .iter()
+        .map(|r| {
+            Series::with_error(
+                r.network,
+                r.points
+                    .iter()
+                    .map(|(p, s)| (*p, s.mean_nodes_unreachable_pct))
+                    .collect(),
+                r.points
+                    .iter()
+                    .map(|(_, s)| s.std_nodes_unreachable_pct)
+                    .collect(),
+            )
+        })
+        .collect();
+    Figure {
+        id: format!("fig7-{spacing_km:.0}km"),
+        title: format!("Nodes unreachable, uniform repeater failure (spacing {spacing_km:.0} km)"),
+        x_label: "Probability of repeater failure".into(),
+        y_label: "Nodes unreachable (%)".into(),
+        log_x: true,
+        series,
+    }
+}
+
+/// Reproduces one panel of Fig. 7.
+pub fn reproduce_panel(
+    data: &Datasets,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<Figure, SimError> {
+    Ok(to_nodes_figure(
+        &sweep_all(data, spacing_km, trials, seed)?,
+        spacing_km,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_nodes_at_p001_150km() {
+        // §4.3.2: p=0.01 at 150 km leaves 11.7% of submarine endpoints
+        // unreachable but only 0.07% (US) / 0.1% (ITU) of land nodes.
+        let data = Datasets::small_cached();
+        let results = sweep_all(&data, 150.0, 10, 7).unwrap();
+        let at = |r: &SweepResult, p: f64| {
+            r.points
+                .iter()
+                .find(|(q, _)| (*q - p).abs() < 1e-12)
+                .map(|(_, s)| s.mean_nodes_unreachable_pct)
+                .unwrap()
+        };
+        let sub = at(&results[0], 0.01);
+        let us = at(&results[1], 0.01);
+        let itu = at(&results[2], 0.01);
+        assert!(
+            (6.0..=20.0).contains(&sub),
+            "submarine {sub}% vs paper 11.7%"
+        );
+        assert!(us < 1.5, "intertubes {us}% vs paper 0.07%");
+        assert!(itu < 1.5, "ITU {itu}% vs paper 0.1%");
+    }
+
+    #[test]
+    fn catastrophic_nodes_at_p1_150km() {
+        // §4.3.2: p=1 at 150 km: ~80% of submarine endpoints unreachable,
+        // 17% of US land nodes.
+        let data = Datasets::small_cached();
+        let results = sweep_all(&data, 150.0, 3, 7).unwrap();
+        let last = |r: &SweepResult| r.points.last().unwrap().1.mean_nodes_unreachable_pct;
+        let sub = last(&results[0]);
+        let us = last(&results[1]);
+        assert!((60.0..=92.0).contains(&sub), "submarine {sub}% vs ~80%");
+        assert!((8.0..=30.0).contains(&us), "intertubes {us}% vs 17%");
+    }
+
+    #[test]
+    fn nodes_never_exceed_cables_effect_bounds() {
+        let data = Datasets::small_cached();
+        let fig = reproduce_panel(&data, 100.0, 5, 2).unwrap();
+        for s in &fig.series {
+            for (_, y) in &s.points {
+                assert!((0.0..=100.0).contains(y));
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Figure 8: cable and node failures under the latitude-banded
+//! non-uniform repeater-failure states S1 (high) and S2 (low), for the
+//! submarine and US land networks at 50/100/150 km spacings.
+//!
+//! The paper does not run this analysis on the ITU network (no exact
+//! coordinates in its dataset) and argues the US land network upper-
+//! bounds it; we follow the same protocol.
+
+use crate::{Datasets, Figure, Series};
+use solarstorm_gic::LatitudeBandFailure;
+use solarstorm_sim::monte_carlo::{run, MonteCarloConfig};
+use solarstorm_sim::{SimError, TrialStats};
+use solarstorm_topology::Network;
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Fig8Point {
+    /// "S1" or "S2".
+    pub state: &'static str,
+    /// Inter-repeater spacing, km.
+    pub spacing_km: f64,
+    /// Network label.
+    pub network: &'static str,
+    /// Aggregated trial statistics.
+    pub stats: TrialStats,
+}
+
+/// Runs the full Fig. 8 grid.
+pub fn reproduce_points(
+    data: &Datasets,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<Fig8Point>, SimError> {
+    let states: [(&'static str, LatitudeBandFailure); 2] = [
+        ("S1", LatitudeBandFailure::s1()),
+        ("S2", LatitudeBandFailure::s2()),
+    ];
+    let nets: [&Network; 2] = [&data.submarine, &data.intertubes];
+    let mut out = Vec::new();
+    for (state, model) in &states {
+        for spacing in [50.0, 100.0, 150.0] {
+            for net in nets {
+                let cfg = MonteCarloConfig {
+                    spacing_km: spacing,
+                    trials,
+                    seed: seed ^ spacing as u64 ^ ((state.len() as u64) << 32),
+                    ..Default::default()
+                };
+                out.push(Fig8Point {
+                    state,
+                    spacing_km: spacing,
+                    network: net.kind().label(),
+                    stats: run(net, model, &cfg)?,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the grid as a grouped figure: x = spacing, one series per
+/// (state, network, metric).
+pub fn to_figure(points: &[Fig8Point]) -> Figure {
+    let mut series: Vec<Series> = Vec::new();
+    for state in ["S1", "S2"] {
+        for network in ["Submarine", "Intertubes"] {
+            for (metric, pick) in [
+                (
+                    "cables",
+                    Box::new(|s: &TrialStats| s.mean_cables_failed_pct)
+                        as Box<dyn Fn(&TrialStats) -> f64>,
+                ),
+                (
+                    "nodes",
+                    Box::new(|s: &TrialStats| s.mean_nodes_unreachable_pct),
+                ),
+            ] {
+                let pts: Vec<(f64, f64)> = points
+                    .iter()
+                    .filter(|p| p.state == state && p.network == network)
+                    .map(|p| (p.spacing_km, pick(&p.stats)))
+                    .collect();
+                if !pts.is_empty() {
+                    series.push(Series::new(format!("{state} {network} {metric}"), pts));
+                }
+            }
+        }
+    }
+    Figure {
+        id: "fig8".into(),
+        title: "Failures under non-uniform (latitude-banded) repeater failure".into(),
+        x_label: "Inter-repeater distance (km)".into(),
+        y_label: "Cables failed or nodes unreachable (%)".into(),
+        log_x: false,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(pts: &'a [Fig8Point], state: &str, spacing: f64, network: &str) -> &'a Fig8Point {
+        pts.iter()
+            .find(|p| p.state == state && p.spacing_km == spacing && p.network == network)
+            .expect("point exists")
+    }
+
+    #[test]
+    fn submarine_an_order_of_magnitude_worse_than_land() {
+        // §4.3.3: "link and node failures are an order of magnitude higher
+        // in the submarine network under both states".
+        let data = Datasets::small_cached();
+        let pts = reproduce_points(&data, 10, 11).unwrap();
+        for state in ["S1", "S2"] {
+            let sub = find(&pts, state, 150.0, "Submarine");
+            let us = find(&pts, state, 150.0, "Intertubes");
+            assert!(
+                sub.stats.mean_cables_failed_pct > 3.0 * us.stats.mean_cables_failed_pct,
+                "{state}: submarine {} vs land {}",
+                sub.stats.mean_cables_failed_pct,
+                us.stats.mean_cables_failed_pct
+            );
+        }
+    }
+
+    #[test]
+    fn s1_headline_values() {
+        // §4.3.3: 43% of submarine cables fail under S1 (150 km); ~10% of
+        // submarine cables/nodes under S2; negligible for the US land
+        // network under S2.
+        let data = Datasets::small_cached();
+        let pts = reproduce_points(&data, 10, 11).unwrap();
+        let s1 = find(&pts, "S1", 150.0, "Submarine");
+        assert!(
+            (26.0..=60.0).contains(&s1.stats.mean_cables_failed_pct),
+            "S1 submarine cables {}% vs paper 43%",
+            s1.stats.mean_cables_failed_pct
+        );
+        let s2 = find(&pts, "S2", 150.0, "Submarine");
+        assert!(
+            (5.0..=20.0).contains(&s2.stats.mean_cables_failed_pct),
+            "S2 submarine cables {}% vs paper ~10%",
+            s2.stats.mean_cables_failed_pct
+        );
+        let us2 = find(&pts, "S2", 150.0, "Intertubes");
+        assert!(
+            us2.stats.mean_cables_failed_pct < 3.0,
+            "S2 land cables {}% should be negligible",
+            us2.stats.mean_cables_failed_pct
+        );
+    }
+
+    #[test]
+    fn s1_dominates_s2() {
+        let data = Datasets::small_cached();
+        let pts = reproduce_points(&data, 8, 11).unwrap();
+        for spacing in [50.0, 100.0, 150.0] {
+            for network in ["Submarine", "Intertubes"] {
+                let s1 = find(&pts, "S1", spacing, network);
+                let s2 = find(&pts, "S2", spacing, network);
+                assert!(
+                    s1.stats.mean_cables_failed_pct >= s2.stats.mean_cables_failed_pct - 1.0,
+                    "{network}@{spacing}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_has_eight_series() {
+        let data = Datasets::small_cached();
+        let pts = reproduce_points(&data, 3, 11).unwrap();
+        let fig = to_figure(&pts);
+        assert_eq!(fig.series.len(), 8);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 3); // three spacings
+        }
+    }
+}

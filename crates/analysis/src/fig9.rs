@@ -1,0 +1,94 @@
+//! Figure 9: Autonomous System reach and spread.
+//!
+//! (a) Percentage of ASes with at least one router above each latitude
+//! threshold — 57 % above 40°. (b) CDF of AS latitude spread — median
+//! 1.723°, 90th percentile 18.263° (1° of latitude ≈ 111 km).
+
+use crate::{cdf_points, Datasets, Figure, Series};
+
+/// Reproduces Fig. 9a (AS reach above latitude thresholds).
+pub fn reproduce_a(data: &Datasets) -> Figure {
+    let points: Vec<(f64, f64)> = (0..=90)
+        .step_by(5)
+        .map(|t| {
+            (
+                t as f64,
+                data.routers.percent_ases_with_reach_above(t as f64),
+            )
+        })
+        .collect();
+    Figure {
+        id: "fig9a".into(),
+        title: "ASes with presence above latitude thresholds".into(),
+        x_label: "|Latitude| threshold (deg)".into(),
+        y_label: "ASes with presence above threshold (%)".into(),
+        log_x: false,
+        series: vec![Series::new("ASes", points)],
+    }
+}
+
+/// Reproduces Fig. 9b (CDF of AS latitude spread).
+pub fn reproduce_b(data: &Datasets) -> Figure {
+    let spreads = data.routers.as_latitude_spreads();
+    Figure {
+        id: "fig9b".into(),
+        title: "Spread of ASes".into(),
+        x_label: "Spread of ASes (degrees of latitude)".into(),
+        y_label: "CDF".into(),
+        log_x: false,
+        series: vec![Series::new("ASes", cdf_points(&spreads))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percentile;
+
+    #[test]
+    fn as_reach_at_forty_matches_paper() {
+        // 57% of ASes have a presence above 40°.
+        let data = Datasets::small_cached();
+        let fig = reproduce_a(&data);
+        let at40 = fig.series[0]
+            .points
+            .iter()
+            .find(|(t, _)| *t == 40.0)
+            .map(|(_, y)| *y)
+            .unwrap();
+        assert!((47.0..=67.0).contains(&at40), "{at40}% vs paper 57%");
+    }
+
+    #[test]
+    fn reach_curve_is_monotone_from_100() {
+        let data = Datasets::small_cached();
+        let fig = reproduce_a(&data);
+        let pts = &fig.series[0].points;
+        assert!((pts[0].1 - 100.0).abs() < 1e-9);
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spread_quantiles_match_paper() {
+        // Median 1.723°, p90 18.263°.
+        let data = Datasets::small_cached();
+        let spreads = data.routers.as_latitude_spreads();
+        let median = percentile(&spreads, 50.0).unwrap();
+        let p90 = percentile(&spreads, 90.0).unwrap();
+        assert!((0.8..=3.5).contains(&median), "median {median} vs 1.723");
+        assert!((8.0..=40.0).contains(&p90), "p90 {p90} vs 18.263");
+    }
+
+    #[test]
+    fn spread_cdf_is_valid() {
+        let data = Datasets::small_cached();
+        let fig = reproduce_b(&data);
+        let pts = &fig.series[0].points;
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert!(pts.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Spreads cannot exceed 180 degrees.
+        assert!(pts.iter().all(|(x, _)| (0.0..=180.0).contains(x)));
+    }
+}

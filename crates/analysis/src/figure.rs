@@ -1,0 +1,213 @@
+use serde::{Deserialize, Serialize};
+
+/// One named series of a figure: `(x, y)` points with optional
+/// symmetric error bars (the paper plots mean ± standard deviation over
+/// 10 trials in Figs. 6–7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Optional per-point error (± values), parallel to `points`.
+    pub error: Option<Vec<f64>>,
+}
+
+impl Series {
+    /// Creates a series without error bars.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            error: None,
+        }
+    }
+
+    /// Creates a series with error bars.
+    pub fn with_error(name: impl Into<String>, points: Vec<(f64, f64)>, error: Vec<f64>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            error: Some(error),
+        }
+    }
+}
+
+/// A reproduced figure: identified by the paper's figure id, with axis
+/// labels and one or more series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Paper figure id, e.g. `"fig6a"`.
+    pub id: String,
+    /// Title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Whether the x axis is logarithmic (Figs. 5–7).
+    pub log_x: bool,
+    /// Series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Renders the figure as CSV: `series,x,y,err` rows with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y,err\n");
+        for s in &self.series {
+            for (i, (x, y)) in s.points.iter().enumerate() {
+                let err = s
+                    .error
+                    .as_ref()
+                    .and_then(|e| e.get(i))
+                    .copied()
+                    .unwrap_or(0.0);
+                out.push_str(&format!("{},{x},{y},{err}\n", csv_escape(&s.name)));
+            }
+        }
+        out
+    }
+
+    /// Renders a quick ASCII chart (for terminal inspection, not
+    /// publication). Each series plots with its own glyph; the legend
+    /// maps glyphs to names.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        let width = width.clamp(20, 400);
+        let height = height.clamp(5, 100);
+        let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        // Collect transformed points.
+        let tx = |x: f64| if self.log_x { x.max(1e-12).log10() } else { x };
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for s in &self.series {
+            for (x, y) in &s.points {
+                let x = tx(*x);
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(*y);
+                max_y = max_y.max(*y);
+            }
+        }
+        if !min_x.is_finite() {
+            return format!("{} — (no data)\n", self.title);
+        }
+        if (max_x - min_x).abs() < 1e-12 {
+            max_x = min_x + 1.0;
+        }
+        if (max_y - min_y).abs() < 1e-12 {
+            max_y = min_y + 1.0;
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let g = glyphs[si % glyphs.len()];
+            for (x, y) in &s.points {
+                let cx =
+                    (((tx(*x) - min_x) / (max_x - min_x)) * (width as f64 - 1.0)).round() as usize;
+                let cy = (((y - min_y) / (max_y - min_y)) * (height as f64 - 1.0)).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                grid[row][cx.min(width - 1)] = g;
+            }
+        }
+        let mut out = format!("{} [{}]\n", self.title, self.id);
+        out.push_str(&format!("y: {}  (max {max_y:.3})\n", self.y_label));
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', width));
+        out.push('\n');
+        out.push_str(&format!(
+            "x: {} ({}{:.3} .. {:.3})  (min y {min_y:.3})\n",
+            self.x_label,
+            if self.log_x { "log10 " } else { "" },
+            min_x,
+            max_x
+        ));
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", glyphs[si % glyphs.len()], s.name));
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "Test".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: false,
+            series: vec![
+                Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]),
+                Series::with_error("b,with comma", vec![(0.5, 0.7)], vec![0.1]),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y,err");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("\"b,with comma\""));
+        assert!(lines[3].ends_with("0.1"));
+    }
+
+    #[test]
+    fn ascii_renders_all_series() {
+        let art = fig().render_ascii(40, 10);
+        assert!(art.contains('*'));
+        assert!(art.contains('o'));
+        assert!(art.contains("Test"));
+        assert!(art.contains("b,with comma"));
+    }
+
+    #[test]
+    fn ascii_handles_empty_figure() {
+        let f = Figure {
+            id: "e".into(),
+            title: "Empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: true,
+            series: vec![],
+        };
+        assert!(f.render_ascii(40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn ascii_log_axis_spreads_decades() {
+        let f = Figure {
+            id: "l".into(),
+            title: "Log".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: true,
+            series: vec![Series::new(
+                "s",
+                vec![(1.0, 0.0), (10.0, 1.0), (100.0, 2.0)],
+            )],
+        };
+        let art = f.render_ascii(41, 11);
+        // Three decades spread evenly: marks near columns 0, mid, end.
+        assert!(art.contains("log10"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The paper's headline statistics (§4.2.2, §4.3.1) as a
+//! paper-vs-measured table — the source of truth for EXPERIMENTS.md.
+
+use crate::{percentile, Datasets};
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::{percent_points_above_abs_lat, GeoPoint};
+use solarstorm_topology::Network;
+
+/// One row: a named statistic, the value the paper reports, ours.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineRow {
+    /// Statistic name.
+    pub metric: String,
+    /// Paper's reported value.
+    pub paper: f64,
+    /// Value measured on our datasets.
+    pub measured: f64,
+}
+
+impl HeadlineRow {
+    /// Relative deviation from the paper's value (0 = exact).
+    pub fn relative_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            return self.measured.abs();
+        }
+        ((self.measured - self.paper) / self.paper).abs()
+    }
+}
+
+fn avg_repeaters(net: &Network, spacing: f64) -> f64 {
+    net.cables()
+        .iter()
+        .map(|c| c.repeater_count(spacing) as f64)
+        .sum::<f64>()
+        / net.cable_count().max(1) as f64
+}
+
+fn repeaterless_pct(net: &Network, spacing: f64) -> f64 {
+    100.0
+        * net
+            .cables()
+            .iter()
+            .filter(|c| c.repeater_count(spacing) == 0)
+            .count() as f64
+        / net.cable_count().max(1) as f64
+}
+
+/// Builds the full headline table.
+pub fn reproduce(data: &Datasets) -> Vec<HeadlineRow> {
+    let sub_pts = data.submarine.node_locations();
+    let us_pts = data.intertubes.node_locations();
+    let ixp_pts: Vec<GeoPoint> = data.ixps.iter().map(|i| i.location).collect();
+    let dns_pts: Vec<GeoPoint> = data.dns.iter().map(|i| i.location).collect();
+    let router_pts = data.routers.router_locations();
+    let pop_hist = data.population.latitude_histogram(1.0).expect("valid bins");
+    let sub_lens: Vec<f64> = data
+        .submarine
+        .cables()
+        .iter()
+        .map(|c| c.length_km)
+        .collect();
+
+    let row = |metric: &str, paper: f64, measured: f64| HeadlineRow {
+        metric: metric.to_string(),
+        paper,
+        measured,
+    };
+    vec![
+        row(
+            "submarine endpoints above 40° (%)",
+            31.0,
+            percent_points_above_abs_lat(&sub_pts, 40.0),
+        ),
+        row(
+            "Intertubes endpoints above 40° (%)",
+            40.0,
+            percent_points_above_abs_lat(&us_pts, 40.0),
+        ),
+        row(
+            "IXPs above 40° (%)",
+            43.0,
+            percent_points_above_abs_lat(&ixp_pts, 40.0),
+        ),
+        row(
+            "routers above 40° (%)",
+            38.0,
+            percent_points_above_abs_lat(&router_pts, 40.0),
+        ),
+        row(
+            "DNS roots above 40° (%)",
+            39.0,
+            percent_points_above_abs_lat(&dns_pts, 40.0),
+        ),
+        row(
+            "population above 40° (%)",
+            16.0,
+            pop_hist.percent_above_abs_lat(40.0),
+        ),
+        row(
+            "ASes with presence above 40° (%)",
+            57.0,
+            data.routers.percent_ases_with_reach_above(40.0),
+        ),
+        row(
+            "submarine median length (km)",
+            775.0,
+            percentile(&sub_lens, 50.0).unwrap_or(0.0),
+        ),
+        row(
+            "submarine p99 length (km)",
+            28_000.0,
+            percentile(&sub_lens, 99.0).unwrap_or(0.0),
+        ),
+        row(
+            "submarine max length (km)",
+            39_000.0,
+            percentile(&sub_lens, 100.0).unwrap_or(0.0),
+        ),
+        row(
+            "submarine avg repeaters @150 km",
+            22.3,
+            avg_repeaters(&data.submarine, 150.0),
+        ),
+        row(
+            "Intertubes avg repeaters @150 km",
+            1.7,
+            avg_repeaters(&data.intertubes, 150.0),
+        ),
+        row(
+            "ITU avg repeaters @150 km",
+            0.63,
+            avg_repeaters(&data.itu, 150.0),
+        ),
+        row(
+            "submarine repeaterless @150 km (%)",
+            100.0 * 82.0 / 441.0,
+            repeaterless_pct(&data.submarine, 150.0),
+        ),
+        row(
+            "Intertubes repeaterless @150 km (%)",
+            100.0 * 258.0 / 542.0,
+            repeaterless_pct(&data.intertubes, 150.0),
+        ),
+        row(
+            "ITU repeaterless @150 km (%)",
+            100.0 * 8_443.0 / 11_737.0,
+            repeaterless_pct(&data.itu, 150.0),
+        ),
+        row(
+            "AS spread median (deg)",
+            1.723,
+            percentile(&data.routers.as_latitude_spreads(), 50.0).unwrap_or(0.0),
+        ),
+        row(
+            "AS spread p90 (deg)",
+            18.263,
+            percentile(&data.routers.as_latitude_spreads(), 90.0).unwrap_or(0.0),
+        ),
+    ]
+}
+
+/// Renders the table as aligned text.
+pub fn render_table(rows: &[HeadlineRow]) -> String {
+    let mut out = format!(
+        "{:<40} {:>12} {:>12} {:>8}\n",
+        "metric", "paper", "measured", "rel.err"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<40} {:>12.2} {:>12.2} {:>7.0}%\n",
+            r.metric,
+            r.paper,
+            r.measured,
+            100.0 * r.relative_error()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_headline_rows_within_tolerance() {
+        // Calibration contract: every headline statistic is within 40% of
+        // the paper's value (most are far closer); this is the
+        // "shape-preserving" requirement from DESIGN.md. Length statistics
+        // only hold at full scale, so this builds the paper-scale bundle.
+        let data = Datasets::default_cached();
+        let rows = reproduce(&data);
+        assert_eq!(rows.len(), 18);
+        for r in &rows {
+            assert!(
+                r.relative_error() < 0.40,
+                "{}: paper {} vs measured {} ({:.0}% off)",
+                r.metric,
+                r.paper,
+                r.measured,
+                100.0 * r.relative_error()
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let data = Datasets::small_cached();
+        let rows = reproduce(&data);
+        let table = render_table(&rows);
+        assert_eq!(table.lines().count(), rows.len() + 1);
+        assert!(table.contains("submarine median length"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure and table reproduction for *Solar Superstorms: Planning for an
+//! Internet Apocalypse* (SIGCOMM 2021).
+//!
+//! Each `figN` module regenerates the data behind one figure of the
+//! paper's evaluation; [`countries`] reproduces the §4.3.4 country-scale
+//! connectivity analysis, [`systems`] the §4.4 systems-resilience
+//! discussion (ASes, hyperscale data centers, DNS), and [`headline`] the
+//! §4.2 headline statistics. Figures come back as a [`Figure`] — named
+//! series of `(x, y)` points with optional error bars — which renders to
+//! CSV (for plotting) or a quick ASCII chart (for terminals), so the
+//! toolkit has no plotting dependencies.
+//!
+//! Beyond the paper's own artifacts, [`as_impact`] builds the
+//! AS-to-cable mapping §4.4.1 lacked, [`partition_report`] inventories
+//! surviving partitions for §5.3's functional-independence question, and
+//! [`traffic_report`] quantifies §5.5's traffic-shift overloads.
+//!
+//! [`Datasets`] bundles every input the experiments need, built from the
+//! calibrated generators in `solarstorm-data` with one seed.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod arctic;
+pub mod as_impact;
+pub mod countries;
+mod datasets;
+pub mod economics;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+mod figure;
+pub mod headline;
+pub mod maps;
+pub mod partition_report;
+pub mod registry;
+pub mod risk;
+pub mod robustness;
+mod stats;
+pub mod systems;
+pub mod traffic_report;
+
+pub use datasets::{Datasets, DatasetsConfig};
+pub use figure::{Figure, Series};
+pub use stats::{cdf_points, mean_std, percentile};

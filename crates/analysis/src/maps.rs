@@ -1,0 +1,178 @@
+//! Figures 1 and 2: the infrastructure maps, rendered as ASCII world
+//! density maps.
+//!
+//! Fig. 1 of the paper shows IXPs, long-distance land links and
+//! submarine cables on a world map; Fig. 2 shows public data centers and
+//! colocation centers. A terminal toolkit cannot draw the ITU's
+//! basemap, but a density map over a lon/lat character grid shows the
+//! same thing the paper uses the figures for: the visual concentration
+//! of infrastructure in the northern mid-to-high latitudes.
+
+use crate::Datasets;
+use solarstorm_data::datacenters;
+use solarstorm_geo::GeoPoint;
+
+/// Renders a world density map of the given points: one character cell
+/// per (360/width)° × (150/height)° region between 65°S and 85°N.
+/// Density glyphs: `·`, `o`, `O`, `@` by quartile of the non-empty cells.
+pub fn ascii_world_map(points: &[GeoPoint], width: usize, height: usize) -> String {
+    let width = width.clamp(20, 240);
+    let height = height.clamp(10, 120);
+    let lat_min = -65.0;
+    let lat_max = 85.0;
+    let mut counts = vec![vec![0usize; width]; height];
+    for p in points {
+        let lat = p.lat_deg();
+        if !(lat_min..=lat_max).contains(&lat) {
+            continue;
+        }
+        let col = (((p.lon_deg() + 180.0) / 360.0) * width as f64) as usize;
+        let row = (((lat_max - lat) / (lat_max - lat_min)) * height as f64) as usize;
+        counts[row.min(height - 1)][col.min(width - 1)] += 1;
+    }
+    // Quartile thresholds over non-empty cells.
+    let mut non_empty: Vec<usize> = counts
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|c| *c > 0)
+        .collect();
+    non_empty.sort_unstable();
+    let q = |f: f64| -> usize {
+        if non_empty.is_empty() {
+            return usize::MAX;
+        }
+        non_empty[((non_empty.len() - 1) as f64 * f) as usize]
+    };
+    let (q1, q2, q3) = (q(0.25), q(0.5), q(0.75));
+    // Latitude gridline labels at the rows nearest 40°N / 0° / 40°S.
+    let row_of = |lat: f64| -> usize {
+        ((((lat_max - lat) / (lat_max - lat_min)) * height as f64) as usize).min(height - 1)
+    };
+    let (r40n, req, r40s) = (row_of(40.0), row_of(0.0), row_of(-40.0));
+    let mut out = String::new();
+    for (r, row) in counts.iter().enumerate() {
+        let label = if r == r40n {
+            "40N"
+        } else if r == req {
+            " EQ"
+        } else if r == r40s {
+            "40S"
+        } else {
+            "   "
+        };
+        out.push_str(label);
+        out.push('|');
+        for &c in row {
+            out.push(if c == 0 {
+                ' '
+            } else if c <= q1 {
+                '·'
+            } else if c <= q2 {
+                'o'
+            } else if c <= q3 {
+                'O'
+            } else {
+                '@'
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str("   +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("    180W");
+    out.push_str(&" ".repeat(width.saturating_sub(12)));
+    out.push_str("180E\n");
+    out
+}
+
+/// Fig. 1 substitute: all cable-network endpoints plus IXPs.
+pub fn fig1_infrastructure_map(data: &Datasets, width: usize, height: usize) -> String {
+    let mut pts = data.submarine.node_locations();
+    pts.extend(data.itu.node_locations());
+    pts.extend(data.intertubes.node_locations());
+    pts.extend(data.ixps.iter().map(|i| i.location));
+    let mut out = String::from("Fig. 1 substitute: cable endpoints + IXPs (density: · o O @)\n");
+    out.push_str(&ascii_world_map(&pts, width, height));
+    out
+}
+
+/// Fig. 2 substitute: hyperscale data centers (both operators).
+pub fn fig2_datacenter_map(width: usize, height: usize) -> String {
+    let pts: Vec<GeoPoint> = datacenters::all().iter().map(|d| d.location).collect();
+    let mut out = String::from("Fig. 2 substitute: hyperscale data centers (density: · o O @)\n");
+    out.push_str(&ascii_world_map(&pts, width, height));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_renders_expected_dimensions() {
+        let data = Datasets::small_cached();
+        let map = fig1_infrastructure_map(data, 80, 24);
+        // Header + 24 rows + axis + label line.
+        assert_eq!(map.lines().count(), 27);
+        assert!(map.contains("40N"));
+        assert!(map.contains(" EQ"));
+        assert!(map.contains("40S"));
+    }
+
+    #[test]
+    fn infrastructure_density_peaks_north_of_the_equator() {
+        let data = Datasets::small_cached();
+        let map = fig1_infrastructure_map(data, 80, 30);
+        let rows: Vec<&str> = map.lines().skip(1).take(30).collect();
+        let weight = |row: &str| {
+            row.chars()
+                .map(|c| match c {
+                    '·' => 1usize,
+                    'o' => 2,
+                    'O' => 3,
+                    '@' => 4,
+                    _ => 0,
+                })
+                .sum::<usize>()
+        };
+        // Rows 0..15 cover 85N..10N, rows 15..30 cover 10N..65S.
+        let north: usize = rows[..15].iter().map(|r| weight(r)).sum();
+        let south: usize = rows[15..].iter().map(|r| weight(r)).sum();
+        assert!(
+            north > 2 * south,
+            "northern density {north} vs southern {south}"
+        );
+    }
+
+    #[test]
+    fn datacenter_map_shows_both_hemispheres() {
+        let map = fig2_datacenter_map(80, 24);
+        assert!(map.contains('·') || map.contains('o') || map.contains('@'));
+    }
+
+    #[test]
+    fn empty_points_render_blank_map() {
+        let map = ascii_world_map(&[], 40, 12);
+        assert!(map.lines().count() >= 12);
+        assert!(!map.contains('@'));
+    }
+
+    #[test]
+    fn polar_points_are_clipped_not_crashing() {
+        let pts = vec![
+            GeoPoint::new(89.0, 0.0).unwrap(),  // clipped (above 85N)
+            GeoPoint::new(-89.0, 0.0).unwrap(), // clipped (below 65S)
+            GeoPoint::new(50.0, 179.9).unwrap(),
+            GeoPoint::new(10.0, -180.0).unwrap(),
+        ];
+        let map = ascii_world_map(&pts, 40, 12);
+        // Only the two in-range points plot, in distinct cells.
+        let plotted = map
+            .chars()
+            .filter(|c| *c == '·' || *c == 'o' || *c == 'O' || *c == '@')
+            .count();
+        assert_eq!(plotted, 2);
+    }
+}

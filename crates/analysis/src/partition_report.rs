@@ -1,0 +1,197 @@
+//! Functional partition analysis (§5.2–5.3, completed with the systems
+//! datasets).
+//!
+//! The paper prescribes that "search engines, financial services, etc.
+//! should geo-distribute critical data and functionalities so that each
+//! partition … can function independently". This module takes a storm
+//! outcome, computes the surviving partitions, and checks each for the
+//! functional essentials: a DNS root instance and a hyperscale data
+//! center of each operator.
+
+use crate::Datasets;
+use serde::{Deserialize, Serialize};
+use solarstorm_data::datacenters;
+use solarstorm_gic::FailureModel;
+use solarstorm_sim::monte_carlo::{run_outcomes, MonteCarloConfig};
+use solarstorm_sim::partition::{self, Partition};
+use solarstorm_sim::SimError;
+use std::collections::BTreeSet;
+
+/// One partition with its functional inventory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionalPartition {
+    /// Landing stations in the partition.
+    pub stations: usize,
+    /// Countries present.
+    pub countries: Vec<String>,
+    /// Has at least one DNS root instance in a member country.
+    pub has_dns_root: bool,
+    /// Has at least one Google data center in a member country.
+    pub has_google_dc: bool,
+    /// Has at least one Facebook data center in a member country.
+    pub has_facebook_dc: bool,
+}
+
+impl FunctionalPartition {
+    /// The paper's bar for independent functioning: name resolution plus
+    /// at least one hyperscale fleet present.
+    pub fn can_function_independently(&self) -> bool {
+        self.has_dns_root && (self.has_google_dc || self.has_facebook_dc)
+    }
+}
+
+/// Full report over one storm outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionReport {
+    /// Failure-model name.
+    pub model: String,
+    /// Partitions, largest first.
+    pub partitions: Vec<FunctionalPartition>,
+    /// Fraction of partitions that can function independently.
+    pub functional_fraction: f64,
+}
+
+fn inventory(data: &Datasets, p: &Partition) -> FunctionalPartition {
+    let countries: BTreeSet<&str> = p.countries.iter().map(String::as_str).collect();
+    let has_dns_root = data
+        .dns
+        .iter()
+        .any(|i| countries.contains(i.country.as_str()));
+    let has_google_dc = datacenters::google()
+        .iter()
+        .any(|d| countries.contains(d.country.as_str()));
+    let has_facebook_dc = datacenters::facebook()
+        .iter()
+        .any(|d| countries.contains(d.country.as_str()));
+    FunctionalPartition {
+        stations: p.len(),
+        countries: p.countries.clone(),
+        has_dns_root,
+        has_google_dc,
+        has_facebook_dc,
+    }
+}
+
+/// Runs one representative storm outcome (the first Monte Carlo trial)
+/// and inventories the resulting partitions. Tiny partitions (fewer than
+/// `min_stations`) are omitted from the report.
+pub fn reproduce<M: FailureModel>(
+    data: &Datasets,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    min_stations: usize,
+) -> Result<PartitionReport, SimError> {
+    let outcomes = run_outcomes(&data.submarine, model, cfg)?;
+    let outcome = outcomes.first().ok_or(SimError::InvalidConfig {
+        name: "trials",
+        message: "need at least one trial".into(),
+    })?;
+    let parts = partition::partitions(&data.submarine, &outcome.dead);
+    let partitions: Vec<FunctionalPartition> = parts
+        .iter()
+        .filter(|p| p.len() >= min_stations)
+        .map(|p| inventory(data, p))
+        .collect();
+    let functional = partitions
+        .iter()
+        .filter(|p| p.can_function_independently())
+        .count();
+    let functional_fraction = if partitions.is_empty() {
+        0.0
+    } else {
+        functional as f64 / partitions.len() as f64
+    };
+    Ok(PartitionReport {
+        model: model.name(),
+        partitions,
+        functional_fraction,
+    })
+}
+
+/// Renders the report as text.
+pub fn render_table(report: &PartitionReport) -> String {
+    let mut out = format!(
+        "Surviving partitions under {} ({} partitions, {:.0}% functional)\n",
+        report.model,
+        report.partitions.len(),
+        100.0 * report.functional_fraction
+    );
+    out.push_str(&format!(
+        "{:>9} {:>10} {:>5} {:>7} {:>9}  countries\n",
+        "stations", "countries", "DNS", "Google", "Facebook"
+    ));
+    for p in report.partitions.iter().take(12) {
+        let mark = |b: bool| if b { "yes" } else { "-" };
+        let mut countries = p.countries.join(",");
+        if countries.len() > 40 {
+            countries.truncate(37);
+            countries.push('…');
+        }
+        out.push_str(&format!(
+            "{:>9} {:>10} {:>5} {:>7} {:>9}  {}\n",
+            p.stations,
+            p.countries.len(),
+            mark(p.has_dns_root),
+            mark(p.has_google_dc),
+            mark(p.has_facebook_dc),
+            countries
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+
+    fn cfg() -> MonteCarloConfig {
+        MonteCarloConfig {
+            spacing_km: 150.0,
+            trials: 1,
+            seed: 9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn intact_network_giant_partition_is_functional() {
+        let data = Datasets::small_cached();
+        let model = UniformFailure::new(0.0).unwrap();
+        let report = reproduce(&data, &model, &cfg(), 5).unwrap();
+        assert!(!report.partitions.is_empty());
+        let giant = &report.partitions[0];
+        assert!(giant.has_dns_root);
+        assert!(giant.has_google_dc);
+        assert!(giant.can_function_independently());
+    }
+
+    #[test]
+    fn severe_storm_yields_more_smaller_partitions() {
+        let data = Datasets::small_cached();
+        let calm = reproduce(&data, &UniformFailure::new(0.0).unwrap(), &cfg(), 2).unwrap();
+        let stormy = reproduce(&data, &LatitudeBandFailure::s1(), &cfg(), 2).unwrap();
+        let calm_giant = calm.partitions.first().map(|p| p.stations).unwrap_or(0);
+        let storm_giant = stormy.partitions.first().map(|p| p.stations).unwrap_or(0);
+        assert!(
+            storm_giant < calm_giant,
+            "giant shrinks: {calm_giant} -> {storm_giant}"
+        );
+    }
+
+    #[test]
+    fn functional_fraction_is_bounded() {
+        let data = Datasets::small_cached();
+        let report = reproduce(&data, &LatitudeBandFailure::s2(), &cfg(), 3).unwrap();
+        assert!((0.0..=1.0).contains(&report.functional_fraction));
+    }
+
+    #[test]
+    fn table_renders() {
+        let data = Datasets::small_cached();
+        let report = reproduce(&data, &LatitudeBandFailure::s1(), &cfg(), 3).unwrap();
+        let table = render_table(&report);
+        assert!(table.contains("partitions"));
+        assert!(table.contains("DNS"));
+    }
+}

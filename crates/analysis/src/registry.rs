@@ -1,0 +1,366 @@
+//! Experiment registry: the machine-readable index of everything this
+//! toolkit reproduces.
+//!
+//! DESIGN.md's experiment table, as data: each entry names the paper
+//! artifact, the regenerating CLI command and bench target, and the
+//! modules that implement it. Downstream tools (the CLI's `all`
+//! command, documentation generators, CI jobs) iterate this instead of
+//! hard-coding the list.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of artifact an experiment reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// A figure of the paper.
+    Figure,
+    /// A table or in-text statistic.
+    Table,
+    /// A §4.3.4-style narrative analysis.
+    Narrative,
+    /// An ablation or extension beyond the paper.
+    Extension,
+}
+
+/// One registered experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Stable id (DESIGN.md's experiment index).
+    pub id: &'static str,
+    /// Paper artifact ("Fig. 6", "§4.3.4", …).
+    pub artifact: &'static str,
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// One-line description.
+    pub description: &'static str,
+    /// CLI command that regenerates it (`stormsim <command>`).
+    pub cli: &'static str,
+    /// Criterion bench target, if any.
+    pub bench: Option<&'static str>,
+}
+
+/// The full registry, in DESIGN.md order.
+pub fn all() -> &'static [Experiment] {
+    use ArtifactKind::*;
+    const R: &[Experiment] = &[
+        Experiment {
+            id: "E0",
+            artifact: "Figs. 1-2",
+            kind: Figure,
+            description: "infrastructure and data-center world maps",
+            cli: "map",
+            bench: None,
+        },
+        Experiment {
+            id: "E1",
+            artifact: "Fig. 3",
+            kind: Figure,
+            description: "latitude PDFs of population and submarine endpoints",
+            cli: "fig3",
+            bench: Some("fig3_latitude_pdf"),
+        },
+        Experiment {
+            id: "E2",
+            artifact: "Fig. 4a",
+            kind: Figure,
+            description: "cable endpoints above latitude thresholds",
+            cli: "fig4a",
+            bench: Some("fig4_thresholds"),
+        },
+        Experiment {
+            id: "E3",
+            artifact: "Fig. 4b",
+            kind: Figure,
+            description: "routers/IXPs/DNS above latitude thresholds",
+            cli: "fig4b",
+            bench: Some("fig4_thresholds"),
+        },
+        Experiment {
+            id: "E4",
+            artifact: "Fig. 5",
+            kind: Figure,
+            description: "cable-length CDFs for the three networks",
+            cli: "fig5",
+            bench: Some("fig5_length_cdf"),
+        },
+        Experiment {
+            id: "E5",
+            artifact: "Fig. 6",
+            kind: Figure,
+            description: "cables failed under uniform repeater failure",
+            cli: "fig6",
+            bench: Some("fig6_uniform_cables"),
+        },
+        Experiment {
+            id: "E6",
+            artifact: "Fig. 7",
+            kind: Figure,
+            description: "nodes unreachable under uniform repeater failure",
+            cli: "fig7",
+            bench: Some("fig7_uniform_nodes"),
+        },
+        Experiment {
+            id: "E7",
+            artifact: "Fig. 8",
+            kind: Figure,
+            description: "S1/S2 latitude-banded failure grid",
+            cli: "fig8",
+            bench: Some("fig8_nonuniform"),
+        },
+        Experiment {
+            id: "E8",
+            artifact: "§4.3.4",
+            kind: Narrative,
+            description: "country-scale connectivity under S1/S2",
+            cli: "countries",
+            bench: Some("country_connectivity"),
+        },
+        Experiment {
+            id: "E9",
+            artifact: "Fig. 9a",
+            kind: Figure,
+            description: "AS reach above latitude thresholds",
+            cli: "fig9a",
+            bench: Some("fig9_as_analysis"),
+        },
+        Experiment {
+            id: "E10",
+            artifact: "Fig. 9b",
+            kind: Figure,
+            description: "CDF of AS latitude spread",
+            cli: "fig9b",
+            bench: Some("fig9_as_analysis"),
+        },
+        Experiment {
+            id: "E11",
+            artifact: "§4.4.2",
+            kind: Narrative,
+            description: "Google vs Facebook data-center resilience",
+            cli: "systems",
+            bench: Some("systems_resilience"),
+        },
+        Experiment {
+            id: "E12",
+            artifact: "§4.4.3",
+            kind: Narrative,
+            description: "DNS root-server resilience",
+            cli: "systems",
+            bench: Some("systems_resilience"),
+        },
+        Experiment {
+            id: "E13",
+            artifact: "§4.2-4.3",
+            kind: Table,
+            description: "headline statistics, paper vs measured",
+            cli: "stats",
+            bench: Some("systems_resilience"),
+        },
+        Experiment {
+            id: "A1",
+            artifact: "§3 models",
+            kind: Extension,
+            description: "physics-chain vs probabilistic failure models",
+            cli: "mitigate",
+            bench: Some("ablation_physics"),
+        },
+        Experiment {
+            id: "A2",
+            artifact: "§5.2",
+            kind: Extension,
+            description: "shutdown ablation and lead-time planning",
+            cli: "mitigate",
+            bench: Some("ablation_mitigation"),
+        },
+        Experiment {
+            id: "A3",
+            artifact: "§5.1",
+            kind: Extension,
+            description: "greedy low-latitude topology augmentation",
+            cli: "help",
+            bench: None,
+        },
+        Experiment {
+            id: "A4",
+            artifact: "§3.3",
+            kind: Extension,
+            description: "LEO constellation storm impact",
+            cli: "satellite",
+            bench: Some("extension_satellite"),
+        },
+        Experiment {
+            id: "A5",
+            artifact: "§3.2.2",
+            kind: Extension,
+            description: "cable-ship repair campaign",
+            cli: "repair",
+            bench: Some("extension_repair"),
+        },
+        Experiment {
+            id: "A6",
+            artifact: "§5.3",
+            kind: Extension,
+            description: "functional partition inventory",
+            cli: "partitions",
+            bench: None,
+        },
+        Experiment {
+            id: "A7",
+            artifact: "§5.5",
+            kind: Extension,
+            description: "traffic shifts and overloads",
+            cli: "traffic",
+            bench: None,
+        },
+        Experiment {
+            id: "A8",
+            artifact: "§4.4.1",
+            kind: Extension,
+            description: "AS impact via synthesized AS-to-cable mapping",
+            cli: "asimpact",
+            bench: None,
+        },
+        Experiment {
+            id: "A9",
+            artifact: "§5.1",
+            kind: Extension,
+            description: "electrical-isolation cascade ablation",
+            cli: "isolate",
+            bench: None,
+        },
+        Experiment {
+            id: "A10",
+            artifact: "robustness",
+            kind: Extension,
+            description: "min cable cuts between regions",
+            cli: "robustness",
+            bench: None,
+        },
+        Experiment {
+            id: "A11",
+            artifact: "§2.3",
+            kind: Extension,
+            description: "decade risk outlook, Gleissberg vs flat",
+            cli: "risk",
+            bench: None,
+        },
+        Experiment {
+            id: "A12",
+            artifact: "§3 dynamics",
+            kind: Extension,
+            description: "hour-by-hour failure timeline",
+            cli: "timeline",
+            bench: None,
+        },
+        Experiment {
+            id: "A13",
+            artifact: "§1",
+            kind: Extension,
+            description: "economic-impact estimate",
+            cli: "economics",
+            bench: None,
+        },
+        Experiment {
+            id: "A14",
+            artifact: "§5.5",
+            kind: Extension,
+            description: "power-grid coupling cascade",
+            cli: "cascade",
+            bench: None,
+        },
+        Experiment {
+            id: "A15",
+            artifact: "§5.1",
+            kind: Extension,
+            description: "Arctic vs southern route tradeoff",
+            cli: "arctic",
+            bench: None,
+        },
+    ];
+    R
+}
+
+/// Renders the registry as an aligned text index.
+pub fn render_index() -> String {
+    let mut out = format!(
+        "{:<5} {:<12} {:<10} {:<52} {}\n",
+        "id", "artifact", "kind", "description", "stormsim"
+    );
+    for e in all() {
+        out.push_str(&format!(
+            "{:<5} {:<12} {:<10} {:<52} {}\n",
+            e.id,
+            e.artifact,
+            format!("{:?}", e.kind),
+            e.description,
+            e.cli
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique_and_complete() {
+        let mut ids = HashSet::new();
+        for e in all() {
+            assert!(ids.insert(e.id), "duplicate id {}", e.id);
+        }
+        // Every paper figure is covered.
+        for artifact in [
+            "Figs. 1-2",
+            "Fig. 3",
+            "Fig. 4a",
+            "Fig. 4b",
+            "Fig. 5",
+            "Fig. 6",
+            "Fig. 7",
+            "Fig. 8",
+            "Fig. 9a",
+            "Fig. 9b",
+        ] {
+            assert!(
+                all().iter().any(|e| e.artifact == artifact),
+                "missing {artifact}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_targets_exist_on_disk_contractually() {
+        // The registry's bench names must match the bench crate's target
+        // list (kept in crates/bench/Cargo.toml).
+        let known = [
+            "fig3_latitude_pdf",
+            "fig4_thresholds",
+            "fig5_length_cdf",
+            "fig6_uniform_cables",
+            "fig7_uniform_nodes",
+            "fig8_nonuniform",
+            "fig9_as_analysis",
+            "country_connectivity",
+            "systems_resilience",
+            "ablation_physics",
+            "ablation_mitigation",
+            "substrate_microbench",
+            "extension_repair",
+            "extension_satellite",
+        ];
+        for e in all() {
+            if let Some(b) = e.bench {
+                assert!(known.contains(&b), "unknown bench {b} in {}", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn index_renders_every_row() {
+        let idx = render_index();
+        assert_eq!(idx.lines().count(), all().len() + 1);
+        assert!(idx.contains("E13"));
+        assert!(idx.contains("A15"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Near-term risk outlook (§2.3 of the paper, quantified).
+//!
+//! The paper's core motivational claim: the Internet grew up during a
+//! Gleissberg minimum, the Sun is now leaving it, and therefore the
+//! per-decade probability of a Carrington-scale impact over the coming
+//! decades is *higher* than the long-run average suggests. This module
+//! turns that argument into numbers: Monte Carlo estimates of the
+//! probability of at least one extreme impact per upcoming decade,
+//! under the cycle-modulated arrival model vs. a flat-rate baseline.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_solar::{ArrivalModel, SolarError, StormClass};
+
+/// Risk estimate for one decade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecadeRisk {
+    /// First year of the decade.
+    pub start_year: f64,
+    /// P[≥1 extreme impact] under the Gleissberg-modulated model.
+    pub modulated: f64,
+    /// P[≥1 extreme impact] under the flat-rate baseline.
+    pub flat: f64,
+}
+
+/// Estimates extreme-impact risk per decade over a horizon.
+pub fn decade_risks(
+    start_year: f64,
+    decades: usize,
+    samples: usize,
+    seed: u64,
+) -> Result<Vec<DecadeRisk>, SolarError> {
+    let modulated = ArrivalModel::calibrated();
+    let flat = ArrivalModel::new(3.9, 0.12, 0.30, None)?;
+    let mut hits_mod = vec![0usize; decades];
+    let mut hits_flat = vec![0usize; decades];
+    let horizon = decades as f64 * 10.0;
+    for s in 0..samples {
+        let mut rng_m = ChaCha12Rng::seed_from_u64(seed ^ (s as u64) << 1);
+        let mut rng_f = ChaCha12Rng::seed_from_u64(seed ^ ((s as u64) << 1) | 1);
+        for (model, hits, rng) in [
+            (&modulated, &mut hits_mod, &mut rng_m),
+            (&flat, &mut hits_flat, &mut rng_f),
+        ] {
+            let arrivals = model.sample_arrivals(rng, start_year, horizon)?;
+            let mut seen = vec![false; decades];
+            for a in arrivals {
+                if a.class == StormClass::Extreme {
+                    let d = ((a.year - start_year) / 10.0) as usize;
+                    if d < decades {
+                        seen[d] = true;
+                    }
+                }
+            }
+            for (d, s) in seen.iter().enumerate() {
+                if *s {
+                    hits[d] += 1;
+                }
+            }
+        }
+    }
+    Ok((0..decades)
+        .map(|d| DecadeRisk {
+            start_year: start_year + d as f64 * 10.0,
+            modulated: hits_mod[d] as f64 / samples as f64,
+            flat: hits_flat[d] as f64 / samples as f64,
+        })
+        .collect())
+}
+
+/// Renders the outlook as a table.
+pub fn render_table(risks: &[DecadeRisk]) -> String {
+    let mut out =
+        String::from("Extreme-impact risk per decade: Gleissberg-modulated vs flat model\n");
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>8} {:>8}\n",
+        "decade", "modulated", "flat", "ratio"
+    ));
+    for r in risks {
+        out.push_str(&format!(
+            "{:>5.0}s {:>12.3} {:>8.3} {:>8.2}\n",
+            r.start_year,
+            r.modulated,
+            r.flat,
+            if r.flat > 0.0 {
+                r.modulated / r.flat
+            } else {
+                f64::NAN
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risks_are_probabilities_in_paper_window() {
+        let risks = decade_risks(2026.0, 5, 800, 3).unwrap();
+        assert_eq!(risks.len(), 5);
+        for r in &risks {
+            assert!((0.0..=1.0).contains(&r.modulated));
+            assert!((0.0..=1.0).contains(&r.flat));
+            // Paper window for a large-scale event: 1.6-12% per decade.
+            assert!(
+                (0.005..=0.15).contains(&r.flat),
+                "flat decade risk {} outside plausibility band",
+                r.flat
+            );
+        }
+    }
+
+    #[test]
+    fn rising_activity_raises_near_term_risk() {
+        // The Sun leaves the Gleissberg minimum after the 2020s: decades
+        // near the modulation peak must carry more risk than the flat
+        // baseline average, supporting the paper's §2.3 argument.
+        let risks = decade_risks(2026.0, 6, 1500, 11).unwrap();
+        let peak_modulated = risks.iter().map(|r| r.modulated).fold(0.0, f64::max);
+        let mean_flat: f64 = risks.iter().map(|r| r.flat).sum::<f64>() / risks.len() as f64;
+        assert!(
+            peak_modulated > mean_flat,
+            "peak modulated {peak_modulated} vs mean flat {mean_flat}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = decade_risks(2026.0, 3, 200, 5).unwrap();
+        let b = decade_risks(2026.0, 3, 200, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_renders() {
+        let risks = decade_risks(2026.0, 3, 100, 5).unwrap();
+        let table = render_table(&risks);
+        assert!(table.contains("2026s"));
+        assert!(table.contains("ratio"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Structural robustness: minimum cable cuts between regions.
+//!
+//! The paper reasons about inter-regional resilience through failure
+//! sampling; min-cut analysis gives the structural complement: how many
+//! cable *segments* must be severed to disconnect two countries
+//! outright. Small cuts flag the fragile pairs (US–Europe through the
+//! North Atlantic trunk corridor) before any probabilistic model is
+//! consulted — and the surviving cut under a storm outcome shows how
+//! much margin remains.
+
+use crate::Datasets;
+use serde::{Deserialize, Serialize};
+use solarstorm_gic::FailureModel;
+use solarstorm_sim::monte_carlo::{run_outcomes, MonteCarloConfig};
+use solarstorm_sim::SimError;
+use solarstorm_topology::algo;
+
+/// Min-cut between two countries, intact and after a storm outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairRobustness {
+    /// Source country code.
+    pub from: String,
+    /// Destination country code.
+    pub to: String,
+    /// Segments in the minimum cut with every cable alive.
+    pub intact_cut: usize,
+    /// Segments in the minimum cut after one sampled storm outcome.
+    pub surviving_cut: usize,
+}
+
+/// Country pairs the paper's §4.3.4 narrative cares about.
+pub fn paper_pairs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("US", "GB"),
+        ("US", "JP"),
+        ("BR", "PT"),
+        ("SG", "IN"),
+        ("AU", "NZ"),
+        ("ZA", "PT"),
+        ("CN", "JP"),
+    ]
+}
+
+/// Computes intact and post-storm min-cuts for the given pairs.
+pub fn reproduce<M: FailureModel>(
+    data: &Datasets,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    pairs: &[(&str, &str)],
+) -> Result<Vec<PairRobustness>, SimError> {
+    let net = &data.submarine;
+    let outcomes = run_outcomes(net, model, cfg)?;
+    let outcome = outcomes.first().ok_or(SimError::InvalidConfig {
+        name: "trials",
+        message: "need at least one trial".into(),
+    })?;
+    let alive_all = |_e: solarstorm_topology::EdgeId| true;
+    let alive_after = net.edge_alive(&outcome.dead);
+    let mut out = Vec::with_capacity(pairs.len());
+    for (from, to) in pairs {
+        let sources = net.nodes_of_country(from);
+        let sinks = net.nodes_of_country(to);
+        if sources.is_empty() {
+            return Err(SimError::UnknownCountry((*from).to_string()));
+        }
+        if sinks.is_empty() {
+            return Err(SimError::UnknownCountry((*to).to_string()));
+        }
+        let intact =
+            algo::min_edge_cut(net.graph(), &sources, &sinks, alive_all).unwrap_or(usize::MAX);
+        let surviving =
+            algo::min_edge_cut(net.graph(), &sources, &sinks, &alive_after).unwrap_or(usize::MAX);
+        out.push(PairRobustness {
+            from: (*from).to_string(),
+            to: (*to).to_string(),
+            intact_cut: intact,
+            surviving_cut: surviving,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the robustness table.
+pub fn render_table(rows: &[PairRobustness]) -> String {
+    let mut out = String::from("Min cable-segment cuts between regions\n");
+    out.push_str(&format!(
+        "{:<6} {:<6} {:>12} {:>16}\n",
+        "from", "to", "intact cut", "after storm"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:<6} {:>12} {:>16}\n",
+            r.from, r.to, r.intact_cut, r.surviving_cut
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+
+    fn cfg() -> MonteCarloConfig {
+        MonteCarloConfig {
+            spacing_km: 150.0,
+            trials: 1,
+            seed: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn intact_cuts_are_positive_for_connected_pairs() {
+        let data = Datasets::small_cached();
+        let model = UniformFailure::new(0.0).unwrap();
+        let rows = reproduce(&data, &model, &cfg(), &paper_pairs()).unwrap();
+        assert_eq!(rows.len(), paper_pairs().len());
+        for r in &rows {
+            // With nothing dead, surviving == intact.
+            assert_eq!(r.intact_cut, r.surviving_cut, "{}-{}", r.from, r.to);
+            assert!(
+                r.intact_cut > 0,
+                "{}-{} disconnected at baseline",
+                r.from,
+                r.to
+            );
+        }
+    }
+
+    #[test]
+    fn storms_only_shrink_cuts() {
+        let data = Datasets::small_cached();
+        let rows = reproduce(&data, &LatitudeBandFailure::s1(), &cfg(), &paper_pairs()).unwrap();
+        for r in &rows {
+            assert!(
+                r.surviving_cut <= r.intact_cut,
+                "{}-{}: {} > {}",
+                r.from,
+                r.to,
+                r.surviving_cut,
+                r.intact_cut
+            );
+        }
+    }
+
+    #[test]
+    fn us_europe_margin_collapses_under_s1() {
+        let data = Datasets::small_cached();
+        let rows = reproduce(&data, &LatitudeBandFailure::s1(), &cfg(), &[("US", "GB")]).unwrap();
+        let r = &rows[0];
+        // The transatlantic corridor loses most of its margin.
+        assert!(
+            (r.surviving_cut as f64) < 0.5 * r.intact_cut as f64 + 1.0,
+            "US-GB cut {} -> {}",
+            r.intact_cut,
+            r.surviving_cut
+        );
+    }
+
+    #[test]
+    fn unknown_country_errors() {
+        let data = Datasets::small_cached();
+        let model = UniformFailure::new(0.0).unwrap();
+        assert!(reproduce(&data, &model, &cfg(), &[("XX", "GB")]).is_err());
+    }
+
+    #[test]
+    fn table_renders() {
+        let data = Datasets::small_cached();
+        let model = UniformFailure::new(0.0).unwrap();
+        let rows = reproduce(&data, &model, &cfg(), &[("AU", "NZ")]).unwrap();
+        let t = render_table(&rows);
+        assert!(t.contains("AU"));
+        assert!(t.contains("intact cut"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Small statistics helpers shared by the figure modules.
+
+/// Percentile of a sample (nearest-rank on a sorted copy), `p ∈ [0, 100]`.
+/// Returns `None` for an empty sample or out-of-range `p`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Empirical CDF points `(value, fraction ≤ value)` suitable for
+/// plotting, one point per sample.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&v, 101.0), None);
+    }
+
+    #[test]
+    fn percentile_is_order_free() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Systems-resilience analysis (§4.4): hyperscale data centers and DNS
+//! root servers.
+
+use crate::Datasets;
+use serde::{Deserialize, Serialize};
+use solarstorm_data::cities::Continent;
+use solarstorm_data::datacenters::{self, DataCenter, Operator};
+use solarstorm_data::dns;
+use solarstorm_geo::{percent_points_above_abs_lat, GeoPoint};
+
+/// Resilience summary of a data-center fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Operator.
+    pub operator: Operator,
+    /// Total sites.
+    pub sites: usize,
+    /// Continents covered.
+    pub continents: usize,
+    /// Percentage of sites above 40° absolute latitude.
+    pub pct_above_40: f64,
+    /// Percentage of sites in the southern hemisphere.
+    pub pct_southern: f64,
+    /// Latitude spread (max − min site latitude, degrees).
+    pub latitude_spread_deg: f64,
+    /// Composite resilience score in `[0, 1]`: higher is better. Rewards
+    /// continent diversity, low-latitude share and hemispheric balance.
+    pub resilience_score: f64,
+}
+
+fn summarize(operator: Operator, fleet: &[DataCenter]) -> FleetSummary {
+    let pts: Vec<GeoPoint> = fleet.iter().map(|d| d.location).collect();
+    let pct_above_40 = percent_points_above_abs_lat(&pts, 40.0);
+    let southern = pts.iter().filter(|p| p.lat_deg() < 0.0).count();
+    let pct_southern = 100.0 * southern as f64 / pts.len().max(1) as f64;
+    let max_lat = pts.iter().map(|p| p.lat_deg()).fold(f64::MIN, f64::max);
+    let min_lat = pts.iter().map(|p| p.lat_deg()).fold(f64::MAX, f64::min);
+    let continents = datacenters::continents(fleet).len();
+    // Score: continent coverage (up to 6) 50%, low-latitude share 30%,
+    // southern-hemisphere presence 20%.
+    let score = 0.5 * continents as f64 / 6.0
+        + 0.3 * (1.0 - pct_above_40 / 100.0)
+        + 0.2 * (pct_southern / 100.0).min(0.5) * 2.0;
+    FleetSummary {
+        operator,
+        sites: fleet.len(),
+        continents,
+        pct_above_40,
+        pct_southern,
+        latitude_spread_deg: (max_lat - min_lat).max(0.0),
+        resilience_score: score,
+    }
+}
+
+/// Compares the Google and Facebook fleets (§4.4.2).
+pub fn datacenter_comparison() -> (FleetSummary, FleetSummary) {
+    (
+        summarize(Operator::Google, &datacenters::google()),
+        summarize(Operator::Facebook, &datacenters::facebook()),
+    )
+}
+
+/// DNS resilience summary (§4.4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnsSummary {
+    /// Total instances.
+    pub instances: usize,
+    /// Root letters covered.
+    pub roots: usize,
+    /// Instances per continent.
+    pub per_continent: Vec<(Continent, usize)>,
+    /// Percentage of instances above 40°.
+    pub pct_above_40: f64,
+    /// Countries hosting at least one instance.
+    pub countries: usize,
+}
+
+/// Summarizes the DNS root-server deployment.
+pub fn dns_summary(data: &Datasets) -> DnsSummary {
+    let pts: Vec<GeoPoint> = data.dns.iter().map(|i| i.location).collect();
+    let mut roots: Vec<char> = data.dns.iter().map(|i| i.root).collect();
+    roots.sort();
+    roots.dedup();
+    let mut countries: Vec<&str> = data.dns.iter().map(|i| i.country.as_str()).collect();
+    countries.sort();
+    countries.dedup();
+    DnsSummary {
+        instances: data.dns.len(),
+        roots: roots.len(),
+        per_continent: dns::instances_per_continent(&data.dns),
+        pct_above_40: percent_points_above_abs_lat(&pts, 40.0),
+        countries: countries.len(),
+    }
+}
+
+/// Renders the §4.4 comparison as a text table.
+pub fn render_report(data: &Datasets) -> String {
+    let (google, facebook) = datacenter_comparison();
+    let dns = dns_summary(data);
+    let mut out = String::from("Systems resilience (§4.4)\n\n");
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>8}\n",
+        "data centers", "Google", "Facebook"
+    ));
+    for (label, g, f) in [
+        ("sites", google.sites as f64, facebook.sites as f64),
+        (
+            "continents",
+            google.continents as f64,
+            facebook.continents as f64,
+        ),
+        ("% above 40°", google.pct_above_40, facebook.pct_above_40),
+        ("% southern", google.pct_southern, facebook.pct_southern),
+        (
+            "lat spread (deg)",
+            google.latitude_spread_deg,
+            facebook.latitude_spread_deg,
+        ),
+        (
+            "resilience score",
+            google.resilience_score,
+            facebook.resilience_score,
+        ),
+    ] {
+        out.push_str(&format!("{label:<22} {g:>8.2} {f:>8.2}\n"));
+    }
+    out.push_str(&format!(
+        "\nDNS: {} instances, {} roots, {} countries, {:.1}% above 40°\n",
+        dns.instances, dns.roots, dns.countries, dns.pct_above_40
+    ));
+    for (cont, n) in &dns.per_continent {
+        out.push_str(&format!("  {:<14} {n}\n", cont.label()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn google_more_resilient_than_facebook() {
+        // §4.4.2's conclusion.
+        let (google, facebook) = datacenter_comparison();
+        assert!(
+            google.resilience_score > facebook.resilience_score,
+            "google {} vs facebook {}",
+            google.resilience_score,
+            facebook.resilience_score
+        );
+        assert!(google.continents > facebook.continents);
+        assert!(google.pct_southern > facebook.pct_southern);
+    }
+
+    #[test]
+    fn facebook_skews_north() {
+        let (_, facebook) = datacenter_comparison();
+        assert_eq!(facebook.pct_southern, 0.0);
+        assert!(facebook.pct_above_40 > 20.0);
+    }
+
+    #[test]
+    fn dns_is_widely_distributed() {
+        // §4.4.3: highly geo-distributed, hence resilient.
+        let data = Datasets::small_cached();
+        let dns = dns_summary(&data);
+        assert_eq!(dns.instances, 1_076);
+        assert_eq!(dns.roots, 13);
+        assert!(dns.countries >= 40);
+        assert!(dns.per_continent.iter().all(|(_, n)| *n > 0));
+    }
+
+    #[test]
+    fn report_mentions_both_operators() {
+        let data = Datasets::small_cached();
+        let report = render_report(&data);
+        assert!(report.contains("Google"));
+        assert!(report.contains("Facebook"));
+        assert!(report.contains("DNS"));
+    }
+}

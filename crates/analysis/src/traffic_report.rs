@@ -1,0 +1,201 @@
+//! Traffic-shift analysis (§5.5, completed): inter-regional demand
+//! rerouting after a storm and the overloads it causes.
+//!
+//! The paper's example: when New York's submarine cables fail, BGP paths
+//! shift and California's cables risk overload. We build a gravity
+//! demand matrix between the major landing hubs of each continent,
+//! route it over the submarine network before and after a storm
+//! outcome, and report the load growth on the survivors.
+
+use crate::Datasets;
+use serde::{Deserialize, Serialize};
+use solarstorm_data::cities::{self, Continent};
+use solarstorm_geo::haversine_km;
+use solarstorm_gic::FailureModel;
+use solarstorm_sim::monte_carlo::{run_outcomes, MonteCarloConfig};
+use solarstorm_sim::traffic::{self, Demand};
+use solarstorm_sim::SimError;
+use solarstorm_topology::NodeId;
+
+/// Result of the traffic study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Failure-model name.
+    pub model: String,
+    /// Volume routed before the storm.
+    pub routed_before: f64,
+    /// Volume routed after.
+    pub routed_after: f64,
+    /// Volume stranded after (no surviving path).
+    pub stranded_after: f64,
+    /// Number of surviving cables whose load at least doubled.
+    pub overloaded_cables: usize,
+    /// Largest load-growth ratio on a surviving cable.
+    pub max_growth: f64,
+}
+
+/// Picks one hub landing station per major continent-anchored city:
+/// the station nearest each of a fixed set of hub cities, weighted by
+/// rough inter-regional traffic volumes.
+pub fn continental_hubs(data: &Datasets) -> Vec<(NodeId, f64)> {
+    // (hub city, relative traffic weight)
+    let hubs = [
+        ("New York", 3.0),
+        ("Miami", 1.5),
+        ("Los Angeles", 2.0),
+        ("London", 3.0),
+        ("Marseille", 1.5),
+        ("Singapore", 2.5),
+        ("Tokyo", 2.0),
+        ("Mumbai", 1.5),
+        ("Fortaleza", 1.0),
+        ("Sydney", 1.0),
+        ("Lagos", 0.7),
+        ("Cape Town", 0.5),
+    ];
+    // Restrict hub stations to the intact network's giant component:
+    // synthetic festoons near a hub city may be physically close but
+    // not part of the interconnected core.
+    let all_alive = vec![false; data.submarine.cable_count()];
+    let (labels, count) = data.submarine.surviving_components(&all_alive);
+    let mut sizes = vec![0usize; count];
+    for l in &labels {
+        sizes[*l] += 1;
+    }
+    let giant = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| **s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let mut out = Vec::new();
+    for (name, w) in hubs {
+        let Some(city) = cities::find_city(name) else {
+            continue;
+        };
+        // Nearest landing station inside the giant component.
+        let best = data
+            .submarine
+            .nodes()
+            .filter(|(id, _)| labels[id.0] == giant)
+            .min_by(|a, b| {
+                haversine_km(a.1.location, city.location())
+                    .total_cmp(&haversine_km(b.1.location, city.location()))
+            })
+            .map(|(id, _)| id);
+        if let Some(id) = best {
+            out.push((id, w));
+        }
+    }
+    out
+}
+
+/// Demand matrix between the continental hubs.
+pub fn demands(data: &Datasets) -> Vec<Demand> {
+    traffic::gravity_demands(&continental_hubs(data), 1.0)
+}
+
+/// Runs the study: first Monte Carlo outcome of the model vs baseline.
+pub fn reproduce<M: FailureModel>(
+    data: &Datasets,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<TrafficReport, SimError> {
+    let dem = demands(data);
+    let outcomes = run_outcomes(&data.submarine, model, cfg)?;
+    let outcome = outcomes.first().ok_or(SimError::InvalidConfig {
+        name: "trials",
+        message: "need at least one trial".into(),
+    })?;
+    let shift = traffic::shift(&data.submarine, &dem, &outcome.dead, 2.0)?;
+    Ok(TrafficReport {
+        model: model.name(),
+        routed_before: shift.before.routed_volume,
+        routed_after: shift.after.routed_volume,
+        stranded_after: shift.after.stranded_volume,
+        overloaded_cables: shift.overloaded.len(),
+        max_growth: shift.max_growth,
+    })
+}
+
+/// Renders the report.
+pub fn render_table(r: &TrafficReport) -> String {
+    format!(
+        "Traffic shift under {}\n\
+         routed volume: {:.1} -> {:.1} (stranded {:.1})\n\
+         surviving cables with >=2x load growth: {}\n\
+         worst load growth on a surviving cable: {:.1}x\n",
+        r.model,
+        r.routed_before,
+        r.routed_after,
+        r.stranded_after,
+        r.overloaded_cables,
+        r.max_growth
+    )
+}
+
+/// Continent of a node's country, if known (exposed for custom demand
+/// construction).
+pub fn node_continent(data: &Datasets, node: NodeId) -> Option<Continent> {
+    let info = data.submarine.node(node)?;
+    cities::country(&info.country).map(|c| c.continent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+
+    fn cfg() -> MonteCarloConfig {
+        MonteCarloConfig {
+            spacing_km: 150.0,
+            trials: 1,
+            seed: 21,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hubs_resolve_to_distinct_stations() {
+        let data = Datasets::small_cached();
+        let hubs = continental_hubs(&data);
+        assert!(hubs.len() >= 10);
+        let mut ids: Vec<NodeId> = hubs.iter().map(|(id, _)| *id).collect();
+        ids.sort();
+        ids.dedup();
+        assert!(ids.len() >= 10, "hub stations should be distinct");
+    }
+
+    #[test]
+    fn baseline_routes_everything() {
+        let data = Datasets::small_cached();
+        let model = UniformFailure::new(0.0).unwrap();
+        let r = reproduce(&data, &model, &cfg()).unwrap();
+        assert_eq!(r.routed_after, r.routed_before);
+        assert_eq!(r.stranded_after, 0.0);
+        // The giant component connects all hubs in the generated network.
+        assert!(r.routed_before > 0.0);
+    }
+
+    #[test]
+    fn storm_strands_or_shifts_traffic() {
+        let data = Datasets::small_cached();
+        let r = reproduce(&data, &LatitudeBandFailure::s1(), &cfg()).unwrap();
+        assert!(r.routed_after <= r.routed_before);
+        // Either some volume strands or load concentrates on survivors.
+        assert!(
+            r.stranded_after > 0.0 || r.max_growth > 1.0,
+            "storm must visibly shift traffic: {r:?}"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let data = Datasets::small_cached();
+        let r = reproduce(&data, &LatitudeBandFailure::s2(), &cfg()).unwrap();
+        let table = render_table(&r);
+        assert!(table.contains("Traffic shift"));
+        assert!(table.contains("load growth"));
+    }
+}

@@ -1,0 +1,45 @@
+//! A2 ablation: §5.2 shutdown strategy — powered vs powered-off fleets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::sim::mitigation;
+use solarstorm::sim::monte_carlo::MonteCarloConfig;
+use solarstorm::StormClass;
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    let net = &s.datasets().submarine;
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 42,
+        ..Default::default()
+    };
+    println!("\nshutdown ablation (submarine, 150 km spacing):");
+    for class in StormClass::ALL {
+        let out = mitigation::shutdown_ablation(net, class, &cfg).expect("ablation");
+        println!(
+            "  {:?}: powered {:.1}% -> shutdown {:.1}% (saved {:.1} pts)",
+            class,
+            out.powered.mean_cables_failed_pct,
+            out.shutdown.mean_cables_failed_pct,
+            out.cables_saved_pct
+        );
+    }
+    c.bench_function("shutdown_ablation_severe", |b| {
+        b.iter(|| {
+            black_box(mitigation::shutdown_ablation(net, StormClass::Severe, &cfg).expect("run"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! A1 ablation: physics-based failure model vs the paper's probabilistic
+//! models, per storm class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+use solarstorm::{LatitudeBandFailure, PhysicsFailure, StormClass};
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    let net = &s.datasets().submarine;
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 42,
+        ..Default::default()
+    };
+    println!("\nphysics-chain vs banded-probability failure rates (submarine):");
+    for class in StormClass::ALL {
+        let physics = run(net, &PhysicsFailure::calibrated(class), &cfg).expect("run");
+        println!(
+            "  {:?}: physics {:.1}% cables failed",
+            class, physics.mean_cables_failed_pct
+        );
+    }
+    for (name, model) in [
+        ("S1", LatitudeBandFailure::s1()),
+        ("S2", LatitudeBandFailure::s2()),
+    ] {
+        let stats = run(net, &model, &cfg).expect("run");
+        println!(
+            "  {name}: banded {:.1}% cables failed",
+            stats.mean_cables_failed_pct
+        );
+    }
+    c.bench_function("physics_model_extreme", |b| {
+        b.iter(|| {
+            black_box(
+                run(net, &PhysicsFailure::calibrated(StormClass::Extreme), &cfg).expect("run"),
+            )
+        })
+    });
+    c.bench_function("banded_model_s1", |b| {
+        b.iter(|| black_box(run(net, &LatitudeBandFailure::s1(), &cfg).expect("run")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

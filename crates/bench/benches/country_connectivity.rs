@@ -1,0 +1,42 @@
+//! E8 / §4.3.4: country-scale connectivity under S1/S2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::analysis::countries::{self, FailureState};
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    for state in [FailureState::S2, FailureState::S1] {
+        let reports = countries::reproduce(s.datasets(), state, 20, 42).expect("country grid");
+        println!("\n{}", countries::render_table(state, &reports));
+    }
+    // Timing target: one country report (US under S1).
+    use solarstorm::sim::country::country_report;
+    use solarstorm::sim::monte_carlo::MonteCarloConfig;
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 42,
+        ..Default::default()
+    };
+    let net = &s.datasets().submarine;
+    c.bench_function("country_report_us_s1", |b| {
+        b.iter(|| {
+            black_box(
+                country_report(net, &FailureState::S1.model(), &cfg, "US", &["GB", "JP"])
+                    .expect("report"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Extension bench (§3.2.2): post-storm repair campaign, per strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::sim::monte_carlo::run_outcomes;
+use solarstorm::sim::repair::{self, RepairFleet, RepairStrategy};
+use solarstorm::{PhysicsFailure, StormClass};
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    let net = &s.datasets().submarine;
+    let model = PhysicsFailure::calibrated(StormClass::Extreme);
+    let outcome = &run_outcomes(net, &model, &s.mc_config(150.0)).expect("trials")[0];
+    println!(
+        "\nCarrington impact: {} of {} cables down; fleet of {} ships",
+        outcome.dead.iter().filter(|d| **d).count(),
+        net.cable_count(),
+        RepairFleet::default().ships
+    );
+    for strategy in RepairStrategy::ALL {
+        let out = repair::simulate_repairs(net, &outcome.dead, &RepairFleet::default(), strategy)
+            .expect("campaign");
+        println!(
+            "  {:<22} 50% cables {:>6.0} d | 95% nodes {:>6.0} d | complete {:>6.0} d",
+            out.strategy.label(),
+            out.days_to_50pct_cables,
+            out.days_to_95pct_nodes,
+            out.total_days
+        );
+    }
+    c.bench_function("repair_campaign_shortest_first", |b| {
+        b.iter(|| {
+            black_box(
+                repair::simulate_repairs(
+                    net,
+                    &outcome.dead,
+                    &RepairFleet::default(),
+                    RepairStrategy::ShortestFirst,
+                )
+                .expect("campaign"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

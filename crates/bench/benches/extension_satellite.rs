@@ -1,0 +1,55 @@
+//! Extension bench (§3.3): LEO constellation storm impact per class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use solarstorm::sat::{storm_impact, Constellation, DragModel, ServiceModel};
+use solarstorm::StormClass;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let constellation = Constellation::starlink_like();
+    let drag = DragModel::calibrated();
+    let service = ServiceModel::default();
+    println!(
+        "\nstorm impact on a {}-satellite constellation:",
+        constellation.count()
+    );
+    for class in StormClass::ALL {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let impact =
+            storm_impact(&constellation, &drag, &service, class, &mut rng).expect("impact");
+        println!(
+            "  {:?}: {:.1}% lost ({:.1}% electronics, {:.1}% decay)",
+            class,
+            100.0 * impact.total_lost,
+            100.0 * impact.electronics_lost,
+            100.0 * impact.decay_lost
+        );
+    }
+    c.bench_function("satellite_storm_impact_extreme", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha12Rng::seed_from_u64(7);
+            black_box(
+                storm_impact(
+                    &constellation,
+                    &drag,
+                    &service,
+                    StormClass::Extreme,
+                    &mut rng,
+                )
+                .expect("impact"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E1 / Fig. 3: PDF of population and submarine endpoints vs latitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm_bench::{show, study};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    show(&s.fig3());
+    c.bench_function("fig3_latitude_pdf", |b| b.iter(|| black_box(s.fig3())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E2+E3 / Fig. 4: infrastructure above latitude thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm_bench::{show, study};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    show(&s.fig4a());
+    show(&s.fig4b());
+    c.bench_function("fig4a_cable_endpoints", |b| b.iter(|| black_box(s.fig4a())));
+    c.bench_function("fig4b_other_infrastructure", |b| {
+        b.iter(|| black_box(s.fig4b()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

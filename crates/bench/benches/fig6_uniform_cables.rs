@@ -1,0 +1,38 @@
+//! E5 / Fig. 6: % cables failed under uniform repeater-failure
+//! probability, three spacings, three networks, 10 trials per point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm_bench::{show, study};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    for spacing in [50.0, 100.0, 150.0] {
+        show(&s.fig6(spacing).expect("fig6 panel"));
+    }
+    // Timing target: one sweep point (p=0.01, 150 km, submarine) — the
+    // unit of work the full panel is made of.
+    use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+    use solarstorm::UniformFailure;
+    let model = UniformFailure::new(0.01).expect("probability");
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 42,
+        ..Default::default()
+    };
+    let net = &s.datasets().submarine;
+    c.bench_function("fig6_sweep_point_submarine", |b| {
+        b.iter(|| black_box(run(net, &model, &cfg).expect("trials")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

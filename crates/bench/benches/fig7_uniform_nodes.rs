@@ -1,0 +1,36 @@
+//! E6 / Fig. 7: % nodes unreachable under uniform repeater failure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm_bench::{show, study};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    for spacing in [50.0, 100.0, 150.0] {
+        show(&s.fig7(spacing).expect("fig7 panel"));
+    }
+    // Timing target: one sweep point on the largest network (ITU).
+    use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+    use solarstorm::UniformFailure;
+    let model = UniformFailure::new(0.01).expect("probability");
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 42,
+        ..Default::default()
+    };
+    let net = &s.datasets().itu;
+    c.bench_function("fig7_sweep_point_itu", |b| {
+        b.iter(|| black_box(run(net, &model, &cfg).expect("trials")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

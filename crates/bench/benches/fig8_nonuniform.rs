@@ -1,0 +1,46 @@
+//! E7 / Fig. 8: S1/S2 latitude-banded failures across spacings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::analysis::fig8;
+use solarstorm_bench::{show, study};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    let pts = fig8::reproduce_points(s.datasets(), 10, 42).expect("fig8 grid");
+    show(&fig8::to_figure(&pts));
+    println!("  state spacing network  cables% nodes%");
+    for p in &pts {
+        println!(
+            "  {:>4} {:>6.0}km {:<10} {:>6.1} {:>6.1}",
+            p.state,
+            p.spacing_km,
+            p.network,
+            p.stats.mean_cables_failed_pct,
+            p.stats.mean_nodes_unreachable_pct
+        );
+    }
+    // Timing target: one grid cell (S1, submarine, 150 km).
+    use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+    use solarstorm::LatitudeBandFailure;
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 42,
+        ..Default::default()
+    };
+    let net = &s.datasets().submarine;
+    c.bench_function("fig8_grid_cell_s1_submarine", |b| {
+        b.iter(|| black_box(run(net, &LatitudeBandFailure::s1(), &cfg).expect("trials")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E9+E10 / Fig. 9: AS reach above thresholds and AS latitude-spread CDF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm_bench::{show, study};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    show(&s.fig9a());
+    show(&s.fig9b());
+    c.bench_function("fig9a_as_reach", |b| b.iter(|| black_box(s.fig9a())));
+    c.bench_function("fig9b_as_spread_cdf", |b| b.iter(|| black_box(s.fig9b())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

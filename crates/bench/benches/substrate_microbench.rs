@@ -1,0 +1,55 @@
+//! Substrate micro-benchmarks: the primitives every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::geo::{haversine_km, GeoPoint, Polyline};
+use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+use solarstorm::topology::algo;
+use solarstorm::UniformFailure;
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    let net = &s.datasets().submarine;
+
+    let a = GeoPoint::new(40.7, -74.0).unwrap();
+    let b = GeoPoint::new(51.5, -0.1).unwrap();
+    c.bench_function("haversine_km", |bch| {
+        bch.iter(|| black_box(haversine_km(black_box(a), black_box(b))))
+    });
+
+    let route = Polyline::straight(a, b);
+    c.bench_function("polyline_sample_100km", |bch| {
+        bch.iter(|| black_box(route.sample_every_km(100.0).unwrap()))
+    });
+
+    c.bench_function("connected_components_submarine", |bch| {
+        bch.iter(|| black_box(algo::connected_components(net.graph(), |_| true)))
+    });
+
+    let model = UniformFailure::new(0.01).unwrap();
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 1,
+        ..Default::default()
+    };
+    c.bench_function("monte_carlo_10_trials_submarine", |bch| {
+        bch.iter(|| black_box(run(net, &model, &cfg).unwrap()))
+    });
+
+    let itu = &s.datasets().itu;
+    c.bench_function("monte_carlo_10_trials_itu_11737_links", |bch| {
+        bch.iter(|| black_box(run(itu, &model, &cfg).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

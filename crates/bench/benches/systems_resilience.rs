@@ -1,0 +1,26 @@
+//! E11+E12+E13 / §4.4 and §4.2: systems resilience and headline table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::analysis::headline;
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    println!("\n{}", s.systems_report());
+    println!("{}", headline::render_table(&s.headline()));
+    c.bench_function("headline_table", |b| b.iter(|| black_box(s.headline())));
+    c.bench_function("systems_report", |b| {
+        b.iter(|| black_box(s.systems_report()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Benchmarks operate on the paper-scale datasets; they are built once
+//! per process and shared. Each bench prints the reproduced figure or
+//! table once (outside the timing loop) so `cargo bench` regenerates the
+//! paper's results alongside the timings.
+
+use solarstorm::Study;
+
+/// Paper-scale study, built once.
+pub fn study() -> &'static Study {
+    static CACHE: std::sync::OnceLock<Study> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Study::paper_scale().expect("paper-scale datasets build"))
+}
+
+/// Prints a figure header plus its ASCII render once.
+pub fn show(fig: &solarstorm::Figure) {
+    println!("\n================ reproduced {} ================", fig.id);
+    println!("{}", fig.render_ascii(76, 18));
+}

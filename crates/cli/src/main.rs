@@ -1,0 +1,472 @@
+//! `stormsim` — command-line driver for the solarstorm experiments.
+//!
+//! Every table and figure of the SIGCOMM 2021 paper can be regenerated
+//! from here; figures print as ASCII or export as CSV.
+
+use solarstorm::analysis::countries::{self, FailureState};
+use solarstorm::analysis::{arctic, registry, robustness};
+use solarstorm::analysis::{
+    as_impact, economics, headline, maps, partition_report, risk, traffic_report,
+};
+use solarstorm::data::io;
+use solarstorm::sim::cascade::{self, GridFailureModel};
+use solarstorm::sim::isolation::{self, CouplingModel};
+use solarstorm::sim::mitigation;
+use solarstorm::sim::monte_carlo::run_outcomes;
+use solarstorm::sim::monte_carlo::MonteCarloConfig;
+use solarstorm::sim::repair::{self, RepairFleet, RepairStrategy};
+use solarstorm::sim::timeline;
+use solarstorm::PhysicsFailure;
+use solarstorm::{Cme, Figure, LatitudeBandFailure, StormClass, Study};
+
+const USAGE: &str = "\
+stormsim — regenerate the experiments of 'Solar Superstorms: Planning for
+an Internet Apocalypse' (SIGCOMM 2021)
+
+USAGE: stormsim <command> [options]
+
+COMMANDS
+  fig3            latitude PDFs of population and submarine endpoints
+  fig4a | fig4b   percentage of infrastructure above latitude thresholds
+  fig5            cable-length CDFs
+  fig6 | fig7     uniform repeater-failure sweeps (cables / nodes)
+  fig8            S1/S2 latitude-banded failure grid
+  fig9a | fig9b   AS reach and spread
+  stats           headline statistics, paper vs measured
+  countries       country-scale connectivity under S1 and S2
+  systems         data-center + DNS resilience report
+  mitigate        shutdown ablation per storm class (§5.2)
+  cascade         power-grid coupling analysis (§5.5)
+  repair          post-storm cable-ship campaign, per strategy (§3.2.2)
+  partitions      surviving partitions + functional inventory (§5.3)
+  traffic         traffic shifts and overloads (§5.5)
+  satellite       LEO constellation storm impact (§3.3)
+  asimpact        AS impact via synthesized AS-to-cable mapping (§4.4.1)
+  map             ASCII world maps of infrastructure (Figs. 1-2)
+  risk            extreme-impact risk per coming decade (§2.3)
+  isolate         electrical-isolation ablation (§5.1)
+  economics       economic-impact estimate (§1 anchor: $7B/day US)
+  timeline        hour-by-hour failure accumulation during a storm
+  robustness      min cable cuts between regions, intact vs after storm
+  arctic          Arctic vs southern route tradeoff (§5.1)
+  index           list every registered experiment
+  export          dump the generated networks as JSON
+  all             run everything
+
+OPTIONS
+  --full            paper-scale datasets (default: scaled test datasets)
+  --trials N        Monte Carlo trials per point (default 10)
+  --seed N          base RNG seed (default 42)
+  --spacing KM      repeater spacing for fig6/fig7 (default 150)
+  --csv             print figures as CSV instead of ASCII
+";
+
+struct Opts {
+    full: bool,
+    trials: usize,
+    seed: u64,
+    spacing: f64,
+    csv: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        full: false,
+        trials: 10,
+        seed: 42,
+        spacing: 150.0,
+        csv: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--csv" => opts.csv = true,
+            "--trials" => {
+                opts.trials = it
+                    .next()
+                    .ok_or("--trials needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--spacing" => {
+                opts.spacing = it
+                    .next()
+                    .ok_or("--spacing needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--spacing: {e}"))?;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn show(fig: &Figure, csv: bool) {
+    if csv {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("{}", fig.render_ascii(78, 20));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&command, &opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(command: &str, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    if command == "help" || command == "--help" || command == "-h" {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    if command == "index" {
+        print!("{}", registry::render_index());
+        return Ok(());
+    }
+    eprintln!(
+        "building {} datasets…",
+        if opts.full {
+            "paper-scale"
+        } else {
+            "test-scale"
+        }
+    );
+    let mut study = if opts.full {
+        Study::paper_scale()?
+    } else {
+        Study::test_scale()?
+    };
+    study.trials = opts.trials;
+    study.seed = opts.seed;
+
+    match command {
+        "fig3" => show(&study.fig3(), opts.csv),
+        "fig4a" => show(&study.fig4a(), opts.csv),
+        "fig4b" => show(&study.fig4b(), opts.csv),
+        "fig5" => show(&study.fig5(), opts.csv),
+        "fig6" => show(&study.fig6(opts.spacing)?, opts.csv),
+        "fig7" => show(&study.fig7(opts.spacing)?, opts.csv),
+        "fig8" => show(&study.fig8()?, opts.csv),
+        "fig9a" => show(&study.fig9a(), opts.csv),
+        "fig9b" => show(&study.fig9b(), opts.csv),
+        "stats" => print!("{}", headline::render_table(&study.headline())),
+        "countries" => {
+            for state in [FailureState::S2, FailureState::S1] {
+                let reports = study.countries(state)?;
+                println!("{}", countries::render_table(state, &reports));
+            }
+        }
+        "systems" => print!("{}", study.systems_report()),
+        "mitigate" => {
+            let net = &study.datasets().submarine;
+            let cfg = MonteCarloConfig {
+                spacing_km: opts.spacing,
+                trials: opts.trials,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            println!(
+                "{:<10} {:>16} {:>16} {:>12} {:>14}",
+                "class", "powered fail%", "shutdown fail%", "saved pts", "lead time h"
+            );
+            for class in StormClass::ALL {
+                let out = mitigation::shutdown_ablation(net, class, &cfg)?;
+                let cme = Cme::typical(class);
+                println!(
+                    "{:<10} {:>16.1} {:>16.1} {:>12.1} {:>14.1}",
+                    format!("{class:?}"),
+                    out.powered.mean_cables_failed_pct,
+                    out.shutdown.mean_cables_failed_pct,
+                    out.cables_saved_pct,
+                    cme.lead_time_hours(1.0),
+                );
+            }
+        }
+        "cascade" => {
+            let net = &study.datasets().submarine;
+            let cfg = MonteCarloConfig {
+                spacing_km: opts.spacing,
+                trials: opts.trials,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            for (label, grid) in [
+                ("moderate", GridFailureModel::moderate()),
+                ("severe", GridFailureModel::severe()),
+            ] {
+                let s = cascade::run_coupled(net, &LatitudeBandFailure::s2(), &grid, &cfg)?;
+                println!(
+                    "{label}: cables {:.1}% -> {:.1}% with grid coupling; stations dark {:.1}%",
+                    s.mean_cables_failed_repeaters_pct,
+                    s.mean_cables_failed_coupled_pct,
+                    s.mean_stations_dark_pct
+                );
+            }
+        }
+        "repair" => {
+            let net = &study.datasets().submarine;
+            let cfg = study.mc_config(opts.spacing);
+            let model = PhysicsFailure::calibrated(StormClass::Extreme);
+            let outcome = &run_outcomes(net, &model, &cfg)?[0];
+            println!(
+                "Carrington-class impact: {} of {} cables down. Fleet: {} ships.",
+                outcome.dead.iter().filter(|d| **d).count(),
+                net.cable_count(),
+                RepairFleet::default().ships
+            );
+            for strategy in RepairStrategy::ALL {
+                let out = repair::simulate_repairs(
+                    net,
+                    &outcome.dead,
+                    &RepairFleet::default(),
+                    strategy,
+                )?;
+                println!(
+                    "{:<22} 50% cables {:>6.0} d; 95% nodes {:>6.0} d; complete {:>6.0} d",
+                    out.strategy.label(),
+                    out.days_to_50pct_cables,
+                    out.days_to_95pct_nodes,
+                    out.total_days
+                );
+            }
+        }
+        "partitions" => {
+            for state in [FailureState::S2, FailureState::S1] {
+                let report = partition_report::reproduce(
+                    study.datasets(),
+                    &state.model(),
+                    &study.mc_config(opts.spacing),
+                    3,
+                )?;
+                println!("{}", partition_report::render_table(&report));
+            }
+        }
+        "traffic" => {
+            for state in [FailureState::S2, FailureState::S1] {
+                let report = traffic_report::reproduce(
+                    study.datasets(),
+                    &state.model(),
+                    &study.mc_config(opts.spacing),
+                )?;
+                println!("{}", traffic_report::render_table(&report));
+            }
+        }
+        "satellite" => {
+            println!(
+                "{:<10} {:>12} {:>12} {:>12}  service lost at",
+                "class", "total lost", "electronics", "decay"
+            );
+            for class in StormClass::ALL {
+                let impact = study.satellite_impact(class)?;
+                let lost: Vec<String> = impact
+                    .service_by_latitude
+                    .iter()
+                    .filter(|(_, ok)| !ok)
+                    .map(|(lat, _)| format!("{lat:.0}°"))
+                    .collect();
+                println!(
+                    "{:<10} {:>11.1}% {:>11.1}% {:>11.1}%  {}",
+                    format!("{class:?}"),
+                    100.0 * impact.total_lost,
+                    100.0 * impact.electronics_lost,
+                    100.0 * impact.decay_lost,
+                    if lost.is_empty() {
+                        "none".to_string()
+                    } else {
+                        lost.join(" ")
+                    }
+                );
+            }
+        }
+        "asimpact" => {
+            for state in [FailureState::S2, FailureState::S1] {
+                let report = as_impact::reproduce(
+                    study.datasets(),
+                    &state.model(),
+                    &study.mc_config(opts.spacing),
+                )?;
+                println!("{}", as_impact::render_table(&report));
+            }
+        }
+        "map" => {
+            println!(
+                "{}",
+                maps::fig1_infrastructure_map(study.datasets(), 110, 32)
+            );
+            println!("{}", maps::fig2_datacenter_map(110, 32));
+        }
+        "risk" => {
+            let risks = risk::decade_risks(2026.0, 6, 2_000, opts.seed)?;
+            print!("{}", risk::render_table(&risks));
+        }
+        "isolate" => {
+            for state in [FailureState::S2, FailureState::S1] {
+                let out = isolation::isolation_ablation(
+                    &study.datasets().submarine,
+                    &state.model(),
+                    &CouplingModel::default(),
+                    &study.mc_config(opts.spacing),
+                )?;
+                println!(
+                    "{}: isolated {:.1}% failed | without isolation {:.1}% failed | {:.1} cascades/trial",
+                    state.label(),
+                    out.isolated_cables_failed_pct,
+                    out.unisolated_cables_failed_pct,
+                    out.mean_cascades
+                );
+            }
+        }
+        "economics" => {
+            for state in [FailureState::S2, FailureState::S1] {
+                let e = economics::reproduce(
+                    study.datasets(),
+                    &state.model(),
+                    &study.mc_config(opts.spacing),
+                )?;
+                println!("{}", economics::render_table(&e));
+            }
+        }
+        "timeline" => {
+            for class in [
+                StormClass::Moderate,
+                StormClass::Severe,
+                StormClass::Extreme,
+            ] {
+                let tl = timeline::storm_timeline(
+                    &study.datasets().submarine,
+                    class,
+                    opts.spacing,
+                    opts.trials,
+                    opts.seed,
+                )?;
+                println!("\n{class:?} storm: hour | Dst (nT) | cables failed %");
+                for p in tl.iter().step_by(6) {
+                    println!(
+                        "  {:>6.1} | {:>8.0} | {:>6.1}",
+                        p.hour, p.dst_nt, p.cables_failed_pct
+                    );
+                }
+            }
+        }
+        "arctic" => {
+            print!("{}", arctic::render_table(&arctic::reproduce()?));
+        }
+        "robustness" => {
+            for state in [FailureState::S2, FailureState::S1] {
+                let rows = robustness::reproduce(
+                    study.datasets(),
+                    &state.model(),
+                    &study.mc_config(opts.spacing),
+                    &robustness::paper_pairs(),
+                )?;
+                println!("{}:\n{}", state.label(), robustness::render_table(&rows));
+            }
+        }
+        "export" => {
+            let d = study.datasets();
+            for (name, net) in [
+                ("submarine.json", &d.submarine),
+                ("intertubes.json", &d.intertubes),
+                ("itu.json", &d.itu),
+            ] {
+                std::fs::write(name, io::network_to_json(net)?)?;
+                eprintln!("wrote {name}");
+            }
+        }
+        "all" => {
+            print!("{}", headline::render_table(&study.headline()));
+            println!();
+            for fig in [study.fig3(), study.fig4a(), study.fig4b(), study.fig5()] {
+                show(&fig, opts.csv);
+            }
+            for spacing in [50.0, 100.0, 150.0] {
+                show(&study.fig6(spacing)?, opts.csv);
+                show(&study.fig7(spacing)?, opts.csv);
+            }
+            show(&study.fig8()?, opts.csv);
+            show(&study.fig9a(), opts.csv);
+            show(&study.fig9b(), opts.csv);
+            for state in [FailureState::S2, FailureState::S1] {
+                let reports = study.countries(state)?;
+                println!("{}", countries::render_table(state, &reports));
+            }
+            print!("{}", study.systems_report());
+        }
+        other => {
+            eprintln!("unknown command {other}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let o = parse_opts(&[]).unwrap();
+        assert!(!o.full);
+        assert!(!o.csv);
+        assert_eq!(o.trials, 10);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.spacing, 150.0);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let o = parse_opts(&args(&[
+            "--full",
+            "--csv",
+            "--trials",
+            "7",
+            "--seed",
+            "99",
+            "--spacing",
+            "50",
+        ]))
+        .unwrap();
+        assert!(o.full);
+        assert!(o.csv);
+        assert_eq!(o.trials, 7);
+        assert_eq!(o.seed, 99);
+        assert_eq!(o.spacing, 50.0);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse_opts(&args(&["--bogus"])).is_err());
+        assert!(parse_opts(&args(&["--trials"])).is_err());
+        assert!(parse_opts(&args(&["--trials", "abc"])).is_err());
+        assert!(parse_opts(&args(&["--spacing", "x"])).is_err());
+    }
+}

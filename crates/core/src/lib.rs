@@ -1,0 +1,255 @@
+//! `solarstorm` — a toolkit for analyzing Internet resilience against
+//! solar superstorms.
+//!
+//! This library is a full reimplementation of the analysis system behind
+//! *Solar Superstorms: Planning for an Internet Apocalypse* (Sangeetha
+//! Abdu Jyothi, SIGCOMM 2021): geomagnetically-induced-current (GIC)
+//! models for long-haul cables, calibrated Internet-topology datasets,
+//! a Monte Carlo failure-simulation engine, and reproductions of every
+//! figure and table in the paper's evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use solarstorm::Study;
+//!
+//! // Build the (scaled) datasets and reproduce the paper's headline
+//! // numbers. Use `Study::paper_scale()` for the full-size datasets.
+//! let study = Study::test_scale().expect("datasets build");
+//! let rows = study.headline();
+//! for row in &rows {
+//!     println!("{:<40} paper {:>9.2}  measured {:>9.2}",
+//!              row.metric, row.paper, row.measured);
+//! }
+//! // Submarine endpoints concentrate above 40° latitude…
+//! assert!(rows[0].measured > 20.0);
+//! ```
+//!
+//! # Layers
+//!
+//! Each layer is its own crate, re-exported here:
+//!
+//! * [`geo`] — geodesy: coordinates, great circles, routes, latitude
+//!   bands and histograms;
+//! * [`solar`] — solar activity: sunspot cycles, CME catalog and
+//!   arrival models;
+//! * [`gic`] — induced currents: geoelectric fields, the cable
+//!   power-feed electrical model, damage curves, and the paper's
+//!   repeater-failure model family;
+//! * [`topology`] — the cable-network graph substrate;
+//! * [`data`] — embedded + calibrated-synthetic datasets for all eight
+//!   of the paper's data sources;
+//! * [`sim`] — the Monte Carlo engine, country-connectivity analysis,
+//!   shutdown mitigation, topology augmentation and grid coupling;
+//! * [`sat`] — the §3.3 LEO-constellation substrate: storm drag,
+//!   orbital decay and satellite service loss;
+//! * [`analysis`] — figure/table reproduction (Figs. 3–9, §4.3.4,
+//!   §4.4, headline statistics) plus the extensions: AS-to-cable impact,
+//!   functional partitions, traffic shifts.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use solarstorm_analysis as analysis;
+pub use solarstorm_data as data;
+pub use solarstorm_geo as geo;
+pub use solarstorm_gic as gic;
+pub use solarstorm_sat as sat;
+pub use solarstorm_sim as sim;
+pub use solarstorm_solar as solar;
+pub use solarstorm_topology as topology;
+
+pub use solarstorm_analysis::{Datasets, DatasetsConfig, Figure, Series};
+pub use solarstorm_gic::{
+    CableProfile, DamageCurve, FailureModel, GeoelectricField, LatitudeBandFailure, PhysicsFailure,
+    PowerFeedSystem, UniformFailure,
+};
+pub use solarstorm_sim::{MonteCarloConfig, TrialStats};
+pub use solarstorm_solar::{ArrivalModel, Cme, SolarCycleModel, StormClass};
+pub use solarstorm_topology::{Network, NetworkKind};
+
+use solarstorm_analysis::countries::FailureState;
+use solarstorm_analysis::headline::HeadlineRow;
+use solarstorm_sim::country::CountryReport;
+use solarstorm_sim::SimError;
+
+/// High-level entry point: datasets plus one-call reproductions of every
+/// experiment in the paper.
+pub struct Study {
+    data: Datasets,
+    /// Trials per Monte Carlo point (the paper uses 10).
+    pub trials: usize,
+    /// Base seed for all experiments.
+    pub seed: u64,
+}
+
+impl Study {
+    /// Builds a study over the paper-scale datasets (470 submarine
+    /// cables, 11,737 ITU links, 200 k routers). Takes a few seconds.
+    pub fn paper_scale() -> Result<Self, data::DataError> {
+        Ok(Study {
+            data: Datasets::build_default()?,
+            trials: 10,
+            seed: 42,
+        })
+    }
+
+    /// Builds a study over scaled-down datasets for fast experimentation
+    /// and CI.
+    pub fn test_scale() -> Result<Self, data::DataError> {
+        Ok(Study {
+            data: Datasets::build_small()?,
+            trials: 10,
+            seed: 42,
+        })
+    }
+
+    /// Builds a study over custom dataset configs.
+    pub fn with_config(cfg: &DatasetsConfig) -> Result<Self, data::DataError> {
+        Ok(Study {
+            data: Datasets::build(cfg)?,
+            trials: 10,
+            seed: 42,
+        })
+    }
+
+    /// The underlying datasets.
+    pub fn datasets(&self) -> &Datasets {
+        &self.data
+    }
+
+    /// Fig. 3: latitude PDFs of population and submarine endpoints.
+    pub fn fig3(&self) -> Figure {
+        analysis::fig3::reproduce(&self.data)
+    }
+
+    /// Fig. 4a: cable endpoints above latitude thresholds.
+    pub fn fig4a(&self) -> Figure {
+        analysis::fig4::reproduce_a(&self.data)
+    }
+
+    /// Fig. 4b: routers/IXPs/DNS above latitude thresholds.
+    pub fn fig4b(&self) -> Figure {
+        analysis::fig4::reproduce_b(&self.data)
+    }
+
+    /// Fig. 5: cable-length CDFs.
+    pub fn fig5(&self) -> Figure {
+        analysis::fig5::reproduce(&self.data)
+    }
+
+    /// Fig. 6 panel at the given repeater spacing: % cables failed under
+    /// uniform repeater-failure probability.
+    pub fn fig6(&self, spacing_km: f64) -> Result<Figure, SimError> {
+        analysis::fig6::reproduce_panel(&self.data, spacing_km, self.trials, self.seed)
+    }
+
+    /// Fig. 7 panel at the given spacing: % nodes unreachable.
+    pub fn fig7(&self, spacing_km: f64) -> Result<Figure, SimError> {
+        analysis::fig7::reproduce_panel(&self.data, spacing_km, self.trials, self.seed)
+    }
+
+    /// Fig. 8: S1/S2 latitude-banded failures across spacings.
+    pub fn fig8(&self) -> Result<Figure, SimError> {
+        let pts = analysis::fig8::reproduce_points(&self.data, self.trials, self.seed)?;
+        Ok(analysis::fig8::to_figure(&pts))
+    }
+
+    /// Fig. 9a: AS reach above latitude thresholds.
+    pub fn fig9a(&self) -> Figure {
+        analysis::fig9::reproduce_a(&self.data)
+    }
+
+    /// Fig. 9b: CDF of AS latitude spread.
+    pub fn fig9b(&self) -> Figure {
+        analysis::fig9::reproduce_b(&self.data)
+    }
+
+    /// §4.3.4 country-scale connectivity under S1 or S2.
+    pub fn countries(&self, state: FailureState) -> Result<Vec<CountryReport>, SimError> {
+        analysis::countries::reproduce(&self.data, state, self.trials.max(20), self.seed)
+    }
+
+    /// §4.2/§4.3 headline statistics, paper vs measured.
+    pub fn headline(&self) -> Vec<HeadlineRow> {
+        analysis::headline::reproduce(&self.data)
+    }
+
+    /// §4.4 systems-resilience report (data centers + DNS).
+    pub fn systems_report(&self) -> String {
+        analysis::systems::render_report(&self.data)
+    }
+
+    /// Monte Carlo config derived from this study's trials/seed at the
+    /// given repeater spacing.
+    pub fn mc_config(&self, spacing_km: f64) -> MonteCarloConfig {
+        MonteCarloConfig {
+            spacing_km,
+            trials: self.trials,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// Extension: AS impact via the synthesized AS-to-cable mapping.
+    pub fn as_impact<M: FailureModel>(
+        &self,
+        model: &M,
+    ) -> Result<analysis::as_impact::AsImpactReport, SimError> {
+        analysis::as_impact::reproduce(&self.data, model, &self.mc_config(150.0))
+    }
+
+    /// Extension: functional partition inventory for one storm outcome.
+    pub fn partition_report<M: FailureModel>(
+        &self,
+        model: &M,
+    ) -> Result<analysis::partition_report::PartitionReport, SimError> {
+        analysis::partition_report::reproduce(&self.data, model, &self.mc_config(150.0), 3)
+    }
+
+    /// Extension: §5.5 traffic-shift study for one storm outcome.
+    pub fn traffic_report<M: FailureModel>(
+        &self,
+        model: &M,
+    ) -> Result<analysis::traffic_report::TrafficReport, SimError> {
+        analysis::traffic_report::reproduce(&self.data, model, &self.mc_config(150.0))
+    }
+
+    /// Extension: §3.3 satellite-constellation storm impact (dataset-
+    /// independent; uses the Starlink-like constellation).
+    pub fn satellite_impact(&self, class: StormClass) -> Result<sat::StormImpact, sat::SatError> {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(self.seed);
+        sat::storm_impact(
+            &sat::Constellation::starlink_like(),
+            &sat::DragModel::calibrated(),
+            &sat::ServiceModel::default(),
+            class,
+            &mut rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_reproduces_every_figure_at_test_scale() {
+        let study = Study::test_scale().unwrap();
+        assert_eq!(study.fig3().series.len(), 2);
+        assert_eq!(study.fig4a().series.len(), 4);
+        assert_eq!(study.fig4b().series.len(), 4);
+        assert_eq!(study.fig5().series.len(), 3);
+        let f6 = study.fig6(150.0).unwrap();
+        assert_eq!(f6.series.len(), 3);
+        let f7 = study.fig7(150.0).unwrap();
+        assert_eq!(f7.series.len(), 3);
+        let f8 = study.fig8().unwrap();
+        assert_eq!(f8.series.len(), 8);
+        assert_eq!(study.fig9a().series.len(), 1);
+        assert_eq!(study.fig9b().series.len(), 1);
+        assert_eq!(study.headline().len(), 18);
+        assert!(study.systems_report().contains("Google"));
+    }
+}

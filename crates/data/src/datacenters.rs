@@ -1,0 +1,172 @@
+//! Hyperscale data-center sites (Google and Meta/Facebook public lists,
+//! circa the paper's publication).
+//!
+//! §4.4.2 compares the two fleets: Google's spreads across latitudes and
+//! hemispheres (Singapore, Chile, Taiwan), while Facebook's concentrates
+//! in the northern parts of the northern hemisphere with no hyperscale
+//! sites in Africa or South America — hence less resilience to a solar
+//! superstorm.
+
+use crate::cities::{self, Continent};
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::GeoPoint;
+
+/// Data-center operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operator {
+    /// Google (self-built fleet).
+    Google,
+    /// Meta / Facebook (self-built fleet).
+    Facebook,
+}
+
+impl Operator {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Operator::Google => "Google",
+            Operator::Facebook => "Facebook",
+        }
+    }
+}
+
+/// One hyperscale site: `(site name, gazetteer city, operator)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataCenter {
+    /// Site name.
+    pub name: String,
+    /// Nearest gazetteer city used for coordinates.
+    pub city: String,
+    /// Location.
+    pub location: GeoPoint,
+    /// Country code.
+    pub country: String,
+    /// Continent.
+    pub continent: Continent,
+    /// Operator.
+    pub operator: Operator,
+}
+
+const GOOGLE_SITES: &[(&str, &str)] = &[
+    ("The Dalles OR", "The Dalles OR"),
+    ("Council Bluffs IA", "Council Bluffs IA"),
+    ("Mayes County OK", "Pryor OK"),
+    ("Lenoir NC", "Charlotte"),
+    ("Berkeley County SC", "Charleston SC"),
+    ("Douglas County GA", "Atlanta"),
+    ("Jackson County AL", "Huntsville AL"),
+    ("Midlothian TX", "Midlothian TX"),
+    ("New Albany OH", "New Albany OH"),
+    ("Papillion NE", "Papillion NE"),
+    ("Henderson NV", "Henderson NV"),
+    ("Loudoun County VA", "Washington DC"),
+    ("St. Ghislain", "St Ghislain BE"),
+    ("Hamina", "Hamina FI"),
+    ("Dublin", "Dublin"),
+    ("Eemshaven", "Eemshaven NL"),
+    ("Fredericia", "Fredericia DK"),
+    ("Changhua County", "Changhua TW"),
+    ("Singapore", "Singapore"),
+    ("Quilicura", "Santiago"),
+];
+
+const FACEBOOK_SITES: &[(&str, &str)] = &[
+    ("Prineville OR", "Prineville OR"),
+    ("Forest City NC", "Charlotte"),
+    ("Altoona IA", "Altoona IA"),
+    ("Fort Worth TX", "Fort Worth"),
+    ("Los Lunas NM", "Los Lunas NM"),
+    ("Papillion NE", "Papillion NE"),
+    ("New Albany OH", "New Albany OH"),
+    ("Henrico VA", "Richmond VA"),
+    ("Eagle Mountain UT", "Eagle Mountain UT"),
+    ("Huntsville AL", "Huntsville AL"),
+    ("Newton County GA", "Atlanta"),
+    ("Lulea", "Lulea SE"),
+    ("Odense", "Odense DK"),
+    ("Clonee", "Clonee IE"),
+    ("Singapore", "Singapore"),
+];
+
+fn build_sites(operator: Operator, sites: &[(&str, &str)]) -> Vec<DataCenter> {
+    sites
+        .iter()
+        .map(|(name, city_name)| {
+            let city = cities::find_city(city_name)
+                .unwrap_or_else(|| panic!("datacenter {name} references unknown city {city_name}"));
+            DataCenter {
+                name: (*name).to_string(),
+                city: city.name.to_string(),
+                location: city.location(),
+                country: city.country.to_string(),
+                continent: city.continent(),
+                operator,
+            }
+        })
+        .collect()
+}
+
+/// Google's hyperscale fleet.
+pub fn google() -> Vec<DataCenter> {
+    build_sites(Operator::Google, GOOGLE_SITES)
+}
+
+/// Facebook's hyperscale fleet.
+pub fn facebook() -> Vec<DataCenter> {
+    build_sites(Operator::Facebook, FACEBOOK_SITES)
+}
+
+/// Both fleets.
+pub fn all() -> Vec<DataCenter> {
+    let mut v = google();
+    v.extend(facebook());
+    v
+}
+
+/// Continents covered by a fleet.
+pub fn continents(fleet: &[DataCenter]) -> Vec<Continent> {
+    let mut c: Vec<Continent> = fleet.iter().map(|d| d.continent).collect();
+    c.sort_by_key(|x| format!("{x:?}"));
+    c.dedup();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleets_resolve_and_are_nonempty() {
+        assert!(google().len() >= 18);
+        assert!(facebook().len() >= 13);
+    }
+
+    #[test]
+    fn google_reaches_more_continents_than_facebook() {
+        let g = continents(&google());
+        let f = continents(&facebook());
+        assert!(g.len() > f.len(), "google {g:?} vs facebook {f:?}");
+    }
+
+    #[test]
+    fn facebook_absent_from_africa_and_south_america() {
+        let f = continents(&facebook());
+        assert!(!f.contains(&Continent::Africa));
+        assert!(!f.contains(&Continent::SouthAmerica));
+    }
+
+    #[test]
+    fn google_present_in_southern_hemisphere() {
+        assert!(google().iter().any(|d| d.location.lat_deg() < 0.0));
+    }
+
+    #[test]
+    fn facebook_concentrated_in_north() {
+        let f = facebook();
+        let north = f.iter().filter(|d| d.location.lat_deg() > 30.0).count();
+        assert!(
+            north as f64 / f.len() as f64 > 0.9,
+            "facebook should be predominantly northern"
+        );
+    }
+}

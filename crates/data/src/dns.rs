@@ -1,0 +1,206 @@
+//! DNS root-server instances (root-servers.org substitute).
+//!
+//! The paper's directory lists 1,076 anycast instances across the 13 root
+//! letters. Per-letter instance counts are embedded from the public
+//! root-servers.org structure (D/E/F/J/L operate hundreds of anycast
+//! sites; B/G/M only a handful); instances are placed on gazetteer cities
+//! with a per-continent allocation matching the directory's skew the
+//! paper calls out — Africa, with more Internet users than North America,
+//! hosts roughly half as many instances.
+
+use crate::cities::{self, City, Continent};
+use crate::DataError;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::GeoPoint;
+
+/// Per-root-letter instance counts (sums to 1,076).
+pub const ROOT_INSTANCE_COUNTS: [(char, usize); 13] = [
+    ('A', 16),
+    ('B', 6),
+    ('C', 10),
+    ('D', 126),
+    ('E', 248),
+    ('F', 236),
+    ('G', 6),
+    ('H', 8),
+    ('I', 63),
+    ('J', 118),
+    ('K', 70),
+    ('L', 160),
+    ('M', 9),
+];
+
+/// Share of instances per continent (approximate root-servers.org skew).
+pub const CONTINENT_SHARES: [(Continent, f64); 6] = [
+    (Continent::Europe, 0.32),
+    (Continent::NorthAmerica, 0.26),
+    (Continent::Asia, 0.22),
+    (Continent::SouthAmerica, 0.09),
+    (Continent::Africa, 0.06),
+    (Continent::Oceania, 0.05),
+];
+
+/// One anycast root-server instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnsRootInstance {
+    /// Root letter, 'A'..='M'.
+    pub root: char,
+    /// Host city name.
+    pub city: String,
+    /// Location.
+    pub location: GeoPoint,
+    /// Country code.
+    pub country: String,
+    /// Continent.
+    pub continent: Continent,
+}
+
+/// Builds the root-server instance list (deterministic in `seed`).
+pub fn build(seed: u64) -> Result<Vec<DnsRootInstance>, DataError> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    // City pools per continent, weighted by population x development.
+    let mut pools: Vec<(Continent, Vec<&'static City>, Vec<f64>)> = Vec::new();
+    for (cont, _) in CONTINENT_SHARES {
+        let pool: Vec<&'static City> = cities::cities()
+            .iter()
+            .filter(|c| c.continent() == cont)
+            .collect();
+        if pool.is_empty() {
+            return Err(DataError::InvalidDataset(format!(
+                "no gazetteer cities on {cont:?}"
+            )));
+        }
+        let w: Vec<f64> = pool
+            .iter()
+            .map(|c| {
+                let dev = cities::country(c.country)
+                    .map(|k| k.internet_index)
+                    .unwrap_or(0.3);
+                (0.2 + c.population_m.max(0.0).powf(0.5)) * dev
+            })
+            .collect();
+        pools.push((cont, pool, w));
+    }
+
+    // Build a flat list of (root letter) slots, then deal them onto
+    // continents by share.
+    let mut out = Vec::with_capacity(1_100);
+    for (root, count) in ROOT_INSTANCE_COUNTS {
+        for _ in 0..count {
+            // Sample a continent by share.
+            let total: f64 = CONTINENT_SHARES.iter().map(|(_, s)| s).sum();
+            let mut x = rng.random_range(0.0..total);
+            let mut cont_idx = 0;
+            for (i, (_, s)) in CONTINENT_SHARES.iter().enumerate() {
+                x -= s;
+                if x <= 0.0 {
+                    cont_idx = i;
+                    break;
+                }
+            }
+            let (cont, pool, w) = &pools[cont_idx];
+            let total_w: f64 = w.iter().sum();
+            let mut y = rng.random_range(0.0..total_w);
+            let mut city = pool[0];
+            for (i, wi) in w.iter().enumerate() {
+                y -= wi;
+                if y <= 0.0 {
+                    city = pool[i];
+                    break;
+                }
+            }
+            out.push(DnsRootInstance {
+                root,
+                city: city.name.to_string(),
+                location: city.location(),
+                country: city.country.to_string(),
+                continent: *cont,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Instances per continent.
+pub fn instances_per_continent(instances: &[DnsRootInstance]) -> Vec<(Continent, usize)> {
+    Continent::ALL
+        .iter()
+        .map(|c| (*c, instances.iter().filter(|i| i.continent == *c).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_counts_sum_to_1076() {
+        let total: usize = ROOT_INSTANCE_COUNTS.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 1_076);
+        let built = build(7).unwrap();
+        assert_eq!(built.len(), 1_076);
+    }
+
+    #[test]
+    fn thirteen_letters() {
+        let built = build(7).unwrap();
+        let mut letters: Vec<char> = built.iter().map(|i| i.root).collect();
+        letters.sort();
+        letters.dedup();
+        assert_eq!(letters, ('A'..='M').collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(build(7).unwrap(), build(7).unwrap());
+    }
+
+    #[test]
+    fn every_continent_hosts_instances() {
+        let built = build(7).unwrap();
+        for (cont, count) in instances_per_continent(&built) {
+            assert!(count > 0, "no instances on {cont:?}");
+        }
+    }
+
+    #[test]
+    fn africa_has_roughly_half_of_north_america() {
+        // §4.4.3's skew observation.
+        let built = build(7).unwrap();
+        let per = instances_per_continent(&built);
+        let get = |c: Continent| {
+            per.iter()
+                .find(|(k, _)| *k == c)
+                .map(|(_, n)| *n)
+                .unwrap_or(0) as f64
+        };
+        let ratio = get(Continent::Africa) / get(Continent::NorthAmerica);
+        assert!((0.12..=0.45).contains(&ratio), "Africa/NA ratio {ratio}");
+    }
+
+    #[test]
+    fn latitude_share_matches_paper() {
+        // Fig 4b: ~39% of root instances above 40°.
+        let built = build(7).unwrap();
+        let pts: Vec<GeoPoint> = built.iter().map(|i| i.location).collect();
+        let pct = solarstorm_geo::percent_points_above_abs_lat(&pts, 40.0);
+        assert!(
+            (28.0..=50.0).contains(&pct),
+            "{pct}% of instances above 40°, paper says 39%"
+        );
+    }
+
+    #[test]
+    fn geo_distribution_is_wide() {
+        // "DNS root servers are highly geographically distributed":
+        // instances span both hemispheres and many countries.
+        let built = build(7).unwrap();
+        let countries: std::collections::HashSet<&str> =
+            built.iter().map(|i| i.country.as_str()).collect();
+        assert!(countries.len() >= 40, "only {} countries", countries.len());
+        assert!(built.iter().any(|i| i.location.lat_deg() < -20.0));
+        assert!(built.iter().any(|i| i.location.lat_deg() > 50.0));
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors produced by dataset construction and interchange.
+#[derive(Debug)]
+pub enum DataError {
+    /// A generator configuration value was out of range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the constraint that failed.
+        message: String,
+    },
+    /// A referenced city is missing from the gazetteer.
+    UnknownCity(String),
+    /// A referenced country code is missing from the gazetteer.
+    UnknownCountry(String),
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// An imported dataset violated a structural invariant.
+    InvalidDataset(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { name, message } => {
+                write!(f, "invalid config parameter {name}: {message}")
+            }
+            DataError::UnknownCity(c) => write!(f, "unknown city: {c}"),
+            DataError::UnknownCountry(c) => write!(f, "unknown country code: {c}"),
+            DataError::Json(e) => write!(f, "JSON error: {e}"),
+            DataError::InvalidDataset(m) => write!(f, "invalid dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for DataError {
+    fn from(e: serde_json::Error) -> Self {
+        DataError::Json(e)
+    }
+}

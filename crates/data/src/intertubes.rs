@@ -1,0 +1,331 @@
+//! US long-haul fiber network (Intertubes substitute).
+//!
+//! Durairajan et al.'s Intertubes dataset maps 542 conduit links in the
+//! conterminous US. The paper estimates link lengths as driving distance
+//! between endpoints (cables follow roads), so we apply a road factor to
+//! great-circle distances. This generator lays out the target number of
+//! nodes as real metro cities plus synthetic junction towns, spans them
+//! with a minimum spanning tree (long-haul networks are connected), and
+//! densifies with nearest-neighbor links until the link budget is spent.
+//!
+//! Calibration targets from the paper: 542 links; 258 of them (47.6 %)
+//! need no repeater at 150 km spacing; 1.7 repeaters per cable on average
+//! at 150 km; ~40 % of endpoints above 40° N.
+
+use crate::cities::{self, City};
+use crate::DataError;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::{destination, haversine_km, GeoPoint};
+use solarstorm_topology::{Network, NetworkKind, NodeId, NodeInfo, NodeRole, SegmentSpec};
+
+/// Configuration for the US long-haul generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntertubesConfig {
+    /// Total nodes (Intertubes: 273).
+    pub total_nodes: usize,
+    /// Total links (Intertubes: 542).
+    pub total_links: usize,
+    /// Road-distance factor over great-circle length (the paper used
+    /// Google Maps driving distances).
+    pub road_factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IntertubesConfig {
+    fn default() -> Self {
+        IntertubesConfig {
+            total_nodes: 273,
+            total_links: 542,
+            road_factor: 1.25,
+            seed: 0x0515_0BE5,
+        }
+    }
+}
+
+/// Conterminous-US metro cities from the gazetteer (no Alaska, no
+/// Hawaii — Intertubes covers the lower 48).
+fn conus_cities() -> Vec<&'static City> {
+    cities::cities_of("US")
+        .filter(|c| c.lat < 50.0 && c.lat > 24.0 && c.lon > -125.0 && c.lon < -66.0)
+        .collect()
+}
+
+/// Builds the US long-haul network.
+pub fn build(cfg: &IntertubesConfig) -> Result<Network, DataError> {
+    let metros = conus_cities();
+    if cfg.total_nodes < metros.len() {
+        return Err(DataError::InvalidConfig {
+            name: "total_nodes",
+            message: format!("must be at least the {} embedded metros", metros.len()),
+        });
+    }
+    if cfg.total_links < cfg.total_nodes - 1 {
+        return Err(DataError::InvalidConfig {
+            name: "total_links",
+            message: "must be at least total_nodes - 1 to allow a spanning tree".into(),
+        });
+    }
+    if !(1.0..=2.0).contains(&cfg.road_factor) {
+        return Err(DataError::InvalidConfig {
+            name: "road_factor",
+            message: format!("{} must be in [1, 2]", cfg.road_factor),
+        });
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+    let mut net = Network::new(NetworkKind::LandUs);
+    let mut locations: Vec<GeoPoint> = Vec::with_capacity(cfg.total_nodes);
+
+    // 1. Real metros.
+    for c in &metros {
+        net.add_node(NodeInfo {
+            name: c.name.to_string(),
+            location: c.location(),
+            country: "US".to_string(),
+            role: NodeRole::City,
+        });
+        locations.push(c.location());
+    }
+
+    // 2. Synthetic junction towns: jittered around population-weighted
+    //    metros (long-haul conduits pass through many small towns where
+    //    they interconnect).
+    let weights: Vec<f64> = metros
+        .iter()
+        .map(|c| 0.3 + c.population_m.max(0.0).powf(0.5))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut j = 0usize;
+    while net.node_count() < cfg.total_nodes {
+        j += 1;
+        let mut x = rng.random_range(0.0..total_w);
+        let mut idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                idx = i;
+                break;
+            }
+        }
+        let base = metros[idx];
+        let bearing = rng.random_range(0.0..360.0);
+        let dist = rng.random_range(40.0..320.0);
+        let loc = destination(base.location(), bearing, dist);
+        // Keep junctions inside the conterminous box.
+        if !(24.0..=49.5).contains(&loc.lat_deg()) || !(-125.0..=-66.0).contains(&loc.lon_deg()) {
+            continue;
+        }
+        net.add_node(NodeInfo {
+            name: format!("Junction {j} ({})", base.name),
+            location: loc,
+            country: "US".to_string(),
+            role: NodeRole::City,
+        });
+        locations.push(loc);
+    }
+
+    // 3. Spanning tree (Prim) so the network is connected.
+    let n = locations.len();
+    let mut in_tree = vec![false; n];
+    let mut best = vec![(f64::INFINITY, 0usize); n];
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(cfg.total_links);
+    in_tree[0] = true;
+    for v in 1..n {
+        best[v] = (haversine_km(locations[0], locations[v]), 0);
+    }
+    for _ in 1..n {
+        let mut u = usize::MAX;
+        let mut du = f64::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best[v].0 < du {
+                du = best[v].0;
+                u = v;
+            }
+        }
+        in_tree[u] = true;
+        edges.push((u, best[u].1));
+        for v in 0..n {
+            if !in_tree[v] {
+                let d = haversine_km(locations[u], locations[v]);
+                if d < best[v].0 {
+                    best[v] = (d, u);
+                }
+            }
+        }
+    }
+
+    // 4. Densify with short nearest-neighbor links until the budget is
+    //    spent: for a random node, link to its nearest not-yet-linked
+    //    neighbor (parallel conduits between close hubs are realistic).
+    let mut have: std::collections::HashSet<(usize, usize)> = edges
+        .iter()
+        .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+        .collect();
+    let mut guard = 0;
+    while edges.len() < cfg.total_links && guard < cfg.total_links * 200 {
+        guard += 1;
+        let a = rng.random_range(0..n);
+        // Rank neighbors by distance; pick the nearest new link among the
+        // closest `k`.
+        let mut cands: Vec<(f64, usize)> = (0..n)
+            .filter(|&b| b != a)
+            .map(|b| (haversine_km(locations[a], locations[b]), b))
+            .collect();
+        cands.sort_by(|x, y| x.0.total_cmp(&y.0));
+        // Mix of short interconnects and long express conduits: real
+        // long-haul maps have both metro-adjacent parallel runs and
+        // coast-crossing backbones.
+        let b = if rng.random_bool(0.62) {
+            let k = 6.min(cands.len());
+            cands[rng.random_range(0..k)].1
+        } else {
+            // Express link: a node a few hops of distance away
+            // (roughly 300-1500 km).
+            let far: Vec<usize> = cands
+                .iter()
+                .filter(|(d, _)| (250.0..1250.0).contains(d))
+                .map(|&(_, b)| b)
+                .collect();
+            if far.is_empty() {
+                let k = 6.min(cands.len());
+                cands[rng.random_range(0..k)].1
+            } else {
+                far[rng.random_range(0..far.len())]
+            }
+        };
+        let key = if a < b { (a, b) } else { (b, a) };
+        if have.insert(key) {
+            edges.push((a, b));
+        }
+    }
+
+    // 5. Materialize one single-segment cable per link.
+    for (i, (a, b)) in edges.iter().enumerate() {
+        let geo = haversine_km(locations[*a], locations[*b]);
+        net.add_cable(
+            format!("us-link-{i}"),
+            vec![SegmentSpec {
+                a: NodeId(*a),
+                b: NodeId(*b),
+                route: None,
+                length_km: Some(geo * cfg.road_factor),
+            }],
+        )
+        .map_err(|e| DataError::InvalidDataset(format!("us-link-{i}: {e}")))?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_configured_counts() {
+        let net = build(&IntertubesConfig::default()).unwrap();
+        assert_eq!(net.node_count(), 273);
+        assert_eq!(net.cable_count(), 542);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = build(&IntertubesConfig::default()).unwrap();
+        let b = build(&IntertubesConfig::default()).unwrap();
+        for (ca, cb) in a.cables().iter().zip(b.cables()) {
+            assert_eq!(ca.length_km, cb.length_km);
+        }
+    }
+
+    #[test]
+    fn network_is_connected() {
+        let net = build(&IntertubesConfig::default()).unwrap();
+        let dead = vec![false; net.cable_count()];
+        let (_, count) = net.surviving_components(&dead);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn repeaterless_share_matches_paper() {
+        // Paper: 258 of 542 links need no repeater at 150 km (47.6%).
+        let net = build(&IntertubesConfig::default()).unwrap();
+        let no_rep = net
+            .cables()
+            .iter()
+            .filter(|c| c.repeater_count(150.0) == 0)
+            .count();
+        let share = no_rep as f64 / net.cable_count() as f64;
+        assert!(
+            (0.35..=0.60).contains(&share),
+            "repeaterless share {share} vs paper 0.476"
+        );
+    }
+
+    #[test]
+    fn average_repeater_count_matches_paper() {
+        // Paper: 1.7 repeaters per cable at 150 km spacing.
+        let net = build(&IntertubesConfig::default()).unwrap();
+        let avg: f64 = net
+            .cables()
+            .iter()
+            .map(|c| c.repeater_count(150.0) as f64)
+            .sum::<f64>()
+            / net.cable_count() as f64;
+        assert!((1.0..=2.6).contains(&avg), "avg repeaters {avg} vs 1.7");
+    }
+
+    #[test]
+    fn endpoint_latitude_share_matches_paper() {
+        // Paper Fig 4a: ~40% of Intertubes endpoints above 40°.
+        let net = build(&IntertubesConfig::default()).unwrap();
+        let pts = net.node_locations();
+        let pct = solarstorm_geo::percent_points_above_abs_lat(&pts, 40.0);
+        assert!(
+            (28.0..=50.0).contains(&pct),
+            "{pct}% of endpoints above 40°, paper says 40%"
+        );
+    }
+
+    #[test]
+    fn all_nodes_in_conterminous_us() {
+        let net = build(&IntertubesConfig::default()).unwrap();
+        for (_, info) in net.nodes() {
+            assert!((24.0..=49.5).contains(&info.location.lat_deg()));
+            assert!((-125.0..=-66.0).contains(&info.location.lon_deg()));
+            assert_eq!(info.country, "US");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut cfg = IntertubesConfig::default();
+        cfg.total_nodes = 5;
+        assert!(build(&cfg).is_err());
+        let mut cfg = IntertubesConfig::default();
+        cfg.total_links = 10;
+        assert!(build(&cfg).is_err());
+        let mut cfg = IntertubesConfig::default();
+        cfg.road_factor = 5.0;
+        assert!(build(&cfg).is_err());
+    }
+
+    #[test]
+    fn link_lengths_include_road_factor() {
+        let net = build(&IntertubesConfig::default()).unwrap();
+        // Every cable length must exceed the straight-line distance
+        // between its endpoints (road factor > 1).
+        for c in net.cables() {
+            let e = c.segments[0];
+            let (a, b) = net.graph().edge_endpoints(e).unwrap();
+            let geo = haversine_km(net.node(a).unwrap().location, net.node(b).unwrap().location);
+            assert!(
+                c.length_km >= geo * 1.2,
+                "{} {} {}",
+                c.name,
+                c.length_km,
+                geo
+            );
+        }
+    }
+}

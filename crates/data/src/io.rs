@@ -1,0 +1,214 @@
+//! JSON interchange for datasets.
+//!
+//! Every generator in this crate is a *substitute* for a real dataset the
+//! paper used. When the real data is available (the public ones live in
+//! the paper's artifact repository), it can be converted to the schema
+//! here and every analysis runs on it unchanged.
+
+use crate::DataError;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::GeoPoint;
+use solarstorm_topology::{Network, NetworkKind, NodeId, NodeInfo, NodeRole, SegmentSpec};
+
+/// Flat, versioned JSON schema for a cable network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkFile {
+    /// Schema version.
+    pub version: u32,
+    /// Network family.
+    pub kind: NetworkKind,
+    /// Nodes.
+    pub nodes: Vec<NodeRecord>,
+    /// Cables.
+    pub cables: Vec<CableRecord>,
+}
+
+/// One node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// Node name.
+    pub name: String,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+    /// Country code.
+    pub country: String,
+    /// Role.
+    pub role: NodeRole,
+}
+
+/// One cable: named failure unit over one or more segments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CableRecord {
+    /// Cable name.
+    pub name: String,
+    /// Segments as `(node index a, node index b, length km)`.
+    pub segments: Vec<(usize, usize, f64)>,
+}
+
+/// Serializes a network to the JSON schema.
+pub fn network_to_json(net: &Network) -> Result<String, DataError> {
+    let nodes: Vec<NodeRecord> = net
+        .nodes()
+        .map(|(_, info)| NodeRecord {
+            name: info.name.clone(),
+            lat: info.location.lat_deg(),
+            lon: info.location.lon_deg(),
+            country: info.country.clone(),
+            role: info.role,
+        })
+        .collect();
+    let cables: Vec<CableRecord> = net
+        .cables()
+        .iter()
+        .map(|c| CableRecord {
+            name: c.name.clone(),
+            segments: c
+                .segments
+                .iter()
+                .map(|e| {
+                    let (a, b) = net
+                        .graph()
+                        .edge_endpoints(*e)
+                        .expect("cable references valid edge");
+                    let len = net
+                        .graph()
+                        .edge(*e)
+                        .map(|s| s.length_km)
+                        .unwrap_or_default();
+                    (a.0, b.0, len)
+                })
+                .collect(),
+        })
+        .collect();
+    let file = NetworkFile {
+        version: 1,
+        kind: net.kind(),
+        nodes,
+        cables,
+    };
+    Ok(serde_json::to_string_pretty(&file)?)
+}
+
+/// Deserializes a network from the JSON schema, validating structure.
+pub fn network_from_json(json: &str) -> Result<Network, DataError> {
+    let file: NetworkFile = serde_json::from_str(json)?;
+    if file.version != 1 {
+        return Err(DataError::InvalidDataset(format!(
+            "unsupported schema version {}",
+            file.version
+        )));
+    }
+    let mut net = Network::new(file.kind);
+    for n in &file.nodes {
+        let location = GeoPoint::new(n.lat, n.lon)
+            .map_err(|e| DataError::InvalidDataset(format!("node {}: {e}", n.name)))?;
+        net.add_node(NodeInfo {
+            name: n.name.clone(),
+            location,
+            country: n.country.clone(),
+            role: n.role,
+        });
+    }
+    for c in &file.cables {
+        let segments: Vec<SegmentSpec> = c
+            .segments
+            .iter()
+            .map(|&(a, b, len)| {
+                if a >= file.nodes.len() || b >= file.nodes.len() {
+                    return Err(DataError::InvalidDataset(format!(
+                        "cable {} references node out of range",
+                        c.name
+                    )));
+                }
+                if !len.is_finite() || len < 0.0 {
+                    return Err(DataError::InvalidDataset(format!(
+                        "cable {} has invalid segment length {len}",
+                        c.name
+                    )));
+                }
+                Ok(SegmentSpec {
+                    a: NodeId(a),
+                    b: NodeId(b),
+                    route: None,
+                    length_km: Some(len),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        net.add_cable(c.name.clone(), segments)
+            .map_err(|e| DataError::InvalidDataset(format!("cable {}: {e}", c.name)))?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intertubes::{self, IntertubesConfig};
+    use crate::submarine::{self, SubmarineConfig};
+
+    #[test]
+    fn submarine_round_trips() {
+        let net = submarine::build(&SubmarineConfig::default()).unwrap();
+        let json = network_to_json(&net).unwrap();
+        let back = network_from_json(&json).unwrap();
+        assert_eq!(back.kind(), net.kind());
+        assert_eq!(back.node_count(), net.node_count());
+        assert_eq!(back.cable_count(), net.cable_count());
+        for (a, b) in net.cables().iter().zip(back.cables()) {
+            assert_eq!(a.name, b.name);
+            assert!((a.length_km - b.length_km).abs() < 1e-6);
+            assert_eq!(a.segments.len(), b.segments.len());
+            assert!((a.max_abs_lat_deg - b.max_abs_lat_deg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn intertubes_round_trips() {
+        let net = intertubes::build(&IntertubesConfig::default()).unwrap();
+        let json = network_to_json(&net).unwrap();
+        let back = network_from_json(&json).unwrap();
+        assert_eq!(back.node_count(), net.node_count());
+        assert_eq!(back.cable_count(), net.cable_count());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let json = r#"{"version": 7, "kind": "Submarine", "nodes": [], "cables": []}"#;
+        assert!(network_from_json(json).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_segment() {
+        let json = r#"{
+            "version": 1, "kind": "Submarine",
+            "nodes": [{"name": "A", "lat": 0.0, "lon": 0.0, "country": "US", "role": "LandingPoint"}],
+            "cables": [{"name": "c", "segments": [[0, 5, 100.0]]}]
+        }"#;
+        assert!(network_from_json(json).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_coordinates() {
+        let json = r#"{
+            "version": 1, "kind": "Submarine",
+            "nodes": [{"name": "A", "lat": 95.0, "lon": 0.0, "country": "US", "role": "LandingPoint"}],
+            "cables": []
+        }"#;
+        assert!(network_from_json(json).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_length() {
+        let json = r#"{
+            "version": 1, "kind": "Submarine",
+            "nodes": [
+              {"name": "A", "lat": 0.0, "lon": 0.0, "country": "US", "role": "LandingPoint"},
+              {"name": "B", "lat": 1.0, "lon": 1.0, "country": "US", "role": "LandingPoint"}
+            ],
+            "cables": [{"name": "c", "segments": [[0, 1, -5.0]]}]
+        }"#;
+        assert!(network_from_json(json).is_err());
+    }
+}

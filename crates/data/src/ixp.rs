@@ -1,0 +1,199 @@
+//! Internet Exchange Points (PCH directory substitute).
+//!
+//! The paper's PCH directory lists 1,026 IXPs with coordinates, 43 % of
+//! them above 40° absolute latitude. We embed the major real exchanges
+//! and fill the directory with city-weighted synthetics calibrated to the
+//! same latitude share.
+
+use crate::cities::{self, Continent};
+use crate::DataError;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::GeoPoint;
+
+/// One Internet exchange point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ixp {
+    /// Exchange name.
+    pub name: String,
+    /// Host city.
+    pub city: String,
+    /// Location.
+    pub location: GeoPoint,
+    /// Country code.
+    pub country: String,
+    /// Continent.
+    pub continent: Continent,
+}
+
+/// Major real exchanges embedded by name: `(exchange, gazetteer city)`.
+pub const MAJOR_IXPS: &[(&str, &str)] = &[
+    ("DE-CIX Frankfurt", "Frankfurt"),
+    ("AMS-IX", "Amsterdam"),
+    ("LINX", "London"),
+    ("IX.br Sao Paulo", "Sao Paulo"),
+    ("Equinix Ashburn", "Washington DC"),
+    ("NYIIX", "New York"),
+    ("Any2 Los Angeles", "Los Angeles"),
+    ("SIX Seattle", "Seattle"),
+    ("TorIX", "Toronto"),
+    ("France-IX", "Paris"),
+    ("MSK-IX", "Moscow"),
+    ("ESPANIX", "Madrid"),
+    ("MIX Milan", "Milan"),
+    ("NL-ix", "Rotterdam"),
+    ("LONAP", "London"),
+    ("JPNAP Tokyo", "Tokyo"),
+    ("BBIX Tokyo", "Tokyo"),
+    ("JPIX Osaka", "Osaka"),
+    ("HKIX", "Hong Kong"),
+    ("SGIX", "Singapore"),
+    ("Equinix Singapore", "Singapore"),
+    ("KINX", "Seoul"),
+    ("TWIX", "Taipei"),
+    ("NIXI Mumbai", "Mumbai"),
+    ("NIXI Chennai", "Chennai"),
+    ("IX Australia Sydney", "Sydney"),
+    ("Megaport Melbourne", "Melbourne"),
+    ("NZIX Auckland", "Auckland"),
+    ("NAPAfrica Johannesburg", "Johannesburg"),
+    ("IXPN Lagos", "Lagos"),
+    ("KIXP Nairobi", "Nairobi"),
+    ("CAIX Cairo", "Cairo"),
+    ("Equinix Chicago", "Chicago"),
+    ("Equinix Dallas", "Dallas"),
+    ("NOTA Miami", "Miami"),
+    ("PTT Rio", "Rio de Janeiro"),
+    ("CABASE Buenos Aires", "Buenos Aires"),
+    ("PIT Chile", "Santiago"),
+    ("NAP Peru", "Lima"),
+    ("Netnod Stockholm", "Stockholm"),
+    ("NIX Oslo", "Oslo"),
+    ("DIX Copenhagen", "Copenhagen"),
+    ("FICIX Helsinki", "Helsinki"),
+    ("VIX Vienna", "Vienna"),
+    ("SwissIX Zurich", "Zurich"),
+    ("BIX Budapest", "Budapest"),
+    ("PLIX Warsaw", "Warsaw"),
+    ("UAE-IX Dubai", "Dubai"),
+    ("JEDIX Jeddah", "Jeddah"),
+    ("BNIX Brussels", "Brussels"),
+];
+
+/// Builds the IXP directory (deterministic in `seed`).
+pub fn build(total: usize, seed: u64) -> Result<Vec<Ixp>, DataError> {
+    if total < MAJOR_IXPS.len() {
+        return Err(DataError::InvalidConfig {
+            name: "total",
+            message: format!("must be at least the {} embedded IXPs", MAJOR_IXPS.len()),
+        });
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(total);
+    for (name, city_name) in MAJOR_IXPS {
+        let city = cities::city_or_err(city_name)?;
+        out.push(Ixp {
+            name: (*name).to_string(),
+            city: city.name.to_string(),
+            location: city.location(),
+            country: city.country.to_string(),
+            continent: city.continent(),
+        });
+    }
+    // Synthetic fill: IXPs concentrate where the developed Internet is,
+    // with the same high-latitude skew the paper measures (43% above 40°).
+    let pool: Vec<&'static crate::cities::City> = cities::cities().iter().collect();
+    let weights: Vec<f64> = pool
+        .iter()
+        .map(|c| {
+            let dev = cities::country(c.country)
+                .map(|k| k.internet_index)
+                .unwrap_or(0.3);
+            let lat_boost = if c.lat.abs() >= 40.0 { 1.25 } else { 1.0 };
+            (0.2 + c.population_m.max(0.0).powf(0.5)) * dev * dev * lat_boost
+        })
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut i = 0;
+    while out.len() < total {
+        i += 1;
+        let mut x = rng.random_range(0.0..total_w);
+        let mut idx = 0;
+        for (k, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                idx = k;
+                break;
+            }
+        }
+        let city = pool[idx];
+        out.push(Ixp {
+            name: format!("{} IX-{i}", city.name),
+            city: city.name.to_string(),
+            location: city.location(),
+            country: city.country.to_string(),
+            continent: city.continent(),
+        });
+    }
+    Ok(out)
+}
+
+/// Builds the paper-sized directory (1,026 IXPs).
+pub fn build_default() -> Result<Vec<Ixp>, DataError> {
+    build(1_026, 0x1C59)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn major_ixps_resolve() {
+        for (name, city) in MAJOR_IXPS {
+            assert!(
+                cities::find_city(city).is_some(),
+                "IXP {name} references unknown city {city}"
+            );
+        }
+    }
+
+    #[test]
+    fn builds_paper_count() {
+        let ixps = build_default().unwrap();
+        assert_eq!(ixps.len(), 1_026);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build_default().unwrap(), build_default().unwrap());
+    }
+
+    #[test]
+    fn latitude_share_matches_paper() {
+        // Fig 4b: 43% of IXPs above 40°.
+        let ixps = build_default().unwrap();
+        let pts: Vec<GeoPoint> = ixps.iter().map(|i| i.location).collect();
+        let pct = solarstorm_geo::percent_points_above_abs_lat(&pts, 40.0);
+        assert!(
+            (35.0..=51.0).contains(&pct),
+            "{pct}% of IXPs above 40°, paper says 43%"
+        );
+    }
+
+    #[test]
+    fn rejects_too_small_total() {
+        assert!(build(3, 1).is_err());
+    }
+
+    #[test]
+    fn every_continent_has_exchanges() {
+        let ixps = build_default().unwrap();
+        for cont in Continent::ALL {
+            assert!(
+                ixps.iter().any(|i| i.continent == cont),
+                "no IXP on {cont:?}"
+            );
+        }
+    }
+}

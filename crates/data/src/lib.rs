@@ -1,0 +1,49 @@
+//! Embedded and synthetic Internet-infrastructure datasets for the
+//! `solarstorm` toolkit.
+//!
+//! The SIGCOMM 2021 study runs on eight datasets (§4.1). None of them can
+//! ship with an offline library (several were private to begin with), so
+//! each is provided as an **embedded real-data core plus a calibrated
+//! synthetic generator** whose marginal statistics match what the paper
+//! reports — endpoint-latitude shares, cable-length distributions,
+//! AS-spread percentiles, and so on. See DESIGN.md for the full
+//! substitution table.
+//!
+//! * [`cities`] — world-city and country gazetteer every generator draws
+//!   from;
+//! * [`submarine`] — TeleGeography-style global submarine network: ~110
+//!   real cable systems plus calibrated synthetics (470 cables / ~1,241
+//!   landing points);
+//! * [`intertubes`] — Intertubes-style US long-haul fiber (542 links);
+//! * [`itu`] — ITU-style global land-fiber network (11,737 links);
+//! * [`routers`] — CAIDA ITDK-style router/AS dataset (scaled);
+//! * [`dns`] — DNS root-server instances (13 letters, ~1,076 sites);
+//! * [`ixp`] — PCH-style IXP directory (1,026 exchanges);
+//! * [`datacenters`] — Google and Meta hyperscale data-center sites;
+//! * [`population`] — gridded world population (GPWv4 substitute);
+//! * [`io`] — JSON interchange so real datasets can be dropped in.
+//!
+//! Generators are deterministic: the same [`config`](SubmarineConfig)
+//! (including its seed) always yields the same dataset.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cities;
+pub mod datacenters;
+pub mod dns;
+mod error;
+pub mod intertubes;
+pub mod io;
+pub mod itu;
+pub mod ixp;
+pub mod population;
+pub mod routers;
+pub mod submarine;
+
+pub use cities::{City, Continent, Country};
+pub use error::DataError;
+pub use intertubes::IntertubesConfig;
+pub use itu::ItuConfig;
+pub use routers::{AsFootprint, AsSystem, Router, RouterConfig, RouterDataset};
+pub use submarine::SubmarineConfig;

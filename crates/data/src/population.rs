@@ -1,0 +1,174 @@
+//! Gridded world population (NASA SEDAC GPWv4 substitute).
+//!
+//! The paper uses GPWv4 population counts per 1° cell to compare
+//! infrastructure distribution with where people live (Fig. 3's latitude
+//! PDF, Fig. 4's percentage-above-threshold curves, and the headline
+//! "only 16 % of the world population lives above 40°").
+//!
+//! This substitute embeds a per-5°-latitude-band population share table
+//! (compiled from standard demographic summaries) as the authoritative
+//! latitude marginal, and distributes each band's mass across longitude
+//! proportionally to gazetteer-city population splats. The result is a
+//! [`LonLatGrid`] with the same analytical surface as GPWv4 at the
+//! fidelity the paper's comparisons need.
+
+use crate::cities;
+use crate::DataError;
+use solarstorm_geo::{GeoPoint, LatitudeHistogram, LonLatGrid};
+
+/// World population, 2020-ish, in millions.
+pub const WORLD_POPULATION_M: f64 = 7_800.0;
+
+/// Percentage of world population per 5° latitude band, from 90°S to
+/// 90°N (36 bands). Compiled from demographic latitude-distribution
+/// summaries; normalized at build time.
+pub const LATITUDE_BAND_SHARES: [f64; 36] = [
+    // 90S..45S — essentially uninhabited
+    0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.02, 0.05,
+    // 45S..40S, 40S..35S, 35S..30S, 30S..25S, 25S..20S
+    0.25, 1.0, 1.7, 1.6, 2.0, // 20S..15S, 15S..10S, 10S..5S, 5S..0
+    1.4, 1.6, 2.2, 2.4, // 0..5N, 5..10, 10..15, 15..20
+    2.8, 4.2, 5.2, 6.6, // 20..25, 25..30, 30..35, 35..40
+    11.3, 13.7, 12.4, 13.0, // 40..45, 45..50, 50..55, 55..60
+    6.6, 4.6, 3.2, 1.3, // 60..65, 65..70, 70..75, 75..80, 80..85, 85..90
+    0.45, 0.12, 0.02, 0.0, 0.0, 0.0,
+];
+
+/// Builds the gridded population at `cell_deg` resolution (the paper used
+/// 1°).
+///
+/// Longitude structure inside each latitude band follows gazetteer-city
+/// population (cities splat weight into their band), with a small uniform
+/// floor over cells that contain splats from *any* band so empty oceans
+/// stay empty.
+pub fn build_grid(cell_deg: f64) -> Result<LonLatGrid, DataError> {
+    let mut grid = LonLatGrid::new(cell_deg).map_err(|e| DataError::InvalidConfig {
+        name: "cell_deg",
+        message: e.to_string(),
+    })?;
+    // 1. Splat city populations.
+    for c in cities::cities() {
+        grid.add(c.location(), c.population_m.max(0.01));
+    }
+    // 2. Collapse to per-band totals and compute correction factors so the
+    //    latitude marginal matches the embedded table.
+    let share_sum: f64 = LATITUDE_BAND_SHARES.iter().sum();
+    let mut corrected = LonLatGrid::new(cell_deg).map_err(|e| DataError::InvalidConfig {
+        name: "cell_deg",
+        message: e.to_string(),
+    })?;
+    // Current per-band mass from splats.
+    let mut band_mass = [0.0f64; 36];
+    for (center, w) in grid.cells() {
+        band_mass[band_of(center.lat_deg())] += w;
+    }
+    for (center, w) in grid.cells() {
+        let band = band_of(center.lat_deg());
+        let target = LATITUDE_BAND_SHARES[band] / share_sum * WORLD_POPULATION_M;
+        if band_mass[band] > 0.0 && target > 0.0 {
+            corrected.add(center, w / band_mass[band] * target);
+        }
+    }
+    // 3. Bands with population share but no city splats (rare at coarse
+    //    resolution): deposit at the band's midpoint on the prime
+    //    meridian so total mass is conserved.
+    let mut final_mass = [0.0f64; 36];
+    for (center, w) in corrected.cells() {
+        final_mass[band_of(center.lat_deg())] += w;
+    }
+    for band in 0..36 {
+        let target = LATITUDE_BAND_SHARES[band] / share_sum * WORLD_POPULATION_M;
+        if target > 0.0 && final_mass[band] == 0.0 {
+            let lat = -90.0 + band as f64 * 5.0 + 2.5;
+            corrected.add(
+                GeoPoint::new(lat.min(90.0), 20.0).expect("band midpoint valid"),
+                target,
+            );
+        }
+    }
+    Ok(corrected)
+}
+
+/// The latitude histogram of world population at `bin_deg` bins — the
+/// "Population" series of Figs. 3 and 4.
+pub fn latitude_histogram(bin_deg: f64) -> Result<LatitudeHistogram, DataError> {
+    let grid = build_grid(1.0)?;
+    grid.latitude_histogram(bin_deg)
+        .map_err(|e| DataError::InvalidConfig {
+            name: "bin_deg",
+            message: e.to_string(),
+        })
+}
+
+fn band_of(lat_deg: f64) -> usize {
+    (((lat_deg + 90.0) / 5.0).floor() as isize).clamp(0, 35) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_mass_is_world_population() {
+        let grid = build_grid(1.0).unwrap();
+        let total = grid.total_weight();
+        assert!(
+            (total - WORLD_POPULATION_M).abs() / WORLD_POPULATION_M < 0.01,
+            "total {total}"
+        );
+    }
+
+    #[test]
+    fn sixteen_percent_above_forty() {
+        // The paper's headline: only 16% of the world population is above
+        // 40° absolute latitude.
+        let h = latitude_histogram(1.0).unwrap();
+        let pct = h.percent_above_abs_lat(40.0);
+        assert!((13.0..=19.0).contains(&pct), "{pct}% above 40°, paper 16%");
+    }
+
+    #[test]
+    fn northern_hemisphere_dominates() {
+        let h = latitude_histogram(1.0).unwrap();
+        let north: f64 = h
+            .pdf_percent()
+            .iter()
+            .filter(|(lat, _)| *lat > 0.0)
+            .map(|(_, p)| p)
+            .sum();
+        assert!((80.0..=95.0).contains(&north), "north share {north}%");
+    }
+
+    #[test]
+    fn population_peaks_in_twenties_and_thirties_north() {
+        let h = latitude_histogram(5.0).unwrap();
+        let pdf = h.pdf_percent();
+        let (peak_lat, _) = pdf
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+            .unwrap();
+        assert!(
+            (15.0..=40.0).contains(&peak_lat),
+            "population peak at {peak_lat}°"
+        );
+    }
+
+    #[test]
+    fn percent_above_is_monotone() {
+        let h = latitude_histogram(1.0).unwrap();
+        let mut prev = 100.0 + 1e-9;
+        for t in 0..=90 {
+            let cur = h.percent_above_abs_lat(t as f64);
+            assert!(cur <= prev + 1e-9, "threshold {t}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn band_table_is_complete() {
+        assert_eq!(LATITUDE_BAND_SHARES.len(), 36);
+        let sum: f64 = LATITUDE_BAND_SHARES.iter().sum();
+        assert!((95.0..=105.0).contains(&sum), "table sums to {sum}");
+    }
+}

@@ -1,0 +1,495 @@
+//! Router and Autonomous System dataset (CAIDA ITDK substitute).
+//!
+//! The paper uses the CAIDA Internet Topology Data Kit: 46.0 M routers
+//! with location estimates and router→AS mappings across 61,448 ASes.
+//! That volume adds nothing to the *distributional* analyses of Fig. 9,
+//! so this substitute generates a scaled dataset (defaults: 200 k routers
+//! across 8 k ASes) whose marginals are calibrated to what the paper
+//! reports:
+//!
+//! * ~38 % of routers above 40° absolute latitude (Fig. 4b);
+//! * 57 % of ASes with at least one router above 40° (Fig. 9a);
+//! * AS latitude spread with median ≈ 1.723° and p90 ≈ 18.263° (Fig. 9b).
+//!
+//! ASes draw Zipf-distributed sizes and fall into three footprints:
+//! metro (clustered around one home city), national (spread over the
+//! home country's cities), and global (spread across world cities).
+
+use crate::cities::{self, City};
+use crate::DataError;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::{destination, GeoPoint};
+
+/// Configuration for the router/AS generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Total routers (paper: 46 M; scaled default 200 k).
+    pub total_routers: usize,
+    /// Total ASes (paper: 61,448; scaled default 8 k).
+    pub total_ases: usize,
+    /// Zipf exponent for AS sizes.
+    pub zipf_exponent: f64,
+    /// Fraction of ASes with a global footprint.
+    pub global_fraction: f64,
+    /// Fraction of ASes with a national footprint.
+    pub national_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            total_routers: 200_000,
+            total_ases: 8_000,
+            zipf_exponent: 1.0,
+            global_fraction: 0.02,
+            national_fraction: 0.13,
+            seed: 0xCA1DA,
+        }
+    }
+}
+
+/// Geographic footprint class of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AsFootprint {
+    /// Routers cluster around one metro area.
+    Metro,
+    /// Routers spread over the home country.
+    National,
+    /// Routers spread across the world.
+    Global,
+}
+
+/// One router: a located interface cluster mapped to an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Router {
+    /// Router location.
+    pub location: GeoPoint,
+    /// Owning AS number (index into [`RouterDataset::ases`]).
+    pub asn: u32,
+}
+
+/// One Autonomous System.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsSystem {
+    /// AS number (dense, 0-based).
+    pub asn: u32,
+    /// Home-city name (gazetteer key).
+    pub home_city: String,
+    /// Footprint class.
+    pub footprint: AsFootprint,
+    /// First router index in the dataset's router vector.
+    pub first_router: usize,
+    /// Number of routers.
+    pub router_count: usize,
+}
+
+/// The generated dataset: routers grouped contiguously by AS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterDataset {
+    /// All routers, sorted by ASN.
+    pub routers: Vec<Router>,
+    /// All ASes.
+    pub ases: Vec<AsSystem>,
+}
+
+impl RouterDataset {
+    /// Routers of one AS.
+    pub fn routers_of(&self, asn: u32) -> &[Router] {
+        let a = &self.ases[asn as usize];
+        &self.routers[a.first_router..a.first_router + a.router_count]
+    }
+
+    /// All router locations.
+    pub fn router_locations(&self) -> Vec<GeoPoint> {
+        self.routers.iter().map(|r| r.location).collect()
+    }
+
+    /// Percentage of ASes with at least one router at `|lat| >= threshold`
+    /// (Fig. 9a's y-axis).
+    pub fn percent_ases_with_reach_above(&self, threshold_deg: f64) -> f64 {
+        if self.ases.is_empty() {
+            return 0.0;
+        }
+        let hit = self
+            .ases
+            .iter()
+            .filter(|a| {
+                self.routers_of(a.asn)
+                    .iter()
+                    .any(|r| r.location.abs_lat_deg() >= threshold_deg)
+            })
+            .count();
+        100.0 * hit as f64 / self.ases.len() as f64
+    }
+
+    /// Latitude spread (max − min latitude, degrees) of every AS with at
+    /// least one router (Fig. 9b's distribution).
+    pub fn as_latitude_spreads(&self) -> Vec<f64> {
+        self.ases
+            .iter()
+            .filter(|a| a.router_count > 0)
+            .map(|a| {
+                let rs = self.routers_of(a.asn);
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for r in rs {
+                    lo = lo.min(r.location.lat_deg());
+                    hi = hi.max(r.location.lat_deg());
+                }
+                (hi - lo).max(0.0)
+            })
+            .collect()
+    }
+}
+
+/// Builds the router/AS dataset.
+pub fn build(cfg: &RouterConfig) -> Result<RouterDataset, DataError> {
+    if cfg.total_ases == 0 || cfg.total_routers < cfg.total_ases {
+        return Err(DataError::InvalidConfig {
+            name: "total_routers",
+            message: "need at least one router per AS".into(),
+        });
+    }
+    if !cfg.zipf_exponent.is_finite() || cfg.zipf_exponent <= 0.0 {
+        return Err(DataError::InvalidConfig {
+            name: "zipf_exponent",
+            message: format!("{} must be finite and > 0", cfg.zipf_exponent),
+        });
+    }
+    if cfg.global_fraction + cfg.national_fraction > 1.0
+        || cfg.global_fraction < 0.0
+        || cfg.national_fraction < 0.0
+    {
+        return Err(DataError::InvalidConfig {
+            name: "global_fraction",
+            message: "footprint fractions must be non-negative and sum to <= 1".into(),
+        });
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+
+    // AS home-city weights: infrastructure lives where the developed
+    // Internet is — population matters, development matters more, and the
+    // high-latitude concentration the paper measures needs an explicit
+    // boost (Europe/North America host a disproportionate share of ASes).
+    let all: Vec<&'static City> = cities::cities().iter().collect();
+    let weights: Vec<f64> = all
+        .iter()
+        .map(|c| {
+            let dev = cities::country(c.country)
+                .map(|k| k.internet_index)
+                .unwrap_or(0.3);
+            let lat_boost = if c.lat.abs() >= 40.0 { 2.4 } else { 1.0 };
+            (0.2 + c.population_m.max(0.0).powf(0.6)) * dev * dev * lat_boost
+        })
+        .collect();
+
+    // Router-placement weights for global carriers: demand-following
+    // (population x development), without the AS-ownership latitude boost.
+    let placement_weights: Vec<f64> = all
+        .iter()
+        .map(|c| {
+            let dev = cities::country(c.country)
+                .map(|k| k.internet_index)
+                .unwrap_or(0.3);
+            (0.2 + c.population_m.max(0.0).powf(0.6)) * dev
+        })
+        .collect();
+
+    // Zipf sizes, largest first, scaled to the router budget.
+    let raw: Vec<f64> = (1..=cfg.total_ases)
+        .map(|i| 1.0 / (i as f64).powf(cfg.zipf_exponent))
+        .collect();
+    let raw_sum: f64 = raw.iter().sum();
+    let mut sizes: Vec<usize> = raw
+        .iter()
+        .map(|r| ((r / raw_sum) * cfg.total_routers as f64).round() as usize)
+        .map(|s| s.max(1))
+        .collect();
+    // Trim/pad to the exact router budget (largest AS absorbs rounding).
+    let mut total: usize = sizes.iter().sum();
+    while total > cfg.total_routers {
+        let i = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| **s)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if sizes[i] > 1 {
+            sizes[i] -= 1;
+            total -= 1;
+        } else {
+            break;
+        }
+    }
+    if total < cfg.total_routers {
+        sizes[0] += cfg.total_routers - total;
+    }
+
+    // National carriers concentrate in geographically large countries
+    // (a US or Brazilian national backbone spans tens of degrees; a
+    // Singaporean one cannot). Weight national-AS homes by the country's
+    // latitude extent so the AS-spread upper percentiles match Fig. 9b.
+    let mut min_max: std::collections::HashMap<&str, (f64, f64)> = std::collections::HashMap::new();
+    for c in cities::cities() {
+        let e = min_max.entry(c.country).or_insert((c.lat, c.lat));
+        e.0 = e.0.min(c.lat);
+        e.1 = e.1.max(c.lat);
+    }
+    let national_weights: Vec<f64> = all
+        .iter()
+        .map(|c| {
+            let dev = cities::country(c.country)
+                .map(|k| k.internet_index)
+                .unwrap_or(0.3);
+            let (lo, hi) = min_max.get(c.country).copied().unwrap_or((c.lat, c.lat));
+            let extent = (hi - lo).max(0.5);
+            (0.2 + c.population_m.max(0.0).powf(0.3)) * dev * extent.powf(0.45)
+        })
+        .collect();
+
+    let mut routers = Vec::with_capacity(cfg.total_routers);
+    let mut ases = Vec::with_capacity(cfg.total_ases);
+    for (i, &size) in sizes.iter().enumerate() {
+        let home = all[weighted_index(&weights, &mut rng)];
+        // Footprint: large ASes are far more likely to be global carriers.
+        let rank_frac = i as f64 / cfg.total_ases as f64;
+        let footprint = if rank_frac < cfg.global_fraction {
+            AsFootprint::Global
+        } else if rank_frac < cfg.global_fraction + cfg.national_fraction {
+            AsFootprint::National
+        } else {
+            AsFootprint::Metro
+        };
+        let home = if footprint == AsFootprint::National {
+            all[weighted_index(&national_weights, &mut rng)]
+        } else {
+            home
+        };
+        let first = routers.len();
+        place_routers(
+            &mut routers,
+            i as u32,
+            home,
+            footprint,
+            size,
+            &all,
+            &placement_weights,
+            &mut rng,
+        );
+        ases.push(AsSystem {
+            asn: i as u32,
+            home_city: home.name.to_string(),
+            footprint,
+            first_router: first,
+            router_count: routers.len() - first,
+        });
+    }
+    Ok(RouterDataset { routers, ases })
+}
+
+/// Places the routers of one AS according to its footprint.
+#[allow(clippy::too_many_arguments)]
+fn place_routers(
+    routers: &mut Vec<Router>,
+    asn: u32,
+    home: &'static City,
+    footprint: AsFootprint,
+    size: usize,
+    all: &[&'static City],
+    weights: &[f64],
+    rng: &mut ChaCha12Rng,
+) {
+    match footprint {
+        AsFootprint::Metro => {
+            // Per-AS metro radius: log-normal, median ~90 km — calibrated
+            // so the AS latitude-spread median lands at the paper's 1.723°
+            // under Zipf sizes.
+            let z = standard_normal(rng);
+            let radius_km = (90.0 * (0.8 * z).exp()).clamp(2.0, 500.0);
+            for _ in 0..size {
+                let bearing = rng.random_range(0.0..360.0);
+                let u: f64 = rng.random_range(0.0f64..1.0);
+                let d = radius_km * (-(1.0 - u).ln()).min(3.0);
+                routers.push(Router {
+                    location: destination(home.location(), bearing, d),
+                    asn,
+                });
+            }
+        }
+        AsFootprint::National => {
+            let domestic: Vec<&'static City> = cities::cities_of(home.country).collect();
+            for _ in 0..size {
+                let c = domestic[rng.random_range(0..domestic.len())];
+                let bearing = rng.random_range(0.0..360.0);
+                let d = rng.random_range(1.0..80.0);
+                routers.push(Router {
+                    location: destination(c.location(), bearing, d),
+                    asn,
+                });
+            }
+        }
+        AsFootprint::Global => {
+            for _ in 0..size {
+                let c = all[weighted_index(weights, rng)];
+                let bearing = rng.random_range(0.0..360.0);
+                let d = rng.random_range(1.0..80.0);
+                routers.push(Router {
+                    location: destination(c.location(), bearing, d),
+                    asn,
+                });
+            }
+        }
+    }
+}
+
+fn weighted_index(weights: &[f64], rng: &mut ChaCha12Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn standard_normal(rng: &mut ChaCha12Rng) -> f64 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RouterConfig {
+        RouterConfig {
+            total_routers: 30_000,
+            total_ases: 1_500,
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_exact_counts() {
+        let ds = build(&small()).unwrap();
+        assert_eq!(ds.routers.len(), 30_000);
+        assert_eq!(ds.ases.len(), 1_500);
+        // Ranges partition the router vector.
+        let mut cursor = 0;
+        for a in &ds.ases {
+            assert_eq!(a.first_router, cursor);
+            cursor += a.router_count;
+            assert!(a.router_count >= 1);
+        }
+        assert_eq!(cursor, ds.routers.len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = build(&small()).unwrap();
+        let b = build(&small()).unwrap();
+        assert_eq!(a.routers.len(), b.routers.len());
+        assert_eq!(a.routers[1234], b.routers[1234]);
+    }
+
+    #[test]
+    fn zipf_sizes_are_heavy_tailed() {
+        let ds = build(&small()).unwrap();
+        let largest = ds.ases.iter().map(|a| a.router_count).max().unwrap();
+        let median = {
+            let mut s: Vec<usize> = ds.ases.iter().map(|a| a.router_count).collect();
+            s.sort();
+            s[s.len() / 2]
+        };
+        assert!(largest > 50 * median, "largest {largest} median {median}");
+    }
+
+    #[test]
+    fn router_latitude_share_matches_paper() {
+        // Fig 4b: ~38% of routers above 40°.
+        let ds = build(&small()).unwrap();
+        let pct = solarstorm_geo::percent_points_above_abs_lat(&ds.router_locations(), 40.0);
+        assert!(
+            (30.0..=48.0).contains(&pct),
+            "{pct}% routers above 40°, paper 38%"
+        );
+    }
+
+    #[test]
+    fn as_reach_matches_paper() {
+        // Fig 9a: 57% of ASes have presence above 40°.
+        let ds = build(&small()).unwrap();
+        let pct = ds.percent_ases_with_reach_above(40.0);
+        assert!(
+            (47.0..=67.0).contains(&pct),
+            "{pct}% AS reach above 40°, paper 57%"
+        );
+    }
+
+    #[test]
+    fn as_reach_is_monotone_in_threshold() {
+        let ds = build(&small()).unwrap();
+        let mut prev = 101.0;
+        for t in [0.0, 20.0, 40.0, 60.0, 80.0] {
+            let cur = ds.percent_ases_with_reach_above(t);
+            assert!(cur <= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn as_spread_quantiles_match_paper() {
+        // Fig 9b: median 1.723°, p90 18.263°.
+        let ds = build(&small()).unwrap();
+        let mut spreads = ds.as_latitude_spreads();
+        spreads.sort_by(f64::total_cmp);
+        let median = spreads[spreads.len() / 2];
+        let p90 = spreads[(spreads.len() as f64 * 0.9) as usize];
+        assert!(
+            (0.8..=3.5).contains(&median),
+            "median spread {median} vs 1.723"
+        );
+        assert!((8.0..=40.0).contains(&p90), "p90 spread {p90} vs 18.263");
+    }
+
+    #[test]
+    fn majority_of_ases_are_geographically_local() {
+        // The paper's takeaway: the vast majority of ASes have small
+        // spread (90% under ~18°).
+        let ds = build(&small()).unwrap();
+        let spreads = ds.as_latitude_spreads();
+        let local = spreads.iter().filter(|s| **s < 20.0).count();
+        assert!(local as f64 / spreads.len() as f64 > 0.80);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut cfg = small();
+        cfg.total_routers = 10;
+        assert!(build(&cfg).is_err());
+        let mut cfg = small();
+        cfg.zipf_exponent = 0.0;
+        assert!(build(&cfg).is_err());
+        let mut cfg = small();
+        cfg.global_fraction = 0.9;
+        cfg.national_fraction = 0.3;
+        assert!(build(&cfg).is_err());
+    }
+
+    #[test]
+    fn routers_of_returns_contiguous_group() {
+        let ds = build(&small()).unwrap();
+        for a in ds.ases.iter().take(50) {
+            for r in ds.routers_of(a.asn) {
+                assert_eq!(r.asn, a.asn);
+            }
+        }
+    }
+}

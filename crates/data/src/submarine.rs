@@ -1,0 +1,1621 @@
+//! Global submarine-cable network (TeleGeography substitute).
+//!
+//! The paper's dataset has 470 cables interconnecting 1,241 landing
+//! points, with a 775 km median / 28,000 km p99 / 39,000 km max length
+//! distribution and 31 % of endpoints above 40° absolute latitude.
+//!
+//! We embed ~90 real cable systems (names, landing chains, published
+//! lengths — SEA-ME-WE-3's 39,000 km is the maximum, exactly as in the
+//! paper) and top up with synthetic cables drawn from a log-normal
+//! calibrated to the same length distribution, anchored at real coastal
+//! cities. The generator is deterministic in the config seed.
+
+use crate::cities::{self, City};
+use crate::DataError;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::{destination, haversine_km, GeoPoint};
+use solarstorm_topology::{Network, NetworkKind, NodeId, NodeInfo, NodeRole, SegmentSpec};
+use std::collections::HashMap;
+
+/// Configuration for the submarine-network generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmarineConfig {
+    /// Total number of cable systems (paper: 470).
+    pub total_cables: usize,
+    /// Log-normal median for synthetic cable lengths, km.
+    pub synthetic_median_km: f64,
+    /// Log-normal sigma for synthetic cable lengths.
+    pub synthetic_sigma: f64,
+    /// Cap on synthetic cable lengths, km (real cables set the true max).
+    pub synthetic_max_km: f64,
+    /// Route slack over the great-circle distance (cables are not
+    /// geodesics).
+    pub route_slack: f64,
+    /// Probability that a synthetic cable's anchor endpoint reuses an
+    /// existing station (keeps the network largely one component).
+    pub reuse_anchor_probability: f64,
+    /// Probability that a synthetic cable gets a third landing point.
+    pub branch_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SubmarineConfig {
+    fn default() -> Self {
+        SubmarineConfig {
+            total_cables: 470,
+            synthetic_median_km: 360.0,
+            synthetic_sigma: 1.45,
+            synthetic_max_km: 28_000.0,
+            route_slack: 1.15,
+            reuse_anchor_probability: 0.30,
+            branch_probability: 0.55,
+            seed: 0x5EA_CAB1E,
+        }
+    }
+}
+
+impl SubmarineConfig {
+    fn validate(&self) -> Result<(), DataError> {
+        if self.total_cables < real_cables().len() {
+            return Err(DataError::InvalidConfig {
+                name: "total_cables",
+                message: format!(
+                    "must be at least the {} embedded real cables",
+                    real_cables().len()
+                ),
+            });
+        }
+        for (name, v) in [
+            ("synthetic_median_km", self.synthetic_median_km),
+            ("synthetic_sigma", self.synthetic_sigma),
+            ("synthetic_max_km", self.synthetic_max_km),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(DataError::InvalidConfig {
+                    name,
+                    message: format!("{v} must be finite and > 0"),
+                });
+            }
+        }
+        if !(1.0..=3.0).contains(&self.route_slack) {
+            return Err(DataError::InvalidConfig {
+                name: "route_slack",
+                message: format!("{} must be in [1, 3]", self.route_slack),
+            });
+        }
+        for (name, p) in [
+            ("reuse_anchor_probability", self.reuse_anchor_probability),
+            ("branch_probability", self.branch_probability),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(DataError::InvalidConfig {
+                    name,
+                    message: format!("{p} must be a probability"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A real cable system embedded in the library: name, published system
+/// length (0 = unknown, computed from the route), and the chain of
+/// landing cities (each consecutive pair becomes a segment).
+#[derive(Debug, Clone, Copy)]
+pub struct RealCableSpec {
+    /// System name.
+    pub name: &'static str,
+    /// Published length in km, or 0.0 when unknown.
+    pub length_km: f64,
+    /// Landing cities, in chain order; all must exist in the gazetteer.
+    pub landings: &'static [&'static str],
+}
+
+/// The embedded real-cable catalog (~90 systems across every basin).
+pub fn real_cables() -> &'static [RealCableSpec] {
+    const R: &[RealCableSpec] = &[
+        // --- Transatlantic ---
+        RealCableSpec {
+            name: "TAT-14",
+            length_km: 15_428.0,
+            landings: &[
+                "Wall NJ",
+                "Bude",
+                "Saint-Hilaire FR",
+                "Ostend BE",
+                "Norden DE",
+            ],
+        },
+        RealCableSpec {
+            name: "Atlantic Crossing-1",
+            length_km: 14_301.0,
+            landings: &["Shirley NY", "Porthcurno", "Norden DE"],
+        },
+        RealCableSpec {
+            name: "Apollo",
+            length_km: 13_000.0,
+            landings: &["Shirley NY", "Bude", "Penmarch FR", "Wall NJ"],
+        },
+        RealCableSpec {
+            name: "MAREA",
+            length_km: 6_605.0,
+            landings: &["Virginia Beach", "Bilbao"],
+        },
+        RealCableSpec {
+            name: "Grace Hopper",
+            length_km: 7_191.0,
+            landings: &["Shirley NY", "Bude", "Bilbao"],
+        },
+        RealCableSpec {
+            name: "Dunant",
+            length_km: 6_400.0,
+            landings: &["Virginia Beach", "Saint-Hilaire FR"],
+        },
+        RealCableSpec {
+            name: "Havfrue",
+            length_km: 7_200.0,
+            landings: &["Wall NJ", "Kristiansand", "Odense DK", "Dublin"],
+        },
+        RealCableSpec {
+            name: "AEConnect-1",
+            length_km: 5_536.0,
+            landings: &["Shirley NY", "Dublin"],
+        },
+        RealCableSpec {
+            name: "Hibernia Express",
+            length_km: 4_600.0,
+            landings: &["Halifax", "Cork", "Southport"],
+        },
+        RealCableSpec {
+            name: "Amitie",
+            length_km: 6_792.0,
+            landings: &["Lynn MA", "Bude", "Bordeaux"],
+        },
+        RealCableSpec {
+            name: "TGN-Atlantic",
+            length_km: 13_000.0,
+            landings: &["Wall NJ", "Highbridge"],
+        },
+        RealCableSpec {
+            name: "FLAG Atlantic-1",
+            length_km: 12_200.0,
+            landings: &["Shirley NY", "Porthcurno", "Penmarch FR"],
+        },
+        RealCableSpec {
+            name: "Yellow",
+            length_km: 7_001.0,
+            landings: &["Shirley NY", "Bude"],
+        },
+        RealCableSpec {
+            name: "Columbus-III",
+            length_km: 9_833.0,
+            landings: &["Hollywood FL", "Sesimbra PT"],
+        },
+        RealCableSpec {
+            name: "CANTAT-3",
+            length_km: 7_100.0,
+            landings: &["Halifax", "Reykjavik", "Porthcurno", "Norden DE"],
+        },
+        RealCableSpec {
+            name: "Greenland Connect",
+            length_km: 4_600.0,
+            landings: &["St Johns NL", "Reykjavik"],
+        },
+        // --- North-South Atlantic / South America ---
+        RealCableSpec {
+            name: "Atlantis-2",
+            length_km: 12_000.0,
+            landings: &[
+                "Las Toninas AR",
+                "Rio de Janeiro",
+                "Fortaleza",
+                "Dakar",
+                "Lisbon",
+            ],
+        },
+        RealCableSpec {
+            name: "EllaLink",
+            length_km: 6_200.0,
+            landings: &["Fortaleza", "Sesimbra PT"],
+        },
+        RealCableSpec {
+            name: "SACS",
+            length_km: 6_165.0,
+            landings: &["Fortaleza", "Sangano AO"],
+        },
+        RealCableSpec {
+            name: "SAIL",
+            length_km: 5_800.0,
+            landings: &["Fortaleza", "Douala"],
+        },
+        RealCableSpec {
+            name: "Monet",
+            length_km: 10_556.0,
+            landings: &["Boca Raton FL", "Fortaleza", "Santos"],
+        },
+        RealCableSpec {
+            name: "BRUSA",
+            length_km: 11_000.0,
+            landings: &[
+                "Virginia Beach",
+                "San Juan PR",
+                "Fortaleza",
+                "Rio de Janeiro",
+            ],
+        },
+        RealCableSpec {
+            name: "GlobeNet",
+            length_km: 23_500.0,
+            landings: &[
+                "Tuckerton NJ",
+                "Boca Raton FL",
+                "Fortaleza",
+                "Rio de Janeiro",
+                "Maldonado UY",
+            ],
+        },
+        RealCableSpec {
+            name: "AMX-1",
+            length_km: 17_800.0,
+            landings: &[
+                "Jacksonville FL",
+                "Miami",
+                "Cancun",
+                "Barranquilla",
+                "Cartagena CO",
+                "Fortaleza",
+                "Salvador",
+                "Rio de Janeiro",
+                "Santos",
+            ],
+        },
+        RealCableSpec {
+            name: "SAm-1",
+            length_km: 25_000.0,
+            landings: &[
+                "Boca Raton FL",
+                "San Juan PR",
+                "Fortaleza",
+                "Salvador",
+                "Santos",
+                "Las Toninas AR",
+                "Valparaiso",
+                "Lurin PE",
+                "Barranquilla",
+            ],
+        },
+        RealCableSpec {
+            name: "SAC",
+            length_km: 20_000.0,
+            landings: &[
+                "Hollywood FL",
+                "Charlotte Amalie VI",
+                "Fortaleza",
+                "Rio de Janeiro",
+                "Santos",
+                "Las Toninas AR",
+                "Valparaiso",
+                "Lurin PE",
+                "Panama City PA",
+            ],
+        },
+        RealCableSpec {
+            name: "ARCOS-1",
+            length_km: 8_600.0,
+            landings: &[
+                "Miami",
+                "Nassau",
+                "Santo Domingo",
+                "Cartagena CO",
+                "Colon PA",
+                "Cancun",
+            ],
+        },
+        RealCableSpec {
+            name: "Seabras-1",
+            length_km: 10_800.0,
+            landings: &["Wall NJ", "Praia Grande BR"],
+        },
+        RealCableSpec {
+            name: "Tannat",
+            length_km: 2_000.0,
+            landings: &["Santos", "Maldonado UY"],
+        },
+        RealCableSpec {
+            name: "Junior",
+            length_km: 390.0,
+            landings: &["Rio de Janeiro", "Santos"],
+        },
+        RealCableSpec {
+            name: "Malbec",
+            length_km: 2_600.0,
+            landings: &["Las Toninas AR", "Praia Grande BR"],
+        },
+        RealCableSpec {
+            name: "ALBA-1",
+            length_km: 1_860.0,
+            landings: &["Caracas", "Havana"],
+        },
+        RealCableSpec {
+            name: "Americas-II",
+            length_km: 8_373.0,
+            landings: &[
+                "Hollywood FL",
+                "San Juan PR",
+                "Willemstad",
+                "Caracas",
+                "Fortaleza",
+            ],
+        },
+        RealCableSpec {
+            name: "CFX-1",
+            length_km: 2_400.0,
+            landings: &["Boca Raton FL", "Cartagena CO"],
+        },
+        RealCableSpec {
+            name: "Maya-1",
+            length_km: 4_400.0,
+            landings: &["Hollywood FL", "Cancun", "Colon PA", "Esterillos CR"],
+        },
+        RealCableSpec {
+            name: "PCCS",
+            length_km: 6_000.0,
+            landings: &[
+                "Jacksonville FL",
+                "San Juan PR",
+                "Cartagena CO",
+                "Colon PA",
+                "Esterillos CR",
+                "Guayaquil",
+            ],
+        },
+        RealCableSpec {
+            name: "SPSC-Mistral",
+            length_km: 7_300.0,
+            landings: &["Guayaquil", "Lurin PE", "Arica CL", "Valparaiso"],
+        },
+        RealCableSpec {
+            name: "Curie",
+            length_km: 10_476.0,
+            landings: &["Hermosa Beach CA", "Panama City PA", "Valparaiso"],
+        },
+        // --- Transpacific ---
+        RealCableSpec {
+            name: "SEA-US",
+            length_km: 14_500.0,
+            landings: &["Hermosa Beach CA", "Honolulu", "Hagatna GU", "Davao PH"],
+        },
+        RealCableSpec {
+            name: "Southern Cross",
+            length_km: 30_500.0,
+            landings: &["Morro Bay CA", "Honolulu", "Suva", "Takapuna NZ", "Sydney"],
+        },
+        RealCableSpec {
+            name: "Southern Cross NEXT",
+            length_km: 13_700.0,
+            landings: &[
+                "Hermosa Beach CA",
+                "Honolulu",
+                "Suva",
+                "Takapuna NZ",
+                "Sydney",
+            ],
+        },
+        RealCableSpec {
+            name: "Hawaiki",
+            length_km: 15_000.0,
+            landings: &["Pacific City OR", "Honolulu", "Sydney", "Takapuna NZ"],
+        },
+        RealCableSpec {
+            name: "PC-1",
+            length_km: 22_682.0,
+            landings: &["Grover Beach CA", "Shima JP", "Maruyama JP", "Bandon OR"],
+        },
+        RealCableSpec {
+            name: "TPC-5",
+            length_km: 25_000.0,
+            landings: &[
+                "San Luis Obispo",
+                "Honolulu",
+                "Hagatna GU",
+                "Shima JP",
+                "Bandon OR",
+            ],
+        },
+        RealCableSpec {
+            name: "Japan-US CN",
+            length_km: 21_000.0,
+            landings: &["Morro Bay CA", "Maruyama JP", "Kitaibaraki JP", "Bandon OR"],
+        },
+        RealCableSpec {
+            name: "Unity",
+            length_km: 9_620.0,
+            landings: &["Hermosa Beach CA", "Chikura JP"],
+        },
+        RealCableSpec {
+            name: "FASTER",
+            length_km: 11_629.0,
+            landings: &["Bandon OR", "Chikura JP", "Shima JP"],
+        },
+        RealCableSpec {
+            name: "JUPITER",
+            length_km: 14_000.0,
+            landings: &["Hermosa Beach CA", "Maruyama JP", "Daet PH"],
+        },
+        RealCableSpec {
+            name: "PLCN",
+            length_km: 12_971.0,
+            landings: &["Hermosa Beach CA", "Toucheng TW", "Batangas PH"],
+        },
+        RealCableSpec {
+            name: "TPE",
+            length_km: 17_000.0,
+            landings: &[
+                "Pacific City OR",
+                "Chongming CN",
+                "Qingdao",
+                "Toucheng TW",
+                "Busan",
+                "Maruyama JP",
+            ],
+        },
+        RealCableSpec {
+            name: "NCP",
+            length_km: 13_618.0,
+            landings: &[
+                "Pacific City OR",
+                "Chongming CN",
+                "Busan",
+                "Toucheng TW",
+                "Maruyama JP",
+            ],
+        },
+        RealCableSpec {
+            name: "AAG",
+            length_km: 20_000.0,
+            landings: &[
+                "San Luis Obispo",
+                "Honolulu",
+                "Hagatna GU",
+                "Batangas PH",
+                "Vung Tau VN",
+                "Bandar Seri Begawan",
+                "Mersing MY",
+                "Tuas SG",
+                "Hong Kong",
+            ],
+        },
+        RealCableSpec {
+            name: "Telstra Endeavour",
+            length_km: 9_125.0,
+            landings: &["Sydney", "Honolulu"],
+        },
+        RealCableSpec {
+            name: "Honotua",
+            length_km: 4_805.0,
+            landings: &["Papeete PF", "Honolulu"],
+        },
+        // --- Europe <-> Asia / Africa trunk systems ---
+        RealCableSpec {
+            name: "SEA-ME-WE-3",
+            length_km: 39_000.0,
+            landings: &[
+                "Norden DE",
+                "Porthcurno",
+                "Penmarch FR",
+                "Sesimbra PT",
+                "Mazara IT",
+                "Alexandria",
+                "Suez",
+                "Jeddah",
+                "Djibouti City",
+                "Muscat",
+                "Karachi",
+                "Mumbai",
+                "Cochin",
+                "Mount Lavinia LK",
+                "Penang",
+                "Medan",
+                "Tuas SG",
+                "Jakarta",
+                "Perth",
+            ],
+        },
+        RealCableSpec {
+            name: "SEA-ME-WE-4",
+            length_km: 18_800.0,
+            landings: &[
+                "Marseille",
+                "Alexandria",
+                "Suez",
+                "Jeddah",
+                "Karachi",
+                "Mumbai",
+                "Colombo",
+                "Chennai",
+                "Coxs Bazar BD",
+                "Satun TH",
+                "Penang",
+                "Tuas SG",
+            ],
+        },
+        RealCableSpec {
+            name: "SEA-ME-WE-5",
+            length_km: 20_000.0,
+            landings: &[
+                "Marseille",
+                "Catania IT",
+                "Zafarana EG",
+                "Jeddah",
+                "Djibouti City",
+                "Karachi",
+                "Mumbai",
+                "Colombo",
+                "Yangon",
+                "Songkhla TH",
+                "Penang",
+                "Singapore",
+            ],
+        },
+        RealCableSpec {
+            name: "AAE-1",
+            length_km: 25_000.0,
+            landings: &[
+                "Marseille",
+                "Chania GR",
+                "Zafarana EG",
+                "Jeddah",
+                "Djibouti City",
+                "Salalah",
+                "Fujairah",
+                "Karachi",
+                "Mumbai",
+                "Colombo",
+                "Yangon",
+                "Songkhla TH",
+                "Tuas SG",
+                "Sihanoukville KH",
+                "Vung Tau VN",
+                "Hong Kong",
+            ],
+        },
+        RealCableSpec {
+            name: "FLAG Europe-Asia",
+            length_km: 28_000.0,
+            landings: &[
+                "Porthcurno",
+                "Palermo",
+                "Alexandria",
+                "Suez",
+                "Fujairah",
+                "Mumbai",
+                "Penang",
+                "Satun TH",
+                "Hong Kong",
+                "Shanghai",
+                "Busan",
+                "Maruyama JP",
+            ],
+        },
+        RealCableSpec {
+            name: "IMEWE",
+            length_km: 12_091.0,
+            landings: &[
+                "Marseille",
+                "Catania IT",
+                "Alexandria",
+                "Suez",
+                "Jeddah",
+                "Fujairah",
+                "Karachi",
+                "Mumbai",
+            ],
+        },
+        RealCableSpec {
+            name: "EIG",
+            length_km: 15_000.0,
+            landings: &[
+                "Bude",
+                "Lisbon",
+                "Tripoli LY",
+                "Alexandria",
+                "Suez",
+                "Jeddah",
+                "Djibouti City",
+                "Muscat",
+                "Fujairah",
+                "Mumbai",
+            ],
+        },
+        RealCableSpec {
+            name: "BBG",
+            length_km: 8_100.0,
+            landings: &[
+                "Fujairah",
+                "Mumbai",
+                "Chennai",
+                "Mount Lavinia LK",
+                "Penang",
+                "Tuas SG",
+            ],
+        },
+        RealCableSpec {
+            name: "i2i",
+            length_km: 3_175.0,
+            landings: &["Chennai", "Tuas SG"],
+        },
+        RealCableSpec {
+            name: "TIC",
+            length_km: 3_250.0,
+            landings: &["Chennai", "Tuas SG"],
+        },
+        RealCableSpec {
+            name: "FALCON",
+            length_km: 10_300.0,
+            landings: &[
+                "Suez",
+                "Jeddah",
+                "Manama",
+                "Doha",
+                "Kuwait City",
+                "Fujairah",
+                "Mumbai",
+            ],
+        },
+        RealCableSpec {
+            name: "GBI",
+            length_km: 5_000.0,
+            landings: &["Fujairah", "Doha", "Manama", "Kuwait City", "Suez"],
+        },
+        RealCableSpec {
+            name: "MedNautilus",
+            length_km: 7_000.0,
+            landings: &[
+                "Catania IT",
+                "Chania GR",
+                "Limassol CY",
+                "Haifa",
+                "Tel Aviv",
+                "Istanbul",
+            ],
+        },
+        // --- Africa ---
+        RealCableSpec {
+            name: "SAT-3/WASC",
+            length_km: 14_350.0,
+            landings: &[
+                "Sesimbra PT",
+                "Dakar",
+                "Abidjan",
+                "Accra",
+                "Lagos",
+                "Douala",
+                "Sangano AO",
+                "Melkbosstrand ZA",
+            ],
+        },
+        RealCableSpec {
+            name: "SAFE",
+            length_km: 13_500.0,
+            landings: &["Melkbosstrand ZA", "Mtunzini ZA", "Cochin", "Penang"],
+        },
+        RealCableSpec {
+            name: "WACS",
+            length_km: 14_530.0,
+            landings: &[
+                "Yzerfontein ZA",
+                "Swakopmund NA",
+                "Sangano AO",
+                "Muanda CD",
+                "Lagos",
+                "Accra",
+                "Abidjan",
+                "Dakar",
+                "Lisbon",
+                "Highbridge",
+            ],
+        },
+        RealCableSpec {
+            name: "ACE",
+            length_km: 17_000.0,
+            landings: &[
+                "Penmarch FR",
+                "Lisbon",
+                "Dakar",
+                "Abidjan",
+                "Accra",
+                "Lagos",
+                "Douala",
+            ],
+        },
+        RealCableSpec {
+            name: "MainOne",
+            length_km: 7_000.0,
+            landings: &["Sesimbra PT", "Accra", "Lagos"],
+        },
+        RealCableSpec {
+            name: "Glo-1",
+            length_km: 9_800.0,
+            landings: &["Bude", "Lisbon", "Dakar", "Accra", "Lagos"],
+        },
+        RealCableSpec {
+            name: "Equiano",
+            length_km: 15_000.0,
+            landings: &["Sesimbra PT", "Lagos", "Swakopmund NA", "Melkbosstrand ZA"],
+        },
+        RealCableSpec {
+            name: "2Africa",
+            length_km: 37_000.0,
+            landings: &[
+                "Bude",
+                "Lisbon",
+                "Dakar",
+                "Abidjan",
+                "Accra",
+                "Lagos",
+                "Douala",
+                "Sangano AO",
+                "Yzerfontein ZA",
+                "Mtunzini ZA",
+                "Maputo",
+                "Dar es Salaam",
+                "Mombasa",
+                "Mogadishu",
+                "Djibouti City",
+                "Jeddah",
+                "Zafarana EG",
+                "Alexandria",
+                "Marseille",
+                "Barcelona",
+            ],
+        },
+        RealCableSpec {
+            name: "EASSy",
+            length_km: 10_000.0,
+            landings: &[
+                "Mtunzini ZA",
+                "Maputo",
+                "Dar es Salaam",
+                "Mombasa",
+                "Mogadishu",
+                "Djibouti City",
+                "Port Sudan",
+            ],
+        },
+        RealCableSpec {
+            name: "SEACOM",
+            length_km: 15_000.0,
+            landings: &[
+                "Mtunzini ZA",
+                "Maputo",
+                "Dar es Salaam",
+                "Mombasa",
+                "Zafarana EG",
+                "Mumbai",
+            ],
+        },
+        RealCableSpec {
+            name: "LION2",
+            length_km: 3_000.0,
+            landings: &["Toliara MG", "Mombasa"],
+        },
+        RealCableSpec {
+            name: "METISS",
+            length_km: 3_200.0,
+            landings: &["Mtunzini ZA", "Toliara MG"],
+        },
+        // --- Intra-Asia / Oceania ---
+        RealCableSpec {
+            name: "APG",
+            length_km: 10_400.0,
+            landings: &[
+                "Tuas SG",
+                "Mersing MY",
+                "Songkhla TH",
+                "Vung Tau VN",
+                "Hong Kong",
+                "Shantou",
+                "Toucheng TW",
+                "Busan",
+                "Maruyama JP",
+                "Shima JP",
+            ],
+        },
+        RealCableSpec {
+            name: "APCN-2",
+            length_km: 19_000.0,
+            landings: &[
+                "Tuas SG",
+                "Kuching MY",
+                "Hong Kong",
+                "Shantou",
+                "Fangshan TW",
+                "Chongming CN",
+                "Busan",
+                "Kitaibaraki JP",
+                "Chikura JP",
+                "Batangas PH",
+            ],
+        },
+        RealCableSpec {
+            name: "ASE",
+            length_km: 7_800.0,
+            landings: &[
+                "Tuas SG",
+                "Mersing MY",
+                "Batangas PH",
+                "Hong Kong",
+                "Maruyama JP",
+            ],
+        },
+        RealCableSpec {
+            name: "SJC",
+            length_km: 8_900.0,
+            landings: &[
+                "Tuas SG",
+                "Batam ID",
+                "Bandar Seri Begawan",
+                "Hong Kong",
+                "Shantou",
+                "Batangas PH",
+                "Chikura JP",
+            ],
+        },
+        RealCableSpec {
+            name: "SJC2",
+            length_km: 10_500.0,
+            landings: &[
+                "Tuas SG",
+                "Vung Tau VN",
+                "Sihanoukville KH",
+                "Hong Kong",
+                "Shantou",
+                "Toucheng TW",
+                "Busan",
+                "Chikura JP",
+                "Batangas PH",
+            ],
+        },
+        RealCableSpec {
+            name: "EAC-C2C",
+            length_km: 36_800.0,
+            landings: &[
+                "Tuas SG",
+                "Hong Kong",
+                "Fangshan TW",
+                "Toucheng TW",
+                "Shanghai",
+                "Qingdao",
+                "Busan",
+                "Chikura JP",
+                "Maruyama JP",
+                "Batangas PH",
+            ],
+        },
+        RealCableSpec {
+            name: "FNAL",
+            length_km: 9_700.0,
+            landings: &["Hong Kong", "Busan", "Chikura JP"],
+        },
+        RealCableSpec {
+            name: "Matrix",
+            length_km: 1_055.0,
+            landings: &["Tuas SG", "Batam ID", "Jakarta"],
+        },
+        RealCableSpec {
+            name: "IGG",
+            length_km: 5_500.0,
+            landings: &[
+                "Tuas SG",
+                "Batam ID",
+                "Jakarta",
+                "Makassar ID",
+                "Jayapura ID",
+            ],
+        },
+        RealCableSpec {
+            name: "ASC",
+            length_km: 4_600.0,
+            landings: &["Perth", "Jakarta", "Tuas SG"],
+        },
+        RealCableSpec {
+            name: "INDIGO-West",
+            length_km: 4_600.0,
+            landings: &["Perth", "Jakarta", "Tuas SG"],
+        },
+        RealCableSpec {
+            name: "INDIGO-Central",
+            length_km: 4_850.0,
+            landings: &["Perth", "Sydney"],
+        },
+        RealCableSpec {
+            name: "PPC-1",
+            length_km: 6_900.0,
+            landings: &["Sydney", "Hagatna GU"],
+        },
+        RealCableSpec {
+            name: "TGA",
+            length_km: 2_288.0,
+            landings: &["Auckland", "Sydney"],
+        },
+        RealCableSpec {
+            name: "Gondwana-1",
+            length_km: 2_100.0,
+            landings: &["Noumea NC", "Sydney"],
+        },
+        RealCableSpec {
+            name: "Coral Sea",
+            length_km: 4_700.0,
+            landings: &["Sydney", "Port Moresby"],
+        },
+        RealCableSpec {
+            name: "JGA",
+            length_km: 9_500.0,
+            landings: &["Maruyama JP", "Hagatna GU", "Sydney"],
+        },
+        RealCableSpec {
+            name: "AJC",
+            length_km: 12_700.0,
+            landings: &["Sydney", "Hagatna GU", "Maruyama JP", "Shima JP"],
+        },
+        RealCableSpec {
+            name: "HANTRU-1",
+            length_km: 3_000.0,
+            landings: &["Hagatna GU", "Pohnpei FM"],
+        },
+        // --- Regional Europe ---
+        RealCableSpec {
+            name: "FARICE-1",
+            length_km: 1_400.0,
+            landings: &["Reykjavik", "Edinburgh"],
+        },
+        RealCableSpec {
+            name: "DANICE",
+            length_km: 2_300.0,
+            landings: &["Reykjavik", "Fredericia DK"],
+        },
+        RealCableSpec {
+            name: "C-Lion1",
+            length_km: 1_173.0,
+            landings: &["Helsinki", "Hamburg"],
+        },
+        // --- North Pacific / Alaska ---
+        RealCableSpec {
+            name: "AKORN",
+            length_km: 3_000.0,
+            landings: &["Nikiski AK", "Pacific City OR"],
+        },
+        RealCableSpec {
+            name: "Alaska United East",
+            length_km: 3_500.0,
+            landings: &["Anchorage", "Juneau", "Seattle"],
+        },
+        RealCableSpec {
+            name: "Alaska United West",
+            length_km: 2_900.0,
+            landings: &["Nikiski AK", "Port Alberni BC"],
+        },
+        // --- Hawaii inter-island ---
+        RealCableSpec {
+            name: "Paniolo",
+            length_km: 400.0,
+            landings: &["Kahe Point HI", "Kahului HI", "Hilo HI"],
+        },
+        RealCableSpec {
+            name: "SEA-ME-WE-4 Ext",
+            length_km: 500.0,
+            landings: &["Tuas SG", "Mersing MY"],
+        },
+        // --- Caribbean & Latin America regional ---
+        RealCableSpec {
+            name: "Columbus-II",
+            length_km: 12_000.0,
+            landings: &[
+                "Hollywood FL",
+                "Cancun",
+                "Charlotte Amalie VI",
+                "Lisbon",
+                "Palermo",
+            ],
+        },
+        RealCableSpec {
+            name: "Antillas 1",
+            length_km: 650.0,
+            landings: &["San Juan PR", "Santo Domingo"],
+        },
+        RealCableSpec {
+            name: "Fibralink",
+            length_km: 1_300.0,
+            landings: &["Kingston", "Santo Domingo"],
+        },
+        RealCableSpec {
+            name: "Taino-Carib",
+            length_km: 300.0,
+            landings: &["San Juan PR", "Charlotte Amalie VI"],
+        },
+        RealCableSpec {
+            name: "PAN-AM",
+            length_km: 7_225.0,
+            landings: &[
+                "Arica CL",
+                "Lurin PE",
+                "Panama City PA",
+                "Barranquilla",
+                "Charlotte Amalie VI",
+            ],
+        },
+        RealCableSpec {
+            name: "UNISUR",
+            length_km: 890.0,
+            landings: &["Las Toninas AR", "Maldonado UY"],
+        },
+        RealCableSpec {
+            name: "Prat",
+            length_km: 3_500.0,
+            landings: &["Arica CL", "Valparaiso"],
+        },
+        // --- Mediterranean regional ---
+        RealCableSpec {
+            name: "Hannibal",
+            length_km: 170.0,
+            landings: &["Mazara IT", "Tunis"],
+        },
+        RealCableSpec {
+            name: "Didon",
+            length_km: 180.0,
+            landings: &["Mazara IT", "Tunis"],
+        },
+        RealCableSpec {
+            name: "Italy-Libya",
+            length_km: 550.0,
+            landings: &["Mazara IT", "Tripoli LY"],
+        },
+        RealCableSpec {
+            name: "Italy-Greece",
+            length_km: 1_000.0,
+            landings: &["Catania IT", "Chania GR"],
+        },
+        RealCableSpec {
+            name: "Italy-Malta",
+            length_km: 250.0,
+            landings: &["Catania IT", "Valletta"],
+        },
+        RealCableSpec {
+            name: "Turcyos-1",
+            length_km: 650.0,
+            landings: &["Limassol CY", "Izmir"],
+        },
+        RealCableSpec {
+            name: "Ugarit",
+            length_km: 230.0,
+            landings: &["Limassol CY", "Beirut"],
+        },
+        RealCableSpec {
+            name: "Jonah",
+            length_km: 2_300.0,
+            landings: &["Tel Aviv", "Catania IT"],
+        },
+        RealCableSpec {
+            name: "ALPAL-2",
+            length_km: 260.0,
+            landings: &["Algiers", "Valencia"],
+        },
+        RealCableSpec {
+            name: "Med Cable",
+            length_km: 250.0,
+            landings: &["Algiers", "Marseille"],
+        },
+        // --- North & Irish Sea, Baltic ---
+        RealCableSpec {
+            name: "CeltixConnect",
+            length_km: 131.0,
+            landings: &["Dublin", "Southport"],
+        },
+        RealCableSpec {
+            name: "ESAT-1",
+            length_km: 600.0,
+            landings: &["Dublin", "Porthcurno"],
+        },
+        RealCableSpec {
+            name: "Pan-European Crossing",
+            length_km: 320.0,
+            landings: &["Bude", "Ostend BE"],
+        },
+        RealCableSpec {
+            name: "BCS North-1",
+            length_km: 700.0,
+            landings: &["Helsinki", "Tallinn"],
+        },
+        RealCableSpec {
+            name: "Denmark-Poland 2",
+            length_km: 300.0,
+            landings: &["Copenhagen", "Gdansk"],
+        },
+        // --- Pacific islands & Africa regional ---
+        RealCableSpec {
+            name: "Interchange ICN1",
+            length_km: 1_250.0,
+            landings: &["Suva", "Noumea NC"],
+        },
+        RealCableSpec {
+            name: "APNG-2",
+            length_km: 1_800.0,
+            landings: &["Sydney", "Port Moresby"],
+        },
+        RealCableSpec {
+            name: "NCSCS",
+            length_km: 1_100.0,
+            landings: &["Douala", "Lagos"],
+        },
+    ];
+    R
+}
+
+/// Builds the submarine network from the embedded catalog plus calibrated
+/// synthetic cables.
+pub fn build(cfg: &SubmarineConfig) -> Result<Network, DataError> {
+    cfg.validate()?;
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+    let mut net = Network::new(NetworkKind::Submarine);
+    // Station registry: one primary station per city, created on demand.
+    let mut primary_station: HashMap<&'static str, NodeId> = HashMap::new();
+    let mut station_city: Vec<&'static City> = Vec::new();
+
+    let mut ensure_station =
+        |net: &mut Network, station_city: &mut Vec<&'static City>, city: &'static City| {
+            *primary_station.entry(city.name).or_insert_with(|| {
+                let id = net.add_node(NodeInfo {
+                    name: city.name.to_string(),
+                    location: city.location(),
+                    country: city.country.to_string(),
+                    role: NodeRole::LandingPoint,
+                });
+                station_city.push(city);
+                id
+            })
+        };
+
+    // 1. Real cables.
+    for spec in real_cables() {
+        let mut nodes = Vec::with_capacity(spec.landings.len());
+        for name in spec.landings {
+            let city = cities::city_or_err(name)?;
+            nodes.push(ensure_station(&mut net, &mut station_city, city));
+        }
+        add_chain_cable(&mut net, spec.name, &nodes, spec.length_km)?;
+    }
+
+    // 2. Synthetic fill.
+    let mu = cfg.synthetic_median_km.ln();
+    let coastal: Vec<&'static City> = cities::coastal_cities().collect();
+    let mut synth_idx = 0usize;
+    while net.cable_count() < cfg.total_cables {
+        synth_idx += 1;
+        // Sample a target length.
+        let z: f64 = sample_standard_normal(&mut rng);
+        let target_len = (mu + cfg.synthetic_sigma * z)
+            .exp()
+            .clamp(30.0, cfg.synthetic_max_km);
+
+        // Anchor endpoint: reuse an existing station (hub-preferential) or
+        // open a new station near a weighted coastal city.
+        let anchor = if rng.random_bool(cfg.reuse_anchor_probability) && net.node_count() > 0 {
+            NodeId(rng.random_range(0..net.node_count()))
+        } else {
+            let city = pick_coastal(&coastal, &mut rng);
+            new_station(&mut net, city, &mut rng, synth_idx)
+        };
+        let anchor_loc = net.node(anchor).expect("anchor exists").location;
+
+        // Partner endpoint: a coastal city whose distance roughly matches
+        // the sampled length; otherwise a jittered offshoot of the anchor.
+        let geodesic_target = target_len / cfg.route_slack;
+        // Short festoons hop along the coast rather than between cities;
+        // matching them to a distant city would inflate the length
+        // distribution's low end.
+        let partner_city = if target_len < 250.0 {
+            None
+        } else {
+            nearest_length_match(&coastal, anchor_loc, geodesic_target, &mut rng)
+        };
+        let partner = match partner_city {
+            Some(city) if rng.random_bool(0.30) => {
+                // Land at the city's primary station (shared hub).
+                ensure_station(&mut net, &mut station_city, city)
+            }
+            Some(city) => new_station(&mut net, city, &mut rng, synth_idx),
+            None => {
+                // Coastal festoon: offshoot along a random bearing.
+                let bearing = rng.random_range(0.0..360.0);
+                let loc = destination(anchor_loc, bearing, geodesic_target);
+                let id = net.add_node(NodeInfo {
+                    name: format!("Station S{synth_idx}"),
+                    location: loc,
+                    country: net
+                        .node(anchor)
+                        .map(|n| n.country.clone())
+                        .unwrap_or_default(),
+                    role: NodeRole::LandingPoint,
+                });
+                id
+            }
+        };
+        if partner == anchor {
+            continue;
+        }
+        let mut chain = vec![anchor, partner];
+
+        // Optional branches: extend the chain with nearby extra landings
+        // (real systems branch into several stations; Equiano has nine
+        // branching units).
+        let mut branches = 0;
+        while branches < 3 && rng.random_bool(cfg.branch_probability) {
+            branches += 1;
+            let tail = *chain.last().expect("chain non-empty");
+            let end_loc = net.node(tail).expect("tail exists").location;
+            let branch_len = (target_len * rng.random_range(0.05..0.2)).max(40.0);
+            let bearing = rng.random_range(0.0..360.0);
+            let loc = destination(end_loc, bearing, branch_len / cfg.route_slack);
+            let id = net.add_node(NodeInfo {
+                name: format!("Station S{synth_idx}b{branches}"),
+                location: loc,
+                country: net
+                    .node(tail)
+                    .map(|n| n.country.clone())
+                    .unwrap_or_default(),
+                role: NodeRole::LandingPoint,
+            });
+            chain.push(id);
+        }
+        let name = format!("Synthetic-{synth_idx}");
+        // Total cable length: slack over the chain geodesic.
+        let mut geo = 0.0;
+        for w in chain.windows(2) {
+            geo += haversine_km(
+                net.node(w[0]).expect("exists").location,
+                net.node(w[1]).expect("exists").location,
+            );
+        }
+        add_chain_cable(&mut net, &name, &chain, geo * cfg.route_slack)?;
+    }
+    Ok(net)
+}
+
+/// Adds a cable whose segments chain through `nodes`, allocating
+/// `total_len` (or the slacked geodesic when 0) across segments
+/// proportionally to great-circle distance.
+fn add_chain_cable(
+    net: &mut Network,
+    name: &str,
+    nodes: &[NodeId],
+    total_len: f64,
+) -> Result<(), DataError> {
+    if nodes.len() < 2 {
+        return Err(DataError::InvalidDataset(format!(
+            "cable {name} has fewer than 2 landings"
+        )));
+    }
+    let mut geo_lens = Vec::with_capacity(nodes.len() - 1);
+    let mut geo_total = 0.0;
+    for w in nodes.windows(2) {
+        let d = haversine_km(
+            net.node(w[0]).expect("node exists").location,
+            net.node(w[1]).expect("node exists").location,
+        );
+        geo_lens.push(d);
+        geo_total += d;
+    }
+    let total = if total_len > 0.0 {
+        total_len.max(geo_total)
+    } else {
+        geo_total * 1.15
+    };
+    let mut segments = Vec::with_capacity(nodes.len() - 1);
+    for (i, w) in nodes.windows(2).enumerate() {
+        if w[0] == w[1] {
+            continue;
+        }
+        let share = if geo_total > 0.0 {
+            geo_lens[i] / geo_total
+        } else {
+            1.0 / geo_lens.len() as f64
+        };
+        segments.push(SegmentSpec {
+            a: w[0],
+            b: w[1],
+            route: None,
+            length_km: Some(total * share),
+        });
+    }
+    if segments.is_empty() {
+        return Err(DataError::InvalidDataset(format!(
+            "cable {name} collapsed to zero segments"
+        )));
+    }
+    net.add_cable(name, segments)
+        .map_err(|e| DataError::InvalidDataset(format!("cable {name}: {e}")))?;
+    Ok(())
+}
+
+/// Creates a fresh landing station jittered around a city.
+fn new_station(
+    net: &mut Network,
+    city: &'static City,
+    rng: &mut ChaCha12Rng,
+    idx: usize,
+) -> NodeId {
+    let bearing = rng.random_range(0.0..360.0);
+    let dist = rng.random_range(5.0..120.0);
+    let loc = destination(city.location(), bearing, dist);
+    net.add_node(NodeInfo {
+        name: format!("{} (landing {idx})", city.name),
+        location: loc,
+        country: city.country.to_string(),
+        role: NodeRole::LandingPoint,
+    })
+}
+
+/// Weighted coastal-city pick: population and internet development.
+fn pick_coastal<'a>(coastal: &[&'a City], rng: &mut ChaCha12Rng) -> &'a City {
+    let weights: Vec<f64> = coastal
+        .iter()
+        .map(|c| {
+            let dev = cities::country(c.country)
+                .map(|k| k.internet_index)
+                .unwrap_or(0.3);
+            let lat_boost = if c.lat.abs() >= 40.0 { 1.8 } else { 1.0 };
+            (0.25 + c.population_m.max(0.0).powf(0.35)) * dev * lat_boost
+        })
+        .collect();
+    coastal[weighted_index(&weights, rng)]
+}
+
+/// Picks a coastal city whose distance from `from` is close to `target`
+/// km, softly at random; `None` when nothing lands within a factor ~2.
+fn nearest_length_match<'a>(
+    coastal: &[&'a City],
+    from: GeoPoint,
+    target: f64,
+    rng: &mut ChaCha12Rng,
+) -> Option<&'a City> {
+    let mut weights = Vec::with_capacity(coastal.len());
+    let mut any = false;
+    for c in coastal {
+        let d = haversine_km(from, c.location());
+        // Weight peaks when the distance matches the target; decays as a
+        // Gaussian in log-ratio so a 2x mismatch is heavily suppressed.
+        let w = if d < 1.0 {
+            0.0
+        } else {
+            let r = (d / target).ln();
+            (-(r * r) / (2.0 * 0.25f64.powi(2))).exp()
+        };
+        if w > 1e-4 {
+            any = true;
+        }
+        weights.push(w);
+    }
+    if !any {
+        return None;
+    }
+    Some(coastal[weighted_index(&weights, rng)])
+}
+
+fn weighted_index(weights: &[f64], rng: &mut ChaCha12Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut x = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Standard normal via Box-Muller.
+fn sample_standard_normal(rng: &mut ChaCha12Rng) -> f64 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_catalog_resolves_and_chains() {
+        for spec in real_cables() {
+            assert!(spec.landings.len() >= 2, "{}", spec.name);
+            for name in spec.landings {
+                assert!(
+                    cities::find_city(name).is_some(),
+                    "cable {} references unknown city {}",
+                    spec.name,
+                    name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn longest_real_cable_is_sea_me_we_3() {
+        let max = real_cables()
+            .iter()
+            .max_by(|a, b| a.length_km.total_cmp(&b.length_km))
+            .unwrap();
+        assert_eq!(max.name, "SEA-ME-WE-3");
+        assert_eq!(max.length_km, 39_000.0);
+    }
+
+    #[test]
+    fn builds_the_configured_cable_count() {
+        let net = build(&SubmarineConfig::default()).unwrap();
+        assert_eq!(net.cable_count(), 470);
+        // Landing-point count near the paper's 1,241.
+        let n = net.node_count();
+        assert!(
+            (800..=1600).contains(&n),
+            "landing points {n} far from 1241"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = build(&SubmarineConfig::default()).unwrap();
+        let b = build(&SubmarineConfig::default()).unwrap();
+        assert_eq!(a.cable_count(), b.cable_count());
+        assert_eq!(a.node_count(), b.node_count());
+        for (ca, cb) in a.cables().iter().zip(b.cables()) {
+            assert_eq!(ca.name, cb.name);
+            assert_eq!(ca.length_km, cb.length_km);
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_synthetics() {
+        let a = build(&SubmarineConfig::default()).unwrap();
+        let cfg = SubmarineConfig {
+            seed: 99,
+            ..SubmarineConfig::default()
+        };
+        let b = build(&cfg).unwrap();
+        let la: f64 = a.cables().iter().map(|c| c.length_km).sum();
+        let lb: f64 = b.cables().iter().map(|c| c.length_km).sum();
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn length_distribution_matches_paper() {
+        let net = build(&SubmarineConfig::default()).unwrap();
+        let mut lens: Vec<f64> = net.cables().iter().map(|c| c.length_km).collect();
+        lens.sort_by(f64::total_cmp);
+        let median = lens[lens.len() / 2];
+        let p99 = lens[(lens.len() as f64 * 0.99) as usize];
+        let max = *lens.last().unwrap();
+        assert!(
+            (500.0..=1100.0).contains(&median),
+            "median {median} vs paper 775"
+        );
+        assert!(p99 > 20_000.0, "p99 {p99} vs paper 28000");
+        assert!((38_000.0..=40_000.0).contains(&max), "max {max} vs 39000");
+    }
+
+    #[test]
+    fn endpoint_latitude_share_matches_paper() {
+        let net = build(&SubmarineConfig::default()).unwrap();
+        let pts = net.node_locations();
+        let pct = solarstorm_geo::percent_points_above_abs_lat(&pts, 40.0);
+        assert!(
+            (24.0..=38.0).contains(&pct),
+            "{pct}% of endpoints above 40°, paper says 31%"
+        );
+    }
+
+    #[test]
+    fn repeaterless_share_matches_paper() {
+        // Paper §4.3.1: 82 of 441 submarine cables (18.6%) need no
+        // repeater at 150 km spacing.
+        let net = build(&SubmarineConfig::default()).unwrap();
+        let no_rep = net
+            .cables()
+            .iter()
+            .filter(|c| c.repeater_count(150.0) == 0)
+            .count();
+        let share = no_rep as f64 / net.cable_count() as f64;
+        assert!(
+            (0.10..=0.30).contains(&share),
+            "repeaterless share {share} vs paper 0.186"
+        );
+    }
+
+    #[test]
+    fn network_is_mostly_one_component() {
+        let net = build(&SubmarineConfig::default()).unwrap();
+        let dead = vec![false; net.cable_count()];
+        let (labels, count) = net.surviving_components(&dead);
+        let mut sizes = vec![0usize; count];
+        for l in &labels {
+            sizes[*l] += 1;
+        }
+        let giant = *sizes.iter().max().unwrap();
+        assert!(
+            giant as f64 / labels.len() as f64 > 0.25,
+            "giant component only {giant}/{} nodes",
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut cfg = SubmarineConfig::default();
+        cfg.total_cables = 3;
+        assert!(build(&cfg).is_err());
+        let mut cfg = SubmarineConfig::default();
+        cfg.route_slack = 0.5;
+        assert!(build(&cfg).is_err());
+        let mut cfg = SubmarineConfig::default();
+        cfg.branch_probability = 1.5;
+        assert!(build(&cfg).is_err());
+        let mut cfg = SubmarineConfig::default();
+        cfg.synthetic_median_km = -1.0;
+        assert!(build(&cfg).is_err());
+    }
+
+    #[test]
+    fn every_cable_has_positive_length_and_valid_band() {
+        let net = build(&SubmarineConfig::default()).unwrap();
+        for c in net.cables() {
+            assert!(c.length_km > 0.0, "{}", c.name);
+            assert!((0.0..=90.0).contains(&c.max_abs_lat_deg), "{}", c.name);
+            assert!(!c.segments.is_empty(), "{}", c.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod calibration_probe {
+    use super::*;
+
+    /// Not an assertion test: prints the headline statistics so the
+    /// generator can be recalibrated quickly. Run with `--nocapture`.
+    #[test]
+    fn print_stats() {
+        let net = build(&SubmarineConfig::default()).unwrap();
+        let mut lens: Vec<f64> = net.cables().iter().map(|c| c.length_km).collect();
+        lens.sort_by(f64::total_cmp);
+        let pts = net.node_locations();
+        let pct40 = solarstorm_geo::percent_points_above_abs_lat(&pts, 40.0);
+        let no_rep = net
+            .cables()
+            .iter()
+            .filter(|c| c.repeater_count(150.0) == 0)
+            .count();
+        let dead = vec![false; net.cable_count()];
+        let (labels, count) = net.surviving_components(&dead);
+        let mut sizes = vec![0usize; count];
+        for l in &labels {
+            sizes[*l] += 1;
+        }
+        let giant = *sizes.iter().max().unwrap();
+        let avg_rep: f64 = net
+            .cables()
+            .iter()
+            .map(|c| c.repeater_count(150.0) as f64)
+            .sum::<f64>()
+            / net.cable_count() as f64;
+        println!(
+            "cables={} nodes={} median={:.0} p99={:.0} max={:.0} pct>40={:.1} norep={} ({:.1}%) avg_rep150={:.2} giant={}/{}",
+            net.cable_count(), net.node_count(),
+            lens[lens.len()/2], lens[(lens.len() as f64*0.99) as usize], lens.last().unwrap(),
+            pct40, no_rep, 100.0*no_rep as f64/net.cable_count() as f64, avg_rep, giant, labels.len()
+        );
+    }
+}

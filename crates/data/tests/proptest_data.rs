@@ -1,0 +1,96 @@
+//! Property-based tests for the dataset generators: structural
+//! invariants must hold for any configuration, not just the defaults.
+
+use proptest::prelude::*;
+use solarstorm_data::{
+    intertubes, routers, submarine, IntertubesConfig, RouterConfig, SubmarineConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn submarine_generator_structural_invariants(
+        seed in any::<u64>(),
+        total in 130usize..260,
+    ) {
+        let cfg = SubmarineConfig {
+            total_cables: total,
+            seed,
+            ..SubmarineConfig::default()
+        };
+        let net = submarine::build(&cfg).unwrap();
+        prop_assert_eq!(net.cable_count(), total);
+        for c in net.cables() {
+            prop_assert!(c.length_km > 0.0, "{}", c.name);
+            prop_assert!((0.0..=90.0).contains(&c.max_abs_lat_deg));
+            prop_assert!(!c.segments.is_empty());
+            // Cable length at least the sum of its endpoints' geodesics is
+            // enforced at build; repeater counts follow length.
+            prop_assert!(c.repeater_count(50.0) >= c.repeater_count(150.0));
+        }
+        // Every node must touch at least one cable.
+        for (id, _) in net.nodes() {
+            prop_assert!(
+                !net.cables_at(id).is_empty() || net.graph().degree(id) == 0,
+                "node {:?}", id
+            );
+        }
+    }
+
+    #[test]
+    fn intertubes_generator_structural_invariants(seed in any::<u64>()) {
+        let cfg = IntertubesConfig {
+            seed,
+            ..IntertubesConfig::default()
+        };
+        let net = intertubes::build(&cfg).unwrap();
+        prop_assert_eq!(net.cable_count(), 542);
+        prop_assert_eq!(net.node_count(), 273);
+        // Connected regardless of seed (spanning tree first).
+        let dead = vec![false; net.cable_count()];
+        let (_, comps) = net.surviving_components(&dead);
+        prop_assert_eq!(comps, 1);
+        // All in the conterminous US.
+        for (_, info) in net.nodes() {
+            prop_assert!((24.0..=49.5).contains(&info.location.lat_deg()));
+        }
+    }
+
+    #[test]
+    fn router_generator_structural_invariants(
+        seed in any::<u64>(),
+        ases in 200usize..800,
+    ) {
+        let cfg = RouterConfig {
+            total_routers: ases * 12,
+            total_ases: ases,
+            seed,
+            ..RouterConfig::default()
+        };
+        let ds = routers::build(&cfg).unwrap();
+        prop_assert_eq!(ds.routers.len(), ases * 12);
+        prop_assert_eq!(ds.ases.len(), ases);
+        // Contiguous grouping and consistent back-references.
+        let mut cursor = 0usize;
+        for a in &ds.ases {
+            prop_assert_eq!(a.first_router, cursor);
+            for r in ds.routers_of(a.asn) {
+                prop_assert_eq!(r.asn, a.asn);
+            }
+            cursor += a.router_count;
+        }
+        prop_assert_eq!(cursor, ds.routers.len());
+        // Spreads bounded by the physical maximum.
+        for s in ds.as_latitude_spreads() {
+            prop_assert!((0.0..=180.0).contains(&s));
+        }
+        // Reach curve is monotone.
+        let mut prev = 101.0;
+        for t in [0.0, 30.0, 60.0, 90.0] {
+            let cur = ds.percent_ases_with_reach_above(t);
+            prop_assert!(cur <= prev);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,94 @@
+use serde::{Deserialize, Serialize};
+
+/// Boundary between the mid and polar risk bands, degrees absolute latitude.
+pub const BAND_EDGE_HIGH_DEG: f64 = 60.0;
+/// Boundary between the equatorial and mid risk bands, degrees absolute
+/// latitude. The paper adopts 40° as a conservative threshold from
+/// Pulkkinen et al. (100-year GIC scenarios); studies use 40° ± 10°.
+pub const BAND_EDGE_LOW_DEG: f64 = 40.0;
+
+/// The three geomagnetic-risk latitude bands of the paper's non-uniform
+/// failure models (§4.3.3): repeaters of a cable are assigned a failure
+/// probability from the band of the cable's highest-latitude point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LatitudeBand {
+    /// `|lat| > 60°` — auroral zone, strongest geomagnetically induced
+    /// currents.
+    Polar,
+    /// `40° ≤ |lat| ≤ 60°` — mid-latitude band reached by strong storms
+    /// (the 1989 event's field dropped an order of magnitude below 40°).
+    Mid,
+    /// `|lat| < 40°` — low-latitude band; GIC occurs but at much lower
+    /// magnitude (equatorial-electrojet effects).
+    Equatorial,
+}
+
+impl LatitudeBand {
+    /// Classifies an absolute latitude (degrees) into its band.
+    ///
+    /// ```
+    /// use solarstorm_geo::LatitudeBand;
+    /// assert_eq!(LatitudeBand::of_abs_lat(65.0), LatitudeBand::Polar);
+    /// assert_eq!(LatitudeBand::of_abs_lat(45.0), LatitudeBand::Mid);
+    /// assert_eq!(LatitudeBand::of_abs_lat(5.0), LatitudeBand::Equatorial);
+    /// ```
+    pub fn of_abs_lat(abs_lat_deg: f64) -> Self {
+        let a = abs_lat_deg.abs();
+        if a > BAND_EDGE_HIGH_DEG {
+            LatitudeBand::Polar
+        } else if a >= BAND_EDGE_LOW_DEG {
+            LatitudeBand::Mid
+        } else {
+            LatitudeBand::Equatorial
+        }
+    }
+
+    /// Index of the band in the paper's `[polar, mid, equatorial]` ordering
+    /// used for the S1/S2 probability triples.
+    pub fn index(self) -> usize {
+        match self {
+            LatitudeBand::Polar => 0,
+            LatitudeBand::Mid => 1,
+            LatitudeBand::Equatorial => 2,
+        }
+    }
+
+    /// All bands in `[polar, mid, equatorial]` order.
+    pub const ALL: [LatitudeBand; 3] = [
+        LatitudeBand::Polar,
+        LatitudeBand::Mid,
+        LatitudeBand::Equatorial,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_inclusive_at_forty_exclusive_at_sixty() {
+        // 40 is in the Mid band (paper: "40 < L < 60" vs "L < 40"; we put
+        // the measure-zero boundary with the riskier band).
+        assert_eq!(LatitudeBand::of_abs_lat(40.0), LatitudeBand::Mid);
+        assert_eq!(LatitudeBand::of_abs_lat(39.999), LatitudeBand::Equatorial);
+        assert_eq!(LatitudeBand::of_abs_lat(60.0), LatitudeBand::Mid);
+        assert_eq!(LatitudeBand::of_abs_lat(60.001), LatitudeBand::Polar);
+    }
+
+    #[test]
+    fn negative_latitudes_are_symmetric() {
+        assert_eq!(LatitudeBand::of_abs_lat(-70.0), LatitudeBand::Polar);
+        assert_eq!(LatitudeBand::of_abs_lat(-50.0), LatitudeBand::Mid);
+        assert_eq!(LatitudeBand::of_abs_lat(-10.0), LatitudeBand::Equatorial);
+    }
+
+    #[test]
+    fn indices_match_paper_ordering() {
+        assert_eq!(LatitudeBand::Polar.index(), 0);
+        assert_eq!(LatitudeBand::Mid.index(), 1);
+        assert_eq!(LatitudeBand::Equatorial.index(), 2);
+        for (i, b) in LatitudeBand::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+use crate::GeoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the Earth's surface, in degrees.
+///
+/// Latitude is constrained to `[-90, +90]`; longitude is normalized to
+/// `(-180, +180]` on construction so that two representations of the same
+/// meridian compare equal.
+///
+/// ```
+/// use solarstorm_geo::GeoPoint;
+/// let ny = GeoPoint::new(40.71, -74.01).unwrap();
+/// assert!(ny.is_northern());
+/// assert_eq!(GeoPoint::new(0.0, 270.0).unwrap().lon_deg(), -90.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawPoint", into = "RawPoint")]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+/// Serde proxy so deserialized points still go through validation.
+#[derive(Serialize, Deserialize)]
+struct RawPoint {
+    lat: f64,
+    lon: f64,
+}
+
+impl TryFrom<RawPoint> for GeoPoint {
+    type Error = GeoError;
+    fn try_from(raw: RawPoint) -> Result<Self, Self::Error> {
+        GeoPoint::new(raw.lat, raw.lon)
+    }
+}
+
+impl From<GeoPoint> for RawPoint {
+    fn from(p: GeoPoint) -> Self {
+        RawPoint {
+            lat: p.lat_deg,
+            lon: p.lon_deg,
+        }
+    }
+}
+
+impl GeoPoint {
+    /// Creates a validated point. Longitude is normalized to `(-180, 180]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<Self, GeoError> {
+        if !lat_deg.is_finite() || !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(GeoError::InvalidLatitude(lat_deg));
+        }
+        if !lon_deg.is_finite() {
+            return Err(GeoError::InvalidLongitude(lon_deg));
+        }
+        Ok(GeoPoint {
+            lat_deg,
+            lon_deg: normalize_lon(lon_deg),
+        })
+    }
+
+    /// Latitude in degrees, in `[-90, +90]`.
+    pub fn lat_deg(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees, normalized to `(-180, +180]`.
+    pub fn lon_deg(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat_deg.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon_deg.to_radians()
+    }
+
+    /// Absolute latitude in degrees — the quantity geomagnetic risk depends
+    /// on (the paper treats 40°N and 40°S symmetrically).
+    pub fn abs_lat_deg(&self) -> f64 {
+        self.lat_deg.abs()
+    }
+
+    /// True if the point lies strictly north of the equator.
+    pub fn is_northern(&self) -> bool {
+        self.lat_deg > 0.0
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = if self.lat_deg >= 0.0 { 'N' } else { 'S' };
+        let ew = if self.lon_deg >= 0.0 { 'E' } else { 'W' };
+        write!(
+            f,
+            "{:.4}°{} {:.4}°{}",
+            self.lat_deg.abs(),
+            ns,
+            self.lon_deg.abs(),
+            ew
+        )
+    }
+}
+
+/// Normalizes a longitude in degrees to `(-180, +180]`.
+fn normalize_lon(lon: f64) -> f64 {
+    let mut l = (lon + 180.0).rem_euclid(360.0);
+    if l == 0.0 {
+        l = 360.0; // map -180 to +180
+    }
+    l - 180.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_latitude() {
+        assert!(GeoPoint::new(90.01, 0.0).is_err());
+        assert!(GeoPoint::new(-91.0, 0.0).is_err());
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
+        assert!(GeoPoint::new(f64::INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_longitude() {
+        assert!(GeoPoint::new(0.0, f64::NAN).is_err());
+        assert!(GeoPoint::new(0.0, f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn accepts_poles_and_dateline() {
+        assert!(GeoPoint::new(90.0, 0.0).is_ok());
+        assert!(GeoPoint::new(-90.0, 123.0).is_ok());
+        assert_eq!(GeoPoint::new(0.0, 180.0).unwrap().lon_deg(), 180.0);
+        assert_eq!(GeoPoint::new(0.0, -180.0).unwrap().lon_deg(), 180.0);
+    }
+
+    #[test]
+    fn normalizes_longitude() {
+        assert_eq!(GeoPoint::new(0.0, 360.0).unwrap().lon_deg(), 0.0);
+        assert_eq!(GeoPoint::new(0.0, 190.0).unwrap().lon_deg(), -170.0);
+        assert_eq!(GeoPoint::new(0.0, -190.0).unwrap().lon_deg(), 170.0);
+        assert_eq!(GeoPoint::new(0.0, 540.0).unwrap().lon_deg(), 180.0);
+    }
+
+    #[test]
+    fn abs_latitude_is_symmetric() {
+        let n = GeoPoint::new(45.0, 10.0).unwrap();
+        let s = GeoPoint::new(-45.0, 10.0).unwrap();
+        assert_eq!(n.abs_lat_deg(), s.abs_lat_deg());
+        assert!(n.is_northern());
+        assert!(!s.is_northern());
+    }
+
+    #[test]
+    fn display_formats_hemispheres() {
+        let p = GeoPoint::new(-33.86, 151.21).unwrap();
+        assert_eq!(format!("{p}"), "33.8600°S 151.2100°E");
+    }
+
+    #[test]
+    fn serde_round_trip_validates() {
+        let p = GeoPoint::new(51.5, -0.12).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: GeoPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        let bad: Result<GeoPoint, _> = serde_json::from_str(r#"{"lat": 95.0, "lon": 0.0}"#);
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,170 @@
+use crate::GeoPoint;
+
+/// Mean Earth radius in kilometres (IUGG mean radius R₁).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Great-circle distance between two points in kilometres, via the
+/// haversine formula.
+///
+/// The haversine form is numerically stable for the short and antipodal
+/// distances that both occur in cable routing.
+///
+/// ```
+/// use solarstorm_geo::{GeoPoint, haversine_km};
+/// let ny = GeoPoint::new(40.7128, -74.0060).unwrap();
+/// let london = GeoPoint::new(51.5074, -0.1278).unwrap();
+/// let d = haversine_km(ny, london);
+/// assert!((d - 5570.0).abs() < 20.0); // ~5,570 km
+/// ```
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
+    let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+/// Initial bearing (forward azimuth) from `a` to `b`, in degrees clockwise
+/// from true north, in `[0, 360)`.
+pub fn initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
+    let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
+    let dlon = lon2 - lon1;
+    let y = dlon.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+    (y.atan2(x).to_degrees() + 360.0) % 360.0
+}
+
+/// Destination point after travelling `distance_km` from `start` along the
+/// great circle with the given initial bearing.
+pub fn destination(start: GeoPoint, bearing_deg: f64, distance_km: f64) -> GeoPoint {
+    let delta = distance_km / EARTH_RADIUS_KM;
+    let theta = bearing_deg.to_radians();
+    let lat1 = start.lat_rad();
+    let lon1 = start.lon_rad();
+    let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+    let lon2 = lon1
+        + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+    // asin output is within [-90, 90] and lon is normalized by the
+    // constructor, so this cannot fail for finite inputs.
+    GeoPoint::new(lat2.to_degrees(), lon2.to_degrees())
+        .expect("destination of finite inputs is a valid point")
+}
+
+/// Point at fraction `f ∈ [0, 1]` along the great circle from `a` to `b`
+/// (spherical linear interpolation).
+///
+/// For coincident or antipodal endpoints the arc is degenerate; this
+/// returns `a` in the coincident case and interpolates through an arbitrary
+/// (but deterministic) meridian in the antipodal one.
+pub fn intermediate(a: GeoPoint, b: GeoPoint, f: f64) -> GeoPoint {
+    let f = f.clamp(0.0, 1.0);
+    let d = haversine_km(a, b) / EARTH_RADIUS_KM; // angular distance
+    if d < 1e-12 {
+        return a;
+    }
+    let sin_d = d.sin();
+    if sin_d.abs() < 1e-12 {
+        // Antipodal: fall back to stepping along the initial bearing.
+        return destination(a, initial_bearing_deg(a, b), f * d * EARTH_RADIUS_KM);
+    }
+    let wa = ((1.0 - f) * d).sin() / sin_d;
+    let wb = (f * d).sin() / sin_d;
+    let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
+    let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
+    let x = wa * lat1.cos() * lon1.cos() + wb * lat2.cos() * lon2.cos();
+    let y = wa * lat1.cos() * lon1.sin() + wb * lat2.cos() * lon2.sin();
+    let z = wa * lat1.sin() + wb * lat2.sin();
+    let lat = z.atan2((x * x + y * y).sqrt());
+    let lon = y.atan2(x);
+    GeoPoint::new(lat.to_degrees(), lon.to_degrees())
+        .expect("interpolation of valid points is a valid point")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = p(12.34, 56.78);
+        assert_eq!(haversine_km(a, a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = p(40.7, -74.0);
+        let b = p(35.7, 139.7);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quarter_meridian() {
+        // Equator to pole along a meridian is a quarter circumference.
+        let d = haversine_km(p(0.0, 0.0), p(90.0, 0.0));
+        let expected = std::f64::consts::FRAC_PI_2 * EARTH_RADIUS_KM;
+        assert!((d - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let d = haversine_km(p(0.0, 0.0), p(0.0, 180.0));
+        let expected = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_city_pairs() {
+        // Reference distances from standard great-circle calculators.
+        let sfo = p(37.6189, -122.3750);
+        let syd = p(-33.9399, 151.1753);
+        assert!((haversine_km(sfo, syd) - 11_940.0).abs() < 40.0);
+        let sin = p(1.3521, 103.8198);
+        let chennai = p(13.0827, 80.2707);
+        assert!((haversine_km(sin, chennai) - 2_910.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        assert!((initial_bearing_deg(p(0.0, 0.0), p(10.0, 0.0)) - 0.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(p(0.0, 0.0), p(0.0, 10.0)) - 90.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(p(10.0, 0.0), p(0.0, 0.0)) - 180.0).abs() < 1e-9);
+        assert!((initial_bearing_deg(p(0.0, 10.0), p(0.0, 0.0)) - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = p(48.8566, 2.3522);
+        let bearing = 222.0;
+        let dist = 1234.5;
+        let end = destination(start, bearing, dist);
+        assert!((haversine_km(start, end) - dist).abs() < 0.01);
+    }
+
+    #[test]
+    fn intermediate_endpoints_and_midpoint() {
+        let a = p(40.7, -74.0);
+        let b = p(51.5, -0.1);
+        let d = haversine_km(a, b);
+        let at0 = intermediate(a, b, 0.0);
+        let at1 = intermediate(a, b, 1.0);
+        assert!(haversine_km(a, at0) < 1e-6);
+        assert!(haversine_km(b, at1) < 1e-6);
+        let mid = intermediate(a, b, 0.5);
+        assert!((haversine_km(a, mid) - d / 2.0).abs() < 0.01);
+        assert!((haversine_km(mid, b) - d / 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn intermediate_clamps_fraction() {
+        let a = p(10.0, 10.0);
+        let b = p(20.0, 20.0);
+        assert!(haversine_km(intermediate(a, b, -0.5), a) < 1e-6);
+        assert!(haversine_km(intermediate(a, b, 1.5), b) < 1e-6);
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Errors produced by geodesy primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside `[-90, +90]` degrees or not finite.
+    InvalidLatitude(f64),
+    /// Longitude not finite.
+    InvalidLongitude(f64),
+    /// A polyline needs at least two points to have a length.
+    DegeneratePolyline {
+        /// Number of points supplied.
+        points: usize,
+    },
+    /// A sampling interval must be strictly positive and finite.
+    InvalidInterval(f64),
+    /// Histogram bin width must be strictly positive and divide 180 evenly
+    /// enough to cover the pole-to-pole range.
+    InvalidBinWidth(f64),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} is outside [-90, 90] or not finite")
+            }
+            GeoError::InvalidLongitude(v) => write!(f, "longitude {v} is not finite"),
+            GeoError::DegeneratePolyline { points } => {
+                write!(f, "polyline needs at least 2 points, got {points}")
+            }
+            GeoError::InvalidInterval(v) => {
+                write!(f, "sampling interval {v} km must be positive and finite")
+            }
+            GeoError::InvalidBinWidth(v) => {
+                write!(f, "bin width {v} degrees must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}

@@ -1,0 +1,298 @@
+use crate::{GeoError, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width latitude histogram over `[-90°, +90°]`.
+///
+/// This is the workhorse behind Fig. 3 of the paper (probability density of
+/// submarine endpoints and population over 2° bins) and the latitude
+/// threshold curves of Fig. 4. Samples carry a weight so the same type
+/// serves both point sets (weight 1 per landing station) and population
+/// grids (weight = people per cell).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatitudeHistogram {
+    bin_width_deg: f64,
+    /// `bins[i]` covers `[-90 + i·w, -90 + (i+1)·w)`; the final bin is
+    /// closed at +90.
+    bins: Vec<f64>,
+    total_weight: f64,
+}
+
+impl LatitudeHistogram {
+    /// Creates an empty histogram with the given bin width in degrees.
+    pub fn new(bin_width_deg: f64) -> Result<Self, GeoError> {
+        if !bin_width_deg.is_finite() || bin_width_deg <= 0.0 || bin_width_deg > 180.0 {
+            return Err(GeoError::InvalidBinWidth(bin_width_deg));
+        }
+        let n = (180.0 / bin_width_deg).ceil() as usize;
+        Ok(LatitudeHistogram {
+            bin_width_deg,
+            bins: vec![0.0; n],
+            total_weight: 0.0,
+        })
+    }
+
+    /// Bin width in degrees.
+    pub fn bin_width_deg(&self) -> f64 {
+        self.bin_width_deg
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if no weight has been added.
+    pub fn is_empty(&self) -> bool {
+        self.total_weight == 0.0
+    }
+
+    /// Index of the bin containing `lat_deg`.
+    fn bin_index(&self, lat_deg: f64) -> usize {
+        let idx = ((lat_deg + 90.0) / self.bin_width_deg).floor() as isize;
+        idx.clamp(0, self.bins.len() as isize - 1) as usize
+    }
+
+    /// Adds `weight` at the given latitude.
+    pub fn add(&mut self, lat_deg: f64, weight: f64) {
+        let i = self.bin_index(lat_deg.clamp(-90.0, 90.0));
+        self.bins[i] += weight;
+        self.total_weight += weight;
+    }
+
+    /// Adds one unit of weight at each point.
+    pub fn add_points<'a>(&mut self, points: impl IntoIterator<Item = &'a GeoPoint>) {
+        for p in points {
+            self.add(p.lat_deg(), 1.0);
+        }
+    }
+
+    /// Total accumulated weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Probability density function: `(bin_center_lat, percent_of_total)`
+    /// per bin — the exact quantity plotted in Fig. 3 ("probability density
+    /// function (%)" over 2° intervals).
+    pub fn pdf_percent(&self) -> Vec<(f64, f64)> {
+        let total = if self.total_weight == 0.0 {
+            1.0
+        } else {
+            self.total_weight
+        };
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let center = -90.0 + (i as f64 + 0.5) * self.bin_width_deg;
+                (center.min(90.0), 100.0 * w / total)
+            })
+            .collect()
+    }
+
+    /// Fraction (as a percentage) of total weight at absolute latitude
+    /// **at or above** `threshold_deg` — the y-axis of Fig. 4.
+    pub fn percent_above_abs_lat(&self, threshold_deg: f64) -> f64 {
+        if self.total_weight == 0.0 {
+            return 0.0;
+        }
+        let mut above = 0.0;
+        for (i, w) in self.bins.iter().enumerate() {
+            let lo = -90.0 + i as f64 * self.bin_width_deg;
+            let hi = lo + self.bin_width_deg;
+            // A bin counts as "above" if its midpoint's |lat| clears the
+            // threshold; with the narrow bins used in practice this matches
+            // per-point counting to within one bin width.
+            let mid = (lo + hi) / 2.0;
+            if mid.abs() >= threshold_deg {
+                above += w;
+            }
+        }
+        100.0 * above / self.total_weight
+    }
+}
+
+/// Percentage of points whose absolute latitude is `>= threshold_deg`,
+/// computed exactly (no binning). Used for the headline statistics
+/// ("31% of submarine endpoints are above 40°").
+pub fn percent_points_above_abs_lat(points: &[GeoPoint], threshold_deg: f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let above = points
+        .iter()
+        .filter(|p| p.abs_lat_deg() >= threshold_deg)
+        .count();
+    100.0 * above as f64 / points.len() as f64
+}
+
+/// A coarse longitude × latitude grid holding a weight per cell, used for
+/// the gridded-population substitute (NASA SEDAC GPWv4 in the paper) and
+/// for population-weighted sampling of synthetic infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LonLatGrid {
+    cell_deg: f64,
+    cols: usize,
+    rows: usize,
+    /// Row-major: `weights[row * cols + col]`, row 0 at −90° latitude.
+    weights: Vec<f64>,
+}
+
+impl LonLatGrid {
+    /// Creates an empty grid with square cells of `cell_deg` degrees.
+    pub fn new(cell_deg: f64) -> Result<Self, GeoError> {
+        if !cell_deg.is_finite() || cell_deg <= 0.0 || cell_deg > 90.0 {
+            return Err(GeoError::InvalidBinWidth(cell_deg));
+        }
+        let cols = (360.0 / cell_deg).ceil() as usize;
+        let rows = (180.0 / cell_deg).ceil() as usize;
+        Ok(LonLatGrid {
+            cell_deg,
+            cols,
+            rows,
+            weights: vec![0.0; cols * rows],
+        })
+    }
+
+    /// Cell edge length in degrees.
+    pub fn cell_deg(&self) -> f64 {
+        self.cell_deg
+    }
+
+    /// `(cols, rows)` dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn cell_of(&self, p: GeoPoint) -> (usize, usize) {
+        let col = (((p.lon_deg() + 180.0) / self.cell_deg).floor() as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let row = (((p.lat_deg() + 90.0) / self.cell_deg).floor() as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        (col, row)
+    }
+
+    /// Adds weight at a point.
+    pub fn add(&mut self, p: GeoPoint, weight: f64) {
+        let (c, r) = self.cell_of(p);
+        self.weights[r * self.cols + c] += weight;
+    }
+
+    /// Weight in the cell containing `p`.
+    pub fn weight_at(&self, p: GeoPoint) -> f64 {
+        let (c, r) = self.cell_of(p);
+        self.weights[r * self.cols + c]
+    }
+
+    /// Total weight over all cells.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Iterates non-empty cells as `(cell_center, weight)`.
+    pub fn cells(&self) -> impl Iterator<Item = (GeoPoint, f64)> + '_ {
+        self.weights.iter().enumerate().filter_map(move |(i, &w)| {
+            if w == 0.0 {
+                return None;
+            }
+            let r = i / self.cols;
+            let c = i % self.cols;
+            let lat = -90.0 + (r as f64 + 0.5) * self.cell_deg;
+            let lon = -180.0 + (c as f64 + 0.5) * self.cell_deg;
+            Some((
+                GeoPoint::new(lat.min(90.0), lon).expect("cell center is valid"),
+                w,
+            ))
+        })
+    }
+
+    /// Collapses the grid to a latitude histogram with `bin_width_deg` bins.
+    pub fn latitude_histogram(&self, bin_width_deg: f64) -> Result<LatitudeHistogram, GeoError> {
+        let mut h = LatitudeHistogram::new(bin_width_deg)?;
+        for (center, w) in self.cells() {
+            h.add(center.lat_deg(), w);
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn histogram_rejects_bad_width() {
+        assert!(LatitudeHistogram::new(0.0).is_err());
+        assert!(LatitudeHistogram::new(-2.0).is_err());
+        assert!(LatitudeHistogram::new(f64::NAN).is_err());
+        assert!(LatitudeHistogram::new(181.0).is_err());
+    }
+
+    #[test]
+    fn histogram_pdf_sums_to_100() {
+        let mut h = LatitudeHistogram::new(2.0).unwrap();
+        for lat in [-89.0, -40.0, 0.0, 12.3, 40.0, 60.0, 89.9, 90.0] {
+            h.add(lat, 1.0);
+        }
+        let sum: f64 = h.pdf_percent().iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_pole_edge() {
+        let mut h = LatitudeHistogram::new(2.0).unwrap();
+        h.add(90.0, 1.0);
+        h.add(-90.0, 1.0);
+        assert_eq!(h.total_weight(), 2.0);
+        assert_eq!(h.len(), 90);
+    }
+
+    #[test]
+    fn percent_above_threshold_counts_both_hemispheres() {
+        let pts = vec![p(50.0, 0.0), p(-50.0, 0.0), p(10.0, 0.0), p(-10.0, 0.0)];
+        assert_eq!(percent_points_above_abs_lat(&pts, 40.0), 50.0);
+        assert_eq!(percent_points_above_abs_lat(&pts, 0.0), 100.0);
+        assert_eq!(percent_points_above_abs_lat(&pts, 60.0), 0.0);
+        assert_eq!(percent_points_above_abs_lat(&[], 40.0), 0.0);
+    }
+
+    #[test]
+    fn binned_percent_tracks_exact_percent() {
+        let pts: Vec<GeoPoint> = (0..180).map(|i| p(i as f64 - 89.5, 0.0)).collect();
+        let mut h = LatitudeHistogram::new(1.0).unwrap();
+        h.add_points(&pts);
+        for t in [0.0, 20.0, 40.0, 60.0] {
+            let exact = percent_points_above_abs_lat(&pts, t);
+            let binned = h.percent_above_abs_lat(t);
+            assert!(
+                (exact - binned).abs() <= 1.2,
+                "t={t}: exact {exact} vs binned {binned}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_accumulates_and_collapses() {
+        let mut g = LonLatGrid::new(1.0).unwrap();
+        g.add(p(45.5, 10.5), 100.0);
+        g.add(p(45.5, 10.6), 50.0); // same cell
+        g.add(p(-30.0, -60.0), 25.0);
+        assert_eq!(g.weight_at(p(45.5, 10.5)), 150.0);
+        assert_eq!(g.total_weight(), 175.0);
+        let h = g.latitude_histogram(2.0).unwrap();
+        assert!((h.total_weight() - 175.0).abs() < 1e-9);
+        assert_eq!(g.cells().count(), 2);
+    }
+
+    #[test]
+    fn grid_handles_dateline_and_poles() {
+        let mut g = LonLatGrid::new(5.0).unwrap();
+        g.add(p(90.0, 180.0), 1.0);
+        g.add(p(-90.0, -179.99), 1.0);
+        assert_eq!(g.total_weight(), 2.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Geodesy substrate for the `solarstorm` Internet-resilience toolkit.
+//!
+//! This crate provides the geographic primitives that every other layer of
+//! the toolkit builds on:
+//!
+//! * [`GeoPoint`] — a validated latitude/longitude pair in degrees;
+//! * great-circle math ([`haversine_km`], [`initial_bearing_deg`],
+//!   [`destination`], [`intermediate`]) on a spherical Earth model;
+//! * [`Polyline`] — a geodesic route (e.g. a submarine-cable path) with
+//!   length computation and fixed-interval resampling, used to place
+//!   optical repeaters every 50–150 km along a cable;
+//! * [`LatitudeBand`] — the three geomagnetic-risk bands the SIGCOMM 2021
+//!   paper uses (`|lat| > 60°`, `40°–60°`, `< 40°`);
+//! * [`LatitudeHistogram`] — fixed-width latitude binning used for the
+//!   probability-density plots (Fig. 3) and threshold curves (Fig. 4).
+//!
+//! The Earth is modeled as a sphere of radius [`EARTH_RADIUS_KM`]; for the
+//! hundreds-to-thousands-of-kilometres cable geometry in this toolkit the
+//! spherical error (< 0.5 %) is far below the uncertainty of the failure
+//! models layered on top.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod bands;
+mod coords;
+mod distance;
+mod error;
+mod grid;
+mod polyline;
+
+pub use bands::{LatitudeBand, BAND_EDGE_HIGH_DEG, BAND_EDGE_LOW_DEG};
+pub use coords::GeoPoint;
+pub use distance::{destination, haversine_km, initial_bearing_deg, intermediate, EARTH_RADIUS_KM};
+pub use error::GeoError;
+pub use grid::{percent_points_above_abs_lat, LatitudeHistogram, LonLatGrid};
+pub use polyline::Polyline;

@@ -1,0 +1,263 @@
+use crate::{haversine_km, intermediate, GeoError, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+/// A geodesic route: an ordered sequence of waypoints joined by great-circle
+/// segments.
+///
+/// Cable routes in the toolkit are polylines. The key operation for the
+/// failure models is [`Polyline::sample_every_km`], which walks the route
+/// and emits a point every `interval` kilometres — exactly how optical
+/// repeaters are spaced along a real cable (every 50–150 km, §3.2 of the
+/// paper).
+///
+/// ```
+/// use solarstorm_geo::{GeoPoint, Polyline};
+/// let route = Polyline::new(vec![
+///     GeoPoint::new(40.5, -69.0).unwrap(),  // off New England
+///     GeoPoint::new(49.0, -30.0).unwrap(),  // mid-Atlantic
+///     GeoPoint::new(50.0, -5.0).unwrap(),   // off Cornwall
+/// ]).unwrap();
+/// let repeaters = route.sample_every_km(100.0).unwrap();
+/// assert_eq!(repeaters.len(), (route.length_km() / 100.0) as usize);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<GeoPoint>,
+}
+
+impl Polyline {
+    /// Creates a polyline from at least two waypoints.
+    pub fn new(points: Vec<GeoPoint>) -> Result<Self, GeoError> {
+        if points.len() < 2 {
+            return Err(GeoError::DegeneratePolyline {
+                points: points.len(),
+            });
+        }
+        Ok(Polyline { points })
+    }
+
+    /// Straight (two-waypoint) route between two endpoints.
+    pub fn straight(a: GeoPoint, b: GeoPoint) -> Self {
+        Polyline { points: vec![a, b] }
+    }
+
+    /// The waypoints of the route.
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    /// First waypoint.
+    pub fn start(&self) -> GeoPoint {
+        self.points[0]
+    }
+
+    /// Last waypoint.
+    pub fn end(&self) -> GeoPoint {
+        *self.points.last().expect("polyline has >= 2 points")
+    }
+
+    /// Total route length in kilometres (sum of great-circle segments).
+    pub fn length_km(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| haversine_km(w[0], w[1]))
+            .sum()
+    }
+
+    /// Iterates over the `(from, to, length_km)` great-circle segments.
+    pub fn segments(&self) -> impl Iterator<Item = (GeoPoint, GeoPoint, f64)> + '_ {
+        self.points
+            .windows(2)
+            .map(|w| (w[0], w[1], haversine_km(w[0], w[1])))
+    }
+
+    /// Point at `distance_km` along the route (clamped to the endpoints).
+    pub fn point_at_km(&self, distance_km: f64) -> GeoPoint {
+        if distance_km <= 0.0 {
+            return self.start();
+        }
+        let mut remaining = distance_km;
+        for (from, to, seg_len) in self.segments() {
+            if remaining <= seg_len {
+                if seg_len == 0.0 {
+                    return from;
+                }
+                return intermediate(from, to, remaining / seg_len);
+            }
+            remaining -= seg_len;
+        }
+        self.end()
+    }
+
+    /// Positions spaced `interval_km` apart along the route, **excluding**
+    /// both endpoints: positions `interval, 2·interval, …` strictly inside
+    /// the route. This mirrors repeater placement — landing stations at the
+    /// ends house Power Feeding Equipment, not repeaters.
+    ///
+    /// A route shorter than `interval_km` yields no samples (short cables
+    /// need no repeaters, §4.3.1).
+    pub fn sample_every_km(&self, interval_km: f64) -> Result<Vec<GeoPoint>, GeoError> {
+        if !interval_km.is_finite() || interval_km <= 0.0 {
+            return Err(GeoError::InvalidInterval(interval_km));
+        }
+        let total = self.length_km();
+        let count = (total / interval_km).floor() as usize;
+        // If the route length is an exact multiple the last sample would sit
+        // on the end landing point; drop it.
+        let count = if count > 0 && (count as f64) * interval_km >= total - 1e-9 {
+            count - 1
+        } else {
+            count
+        };
+        let mut out = Vec::with_capacity(count);
+        // Walk segments cumulatively instead of calling point_at_km per
+        // sample: O(n + k) instead of O(n·k).
+        let mut next_at = interval_km;
+        let mut walked = 0.0;
+        for (from, to, seg_len) in self.segments() {
+            while next_at <= walked + seg_len && out.len() < count {
+                let f = if seg_len == 0.0 {
+                    0.0
+                } else {
+                    (next_at - walked) / seg_len
+                };
+                out.push(intermediate(from, to, f));
+                next_at += interval_km;
+            }
+            walked += seg_len;
+        }
+        Ok(out)
+    }
+
+    /// Number of `interval_km`-spaced repeaters this route would carry,
+    /// without materializing their positions.
+    pub fn repeater_count(&self, interval_km: f64) -> Result<usize, GeoError> {
+        if !interval_km.is_finite() || interval_km <= 0.0 {
+            return Err(GeoError::InvalidInterval(interval_km));
+        }
+        let total = self.length_km();
+        let count = (total / interval_km).floor() as usize;
+        Ok(
+            if count > 0 && (count as f64) * interval_km >= total - 1e-9 {
+                count - 1
+            } else {
+                count
+            },
+        )
+    }
+
+    /// Highest absolute latitude reached by any waypoint. The paper assigns
+    /// a cable's failure band from the highest-latitude endpoint; with full
+    /// routes we can use the highest-latitude waypoint instead.
+    pub fn max_abs_lat_deg(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.abs_lat_deg())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn rejects_fewer_than_two_points() {
+        assert!(Polyline::new(vec![]).is_err());
+        assert!(Polyline::new(vec![p(0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn length_matches_haversine_for_straight() {
+        let a = p(0.0, 0.0);
+        let b = p(0.0, 10.0);
+        let line = Polyline::straight(a, b);
+        assert!((line.length_km() - haversine_km(a, b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_is_additive_over_waypoints() {
+        let a = p(0.0, 0.0);
+        let m = p(0.0, 5.0);
+        let b = p(0.0, 10.0);
+        let via = Polyline::new(vec![a, m, b]).unwrap();
+        // Along the equator the midpoint lies on the great circle, so the
+        // two-segment route equals the direct route.
+        assert!((via.length_km() - haversine_km(a, b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn point_at_km_clamps() {
+        let line = Polyline::straight(p(0.0, 0.0), p(0.0, 1.0));
+        assert_eq!(line.point_at_km(-5.0), line.start());
+        assert_eq!(line.point_at_km(1e9), line.end());
+    }
+
+    #[test]
+    fn sampling_excludes_endpoints() {
+        let line = Polyline::straight(p(0.0, 0.0), p(0.0, 8.5)); // ~945 km
+        let len = line.length_km();
+        let samples = line.sample_every_km(100.0).unwrap();
+        assert_eq!(samples.len(), (len / 100.0).floor() as usize);
+        for s in &samples {
+            assert!(haversine_km(*s, line.start()) > 1.0);
+            assert!(haversine_km(*s, line.end()) > 1.0);
+        }
+    }
+
+    #[test]
+    fn short_route_has_no_repeaters() {
+        let line = Polyline::straight(p(0.0, 0.0), p(0.0, 1.0)); // ~111 km
+        assert!(line.sample_every_km(150.0).unwrap().is_empty());
+        assert_eq!(line.repeater_count(150.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn exact_multiple_drops_terminal_sample() {
+        // Construct a route of exactly 300 km and sample at 100 km: samples
+        // at 100 and 200 only, not at 300 (the landing point).
+        let a = p(0.0, 0.0);
+        let b = crate::destination(a, 90.0, 300.0);
+        let line = Polyline::straight(a, b);
+        let samples = line.sample_every_km(100.0).unwrap();
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn repeater_count_matches_sample_len() {
+        let routes = [
+            Polyline::straight(p(0.0, 0.0), p(0.0, 50.0)),
+            Polyline::new(vec![p(0.0, 0.0), p(20.0, 30.0), p(-10.0, 60.0)]).unwrap(),
+            Polyline::straight(p(60.0, 0.0), p(61.0, 1.0)),
+        ];
+        for r in &routes {
+            for interval in [50.0, 100.0, 150.0] {
+                assert_eq!(
+                    r.repeater_count(interval).unwrap(),
+                    r.sample_every_km(interval).unwrap().len(),
+                    "route len {} interval {}",
+                    r.length_km(),
+                    interval
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_interval_rejected() {
+        let line = Polyline::straight(p(0.0, 0.0), p(0.0, 10.0));
+        assert!(line.sample_every_km(0.0).is_err());
+        assert!(line.sample_every_km(-1.0).is_err());
+        assert!(line.sample_every_km(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn max_abs_lat_uses_waypoints() {
+        let line = Polyline::new(vec![p(10.0, 0.0), p(-65.0, 10.0), p(20.0, 20.0)]).unwrap();
+        assert_eq!(line.max_abs_lat_deg(), 65.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the geodesy substrate.
+
+use proptest::prelude::*;
+use solarstorm_geo::{
+    destination, haversine_km, initial_bearing_deg, intermediate, GeoPoint, LatitudeBand,
+    LatitudeHistogram, Polyline, EARTH_RADIUS_KM,
+};
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..=90.0, -180.0f64..180.0)
+        .prop_map(|(lat, lon)| GeoPoint::new(lat, lon).expect("in-range"))
+}
+
+proptest! {
+    #[test]
+    fn distance_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+        let d = haversine_km(a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn distance_symmetric(a in arb_point(), b in arb_point()) {
+        prop_assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = haversine_km(a, b);
+        let bc = haversine_km(b, c);
+        let ac = haversine_km(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn destination_travels_requested_distance(
+        a in arb_point(),
+        bearing in 0.0f64..360.0,
+        dist in 0.0f64..15_000.0,
+    ) {
+        let b = destination(a, bearing, dist);
+        prop_assert!((haversine_km(a, b) - dist).abs() < 0.5);
+    }
+
+    #[test]
+    fn bearing_in_range(a in arb_point(), b in arb_point()) {
+        let brg = initial_bearing_deg(a, b);
+        prop_assert!((0.0..360.0).contains(&brg));
+    }
+
+    #[test]
+    fn intermediate_lies_on_the_arc(a in arb_point(), b in arb_point(), f in 0.0f64..=1.0) {
+        let d = haversine_km(a, b);
+        // Skip near-antipodal pairs where the arc is ill-conditioned.
+        prop_assume!(d < std::f64::consts::PI * EARTH_RADIUS_KM - 50.0);
+        let m = intermediate(a, b, f);
+        let via = haversine_km(a, m) + haversine_km(m, b);
+        prop_assert!((via - d).abs() < 0.5, "via={via} direct={d}");
+        prop_assert!((haversine_km(a, m) - f * d).abs() < 0.5);
+    }
+
+    #[test]
+    fn longitude_always_normalized(lat in -90.0f64..=90.0, lon in -10_000.0f64..10_000.0) {
+        let p = GeoPoint::new(lat, lon).unwrap();
+        prop_assert!(p.lon_deg() > -180.0 && p.lon_deg() <= 180.0);
+    }
+
+    #[test]
+    fn band_is_total_and_ordered(lat in -90.0f64..=90.0) {
+        let band = LatitudeBand::of_abs_lat(lat);
+        let a = lat.abs();
+        match band {
+            LatitudeBand::Polar => prop_assert!(a > 60.0),
+            LatitudeBand::Mid => prop_assert!((40.0..=60.0).contains(&a)),
+            LatitudeBand::Equatorial => prop_assert!(a < 40.0),
+        }
+    }
+
+    #[test]
+    fn polyline_length_at_least_endpoint_distance(
+        pts in proptest::collection::vec(arb_point(), 2..8)
+    ) {
+        let line = Polyline::new(pts.clone()).unwrap();
+        let direct = haversine_km(pts[0], *pts.last().unwrap());
+        prop_assert!(line.length_km() >= direct - 1e-6);
+    }
+
+    #[test]
+    fn repeater_count_monotone_in_interval(
+        a in arb_point(), b in arb_point(),
+    ) {
+        prop_assume!(haversine_km(a, b) > 1.0);
+        let line = Polyline::straight(a, b);
+        let n50 = line.repeater_count(50.0).unwrap();
+        let n100 = line.repeater_count(100.0).unwrap();
+        let n150 = line.repeater_count(150.0).unwrap();
+        prop_assert!(n50 >= n100);
+        prop_assert!(n100 >= n150);
+    }
+
+    #[test]
+    fn samples_spaced_by_interval(
+        a in arb_point(), b in arb_point(), interval in 50.0f64..200.0,
+    ) {
+        let d = haversine_km(a, b);
+        prop_assume!(d > interval && d < std::f64::consts::PI * EARTH_RADIUS_KM - 100.0);
+        let line = Polyline::straight(a, b);
+        let samples = line.sample_every_km(interval).unwrap();
+        // Consecutive samples along a single great-circle segment are
+        // `interval` apart.
+        for w in samples.windows(2) {
+            prop_assert!((haversine_km(w[0], w[1]) - interval).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn histogram_pdf_is_a_distribution(
+        lats in proptest::collection::vec(-90.0f64..=90.0, 1..200)
+    ) {
+        let mut h = LatitudeHistogram::new(2.0).unwrap();
+        for l in &lats {
+            h.add(*l, 1.0);
+        }
+        let pdf = h.pdf_percent();
+        let sum: f64 = pdf.iter().map(|(_, p)| p).sum();
+        prop_assert!((sum - 100.0).abs() < 1e-6);
+        prop_assert!(pdf.iter().all(|(_, p)| *p >= 0.0));
+    }
+
+    #[test]
+    fn percent_above_is_monotone_decreasing(
+        lats in proptest::collection::vec(-90.0f64..=90.0, 1..100)
+    ) {
+        let mut h = LatitudeHistogram::new(1.0).unwrap();
+        for l in &lats {
+            h.add(*l, 1.0);
+        }
+        let mut prev = 100.0 + 1e-9;
+        for t in 0..=90 {
+            let cur = h.percent_above_abs_lat(t as f64);
+            prop_assert!(cur <= prev + 1e-9);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,124 @@
+use crate::GicError;
+use serde::{Deserialize, Serialize};
+
+/// Probability that a submarine repeater fails at a given GIC level.
+///
+/// Repeaters are designed for a ~1 A regulated feed (§3.2.1); storm GIC of
+/// 100–130 A is "~100× more than the operational range". With no public
+/// destructive-test data (the paper: "the actual probability of failure of
+/// repeaters is not known"), we model damage as a logistic curve in
+/// log-current:
+///
+/// * at the 1.1 A operating point the failure probability is ≈ 0;
+/// * at `i50_a` (default 15 A, ~14× rating) it is 50 %;
+/// * at ≥ 100 A (the paper's storm GIC) it saturates near 1.
+///
+/// The curve's two parameters are exposed so better models can be plugged
+/// in "when they become available" (§3.2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DamageCurve {
+    /// Current at which failure probability is 50 %, A.
+    i50_a: f64,
+    /// Logistic steepness in log-current space.
+    steepness: f64,
+}
+
+impl DamageCurve {
+    /// Default calibration: 50 % at 15 A, near-certain at 100 A,
+    /// negligible at the 1.1 A operating point.
+    pub fn calibrated() -> Self {
+        DamageCurve {
+            i50_a: 15.0,
+            steepness: 3.0,
+        }
+    }
+
+    /// Custom curve.
+    pub fn new(i50_a: f64, steepness: f64) -> Result<Self, GicError> {
+        for (name, v) in [("i50_a", i50_a), ("steepness", steepness)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(GicError::NonPositiveParameter { name, value: v });
+            }
+        }
+        Ok(DamageCurve { i50_a, steepness })
+    }
+
+    /// Failure probability at `current_a` amperes of GIC.
+    pub fn failure_probability(&self, current_a: f64) -> Result<f64, GicError> {
+        if !current_a.is_finite() || current_a < 0.0 {
+            return Err(GicError::NonPositiveParameter {
+                name: "current_a",
+                value: current_a,
+            });
+        }
+        if current_a == 0.0 {
+            return Ok(0.0);
+        }
+        let x = (current_a / self.i50_a).ln() * self.steepness;
+        Ok(1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// The 50 %-failure current, A.
+    pub fn i50_a(&self) -> f64 {
+        self.i50_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DamageCurve::new(0.0, 3.0).is_err());
+        assert!(DamageCurve::new(15.0, -1.0).is_err());
+        assert!(DamageCurve::new(f64::NAN, 3.0).is_err());
+    }
+
+    #[test]
+    fn anchored_at_the_half_point() {
+        let c = DamageCurve::calibrated();
+        assert!((c.failure_probability(15.0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operating_current_is_safe() {
+        let c = DamageCurve::calibrated();
+        let p = c.failure_probability(1.1).unwrap();
+        assert!(p < 0.001, "operating point failure prob {p}");
+    }
+
+    #[test]
+    fn storm_gic_is_near_certain_destruction() {
+        let c = DamageCurve::calibrated();
+        let p = c.failure_probability(100.0).unwrap();
+        assert!(p > 0.99, "100 A failure prob {p}");
+        let p130 = c.failure_probability(130.0).unwrap();
+        assert!(p130 > p);
+    }
+
+    #[test]
+    fn monotone_in_current() {
+        let c = DamageCurve::calibrated();
+        let mut prev = -1.0;
+        for i in 0..500 {
+            let p = c.failure_probability(i as f64 * 0.5).unwrap();
+            assert!(p >= prev);
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn zero_current_zero_probability() {
+        let c = DamageCurve::calibrated();
+        assert_eq!(c.failure_probability(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_current() {
+        let c = DamageCurve::calibrated();
+        assert!(c.failure_probability(-1.0).is_err());
+        assert!(c.failure_probability(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+use crate::GicError;
+use serde::{Deserialize, Serialize};
+
+/// Electrical model of a long-haul cable's power-feeding system (§3.2.1).
+///
+/// Landing-station Power Feeding Equipment (PFE) drives a regulated
+/// ~1.1 A through a conductor of ~0.8 Ω/km that daisy-chains the
+/// repeaters. The conductor is earthed at the landing stations and at
+/// intermediate grounding points every few hundred to a few thousand km
+/// (Equiano's nine branching units are sea-earthed); GIC enters and exits
+/// at those grounds — *even when the cable is powered off*.
+///
+/// ```
+/// use solarstorm_gic::PowerFeedSystem;
+/// let pfe = PowerFeedSystem::calibrated();
+/// // The paper's worked example: a 9,000 km cable with ~130 repeaters
+/// // needs a power-feeding voltage of about 11 kV.
+/// let v = pfe.pfe_voltage_v(9000.0, 130).unwrap();
+/// assert!((v - 11_000.0).abs() < 500.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerFeedSystem {
+    /// Power-feeding-line resistance, Ω/km (paper: ≈ 0.8).
+    line_resistance_ohm_per_km: f64,
+    /// Regulated feed current, A (paper: 1.1).
+    feed_current_a: f64,
+    /// Voltage drop per repeater, V (calibrated to the 11 kV example).
+    repeater_drop_v: f64,
+    /// Grounding-electrode resistance at each earth point, Ω.
+    ground_resistance_ohm: f64,
+    /// Interval between intermediate grounding points, km
+    /// (paper: "100s to 1000s of kilometers").
+    grounding_interval_km: f64,
+    /// Residual fraction of GIC when the cable is powered off. Powering
+    /// off removes the operating bias but "GIC can flow through a
+    /// powered-off cable"; the peak current is reduced only slightly.
+    powered_off_factor: f64,
+}
+
+impl PowerFeedSystem {
+    /// Parameters from the paper's §3.2.1 worked example.
+    pub fn calibrated() -> Self {
+        PowerFeedSystem {
+            line_resistance_ohm_per_km: 0.8,
+            feed_current_a: 1.1,
+            repeater_drop_v: 24.0,
+            ground_resistance_ohm: 3.0,
+            grounding_interval_km: 800.0,
+            powered_off_factor: 0.85,
+        }
+    }
+
+    /// Custom system. All parameters must be positive;
+    /// `powered_off_factor` must be in `(0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        line_resistance_ohm_per_km: f64,
+        feed_current_a: f64,
+        repeater_drop_v: f64,
+        ground_resistance_ohm: f64,
+        grounding_interval_km: f64,
+        powered_off_factor: f64,
+    ) -> Result<Self, GicError> {
+        for (name, v) in [
+            ("line_resistance_ohm_per_km", line_resistance_ohm_per_km),
+            ("feed_current_a", feed_current_a),
+            ("repeater_drop_v", repeater_drop_v),
+            ("ground_resistance_ohm", ground_resistance_ohm),
+            ("grounding_interval_km", grounding_interval_km),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(GicError::NonPositiveParameter { name, value: v });
+            }
+        }
+        if !powered_off_factor.is_finite()
+            || !(0.0..=1.0).contains(&powered_off_factor)
+            || powered_off_factor == 0.0
+        {
+            return Err(GicError::InvalidProbability(powered_off_factor));
+        }
+        Ok(PowerFeedSystem {
+            line_resistance_ohm_per_km,
+            feed_current_a,
+            repeater_drop_v,
+            ground_resistance_ohm,
+            grounding_interval_km,
+            powered_off_factor,
+        })
+    }
+
+    /// Regulated operating current, A.
+    pub fn feed_current_a(&self) -> f64 {
+        self.feed_current_a
+    }
+
+    /// PFE voltage needed to drive the system: ohmic drop along the line
+    /// plus the per-repeater drops.
+    pub fn pfe_voltage_v(&self, length_km: f64, repeaters: usize) -> Result<f64, GicError> {
+        if !length_km.is_finite() || length_km < 0.0 {
+            return Err(GicError::InvalidLength(length_km));
+        }
+        Ok(
+            self.feed_current_a * self.line_resistance_ohm_per_km * length_km
+                + self.repeater_drop_v * repeaters as f64,
+        )
+    }
+
+    /// Number of grounded sections a cable of `length_km` divides into
+    /// (landing-station earths at both ends plus intermediate grounds).
+    pub fn grounded_sections(&self, length_km: f64) -> Result<usize, GicError> {
+        if !length_km.is_finite() || length_km < 0.0 {
+            return Err(GicError::InvalidLength(length_km));
+        }
+        Ok(((length_km / self.grounding_interval_km).ceil() as usize).max(1))
+    }
+
+    /// GIC flowing through one grounded section under a uniform induced
+    /// field of `e_v_per_km`, in amperes.
+    ///
+    /// The driving EMF is `E · L_section`; the loop resistance is the line
+    /// over the section plus the two earth electrodes:
+    /// `I = E·L / (r·L + 2·R_ground)`. For long sections this saturates at
+    /// `E / r` — with the calibrated 0.8 Ω/km and a Carrington-class
+    /// submarine field of 30 V/km, ≈ 37 A; fields at the top of the
+    /// literature range drive the 100–130 A the paper quotes.
+    pub fn section_gic_a(
+        &self,
+        e_v_per_km: f64,
+        section_km: f64,
+        powered: bool,
+    ) -> Result<f64, GicError> {
+        if !section_km.is_finite() || section_km < 0.0 {
+            return Err(GicError::InvalidLength(section_km));
+        }
+        if !e_v_per_km.is_finite() || e_v_per_km < 0.0 {
+            return Err(GicError::NonPositiveParameter {
+                name: "e_v_per_km",
+                value: e_v_per_km,
+            });
+        }
+        if section_km == 0.0 {
+            return Ok(0.0);
+        }
+        let emf = e_v_per_km * section_km;
+        let resistance =
+            self.line_resistance_ohm_per_km * section_km + 2.0 * self.ground_resistance_ohm;
+        let i = emf / resistance;
+        Ok(if powered {
+            i
+        } else {
+            i * self.powered_off_factor
+        })
+    }
+
+    /// Worst-case GIC seen by any repeater of a cable of `length_km` under
+    /// field `e_v_per_km`: the section current of its longest grounded
+    /// section (sections are `grounding_interval_km` long except a shorter
+    /// remainder; longer sections carry more current, saturating at
+    /// `E / r`).
+    pub fn cable_gic_a(
+        &self,
+        e_v_per_km: f64,
+        length_km: f64,
+        powered: bool,
+    ) -> Result<f64, GicError> {
+        if !length_km.is_finite() || length_km < 0.0 {
+            return Err(GicError::InvalidLength(length_km));
+        }
+        let section = length_km.min(self.grounding_interval_km);
+        self.section_gic_a(e_v_per_km, section, powered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PowerFeedSystem::new(0.0, 1.1, 30.0, 3.0, 800.0, 0.85).is_err());
+        assert!(PowerFeedSystem::new(0.8, 1.1, 30.0, 3.0, 800.0, 0.0).is_err());
+        assert!(PowerFeedSystem::new(0.8, 1.1, 30.0, 3.0, 800.0, 1.5).is_err());
+        assert!(PowerFeedSystem::new(0.8, f64::NAN, 30.0, 3.0, 800.0, 0.9).is_err());
+    }
+
+    #[test]
+    fn paper_voltage_example() {
+        let pfe = PowerFeedSystem::calibrated();
+        let v = pfe.pfe_voltage_v(9000.0, 130).unwrap();
+        assert!(
+            (10_500.0..11_500.0).contains(&v),
+            "9000 km / 130 repeaters → {v} V, expected ≈ 11 kV"
+        );
+    }
+
+    #[test]
+    fn voltage_rejects_bad_length() {
+        let pfe = PowerFeedSystem::calibrated();
+        assert!(pfe.pfe_voltage_v(-1.0, 10).is_err());
+        assert!(pfe.pfe_voltage_v(f64::INFINITY, 10).is_err());
+    }
+
+    #[test]
+    fn grounded_sections_scale_with_length() {
+        let pfe = PowerFeedSystem::calibrated();
+        assert_eq!(pfe.grounded_sections(100.0).unwrap(), 1);
+        assert_eq!(pfe.grounded_sections(800.0).unwrap(), 1);
+        assert_eq!(pfe.grounded_sections(801.0).unwrap(), 2);
+        assert_eq!(pfe.grounded_sections(8000.0).unwrap(), 10);
+        assert_eq!(pfe.grounded_sections(0.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn section_gic_saturates_at_e_over_r() {
+        let pfe = PowerFeedSystem::calibrated();
+        let e = 20.0;
+        let long = pfe.section_gic_a(e, 10_000.0, true).unwrap();
+        assert!((long - e / 0.8).abs() < 0.5, "long-section GIC {long}");
+        let short = pfe.section_gic_a(e, 10.0, true).unwrap();
+        assert!(short < long);
+    }
+
+    #[test]
+    fn extreme_submarine_fields_reach_paper_gic_range() {
+        // §3.1 quotes GIC as high as 100–130 A. At the top of the
+        // Pulkkinen field range amplified by ocean conductance
+        // (~20 · 1.5 · 3 V/km locally over well-coupled crust), the model
+        // must be able to produce that.
+        let pfe = PowerFeedSystem::calibrated();
+        let i = pfe.section_gic_a(90.0, 5000.0, true).unwrap();
+        assert!(i > 100.0, "top-of-range GIC {i}");
+    }
+
+    #[test]
+    fn powering_off_reduces_but_does_not_eliminate_gic() {
+        let pfe = PowerFeedSystem::calibrated();
+        let on = pfe.section_gic_a(20.0, 800.0, true).unwrap();
+        let off = pfe.section_gic_a(20.0, 800.0, false).unwrap();
+        assert!(off < on);
+        assert!(off > 0.5 * on, "powering off only slightly reduces GIC");
+    }
+
+    #[test]
+    fn zero_length_section_carries_no_current() {
+        let pfe = PowerFeedSystem::calibrated();
+        assert_eq!(pfe.section_gic_a(20.0, 0.0, true).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cable_gic_uses_longest_section() {
+        let pfe = PowerFeedSystem::calibrated();
+        let short_cable = pfe.cable_gic_a(20.0, 100.0, true).unwrap();
+        let long_cable = pfe.cable_gic_a(20.0, 9000.0, true).unwrap();
+        assert!(long_cable > short_cable);
+        // Beyond one grounding interval, worst-case section current stops
+        // growing: the extent of damage depends on ground spacing, not
+        // total length (§3.2.2).
+        let longer = pfe.cable_gic_a(20.0, 20_000.0, true).unwrap();
+        assert!((longer - long_cable).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gic_rejects_bad_inputs() {
+        let pfe = PowerFeedSystem::calibrated();
+        assert!(pfe.section_gic_a(-1.0, 100.0, true).is_err());
+        assert!(pfe.section_gic_a(f64::NAN, 100.0, true).is_err());
+        assert!(pfe.section_gic_a(20.0, -100.0, true).is_err());
+        assert!(pfe.cable_gic_a(20.0, f64::NAN, true).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+use std::fmt;
+
+/// Errors produced by GIC model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GicError {
+    /// A probability must lie in `[0, 1]`.
+    InvalidProbability(f64),
+    /// A physical parameter must be strictly positive and finite.
+    NonPositiveParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A cable length must be non-negative and finite.
+    InvalidLength(f64),
+    /// A latitude must be finite and within `[0, 90]` (absolute degrees).
+    InvalidLatitude(f64),
+}
+
+impl fmt::Display for GicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GicError::InvalidProbability(p) => write!(f, "probability {p} not in [0, 1]"),
+            GicError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} = {value} must be finite and > 0")
+            }
+            GicError::InvalidLength(l) => write!(f, "length {l} km must be finite and >= 0"),
+            GicError::InvalidLatitude(l) => {
+                write!(f, "absolute latitude {l} must be finite and in [0, 90]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GicError {}

@@ -1,0 +1,434 @@
+use crate::{DamageCurve, GeoelectricField, GicError, PowerFeedSystem};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::LatitudeBand;
+use solarstorm_solar::StormClass;
+
+/// The paper's S1 ("high failure") per-repeater probabilities across the
+/// `[>60°, 40–60°, <40°]` bands (Fig. 8).
+pub const S1_PROBS: [f64; 3] = [1.0, 0.1, 0.01];
+/// The paper's S2 ("low failure") per-repeater probabilities.
+pub const S2_PROBS: [f64; 3] = [0.1, 0.01, 0.001];
+
+/// Minimal view of a cable that failure models consume: enough to count
+/// repeaters and assign a latitude band, nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CableProfile {
+    /// Total system length, km.
+    pub length_km: f64,
+    /// Highest absolute latitude over the cable (endpoint or waypoint).
+    pub max_abs_lat_deg: f64,
+    /// Whether the cable runs under the ocean (ocean conductance
+    /// amplifies GIC).
+    pub submarine: bool,
+}
+
+impl CableProfile {
+    /// Repeaters at `spacing_km` intervals; the sample that would land on
+    /// the far landing station is not a repeater. Matches
+    /// `solarstorm_topology::Cable::repeater_count`.
+    pub fn repeater_count(&self, spacing_km: f64) -> usize {
+        if spacing_km <= 0.0 || !spacing_km.is_finite() || self.length_km <= 0.0 {
+            return 0;
+        }
+        let n = (self.length_km / spacing_km).floor();
+        if n <= 0.0 {
+            return 0;
+        }
+        if n * spacing_km >= self.length_km - 1e-9 {
+            (n as usize).saturating_sub(1)
+        } else {
+            n as usize
+        }
+    }
+}
+
+/// A repeater-failure model: assigns every repeater of a cable an i.i.d.
+/// failure probability (the paper's §4.3.1 setup: "repeaters are located
+/// at constant intervals and have the same probability of failure on each
+/// cable; if at least one repeater fails, the cable is dead").
+pub trait FailureModel: Send + Sync {
+    /// Per-repeater failure probability for the given cable.
+    fn repeater_failure_probability(&self, cable: &CableProfile) -> f64;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> String;
+
+    /// Probability that the cable survives with repeaters every
+    /// `spacing_km`: `(1 - p)^n`. Cables with no repeaters always survive.
+    fn cable_survival_probability(&self, cable: &CableProfile, spacing_km: f64) -> f64 {
+        let n = cable.repeater_count(spacing_km);
+        if n == 0 {
+            return 1.0;
+        }
+        let p = self.repeater_failure_probability(cable).clamp(0.0, 1.0);
+        (1.0 - p).powi(n as i32)
+    }
+
+    /// Samples whether the cable **fails** in one Monte Carlo trial.
+    fn sample_cable_failure<R: Rng + ?Sized>(
+        &self,
+        cable: &CableProfile,
+        spacing_km: f64,
+        rng: &mut R,
+    ) -> bool
+    where
+        Self: Sized,
+    {
+        let survive = self.cable_survival_probability(cable, spacing_km);
+        !rng.random_bool(survive.clamp(0.0, 1.0))
+    }
+}
+
+/// Uniform per-repeater failure probability — the model behind Figs. 6–7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformFailure {
+    p: f64,
+}
+
+impl UniformFailure {
+    /// Creates the model; `p` must be a probability.
+    pub fn new(p: f64) -> Result<Self, GicError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(GicError::InvalidProbability(p));
+        }
+        Ok(UniformFailure { p })
+    }
+
+    /// The per-repeater probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl FailureModel for UniformFailure {
+    fn repeater_failure_probability(&self, _cable: &CableProfile) -> f64 {
+        self.p
+    }
+
+    fn name(&self) -> String {
+        format!("uniform(p={})", self.p)
+    }
+}
+
+/// Latitude-banded failure probabilities — the model behind Fig. 8.
+///
+/// Repeaters of a cable take the probability of the band of the cable's
+/// highest-latitude point: `probs[0]` for `|lat| > 60°`, `probs[1]` for
+/// `40°–60°`, `probs[2]` below.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatitudeBandFailure {
+    probs: [f64; 3],
+    label: BandLabel,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum BandLabel {
+    S1,
+    S2,
+    Custom,
+}
+
+impl LatitudeBandFailure {
+    /// The paper's S1 "high failure" state: `[1, 0.1, 0.01]`.
+    pub fn s1() -> Self {
+        LatitudeBandFailure {
+            probs: S1_PROBS,
+            label: BandLabel::S1,
+        }
+    }
+
+    /// The paper's S2 "low failure" state: `[0.1, 0.01, 0.001]`.
+    pub fn s2() -> Self {
+        LatitudeBandFailure {
+            probs: S2_PROBS,
+            label: BandLabel::S2,
+        }
+    }
+
+    /// Custom per-band probabilities in `[>60°, 40–60°, <40°]` order.
+    pub fn new(probs: [f64; 3]) -> Result<Self, GicError> {
+        for p in probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(GicError::InvalidProbability(p));
+            }
+        }
+        Ok(LatitudeBandFailure {
+            probs,
+            label: BandLabel::Custom,
+        })
+    }
+
+    /// The per-band probabilities.
+    pub fn probs(&self) -> [f64; 3] {
+        self.probs
+    }
+}
+
+impl FailureModel for LatitudeBandFailure {
+    fn repeater_failure_probability(&self, cable: &CableProfile) -> f64 {
+        let band = LatitudeBand::of_abs_lat(cable.max_abs_lat_deg);
+        self.probs[band.index()]
+    }
+
+    fn name(&self) -> String {
+        match self.label {
+            BandLabel::S1 => "S1 (high failure)".to_string(),
+            BandLabel::S2 => "S2 (low failure)".to_string(),
+            BandLabel::Custom => format!(
+                "bands(>60°:{}, 40-60°:{}, <40°:{})",
+                self.probs[0], self.probs[1], self.probs[2]
+            ),
+        }
+    }
+}
+
+/// Physics-based failure model: chains the geoelectric field, the cable's
+/// power-feeding electrical model, and the repeater damage curve.
+///
+/// This is the "more sophisticated model" extension hook §3.2.2 calls
+/// for: instead of assumed probabilities, the per-repeater failure
+/// probability is `damage(GIC(E(lat, storm), cable))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicsFailure {
+    field: GeoelectricField,
+    pfe: PowerFeedSystem,
+    damage: DamageCurve,
+    class: StormClass,
+    /// Whether cables are still powered (see §5.2 — powering off slightly
+    /// reduces peak GIC).
+    powered: bool,
+}
+
+impl PhysicsFailure {
+    /// Calibrated physics chain for a storm of the given class.
+    pub fn calibrated(class: StormClass) -> Self {
+        PhysicsFailure {
+            field: GeoelectricField::calibrated(),
+            pfe: PowerFeedSystem::calibrated(),
+            damage: DamageCurve::calibrated(),
+            class,
+            powered: true,
+        }
+    }
+
+    /// Fully custom physics chain.
+    pub fn new(
+        field: GeoelectricField,
+        pfe: PowerFeedSystem,
+        damage: DamageCurve,
+        class: StormClass,
+        powered: bool,
+    ) -> Self {
+        PhysicsFailure {
+            field,
+            pfe,
+            damage,
+            class,
+            powered,
+        }
+    }
+
+    /// Same chain with cables powered off (shutdown mitigation).
+    pub fn powered_off(mut self) -> Self {
+        self.powered = false;
+        self
+    }
+
+    /// The storm class driving the model.
+    pub fn class(&self) -> StormClass {
+        self.class
+    }
+
+    /// Worst-case GIC (amperes) this storm drives through the cable.
+    pub fn cable_gic_a(&self, cable: &CableProfile) -> f64 {
+        let lat = cable.max_abs_lat_deg.clamp(0.0, 90.0);
+        let e = self
+            .field
+            .amplitude_v_per_km(lat, self.class, cable.submarine)
+            .unwrap_or(0.0);
+        self.pfe
+            .cable_gic_a(e, cable.length_km.max(0.0), self.powered)
+            .unwrap_or(0.0)
+    }
+}
+
+impl FailureModel for PhysicsFailure {
+    fn repeater_failure_probability(&self, cable: &CableProfile) -> f64 {
+        let i = self.cable_gic_a(cable);
+        self.damage.failure_probability(i).unwrap_or(0.0)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "physics({:?}, {})",
+            self.class,
+            if self.powered { "powered" } else { "shutdown" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn cable(length_km: f64, lat: f64, submarine: bool) -> CableProfile {
+        CableProfile {
+            length_km,
+            max_abs_lat_deg: lat,
+            submarine,
+        }
+    }
+
+    #[test]
+    fn uniform_rejects_bad_probability() {
+        assert!(UniformFailure::new(-0.1).is_err());
+        assert!(UniformFailure::new(1.1).is_err());
+        assert!(UniformFailure::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn no_repeaters_means_immortal() {
+        let m = UniformFailure::new(1.0).unwrap();
+        let short = cable(100.0, 70.0, true);
+        assert_eq!(m.cable_survival_probability(&short, 150.0), 1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert!(!m.sample_cable_failure(&short, 150.0, &mut rng));
+    }
+
+    #[test]
+    fn survival_decays_with_repeater_count() {
+        let m = UniformFailure::new(0.01).unwrap();
+        let s1 = m.cable_survival_probability(&cable(1000.0, 50.0, true), 150.0);
+        let s2 = m.cable_survival_probability(&cable(10_000.0, 50.0, true), 150.0);
+        assert!(s2 < s1);
+        // Closed form: (1-p)^n with n = floor(1000/150) = 6.
+        assert!((s1 - 0.99f64.powi(6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_decays_with_tighter_spacing() {
+        let m = UniformFailure::new(0.01).unwrap();
+        let c = cable(9000.0, 50.0, true);
+        let s150 = m.cable_survival_probability(&c, 150.0);
+        let s100 = m.cable_survival_probability(&c, 100.0);
+        let s50 = m.cable_survival_probability(&c, 50.0);
+        assert!(s50 < s100 && s100 < s150);
+    }
+
+    #[test]
+    fn certain_failure_with_any_repeater() {
+        let m = UniformFailure::new(1.0).unwrap();
+        let c = cable(1000.0, 50.0, true);
+        assert_eq!(m.cable_survival_probability(&c, 150.0), 0.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        assert!(m.sample_cable_failure(&c, 150.0, &mut rng));
+    }
+
+    #[test]
+    fn band_model_uses_highest_latitude() {
+        let m = LatitudeBandFailure::s1();
+        assert_eq!(
+            m.repeater_failure_probability(&cable(5000.0, 65.0, true)),
+            1.0
+        );
+        assert_eq!(
+            m.repeater_failure_probability(&cable(5000.0, 50.0, true)),
+            0.1
+        );
+        assert_eq!(
+            m.repeater_failure_probability(&cable(5000.0, 10.0, true)),
+            0.01
+        );
+        let m2 = LatitudeBandFailure::s2();
+        assert_eq!(
+            m2.repeater_failure_probability(&cable(5000.0, 65.0, true)),
+            0.1
+        );
+        assert_eq!(
+            m2.repeater_failure_probability(&cable(5000.0, 10.0, true)),
+            0.001
+        );
+    }
+
+    #[test]
+    fn band_model_rejects_bad_probs() {
+        assert!(LatitudeBandFailure::new([1.0, 0.1, f64::NAN]).is_err());
+        assert!(LatitudeBandFailure::new([2.0, 0.1, 0.01]).is_err());
+    }
+
+    #[test]
+    fn model_names_are_descriptive() {
+        assert!(UniformFailure::new(0.01).unwrap().name().contains("0.01"));
+        assert!(LatitudeBandFailure::s1().name().contains("S1"));
+        assert!(LatitudeBandFailure::new([0.5, 0.2, 0.1])
+            .unwrap()
+            .name()
+            .contains("0.5"));
+        assert!(PhysicsFailure::calibrated(StormClass::Extreme)
+            .name()
+            .contains("Extreme"));
+    }
+
+    #[test]
+    fn physics_extreme_destroys_polar_submarine_cables() {
+        let m = PhysicsFailure::calibrated(StormClass::Extreme);
+        let p = m.repeater_failure_probability(&cable(7000.0, 65.0, true));
+        assert!(p > 0.8, "polar submarine repeater failure prob {p}");
+    }
+
+    #[test]
+    fn physics_minor_storm_is_harmless() {
+        let m = PhysicsFailure::calibrated(StormClass::Minor);
+        let p = m.repeater_failure_probability(&cable(7000.0, 45.0, true));
+        assert!(p < 0.01, "minor-storm failure prob {p}");
+    }
+
+    #[test]
+    fn physics_ordering_matches_band_intuition() {
+        // Same storm: polar cable at higher risk than equatorial one.
+        let m = PhysicsFailure::calibrated(StormClass::Extreme);
+        let polar = m.repeater_failure_probability(&cable(7000.0, 65.0, true));
+        let equatorial = m.repeater_failure_probability(&cable(7000.0, 5.0, true));
+        assert!(polar > equatorial);
+        // Submarine at higher risk than land at the same latitude.
+        let land = m.repeater_failure_probability(&cable(7000.0, 65.0, false));
+        assert!(polar > land);
+    }
+
+    #[test]
+    fn shutdown_reduces_physics_failure_probability() {
+        let on = PhysicsFailure::calibrated(StormClass::Severe);
+        let off = PhysicsFailure::calibrated(StormClass::Severe).powered_off();
+        let c = cable(7000.0, 55.0, true);
+        assert!(off.repeater_failure_probability(&c) < on.repeater_failure_probability(&c));
+    }
+
+    #[test]
+    fn sampling_matches_survival_probability() {
+        let m = UniformFailure::new(0.02).unwrap();
+        let c = cable(3000.0, 50.0, true);
+        let expected_fail = 1.0 - m.cable_survival_probability(&c, 150.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let n = 200_000;
+        let fails = (0..n)
+            .filter(|_| m.sample_cable_failure(&c, 150.0, &mut rng))
+            .count();
+        let measured = fails as f64 / n as f64;
+        assert!(
+            (measured - expected_fail).abs() < 0.005,
+            "measured {measured}, expected {expected_fail}"
+        );
+    }
+
+    #[test]
+    fn profile_repeater_count_edge_cases() {
+        assert_eq!(cable(0.0, 0.0, false).repeater_count(150.0), 0);
+        assert_eq!(cable(-5.0, 0.0, false).repeater_count(150.0), 0);
+        assert_eq!(cable(300.0, 0.0, false).repeater_count(0.0), 0);
+        assert_eq!(cable(300.0, 0.0, false).repeater_count(100.0), 2);
+        assert_eq!(cable(301.0, 0.0, false).repeater_count(100.0), 3);
+    }
+}

@@ -1,0 +1,226 @@
+use crate::GicError;
+use serde::{Deserialize, Serialize};
+use solarstorm_solar::StormClass;
+
+/// Induced geoelectric-field model: amplitude in V/km as a function of
+/// absolute latitude and storm class.
+///
+/// Shape constraints taken from the paper (§3.1) and its sources:
+///
+/// * the field is strongest in the auroral zone (`|lat| ≳ 60°`);
+/// * it stays near its peak down to the storm's *floor latitude*
+///   (40° for a 1989-class storm, as low as 20° for Carrington-class,
+///   per Pulkkinen et al. 2012);
+/// * below the floor it decays so that ~10–15° further equatorward the
+///   amplitude has dropped by an order of magnitude (the 1989
+///   measurement);
+/// * small but non-zero fields occur even at the equator
+///   (equatorial-electrojet studies);
+/// * conductive seawater *increases* the induced field driving cable GIC
+///   (New Zealand modelling: 1–500 S on land vs 100–24,000 S in the
+///   surrounding ocean), captured as a constant ocean multiplier.
+///
+/// ```
+/// use solarstorm_gic::GeoelectricField;
+/// use solarstorm_solar::StormClass;
+/// let f = GeoelectricField::calibrated();
+/// let polar = f.amplitude_v_per_km(65.0, StormClass::Extreme, false).unwrap();
+/// let equatorial = f.amplitude_v_per_km(5.0, StormClass::Extreme, false).unwrap();
+/// assert!(polar > 10.0 * equatorial);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeoelectricField {
+    /// Peak amplitude for a Carrington-scale storm in the auroral zone,
+    /// V/km. Pulkkinen et al. 100-year scenarios put extreme fields at
+    /// ~5–20 V/km; we adopt 20 V/km as the design-basis peak.
+    peak_v_per_km: f64,
+    /// Equatorward decay scale below the floor latitude, degrees per
+    /// e-fold. 6.5° per e-fold ≈ one order of magnitude per 15°.
+    decay_scale_deg: f64,
+    /// Multiplier applied on submarine routes for ocean conductance.
+    ocean_multiplier: f64,
+}
+
+impl GeoelectricField {
+    /// Model calibrated to the literature values cited by the paper.
+    pub fn calibrated() -> Self {
+        GeoelectricField {
+            peak_v_per_km: 20.0,
+            decay_scale_deg: 6.5,
+            ocean_multiplier: 1.5,
+        }
+    }
+
+    /// Custom model.
+    pub fn new(
+        peak_v_per_km: f64,
+        decay_scale_deg: f64,
+        ocean_multiplier: f64,
+    ) -> Result<Self, GicError> {
+        for (name, v) in [
+            ("peak_v_per_km", peak_v_per_km),
+            ("decay_scale_deg", decay_scale_deg),
+            ("ocean_multiplier", ocean_multiplier),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(GicError::NonPositiveParameter { name, value: v });
+            }
+        }
+        Ok(GeoelectricField {
+            peak_v_per_km,
+            decay_scale_deg,
+            ocean_multiplier,
+        })
+    }
+
+    /// Field amplitude in V/km at `abs_lat_deg` for the given storm class.
+    /// `submarine` applies the ocean-conductance multiplier.
+    pub fn amplitude_v_per_km(
+        &self,
+        abs_lat_deg: f64,
+        class: StormClass,
+        submarine: bool,
+    ) -> Result<f64, GicError> {
+        if !abs_lat_deg.is_finite() || !(0.0..=90.0).contains(&abs_lat_deg) {
+            return Err(GicError::InvalidLatitude(abs_lat_deg));
+        }
+        let floor = class.strong_field_floor_lat_deg();
+        let profile = if abs_lat_deg >= floor {
+            1.0
+        } else {
+            (-(floor - abs_lat_deg) / self.decay_scale_deg).exp()
+        };
+        let ocean = if submarine {
+            self.ocean_multiplier
+        } else {
+            1.0
+        };
+        Ok(self.peak_v_per_km * class.field_scale() * profile * ocean)
+    }
+
+    /// Design-basis peak amplitude (Carrington class, auroral zone, land).
+    pub fn peak_v_per_km(&self) -> f64 {
+        self.peak_v_per_km
+    }
+
+    /// Ocean-conductance multiplier.
+    pub fn ocean_multiplier(&self) -> f64 {
+        self.ocean_multiplier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(GeoelectricField::new(0.0, 6.5, 1.5).is_err());
+        assert!(GeoelectricField::new(20.0, -1.0, 1.5).is_err());
+        assert!(GeoelectricField::new(20.0, 6.5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_latitude() {
+        let f = GeoelectricField::calibrated();
+        assert!(f
+            .amplitude_v_per_km(-5.0, StormClass::Extreme, false)
+            .is_err());
+        assert!(f
+            .amplitude_v_per_km(95.0, StormClass::Extreme, false)
+            .is_err());
+        assert!(f
+            .amplitude_v_per_km(f64::NAN, StormClass::Extreme, false)
+            .is_err());
+    }
+
+    #[test]
+    fn extreme_reaches_peak_at_auroral_latitudes() {
+        let f = GeoelectricField::calibrated();
+        let e = f
+            .amplitude_v_per_km(65.0, StormClass::Extreme, false)
+            .unwrap();
+        assert_eq!(e, 20.0);
+    }
+
+    #[test]
+    fn extreme_holds_peak_down_to_twenty_degrees() {
+        let f = GeoelectricField::calibrated();
+        // Carrington-scale strong fields extend as low as 20°.
+        let at20 = f
+            .amplitude_v_per_km(20.0, StormClass::Extreme, false)
+            .unwrap();
+        assert_eq!(at20, 20.0);
+        let at19 = f
+            .amplitude_v_per_km(19.0, StormClass::Extreme, false)
+            .unwrap();
+        assert!(at19 < at20);
+    }
+
+    #[test]
+    fn moderate_drops_order_of_magnitude_below_forty() {
+        // The 1989 observation: field an order of magnitude lower below 40°.
+        let f = GeoelectricField::calibrated();
+        let at40 = f
+            .amplitude_v_per_km(40.0, StormClass::Moderate, false)
+            .unwrap();
+        let at25 = f
+            .amplitude_v_per_km(25.0, StormClass::Moderate, false)
+            .unwrap();
+        let ratio = at40 / at25;
+        assert!(
+            (8.0..13.0).contains(&ratio),
+            "expected ~10x drop over 15°, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn field_is_monotone_in_latitude() {
+        let f = GeoelectricField::calibrated();
+        for class in StormClass::ALL {
+            let mut prev = -1.0;
+            for lat in 0..=90 {
+                let e = f.amplitude_v_per_km(lat as f64, class, false).unwrap();
+                assert!(e >= prev, "class {class:?} lat {lat}");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn field_is_monotone_in_storm_class() {
+        let f = GeoelectricField::calibrated();
+        for lat in [0.0, 25.0, 45.0, 70.0] {
+            let values: Vec<f64> = StormClass::ALL
+                .iter()
+                .map(|c| f.amplitude_v_per_km(lat, *c, false).unwrap())
+                .collect();
+            assert!(
+                values.windows(2).all(|w| w[0] <= w[1]),
+                "lat {lat}: {values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ocean_amplifies() {
+        let f = GeoelectricField::calibrated();
+        let land = f
+            .amplitude_v_per_km(50.0, StormClass::Severe, false)
+            .unwrap();
+        let sea = f
+            .amplitude_v_per_km(50.0, StormClass::Severe, true)
+            .unwrap();
+        assert!((sea / land - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equatorial_field_is_small_but_nonzero() {
+        let f = GeoelectricField::calibrated();
+        let e = f
+            .amplitude_v_per_km(0.0, StormClass::Extreme, false)
+            .unwrap();
+        assert!(e > 0.0);
+        assert!(e < 2.0, "equatorial field {e} should be < 10% of peak");
+    }
+}

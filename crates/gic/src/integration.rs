@@ -1,0 +1,279 @@
+//! Route-resolved field integration.
+//!
+//! The failure models classify a cable by its single highest-latitude
+//! point — the paper's method. With full route geometry we can do
+//! better: integrate the induced field along the actual path, section by
+//! grounded section, and drive the damage model with each section's own
+//! EMF. §3.2.2 notes the extent of damage "depends on the distance
+//! between the ground connections"; this module makes that concrete.
+
+use crate::{DamageCurve, GeoelectricField, GicError, PowerFeedSystem};
+use solarstorm_geo::Polyline;
+use solarstorm_solar::StormClass;
+
+/// Integration step along the route, km.
+const STEP_KM: f64 = 25.0;
+
+/// EMF accumulated in each grounded section of a route, volts.
+///
+/// Sections are consecutive `grounding_interval_km` spans of the route
+/// (the paper: grounds every "100s to 1000s of kilometers"); the induced
+/// field magnitude is evaluated at the latitude of each 25 km step.
+pub fn section_emfs(
+    route: &Polyline,
+    field: &GeoelectricField,
+    class: StormClass,
+    submarine: bool,
+    grounding_interval_km: f64,
+) -> Result<Vec<f64>, GicError> {
+    if !grounding_interval_km.is_finite() || grounding_interval_km <= 0.0 {
+        return Err(GicError::NonPositiveParameter {
+            name: "grounding_interval_km",
+            value: grounding_interval_km,
+        });
+    }
+    let total = route.length_km();
+    let mut emfs = Vec::new();
+    let mut section_emf = 0.0;
+    let mut section_len = 0.0;
+    let mut walked = 0.0;
+    while walked < total {
+        let step = STEP_KM.min(total - walked);
+        let mid = route.point_at_km(walked + step / 2.0);
+        let e = field.amplitude_v_per_km(mid.abs_lat_deg(), class, submarine)?;
+        section_emf += e * step;
+        section_len += step;
+        walked += step;
+        if section_len >= grounding_interval_km - 1e-9 {
+            emfs.push(section_emf);
+            section_emf = 0.0;
+            section_len = 0.0;
+        }
+    }
+    if section_len > 0.0 {
+        emfs.push(section_emf);
+    }
+    Ok(emfs)
+}
+
+/// Worst per-section GIC along a route, amperes.
+///
+/// Each section's loop current is `EMF / (r·L + 2·R_ground)` with the
+/// section's own integrated EMF — the route-resolved version of
+/// [`PowerFeedSystem::cable_gic_a`].
+pub fn worst_section_gic_a(
+    route: &Polyline,
+    field: &GeoelectricField,
+    pfe: &PowerFeedSystem,
+    class: StormClass,
+    submarine: bool,
+    powered: bool,
+    grounding_interval_km: f64,
+) -> Result<f64, GicError> {
+    let emfs = section_emfs(route, field, class, submarine, grounding_interval_km)?;
+    let total = route.length_km();
+    let mut worst = 0.0f64;
+    let mut remaining = total;
+    for emf in emfs {
+        let len = grounding_interval_km.min(remaining);
+        remaining -= len;
+        if len <= 0.0 {
+            break;
+        }
+        // Mean field over the section drives the same loop equation as
+        // the uniform-field model.
+        let e_mean = emf / len;
+        let i = pfe.section_gic_a(e_mean, len, powered)?;
+        worst = worst.max(i);
+    }
+    Ok(worst)
+}
+
+/// Length-weighted mean per-repeater failure probability along the
+/// route: each grounded section's repeaters fail at the rate set by that
+/// section's own GIC. This is the expected *fraction of the route's
+/// repeaters destroyed* — the quantity that drives repair time — and,
+/// unlike the worst-section number, it differentiates routes that only
+/// briefly touch high latitudes from routes that live there.
+pub fn mean_repeater_failure_probability(
+    route: &Polyline,
+    field: &GeoelectricField,
+    pfe: &PowerFeedSystem,
+    damage: &DamageCurve,
+    class: StormClass,
+    submarine: bool,
+    powered: bool,
+    grounding_interval_km: f64,
+) -> Result<f64, GicError> {
+    let emfs = section_emfs(route, field, class, submarine, grounding_interval_km)?;
+    let total = route.length_km();
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let mut acc = 0.0;
+    let mut remaining = total;
+    for emf in emfs {
+        let len = grounding_interval_km.min(remaining);
+        remaining -= len;
+        if len <= 0.0 {
+            break;
+        }
+        let e_mean = emf / len;
+        let i = pfe.section_gic_a(e_mean, len, powered)?;
+        acc += damage.failure_probability(i)? * len;
+    }
+    Ok(acc / total)
+}
+
+/// Route-resolved repeater failure probability: damage curve evaluated
+/// at the worst section's GIC.
+pub fn route_failure_probability(
+    route: &Polyline,
+    field: &GeoelectricField,
+    pfe: &PowerFeedSystem,
+    damage: &DamageCurve,
+    class: StormClass,
+    submarine: bool,
+    powered: bool,
+    grounding_interval_km: f64,
+) -> Result<f64, GicError> {
+    let i = worst_section_gic_a(
+        route,
+        field,
+        pfe,
+        class,
+        submarine,
+        powered,
+        grounding_interval_km,
+    )?;
+    damage.failure_probability(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn models() -> (GeoelectricField, PowerFeedSystem, DamageCurve) {
+        (
+            GeoelectricField::calibrated(),
+            PowerFeedSystem::calibrated(),
+            DamageCurve::calibrated(),
+        )
+    }
+
+    #[test]
+    fn uniform_latitude_route_matches_uniform_field_model() {
+        let (field, pfe, _) = models();
+        // A route along the 55th parallel: every step sees the same field.
+        let route = Polyline::new(vec![p(55.0, 0.0), p(55.0, 10.0), p(55.0, 20.0)]).unwrap();
+        let e = field
+            .amplitude_v_per_km(55.0, StormClass::Extreme, true)
+            .unwrap();
+        let worst =
+            worst_section_gic_a(&route, &field, &pfe, StormClass::Extreme, true, true, 800.0)
+                .unwrap();
+        let uniform = pfe.cable_gic_a(e, route.length_km(), true).unwrap();
+        // Latitude drifts slightly along a parallel's great-circle chords;
+        // allow a small tolerance.
+        assert!(
+            (worst - uniform).abs() / uniform < 0.05,
+            "route {worst} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn polar_crossing_beats_equatorial_route() {
+        let (field, pfe, _) = models();
+        let polar = Polyline::new(vec![p(45.0, -40.0), p(65.0, -20.0), p(45.0, 0.0)]).unwrap();
+        let equatorial = Polyline::new(vec![p(0.0, -40.0), p(5.0, -20.0), p(0.0, 0.0)]).unwrap();
+        let gic_polar =
+            worst_section_gic_a(&polar, &field, &pfe, StormClass::Extreme, true, true, 800.0)
+                .unwrap();
+        let gic_eq = worst_section_gic_a(
+            &equatorial,
+            &field,
+            &pfe,
+            StormClass::Extreme,
+            true,
+            true,
+            800.0,
+        )
+        .unwrap();
+        assert!(gic_polar > 3.0 * gic_eq, "polar {gic_polar} vs eq {gic_eq}");
+    }
+
+    #[test]
+    fn route_resolution_is_gentler_than_worst_point() {
+        // A mostly-equatorial route that briefly touches 45° is classified
+        // Mid-band by the paper's endpoint method, but its worst *section*
+        // sees much less than a wholly mid-latitude cable.
+        let (field, pfe, damage) = models();
+        let mostly_low = Polyline::new(vec![
+            p(0.0, 0.0),
+            p(10.0, 20.0),
+            p(45.0, 40.0),
+            p(10.0, 60.0),
+            p(0.0, 80.0),
+        ])
+        .unwrap();
+        let all_mid = Polyline::new(vec![p(45.0, 0.0), p(45.0, 40.0), p(45.0, 80.0)]).unwrap();
+        let p_low = route_failure_probability(
+            &mostly_low,
+            &field,
+            &pfe,
+            &damage,
+            StormClass::Severe,
+            true,
+            true,
+            800.0,
+        )
+        .unwrap();
+        let p_mid = route_failure_probability(
+            &all_mid,
+            &field,
+            &pfe,
+            &damage,
+            StormClass::Severe,
+            true,
+            true,
+            800.0,
+        )
+        .unwrap();
+        assert!(p_low <= p_mid, "route-resolved {p_low} vs all-mid {p_mid}");
+    }
+
+    #[test]
+    fn section_count_tracks_grounding_interval() {
+        let (field, _, _) = models();
+        let route = Polyline::straight(p(0.0, 0.0), p(0.0, 40.0)); // ~4,448 km
+        let emfs = section_emfs(&route, &field, StormClass::Moderate, true, 800.0).unwrap();
+        let expected = (route.length_km() / 800.0).ceil() as usize;
+        assert_eq!(emfs.len(), expected);
+        // One giant section when the interval exceeds the route.
+        let one = section_emfs(&route, &field, StormClass::Moderate, true, 10_000.0).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_interval() {
+        let (field, pfe, damage) = models();
+        let route = Polyline::straight(p(0.0, 0.0), p(0.0, 10.0));
+        assert!(section_emfs(&route, &field, StormClass::Minor, true, 0.0).is_err());
+        assert!(route_failure_probability(
+            &route,
+            &field,
+            &pfe,
+            &damage,
+            StormClass::Minor,
+            true,
+            true,
+            -1.0,
+        )
+        .is_err());
+    }
+}

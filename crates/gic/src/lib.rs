@@ -1,0 +1,45 @@
+//! Geomagnetically-induced-current (GIC) models for the `solarstorm`
+//! toolkit.
+//!
+//! This crate implements §3 of *Solar Superstorms: Planning for an
+//! Internet Apocalypse* (SIGCOMM 2021) quantitatively:
+//!
+//! * [`GeoelectricField`] — induced-field amplitude as a function of
+//!   absolute latitude and storm class, with the ocean-conductance
+//!   amplification the paper notes for submarine routes;
+//! * [`PowerFeedSystem`] — the electrical model of a long-haul cable:
+//!   0.8 Ω/km power-feeding line, 1.1 A regulated feed current, repeater
+//!   voltage drops (calibrated so a 9,000 km / 130-repeater system needs
+//!   ≈ 11 kV of PFE voltage), grounded sections every few hundred km, and
+//!   the GIC a storm drives through them;
+//! * [`DamageCurve`] — probability that a repeater designed for ~1 A
+//!   dies at a given GIC level (storm GIC reaches 100–130 A, ~100× the
+//!   operating point);
+//! * [`FailureModel`] — the paper's family of repeater-failure models
+//!   behind one trait: [`UniformFailure`] (Figs. 6–7),
+//!   [`LatitudeBandFailure`] with the S1/S2 calibrations (Fig. 8), and the
+//!   physics-based [`PhysicsFailure`] extension that chains the three
+//!   models above.
+//!
+//! The failure models consume a [`CableProfile`] — the minimal view of a
+//! cable (length, band latitude, land/sea) — so this crate stays
+//! independent of the topology representation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod damage;
+mod electrical;
+mod error;
+mod failure;
+mod field;
+pub mod integration;
+
+pub use damage::DamageCurve;
+pub use electrical::PowerFeedSystem;
+pub use error::GicError;
+pub use failure::{
+    CableProfile, FailureModel, LatitudeBandFailure, PhysicsFailure, UniformFailure, S1_PROBS,
+    S2_PROBS,
+};
+pub use field::GeoelectricField;

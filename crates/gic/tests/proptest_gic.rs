@@ -1,0 +1,145 @@
+//! Property-based tests for the GIC models.
+
+use proptest::prelude::*;
+use solarstorm_gic::{
+    CableProfile, DamageCurve, FailureModel, GeoelectricField, LatitudeBandFailure,
+    PowerFeedSystem, UniformFailure,
+};
+use solarstorm_solar::StormClass;
+
+fn arb_profile() -> impl Strategy<Value = CableProfile> {
+    (10.0f64..40_000.0, 0.0f64..=90.0, any::<bool>()).prop_map(|(length_km, lat, submarine)| {
+        CableProfile {
+            length_km,
+            max_abs_lat_deg: lat,
+            submarine,
+        }
+    })
+}
+
+fn arb_class() -> impl Strategy<Value = StormClass> {
+    prop_oneof![
+        Just(StormClass::Minor),
+        Just(StormClass::Moderate),
+        Just(StormClass::Severe),
+        Just(StormClass::Extreme),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn field_amplitude_is_finite_and_nonnegative(
+        lat in 0.0f64..=90.0,
+        class in arb_class(),
+        submarine in any::<bool>(),
+    ) {
+        let f = GeoelectricField::calibrated();
+        let e = f.amplitude_v_per_km(lat, class, submarine).unwrap();
+        prop_assert!(e.is_finite());
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= 20.0 * 1.5 + 1e-9, "amplitude {e} exceeds design peak");
+    }
+
+    #[test]
+    fn field_monotone_in_latitude(
+        lat1 in 0.0f64..=90.0,
+        lat2 in 0.0f64..=90.0,
+        class in arb_class(),
+    ) {
+        let f = GeoelectricField::calibrated();
+        let (lo, hi) = if lat1 <= lat2 { (lat1, lat2) } else { (lat2, lat1) };
+        let e_lo = f.amplitude_v_per_km(lo, class, false).unwrap();
+        let e_hi = f.amplitude_v_per_km(hi, class, false).unwrap();
+        prop_assert!(e_hi >= e_lo - 1e-12);
+    }
+
+    #[test]
+    fn gic_is_monotone_in_field(
+        e1 in 0.0f64..100.0,
+        e2 in 0.0f64..100.0,
+        section in 1.0f64..5_000.0,
+    ) {
+        let pfe = PowerFeedSystem::calibrated();
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let i_lo = pfe.section_gic_a(lo, section, true).unwrap();
+        let i_hi = pfe.section_gic_a(hi, section, true).unwrap();
+        prop_assert!(i_hi >= i_lo);
+    }
+
+    #[test]
+    fn gic_bounded_by_e_over_r(e in 0.0f64..200.0, section in 0.0f64..50_000.0) {
+        let pfe = PowerFeedSystem::calibrated();
+        let i = pfe.section_gic_a(e, section, true).unwrap();
+        prop_assert!(i <= e / 0.8 + 1e-9, "I {i} exceeds E/r for E={e}");
+    }
+
+    #[test]
+    fn shutdown_never_increases_gic(e in 0.0f64..100.0, section in 1.0f64..10_000.0) {
+        let pfe = PowerFeedSystem::calibrated();
+        let on = pfe.section_gic_a(e, section, true).unwrap();
+        let off = pfe.section_gic_a(e, section, false).unwrap();
+        prop_assert!(off <= on);
+        if e > 0.0 {
+            prop_assert!(off > 0.0, "GIC flows through a powered-off cable");
+        }
+    }
+
+    #[test]
+    fn damage_probability_is_a_probability(current in 0.0f64..10_000.0) {
+        let c = DamageCurve::calibrated();
+        let p = c.failure_probability(current).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn survival_is_a_probability_and_monotone_in_spacing(
+        profile in arb_profile(),
+        p in 0.0f64..=1.0,
+    ) {
+        let m = UniformFailure::new(p).unwrap();
+        let s50 = m.cable_survival_probability(&profile, 50.0);
+        let s100 = m.cable_survival_probability(&profile, 100.0);
+        let s150 = m.cable_survival_probability(&profile, 150.0);
+        for s in [s50, s100, s150] {
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+        prop_assert!(s50 <= s100 + 1e-12);
+        prop_assert!(s100 <= s150 + 1e-12);
+    }
+
+    #[test]
+    fn band_model_matches_uniform_within_band(profile in arb_profile(), p in 0.0f64..=1.0) {
+        // For a cable in a given band, the band model equals the uniform
+        // model with that band's probability.
+        let band = LatitudeBandFailure::new([p, p, p]).unwrap();
+        let uniform = UniformFailure::new(p).unwrap();
+        prop_assert_eq!(
+            band.cable_survival_probability(&profile, 150.0),
+            uniform.cable_survival_probability(&profile, 150.0)
+        );
+    }
+
+    #[test]
+    fn s1_never_survives_better_than_s2(profile in arb_profile()) {
+        let s1 = LatitudeBandFailure::s1().cable_survival_probability(&profile, 150.0);
+        let s2 = LatitudeBandFailure::s2().cable_survival_probability(&profile, 150.0);
+        prop_assert!(s1 <= s2 + 1e-12, "S1 {s1} vs S2 {s2}");
+    }
+
+    #[test]
+    fn repeater_count_consistent_with_length(profile in arb_profile()) {
+        let n = profile.repeater_count(150.0);
+        prop_assert!((n as f64) <= profile.length_km / 150.0);
+        // Off-by-one window: count is within 1 of length/spacing.
+        prop_assert!((n as f64) >= profile.length_km / 150.0 - 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn pfe_voltage_scales_with_length(len1 in 0.0f64..20_000.0, len2 in 0.0f64..20_000.0) {
+        let pfe = PowerFeedSystem::calibrated();
+        let (lo, hi) = if len1 <= len2 { (len1, len2) } else { (len2, len1) };
+        let v_lo = pfe.pfe_voltage_v(lo, 0).unwrap();
+        let v_hi = pfe.pfe_voltage_v(hi, 0).unwrap();
+        prop_assert!(v_hi >= v_lo);
+    }
+}

@@ -1,0 +1,140 @@
+use crate::SatError;
+use serde::{Deserialize, Serialize};
+
+/// One Walker-delta shell of a constellation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shell {
+    /// Circular orbit altitude, km (LEO: 200–2,000).
+    pub altitude_km: f64,
+    /// Orbital inclination, degrees. Coverage extends to roughly this
+    /// absolute latitude.
+    pub inclination_deg: f64,
+    /// Number of orbital planes.
+    pub planes: u32,
+    /// Satellites per plane.
+    pub sats_per_plane: u32,
+}
+
+impl Shell {
+    /// Validated constructor.
+    pub fn new(
+        altitude_km: f64,
+        inclination_deg: f64,
+        planes: u32,
+        sats_per_plane: u32,
+    ) -> Result<Self, SatError> {
+        if !altitude_km.is_finite() || !(200.0..=2_000.0).contains(&altitude_km) {
+            return Err(SatError::AltitudeOutOfRange(altitude_km));
+        }
+        if !inclination_deg.is_finite() || !(0.0..=180.0).contains(&inclination_deg) {
+            return Err(SatError::NonPositiveParameter {
+                name: "inclination_deg",
+                value: inclination_deg,
+            });
+        }
+        if planes == 0 || sats_per_plane == 0 {
+            return Err(SatError::NonPositiveParameter {
+                name: "planes/sats_per_plane",
+                value: 0.0,
+            });
+        }
+        Ok(Shell {
+            altitude_km,
+            inclination_deg,
+            planes,
+            sats_per_plane,
+        })
+    }
+
+    /// Total satellites in the shell.
+    pub fn count(&self) -> u32 {
+        self.planes * self.sats_per_plane
+    }
+
+    /// Highest absolute latitude the shell serves (≈ inclination, capped
+    /// at 90 for retrograde notation).
+    pub fn max_service_lat_deg(&self) -> f64 {
+        if self.inclination_deg > 90.0 {
+            180.0 - self.inclination_deg
+        } else {
+            self.inclination_deg
+        }
+    }
+}
+
+/// A multi-shell LEO constellation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constellation {
+    /// Constellation name.
+    pub name: String,
+    /// Shells.
+    pub shells: Vec<Shell>,
+}
+
+impl Constellation {
+    /// A Starlink-like first-generation constellation (the deployment
+    /// the paper names): a 550 km / 53° workhorse shell plus the higher-
+    /// inclination shells that serve polar latitudes.
+    pub fn starlink_like() -> Self {
+        Constellation {
+            name: "starlink-like".into(),
+            shells: vec![
+                Shell::new(550.0, 53.0, 72, 22).expect("valid shell"),
+                Shell::new(540.0, 53.2, 72, 22).expect("valid shell"),
+                Shell::new(570.0, 70.0, 36, 20).expect("valid shell"),
+                Shell::new(560.0, 97.6, 10, 43).expect("valid shell"),
+            ],
+        }
+    }
+
+    /// Total satellites.
+    pub fn count(&self) -> u32 {
+        self.shells.iter().map(Shell::count).sum()
+    }
+
+    /// Shells able to serve a given absolute latitude.
+    pub fn shells_covering(&self, abs_lat_deg: f64) -> impl Iterator<Item = &Shell> {
+        self.shells
+            .iter()
+            .filter(move |s| s.max_service_lat_deg() + 5.0 >= abs_lat_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shells() {
+        assert!(Shell::new(100.0, 53.0, 10, 10).is_err());
+        assert!(Shell::new(5_000.0, 53.0, 10, 10).is_err());
+        assert!(Shell::new(550.0, -5.0, 10, 10).is_err());
+        assert!(Shell::new(550.0, 53.0, 0, 10).is_err());
+        assert!(Shell::new(550.0, f64::NAN, 10, 10).is_err());
+    }
+
+    #[test]
+    fn starlink_like_scale() {
+        let c = Constellation::starlink_like();
+        // Gen-1 filings are ~4,400 satellites.
+        assert!((3_500..=5_500).contains(&(c.count() as i32)));
+        assert_eq!(c.shells.len(), 4);
+    }
+
+    #[test]
+    fn polar_coverage_needs_high_inclination() {
+        let c = Constellation::starlink_like();
+        // 53° shells cannot serve 80°N; the sun-synchronous shell can.
+        let covering_80: Vec<&Shell> = c.shells_covering(80.0).collect();
+        assert_eq!(covering_80.len(), 1);
+        assert!(covering_80[0].inclination_deg > 90.0);
+        // Everything serves the equator.
+        assert_eq!(c.shells_covering(0.0).count(), 4);
+    }
+
+    #[test]
+    fn retrograde_inclination_maps_to_latitude() {
+        let s = Shell::new(560.0, 97.6, 10, 43).unwrap();
+        assert!((s.max_service_lat_deg() - 82.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,245 @@
+use crate::SatError;
+use serde::{Deserialize, Serialize};
+use solarstorm_solar::StormClass;
+
+/// Standard gravitational parameter of the Earth, m³/s².
+const MU_EARTH: f64 = 3.986_004_418e14;
+/// Earth radius, km.
+const EARTH_RADIUS_KM: f64 = 6_371.0;
+/// Altitude at which reentry is effectively immediate, km.
+const REENTRY_ALT_KM: f64 = 200.0;
+
+/// First-order atmospheric-drag and orbital-decay model.
+///
+/// Exponential thermosphere density anchored at 550 km, with a
+/// storm-class multiplier for geomagnetic heating (storms deposit energy
+/// in the thermosphere, inflating density at LEO altitudes several-fold
+/// — the mechanism that deorbited a Starlink batch in February 2022
+/// during a *minor* storm). Semi-major-axis decay uses the standard
+/// circular-orbit drag equation `da/dt = −ρ (C_d A/m) √(μa)`.
+///
+/// Calibration anchors (all exposed as constructor parameters):
+/// * quiet-time density at 550 km ≈ 3.5 × 10⁻¹³ kg/m³, giving a
+///   no-station-keeping lifetime of a few years for a Starlink-class
+///   satellite (ballistic coefficient C_d·A/m ≈ 0.022 m²/kg);
+/// * scale height ≈ 65 km;
+/// * storm heating multiplies density ~1.5× (minor) to ~12× (extreme).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DragModel {
+    /// Quiet-time density at the 550 km anchor, kg/m³.
+    rho_550_kg_m3: f64,
+    /// Density scale height, km.
+    scale_height_km: f64,
+    /// Ballistic coefficient `C_d·A/m`, m²/kg.
+    ballistic_m2_kg: f64,
+}
+
+impl DragModel {
+    /// Starlink-class calibration (see type docs).
+    pub fn calibrated() -> Self {
+        DragModel {
+            rho_550_kg_m3: 3.5e-13,
+            scale_height_km: 65.0,
+            ballistic_m2_kg: 0.022,
+        }
+    }
+
+    /// Custom model.
+    pub fn new(
+        rho_550_kg_m3: f64,
+        scale_height_km: f64,
+        ballistic_m2_kg: f64,
+    ) -> Result<Self, SatError> {
+        for (name, v) in [
+            ("rho_550_kg_m3", rho_550_kg_m3),
+            ("scale_height_km", scale_height_km),
+            ("ballistic_m2_kg", ballistic_m2_kg),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(SatError::NonPositiveParameter { name, value: v });
+            }
+        }
+        Ok(DragModel {
+            rho_550_kg_m3,
+            scale_height_km,
+            ballistic_m2_kg,
+        })
+    }
+
+    /// Storm-time thermosphere density multiplier per storm class.
+    pub fn storm_density_multiplier(class: StormClass) -> f64 {
+        match class {
+            StormClass::Minor => 1.5,
+            StormClass::Moderate => 3.0,
+            StormClass::Severe => 6.0,
+            StormClass::Extreme => 12.0,
+        }
+    }
+
+    /// Atmospheric density at altitude (km), kg/m³, scaled by a storm
+    /// multiplier.
+    pub fn density(&self, altitude_km: f64, multiplier: f64) -> f64 {
+        self.rho_550_kg_m3 * ((550.0 - altitude_km) / self.scale_height_km).exp() * multiplier
+    }
+
+    /// Altitude-decay rate at the given altitude, km/day (positive =
+    /// falling).
+    pub fn decay_rate_km_per_day(&self, altitude_km: f64, multiplier: f64) -> f64 {
+        let a_m = (EARTH_RADIUS_KM + altitude_km) * 1_000.0;
+        let rho = self.density(altitude_km, multiplier);
+        let da_dt_m_s = rho * self.ballistic_m2_kg * (MU_EARTH * a_m).sqrt();
+        da_dt_m_s * 86_400.0 / 1_000.0
+    }
+
+    /// Altitude lost over a storm of `days` at the given class, starting
+    /// from `altitude_km` (explicit Euler at 0.25-day steps; decay
+    /// accelerates as the satellite falls). Returns the final altitude,
+    /// floored at the reentry altitude.
+    pub fn altitude_after_storm(
+        &self,
+        altitude_km: f64,
+        class: StormClass,
+        days: f64,
+    ) -> Result<f64, SatError> {
+        if !altitude_km.is_finite() || !(REENTRY_ALT_KM..=2_000.0).contains(&altitude_km) {
+            return Err(SatError::AltitudeOutOfRange(altitude_km));
+        }
+        if !days.is_finite() || days < 0.0 {
+            return Err(SatError::NonPositiveParameter {
+                name: "days",
+                value: days,
+            });
+        }
+        let mult = Self::storm_density_multiplier(class);
+        let mut h = altitude_km;
+        let mut t = 0.0;
+        let dt = 0.25;
+        while t < days {
+            h -= self.decay_rate_km_per_day(h, mult) * dt;
+            if h <= REENTRY_ALT_KM {
+                return Ok(REENTRY_ALT_KM);
+            }
+            t += dt;
+        }
+        Ok(h)
+    }
+
+    /// Remaining orbital lifetime in days at quiet conditions from the
+    /// given altitude (no station-keeping), capped at 100 years.
+    pub fn quiet_lifetime_days(&self, altitude_km: f64) -> Result<f64, SatError> {
+        if !altitude_km.is_finite() || !(REENTRY_ALT_KM..=2_000.0).contains(&altitude_km) {
+            return Err(SatError::AltitudeOutOfRange(altitude_km));
+        }
+        let mut h = altitude_km;
+        let mut days = 0.0;
+        let cap = 36_525.0;
+        while h > REENTRY_ALT_KM && days < cap {
+            // Adaptive step: coarse while high, fine while low.
+            let rate = self.decay_rate_km_per_day(h, 1.0);
+            let dt = (1.0 / rate).clamp(0.01, 30.0);
+            h -= rate * dt;
+            days += dt;
+        }
+        Ok(days.min(cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DragModel::new(0.0, 65.0, 0.022).is_err());
+        assert!(DragModel::new(3.5e-13, -1.0, 0.022).is_err());
+        assert!(DragModel::new(3.5e-13, 65.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn density_rises_as_altitude_falls() {
+        let m = DragModel::calibrated();
+        assert!(m.density(300.0, 1.0) > 10.0 * m.density(550.0, 1.0));
+        assert!(m.density(550.0, 2.0) > m.density(550.0, 1.0));
+    }
+
+    #[test]
+    fn starlink_class_lifetime_is_years_at_operating_altitude() {
+        let m = DragModel::calibrated();
+        let days = m.quiet_lifetime_days(550.0).unwrap();
+        assert!(
+            (700.0..8_000.0).contains(&days),
+            "550 km lifetime {days} days should be a few years"
+        );
+    }
+
+    #[test]
+    fn insertion_altitude_is_fragile() {
+        // Starlink inserts near 210-250 km and raises its orbit; at that
+        // altitude the quiet lifetime is days-to-weeks, which is why the
+        // Feb 2022 batch was lost to a minor storm.
+        let m = DragModel::calibrated();
+        let days = m.quiet_lifetime_days(230.0).unwrap();
+        assert!(days < 30.0, "230 km lifetime {days} days");
+    }
+
+    #[test]
+    fn storm_multiplies_decay() {
+        let m = DragModel::calibrated();
+        let quiet = m.decay_rate_km_per_day(400.0, 1.0);
+        let storm = m.decay_rate_km_per_day(
+            400.0,
+            DragModel::storm_density_multiplier(StormClass::Extreme),
+        );
+        assert!((storm / quiet - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storm_classes_order_density_multipliers() {
+        let mut prev = 0.0;
+        for c in StormClass::ALL {
+            let m = DragModel::storm_density_multiplier(c);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn extreme_storm_deorbits_low_satellites_but_not_operational_ones() {
+        let m = DragModel::calibrated();
+        // Insertion altitude + extreme storm for 3 days: reentry.
+        let low = m
+            .altitude_after_storm(230.0, StormClass::Extreme, 3.0)
+            .unwrap();
+        assert_eq!(low, 200.0, "insertion-orbit satellites reenter");
+        // Operational altitude survives with modest loss.
+        let high = m
+            .altitude_after_storm(550.0, StormClass::Extreme, 3.0)
+            .unwrap();
+        assert!(high > 500.0, "operational altitude after storm: {high}");
+        assert!(high < 550.0);
+    }
+
+    #[test]
+    fn altitude_after_storm_validates_inputs() {
+        let m = DragModel::calibrated();
+        assert!(m
+            .altitude_after_storm(100.0, StormClass::Minor, 1.0)
+            .is_err());
+        assert!(m
+            .altitude_after_storm(550.0, StormClass::Minor, -1.0)
+            .is_err());
+        assert!(m.quiet_lifetime_days(5_000.0).is_err());
+    }
+
+    #[test]
+    fn longer_storms_cost_more_altitude() {
+        let m = DragModel::calibrated();
+        let one = m
+            .altitude_after_storm(400.0, StormClass::Severe, 1.0)
+            .unwrap();
+        let five = m
+            .altitude_after_storm(400.0, StormClass::Severe, 5.0)
+            .unwrap();
+        assert!(five < one);
+    }
+}

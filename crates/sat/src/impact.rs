@@ -1,0 +1,255 @@
+use crate::{Constellation, DragModel, SatError};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use solarstorm_solar::StormClass;
+
+/// Service-availability assumptions for a constellation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Fraction of a shell's satellites needed for continuous service at
+    /// the latitudes it covers (Walker shells carry redundancy; service
+    /// degrades before it drops).
+    pub continuity_threshold: f64,
+    /// Station-keeping margin, km: a satellite pushed more than this far
+    /// below its shell altitude cannot recover and is written off.
+    pub recovery_margin_km: f64,
+    /// Storm duration driving the drag episode, days.
+    pub storm_days: f64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            continuity_threshold: 0.6,
+            recovery_margin_km: 15.0,
+            storm_days: 3.0,
+        }
+    }
+}
+
+/// Outcome of one storm against one constellation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StormImpact {
+    /// Storm class analyzed.
+    pub class: StormClass,
+    /// Fraction of satellites lost to electronics damage.
+    pub electronics_lost: f64,
+    /// Fraction lost to drag-induced decay beyond the recovery margin.
+    pub decay_lost: f64,
+    /// Overall fraction lost (union of the two mechanisms).
+    pub total_lost: f64,
+    /// Per-shell surviving fraction, in shell order.
+    pub shell_survival: Vec<f64>,
+    /// `(abs latitude, service retained?)` at 10° steps from 0 to 80.
+    pub service_by_latitude: Vec<(f64, bool)>,
+}
+
+/// Per-satellite electronics-failure probability during direct CME
+/// exposure (§3.3: "damage to electronic components"). Exposed constants;
+/// plug in better radiation models when available.
+pub fn electronics_failure_probability(class: StormClass) -> f64 {
+    match class {
+        StormClass::Minor => 0.002,
+        StormClass::Moderate => 0.02,
+        StormClass::Severe => 0.10,
+        StormClass::Extreme => 0.25,
+    }
+}
+
+/// Simulates one storm against a constellation.
+///
+/// Each satellite independently suffers electronics failure with the
+/// class probability; each shell additionally loses satellites whose
+/// post-storm altitude falls more than the recovery margin below the
+/// shell (satellites near insertion altitude are modeled as the newest
+/// 5 % of each shell, sitting at 230 km).
+pub fn storm_impact<R: Rng + ?Sized>(
+    constellation: &Constellation,
+    drag: &DragModel,
+    service: &ServiceModel,
+    class: StormClass,
+    rng: &mut R,
+) -> Result<StormImpact, SatError> {
+    if !(0.0..=1.0).contains(&service.continuity_threshold) {
+        return Err(SatError::InvalidProbability(service.continuity_threshold));
+    }
+    if !service.recovery_margin_km.is_finite() || service.recovery_margin_km <= 0.0 {
+        return Err(SatError::NonPositiveParameter {
+            name: "recovery_margin_km",
+            value: service.recovery_margin_km,
+        });
+    }
+    let p_elec = electronics_failure_probability(class);
+    let mut total = 0u64;
+    let mut lost_elec = 0u64;
+    let mut lost_decay = 0u64;
+    let mut lost_any = 0u64;
+    let mut shell_survival = Vec::with_capacity(constellation.shells.len());
+
+    for shell in &constellation.shells {
+        let n = shell.count() as u64;
+        let raising = (n as f64 * 0.05).round() as u64; // newest batch, low orbit
+        let mut shell_lost = 0u64;
+        for i in 0..n {
+            let alt = if i < raising {
+                230.0
+            } else {
+                shell.altitude_km
+            };
+            let elec = rng.random_bool(p_elec);
+            let after = drag.altitude_after_storm(alt, class, service.storm_days)?;
+            let decayed = alt - after > service.recovery_margin_km;
+            if elec {
+                lost_elec += 1;
+            }
+            if decayed {
+                lost_decay += 1;
+            }
+            if elec || decayed {
+                lost_any += 1;
+                shell_lost += 1;
+            }
+        }
+        total += n;
+        shell_survival.push(1.0 - shell_lost as f64 / n as f64);
+    }
+
+    // Service by latitude: a band keeps service if any covering shell
+    // retains at least the continuity threshold.
+    let service_by_latitude = (0..=8)
+        .map(|i| {
+            let lat = i as f64 * 10.0;
+            let ok = constellation
+                .shells
+                .iter()
+                .zip(&shell_survival)
+                .any(|(shell, surv)| {
+                    shell.max_service_lat_deg() + 5.0 >= lat
+                        && *surv >= service.continuity_threshold
+                });
+            (lat, ok)
+        })
+        .collect();
+
+    let t = total.max(1) as f64;
+    Ok(StormImpact {
+        class,
+        electronics_lost: lost_elec as f64 / t,
+        decay_lost: lost_decay as f64 / t,
+        total_lost: lost_any as f64 / t,
+        shell_survival,
+        service_by_latitude,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn run(class: StormClass) -> StormImpact {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        storm_impact(
+            &Constellation::starlink_like(),
+            &DragModel::calibrated(),
+            &ServiceModel::default(),
+            class,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn losses_scale_with_storm_class() {
+        let mut prev = -1.0;
+        for class in StormClass::ALL {
+            let impact = run(class);
+            assert!(
+                impact.total_lost >= prev - 0.005,
+                "{class:?}: {} after {prev}",
+                impact.total_lost
+            );
+            prev = impact.total_lost;
+        }
+    }
+
+    #[test]
+    fn minor_storm_claims_the_insertion_batch() {
+        // The Feb-2022 mechanism: a minor storm deorbits the low-orbit
+        // (raising) batch but barely touches operational satellites.
+        let impact = run(StormClass::Minor);
+        assert!(
+            (0.01..=0.12).contains(&impact.decay_lost),
+            "minor-storm decay loss {} should be roughly the 5% raising batch",
+            impact.decay_lost
+        );
+        assert!(impact.total_lost < 0.15);
+    }
+
+    #[test]
+    fn extreme_storm_loses_a_quarter_or_more() {
+        let impact = run(StormClass::Extreme);
+        assert!(
+            impact.total_lost > 0.2,
+            "extreme-storm loss {}",
+            impact.total_lost
+        );
+        assert!(impact.electronics_lost > 0.2);
+    }
+
+    #[test]
+    fn service_reflects_shell_survival() {
+        let impact = run(StormClass::Moderate);
+        assert_eq!(impact.service_by_latitude.len(), 9);
+        // Moderate storms leave shells above the 60% threshold: equatorial
+        // and mid-latitudes keep service.
+        assert!(impact.service_by_latitude[0].1, "equator keeps service");
+        assert!(impact.service_by_latitude[4].1, "40° keeps service");
+    }
+
+    #[test]
+    fn shell_survival_is_per_shell_and_bounded() {
+        let impact = run(StormClass::Severe);
+        assert_eq!(impact.shell_survival.len(), 4);
+        for s in &impact.shell_survival {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_service_model() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let bad = ServiceModel {
+            continuity_threshold: 1.5,
+            ..Default::default()
+        };
+        assert!(storm_impact(
+            &Constellation::starlink_like(),
+            &DragModel::calibrated(),
+            &bad,
+            StormClass::Minor,
+            &mut rng,
+        )
+        .is_err());
+        let bad2 = ServiceModel {
+            recovery_margin_km: -1.0,
+            ..Default::default()
+        };
+        assert!(storm_impact(
+            &Constellation::starlink_like(),
+            &DragModel::calibrated(),
+            &bad2,
+            StormClass::Minor,
+            &mut rng,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(StormClass::Severe);
+        let b = run(StormClass::Severe);
+        assert_eq!(a, b);
+    }
+}

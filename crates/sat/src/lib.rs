@@ -1,0 +1,70 @@
+//! LEO satellite-constellation substrate for the `solarstorm` toolkit.
+//!
+//! §3.3 of *Solar Superstorms: Planning for an Internet Apocalypse*
+//! identifies communication satellites as "among the severely affected
+//! systems": CME particles damage electronics directly, and storm-time
+//! heating inflates the upper atmosphere, multiplying drag on low-earth-
+//! orbit constellations "such as Starlink" — in the worst case causing
+//! orbital decay and uncontrolled reentry (the February 2022 Starlink
+//! launch loss was exactly this mechanism, from a *minor* storm). §5.1
+//! flags studying storm impact on satellite constellations as an open
+//! problem; this crate provides the substrate:
+//!
+//! * [`Constellation`] — a Walker-style shell description (altitude,
+//!   inclination, planes × satellites per plane), with a Starlink-like
+//!   default;
+//! * [`DragModel`] — storm-class-dependent atmospheric density
+//!   multipliers and the resulting orbital-decay estimates;
+//! * [`StormImpact`] — per-storm electronics-failure and decay losses,
+//!   plus the service-availability view: which latitudes keep coverage
+//!   when a fraction of a shell is lost.
+//!
+//! Physics is deliberately first-order (exponential atmosphere, circular
+//! orbits, energy-loss decay) — the goal is the same as the paper's
+//! cable models: a calibrated, inspectable model that orders scenarios
+//! correctly, with every constant exposed.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod constellation;
+mod drag;
+mod impact;
+
+pub use constellation::{Constellation, Shell};
+pub use drag::DragModel;
+pub use impact::{storm_impact, ServiceModel, StormImpact};
+
+use std::fmt;
+
+/// Errors produced by constellation models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SatError {
+    /// A physical parameter must be positive and finite.
+    NonPositiveParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Orbital altitude outside the modeled LEO window.
+    AltitudeOutOfRange(f64),
+    /// A probability must lie in `[0, 1]`.
+    InvalidProbability(f64),
+}
+
+impl fmt::Display for SatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} = {value} must be finite and > 0")
+            }
+            SatError::AltitudeOutOfRange(a) => {
+                write!(f, "altitude {a} km outside the 200-2000 km LEO window")
+            }
+            SatError::InvalidProbability(p) => write!(f, "probability {p} not in [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for SatError {}

@@ -1,0 +1,112 @@
+//! Property-based tests for the satellite substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use solarstorm_sat::{storm_impact, Constellation, DragModel, ServiceModel, Shell};
+use solarstorm_solar::StormClass;
+
+fn arb_class() -> impl Strategy<Value = StormClass> {
+    prop_oneof![
+        Just(StormClass::Minor),
+        Just(StormClass::Moderate),
+        Just(StormClass::Severe),
+        Just(StormClass::Extreme),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decay_rate_monotone_in_altitude(
+        alt1 in 250.0f64..1_500.0,
+        alt2 in 250.0f64..1_500.0,
+    ) {
+        let m = DragModel::calibrated();
+        let (lo, hi) = if alt1 <= alt2 { (alt1, alt2) } else { (alt2, alt1) };
+        prop_assert!(m.decay_rate_km_per_day(lo, 1.0) >= m.decay_rate_km_per_day(hi, 1.0));
+    }
+
+    #[test]
+    fn storm_never_raises_an_orbit(
+        alt in 210.0f64..1_500.0,
+        class in arb_class(),
+        days in 0.0f64..10.0,
+    ) {
+        let m = DragModel::calibrated();
+        let after = m.altitude_after_storm(alt, class, days).unwrap();
+        prop_assert!(after <= alt + 1e-9);
+        prop_assert!(after >= 200.0);
+    }
+
+    #[test]
+    fn lifetime_monotone_in_altitude(
+        alt1 in 250.0f64..900.0,
+        alt2 in 250.0f64..900.0,
+    ) {
+        let m = DragModel::calibrated();
+        let (lo, hi) = if alt1 <= alt2 { (alt1, alt2) } else { (alt2, alt1) };
+        let t_lo = m.quiet_lifetime_days(lo).unwrap();
+        let t_hi = m.quiet_lifetime_days(hi).unwrap();
+        prop_assert!(t_hi >= t_lo - 1e-6, "lifetime({hi})={t_hi} < lifetime({lo})={t_lo}");
+    }
+
+    #[test]
+    fn impact_fractions_are_probabilities(class in arb_class(), seed in any::<u64>()) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let impact = storm_impact(
+            &Constellation::starlink_like(),
+            &DragModel::calibrated(),
+            &ServiceModel::default(),
+            class,
+            &mut rng,
+        )
+        .unwrap();
+        for f in [impact.electronics_lost, impact.decay_lost, impact.total_lost] {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        // Union bound: total <= electronics + decay.
+        prop_assert!(impact.total_lost <= impact.electronics_lost + impact.decay_lost + 1e-9);
+        // Total at least the larger single cause.
+        prop_assert!(impact.total_lost + 1e-9 >= impact.electronics_lost.max(impact.decay_lost));
+    }
+
+    #[test]
+    fn shell_counts_multiply(planes in 1u32..100, sats in 1u32..100) {
+        let s = Shell::new(550.0, 53.0, planes, sats).unwrap();
+        prop_assert_eq!(s.count(), planes * sats);
+    }
+
+    #[test]
+    fn service_coverage_never_expands_with_latitude(
+        class in arb_class(),
+        seed in any::<u64>(),
+    ) {
+        // If service is lost at some latitude, every higher latitude
+        // served by strictly fewer shells cannot be better off when the
+        // lost band is the highest-inclination one... weaker invariant:
+        // coverage at 80° implies the polar shell survives, which also
+        // covers 70°.
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let impact = storm_impact(
+            &Constellation::starlink_like(),
+            &DragModel::calibrated(),
+            &ServiceModel::default(),
+            class,
+            &mut rng,
+        )
+        .unwrap();
+        let at = |lat: f64| {
+            impact
+                .service_by_latitude
+                .iter()
+                .find(|(l, _)| *l == lat)
+                .map(|(_, ok)| *ok)
+                .unwrap()
+        };
+        if at(80.0) {
+            prop_assert!(at(70.0), "polar shell serves both 70° and 80°");
+        }
+    }
+}

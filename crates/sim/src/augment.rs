@@ -1,0 +1,258 @@
+//! Topology-augmentation planning (§5.1 of the paper).
+//!
+//! "During topology design, we need to increase capacity in lower
+//! latitudes for improved resiliency … adding more links to Central and
+//! South America can help in maintaining global connectivity." This
+//! module turns that prescription into an algorithm: enumerate candidate
+//! low-latitude cables between existing landing stations, score each by
+//! the expected-unreachability reduction it buys under a failure model,
+//! and greedily pick a budget's worth.
+
+use crate::monte_carlo::{run, MonteCarloConfig};
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::haversine_km;
+use solarstorm_gic::FailureModel;
+use solarstorm_topology::{Network, NodeId, SegmentSpec};
+
+/// A candidate new cable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Endpoint node ids in the base network.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Cable length (km) with routing slack.
+    pub length_km: f64,
+    /// Highest endpoint absolute latitude.
+    pub max_abs_lat_deg: f64,
+}
+
+/// One greedy pick and the improvement it bought.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AugmentationStep {
+    /// The chosen candidate.
+    pub candidate: Candidate,
+    /// Mean nodes-unreachable % before adding it.
+    pub before_pct: f64,
+    /// Mean nodes-unreachable % after adding it.
+    pub after_pct: f64,
+}
+
+/// Enumerates candidate cables between existing stations whose endpoints
+/// both sit below `max_lat_deg` and whose length lies in the given band.
+pub fn low_latitude_candidates(
+    net: &Network,
+    max_lat_deg: f64,
+    min_length_km: f64,
+    max_length_km: f64,
+    route_slack: f64,
+    limit: usize,
+) -> Vec<Candidate> {
+    let nodes: Vec<(NodeId, solarstorm_geo::GeoPoint)> = net
+        .nodes()
+        .filter(|(_, info)| info.location.abs_lat_deg() < max_lat_deg)
+        .map(|(id, info)| (id, info.location))
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            let d = haversine_km(nodes[i].1, nodes[j].1) * route_slack;
+            if d >= min_length_km && d <= max_length_km {
+                out.push(Candidate {
+                    a: nodes[i].0,
+                    b: nodes[j].0,
+                    length_km: d,
+                    max_abs_lat_deg: nodes[i].1.abs_lat_deg().max(nodes[j].1.abs_lat_deg()),
+                });
+            }
+        }
+    }
+    // Deterministic order: shortest candidates first (cheapest to build),
+    // then truncate to keep the greedy search tractable.
+    out.sort_by(|x, y| x.length_km.total_cmp(&y.length_km));
+    out.truncate(limit);
+    out
+}
+
+/// Greedily selects up to `budget` candidates, each time picking the one
+/// that most reduces mean nodes-unreachable % under the model.
+pub fn greedy_augment<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    candidates: &[Candidate],
+    budget: usize,
+) -> Result<Vec<AugmentationStep>, SimError> {
+    if budget == 0 {
+        return Ok(Vec::new());
+    }
+    let mut current = net.clone();
+    let mut remaining: Vec<Candidate> = candidates.to_vec();
+    let mut steps = Vec::new();
+    let mut before = run(&current, model, cfg)?.mean_nodes_unreachable_pct;
+    for round in 0..budget {
+        if remaining.is_empty() {
+            break;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in remaining.iter().enumerate() {
+            let mut trial_net = current.clone();
+            trial_net
+                .add_cable(
+                    format!("augment-{round}-{i}"),
+                    vec![SegmentSpec {
+                        a: cand.a,
+                        b: cand.b,
+                        route: None,
+                        length_km: Some(cand.length_km),
+                    }],
+                )
+                .map_err(|e| SimError::InvalidConfig {
+                    name: "candidates",
+                    message: e.to_string(),
+                })?;
+            let after = run(&trial_net, model, cfg)?.mean_nodes_unreachable_pct;
+            if best.map(|(_, b)| after < b).unwrap_or(true) {
+                best = Some((i, after));
+            }
+        }
+        let (idx, after) = best.expect("non-empty candidate list");
+        let cand = remaining.remove(idx);
+        current
+            .add_cable(
+                format!("augment-pick-{round}"),
+                vec![SegmentSpec {
+                    a: cand.a,
+                    b: cand.b,
+                    route: None,
+                    length_km: Some(cand.length_km),
+                }],
+            )
+            .map_err(|e| SimError::InvalidConfig {
+                name: "candidates",
+                message: e.to_string(),
+            })?;
+        steps.push(AugmentationStep {
+            candidate: cand,
+            before_pct: before,
+            after_pct: after,
+        });
+        before = after;
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_gic::LatitudeBandFailure;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole};
+
+    /// Two low-latitude stations connected only through a polar relay:
+    /// augmentation should buy a direct low-latitude cable.
+    fn polar_detour() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let a = net.add_node(NodeInfo {
+            name: "Lowland A".into(),
+            location: GeoPoint::new(10.0, 0.0).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let relay = net.add_node(NodeInfo {
+            name: "Polar relay".into(),
+            location: GeoPoint::new(65.0, 10.0).unwrap(),
+            country: "NO".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let b = net.add_node(NodeInfo {
+            name: "Lowland B".into(),
+            location: GeoPoint::new(12.0, 20.0).unwrap(),
+            country: "BB".into(),
+            role: NodeRole::LandingPoint,
+        });
+        net.add_cable(
+            "a-relay",
+            vec![SegmentSpec {
+                a,
+                b: relay,
+                route: None,
+                length_km: Some(7000.0),
+            }],
+        )
+        .unwrap();
+        net.add_cable(
+            "relay-b",
+            vec![SegmentSpec {
+                a: relay,
+                b,
+                route: None,
+                length_km: Some(7000.0),
+            }],
+        )
+        .unwrap();
+        net
+    }
+
+    #[test]
+    fn candidate_enumeration_respects_filters() {
+        let net = polar_detour();
+        let cands = low_latitude_candidates(&net, 40.0, 500.0, 10_000.0, 1.15, 100);
+        // Only the two lowland nodes qualify.
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].max_abs_lat_deg < 40.0);
+        assert!(cands[0].length_km > 500.0);
+        // With an impossible length band, nothing qualifies.
+        assert!(low_latitude_candidates(&net, 40.0, 1.0, 2.0, 1.15, 100).is_empty());
+    }
+
+    #[test]
+    fn greedy_augmentation_reduces_unreachability() {
+        let net = polar_detour();
+        let model = LatitudeBandFailure::s1();
+        let cfg = MonteCarloConfig {
+            trials: 60,
+            ..Default::default()
+        };
+        let cands = low_latitude_candidates(&net, 40.0, 500.0, 10_000.0, 1.15, 10);
+        let steps = greedy_augment(&net, &model, &cfg, &cands, 1).unwrap();
+        assert_eq!(steps.len(), 1);
+        // Under S1 the polar cables die almost surely: ~100% unreachable
+        // before; the direct low-lat cable keeps A and B up (~2500 km,
+        // 16 repeaters at p=0.01 → ~85% survival).
+        assert!(
+            steps[0].after_pct < steps[0].before_pct - 20.0,
+            "before {} after {}",
+            steps[0].before_pct,
+            steps[0].after_pct
+        );
+    }
+
+    #[test]
+    fn zero_budget_is_a_no_op() {
+        let net = polar_detour();
+        let model = LatitudeBandFailure::s1();
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            ..Default::default()
+        };
+        let cands = low_latitude_candidates(&net, 40.0, 500.0, 10_000.0, 1.15, 10);
+        assert!(greedy_augment(&net, &model, &cfg, &cands, 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn budget_larger_than_candidates_terminates() {
+        let net = polar_detour();
+        let model = LatitudeBandFailure::s2();
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            ..Default::default()
+        };
+        let cands = low_latitude_candidates(&net, 40.0, 500.0, 10_000.0, 1.15, 10);
+        let steps = greedy_augment(&net, &model, &cfg, &cands, 99).unwrap();
+        assert_eq!(steps.len(), cands.len());
+    }
+}

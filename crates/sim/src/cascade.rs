@@ -1,0 +1,299 @@
+//! Power-grid interdependence toy model (§5.5 of the paper).
+//!
+//! The paper closes by noting that Internet and power-grid failures are
+//! coupled: landing stations need grid power for their Power Feeding
+//! Equipment, and grids are themselves the system most damaged by GIC.
+//! This module layers a latitude-banded grid-failure model on top of the
+//! cable-failure simulation: a cable can die either because a repeater
+//! was destroyed *or* because the stations feeding it lost grid power
+//! (once station backup generation is exhausted).
+
+use crate::monte_carlo::MonteCarloConfig;
+use crate::{cable_profiles, SimError};
+use rand::{Rng, RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::LatitudeBand;
+use solarstorm_gic::FailureModel;
+use solarstorm_topology::{Network, NodeId};
+
+/// Latitude-banded grid-failure probabilities, `[>60°, 40–60°, <40°]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridFailureModel {
+    /// Probability that the grid region feeding a station collapses.
+    pub probs: [f64; 3],
+}
+
+impl GridFailureModel {
+    /// Severe-storm calibration: auroral-zone grids collapse almost
+    /// surely (Quebec 1989 collapsed under a *moderate* storm),
+    /// mid-latitude grids often, low-latitude grids rarely.
+    pub fn severe() -> Self {
+        GridFailureModel {
+            probs: [0.9, 0.5, 0.05],
+        }
+    }
+
+    /// Moderate-storm calibration.
+    pub fn moderate() -> Self {
+        GridFailureModel {
+            probs: [0.4, 0.1, 0.01],
+        }
+    }
+
+    /// Custom probabilities.
+    pub fn new(probs: [f64; 3]) -> Result<Self, SimError> {
+        for p in probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(SimError::InvalidConfig {
+                    name: "probs",
+                    message: format!("{p} is not a probability"),
+                });
+            }
+        }
+        Ok(GridFailureModel { probs })
+    }
+
+    /// Samples grid failure for one station.
+    pub fn sample_station<R: Rng + ?Sized>(&self, abs_lat_deg: f64, rng: &mut R) -> bool {
+        let band = LatitudeBand::of_abs_lat(abs_lat_deg);
+        rng.random_bool(self.probs[band.index()].clamp(0.0, 1.0))
+    }
+}
+
+/// Outcome of the coupled simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeStats {
+    /// Mean % of cables failed from repeater damage alone.
+    pub mean_cables_failed_repeaters_pct: f64,
+    /// Mean % of cables failed when grid coupling is added.
+    pub mean_cables_failed_coupled_pct: f64,
+    /// Mean % of stations that lost grid power.
+    pub mean_stations_dark_pct: f64,
+    /// Mean % of nodes unreachable under the coupled model.
+    pub mean_nodes_unreachable_coupled_pct: f64,
+    /// Trials run.
+    pub trials: usize,
+}
+
+/// Runs the coupled cable + grid simulation.
+///
+/// A cable dies if (a) any repeater dies per `cable_model`, or (b) *all*
+/// of its landing stations lose grid power (PFE can feed the line from
+/// either end, so one powered landing keeps it up).
+pub fn run_coupled<M: FailureModel>(
+    net: &Network,
+    cable_model: &M,
+    grid: &GridFailureModel,
+    cfg: &MonteCarloConfig,
+) -> Result<CascadeStats, SimError> {
+    if cfg.trials == 0 {
+        return Err(SimError::InvalidConfig {
+            name: "trials",
+            message: "must run at least one trial".into(),
+        });
+    }
+    if !cfg.spacing_km.is_finite() || cfg.spacing_km <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            name: "spacing_km",
+            message: format!("{} must be finite and > 0", cfg.spacing_km),
+        });
+    }
+    let profiles = cable_profiles(net);
+    // Stations touching each cable.
+    let cable_stations: Vec<Vec<NodeId>> = net
+        .cables()
+        .iter()
+        .map(|c| {
+            let mut s: Vec<NodeId> = c
+                .segments
+                .iter()
+                .filter_map(|e| net.graph().edge_endpoints(*e))
+                .flat_map(|(a, b)| [a, b])
+                .collect();
+            s.sort();
+            s.dedup();
+            s
+        })
+        .collect();
+
+    let n_nodes = net.node_count();
+    let mut sum_rep = 0.0;
+    let mut sum_coupled = 0.0;
+    let mut sum_dark = 0.0;
+    let mut sum_unreachable = 0.0;
+    for t in 0..cfg.trials {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37));
+        // Grid state per station.
+        let dark: Vec<bool> = (0..n_nodes)
+            .map(|i| {
+                let lat = net
+                    .node(NodeId(i))
+                    .map(|n| n.location.abs_lat_deg())
+                    .unwrap_or(0.0);
+                grid.sample_station(lat, &mut rng)
+            })
+            .collect();
+        // Cable fates.
+        let mut dead_rep = vec![false; profiles.len()];
+        let mut dead_coupled = vec![false; profiles.len()];
+        for (i, p) in profiles.iter().enumerate() {
+            let repeater_dead = cable_model.sample_cable_failure(p, cfg.spacing_km, &mut rng);
+            dead_rep[i] = repeater_dead;
+            let all_dark =
+                !cable_stations[i].is_empty() && cable_stations[i].iter().all(|s| dark[s.0]);
+            dead_coupled[i] = repeater_dead || all_dark;
+        }
+        sum_rep += net.percent_cables_dead(&dead_rep);
+        sum_coupled += net.percent_cables_dead(&dead_coupled);
+        sum_dark += 100.0 * dark.iter().filter(|d| **d).count() as f64 / n_nodes.max(1) as f64;
+        sum_unreachable += net.percent_nodes_unreachable(&dead_coupled);
+    }
+    let n = cfg.trials as f64;
+    Ok(CascadeStats {
+        mean_cables_failed_repeaters_pct: sum_rep / n,
+        mean_cables_failed_coupled_pct: sum_coupled / n,
+        mean_stations_dark_pct: sum_dark / n,
+        mean_nodes_unreachable_coupled_pct: sum_unreachable / n,
+        trials: cfg.trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_gic::UniformFailure;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    fn polar_net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        for i in 0..10 {
+            let a = net.add_node(NodeInfo {
+                name: format!("a{i}"),
+                location: GeoPoint::new(65.0, i as f64).unwrap(),
+                country: "NO".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("b{i}"),
+                location: GeoPoint::new(66.0, i as f64 + 10.0).unwrap(),
+                country: "IS".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("c{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(100.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn grid_coupling_only_adds_failures() {
+        let net = polar_net();
+        // Cables are short (no repeaters) => repeater model kills nothing;
+        // every coupled failure comes from the grid.
+        let model = UniformFailure::new(1.0).unwrap();
+        let stats = run_coupled(
+            &net,
+            &model,
+            &GridFailureModel::severe(),
+            &MonteCarloConfig {
+                trials: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.mean_cables_failed_repeaters_pct, 0.0);
+        assert!(stats.mean_cables_failed_coupled_pct > 50.0);
+        // Both stations dark with prob 0.81 at 65°: coupled ≈ 81%.
+        assert!(
+            (stats.mean_cables_failed_coupled_pct - 81.0).abs() < 8.0,
+            "coupled {}",
+            stats.mean_cables_failed_coupled_pct
+        );
+        assert!(stats.mean_stations_dark_pct > 80.0);
+    }
+
+    #[test]
+    fn no_grid_failures_reduces_to_repeater_model() {
+        let net = polar_net();
+        let model = UniformFailure::new(0.5).unwrap();
+        let grid = GridFailureModel::new([0.0, 0.0, 0.0]).unwrap();
+        let stats = run_coupled(
+            &net,
+            &model,
+            &grid,
+            &MonteCarloConfig {
+                trials: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            stats.mean_cables_failed_repeaters_pct,
+            stats.mean_cables_failed_coupled_pct
+        );
+        assert_eq!(stats.mean_stations_dark_pct, 0.0);
+    }
+
+    #[test]
+    fn low_latitude_grids_mostly_survive() {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let a = net.add_node(NodeInfo {
+            name: "eq-a".into(),
+            location: GeoPoint::new(1.0, 100.0).unwrap(),
+            country: "SG".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let b = net.add_node(NodeInfo {
+            name: "eq-b".into(),
+            location: GeoPoint::new(3.0, 101.0).unwrap(),
+            country: "MY".into(),
+            role: NodeRole::LandingPoint,
+        });
+        net.add_cable(
+            "eq",
+            vec![SegmentSpec {
+                a,
+                b,
+                route: None,
+                length_km: Some(120.0),
+            }],
+        )
+        .unwrap();
+        let model = UniformFailure::new(0.0).unwrap();
+        let stats = run_coupled(
+            &net,
+            &model,
+            &GridFailureModel::severe(),
+            &MonteCarloConfig {
+                trials: 400,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            stats.mean_cables_failed_coupled_pct < 2.0,
+            "equatorial coupled failures {}",
+            stats.mean_cables_failed_coupled_pct
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(GridFailureModel::new([0.5, 0.2, 1.5]).is_err());
+        let net = polar_net();
+        let model = UniformFailure::new(0.1).unwrap();
+        let mut cfg = MonteCarloConfig::default();
+        cfg.trials = 0;
+        assert!(run_coupled(&net, &model, &GridFailureModel::severe(), &cfg).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Country-scale connectivity analysis (§4.3.4 of the paper).
+//!
+//! The paper reports, per country and failure state (S1/S2), which
+//! international connections survive: e.g. "US–Europe connectivity is
+//! lost with probability 1.0 under S1" and "Brazil retains its
+//! connectivity to Europe". We reproduce this as Monte Carlo estimates
+//! of pairwise country reachability and per-country isolation.
+
+use crate::monte_carlo::{run_outcomes, MonteCarloConfig};
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use solarstorm_gic::FailureModel;
+use solarstorm_topology::Network;
+
+/// Pairwise country-connectivity estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairConnectivity {
+    /// Source country code.
+    pub from: String,
+    /// Destination country code.
+    pub to: String,
+    /// Probability (over trials) that at least one surviving path
+    /// connects the two countries' nodes.
+    pub connectivity_probability: f64,
+}
+
+/// Per-country isolation summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryReport {
+    /// Country code.
+    pub country: String,
+    /// Number of network nodes in the country.
+    pub nodes: usize,
+    /// Number of distinct cables touching the country.
+    pub cables: usize,
+    /// Mean fraction (%) of the country's cables that fail.
+    pub mean_cables_failed_pct: f64,
+    /// Probability that **every** cable touching the country fails
+    /// (total loss of the mapped connectivity).
+    pub total_isolation_probability: f64,
+    /// Pairwise reachability to the requested partner countries.
+    pub pairs: Vec<PairConnectivity>,
+}
+
+/// Estimates pairwise country connectivity under a failure model.
+pub fn pair_connectivity<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    from: &str,
+    to: &str,
+) -> Result<f64, SimError> {
+    let from_nodes = net.nodes_of_country(from);
+    if from_nodes.is_empty() {
+        return Err(SimError::UnknownCountry(from.to_string()));
+    }
+    let to_nodes = net.nodes_of_country(to);
+    if to_nodes.is_empty() {
+        return Err(SimError::UnknownCountry(to.to_string()));
+    }
+    let outcomes = run_outcomes(net, model, cfg)?;
+    let hits = outcomes
+        .iter()
+        .filter(|o| net.sets_connected(&from_nodes, &to_nodes, &o.dead))
+        .count();
+    Ok(hits as f64 / outcomes.len() as f64)
+}
+
+/// Builds a per-country report with isolation and pairwise estimates.
+pub fn country_report<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    country: &str,
+    partners: &[&str],
+) -> Result<CountryReport, SimError> {
+    let nodes = net.nodes_of_country(country);
+    if nodes.is_empty() {
+        return Err(SimError::UnknownCountry(country.to_string()));
+    }
+    // Cables touching the country.
+    let mut cable_ids: Vec<_> = nodes.iter().flat_map(|n| net.cables_at(*n)).collect();
+    cable_ids.sort();
+    cable_ids.dedup();
+
+    let outcomes = run_outcomes(net, model, cfg)?;
+    let mut failed_fraction_sum = 0.0;
+    let mut isolated = 0usize;
+    for o in &outcomes {
+        let failed = cable_ids.iter().filter(|c| o.dead[c.0]).count();
+        failed_fraction_sum += failed as f64 / cable_ids.len().max(1) as f64;
+        if failed == cable_ids.len() && !cable_ids.is_empty() {
+            isolated += 1;
+        }
+    }
+    let mut pairs = Vec::with_capacity(partners.len());
+    for to in partners {
+        let to_nodes = net.nodes_of_country(to);
+        if to_nodes.is_empty() {
+            return Err(SimError::UnknownCountry((*to).to_string()));
+        }
+        let hits = outcomes
+            .iter()
+            .filter(|o| net.sets_connected(&nodes, &to_nodes, &o.dead))
+            .count();
+        pairs.push(PairConnectivity {
+            from: country.to_string(),
+            to: (*to).to_string(),
+            connectivity_probability: hits as f64 / outcomes.len() as f64,
+        });
+    }
+    Ok(CountryReport {
+        country: country.to_string(),
+        nodes: nodes.len(),
+        cables: cable_ids.len(),
+        mean_cables_failed_pct: 100.0 * failed_fraction_sum / outcomes.len() as f64,
+        total_isolation_probability: isolated as f64 / outcomes.len() as f64,
+        pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    /// Minimal transatlantic scenario:
+    /// US -- (long, polar) -- GB; BR -- (shorter, low-lat) -- PT;
+    /// GB -- (short) -- PT.
+    fn atlantic() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let us = net.add_node(NodeInfo {
+            name: "NYC".into(),
+            location: GeoPoint::new(40.7, -74.0).unwrap(),
+            country: "US".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let gb = net.add_node(NodeInfo {
+            name: "Bude".into(),
+            location: GeoPoint::new(50.8, -4.5).unwrap(),
+            country: "GB".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let br = net.add_node(NodeInfo {
+            name: "Fortaleza".into(),
+            location: GeoPoint::new(-3.7, -38.5).unwrap(),
+            country: "BR".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let pt = net.add_node(NodeInfo {
+            name: "Sesimbra".into(),
+            location: GeoPoint::new(38.4, -9.1).unwrap(),
+            country: "PT".into(),
+            role: NodeRole::LandingPoint,
+        });
+        net.add_cable(
+            "US-GB",
+            vec![SegmentSpec {
+                a: us,
+                b: gb,
+                route: None,
+                length_km: Some(6500.0),
+            }],
+        )
+        .unwrap();
+        net.add_cable(
+            "BR-PT",
+            vec![SegmentSpec {
+                a: br,
+                b: pt,
+                route: None,
+                length_km: Some(6200.0),
+            }],
+        )
+        .unwrap();
+        net.add_cable(
+            "GB-PT",
+            vec![SegmentSpec {
+                a: gb,
+                b: pt,
+                route: None,
+                length_km: Some(1500.0),
+            }],
+        )
+        .unwrap();
+        net
+    }
+
+    fn cfg(trials: usize) -> MonteCarloConfig {
+        MonteCarloConfig {
+            trials,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_alive_everyone_connected() {
+        let net = atlantic();
+        let model = UniformFailure::new(0.0).unwrap();
+        let p = pair_connectivity(&net, &model, &cfg(5), "US", "PT").unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn us_loses_europe_under_s1_but_brazil_does_not() {
+        // The paper's marquee §4.3.4 finding.
+        let net = atlantic();
+        let model = LatitudeBandFailure::s1();
+        let us_gb = pair_connectivity(&net, &model, &cfg(50), "US", "GB").unwrap();
+        let br_pt = pair_connectivity(&net, &model, &cfg(50), "BR", "PT").unwrap();
+        // US-GB cable passes 50.8°: band 40-60, p=0.1/repeater, 43
+        // repeaters => essentially certain death.
+        assert!(us_gb < 0.1, "US-GB connectivity {us_gb}");
+        // BR-PT tops out at 38.4°: band <40, p=0.01/repeater, 41
+        // repeaters => survives ~66% of the time; far better than US.
+        assert!(br_pt > us_gb + 0.3, "BR-PT {br_pt} vs US-GB {us_gb}");
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let net = atlantic();
+        let model = LatitudeBandFailure::s2();
+        let report = country_report(&net, &model, &cfg(40), "GB", &["US", "PT"]).unwrap();
+        assert_eq!(report.country, "GB");
+        assert_eq!(report.nodes, 1);
+        assert_eq!(report.cables, 2);
+        assert_eq!(report.pairs.len(), 2);
+        for p in &report.pairs {
+            assert!((0.0..=1.0).contains(&p.connectivity_probability));
+        }
+        assert!(report.total_isolation_probability <= 1.0);
+        assert!(report.mean_cables_failed_pct <= 100.0);
+    }
+
+    #[test]
+    fn unknown_countries_error() {
+        let net = atlantic();
+        let model = UniformFailure::new(0.1).unwrap();
+        assert!(pair_connectivity(&net, &model, &cfg(5), "XX", "GB").is_err());
+        assert!(pair_connectivity(&net, &model, &cfg(5), "US", "XX").is_err());
+        assert!(country_report(&net, &model, &cfg(5), "US", &["ZZ"]).is_err());
+    }
+
+    #[test]
+    fn isolation_probability_tracks_cable_failures() {
+        let net = atlantic();
+        // All repeaters die: every repeatered cable dies; US has exactly
+        // one cable => always isolated.
+        let model = UniformFailure::new(1.0).unwrap();
+        let report = country_report(&net, &model, &cfg(10), "US", &[]).unwrap();
+        assert_eq!(report.total_isolation_probability, 1.0);
+        assert_eq!(report.mean_cables_failed_pct, 100.0);
+    }
+}

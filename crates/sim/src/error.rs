@@ -1,0 +1,30 @@
+use std::fmt;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+    /// A referenced country has no nodes in the network.
+    UnknownCountry(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { name, message } => {
+                write!(f, "invalid simulation parameter {name}: {message}")
+            }
+            SimError::UnknownCountry(c) => {
+                write!(f, "country {c} has no nodes in this network")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

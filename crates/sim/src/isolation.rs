@@ -1,0 +1,311 @@
+//! Electrical-isolation analysis (§5.1 of the paper).
+//!
+//! "At submarine cable landing points, particularly in the low
+//! latitudes, it is important to have mechanisms for electrically
+//! isolating cables connecting to higher latitudes from the rest, to
+//! prevent cascading failures." This module models that mechanism: a
+//! high-GIC surge arriving on one cable can couple into co-located
+//! cables through the shared station earth/plant; isolation switches
+//! break that path. We compare failure rates with and without
+//! station-level isolation.
+
+use crate::monte_carlo::MonteCarloConfig;
+use crate::{cable_profiles, SimError};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::LatitudeBand;
+use solarstorm_gic::FailureModel;
+use solarstorm_topology::{CableId, Network, NodeId};
+
+/// Station-coupling model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CouplingModel {
+    /// Probability that a failed high-band cable's surge propagates to a
+    /// given co-located cable when the station has no isolation.
+    pub cascade_probability: f64,
+    /// Minimum latitude band of the *failed* cable for its surge to be
+    /// dangerous (the paper worries about cables "connecting to higher
+    /// latitudes").
+    pub dangerous_band: LatitudeBand,
+}
+
+impl Default for CouplingModel {
+    fn default() -> Self {
+        CouplingModel {
+            cascade_probability: 0.35,
+            dangerous_band: LatitudeBand::Mid,
+        }
+    }
+}
+
+/// Outcome of the isolation ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsolationOutcome {
+    /// Mean % of cables failed with isolation installed (primary
+    /// failures only).
+    pub isolated_cables_failed_pct: f64,
+    /// Mean % of cables failed without isolation (primary + cascades).
+    pub unisolated_cables_failed_pct: f64,
+    /// Mean number of cascade failures per trial.
+    pub mean_cascades: f64,
+    /// Trials run.
+    pub trials: usize,
+}
+
+fn band_at_least(b: LatitudeBand, threshold: LatitudeBand) -> bool {
+    // Polar(0) is the riskiest; index increases toward the equator.
+    b.index() <= threshold.index()
+}
+
+/// Runs the ablation: same primary failures, with and without cascades.
+pub fn isolation_ablation<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    coupling: &CouplingModel,
+    cfg: &MonteCarloConfig,
+) -> Result<IsolationOutcome, SimError> {
+    if cfg.trials == 0 {
+        return Err(SimError::InvalidConfig {
+            name: "trials",
+            message: "must run at least one trial".into(),
+        });
+    }
+    if !coupling.cascade_probability.is_finite()
+        || !(0.0..=1.0).contains(&coupling.cascade_probability)
+    {
+        return Err(SimError::InvalidConfig {
+            name: "cascade_probability",
+            message: format!("{} is not a probability", coupling.cascade_probability),
+        });
+    }
+    let profiles = cable_profiles(net);
+    // Stations of each cable.
+    let stations_of: Vec<Vec<NodeId>> = net
+        .cables()
+        .iter()
+        .map(|c| {
+            let mut s: Vec<NodeId> = c
+                .segments
+                .iter()
+                .filter_map(|e| net.graph().edge_endpoints(*e))
+                .flat_map(|(a, b)| [a, b])
+                .collect();
+            s.sort();
+            s.dedup();
+            s
+        })
+        .collect();
+
+    let mut sum_isolated = 0.0;
+    let mut sum_unisolated = 0.0;
+    let mut sum_cascades = 0.0;
+    for t in 0..cfg.trials {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x1D07));
+        // Primary failures.
+        let primary: Vec<bool> = profiles
+            .iter()
+            .map(|p| model.sample_cable_failure(p, cfg.spacing_km, &mut rng))
+            .collect();
+        sum_isolated += net.percent_cables_dead(&primary);
+
+        // Cascades: each failed dangerous-band cable threatens every
+        // co-located alive cable once per shared station.
+        let mut coupled = primary.clone();
+        let mut cascades = 0usize;
+        for (i, dead) in primary.iter().enumerate() {
+            if !*dead {
+                continue;
+            }
+            let band = LatitudeBand::of_abs_lat(profiles[i].max_abs_lat_deg);
+            if !band_at_least(band, coupling.dangerous_band) {
+                continue;
+            }
+            for station in &stations_of[i] {
+                for neighbor in net.cables_at(*station) {
+                    let CableId(j) = neighbor;
+                    if j != i && !coupled[j] && rng.random_bool(coupling.cascade_probability) {
+                        coupled[j] = true;
+                        cascades += 1;
+                    }
+                }
+            }
+        }
+        sum_unisolated += net.percent_cables_dead(&coupled);
+        sum_cascades += cascades as f64;
+    }
+    let n = cfg.trials as f64;
+    Ok(IsolationOutcome {
+        isolated_cables_failed_pct: sum_isolated / n,
+        unisolated_cables_failed_pct: sum_unisolated / n,
+        mean_cascades: sum_cascades / n,
+        trials: cfg.trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    /// Hub station touched by one long polar cable and three short
+    /// equatorial cables.
+    fn hub_net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let hub = net.add_node(NodeInfo {
+            name: "Hub".into(),
+            location: GeoPoint::new(1.0, 103.0).unwrap(),
+            country: "SG".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let polar_end = net.add_node(NodeInfo {
+            name: "Polar".into(),
+            location: GeoPoint::new(65.0, 20.0).unwrap(),
+            country: "NO".into(),
+            role: NodeRole::LandingPoint,
+        });
+        net.add_cable(
+            "polar-trunk",
+            vec![SegmentSpec {
+                a: hub,
+                b: polar_end,
+                route: None,
+                length_km: Some(12_000.0),
+            }],
+        )
+        .unwrap();
+        for i in 0..3 {
+            let other = net.add_node(NodeInfo {
+                name: format!("Near{i}"),
+                location: GeoPoint::new(0.5 + i as f64, 104.0).unwrap(),
+                country: "ID".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("festoon{i}"),
+                vec![SegmentSpec {
+                    a: hub,
+                    b: other,
+                    route: None,
+                    length_km: Some(120.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    fn cfg(trials: usize) -> MonteCarloConfig {
+        MonteCarloConfig {
+            spacing_km: 150.0,
+            trials,
+            seed: 77,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cascades_only_hurt_without_isolation() {
+        let net = hub_net();
+        // S1 kills the polar trunk surely; festoons have no repeaters.
+        let out = isolation_ablation(
+            &net,
+            &LatitudeBandFailure::s1(),
+            &CouplingModel::default(),
+            &cfg(500),
+        )
+        .unwrap();
+        assert_eq!(out.isolated_cables_failed_pct, 25.0, "only the trunk dies");
+        assert!(
+            out.unisolated_cables_failed_pct > 30.0,
+            "cascades must claim festoons: {}",
+            out.unisolated_cables_failed_pct
+        );
+        // Expected cascades ≈ 3 × 0.35 ≈ 1.05 per trial.
+        assert!(
+            (0.7..=1.4).contains(&out.mean_cascades),
+            "{}",
+            out.mean_cascades
+        );
+    }
+
+    #[test]
+    fn zero_coupling_means_no_difference() {
+        let net = hub_net();
+        let coupling = CouplingModel {
+            cascade_probability: 0.0,
+            ..Default::default()
+        };
+        let out =
+            isolation_ablation(&net, &LatitudeBandFailure::s1(), &coupling, &cfg(50)).unwrap();
+        assert_eq!(
+            out.isolated_cables_failed_pct,
+            out.unisolated_cables_failed_pct
+        );
+        assert_eq!(out.mean_cascades, 0.0);
+    }
+
+    #[test]
+    fn equatorial_failures_do_not_cascade() {
+        // If only low-band cables fail, they are below the dangerous band
+        // and trigger nothing.
+        let net = hub_net();
+        // Kill festoons surely via uniform p=1 with 100 km spacing
+        // (festoons are 120 km => 1 repeater each); the polar trunk dies
+        // too, but set dangerous_band=Polar so only polar cables cascade.
+        let coupling = CouplingModel {
+            cascade_probability: 1.0,
+            dangerous_band: LatitudeBand::Polar,
+        };
+        let out = isolation_ablation(
+            &net,
+            &UniformFailure::new(0.0).unwrap(),
+            &coupling,
+            &cfg(10),
+        )
+        .unwrap();
+        assert_eq!(out.mean_cascades, 0.0);
+        assert_eq!(out.unisolated_cables_failed_pct, 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let net = hub_net();
+        let coupling = CouplingModel {
+            cascade_probability: 1.5,
+            ..Default::default()
+        };
+        assert!(isolation_ablation(&net, &LatitudeBandFailure::s1(), &coupling, &cfg(5)).is_err());
+        let mut c = cfg(5);
+        c.trials = 0;
+        assert!(isolation_ablation(
+            &net,
+            &LatitudeBandFailure::s1(),
+            &CouplingModel::default(),
+            &c
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = hub_net();
+        let a = isolation_ablation(
+            &net,
+            &LatitudeBandFailure::s2(),
+            &CouplingModel::default(),
+            &cfg(30),
+        )
+        .unwrap();
+        let b = isolation_ablation(
+            &net,
+            &LatitudeBandFailure::s2(),
+            &CouplingModel::default(),
+            &cfg(30),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

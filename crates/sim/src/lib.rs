@@ -1,0 +1,51 @@
+//! Monte Carlo failure-simulation engine for the `solarstorm` toolkit.
+//!
+//! Implements the experimental machinery of §4.3 of the paper:
+//!
+//! * [`cable_profiles`] — adapts a [`solarstorm_topology::Network`] to the
+//!   [`solarstorm_gic::FailureModel`] view;
+//! * [`monte_carlo`] — seeded, crossbeam-parallel trials measuring the
+//!   percentage of cables failed and nodes unreachable under any failure
+//!   model (Figs. 6–8);
+//! * [`country`] — country-scale connectivity analysis (§4.3.4): per-
+//!   country disconnection probabilities and pairwise reachability;
+//! * [`mitigation`] — the §5.2 shutdown/lead-time analysis comparing
+//!   powered vs powered-off fleets under the physics failure model;
+//! * [`augment`] — the §5.1 topology-augmentation planner: greedy
+//!   selection of new low-latitude cables that minimize expected
+//!   unreachability;
+//! * [`cascade`] — a §5.5 power-grid-coupling toy model where landing
+//!   stations can also lose grid power;
+//! * [`repair`] — the §3.2.2 recovery problem: scheduling a limited
+//!   cable-ship fleet against storm damage, under several
+//!   prioritization strategies;
+//! * [`partition`] — the §5.3 partitioned-Internet view: surviving
+//!   components, stranded countries, multinational partitions;
+//! * [`traffic`] — the §5.5 traffic-shift analysis: demand rerouting
+//!   after failures and the overloads it causes;
+//! * [`isolation`] — the §5.1 electrical-isolation ablation: cascading
+//!   station-level failures with and without isolation switches.
+//!
+//! Every entry point takes an explicit seed and returns bit-identical
+//! results for identical inputs, including under parallel execution
+//! (each trial owns a counter-derived RNG stream).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod augment;
+pub mod cascade;
+pub mod country;
+mod error;
+pub mod isolation;
+pub mod mitigation;
+pub mod monte_carlo;
+pub mod partition;
+mod profile;
+pub mod repair;
+pub mod timeline;
+pub mod traffic;
+
+pub use error::SimError;
+pub use monte_carlo::{MonteCarloConfig, TrialOutcome, TrialStats};
+pub use profile::cable_profiles;

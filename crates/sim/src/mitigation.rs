@@ -1,0 +1,197 @@
+//! Shutdown-strategy and lead-time analysis (§5.2 of the paper).
+//!
+//! A CME gives at least 13 hours (typically 1–3 days) of warning. The
+//! only equipment-protection lever cable operators have is powering off,
+//! which removes the operating bias but cannot stop GIC from flowing
+//! through the (still grounded) power-feeding line — so it helps "only
+//! when the threat is moderate". This module quantifies exactly that:
+//! the expected failure reduction from a coordinated shutdown, as a
+//! function of storm class, plus whether the available lead time covers
+//! a fleet-wide shutdown campaign.
+
+use crate::monte_carlo::{run, MonteCarloConfig, TrialStats};
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use solarstorm_gic::PhysicsFailure;
+use solarstorm_solar::{Cme, StormClass};
+use solarstorm_topology::Network;
+
+/// Outcome of the shutdown ablation for one storm class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShutdownOutcome {
+    /// Storm class analyzed.
+    pub class: StormClass,
+    /// Metrics with cables powered (no action taken).
+    pub powered: TrialStats,
+    /// Metrics with a fleet-wide shutdown before impact.
+    pub shutdown: TrialStats,
+    /// Absolute reduction in mean cables-failed percentage.
+    pub cables_saved_pct: f64,
+}
+
+/// Runs the powered-vs-shutdown ablation for one storm class.
+pub fn shutdown_ablation(
+    net: &Network,
+    class: StormClass,
+    cfg: &MonteCarloConfig,
+) -> Result<ShutdownOutcome, SimError> {
+    let powered_model = PhysicsFailure::calibrated(class);
+    let shutdown_model = PhysicsFailure::calibrated(class).powered_off();
+    let powered = run(net, &powered_model, cfg)?;
+    let shutdown = run(net, &shutdown_model, cfg)?;
+    let cables_saved_pct = powered.mean_cables_failed_pct - shutdown.mean_cables_failed_pct;
+    Ok(ShutdownOutcome {
+        class,
+        powered,
+        shutdown,
+        cables_saved_pct,
+    })
+}
+
+/// Lead-time feasibility of a shutdown campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeadTimePlan {
+    /// Hours between detection and impact.
+    pub lead_time_hours: f64,
+    /// Hours needed to power down the whole fleet.
+    pub campaign_hours: f64,
+    /// Whether the campaign completes before impact.
+    pub feasible: bool,
+    /// Slack (negative when infeasible).
+    pub slack_hours: f64,
+}
+
+/// Evaluates whether `cables` landing stations can be powered down in
+/// time, assuming `stations_per_hour` shutdown throughput across all
+/// operators and `detection_delay_hours` of alerting latency.
+pub fn lead_time_plan(
+    cme: &Cme,
+    stations: usize,
+    stations_per_hour: f64,
+    detection_delay_hours: f64,
+) -> Result<LeadTimePlan, SimError> {
+    if !stations_per_hour.is_finite() || stations_per_hour <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            name: "stations_per_hour",
+            message: format!("{stations_per_hour} must be finite and > 0"),
+        });
+    }
+    let lead = cme.lead_time_hours(detection_delay_hours);
+    let campaign = stations as f64 / stations_per_hour;
+    Ok(LeadTimePlan {
+        lead_time_hours: lead,
+        campaign_hours: campaign,
+        feasible: campaign <= lead,
+        slack_hours: lead - campaign,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    fn mid_lat_net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        for i in 0..20 {
+            let a = net.add_node(NodeInfo {
+                name: format!("A{i}"),
+                location: GeoPoint::new(45.0, i as f64).unwrap(),
+                country: "US".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("B{i}"),
+                location: GeoPoint::new(48.0, i as f64 + 30.0).unwrap(),
+                country: "GB".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("c{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(4000.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn shutdown_helps_moderate_storms() {
+        let net = mid_lat_net();
+        let cfg = MonteCarloConfig {
+            trials: 300,
+            ..Default::default()
+        };
+        let out = shutdown_ablation(&net, StormClass::Moderate, &cfg).unwrap();
+        assert!(
+            out.cables_saved_pct >= 0.0,
+            "shutdown should not hurt: {}",
+            out.cables_saved_pct
+        );
+    }
+
+    #[test]
+    fn shutdown_barely_helps_extreme_storms() {
+        // §5.2: "this can help only when the threat is moderate" — under a
+        // Carrington-class storm the surviving fraction changes little.
+        let net = mid_lat_net();
+        let cfg = MonteCarloConfig {
+            trials: 300,
+            ..Default::default()
+        };
+        let extreme = shutdown_ablation(&net, StormClass::Extreme, &cfg).unwrap();
+        assert!(
+            extreme.powered.mean_cables_failed_pct > 95.0,
+            "extreme storms devastate mid-latitude cables: {}",
+            extreme.powered.mean_cables_failed_pct
+        );
+        assert!(
+            extreme.shutdown.mean_cables_failed_pct > 90.0,
+            "shutdown cannot save an extreme event: {}",
+            extreme.shutdown.mean_cables_failed_pct
+        );
+    }
+
+    #[test]
+    fn minor_storms_need_no_mitigation() {
+        let net = mid_lat_net();
+        let cfg = MonteCarloConfig {
+            trials: 100,
+            ..Default::default()
+        };
+        let out = shutdown_ablation(&net, StormClass::Minor, &cfg).unwrap();
+        assert_eq!(out.powered.mean_cables_failed_pct, 0.0);
+    }
+
+    #[test]
+    fn lead_time_feasibility() {
+        let cme = Cme::typical(StormClass::Extreme); // 17.6 h transit
+        let plan = lead_time_plan(&cme, 1_241, 100.0, 1.0).unwrap();
+        assert!(plan.feasible, "1241 stations at 100/h in 16.6 h");
+        assert!(plan.slack_hours > 0.0);
+        let tight = lead_time_plan(&cme, 10_000, 100.0, 1.0).unwrap();
+        assert!(!tight.feasible);
+        assert!(tight.slack_hours < 0.0);
+    }
+
+    #[test]
+    fn slow_cmes_give_days_of_slack() {
+        let cme = Cme::typical(StormClass::Moderate); // ~42 h
+        let plan = lead_time_plan(&cme, 1_241, 50.0, 2.0).unwrap();
+        assert!(plan.lead_time_hours > 24.0);
+        assert!(plan.feasible);
+    }
+
+    #[test]
+    fn rejects_bad_throughput() {
+        let cme = Cme::typical(StormClass::Extreme);
+        assert!(lead_time_plan(&cme, 100, 0.0, 1.0).is_err());
+        assert!(lead_time_plan(&cme, 100, f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Seeded, parallel Monte Carlo trials over a network and failure model.
+//!
+//! Reproduces the experimental protocol of §4.3: "for each value of the
+//! probability of failure, we repeat the experiment 10 times for each
+//! network and plot the mean and the standard deviation."
+
+use crate::{cable_profiles, SimError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_gic::FailureModel;
+use solarstorm_topology::Network;
+
+/// Trial-batch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Inter-repeater spacing in km (the paper sweeps 50/100/150).
+    pub spacing_km: f64,
+    /// Number of trials (the paper uses 10).
+    pub trials: usize,
+    /// Base seed; trial `i` derives stream `seed ⊕ hash(i)`.
+    pub seed: u64,
+    /// Maximum worker threads (capped at available parallelism).
+    pub max_threads: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            spacing_km: 150.0,
+            trials: 10,
+            seed: 42,
+            max_threads: 8,
+        }
+    }
+}
+
+impl MonteCarloConfig {
+    fn validate(&self) -> Result<(), SimError> {
+        if !self.spacing_km.is_finite() || self.spacing_km <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                name: "spacing_km",
+                message: format!("{} must be finite and > 0", self.spacing_km),
+            });
+        }
+        if self.trials == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "trials",
+                message: "must run at least one trial".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a single trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Percentage of cables that failed.
+    pub cables_failed_pct: f64,
+    /// Percentage of nodes left unreachable (all incident cables dead).
+    pub nodes_unreachable_pct: f64,
+    /// Dead-cable mask for downstream analyses.
+    pub dead: Vec<bool>,
+}
+
+/// Aggregate statistics over a trial batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Mean percentage of cables failed.
+    pub mean_cables_failed_pct: f64,
+    /// Standard deviation of cables-failed percentage.
+    pub std_cables_failed_pct: f64,
+    /// Mean percentage of nodes unreachable.
+    pub mean_nodes_unreachable_pct: f64,
+    /// Standard deviation of nodes-unreachable percentage.
+    pub std_nodes_unreachable_pct: f64,
+    /// Number of trials aggregated.
+    pub trials: usize,
+}
+
+impl TrialStats {
+    fn from_outcomes(outcomes: &[TrialOutcome]) -> TrialStats {
+        let n = outcomes.len().max(1) as f64;
+        let mean =
+            |f: &dyn Fn(&TrialOutcome) -> f64| outcomes.iter().map(|o| f(o)).sum::<f64>() / n;
+        let mc = mean(&|o| o.cables_failed_pct);
+        let mn = mean(&|o| o.nodes_unreachable_pct);
+        let var = |f: &dyn Fn(&TrialOutcome) -> f64, m: f64| {
+            outcomes.iter().map(|o| (f(o) - m).powi(2)).sum::<f64>() / n
+        };
+        TrialStats {
+            mean_cables_failed_pct: mc,
+            std_cables_failed_pct: var(&|o| o.cables_failed_pct, mc).sqrt(),
+            mean_nodes_unreachable_pct: mn,
+            std_nodes_unreachable_pct: var(&|o| o.nodes_unreachable_pct, mn).sqrt(),
+            trials: outcomes.len(),
+        }
+    }
+}
+
+/// Derives the RNG for one trial: independent of thread scheduling.
+fn trial_rng(seed: u64, trial: usize) -> ChaCha12Rng {
+    // SplitMix64 step decorrelates consecutive trial indices.
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ChaCha12Rng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Runs one trial: samples every cable's fate and measures the two
+/// paper metrics.
+pub fn run_trial<M: FailureModel>(
+    net: &Network,
+    profiles: &[solarstorm_gic::CableProfile],
+    model: &M,
+    spacing_km: f64,
+    rng: &mut ChaCha12Rng,
+) -> TrialOutcome {
+    let dead: Vec<bool> = profiles
+        .iter()
+        .map(|p| model.sample_cable_failure(p, spacing_km, rng))
+        .collect();
+    TrialOutcome {
+        cables_failed_pct: net.percent_cables_dead(&dead),
+        nodes_unreachable_pct: net.percent_nodes_unreachable(&dead),
+        dead,
+    }
+}
+
+/// Runs a full trial batch, in parallel, and returns every outcome
+/// (deterministic order: trial index).
+pub fn run_outcomes<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<Vec<TrialOutcome>, SimError> {
+    cfg.validate()?;
+    let profiles = cable_profiles(net);
+    let threads = cfg
+        .max_threads
+        .min(cfg.trials)
+        .min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .max(1);
+    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; cfg.trials];
+    if threads == 1 {
+        for (i, slot) in outcomes.iter_mut().enumerate() {
+            let mut rng = trial_rng(cfg.seed, i);
+            *slot = Some(run_trial(net, &profiles, model, cfg.spacing_km, &mut rng));
+        }
+    } else {
+        let chunk = cfg.trials.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (t, slots) in outcomes.chunks_mut(chunk).enumerate() {
+                let profiles = &profiles;
+                s.spawn(move |_| {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        let i = t * chunk + j;
+                        let mut rng = trial_rng(cfg.seed, i);
+                        *slot = Some(run_trial(net, profiles, model, cfg.spacing_km, &mut rng));
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("every trial filled"))
+        .collect())
+}
+
+/// Runs a trial batch and aggregates the two paper metrics.
+pub fn run<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<TrialStats, SimError> {
+    Ok(TrialStats::from_outcomes(&run_outcomes(net, model, cfg)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    /// Network with 10 identical long polar cables and 10 short ones.
+    fn test_net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        for i in 0..10 {
+            let a = net.add_node(NodeInfo {
+                name: format!("P{i}a"),
+                location: GeoPoint::new(62.0, i as f64).unwrap(),
+                country: "NO".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("P{i}b"),
+                location: GeoPoint::new(62.0, i as f64 + 40.0).unwrap(),
+                country: "CA".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("long{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(5000.0),
+                }],
+            )
+            .unwrap();
+        }
+        for i in 0..10 {
+            let a = net.add_node(NodeInfo {
+                name: format!("S{i}a"),
+                location: GeoPoint::new(5.0, i as f64).unwrap(),
+                country: "SG".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("S{i}b"),
+                location: GeoPoint::new(5.5, i as f64).unwrap(),
+                country: "SG".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("short{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(100.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn zero_probability_zero_failures() {
+        let net = test_net();
+        let model = UniformFailure::new(0.0).unwrap();
+        let stats = run(&net, &model, &MonteCarloConfig::default()).unwrap();
+        assert_eq!(stats.mean_cables_failed_pct, 0.0);
+        assert_eq!(stats.mean_nodes_unreachable_pct, 0.0);
+        assert_eq!(stats.std_cables_failed_pct, 0.0);
+    }
+
+    #[test]
+    fn certain_probability_kills_all_repeatered_cables() {
+        let net = test_net();
+        let model = UniformFailure::new(1.0).unwrap();
+        let stats = run(&net, &model, &MonteCarloConfig::default()).unwrap();
+        // Long cables all die; short (100 km < 150 km spacing) survive.
+        assert_eq!(stats.mean_cables_failed_pct, 50.0);
+        assert_eq!(stats.mean_nodes_unreachable_pct, 50.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let net = test_net();
+        let model = UniformFailure::new(0.01).unwrap();
+        let cfg1 = MonteCarloConfig {
+            trials: 16,
+            max_threads: 1,
+            ..Default::default()
+        };
+        let cfg8 = MonteCarloConfig {
+            trials: 16,
+            max_threads: 8,
+            ..Default::default()
+        };
+        let a = run_outcomes(&net, &model, &cfg1).unwrap();
+        let b = run_outcomes(&net, &model, &cfg8).unwrap();
+        assert_eq!(a, b, "parallelism must not change results");
+    }
+
+    #[test]
+    fn band_model_spares_low_latitudes_in_s1() {
+        let net = test_net();
+        let model = LatitudeBandFailure::s1();
+        let outcomes = run_outcomes(
+            &net,
+            &model,
+            &MonteCarloConfig {
+                trials: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for o in &outcomes {
+            // Long polar cables: p=1 per repeater => all dead.
+            for i in 0..10 {
+                assert!(o.dead[i], "polar cable {i} must die under S1");
+            }
+            // Short equatorial cables have no repeaters => alive.
+            for i in 10..20 {
+                assert!(!o.dead[i], "short cable {i} must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_spacing_increases_failures() {
+        let net = test_net();
+        let model = UniformFailure::new(0.005).unwrap();
+        let mk = |spacing| MonteCarloConfig {
+            spacing_km: spacing,
+            trials: 200,
+            ..Default::default()
+        };
+        let s50 = run(&net, &model, &mk(50.0)).unwrap();
+        let s150 = run(&net, &model, &mk(150.0)).unwrap();
+        assert!(
+            s50.mean_cables_failed_pct > s150.mean_cables_failed_pct,
+            "{} vs {}",
+            s50.mean_cables_failed_pct,
+            s150.mean_cables_failed_pct
+        );
+    }
+
+    #[test]
+    fn stats_match_closed_form() {
+        // One cable, n repeaters, failure prob p per repeater: expected
+        // failure rate 1 - (1-p)^n.
+        let net = test_net();
+        let model = UniformFailure::new(0.002).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 3000,
+            spacing_km: 150.0,
+            ..Default::default()
+        };
+        let stats = run(&net, &model, &cfg).unwrap();
+        // Long cables: floor(5000/150)=33 repeaters, p_fail = 1-.998^33.
+        let p_fail = 1.0 - 0.998f64.powi(33);
+        let expected = 50.0 * p_fail; // half the cables are long
+        assert!(
+            (stats.mean_cables_failed_pct - expected).abs() < 1.5,
+            "measured {} expected {expected}",
+            stats.mean_cables_failed_pct
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let net = test_net();
+        let model = UniformFailure::new(0.1).unwrap();
+        let mut cfg = MonteCarloConfig::default();
+        cfg.trials = 0;
+        assert!(run(&net, &model, &cfg).is_err());
+        let mut cfg = MonteCarloConfig::default();
+        cfg.spacing_km = 0.0;
+        assert!(run(&net, &model, &cfg).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Partitioned-Internet analysis (§5.2–5.3 of the paper).
+//!
+//! After a superstorm the Internet may split into disconnected
+//! landmasses ("potentially disconnected landmasses such as N. America,
+//! Eurasia, Australia"). Planning for that world means knowing what the
+//! partitions look like: how big they are, which countries share one,
+//! and whether each can "function independently" — the paper's §5.2
+//! prescription that services geo-distribute critical data so every
+//! partition keeps functioning.
+
+use serde::{Deserialize, Serialize};
+use solarstorm_topology::{Network, NodeId};
+use std::collections::BTreeSet;
+
+/// One surviving partition of the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Nodes in the partition.
+    pub nodes: Vec<NodeId>,
+    /// Country codes present (sorted, deduplicated).
+    pub countries: Vec<String>,
+}
+
+impl Partition {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the partition has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the partition spans at least `k` countries (a proxy for
+    /// "large enough to function as a regional Internet").
+    pub fn is_multinational(&self, k: usize) -> bool {
+        self.countries.len() >= k
+    }
+}
+
+/// Computes the surviving partitions under a dead-cable mask, largest
+/// first. Nodes whose every cable died are *excluded* (they are dark,
+/// not partition members); isolated-but-alive nodes form singletons.
+pub fn partitions(net: &Network, dead: &[bool]) -> Vec<Partition> {
+    let (labels, count) = net.surviving_components(dead);
+    let unreachable = net.unreachable_nodes(dead);
+    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+    for (i, &label) in labels.iter().enumerate() {
+        if !unreachable[i] {
+            groups[label].push(NodeId(i));
+        }
+    }
+    let mut out: Vec<Partition> = groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|nodes| {
+            let countries: BTreeSet<String> = nodes
+                .iter()
+                .filter_map(|n| net.node(*n).map(|info| info.country.clone()))
+                .collect();
+            Partition {
+                nodes,
+                countries: countries.into_iter().collect(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.len().cmp(&a.len()));
+    out
+}
+
+/// Summary statistics of a partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSummary {
+    /// Number of partitions (excluding dark nodes).
+    pub count: usize,
+    /// Nodes in the largest partition.
+    pub giant_size: usize,
+    /// Fraction of alive nodes in the largest partition.
+    pub giant_fraction: f64,
+    /// Countries wholly confined to a single partition that is *not*
+    /// the giant one (cut off from the core Internet).
+    pub stranded_countries: Vec<String>,
+}
+
+/// Summarizes a partitioning.
+pub fn summarize(net: &Network, parts: &[Partition]) -> PartitionSummary {
+    let alive: usize = parts.iter().map(Partition::len).sum();
+    let giant_size = parts.first().map(Partition::len).unwrap_or(0);
+    // A country is stranded if it appears in some partition but not in
+    // the giant one.
+    let giant_countries: BTreeSet<&str> = parts
+        .first()
+        .map(|p| p.countries.iter().map(String::as_str).collect())
+        .unwrap_or_default();
+    let mut stranded: BTreeSet<String> = BTreeSet::new();
+    for p in parts.iter().skip(1) {
+        for c in &p.countries {
+            if !giant_countries.contains(c.as_str()) {
+                stranded.insert(c.clone());
+            }
+        }
+    }
+    let _ = net;
+    PartitionSummary {
+        count: parts.len(),
+        giant_size,
+        giant_fraction: if alive == 0 {
+            0.0
+        } else {
+            giant_size as f64 / alive as f64
+        },
+        stranded_countries: stranded.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    /// US cluster {A,B,G} — bridge — GB cluster {C,F}, plus an isolated
+    /// Fiji pair {D,E}.
+    ///
+    /// Cables: 0: A-B, 1: B-C (transatlantic bridge), 2: D-E, 3: C-F,
+    /// 4: A-G.
+    fn net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let mk = |net: &mut Network, name: &str, lat: f64, cc: &str| {
+            net.add_node(NodeInfo {
+                name: name.into(),
+                location: GeoPoint::new(lat, 0.0).unwrap(),
+                country: cc.into(),
+                role: NodeRole::LandingPoint,
+            })
+        };
+        let a = mk(&mut net, "A", 10.0, "US");
+        let b = mk(&mut net, "B", 11.0, "US");
+        let c = mk(&mut net, "C", 12.0, "GB");
+        let d = mk(&mut net, "D", -18.0, "FJ");
+        let e = mk(&mut net, "E", -18.5, "FJ");
+        let f = mk(&mut net, "F", 13.0, "GB");
+        let g = mk(&mut net, "G", 9.0, "US");
+        for (i, (x, y)) in [(a, b), (b, c), (d, e), (c, f), (a, g)]
+            .into_iter()
+            .enumerate()
+        {
+            net.add_cable(
+                format!("c{i}"),
+                vec![SegmentSpec {
+                    a: x,
+                    b: y,
+                    route: None,
+                    length_km: Some(500.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn intact_network_has_two_partitions() {
+        let n = net();
+        let parts = partitions(&n, &[false; 5]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 5); // largest first
+        assert_eq!(parts[0].countries, vec!["GB", "US"]);
+        assert_eq!(parts[1].countries, vec!["FJ"]);
+        assert!(parts[0].is_multinational(2));
+        assert!(!parts[1].is_multinational(2));
+    }
+
+    #[test]
+    fn cutting_the_bridge_splits_the_giant() {
+        let n = net();
+        // Kill cable 1 (B-C bridge): {A,B,G}, {C,F}, {D,E}.
+        let parts = partitions(&n, &[false, true, false, false, false]);
+        assert_eq!(parts.len(), 3);
+        let summary = summarize(&n, &parts);
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.giant_size, 3);
+        // GB is now stranded outside the (US) giant partition.
+        assert!(summary.stranded_countries.contains(&"GB".to_string()));
+        assert!(!summary.stranded_countries.contains(&"US".to_string()));
+    }
+
+    #[test]
+    fn dark_nodes_are_excluded() {
+        let n = net();
+        // Kill cable 2 (D-E): D and E lose all cables -> dark, excluded.
+        let parts = partitions(&n, &[false, false, true, false, false]);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 5);
+        let summary = summarize(&n, &parts);
+        assert_eq!(summary.giant_fraction, 1.0);
+        assert!(summary.stranded_countries.is_empty());
+    }
+
+    #[test]
+    fn everything_dead_no_partitions() {
+        let n = net();
+        let parts = partitions(&n, &[true; 5]);
+        assert!(parts.is_empty());
+        let summary = summarize(&n, &parts);
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.giant_fraction, 0.0);
+    }
+}

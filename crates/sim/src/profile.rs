@@ -1,0 +1,85 @@
+use solarstorm_gic::CableProfile;
+use solarstorm_topology::{Network, NetworkKind};
+
+/// Adapts every cable of a network to the failure-model view: total
+/// length, band latitude, and whether ocean conductance applies.
+pub fn cable_profiles(net: &Network) -> Vec<CableProfile> {
+    let submarine = net.kind() == NetworkKind::Submarine;
+    net.cables()
+        .iter()
+        .map(|c| CableProfile {
+            length_km: c.length_km,
+            max_abs_lat_deg: c.max_abs_lat_deg,
+            submarine,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_topology::{NodeInfo, NodeRole, SegmentSpec};
+
+    #[test]
+    fn profiles_mirror_cables() {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let a = net.add_node(NodeInfo {
+            name: "A".into(),
+            location: GeoPoint::new(55.0, 0.0).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::LandingPoint,
+        });
+        let b = net.add_node(NodeInfo {
+            name: "B".into(),
+            location: GeoPoint::new(-10.0, 20.0).unwrap(),
+            country: "BB".into(),
+            role: NodeRole::LandingPoint,
+        });
+        net.add_cable(
+            "c",
+            vec![SegmentSpec {
+                a,
+                b,
+                route: None,
+                length_km: Some(8000.0),
+            }],
+        )
+        .unwrap();
+        let profiles = cable_profiles(&net);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].length_km, 8000.0);
+        assert_eq!(profiles[0].max_abs_lat_deg, 55.0);
+        assert!(profiles[0].submarine);
+    }
+
+    #[test]
+    fn land_networks_are_not_submarine() {
+        let net = Network::new(NetworkKind::LandUs);
+        assert!(cable_profiles(&net).is_empty());
+        let mut net2 = Network::new(NetworkKind::LandItu);
+        let a = net2.add_node(NodeInfo {
+            name: "A".into(),
+            location: GeoPoint::new(0.0, 0.0).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::City,
+        });
+        let b = net2.add_node(NodeInfo {
+            name: "B".into(),
+            location: GeoPoint::new(1.0, 0.0).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::City,
+        });
+        net2.add_cable(
+            "l",
+            vec![SegmentSpec {
+                a,
+                b,
+                route: None,
+                length_km: None,
+            }],
+        )
+        .unwrap();
+        assert!(!cable_profiles(&net2)[0].submarine);
+    }
+}

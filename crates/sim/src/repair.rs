@@ -1,0 +1,389 @@
+//! Post-storm repair simulation (§3.2.2 of the paper).
+//!
+//! "This repair process can take days to weeks for a single point of
+//! damage on the cable" — and a superstorm damages *many* cables at
+//! once, far beyond what the world's small cable-ship fleet can service
+//! concurrently. This module schedules a ship fleet against a damage
+//! set and produces restoration curves: connectivity over time, under
+//! different repair-prioritization strategies.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use solarstorm_topology::{CableId, Network};
+
+/// Repair-fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairFleet {
+    /// Number of cable ships available.
+    pub ships: usize,
+    /// Days to repair one damage point (mobilization + splice).
+    pub days_per_point: f64,
+    /// Expected damage points per 1,000 km of failed cable (a storm
+    /// destroys repeaters along the whole run, unlike an anchor drag).
+    pub points_per_1000km: f64,
+}
+
+impl Default for RepairFleet {
+    fn default() -> Self {
+        RepairFleet {
+            // ~60 cable ships exist worldwide; only a fraction can be
+            // tasked to any one basin.
+            ships: 20,
+            days_per_point: 12.0,
+            points_per_1000km: 1.5,
+        }
+    }
+}
+
+/// Repair prioritization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairStrategy {
+    /// Cables repaired in id order (no prioritization).
+    Fifo,
+    /// Shortest (fastest to fix) cables first — maximizes cables/day.
+    ShortestFirst,
+    /// Greedy connectivity: each ship assignment picks the cable whose
+    /// repair reconnects the most currently-unreachable nodes.
+    ConnectivityGreedy,
+}
+
+impl RepairStrategy {
+    /// All strategies.
+    pub const ALL: [RepairStrategy; 3] = [
+        RepairStrategy::Fifo,
+        RepairStrategy::ShortestFirst,
+        RepairStrategy::ConnectivityGreedy,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairStrategy::Fifo => "FIFO",
+            RepairStrategy::ShortestFirst => "shortest-first",
+            RepairStrategy::ConnectivityGreedy => "connectivity-greedy",
+        }
+    }
+}
+
+/// One point on a restoration curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RestorationPoint {
+    /// Days since repairs began.
+    pub day: f64,
+    /// Percentage of initially-failed cables restored.
+    pub cables_restored_pct: f64,
+    /// Percentage of all nodes reachable (paper metric: a node is
+    /// unreachable while all its cables are dead).
+    pub nodes_reachable_pct: f64,
+}
+
+/// Result of a repair campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairOutcome {
+    /// Strategy used.
+    pub strategy: RepairStrategy,
+    /// Restoration curve, one point per completed repair (plus start).
+    pub curve: Vec<RestorationPoint>,
+    /// Days until half the failed cables are back.
+    pub days_to_50pct_cables: f64,
+    /// Days until 95 % of nodes are reachable.
+    pub days_to_95pct_nodes: f64,
+    /// Days until everything is repaired.
+    pub total_days: f64,
+}
+
+/// Days of ship time one cable needs.
+fn repair_days(net: &Network, cable: CableId, fleet: &RepairFleet) -> f64 {
+    let len = net.cable(cable).map(|c| c.length_km).unwrap_or(0.0);
+    let points = (len / 1_000.0 * fleet.points_per_1000km).max(1.0).round();
+    points * fleet.days_per_point
+}
+
+/// Simulates the repair campaign for a given dead-cable mask.
+pub fn simulate_repairs(
+    net: &Network,
+    dead: &[bool],
+    fleet: &RepairFleet,
+    strategy: RepairStrategy,
+) -> Result<RepairOutcome, SimError> {
+    if fleet.ships == 0 {
+        return Err(SimError::InvalidConfig {
+            name: "ships",
+            message: "need at least one cable ship".into(),
+        });
+    }
+    if !fleet.days_per_point.is_finite() || fleet.days_per_point <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            name: "days_per_point",
+            message: format!("{} must be finite and > 0", fleet.days_per_point),
+        });
+    }
+    if !fleet.points_per_1000km.is_finite() || fleet.points_per_1000km <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            name: "points_per_1000km",
+            message: format!("{} must be finite and > 0", fleet.points_per_1000km),
+        });
+    }
+    let mut state: Vec<bool> = dead.to_vec();
+    state.resize(net.cable_count(), false);
+    let failed_total = state.iter().filter(|d| **d).count();
+
+    let nodes_reachable_pct = |state: &[bool]| 100.0 - net.percent_nodes_unreachable(state);
+
+    let mut curve = vec![RestorationPoint {
+        day: 0.0,
+        cables_restored_pct: 0.0,
+        nodes_reachable_pct: nodes_reachable_pct(&state),
+    }];
+    if failed_total == 0 {
+        return Ok(RepairOutcome {
+            strategy,
+            curve,
+            days_to_50pct_cables: 0.0,
+            days_to_95pct_nodes: 0.0,
+            total_days: 0.0,
+        });
+    }
+
+    // Ship availability times.
+    let mut ships = vec![0.0f64; fleet.ships];
+    let mut pending: Vec<CableId> = state
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| **d)
+        .map(|(i, _)| CableId(i))
+        .collect();
+
+    // Pre-sort for the static strategies.
+    match strategy {
+        RepairStrategy::Fifo => {}
+        RepairStrategy::ShortestFirst => {
+            pending.sort_by(|a, b| {
+                repair_days(net, *a, fleet).total_cmp(&repair_days(net, *b, fleet))
+            });
+        }
+        RepairStrategy::ConnectivityGreedy => {} // chosen dynamically
+    }
+
+    let mut restored = 0usize;
+    let mut days_to_50 = f64::INFINITY;
+    let mut days_to_95_nodes = f64::INFINITY;
+    // Event loop: assign the next-free ship to the next cable.
+    while !pending.is_empty() {
+        // Earliest-free ship.
+        let (ship_idx, &free_at) = ships
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("fleet non-empty");
+        // Pick the cable.
+        let pick_idx = match strategy {
+            RepairStrategy::ConnectivityGreedy => {
+                let before = net.percent_nodes_unreachable(&state);
+                let mut best = 0usize;
+                let mut best_gain = f64::NEG_INFINITY;
+                for (i, c) in pending.iter().enumerate() {
+                    let mut trial = state.clone();
+                    trial[c.0] = false;
+                    let gain = (before - net.percent_nodes_unreachable(&trial))
+                        / repair_days(net, *c, fleet);
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best = i;
+                    }
+                }
+                best
+            }
+            _ => 0,
+        };
+        let cable = pending.remove(pick_idx);
+        let done_at = free_at + repair_days(net, cable, fleet);
+        ships[ship_idx] = done_at;
+        state[cable.0] = false;
+        restored += 1;
+        let cables_pct = 100.0 * restored as f64 / failed_total as f64;
+        let nodes_pct = nodes_reachable_pct(&state);
+        curve.push(RestorationPoint {
+            day: done_at,
+            cables_restored_pct: cables_pct,
+            nodes_reachable_pct: nodes_pct,
+        });
+        if cables_pct >= 50.0 && days_to_50.is_infinite() {
+            days_to_50 = done_at;
+        }
+        if nodes_pct >= 95.0 && days_to_95_nodes.is_infinite() {
+            days_to_95_nodes = done_at;
+        }
+    }
+    // Completion times are per-repair; the curve may be slightly out of
+    // order across ships — sort by day for a clean curve.
+    curve.sort_by(|a, b| a.day.total_cmp(&b.day));
+    let total_days = curve.last().map(|p| p.day).unwrap_or(0.0);
+    if days_to_95_nodes.is_infinite() {
+        days_to_95_nodes = total_days;
+    }
+    Ok(RepairOutcome {
+        strategy,
+        curve,
+        days_to_50pct_cables: days_to_50.min(total_days),
+        days_to_95pct_nodes: days_to_95_nodes,
+        total_days,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    /// 6 cables: 3 short (600 km), 3 long (12,000 km); a hub node touched
+    /// only by one long cable.
+    fn net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        for i in 0..6 {
+            let long = i >= 3;
+            let a = net.add_node(NodeInfo {
+                name: format!("a{i}"),
+                location: GeoPoint::new(10.0 + i as f64, 0.0).unwrap(),
+                country: "AA".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("b{i}"),
+                location: GeoPoint::new(10.0 + i as f64, 20.0).unwrap(),
+                country: "BB".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("c{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(if long { 12_000.0 } else { 600.0 }),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn no_damage_no_campaign() {
+        let n = net();
+        let out = simulate_repairs(
+            &n,
+            &vec![false; 6],
+            &RepairFleet::default(),
+            RepairStrategy::Fifo,
+        )
+        .unwrap();
+        assert_eq!(out.total_days, 0.0);
+        assert_eq!(out.curve.len(), 1);
+        assert_eq!(out.curve[0].nodes_reachable_pct, 100.0);
+    }
+
+    #[test]
+    fn all_strategies_finish_everything() {
+        let n = net();
+        let dead = vec![true; 6];
+        for strategy in RepairStrategy::ALL {
+            let out = simulate_repairs(&n, &dead, &RepairFleet::default(), strategy).unwrap();
+            assert_eq!(out.curve.last().unwrap().cables_restored_pct, 100.0);
+            assert_eq!(out.curve.last().unwrap().nodes_reachable_pct, 100.0);
+            assert!(out.total_days > 0.0);
+        }
+    }
+
+    #[test]
+    fn fewer_ships_take_longer() {
+        let n = net();
+        let dead = vec![true; 6];
+        let one = RepairFleet {
+            ships: 1,
+            ..Default::default()
+        };
+        let many = RepairFleet {
+            ships: 6,
+            ..Default::default()
+        };
+        let slow = simulate_repairs(&n, &dead, &one, RepairStrategy::Fifo).unwrap();
+        let fast = simulate_repairs(&n, &dead, &many, RepairStrategy::Fifo).unwrap();
+        assert!(slow.total_days > fast.total_days);
+    }
+
+    #[test]
+    fn shortest_first_restores_cables_faster_at_the_half_point() {
+        let n = net();
+        let dead = vec![true; 6];
+        let fleet = RepairFleet {
+            ships: 1,
+            ..Default::default()
+        };
+        let fifo = simulate_repairs(&n, &dead, &fleet, RepairStrategy::Fifo).unwrap();
+        let short = simulate_repairs(&n, &dead, &fleet, RepairStrategy::ShortestFirst).unwrap();
+        assert!(
+            short.days_to_50pct_cables <= fifo.days_to_50pct_cables,
+            "shortest-first {} vs fifo {}",
+            short.days_to_50pct_cables,
+            fifo.days_to_50pct_cables
+        );
+    }
+
+    #[test]
+    fn greedy_restores_reachability_no_slower_than_fifo() {
+        let n = net();
+        let dead = vec![true; 6];
+        let fleet = RepairFleet {
+            ships: 2,
+            ..Default::default()
+        };
+        let fifo = simulate_repairs(&n, &dead, &fleet, RepairStrategy::Fifo).unwrap();
+        let greedy =
+            simulate_repairs(&n, &dead, &fleet, RepairStrategy::ConnectivityGreedy).unwrap();
+        assert!(greedy.days_to_95pct_nodes <= fifo.days_to_95pct_nodes + 1e-9);
+    }
+
+    #[test]
+    fn long_cables_need_more_ship_time() {
+        let n = net();
+        let fleet = RepairFleet::default();
+        let short = repair_days(&n, CableId(0), &fleet);
+        let long = repair_days(&n, CableId(5), &fleet);
+        assert!(long > 5.0 * short, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let n = net();
+        let dead = vec![true; 6];
+        let out = simulate_repairs(
+            &n,
+            &dead,
+            &RepairFleet::default(),
+            RepairStrategy::ShortestFirst,
+        )
+        .unwrap();
+        for w in out.curve.windows(2) {
+            assert!(w[1].day >= w[0].day);
+            assert!(w[1].nodes_reachable_pct >= w[0].nodes_reachable_pct - 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fleet() {
+        let n = net();
+        let dead = vec![true; 6];
+        let bad = RepairFleet {
+            ships: 0,
+            ..Default::default()
+        };
+        assert!(simulate_repairs(&n, &dead, &bad, RepairStrategy::Fifo).is_err());
+        let bad2 = RepairFleet {
+            days_per_point: 0.0,
+            ..Default::default()
+        };
+        assert!(simulate_repairs(&n, &dead, &bad2, RepairStrategy::Fifo).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Hour-by-hour storm timeline (§3 dynamics, completed).
+//!
+//! The paper treats failures as a single post-storm snapshot; combining
+//! the physics failure chain with the storm's Dst time profile gives the
+//! dynamics: failures concentrate in the few main-phase hours when
+//! `|dDst/dt|` — and thus the induced field — peaks. Operators planning
+//! shutdown windows (§5.2) need exactly this curve.
+
+use crate::{cable_profiles, SimError};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use solarstorm_gic::{FailureModel, PhysicsFailure};
+use solarstorm_solar::{StormClass, StormProfile};
+use solarstorm_topology::Network;
+
+/// One point on the failure timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Hours since sudden commencement.
+    pub hour: f64,
+    /// Dst index, nT.
+    pub dst_nt: f64,
+    /// Cumulative % of cables failed by this hour (mean over trials).
+    pub cables_failed_pct: f64,
+}
+
+/// Simulates the hour-by-hour failure accumulation for a storm class.
+///
+/// Each cable's total failure probability comes from the calibrated
+/// physics chain; its failure *time* is distributed according to the
+/// storm's cumulative field weight (failures happen when the field
+/// changes fastest). Mean over `trials` seeded trials.
+pub fn storm_timeline(
+    net: &Network,
+    class: StormClass,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<TimelinePoint>, SimError> {
+    if trials == 0 {
+        return Err(SimError::InvalidConfig {
+            name: "trials",
+            message: "must run at least one trial".into(),
+        });
+    }
+    if !spacing_km.is_finite() || spacing_km <= 0.0 {
+        return Err(SimError::InvalidConfig {
+            name: "spacing_km",
+            message: format!("{spacing_km} must be finite and > 0"),
+        });
+    }
+    let model = PhysicsFailure::calibrated(class);
+    let profile = StormProfile::typical(class);
+    let profiles = cable_profiles(net);
+    let duration = profile.duration_hours();
+    let steps = 48usize;
+    let hours: Vec<f64> = (0..=steps)
+        .map(|i| duration * i as f64 / steps as f64)
+        .collect();
+    // Precompute cumulative weights per step.
+    let cum: Vec<f64> = hours
+        .iter()
+        .map(|t| profile.cumulative_weight(*t))
+        .collect();
+
+    let mut failed_by_step = vec![0.0f64; hours.len()];
+    for t in 0..trials {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x7137));
+        for p in &profiles {
+            let p_total = 1.0 - model.cable_survival_probability(p, spacing_km);
+            if p_total <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.random_range(0.0..1.0);
+            if u >= p_total {
+                continue; // survives the whole storm
+            }
+            // Failure time: the hour at which the cumulative damage
+            // budget reaches u / p_total of its total.
+            let target = u / p_total;
+            let step = cum
+                .iter()
+                .position(|c| *c >= target)
+                .unwrap_or(hours.len() - 1);
+            for f in failed_by_step.iter_mut().skip(step) {
+                *f += 1.0;
+            }
+        }
+    }
+    let denom = (profiles.len().max(1) * trials) as f64;
+    Ok(hours
+        .iter()
+        .zip(&failed_by_step)
+        .map(|(h, f)| TimelinePoint {
+            hour: *h,
+            dst_nt: profile.dst_nt(*h),
+            cables_failed_pct: 100.0 * f / denom,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{run, MonteCarloConfig};
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    fn net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        for i in 0..30 {
+            let a = net.add_node(NodeInfo {
+                name: format!("a{i}"),
+                location: GeoPoint::new(55.0, i as f64).unwrap(),
+                country: "GB".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("b{i}"),
+                location: GeoPoint::new(50.0, i as f64 + 30.0).unwrap(),
+                country: "US".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("c{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(5_000.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn timeline_is_monotone_and_bounded() {
+        let n = net();
+        let tl = storm_timeline(&n, StormClass::Severe, 150.0, 20, 3).unwrap();
+        assert_eq!(tl.len(), 49);
+        for w in tl.windows(2) {
+            assert!(w[1].cables_failed_pct >= w[0].cables_failed_pct);
+            assert!(w[1].hour > w[0].hour);
+        }
+        assert!((0.0..=100.0).contains(&tl.last().unwrap().cables_failed_pct));
+    }
+
+    #[test]
+    fn final_level_matches_static_monte_carlo() {
+        let n = net();
+        let tl = storm_timeline(&n, StormClass::Severe, 150.0, 300, 5).unwrap();
+        let static_run = run(
+            &n,
+            &PhysicsFailure::calibrated(StormClass::Severe),
+            &MonteCarloConfig {
+                spacing_km: 150.0,
+                trials: 300,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let final_pct = tl.last().unwrap().cables_failed_pct;
+        assert!(
+            (final_pct - static_run.mean_cables_failed_pct).abs() < 5.0,
+            "timeline {final_pct} vs static {}",
+            static_run.mean_cables_failed_pct
+        );
+    }
+
+    #[test]
+    fn failures_concentrate_in_the_main_phase() {
+        let n = net();
+        let tl = storm_timeline(&n, StormClass::Extreme, 150.0, 100, 7).unwrap();
+        let profile = StormProfile::typical(StormClass::Extreme);
+        let end_main = profile.commencement_hours + profile.main_phase_hours;
+        let total = tl.last().unwrap().cables_failed_pct;
+        let at_end_main = tl
+            .iter()
+            .find(|p| p.hour >= end_main)
+            .unwrap()
+            .cables_failed_pct;
+        assert!(
+            at_end_main > 0.3 * total,
+            "only {at_end_main}% of {total}% failed by end of main phase"
+        );
+    }
+
+    #[test]
+    fn minor_storms_produce_flat_timelines() {
+        let n = net();
+        let tl = storm_timeline(&n, StormClass::Minor, 150.0, 50, 1).unwrap();
+        assert!(tl.last().unwrap().cables_failed_pct < 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let n = net();
+        assert!(storm_timeline(&n, StormClass::Severe, 150.0, 0, 1).is_err());
+        assert!(storm_timeline(&n, StormClass::Severe, 0.0, 10, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let n = net();
+        let a = storm_timeline(&n, StormClass::Severe, 150.0, 30, 9).unwrap();
+        let b = storm_timeline(&n, StormClass::Severe, 150.0, 30, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,309 @@
+//! Traffic-shift and overload analysis (§5.5 of the paper).
+//!
+//! "When all submarine cables connecting to NY fail, there will be
+//! significant shifts in BGP paths and potential overload in Internet
+//! cables in California" — regional cable failures redistribute
+//! inter-regional traffic onto the survivors. This module routes a
+//! demand matrix over the network (shortest surviving path by length),
+//! measures per-cable load before and after a failure scenario, and
+//! reports the overloads.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use solarstorm_topology::{algo, CableId, Network, NodeId};
+
+/// One traffic demand between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Offered volume (arbitrary units, e.g. Tbps).
+    pub volume: f64,
+}
+
+/// Per-cable load plus the demand fates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficAssignment {
+    /// Load per cable, indexed by cable id.
+    pub cable_load: Vec<f64>,
+    /// Total volume successfully routed.
+    pub routed_volume: f64,
+    /// Total volume with no surviving path.
+    pub stranded_volume: f64,
+}
+
+/// Comparison of pre- and post-failure assignments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficShift {
+    /// Assignment with all cables alive.
+    pub before: TrafficAssignment,
+    /// Assignment under the failure scenario.
+    pub after: TrafficAssignment,
+    /// Cables whose load grew by more than the overload factor relative
+    /// to baseline (only cables that carried traffic before count).
+    pub overloaded: Vec<CableId>,
+    /// Largest load-growth ratio observed on any surviving cable.
+    pub max_growth: f64,
+}
+
+/// Routes demands over alive cables (shortest path by cable length).
+pub fn assign(net: &Network, demands: &[Demand], dead: &[bool]) -> TrafficAssignment {
+    let alive = net.edge_alive(dead);
+    let mut cable_load = vec![0.0; net.cable_count()];
+    let mut routed = 0.0;
+    let mut stranded = 0.0;
+    let g = net.graph();
+    for d in demands {
+        if d.volume <= 0.0 {
+            continue;
+        }
+        match algo::shortest_path(g, d.from, d.to, &alive, |e| {
+            g.edge(e).map(|s| s.length_km).unwrap_or(f64::INFINITY)
+        }) {
+            Some((_, path)) => {
+                routed += d.volume;
+                // A demand crossing several segments of the same cable
+                // loads it once per segment traversed (each segment is a
+                // distinct physical span).
+                for e in path {
+                    if let Some(c) = net.edge_cable(e) {
+                        cable_load[c.0] += d.volume;
+                    }
+                }
+            }
+            None => stranded += d.volume,
+        }
+    }
+    TrafficAssignment {
+        cable_load,
+        routed_volume: routed,
+        stranded_volume: stranded,
+    }
+}
+
+/// Compares baseline and post-failure routing; `growth_threshold` is the
+/// load-multiplication factor that counts as overload (e.g. 2.0).
+pub fn shift(
+    net: &Network,
+    demands: &[Demand],
+    dead: &[bool],
+    growth_threshold: f64,
+) -> Result<TrafficShift, SimError> {
+    if !growth_threshold.is_finite() || growth_threshold <= 1.0 {
+        return Err(SimError::InvalidConfig {
+            name: "growth_threshold",
+            message: format!("{growth_threshold} must be finite and > 1"),
+        });
+    }
+    let no_failures = vec![false; net.cable_count()];
+    let before = assign(net, demands, &no_failures);
+    let after = assign(net, demands, dead);
+    let mut overloaded = Vec::new();
+    let mut max_growth = 1.0f64;
+    for i in 0..net.cable_count() {
+        if dead.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let b = before.cable_load[i];
+        let a = after.cable_load[i];
+        if b > 0.0 {
+            let growth = a / b;
+            max_growth = max_growth.max(growth);
+            if growth >= growth_threshold {
+                overloaded.push(CableId(i));
+            }
+        }
+    }
+    Ok(TrafficShift {
+        before,
+        after,
+        overloaded,
+        max_growth,
+    })
+}
+
+/// Builds a gravity-style demand matrix between a set of hub nodes:
+/// volume proportional to the product of hub weights.
+pub fn gravity_demands(hubs: &[(NodeId, f64)], scale: f64) -> Vec<Demand> {
+    let mut out = Vec::new();
+    for i in 0..hubs.len() {
+        for j in (i + 1)..hubs.len() {
+            let (a, wa) = hubs[i];
+            let (b, wb) = hubs[j];
+            let volume = scale * wa * wb;
+            if volume > 0.0 {
+                out.push(Demand {
+                    from: a,
+                    to: b,
+                    volume,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    /// Square: NY - London (north, short), NY - Lisbon (south, long),
+    /// London - Lisbon (short), plus Miami - Lisbon (southern route).
+    ///
+    /// Node 0 = NY, 1 = London, 2 = Lisbon, 3 = Miami.
+    fn net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let mk = |net: &mut Network, name: &str, lat: f64, lon: f64, cc: &str| {
+            net.add_node(NodeInfo {
+                name: name.into(),
+                location: GeoPoint::new(lat, lon).unwrap(),
+                country: cc.into(),
+                role: NodeRole::LandingPoint,
+            })
+        };
+        let ny = mk(&mut net, "NY", 40.7, -74.0, "US");
+        let lon = mk(&mut net, "London", 51.5, -0.1, "GB");
+        let lis = mk(&mut net, "Lisbon", 38.7, -9.1, "PT");
+        let mia = mk(&mut net, "Miami", 25.8, -80.2, "US");
+        let cable = |net: &mut Network, n: &str, a, b, l| {
+            net.add_cable(
+                n,
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(l),
+                }],
+            )
+            .unwrap()
+        };
+        cable(&mut net, "ny-lon", ny, lon, 5_600.0);
+        cable(&mut net, "ny-lis", ny, lis, 5_800.0);
+        cable(&mut net, "lon-lis", lon, lis, 1_600.0);
+        cable(&mut net, "mia-lis", mia, lis, 7_000.0);
+        cable(&mut net, "ny-mia", ny, mia, 1_800.0);
+        net
+    }
+
+    fn us_eu_demand() -> Vec<Demand> {
+        vec![Demand {
+            from: NodeId(0),
+            to: NodeId(1),
+            volume: 10.0,
+        }]
+    }
+
+    #[test]
+    fn baseline_uses_the_short_path() {
+        let n = net();
+        let a = assign(&n, &us_eu_demand(), &vec![false; 5]);
+        assert_eq!(a.routed_volume, 10.0);
+        assert_eq!(a.stranded_volume, 0.0);
+        assert_eq!(a.cable_load[0], 10.0); // ny-lon direct
+        assert_eq!(a.cable_load[1], 0.0);
+    }
+
+    #[test]
+    fn failure_shifts_traffic_to_southern_route() {
+        let n = net();
+        // Kill ny-lon: traffic reroutes via ny-lis + lis-lon.
+        let dead = vec![true, false, false, false, false];
+        let s = shift(&n, &us_eu_demand(), &dead, 2.0).unwrap();
+        assert_eq!(s.after.routed_volume, 10.0);
+        assert_eq!(s.after.cable_load[1], 10.0); // ny-lis
+        assert_eq!(s.after.cable_load[2], 10.0); // lon-lis
+                                                 // Those cables carried nothing before, so they are not counted as
+                                                 // "overloaded" (growth from zero), but the shift is visible.
+        assert_eq!(s.before.cable_load[1], 0.0);
+    }
+
+    #[test]
+    fn overload_detection_on_shared_survivor() {
+        let n = net();
+        // Two demands: NY->London and Miami->London. Baseline: NY->London
+        // uses ny-lon; Miami->London uses ny-mia + ny-lon (cheaper than
+        // mia-lis + lis-lon: 7400 vs 8600)... both load ny-lon.
+        let demands = vec![
+            Demand {
+                from: NodeId(0),
+                to: NodeId(1),
+                volume: 10.0,
+            },
+            Demand {
+                from: NodeId(3),
+                to: NodeId(1),
+                volume: 10.0,
+            },
+        ];
+        // Kill ny-lis; lon-lis carried nothing, ny-lon carried 20.
+        // Now kill nothing; instead kill ny-mia so Miami reroutes via
+        // mia-lis + lis-lon, and ALSO reroute NY->London? ny-lon still up:
+        // NY keeps direct. lis-lon goes from 0 to 10.
+        // For growth-from-nonzero, load lon-lis in baseline too: add a
+        // Lisbon->London demand.
+        let mut demands2 = demands.clone();
+        demands2.push(Demand {
+            from: NodeId(2),
+            to: NodeId(1),
+            volume: 5.0,
+        });
+        let dead = vec![false, false, false, false, true]; // ny-mia dead
+        let s = shift(&n, &demands2, &dead, 2.0).unwrap();
+        // lon-lis: baseline 5 (Lisbon demand), after 15 (plus Miami).
+        assert_eq!(s.before.cable_load[2], 5.0);
+        assert_eq!(s.after.cable_load[2], 15.0);
+        assert!(s.overloaded.contains(&CableId(2)));
+        assert!(s.max_growth >= 3.0);
+    }
+
+    #[test]
+    fn stranded_traffic_counted() {
+        let n = net();
+        // Kill everything touching NY (cables 0, 1, 4): NY->London strands.
+        let dead = vec![true, true, false, false, true];
+        let a = assign(&n, &us_eu_demand(), &dead);
+        assert_eq!(a.routed_volume, 0.0);
+        assert_eq!(a.stranded_volume, 10.0);
+    }
+
+    #[test]
+    fn gravity_matrix_shape() {
+        let hubs = vec![(NodeId(0), 2.0), (NodeId(1), 3.0), (NodeId(2), 1.0)];
+        let demands = gravity_demands(&hubs, 1.0);
+        assert_eq!(demands.len(), 3);
+        let total: f64 = demands.iter().map(|d| d.volume).sum();
+        assert_eq!(total, 6.0 + 2.0 + 3.0);
+        assert!(gravity_demands(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let n = net();
+        assert!(shift(&n, &us_eu_demand(), &vec![false; 5], 1.0).is_err());
+        assert!(shift(&n, &us_eu_demand(), &vec![false; 5], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_and_negative_volumes_ignored() {
+        let n = net();
+        let demands = vec![
+            Demand {
+                from: NodeId(0),
+                to: NodeId(1),
+                volume: 0.0,
+            },
+            Demand {
+                from: NodeId(0),
+                to: NodeId(1),
+                volume: -5.0,
+            },
+        ];
+        let a = assign(&n, &demands, &vec![false; 5]);
+        assert_eq!(a.routed_volume, 0.0);
+        assert_eq!(a.cable_load.iter().sum::<f64>(), 0.0);
+    }
+}

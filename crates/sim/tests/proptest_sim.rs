@@ -1,0 +1,160 @@
+//! Property-based tests for the simulation engine on random networks.
+
+use proptest::prelude::*;
+use solarstorm_geo::GeoPoint;
+use solarstorm_gic::{LatitudeBandFailure, UniformFailure};
+use solarstorm_sim::monte_carlo::{run, run_outcomes, MonteCarloConfig};
+use solarstorm_sim::{partition, traffic};
+use solarstorm_topology::{Network, NetworkKind, NodeId, NodeInfo, NodeRole, SegmentSpec};
+
+/// A random small network: `n` nodes at random positions, `m` cables
+/// between random distinct pairs with random lengths.
+fn arb_network() -> impl Strategy<Value = Network> {
+    (3usize..12).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 100.0f64..15_000.0, -70.0f64..70.0), 1..25).prop_map(
+            move |cables| {
+                let mut net = Network::new(NetworkKind::Submarine);
+                let ids: Vec<NodeId> = (0..n)
+                    .map(|i| {
+                        net.add_node(NodeInfo {
+                            name: format!("n{i}"),
+                            location: GeoPoint::new(
+                                -80.0 + (i as f64 * 17.3) % 160.0,
+                                (i as f64 * 31.7) % 360.0 - 180.0,
+                            )
+                            .unwrap(),
+                            country: format!("C{}", i % 4),
+                            role: NodeRole::LandingPoint,
+                        })
+                    })
+                    .collect();
+                for (k, (a, b, len, _lat)) in cables.into_iter().enumerate() {
+                    if a != b {
+                        net.add_cable(
+                            format!("c{k}"),
+                            vec![SegmentSpec {
+                                a: ids[a],
+                                b: ids[b],
+                                route: None,
+                                length_km: Some(len),
+                            }],
+                        )
+                        .unwrap();
+                    }
+                }
+                net
+            },
+        )
+    })
+}
+
+fn cfg(trials: usize, seed: u64) -> MonteCarloConfig {
+    MonteCarloConfig {
+        spacing_km: 150.0,
+        trials,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_always_bounded(net in arb_network(), p in 0.0f64..=1.0, seed in any::<u64>()) {
+        prop_assume!(net.cable_count() > 0);
+        let model = UniformFailure::new(p).unwrap();
+        let stats = run(&net, &model, &cfg(5, seed)).unwrap();
+        prop_assert!((0.0..=100.0).contains(&stats.mean_cables_failed_pct));
+        prop_assert!((0.0..=100.0).contains(&stats.mean_nodes_unreachable_pct));
+        prop_assert!(stats.std_cables_failed_pct >= 0.0);
+        prop_assert!(stats.std_nodes_unreachable_pct >= 0.0);
+    }
+
+    #[test]
+    fn outcomes_deterministic_across_thread_counts(
+        net in arb_network(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(net.cable_count() > 0);
+        let model = UniformFailure::new(0.3).unwrap();
+        let mut c1 = cfg(8, seed);
+        c1.max_threads = 1;
+        let mut c8 = cfg(8, seed);
+        c8.max_threads = 8;
+        let a = run_outcomes(&net, &model, &c1).unwrap();
+        let b = run_outcomes(&net, &model, &c8).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_probability_more_failures(net in arb_network(), seed in any::<u64>()) {
+        prop_assume!(net.cable_count() > 0);
+        let lo = run(&net, &UniformFailure::new(0.01).unwrap(), &cfg(40, seed)).unwrap();
+        let hi = run(&net, &UniformFailure::new(0.5).unwrap(), &cfg(40, seed)).unwrap();
+        prop_assert!(
+            hi.mean_cables_failed_pct >= lo.mean_cables_failed_pct - 5.0,
+            "hi {} vs lo {}",
+            hi.mean_cables_failed_pct,
+            lo.mean_cables_failed_pct
+        );
+    }
+
+    #[test]
+    fn partitions_cover_exactly_the_alive_nodes(net in arb_network(), seed in any::<u64>()) {
+        prop_assume!(net.cable_count() > 0);
+        let model = LatitudeBandFailure::s1();
+        let outcomes = run_outcomes(&net, &model, &cfg(1, seed)).unwrap();
+        let parts = partition::partitions(&net, &outcomes[0].dead);
+        // Every node appears in at most one partition; dark nodes in none.
+        let unreachable = net.unreachable_nodes(&outcomes[0].dead);
+        let mut seen = vec![false; net.node_count()];
+        for p in &parts {
+            for n in &p.nodes {
+                prop_assert!(!seen[n.0], "node in two partitions");
+                seen[n.0] = true;
+                prop_assert!(!unreachable[n.0], "dark node in a partition");
+            }
+        }
+        for (i, dark) in unreachable.iter().enumerate() {
+            if !dark {
+                prop_assert!(seen[i], "alive node missing from partitions");
+            }
+        }
+        // Sorted largest first.
+        prop_assert!(parts.windows(2).all(|w| w[0].len() >= w[1].len()));
+    }
+
+    #[test]
+    fn traffic_conservation(net in arb_network(), seed in any::<u64>()) {
+        prop_assume!(net.node_count() >= 2 && net.cable_count() > 0);
+        let demands = vec![
+            traffic::Demand { from: NodeId(0), to: NodeId(1), volume: 7.0 },
+            traffic::Demand { from: NodeId(1), to: NodeId(net.node_count() - 1), volume: 3.0 },
+        ];
+        let model = UniformFailure::new(0.4).unwrap();
+        let outcomes = run_outcomes(&net, &model, &cfg(1, seed)).unwrap();
+        let a = traffic::assign(&net, &demands, &outcomes[0].dead);
+        // Routed + stranded = offered.
+        prop_assert!((a.routed_volume + a.stranded_volume - 10.0).abs() < 1e-9);
+        prop_assert!(a.cable_load.iter().all(|l| *l >= 0.0));
+    }
+
+    #[test]
+    fn dead_cables_carry_no_traffic(net in arb_network(), seed in any::<u64>()) {
+        prop_assume!(net.node_count() >= 2 && net.cable_count() > 0);
+        let demands = vec![traffic::Demand {
+            from: NodeId(0),
+            to: NodeId(net.node_count() - 1),
+            volume: 5.0,
+        }];
+        let model = UniformFailure::new(0.5).unwrap();
+        let outcomes = run_outcomes(&net, &model, &cfg(1, seed)).unwrap();
+        let a = traffic::assign(&net, &demands, &outcomes[0].dead);
+        for (i, dead) in outcomes[0].dead.iter().enumerate() {
+            if *dead {
+                prop_assert_eq!(a.cable_load[i], 0.0, "dead cable {} loaded", i);
+            }
+        }
+    }
+}

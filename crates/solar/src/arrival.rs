@@ -1,0 +1,289 @@
+use crate::{SolarCycleModel, SolarError, StormClass};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Per-decade probability of at least one occurrence of an event whose
+/// long-run frequency is once per `return_period_years`, under a Bernoulli
+/// model with independent years.
+///
+/// The paper's §2.3 sanity check: "the probability of occurrence per decade
+/// of a once-in-a-100-years event is 9 %".
+///
+/// ```
+/// use solarstorm_solar::decade_probability_of_century_event;
+/// let p = decade_probability_of_century_event(100.0).unwrap();
+/// assert!((p - 0.0956).abs() < 0.001); // ≈ 9%, rounded down in the paper
+/// ```
+pub fn decade_probability_of_century_event(return_period_years: f64) -> Result<f64, SolarError> {
+    if !return_period_years.is_finite() || return_period_years <= 0.0 {
+        return Err(SolarError::InvalidPeriod(return_period_years));
+    }
+    let annual = 1.0 / return_period_years;
+    Ok(1.0 - (1.0 - annual.min(1.0)).powi(10))
+}
+
+/// Samples the arrival of direct-impact CME events over long horizons.
+///
+/// Two nested processes:
+///
+/// 1. **Direct impacts of any large class** arrive as a Poisson process
+///    whose base rate comes from the per-century direct-impact frequency
+///    (2.6–5.2 per century in the paper's cited estimates), optionally
+///    modulated in time by a [`SolarCycleModel`] (CMEs track sunspots).
+/// 2. **Class assignment** makes Carrington-scale (Extreme) events the
+///    configured fraction of impacts so that the per-decade extreme-event
+///    probability lands in the paper's 1.6–12 % window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrivalModel {
+    impacts_per_century: f64,
+    extreme_fraction: f64,
+    severe_fraction: f64,
+    #[serde(default)]
+    cycle: Option<SolarCycleModel>,
+}
+
+/// A sampled storm arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Decimal year of impact.
+    pub year: f64,
+    /// Sampled storm class.
+    pub class: StormClass,
+}
+
+impl ArrivalModel {
+    /// Mid-range calibration: 3.9 direct impacts per century (midpoint of
+    /// 2.6–5.2), 12 % of them extreme — yielding a per-decade extreme
+    /// probability of ≈ 4.6 %, inside the paper's 1.6–12 % window.
+    pub fn calibrated() -> Self {
+        ArrivalModel {
+            impacts_per_century: 3.9,
+            extreme_fraction: 0.12,
+            severe_fraction: 0.30,
+            cycle: Some(SolarCycleModel::calibrated()),
+        }
+    }
+
+    /// Custom model. `extreme_fraction + severe_fraction` must stay ≤ 1;
+    /// the remainder of impacts are Moderate.
+    pub fn new(
+        impacts_per_century: f64,
+        extreme_fraction: f64,
+        severe_fraction: f64,
+        cycle: Option<SolarCycleModel>,
+    ) -> Result<Self, SolarError> {
+        if !impacts_per_century.is_finite() || impacts_per_century < 0.0 {
+            return Err(SolarError::InvalidRate(impacts_per_century));
+        }
+        for p in [extreme_fraction, severe_fraction] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(SolarError::InvalidProbability(p));
+            }
+        }
+        if extreme_fraction + severe_fraction > 1.0 {
+            return Err(SolarError::InvalidProbability(
+                extreme_fraction + severe_fraction,
+            ));
+        }
+        Ok(ArrivalModel {
+            impacts_per_century,
+            extreme_fraction,
+            severe_fraction,
+            cycle,
+        })
+    }
+
+    /// Long-run mean rate of direct impacts per year.
+    pub fn annual_rate(&self) -> f64 {
+        self.impacts_per_century / 100.0
+    }
+
+    /// Probability of at least one **extreme** (Carrington-scale) impact in
+    /// a decade, under the Poisson model (no cycle modulation).
+    pub fn extreme_decade_probability(&self) -> f64 {
+        let lambda = self.annual_rate() * self.extreme_fraction * 10.0;
+        1.0 - (-lambda).exp()
+    }
+
+    /// Samples impact arrivals on `[start_year, start_year + horizon_years)`.
+    ///
+    /// Uses thinning when a solar-cycle model is attached: candidate events
+    /// from a homogeneous process at the peak rate are accepted with
+    /// probability proportional to the cycle's instantaneous relative rate.
+    pub fn sample_arrivals<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start_year: f64,
+        horizon_years: f64,
+    ) -> Result<Vec<Arrival>, SolarError> {
+        if !horizon_years.is_finite() || horizon_years < 0.0 {
+            return Err(SolarError::InvalidDuration(horizon_years));
+        }
+        let base = self.annual_rate();
+        let mut out = Vec::new();
+        if base == 0.0 || horizon_years == 0.0 {
+            return Ok(out);
+        }
+        // Peak relative rate of the modulated process; |sin| envelope peaks
+        // at max amplitude => relative rate max = max_amp / mean.
+        let peak_factor = match &self.cycle {
+            None => 1.0,
+            Some(_) => 3.0, // safe upper bound on relative_cme_rate for the
+                            // calibrated model (max ≈ 2.5)
+        };
+        let lambda_max = base * peak_factor;
+        let mut t = start_year;
+        loop {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.random_range(1e-300..1.0);
+            t += -u.ln() / lambda_max;
+            if t >= start_year + horizon_years {
+                break;
+            }
+            let accept = match &self.cycle {
+                None => true,
+                Some(c) => {
+                    let rel = c.relative_cme_rate(t).min(peak_factor);
+                    rng.random_bool((rel / peak_factor).clamp(0.0, 1.0))
+                }
+            };
+            if accept {
+                out.push(Arrival {
+                    year: t,
+                    class: self.sample_class(rng),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Samples a storm class for one impact.
+    pub fn sample_class<R: Rng + ?Sized>(&self, rng: &mut R) -> StormClass {
+        let u: f64 = rng.random_range(0.0..1.0);
+        if u < self.extreme_fraction {
+            StormClass::Extreme
+        } else if u < self.extreme_fraction + self.severe_fraction {
+            StormClass::Severe
+        } else {
+            StormClass::Moderate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn century_event_decade_probability_is_nine_percent() {
+        let p = decade_probability_of_century_event(100.0).unwrap();
+        assert!((p - 0.0956).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_bad_return_period() {
+        assert!(decade_probability_of_century_event(0.0).is_err());
+        assert!(decade_probability_of_century_event(-10.0).is_err());
+        assert!(decade_probability_of_century_event(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn calibrated_extreme_probability_in_paper_window() {
+        let m = ArrivalModel::calibrated();
+        let p = m.extreme_decade_probability();
+        assert!(
+            (0.016..=0.12).contains(&p),
+            "per-decade extreme probability {p} outside paper's 1.6-12% range"
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_fractions() {
+        assert!(ArrivalModel::new(3.9, 0.7, 0.5, None).is_err());
+        assert!(ArrivalModel::new(-1.0, 0.1, 0.1, None).is_err());
+        assert!(ArrivalModel::new(3.9, 1.5, 0.0, None).is_err());
+    }
+
+    #[test]
+    fn arrival_count_matches_rate_without_cycle() {
+        let m = ArrivalModel::new(3.9, 0.12, 0.3, None).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let horizon = 100_000.0;
+        let arrivals = m.sample_arrivals(&mut rng, 2020.0, horizon).unwrap();
+        let per_century = arrivals.len() as f64 / horizon * 100.0;
+        assert!(
+            (per_century - 3.9).abs() < 0.15,
+            "measured {per_century} impacts/century"
+        );
+    }
+
+    #[test]
+    fn cycle_modulation_preserves_mean_rate_roughly() {
+        let m = ArrivalModel::calibrated();
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let horizon = 88_000.0; // many Gleissberg periods
+        let arrivals = m.sample_arrivals(&mut rng, 1910.0, horizon).unwrap();
+        let per_century = arrivals.len() as f64 / horizon * 100.0;
+        assert!(
+            (per_century - 3.9).abs() < 0.4,
+            "measured {per_century} impacts/century"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_horizon() {
+        let m = ArrivalModel::calibrated();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let arrivals = m.sample_arrivals(&mut rng, 2020.0, 1000.0).unwrap();
+        assert!(arrivals.windows(2).all(|w| w[0].year <= w[1].year));
+        assert!(arrivals.iter().all(|a| (2020.0..3020.0).contains(&a.year)));
+    }
+
+    #[test]
+    fn class_mix_matches_fractions() {
+        let m = ArrivalModel::new(3.9, 0.2, 0.3, None).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let n = 100_000;
+        let mut extreme = 0;
+        let mut severe = 0;
+        for _ in 0..n {
+            match m.sample_class(&mut rng) {
+                StormClass::Extreme => extreme += 1,
+                StormClass::Severe => severe += 1,
+                _ => {}
+            }
+        }
+        assert!((extreme as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert!((severe as f64 / n as f64 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_rate_and_zero_horizon_yield_no_arrivals() {
+        let m = ArrivalModel::new(0.0, 0.1, 0.1, None).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert!(m
+            .sample_arrivals(&mut rng, 2020.0, 100.0)
+            .unwrap()
+            .is_empty());
+        let m2 = ArrivalModel::calibrated();
+        assert!(m2
+            .sample_arrivals(&mut rng, 2020.0, 0.0)
+            .unwrap()
+            .is_empty());
+        assert!(m2.sample_arrivals(&mut rng, 2020.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let m = ArrivalModel::calibrated();
+        let a1 = m
+            .sample_arrivals(&mut ChaCha12Rng::seed_from_u64(42), 2020.0, 500.0)
+            .unwrap();
+        let a2 = m
+            .sample_arrivals(&mut ChaCha12Rng::seed_from_u64(42), 2020.0, 500.0)
+            .unwrap();
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Historical space-weather events anchoring the models (§2.2 of the
+//! paper).
+
+use crate::{Cme, StormClass};
+use serde::{Deserialize, Serialize};
+
+/// A historical (or near-miss) CME event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoricalEvent {
+    /// Conventional name.
+    pub name: &'static str,
+    /// Calendar year.
+    pub year: i32,
+    /// Storm class on this toolkit's scale.
+    pub class: StormClass,
+    /// Sun-to-Earth transit time in hours, where recorded.
+    pub transit_hours: Option<f64>,
+    /// Whether the CME actually struck the Earth.
+    pub struck_earth: bool,
+    /// One-line impact summary from the historical record.
+    pub impact: &'static str,
+}
+
+impl HistoricalEvent {
+    /// Reconstructs a [`Cme`] for this event (using the recorded transit
+    /// time where available, otherwise the class-typical speed).
+    pub fn to_cme(&self) -> Cme {
+        match self.transit_hours {
+            Some(h) => {
+                let speed = 149_597_870.7 / (h * 3600.0);
+                Cme::new(self.class, speed).unwrap_or_else(|_| Cme::typical(self.class))
+            }
+            None => Cme::typical(self.class),
+        }
+    }
+}
+
+/// The September 1859 Carrington event: telegraph fires, operators shocked,
+/// messages sent on induced current alone. Fastest recorded transit.
+pub fn carrington_1859() -> HistoricalEvent {
+    HistoricalEvent {
+        name: "Carrington event",
+        year: 1859,
+        class: StormClass::Extreme,
+        transit_hours: Some(17.6),
+        struck_earth: true,
+        impact: "large-scale telegraph outages in North America and Europe",
+    }
+}
+
+/// The May 1921 New York Railroad superstorm — strongest of the 20th
+/// century, a decade after the 1910 Gleissberg minimum.
+pub fn new_york_railroad_1921() -> HistoricalEvent {
+    HistoricalEvent {
+        name: "New York Railroad superstorm",
+        year: 1921,
+        class: StormClass::Severe,
+        transit_hours: None,
+        struck_earth: true,
+        impact: "widespread telegraph/railroad damage across the globe",
+    }
+}
+
+/// The March 1989 storm: Quebec grid collapse, 200+ US grid incidents,
+/// measurable potential swings on the sole transatlantic cable. About one
+/// tenth the 1921 storm's strength.
+pub fn quebec_1989() -> HistoricalEvent {
+    HistoricalEvent {
+        name: "Quebec storm",
+        year: 1989,
+        class: StormClass::Moderate,
+        transit_hours: Some(42.0),
+        struck_earth: true,
+        impact: "Hydro-Quebec collapse; potentials observed on the AT&T NJ-UK cable",
+    }
+}
+
+/// The July 2012 Carrington-scale CME that crossed Earth's orbit a week
+/// from where the planet was — the paper's "near miss".
+pub fn near_miss_2012() -> HistoricalEvent {
+    HistoricalEvent {
+        name: "July 2012 near miss",
+        year: 2012,
+        class: StormClass::Extreme,
+        transit_hours: Some(19.0),
+        struck_earth: false,
+        impact: "missed the Earth by about one week of orbital position",
+    }
+}
+
+/// All catalog events, oldest first.
+pub fn all() -> Vec<HistoricalEvent> {
+    vec![
+        carrington_1859(),
+        new_york_railroad_1921(),
+        quebec_1989(),
+        near_miss_2012(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_chronological_and_complete() {
+        let events = all();
+        assert_eq!(events.len(), 4);
+        assert!(events.windows(2).all(|w| w[0].year <= w[1].year));
+    }
+
+    #[test]
+    fn carrington_cme_matches_recorded_transit() {
+        let cme = carrington_1859().to_cme();
+        assert!((cme.transit_hours() - 17.6).abs() < 0.01);
+        assert_eq!(cme.class(), StormClass::Extreme);
+    }
+
+    #[test]
+    fn only_2012_missed() {
+        let misses: Vec<_> = all().into_iter().filter(|e| !e.struck_earth).collect();
+        assert_eq!(misses.len(), 1);
+        assert_eq!(misses[0].year, 2012);
+    }
+
+    #[test]
+    fn classes_match_history() {
+        assert_eq!(quebec_1989().class, StormClass::Moderate);
+        assert_eq!(new_york_railroad_1921().class, StormClass::Severe);
+        assert_eq!(carrington_1859().class, StormClass::Extreme);
+    }
+
+    #[test]
+    fn events_without_transit_fall_back_to_typical() {
+        let cme = new_york_railroad_1921().to_cme();
+        assert_eq!(
+            cme.speed_km_s(),
+            Cme::typical(StormClass::Severe).speed_km_s()
+        );
+    }
+}

@@ -1,0 +1,240 @@
+use crate::SolarError;
+use serde::{Deserialize, Serialize};
+
+/// Phase of the ~80–100-year Gleissberg cycle at a given date.
+///
+/// The Gleissberg cycle modulates the amplitude of individual 11-year
+/// cycles by a factor of up to ~4 (McCracken et al. 2004). The paper's core
+/// risk argument is that the Internet grew up during a Gleissberg
+/// *minimum* — cycles 23 and 24 were unusually weak — and that the Sun is
+/// now emerging from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GleissbergPhase {
+    /// Near the bottom of the long cycle (amplitude multiplier ≲ 1/2 of max).
+    Minimum,
+    /// Rising or declining flank.
+    Transition,
+    /// Near the top of the long cycle.
+    Maximum,
+}
+
+/// A deterministic model of sunspot number over time: an 11-year activity
+/// cycle whose per-cycle amplitude is modulated by the Gleissberg long
+/// cycle.
+///
+/// The model is intentionally simple — a rectified sinusoid for the 11-year
+/// cycle and a raised cosine for the long cycle — but it is **calibrated to
+/// the observations the paper cites**:
+///
+/// * cycle 24 (2008–2020) peak sunspot number ≈ 116;
+/// * a strong cycle-25 scenario peaking between 210 and 260;
+/// * the 20th-century Gleissberg minimum near 1910, with the century's
+///   strongest storm a decade later (1921);
+/// * amplitude variation by a factor of ~4 across Gleissberg phases.
+///
+/// ```
+/// use solarstorm_solar::SolarCycleModel;
+/// let m = SolarCycleModel::calibrated();
+/// // Cycle 24 peak (±3 years of 2014) should be weak.
+/// let peak24 = (2011..=2017).map(|y| m.sunspot_number(y as f64))
+///     .fold(f64::MIN, f64::max);
+/// assert!(peak24 < 150.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolarCycleModel {
+    /// Length of the activity cycle in years (~11).
+    cycle_period_years: f64,
+    /// Length of the Gleissberg modulation in years (80–100).
+    gleissberg_period_years: f64,
+    /// Year of a Gleissberg minimum used as phase anchor (1910 per
+    /// Feynman & Ruzmaikin 2014; the 1996–2020 cycles sit near the next
+    /// minimum of an ~88-year cycle).
+    gleissberg_minimum_year: f64,
+    /// Year of an 11-year-cycle minimum used as phase anchor (cycle 24
+    /// began in Dec 2008).
+    cycle_minimum_year: f64,
+    /// Peak sunspot number at Gleissberg maximum.
+    max_amplitude: f64,
+    /// Peak sunspot number at Gleissberg minimum (max/4 per the factor-of-4
+    /// modulation).
+    min_amplitude: f64,
+}
+
+impl SolarCycleModel {
+    /// Model calibrated to the observations cited in §2 of the paper.
+    pub fn calibrated() -> Self {
+        SolarCycleModel {
+            cycle_period_years: 11.0,
+            gleissberg_period_years: 88.0,
+            // Anchor the Gleissberg phase so that the recent minimum falls
+            // at 1998 (between cycles 23 and 24, both part of the extended
+            // minimum) — one 88-year period after the 1910 minimum.
+            gleissberg_minimum_year: 1998.0,
+            cycle_minimum_year: 2008.9,
+            max_amplitude: 265.0,
+            min_amplitude: 66.0,
+        }
+    }
+
+    /// Builds a custom model.
+    pub fn new(
+        cycle_period_years: f64,
+        gleissberg_period_years: f64,
+        gleissberg_minimum_year: f64,
+        cycle_minimum_year: f64,
+        max_amplitude: f64,
+        min_amplitude: f64,
+    ) -> Result<Self, SolarError> {
+        for p in [cycle_period_years, gleissberg_period_years] {
+            if !p.is_finite() || p <= 0.0 {
+                return Err(SolarError::InvalidPeriod(p));
+            }
+        }
+        if !max_amplitude.is_finite() || !min_amplitude.is_finite() || min_amplitude < 0.0 {
+            return Err(SolarError::InvalidRate(max_amplitude.min(min_amplitude)));
+        }
+        if max_amplitude < min_amplitude {
+            return Err(SolarError::InvalidRate(max_amplitude));
+        }
+        Ok(SolarCycleModel {
+            cycle_period_years,
+            gleissberg_period_years,
+            gleissberg_minimum_year,
+            cycle_minimum_year,
+            max_amplitude,
+            min_amplitude,
+        })
+    }
+
+    /// Amplitude (peak sunspot number) of the 11-year cycle active at
+    /// `year`, as set by the Gleissberg modulation.
+    pub fn cycle_amplitude(&self, year: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (year - self.gleissberg_minimum_year)
+            / self.gleissberg_period_years;
+        // Raised cosine: 0 at the minimum year, 1 half a period later.
+        let level = 0.5 * (1.0 - phase.cos());
+        self.min_amplitude + (self.max_amplitude - self.min_amplitude) * level
+    }
+
+    /// Smoothed sunspot number at `year` (fractional years allowed).
+    ///
+    /// The 11-year cycle is modeled as a rectified sinusoid rising from the
+    /// anchored minimum; sunspot number is zero only at exact minima.
+    pub fn sunspot_number(&self, year: f64) -> f64 {
+        let phase =
+            std::f64::consts::PI * (year - self.cycle_minimum_year) / self.cycle_period_years;
+        let envelope = phase.sin().abs();
+        self.cycle_amplitude(year) * envelope
+    }
+
+    /// Gleissberg phase classification at `year`.
+    pub fn gleissberg_phase(&self, year: f64) -> GleissbergPhase {
+        let amp = self.cycle_amplitude(year);
+        let span = self.max_amplitude - self.min_amplitude;
+        let level = if span == 0.0 {
+            1.0
+        } else {
+            (amp - self.min_amplitude) / span
+        };
+        if level < 0.25 {
+            GleissbergPhase::Minimum
+        } else if level > 0.75 {
+            GleissbergPhase::Maximum
+        } else {
+            GleissbergPhase::Transition
+        }
+    }
+
+    /// Relative CME-production rate at `year`, normalized so the long-run
+    /// mean over a full Gleissberg period is 1. CMEs originate near
+    /// sunspots, so the rate tracks sunspot number.
+    pub fn relative_cme_rate(&self, year: f64) -> f64 {
+        // Mean of |sin| over a period is 2/π; mean Gleissberg level is the
+        // midpoint amplitude.
+        let mean = (self.max_amplitude + self.min_amplitude) / 2.0 * (2.0 / std::f64::consts::PI);
+        self.sunspot_number(year) / mean
+    }
+
+    /// The 11-year period used by the model.
+    pub fn cycle_period_years(&self) -> f64 {
+        self.cycle_period_years
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SolarCycleModel::new(0.0, 88.0, 1998.0, 2008.9, 265.0, 66.0).is_err());
+        assert!(SolarCycleModel::new(11.0, -1.0, 1998.0, 2008.9, 265.0, 66.0).is_err());
+        assert!(SolarCycleModel::new(11.0, 88.0, 1998.0, 2008.9, 50.0, 66.0).is_err());
+        assert!(SolarCycleModel::new(11.0, 88.0, 1998.0, 2008.9, f64::NAN, 66.0).is_err());
+    }
+
+    #[test]
+    fn cycle24_is_weak() {
+        let m = SolarCycleModel::calibrated();
+        let peak: f64 = (0..=120)
+            .map(|i| m.sunspot_number(2009.0 + i as f64 / 10.0))
+            .fold(f64::MIN, f64::max);
+        assert!(
+            (90.0..150.0).contains(&peak),
+            "cycle 24 peak {peak} should be near 116"
+        );
+    }
+
+    #[test]
+    fn amplitude_modulation_is_about_factor_four() {
+        let m = SolarCycleModel::calibrated();
+        let ratio = m.max_amplitude / m.min_amplitude;
+        assert!((3.5..4.6).contains(&ratio));
+    }
+
+    #[test]
+    fn sunspots_vanish_at_cycle_minimum() {
+        let m = SolarCycleModel::calibrated();
+        assert!(m.sunspot_number(2008.9) < 1e-9);
+        assert!(m.sunspot_number(2008.9 + 11.0) < 1e-9);
+    }
+
+    #[test]
+    fn sunspot_number_is_nonnegative() {
+        let m = SolarCycleModel::calibrated();
+        for i in 0..2000 {
+            let y = 1850.0 + i as f64 * 0.1;
+            assert!(m.sunspot_number(y) >= 0.0, "year {y}");
+        }
+    }
+
+    #[test]
+    fn gleissberg_minimum_classified_near_anchor() {
+        let m = SolarCycleModel::calibrated();
+        assert_eq!(m.gleissberg_phase(1998.0), GleissbergPhase::Minimum);
+        assert_eq!(m.gleissberg_phase(1998.0 + 44.0), GleissbergPhase::Maximum);
+    }
+
+    #[test]
+    fn strong_cycle_possible_mid_century() {
+        // As the Sun leaves the Gleissberg minimum, peaks should be able to
+        // reach the 210–260 strong-cycle-25-scenario range within a couple
+        // of decades (the paper's "near future" risk window).
+        let m = SolarCycleModel::calibrated();
+        let peak: f64 = (0..400)
+            .map(|i| m.sunspot_number(2020.0 + i as f64 * 0.1))
+            .fold(f64::MIN, f64::max);
+        assert!(peak > 180.0, "peak over 2020-2060 was only {peak}");
+    }
+
+    #[test]
+    fn relative_rate_long_run_mean_is_one() {
+        let m = SolarCycleModel::calibrated();
+        let n = 88_000;
+        let mean: f64 = (0..n)
+            .map(|i| m.relative_cme_rate(1910.0 + i as f64 * 88.0 / n as f64))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,35 @@
+use std::fmt;
+
+/// Errors produced by solar-activity models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolarError {
+    /// A probability must lie in `[0, 1]`.
+    InvalidProbability(f64),
+    /// A rate (events per unit time) must be non-negative and finite.
+    InvalidRate(f64),
+    /// A duration must be non-negative and finite.
+    InvalidDuration(f64),
+    /// A cycle period must be strictly positive and finite.
+    InvalidPeriod(f64),
+    /// CME speed must be within the physically plausible window.
+    InvalidSpeed {
+        /// Offending speed in km/s.
+        speed_km_s: f64,
+    },
+}
+
+impl fmt::Display for SolarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolarError::InvalidProbability(p) => write!(f, "probability {p} not in [0, 1]"),
+            SolarError::InvalidRate(r) => write!(f, "rate {r} must be finite and >= 0"),
+            SolarError::InvalidDuration(d) => write!(f, "duration {d} must be finite and >= 0"),
+            SolarError::InvalidPeriod(p) => write!(f, "period {p} must be finite and > 0"),
+            SolarError::InvalidSpeed { speed_km_s } => {
+                write!(f, "CME speed {speed_km_s} km/s outside 100..5000")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolarError {}

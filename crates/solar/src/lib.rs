@@ -1,0 +1,35 @@
+//! Solar-activity substrate for the `solarstorm` toolkit.
+//!
+//! Models the Sun-side half of the threat analysis in §2 of *Solar
+//! Superstorms: Planning for an Internet Apocalypse* (SIGCOMM 2021):
+//!
+//! * [`SolarCycleModel`] — the ~11-year sunspot cycle modulated by the
+//!   80–100-year Gleissberg cycle, calibrated so cycle 24 peaks near 116
+//!   sunspots and a strong cycle 25 prediction peaks in the 210–260 range;
+//! * [`StormClass`] and [`Cme`] — storm-strength taxonomy (moderate 1989
+//!   Quebec-scale through extreme Carrington-scale) with transit-time and
+//!   directionality models;
+//! * [`catalog`] — the historical events the paper anchors on (1859
+//!   Carrington, 1921 New York Railroad, 1989 Quebec, 2012 near miss);
+//! * [`ArrivalModel`] — per-decade direct-impact probability (the paper's
+//!   1.6 %–12 % range), Bernoulli-decade math, and Poisson/Gleissberg
+//!   event-arrival sampling for long-horizon Monte Carlo studies.
+//!
+//! All sampling takes an explicit [`rand::Rng`] so simulations stay
+//! reproducible end-to-end.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod arrival;
+pub mod catalog;
+mod cycle;
+mod error;
+mod profile;
+mod storm;
+
+pub use arrival::{decade_probability_of_century_event, Arrival, ArrivalModel};
+pub use cycle::{GleissbergPhase, SolarCycleModel};
+pub use error::SolarError;
+pub use profile::StormProfile;
+pub use storm::{Cme, StormClass};

@@ -1,0 +1,192 @@
+use crate::{SolarError, StormClass};
+use serde::{Deserialize, Serialize};
+
+/// Time profile of a geomagnetic storm: the Dst (disturbance storm
+/// time) index over hours since sudden commencement.
+///
+/// Real storms share a canonical shape — a small positive sudden-
+/// commencement spike as the shock compresses the magnetosphere, a
+/// main-phase plunge to the Dst minimum over hours, and an exponential
+/// recovery over one to several days. GIC tracks the *rate of change*
+/// of the field, so the induced-field weight peaks during the main
+/// phase, not at the Dst minimum itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StormProfile {
+    /// Storm class (sets the Dst floor).
+    pub class: StormClass,
+    /// Duration of the sudden-commencement bump, hours.
+    pub commencement_hours: f64,
+    /// Duration of the main-phase descent, hours.
+    pub main_phase_hours: f64,
+    /// Recovery e-folding time, hours.
+    pub recovery_tau_hours: f64,
+}
+
+impl StormProfile {
+    /// Canonical profile for a storm class: stronger storms develop
+    /// faster and recover more slowly.
+    pub fn typical(class: StormClass) -> Self {
+        let (main, tau) = match class {
+            StormClass::Minor => (8.0, 18.0),
+            StormClass::Moderate => (7.0, 24.0),
+            StormClass::Severe => (5.0, 36.0),
+            StormClass::Extreme => (4.0, 48.0),
+        };
+        StormProfile {
+            class,
+            commencement_hours: 1.0,
+            main_phase_hours: main,
+            recovery_tau_hours: tau,
+        }
+    }
+
+    /// Custom profile.
+    pub fn new(
+        class: StormClass,
+        commencement_hours: f64,
+        main_phase_hours: f64,
+        recovery_tau_hours: f64,
+    ) -> Result<Self, SolarError> {
+        for v in [commencement_hours, main_phase_hours, recovery_tau_hours] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(SolarError::InvalidDuration(v));
+            }
+        }
+        Ok(StormProfile {
+            class,
+            commencement_hours,
+            main_phase_hours,
+            recovery_tau_hours,
+        })
+    }
+
+    /// Dst index at `t` hours after commencement, nT.
+    pub fn dst_nt(&self, t_hours: f64) -> f64 {
+        let floor = self.class.dst_nt();
+        if t_hours < 0.0 {
+            0.0
+        } else if t_hours < self.commencement_hours {
+            // Sudden commencement: small positive excursion.
+            20.0 * (t_hours / self.commencement_hours)
+        } else if t_hours < self.commencement_hours + self.main_phase_hours {
+            // Main phase: linear plunge to the floor.
+            let f = (t_hours - self.commencement_hours) / self.main_phase_hours;
+            20.0 + (floor - 20.0) * f
+        } else {
+            // Recovery: exponential relaxation toward zero.
+            let dt = t_hours - self.commencement_hours - self.main_phase_hours;
+            floor * (-dt / self.recovery_tau_hours).exp()
+        }
+    }
+
+    /// Normalized induced-field weight at `t` hours: proportional to
+    /// `|dDst/dt|`, scaled so the main-phase value is 1.
+    pub fn field_weight(&self, t_hours: f64) -> f64 {
+        let main_rate = (self.class.dst_nt() - 20.0).abs() / self.main_phase_hours;
+        if main_rate == 0.0 {
+            return 0.0;
+        }
+        let h = 0.05;
+        let rate = (self.dst_nt(t_hours + h) - self.dst_nt(t_hours - h)).abs() / (2.0 * h);
+        (rate / main_rate).clamp(0.0, 1.0)
+    }
+
+    /// Total modeled duration: commencement + main phase + five recovery
+    /// time constants.
+    pub fn duration_hours(&self) -> f64 {
+        self.commencement_hours + self.main_phase_hours + 5.0 * self.recovery_tau_hours
+    }
+
+    /// Cumulative field weight from 0 to `t` hours, normalized to 1 over
+    /// the full duration (trapezoid rule at 0.25 h steps). This is the
+    /// fraction of total storm "damage budget" delivered by time `t`.
+    pub fn cumulative_weight(&self, t_hours: f64) -> f64 {
+        let total = self.integrate_weight(self.duration_hours());
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.integrate_weight(t_hours.clamp(0.0, self.duration_hours())) / total).clamp(0.0, 1.0)
+    }
+
+    fn integrate_weight(&self, until: f64) -> f64 {
+        let dt = 0.25;
+        let mut acc = 0.0;
+        let mut t = 0.0;
+        while t < until {
+            let next = (t + dt).min(until);
+            acc += (self.field_weight(t) + self.field_weight(next)) / 2.0 * (next - t);
+            t = next;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_durations() {
+        assert!(StormProfile::new(StormClass::Severe, 0.0, 5.0, 36.0).is_err());
+        assert!(StormProfile::new(StormClass::Severe, 1.0, -5.0, 36.0).is_err());
+        assert!(StormProfile::new(StormClass::Severe, 1.0, 5.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn dst_reaches_class_floor_at_end_of_main_phase() {
+        for class in StormClass::ALL {
+            let p = StormProfile::typical(class);
+            let t = p.commencement_hours + p.main_phase_hours;
+            assert!(
+                (p.dst_nt(t) - class.dst_nt()).abs() < 1.0,
+                "{class:?}: {} vs {}",
+                p.dst_nt(t),
+                class.dst_nt()
+            );
+        }
+    }
+
+    #[test]
+    fn dst_is_zero_before_and_recovers_after() {
+        let p = StormProfile::typical(StormClass::Severe);
+        assert_eq!(p.dst_nt(-1.0), 0.0);
+        let end = p.duration_hours();
+        assert!(p.dst_nt(end).abs() < 0.05 * p.class.dst_nt().abs());
+    }
+
+    #[test]
+    fn field_weight_peaks_in_main_phase() {
+        let p = StormProfile::typical(StormClass::Extreme);
+        let main_mid = p.commencement_hours + p.main_phase_hours / 2.0;
+        let recovery = p.commencement_hours + p.main_phase_hours + 10.0;
+        assert!((p.field_weight(main_mid) - 1.0).abs() < 0.05);
+        assert!(p.field_weight(recovery) < p.field_weight(main_mid));
+        assert_eq!(p.field_weight(-5.0), 0.0);
+    }
+
+    #[test]
+    fn cumulative_weight_is_monotone_to_one() {
+        let p = StormProfile::typical(StormClass::Moderate);
+        let mut prev = -1e-9;
+        for i in 0..=40 {
+            let t = p.duration_hours() * i as f64 / 40.0;
+            let c = p.cumulative_weight(t);
+            assert!(c >= prev - 1e-9, "t={t}");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!((p.cumulative_weight(p.duration_hours()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_damage_lands_early() {
+        // The main phase delivers the bulk of the field-change budget.
+        let p = StormProfile::typical(StormClass::Extreme);
+        let end_main = p.commencement_hours + p.main_phase_hours;
+        assert!(
+            p.cumulative_weight(end_main) > 0.35,
+            "main phase carries {}",
+            p.cumulative_weight(end_main)
+        );
+    }
+}

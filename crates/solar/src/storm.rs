@@ -1,0 +1,203 @@
+use crate::SolarError;
+use serde::{Deserialize, Serialize};
+
+/// Distance from the Sun to the Earth in kilometres (1 AU).
+const AU_KM: f64 = 149_597_870.7;
+
+/// Storm-strength classes used throughout the toolkit.
+///
+/// The classes are anchored on the historical events in §2.2 of the paper
+/// and carry a *field scale*: the amplitude of the induced geoelectric
+/// field relative to a Carrington-scale event. The paper notes the 1989
+/// Quebec storm was "one-tenth the strength of the 1921 storm", giving the
+/// spacing between Moderate and Severe/Extreme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StormClass {
+    /// Routine geomagnetic storm; no repeater threat, satellites degrade.
+    Minor,
+    /// 1989 Quebec-class: grid collapse regionally, measurable potentials
+    /// on transatlantic cables (~1/10 of Carrington).
+    Moderate,
+    /// 1921 New York Railroad-class superstorm.
+    Severe,
+    /// 1859 Carrington-class: the design-basis catastrophe of the paper.
+    Extreme,
+}
+
+impl StormClass {
+    /// Induced-field amplitude relative to a Carrington-scale event.
+    pub fn field_scale(self) -> f64 {
+        match self {
+            StormClass::Minor => 0.01,
+            StormClass::Moderate => 0.1,
+            StormClass::Severe => 0.9,
+            StormClass::Extreme => 1.0,
+        }
+    }
+
+    /// Representative Dst (disturbance storm time) index in nanotesla —
+    /// the standard geomagnetic storm-intensity scale. Carrington estimates
+    /// range −850 to −1760 nT; we adopt point values per class.
+    pub fn dst_nt(self) -> f64 {
+        match self {
+            StormClass::Minor => -100.0,
+            StormClass::Moderate => -589.0, // March 1989 measured value
+            StormClass::Severe => -907.0,   // May 1921 estimate (Love et al. 2019)
+            StormClass::Extreme => -1200.0, // Carrington mid-range estimate
+        }
+    }
+
+    /// Lowest absolute latitude (degrees) to which strong induced fields
+    /// extend for this class. Pulkkinen et al. 2012: the 1989 field dropped
+    /// an order of magnitude below 40°; Carrington-era estimates show
+    /// strong fields as low as 20°.
+    pub fn strong_field_floor_lat_deg(self) -> f64 {
+        match self {
+            StormClass::Minor => 65.0,
+            StormClass::Moderate => 40.0,
+            StormClass::Severe => 30.0,
+            StormClass::Extreme => 20.0,
+        }
+    }
+
+    /// All classes, weakest to strongest.
+    pub const ALL: [StormClass; 4] = [
+        StormClass::Minor,
+        StormClass::Moderate,
+        StormClass::Severe,
+        StormClass::Extreme,
+    ];
+}
+
+/// A Coronal Mass Ejection: a directional ejection of magnetized plasma.
+///
+/// Carries the two quantities the downstream models need — the storm class
+/// (sets induced-field strength) and the transit speed (sets the warning
+/// lead time, §5.2 of the paper: at least 13 hours, typically 1–3 days).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cme {
+    class: StormClass,
+    speed_km_s: f64,
+}
+
+impl Cme {
+    /// Creates a CME with the given class and transit speed.
+    ///
+    /// Speeds outside 100–5000 km/s are rejected: slower clouds dissipate,
+    /// faster ones exceed anything observed (Carrington's record transit of
+    /// 17.6 h corresponds to ~2360 km/s).
+    pub fn new(class: StormClass, speed_km_s: f64) -> Result<Self, SolarError> {
+        if !speed_km_s.is_finite() || !(100.0..=5000.0).contains(&speed_km_s) {
+            return Err(SolarError::InvalidSpeed { speed_km_s });
+        }
+        Ok(Cme { class, speed_km_s })
+    }
+
+    /// Typical speed for a storm class, from the historical record.
+    pub fn typical(class: StormClass) -> Self {
+        let speed = match class {
+            StormClass::Minor => 450.0,
+            StormClass::Moderate => 980.0, // ~42 h transit, like 1989
+            StormClass::Severe => 1500.0,  // ~28 h
+            StormClass::Extreme => 2360.0, // Carrington's 17.6 h
+        };
+        Cme {
+            class,
+            speed_km_s: speed,
+        }
+    }
+
+    /// Storm class.
+    pub fn class(&self) -> StormClass {
+        self.class
+    }
+
+    /// Transit speed in km/s.
+    pub fn speed_km_s(&self) -> f64 {
+        self.speed_km_s
+    }
+
+    /// Sun-to-Earth transit time in hours — the maximum possible warning
+    /// lead time for shutdown planning.
+    pub fn transit_hours(&self) -> f64 {
+        AU_KM / self.speed_km_s / 3600.0
+    }
+
+    /// Warning lead time in hours left after detection latency.
+    ///
+    /// Sentinel spacecraft (e.g. at L1, plus coronagraph observations)
+    /// detect the launch promptly; `detection_delay_hours` models analysis
+    /// and alerting latency. Clamped at zero.
+    pub fn lead_time_hours(&self, detection_delay_hours: f64) -> f64 {
+        (self.transit_hours() - detection_delay_hours.max(0.0)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_scale_is_monotone_in_class() {
+        let scales: Vec<f64> = StormClass::ALL.iter().map(|c| c.field_scale()).collect();
+        assert!(scales.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quebec_is_tenth_of_carrington() {
+        assert!(
+            (StormClass::Moderate.field_scale() / StormClass::Extreme.field_scale() - 0.1).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn field_floor_descends_with_strength() {
+        let floors: Vec<f64> = StormClass::ALL
+            .iter()
+            .map(|c| c.strong_field_floor_lat_deg())
+            .collect();
+        assert!(floors.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(StormClass::Extreme.strong_field_floor_lat_deg(), 20.0);
+        assert_eq!(StormClass::Moderate.strong_field_floor_lat_deg(), 40.0);
+    }
+
+    #[test]
+    fn carrington_transit_is_17_6_hours() {
+        let cme = Cme::typical(StormClass::Extreme);
+        assert!((cme.transit_hours() - 17.6).abs() < 0.3);
+    }
+
+    #[test]
+    fn transit_times_span_paper_range() {
+        // §2.1: 13 hours to five days.
+        let fastest = Cme::new(StormClass::Extreme, 3200.0).unwrap();
+        let slowest = Cme::new(StormClass::Minor, 350.0).unwrap();
+        assert!(fastest.transit_hours() > 12.0);
+        assert!(slowest.transit_hours() < 5.0 * 24.0);
+    }
+
+    #[test]
+    fn rejects_unphysical_speeds() {
+        assert!(Cme::new(StormClass::Minor, 50.0).is_err());
+        assert!(Cme::new(StormClass::Extreme, 9000.0).is_err());
+        assert!(Cme::new(StormClass::Extreme, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lead_time_subtracts_detection_latency() {
+        let cme = Cme::typical(StormClass::Moderate);
+        let full = cme.transit_hours();
+        assert!((cme.lead_time_hours(0.0) - full).abs() < 1e-9);
+        assert!((cme.lead_time_hours(2.0) - (full - 2.0)).abs() < 1e-9);
+        assert_eq!(cme.lead_time_hours(1e6), 0.0);
+        // Negative detection delay is clamped, not credited.
+        assert!((cme.lead_time_hours(-5.0) - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dst_deepens_with_class() {
+        let dsts: Vec<f64> = StormClass::ALL.iter().map(|c| c.dst_nt()).collect();
+        assert!(dsts.windows(2).all(|w| w[0] > w[1]));
+    }
+}

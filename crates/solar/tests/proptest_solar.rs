@@ -1,0 +1,105 @@
+//! Property-based tests for the solar-activity models.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use solarstorm_solar::{
+    decade_probability_of_century_event, ArrivalModel, Cme, SolarCycleModel, StormClass,
+};
+
+fn arb_class() -> impl Strategy<Value = StormClass> {
+    prop_oneof![
+        Just(StormClass::Minor),
+        Just(StormClass::Moderate),
+        Just(StormClass::Severe),
+        Just(StormClass::Extreme),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn sunspot_number_nonnegative_and_bounded(year in 1600.0f64..2400.0) {
+        let m = SolarCycleModel::calibrated();
+        let s = m.sunspot_number(year);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= 265.0 + 1e-9);
+    }
+
+    #[test]
+    fn cycle_amplitude_within_configured_band(year in 1600.0f64..2400.0) {
+        let m = SolarCycleModel::calibrated();
+        let a = m.cycle_amplitude(year);
+        prop_assert!((66.0 - 1e-9..=265.0 + 1e-9).contains(&a));
+    }
+
+    #[test]
+    fn transit_time_monotone_in_speed(s1 in 100.0f64..=5_000.0, s2 in 100.0f64..=5_000.0) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let slow = Cme::new(StormClass::Moderate, lo).unwrap();
+        let fast = Cme::new(StormClass::Moderate, hi).unwrap();
+        prop_assert!(fast.transit_hours() <= slow.transit_hours());
+    }
+
+    #[test]
+    fn lead_time_never_negative(
+        class in arb_class(),
+        delay in -100.0f64..1_000.0,
+    ) {
+        let cme = Cme::typical(class);
+        prop_assert!(cme.lead_time_hours(delay) >= 0.0);
+        prop_assert!(cme.lead_time_hours(delay) <= cme.transit_hours() + 1e-9);
+    }
+
+    #[test]
+    fn decade_probability_monotone_in_frequency(
+        p1 in 1.0f64..10_000.0,
+        p2 in 1.0f64..10_000.0,
+    ) {
+        // Rarer events (longer return period) have lower decade probability.
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let freq = decade_probability_of_century_event(lo).unwrap();
+        let rare = decade_probability_of_century_event(hi).unwrap();
+        prop_assert!(freq >= rare);
+        prop_assert!((0.0..=1.0).contains(&freq));
+    }
+
+    #[test]
+    fn arrivals_deterministic_and_in_horizon(
+        seed in any::<u64>(),
+        horizon in 0.0f64..2_000.0,
+    ) {
+        let m = ArrivalModel::calibrated();
+        let a = m.sample_arrivals(&mut ChaCha12Rng::seed_from_u64(seed), 2030.0, horizon).unwrap();
+        let b = m.sample_arrivals(&mut ChaCha12Rng::seed_from_u64(seed), 2030.0, horizon).unwrap();
+        prop_assert_eq!(&a, &b);
+        for arr in &a {
+            prop_assert!(arr.year >= 2030.0 && arr.year < 2030.0 + horizon);
+        }
+        prop_assert!(a.windows(2).all(|w| w[0].year <= w[1].year));
+    }
+
+    #[test]
+    fn class_mix_sums_to_one_conceptually(seed in any::<u64>()) {
+        // sample_class always returns one of the three large classes.
+        let m = ArrivalModel::calibrated();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let c = m.sample_class(&mut rng);
+            prop_assert!(matches!(
+                c,
+                StormClass::Moderate | StormClass::Severe | StormClass::Extreme
+            ));
+        }
+    }
+
+    #[test]
+    fn custom_models_respect_probability_bounds(
+        impacts in 0.0f64..20.0,
+        ef in 0.0f64..=0.5,
+        sf in 0.0f64..=0.5,
+    ) {
+        let m = ArrivalModel::new(impacts, ef, sf, None).unwrap();
+        let p = m.extreme_decade_probability();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,625 @@
+//! Filter-aware graph algorithms.
+//!
+//! Every traversal takes an `edge_alive` predicate so failure scenarios can
+//! be evaluated against one shared immutable [`Graph`] — the Monte Carlo
+//! engine runs thousands of scenarios without cloning topologies.
+
+use crate::{EdgeId, Graph, NodeId};
+use std::collections::BinaryHeap;
+
+/// Connected components of the subgraph of edges where `edge_alive` holds.
+///
+/// Returns `labels` where `labels[node] = component index` (component
+/// indices are dense, 0-based, assigned in node-id order), plus the number
+/// of components. Isolated nodes form singleton components.
+pub fn connected_components<N, E>(
+    g: &Graph<N, E>,
+    mut edge_alive: impl FnMut(EdgeId) -> bool,
+) -> (Vec<usize>, usize) {
+    const UNVISITED: usize = usize::MAX;
+    let mut labels = vec![UNVISITED; g.node_count()];
+    let mut next = 0;
+    let mut stack = Vec::new();
+    for start in g.node_ids() {
+        if labels[start.0] != UNVISITED {
+            continue;
+        }
+        labels[start.0] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &(e, v) in g.neighbors(u) {
+                if labels[v.0] == UNVISITED && edge_alive(e) {
+                    labels[v.0] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next)
+}
+
+/// Nodes reachable from `sources` over alive edges (including the sources
+/// themselves). Returns a boolean mask indexed by node id.
+pub fn reachable_from<N, E>(
+    g: &Graph<N, E>,
+    sources: &[NodeId],
+    mut edge_alive: impl FnMut(EdgeId) -> bool,
+) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = Vec::new();
+    for &s in sources {
+        if s.0 < seen.len() && !seen[s.0] {
+            seen[s.0] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(u) = stack.pop() {
+        for &(e, v) in g.neighbors(u) {
+            if !seen[v.0] && edge_alive(e) {
+                seen[v.0] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// True if `a` and `b` are connected over alive edges.
+pub fn is_connected<N, E>(
+    g: &Graph<N, E>,
+    a: NodeId,
+    b: NodeId,
+    edge_alive: impl FnMut(EdgeId) -> bool,
+) -> bool {
+    if a.0 >= g.node_count() || b.0 >= g.node_count() {
+        return false;
+    }
+    reachable_from(g, &[a], edge_alive)[b.0]
+}
+
+/// Bridges of the alive subgraph: edges whose removal increases the number
+/// of connected components. Parallel edges are never bridges.
+///
+/// Iterative Tarjan lowlink computation; linear in nodes + edges.
+pub fn bridges<N, E>(g: &Graph<N, E>, edge_alive: impl Fn(EdgeId) -> bool) -> Vec<EdgeId> {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut out = Vec::new();
+
+    // Count alive multiplicity between unordered pairs to rule parallel
+    // edges out as bridges.
+    let mut alive_multiplicity = std::collections::HashMap::new();
+    for (e, a, b, _) in g.edges() {
+        if edge_alive(e) {
+            let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+            *alive_multiplicity.entry(key).or_insert(0usize) += 1;
+        }
+    }
+
+    // Iterative DFS: frame = (node, parent_edge, neighbor cursor).
+    for start in g.node_ids() {
+        if disc[start.0] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = vec![(start, None, 0)];
+        disc[start.0] = timer;
+        low[start.0] = timer;
+        timer += 1;
+        while let Some(&mut (u, parent_edge, ref mut cursor)) = stack.last_mut() {
+            let nbrs = g.neighbors(u);
+            if *cursor < nbrs.len() {
+                let (e, v) = nbrs[*cursor];
+                *cursor += 1;
+                if !edge_alive(e) || Some(e) == parent_edge {
+                    continue;
+                }
+                if disc[v.0] == usize::MAX {
+                    disc[v.0] = timer;
+                    low[v.0] = timer;
+                    timer += 1;
+                    stack.push((v, Some(e), 0));
+                } else {
+                    low[u.0] = low[u.0].min(disc[v.0]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p.0] = low[p.0].min(low[u.0]);
+                    if low[u.0] > disc[p.0] {
+                        let pe = parent_edge.expect("non-root has a parent edge");
+                        let (a, b) = g.edge_endpoints(pe).expect("edge exists");
+                        let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+                        if alive_multiplicity.get(&key).copied().unwrap_or(0) == 1 {
+                            out.push(pe);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Articulation points of the alive subgraph: nodes whose removal
+/// disconnects their component.
+pub fn articulation_points<N, E>(
+    g: &Graph<N, E>,
+    edge_alive: impl Fn(EdgeId) -> bool,
+) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+
+    for start in g.node_ids() {
+        if disc[start.0] != usize::MAX {
+            continue;
+        }
+        let mut root_children = 0usize;
+        let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = vec![(start, None, 0)];
+        disc[start.0] = timer;
+        low[start.0] = timer;
+        timer += 1;
+        while let Some(&mut (u, parent_edge, ref mut cursor)) = stack.last_mut() {
+            let nbrs = g.neighbors(u);
+            if *cursor < nbrs.len() {
+                let (e, v) = nbrs[*cursor];
+                *cursor += 1;
+                if !edge_alive(e) || Some(e) == parent_edge {
+                    continue;
+                }
+                if disc[v.0] == usize::MAX {
+                    disc[v.0] = timer;
+                    low[v.0] = timer;
+                    timer += 1;
+                    if u == start {
+                        root_children += 1;
+                    }
+                    stack.push((v, Some(e), 0));
+                } else {
+                    low[u.0] = low[u.0].min(disc[v.0]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p.0] = low[p.0].min(low[u.0]);
+                    if p != start && low[u.0] >= disc[p.0] {
+                        is_cut[p.0] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_cut[start.0] = true;
+        }
+    }
+    (0..n).filter(|&i| is_cut[i]).map(NodeId).collect()
+}
+
+/// Dijkstra shortest path over alive edges with non-negative weights.
+///
+/// Returns `(distance, path_edges)` from `source` to `target`, or `None`
+/// when unreachable. `weight` is consulted only for alive edges; negative
+/// or non-finite weights are treated as unusable edges.
+pub fn shortest_path<N, E>(
+    g: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    mut edge_alive: impl FnMut(EdgeId) -> bool,
+    mut weight: impl FnMut(EdgeId) -> f64,
+) -> Option<(f64, Vec<EdgeId>)> {
+    if source.0 >= g.node_count() || target.0 >= g.node_count() {
+        return None;
+    }
+    #[derive(PartialEq)]
+    struct Entry {
+        dist: f64,
+        node: NodeId,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap via reversed comparison; distances are finite.
+            other
+                .dist
+                .partial_cmp(&self.dist)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.0] = 0.0;
+    heap.push(Entry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(Entry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.0] {
+            continue;
+        }
+        if u == target {
+            break;
+        }
+        for &(e, v) in g.neighbors(u) {
+            if !edge_alive(e) {
+                continue;
+            }
+            let w = weight(e);
+            if !w.is_finite() || w < 0.0 {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[v.0] {
+                dist[v.0] = nd;
+                prev[v.0] = Some((u, e));
+                heap.push(Entry { dist: nd, node: v });
+            }
+        }
+    }
+    if !dist[target.0].is_finite() {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let (p, e) = prev[cur.0]?;
+        path.push(e);
+        cur = p;
+    }
+    path.reverse();
+    Some((dist[target.0], path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the test graph:
+    /// ```text
+    ///   0 -e0- 1 -e1- 2     5 (isolated)
+    ///   |      |
+    ///  e2     e3
+    ///   |      |
+    ///   3 -e4- 4
+    /// ```
+    fn diamond() -> Graph<(), f64> {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], 1.0).unwrap(); // e0
+        g.add_edge(n[1], n[2], 1.0).unwrap(); // e1
+        g.add_edge(n[0], n[3], 1.0).unwrap(); // e2
+        g.add_edge(n[1], n[4], 1.0).unwrap(); // e3
+        g.add_edge(n[3], n[4], 1.0).unwrap(); // e4
+        g
+    }
+
+    #[test]
+    fn components_all_alive() {
+        let g = diamond();
+        let (labels, count) = connected_components(&g, |_| true);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[4]);
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn components_with_dead_edges() {
+        let g = diamond();
+        // Kill e0 and e3: {0,3,4} stay connected via e2/e4, {1,2} via e1.
+        let dead = [EdgeId(0), EdgeId(3)];
+        let (labels, count) = connected_components(&g, |e| !dead.contains(&e));
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn components_no_edges() {
+        let g = diamond();
+        let (_, count) = connected_components(&g, |_| false);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn reachability_masks() {
+        let g = diamond();
+        let seen = reachable_from(&g, &[NodeId(0)], |_| true);
+        assert_eq!(seen, vec![true, true, true, true, true, false]);
+        let seen2 = reachable_from(&g, &[NodeId(5)], |_| true);
+        assert_eq!(seen2.iter().filter(|&&s| s).count(), 1);
+        // Multiple sources, duplicate sources, out-of-range tolerated.
+        let seen3 = reachable_from(&g, &[NodeId(5), NodeId(5), NodeId(2)], |e| e != EdgeId(1));
+        assert!(seen3[5] && seen3[2] && !seen3[1]);
+    }
+
+    #[test]
+    fn connectivity_queries() {
+        let g = diamond();
+        assert!(is_connected(&g, NodeId(0), NodeId(2), |_| true));
+        assert!(!is_connected(&g, NodeId(0), NodeId(5), |_| true));
+        assert!(!is_connected(&g, NodeId(0), NodeId(2), |e| e != EdgeId(1)));
+        assert!(!is_connected(&g, NodeId(0), NodeId(99), |_| true));
+    }
+
+    #[test]
+    fn bridges_in_diamond() {
+        let g = diamond();
+        // e1 is the only bridge (2 hangs off 1); the 0-1-4-3 cycle has none.
+        assert_eq!(bridges(&g, |_| true), vec![EdgeId(1)]);
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, b, ()).unwrap();
+        let e_single = g.add_edge(b, c, ()).unwrap();
+        assert_eq!(bridges(&g, |_| true), vec![e_single]);
+    }
+
+    #[test]
+    fn bridges_respect_filter() {
+        let g = diamond();
+        // With e4 dead, the cycle is broken: e0, e2, e3 and e1 all become
+        // bridges of the remaining tree.
+        let mut bs = bridges(&g, |e| e != EdgeId(4));
+        bs.sort();
+        assert_eq!(bs, vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn articulation_points_in_diamond() {
+        let g = diamond();
+        // Node 1 separates node 2 from the cycle.
+        assert_eq!(articulation_points(&g, |_| true), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn articulation_root_with_two_subtrees() {
+        // Path 0-1-2: node 1 is a cut vertex (and DFS root cases work).
+        let mut g: Graph<(), ()> = Graph::new();
+        let n: Vec<_> = (0..3).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        assert_eq!(articulation_points(&g, |_| true), vec![n[1]]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_cheap_route() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], 1.0).unwrap();
+        g.add_edge(n[1], n[3], 1.0).unwrap();
+        let direct = g.add_edge(n[0], n[3], 10.0).unwrap();
+        let (d, path) = shortest_path(&g, n[0], n[3], |_| true, |e| *g.edge(e).unwrap()).unwrap();
+        assert_eq!(d, 2.0);
+        assert_eq!(path.len(), 2);
+        // When the cheap route dies, fall back to the direct edge.
+        let (d2, path2) =
+            shortest_path(&g, n[0], n[3], |e| e != EdgeId(0), |e| *g.edge(e).unwrap()).unwrap();
+        assert_eq!(d2, 10.0);
+        assert_eq!(path2, vec![direct]);
+    }
+
+    #[test]
+    fn shortest_path_unreachable_and_degenerate() {
+        let g = diamond();
+        assert!(shortest_path(&g, NodeId(0), NodeId(5), |_| true, |_| 1.0).is_none());
+        let (d, path) = shortest_path(&g, NodeId(2), NodeId(2), |_| true, |_| 1.0).unwrap();
+        assert_eq!(d, 0.0);
+        assert!(path.is_empty());
+        assert!(shortest_path(&g, NodeId(0), NodeId(99), |_| true, |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn shortest_path_ignores_bad_weights() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, f64::NAN).unwrap();
+        let ok = g.add_edge(a, b, 5.0).unwrap();
+        let (d, path) = shortest_path(&g, a, b, |_| true, |e| *g.edge(e).unwrap()).unwrap();
+        assert_eq!(d, 5.0);
+        assert_eq!(path, vec![ok]);
+    }
+}
+
+/// Minimum edge cut between two node sets over alive edges, treating
+/// every alive edge as unit capacity — "how many cable segments must be
+/// destroyed to disconnect these regions?"
+///
+/// Edmonds–Karp on the unit-capacity undirected graph: each undirected
+/// edge becomes a pair of directed arcs sharing capacity. Runtime is
+/// `O(cut · E)`, fine for the cut sizes cable networks exhibit. Returns
+/// `None` when a source is also a sink (infinite cut).
+pub fn min_edge_cut<N, E>(
+    g: &Graph<N, E>,
+    sources: &[NodeId],
+    sinks: &[NodeId],
+    edge_alive: impl Fn(EdgeId) -> bool,
+) -> Option<usize> {
+    use std::collections::VecDeque;
+    let n = g.node_count();
+    let mut is_source = vec![false; n];
+    let mut is_sink = vec![false; n];
+    for s in sources {
+        if s.0 < n {
+            is_source[s.0] = true;
+        }
+    }
+    for t in sinks {
+        if t.0 < n {
+            if is_source[t.0] {
+                return None;
+            }
+            is_sink[t.0] = true;
+        }
+    }
+    if !is_source.iter().any(|&b| b) || !is_sink.iter().any(|&b| b) {
+        return Some(0);
+    }
+    // Residual flow per edge per direction: flow[e] in {-1, 0, +1}
+    // relative to the stored (a -> b) orientation.
+    let mut flow: Vec<i8> = vec![0; g.edge_count()];
+    let mut cut = 0usize;
+    loop {
+        // BFS from all sources through residual edges.
+        let mut prev: Vec<Option<(NodeId, EdgeId, i8)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        for (i, &s) in is_source.iter().enumerate() {
+            if s {
+                visited[i] = true;
+                queue.push_back(NodeId(i));
+            }
+        }
+        let mut reached: Option<NodeId> = None;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &(e, v) in g.neighbors(u) {
+                if visited[v.0] || !edge_alive(e) {
+                    continue;
+                }
+                let (a, _) = g.edge_endpoints(e).expect("edge exists");
+                // Direction of travel relative to edge orientation.
+                let dir: i8 = if a == u { 1 } else { -1 };
+                // Residual capacity along dir: 1 - dir*flow >= 1.
+                if (dir as i32) * (flow[e.0] as i32) >= 1 {
+                    continue; // saturated in this direction
+                }
+                visited[v.0] = true;
+                prev[v.0] = Some((u, e, dir));
+                if is_sink[v.0] {
+                    reached = Some(v);
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+        let Some(mut cur) = reached else {
+            break;
+        };
+        // Augment along the path.
+        while let Some((p, e, dir)) = prev[cur.0] {
+            flow[e.0] += dir;
+            cur = p;
+            if is_source[cur.0] {
+                break;
+            }
+        }
+        cut += 1;
+        if cut > g.edge_count() {
+            break; // safety net; cannot exceed edge count
+        }
+    }
+    Some(cut)
+}
+
+#[cfg(test)]
+mod min_cut_tests {
+    use super::*;
+
+    #[test]
+    fn cut_of_disconnected_pair_is_zero() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert_eq!(min_edge_cut(&g, &[a], &[b], |_| true), Some(0));
+    }
+
+    #[test]
+    fn single_path_cut_is_one() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ()).unwrap();
+        g.add_edge(n[1], n[2], ()).unwrap();
+        g.add_edge(n[2], n[3], ()).unwrap();
+        assert_eq!(min_edge_cut(&g, &[n[0]], &[n[3]], |_| true), Some(1));
+    }
+
+    #[test]
+    fn parallel_edges_raise_the_cut() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, b, ()).unwrap();
+        assert_eq!(min_edge_cut(&g, &[a], &[b], |_| true), Some(3));
+    }
+
+    #[test]
+    fn diamond_cut_is_two() {
+        // a -> {b, c} -> d: two edge-disjoint paths.
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        g.add_edge(b, d, ()).unwrap();
+        g.add_edge(c, d, ()).unwrap();
+        assert_eq!(min_edge_cut(&g, &[a], &[d], |_| true), Some(2));
+    }
+
+    #[test]
+    fn dead_edges_reduce_the_cut() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e1 = g.add_edge(a, b, ()).unwrap();
+        g.add_edge(a, b, ()).unwrap();
+        assert_eq!(min_edge_cut(&g, &[a], &[b], |e| e != e1), Some(1));
+    }
+
+    #[test]
+    fn multi_source_multi_sink() {
+        // Two sources each with an edge into a middle node, which has one
+        // edge to the sink: bottleneck 1.
+        let mut g: Graph<(), ()> = Graph::new();
+        let s1 = g.add_node(());
+        let s2 = g.add_node(());
+        let m = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s1, m, ()).unwrap();
+        g.add_edge(s2, m, ()).unwrap();
+        g.add_edge(m, t, ()).unwrap();
+        assert_eq!(min_edge_cut(&g, &[s1, s2], &[t], |_| true), Some(1));
+    }
+
+    #[test]
+    fn overlapping_source_and_sink_is_infinite() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        assert_eq!(min_edge_cut(&g, &[a], &[a], |_| true), None);
+    }
+
+    #[test]
+    fn cut_matches_known_value_on_cycle() {
+        // A cycle of 5 nodes: any two distinct nodes have cut 2.
+        let mut g: Graph<(), ()> = Graph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for i in 0..5 {
+            g.add_edge(n[i], n[(i + 1) % 5], ()).unwrap();
+        }
+        assert_eq!(min_edge_cut(&g, &[n[0]], &[n[2]], |_| true), Some(2));
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced by graph and network construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge id referenced an edge that does not exist.
+    EdgeOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of edges in the graph.
+        len: usize,
+    },
+    /// A cable needs at least one segment.
+    EmptyCable,
+    /// A cable id referenced a cable that does not exist.
+    CableOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of cables in the network.
+        len: usize,
+    },
+    /// Self-loop segments are not meaningful in a physical cable network.
+    SelfLoop {
+        /// The node at both ends.
+        node: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { index, len } => {
+                write!(f, "node index {index} out of range (graph has {len} nodes)")
+            }
+            TopologyError::EdgeOutOfRange { index, len } => {
+                write!(f, "edge index {index} out of range (graph has {len} edges)")
+            }
+            TopologyError::EmptyCable => write!(f, "cable must have at least one segment"),
+            TopologyError::CableOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "cable index {index} out of range (network has {len} cables)"
+                )
+            }
+            TopologyError::SelfLoop { node } => {
+                write!(f, "segment connects node {node} to itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,245 @@
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Index of an edge in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeRecord<E> {
+    a: NodeId,
+    b: NodeId,
+    data: E,
+}
+
+/// An undirected multigraph stored in arenas, generic over node and edge
+/// payloads.
+///
+/// Parallel edges are first-class: two cities joined by three distinct
+/// cables are three edges, and failure analysis must treat them
+/// independently. Nodes and edges are never removed — failure scenarios
+/// are expressed as *filters* passed to the algorithms in [`crate::algo`],
+/// so one immutable topology can serve thousands of Monte Carlo trials
+/// concurrently.
+///
+/// ```
+/// use solarstorm_topology::Graph;
+/// let mut g: Graph<&str, f64> = Graph::new();
+/// let a = g.add_node("Lisbon");
+/// let b = g.add_node("Fortaleza");
+/// let e = g.add_edge(a, b, 6200.0).unwrap();
+/// assert_eq!(g.edge_endpoints(e).unwrap(), (a, b));
+/// assert_eq!(g.degree(a), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeRecord<E>>,
+    /// `adjacency[node] = (edge, neighbor)` pairs.
+    adjacency: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl<N, E> Default for Graph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> Graph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            adjacency: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, data: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(data);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between `a` and `b`. Self-loops are
+    /// rejected; parallel edges are allowed.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, data: E) -> Result<EdgeId, TopologyError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(TopologyError::SelfLoop { node: a.0 });
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(EdgeRecord { a, b, data });
+        self.adjacency[a.0].push((id, b));
+        self.adjacency[b.0].push((id, a));
+        Ok(id)
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), TopologyError> {
+        if n.0 >= self.nodes.len() {
+            Err(TopologyError::NodeOutOfRange {
+                index: n.0,
+                len: self.nodes.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Payload of a node.
+    pub fn node(&self, id: NodeId) -> Option<&N> {
+        self.nodes.get(id.0)
+    }
+
+    /// Mutable payload of a node.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes.get_mut(id.0)
+    }
+
+    /// Payload of an edge.
+    pub fn edge(&self, id: EdgeId) -> Option<&E> {
+        self.edges.get(id.0).map(|e| &e.data)
+    }
+
+    /// Endpoints of an edge.
+    pub fn edge_endpoints(&self, id: EdgeId) -> Option<(NodeId, NodeId)> {
+        self.edges.get(id.0).map(|e| (e.a, e.b))
+    }
+
+    /// `(edge, neighbor)` pairs incident to `n`. Empty for unknown ids.
+    pub fn neighbors(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        self.adjacency.get(n.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Degree of a node (counting parallel edges).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.neighbors(n).len()
+    }
+
+    /// Iterates all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Iterates `(id, payload)` for all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Iterates `(id, a, b, payload)` for all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i), e.a, e.b, &e.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g: Graph<(), ()> = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.node(NodeId(0)).is_none());
+        assert!(g.edge(EdgeId(0)).is_none());
+        assert_eq!(g.degree(NodeId(5)), 0);
+    }
+
+    #[test]
+    fn adds_nodes_and_edges() {
+        let mut g: Graph<i32, &str> = Graph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let c = g.add_node(3);
+        let e1 = g.add_edge(a, b, "ab").unwrap();
+        let e2 = g.add_edge(b, c, "bc").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(*g.edge(e1).unwrap(), "ab");
+        assert_eq!(g.edge_endpoints(e2).unwrap(), (b, c));
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.neighbors(a), &[(e1, b)]);
+    }
+
+    #[test]
+    fn supports_parallel_edges() {
+        let mut g: Graph<(), u8> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, b, 2).unwrap();
+        g.add_edge(b, a, 3).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(a), 3);
+        assert_eq!(g.degree(b), 3);
+    }
+
+    #[test]
+    fn rejects_self_loops_and_bad_ids() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        assert_eq!(
+            g.add_edge(a, a, ()),
+            Err(TopologyError::SelfLoop { node: 0 })
+        );
+        assert!(matches!(
+            g.add_edge(a, NodeId(9), ()),
+            Err(TopologyError::NodeOutOfRange { index: 9, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn node_mut_updates_payload() {
+        let mut g: Graph<i32, ()> = Graph::new();
+        let a = g.add_node(1);
+        *g.node_mut(a).unwrap() = 10;
+        assert_eq!(*g.node(a).unwrap(), 10);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let mut g: Graph<u8, u8> = Graph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        g.add_edge(a, b, 7).unwrap();
+        assert_eq!(g.node_ids().count(), 2);
+        assert_eq!(g.edge_ids().count(), 1);
+        assert_eq!(g.nodes().map(|(_, n)| *n).sum::<u8>(), 1);
+        assert_eq!(g.edges().next().unwrap().3, &7);
+    }
+}

@@ -1,0 +1,31 @@
+//! Graph substrate and network-topology domain model for the `solarstorm`
+//! toolkit.
+//!
+//! Two layers:
+//!
+//! * a generic arena [`Graph`] with parallel-edge support and the
+//!   filter-aware algorithms the study needs ([`algo`]): connected
+//!   components, reachability, bridges/articulation points, Dijkstra;
+//! * the domain layer: [`Network`] — a physical cable network in which a
+//!   [`Cable`] is a *failure unit* spanning one or more graph segments
+//!   (real submarine cables land in several cities; one destroyed repeater
+//!   takes out every fiber pair on the cable, §3.2.1 of the paper).
+//!
+//! The failure semantics follow §4.3.1: a cable dies if **any** of its
+//! repeaters dies; a node is **unreachable** when every cable touching it
+//! is dead. Partition-level analysis (which countries stay connected)
+//! runs on the surviving-edge subgraph.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod algo;
+mod error;
+mod graph;
+mod network;
+
+pub use error::TopologyError;
+pub use graph::{EdgeId, Graph, NodeId};
+pub use network::{
+    Cable, CableId, Network, NetworkKind, NodeInfo, NodeRole, SegmentInfo, SegmentSpec,
+};

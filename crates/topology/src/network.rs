@@ -1,0 +1,570 @@
+use crate::{algo, EdgeId, Graph, NodeId, TopologyError};
+use serde::{Deserialize, Serialize};
+use solarstorm_geo::{GeoPoint, Polyline};
+
+/// Which physical network a topology models. The paper analyzes three:
+/// the global submarine-cable map, the US long-haul fiber map
+/// (Intertubes), and the global ITU land-fiber map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// TeleGeography-style global submarine cable network.
+    Submarine,
+    /// Intertubes-style US long-haul land fiber.
+    LandUs,
+    /// ITU-style global land fiber (long- and short-haul mixed).
+    LandItu,
+}
+
+impl NetworkKind {
+    /// Human-readable label used in reports (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::Submarine => "Submarine",
+            NetworkKind::LandUs => "Intertubes",
+            NetworkKind::LandItu => "ITU",
+        }
+    }
+}
+
+/// What an infrastructure node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Submarine-cable landing station.
+    LandingPoint,
+    /// City / metro node in a land network.
+    City,
+}
+
+/// Metadata carried by every network node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Node name (city or landing-station name).
+    pub name: String,
+    /// Geographic position.
+    pub location: GeoPoint,
+    /// ISO-like country code (uppercase, e.g. "US", "SG").
+    pub country: String,
+    /// Role of the node.
+    pub role: NodeRole,
+}
+
+/// Index of a cable in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CableId(pub usize);
+
+/// A physical cable: the *failure unit* of the analysis.
+///
+/// A submarine cable may branch into several landing points (Equiano has
+/// nine branching units); in graph terms it contributes several segments
+/// (edges), but repeater damage anywhere on it disables **all** its
+/// segments (§3.2.1: "even a single repeater failure can leave all
+/// parallel fibers in the cable unusable").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cable {
+    /// Cable system name.
+    pub name: String,
+    /// Graph edges (segments) belonging to this cable.
+    pub segments: Vec<EdgeId>,
+    /// Total system length in kilometres (what repeater count depends on).
+    pub length_km: f64,
+    /// Highest absolute latitude over the cable's endpoints and route
+    /// waypoints — sets its band in the non-uniform failure models.
+    pub max_abs_lat_deg: f64,
+}
+
+impl Cable {
+    /// Number of repeaters at `spacing_km` intervals along the full system
+    /// length. Cables shorter than the spacing carry none (§4.3.1: at
+    /// 150 km spacing, 82 of 441 submarine cables need no repeater).
+    pub fn repeater_count(&self, spacing_km: f64) -> usize {
+        if spacing_km <= 0.0 || !spacing_km.is_finite() {
+            return 0;
+        }
+        let n = (self.length_km / spacing_km).floor();
+        if n <= 0.0 {
+            return 0;
+        }
+        // A repeater exactly at the far landing station is not a repeater.
+        if n * spacing_km >= self.length_km - 1e-9 {
+            (n as usize).saturating_sub(1)
+        } else {
+            n as usize
+        }
+    }
+}
+
+/// Per-segment payload stored on graph edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentInfo {
+    /// Owning cable.
+    pub cable: CableId,
+    /// Segment length in kilometres.
+    pub length_km: f64,
+}
+
+/// A physical cable network: an immutable topology plus the cable registry
+/// that groups segments into failure units.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    kind: NetworkKind,
+    graph: Graph<NodeInfo, SegmentInfo>,
+    cables: Vec<Cable>,
+}
+
+/// One segment of a cable under construction: endpoints plus either an
+/// explicit route or a straight great-circle run.
+#[derive(Debug, Clone)]
+pub struct SegmentSpec {
+    /// First endpoint.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Optional explicit route; `None` means the great-circle segment
+    /// between the endpoints.
+    pub route: Option<Polyline>,
+    /// Optional authoritative length in km (e.g. from a cable registry);
+    /// `None` computes it from the route/great circle.
+    pub length_km: Option<f64>,
+}
+
+impl Network {
+    /// Creates an empty network of the given kind.
+    pub fn new(kind: NetworkKind) -> Self {
+        Network {
+            kind,
+            graph: Graph::new(),
+            cables: Vec::new(),
+        }
+    }
+
+    /// Which dataset family this network models.
+    pub fn kind(&self) -> NetworkKind {
+        self.kind
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, info: NodeInfo) -> NodeId {
+        self.graph.add_node(info)
+    }
+
+    /// Adds a cable made of one or more segments. Returns its id.
+    ///
+    /// The cable's length is the sum of segment lengths; its band latitude
+    /// is the maximum over endpoint locations and route waypoints.
+    pub fn add_cable(
+        &mut self,
+        name: impl Into<String>,
+        segments: Vec<SegmentSpec>,
+    ) -> Result<CableId, TopologyError> {
+        if segments.is_empty() {
+            return Err(TopologyError::EmptyCable);
+        }
+        let cable_id = CableId(self.cables.len());
+        let mut total_len = 0.0;
+        let mut max_lat: f64 = 0.0;
+        let mut edge_ids = Vec::with_capacity(segments.len());
+        // Validate all endpoints before mutating.
+        for s in &segments {
+            if s.a.0 >= self.graph.node_count() {
+                return Err(TopologyError::NodeOutOfRange {
+                    index: s.a.0,
+                    len: self.graph.node_count(),
+                });
+            }
+            if s.b.0 >= self.graph.node_count() {
+                return Err(TopologyError::NodeOutOfRange {
+                    index: s.b.0,
+                    len: self.graph.node_count(),
+                });
+            }
+            if s.a == s.b {
+                return Err(TopologyError::SelfLoop { node: s.a.0 });
+            }
+        }
+        for s in segments {
+            let pa = self.graph.node(s.a).expect("validated").location;
+            let pb = self.graph.node(s.b).expect("validated").location;
+            let geo_len = match &s.route {
+                Some(r) => r.length_km(),
+                None => solarstorm_geo::haversine_km(pa, pb),
+            };
+            let len = s.length_km.unwrap_or(geo_len).max(0.0);
+            total_len += len;
+            max_lat = max_lat.max(pa.abs_lat_deg()).max(pb.abs_lat_deg());
+            if let Some(r) = &s.route {
+                max_lat = max_lat.max(r.max_abs_lat_deg());
+            }
+            let e = self.graph.add_edge(
+                s.a,
+                s.b,
+                SegmentInfo {
+                    cable: cable_id,
+                    length_km: len,
+                },
+            )?;
+            edge_ids.push(e);
+        }
+        self.cables.push(Cable {
+            name: name.into(),
+            segments: edge_ids,
+            length_km: total_len,
+            max_abs_lat_deg: max_lat,
+        });
+        Ok(cable_id)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph<NodeInfo, SegmentInfo> {
+        &self.graph
+    }
+
+    /// All cables.
+    pub fn cables(&self) -> &[Cable] {
+        &self.cables
+    }
+
+    /// A cable by id.
+    pub fn cable(&self, id: CableId) -> Option<&Cable> {
+        self.cables.get(id.0)
+    }
+
+    /// Number of cables.
+    pub fn cable_count(&self) -> usize {
+        self.cables.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> Option<&NodeInfo> {
+        self.graph.node(id)
+    }
+
+    /// Iterates `(id, info)` over nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeInfo)> {
+        self.graph.nodes()
+    }
+
+    /// The cable owning a graph edge.
+    pub fn edge_cable(&self, e: EdgeId) -> Option<CableId> {
+        self.graph.edge(e).map(|s| s.cable)
+    }
+
+    /// Ids of cables with at least one segment incident to `n`
+    /// (deduplicated, in ascending order).
+    pub fn cables_at(&self, n: NodeId) -> Vec<CableId> {
+        let mut ids: Vec<CableId> = self
+            .graph
+            .neighbors(n)
+            .iter()
+            .filter_map(|&(e, _)| self.edge_cable(e))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Edge-liveness predicate for a dead-cable mask (`dead[cable] == true`
+    /// means the cable failed). Edges of unknown cables count as dead.
+    pub fn edge_alive<'a>(&'a self, dead: &'a [bool]) -> impl Fn(EdgeId) -> bool + 'a {
+        move |e| match self.edge_cable(e) {
+            Some(CableId(c)) => !dead.get(c).copied().unwrap_or(true),
+            None => false,
+        }
+    }
+
+    /// Per-node unreachability under a dead-cable mask, per the paper's
+    /// definition: a node is unreachable when **all** cables touching it
+    /// are dead. Nodes with no cables at all are reported reachable
+    /// (they do not exist in the paper's datasets).
+    pub fn unreachable_nodes(&self, dead: &[bool]) -> Vec<bool> {
+        (0..self.graph.node_count())
+            .map(|i| {
+                let nbrs = self.graph.neighbors(NodeId(i));
+                !nbrs.is_empty()
+                    && nbrs.iter().all(|&(e, _)| {
+                        self.edge_cable(e)
+                            .map(|CableId(c)| dead.get(c).copied().unwrap_or(true))
+                            .unwrap_or(true)
+                    })
+            })
+            .collect()
+    }
+
+    /// Fraction (%) of cables marked dead.
+    pub fn percent_cables_dead(&self, dead: &[bool]) -> f64 {
+        if self.cables.is_empty() {
+            return 0.0;
+        }
+        100.0 * dead.iter().filter(|&&d| d).count() as f64 / self.cables.len() as f64
+    }
+
+    /// Fraction (%) of nodes unreachable under a dead-cable mask.
+    pub fn percent_nodes_unreachable(&self, dead: &[bool]) -> f64 {
+        let mask = self.unreachable_nodes(dead);
+        if mask.is_empty() {
+            return 0.0;
+        }
+        100.0 * mask.iter().filter(|&&u| u).count() as f64 / mask.len() as f64
+    }
+
+    /// Connected components of the surviving subgraph.
+    pub fn surviving_components(&self, dead: &[bool]) -> (Vec<usize>, usize) {
+        algo::connected_components(&self.graph, self.edge_alive(dead))
+    }
+
+    /// True if any surviving path connects the two node sets.
+    pub fn sets_connected(&self, from: &[NodeId], to: &[NodeId], dead: &[bool]) -> bool {
+        let seen = algo::reachable_from(&self.graph, from, self.edge_alive(dead));
+        to.iter().any(|n| seen.get(n.0).copied().unwrap_or(false))
+    }
+
+    /// Nodes of the given country (by exact country-code match).
+    pub fn nodes_of_country(&self, country: &str) -> Vec<NodeId> {
+        self.graph
+            .nodes()
+            .filter(|(_, info)| info.country == country)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Locations of all nodes (used by latitude-distribution analyses).
+    pub fn node_locations(&self) -> Vec<GeoPoint> {
+        self.graph.nodes().map(|(_, i)| i.location).collect()
+    }
+
+    /// Node set within one alive hop of `seeds` — Fig. 4's "one-hop
+    /// endpoints": submarine endpoints with a direct link to points above
+    /// the latitude threshold. All cables are considered alive.
+    pub fn one_hop_closure(&self, seeds: &[NodeId]) -> Vec<NodeId> {
+        let mut mask = vec![false; self.graph.node_count()];
+        for &s in seeds {
+            if s.0 < mask.len() {
+                mask[s.0] = true;
+            }
+        }
+        let mut out: Vec<NodeId> = Vec::new();
+        for i in 0..mask.len() {
+            if mask[i] {
+                out.push(NodeId(i));
+                continue;
+            }
+            if self
+                .graph
+                .neighbors(NodeId(i))
+                .iter()
+                .any(|&(_, v)| mask[v.0])
+            {
+                out.push(NodeId(i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, lat: f64, lon: f64, country: &str) -> NodeInfo {
+        NodeInfo {
+            name: name.into(),
+            location: GeoPoint::new(lat, lon).unwrap(),
+            country: country.into(),
+            role: NodeRole::LandingPoint,
+        }
+    }
+
+    /// Tiny transatlantic-ish test network:
+    /// - cable "TA" (long, high latitude): NYC - London
+    /// - cable "SA" (long, lower latitude): Fortaleza - Lisbon
+    /// - cable "EU" (short): London - Lisbon
+    fn tiny() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let nyc = net.add_node(node("NYC", 40.7, -74.0, "US"));
+        let lon = net.add_node(node("London", 51.5, -0.1, "GB"));
+        let fort = net.add_node(node("Fortaleza", -3.7, -38.5, "BR"));
+        let lis = net.add_node(node("Lisbon", 38.7, -9.1, "PT"));
+        net.add_cable(
+            "TA",
+            vec![SegmentSpec {
+                a: nyc,
+                b: lon,
+                route: None,
+                length_km: Some(6500.0),
+            }],
+        )
+        .unwrap();
+        net.add_cable(
+            "SA",
+            vec![SegmentSpec {
+                a: fort,
+                b: lis,
+                route: None,
+                length_km: Some(6200.0),
+            }],
+        )
+        .unwrap();
+        net.add_cable(
+            "EU",
+            vec![SegmentSpec {
+                a: lon,
+                b: lis,
+                route: None,
+                length_km: None,
+            }],
+        )
+        .unwrap();
+        (net, vec![nyc, lon, fort, lis])
+    }
+
+    #[test]
+    fn cable_lengths_and_bands() {
+        let (net, _) = tiny();
+        assert_eq!(net.cable_count(), 3);
+        let ta = net.cable(CableId(0)).unwrap();
+        assert_eq!(ta.length_km, 6500.0);
+        assert_eq!(ta.max_abs_lat_deg, 51.5);
+        let eu = net.cable(CableId(2)).unwrap();
+        // London-Lisbon great circle is ~1,585 km.
+        assert!((eu.length_km - 1585.0).abs() < 30.0, "{}", eu.length_km);
+    }
+
+    #[test]
+    fn repeater_counts_follow_length() {
+        let (net, _) = tiny();
+        let ta = net.cable(CableId(0)).unwrap();
+        assert_eq!(ta.repeater_count(150.0), 43); // floor(6500/150) = 43
+                                                  // 6500 is an exact multiple of 50; the sample at the far landing
+                                                  // station is not a repeater, so 129 rather than 130.
+        assert_eq!(ta.repeater_count(50.0), 129);
+        assert_eq!(ta.repeater_count(0.0), 0);
+        let short = Cable {
+            name: "short".into(),
+            segments: vec![],
+            length_km: 100.0,
+            max_abs_lat_deg: 0.0,
+        };
+        assert_eq!(short.repeater_count(150.0), 0);
+        let exact = Cable {
+            name: "exact".into(),
+            segments: vec![],
+            length_km: 300.0,
+            max_abs_lat_deg: 0.0,
+        };
+        assert_eq!(exact.repeater_count(100.0), 2);
+    }
+
+    #[test]
+    fn empty_cable_rejected() {
+        let mut net = Network::new(NetworkKind::Submarine);
+        assert_eq!(net.add_cable("x", vec![]), Err(TopologyError::EmptyCable));
+    }
+
+    #[test]
+    fn dead_mask_drives_reachability() {
+        let (net, ids) = tiny();
+        let (nyc, lon, fort, lis) = (ids[0], ids[1], ids[2], ids[3]);
+        // All alive: one component.
+        let (_, count) = net.surviving_components(&[false, false, false]);
+        assert_eq!(count, 1);
+        // Kill TA: NYC unreachable, everything else fine.
+        let dead = [true, false, false];
+        let unreachable = net.unreachable_nodes(&dead);
+        assert!(unreachable[nyc.0]);
+        assert!(!unreachable[lon.0] && !unreachable[fort.0] && !unreachable[lis.0]);
+        assert_eq!(net.percent_nodes_unreachable(&dead), 25.0);
+        assert!((net.percent_cables_dead(&dead) - 100.0 / 3.0).abs() < 1e-9);
+        assert!(!net.sets_connected(&[nyc], &[lon], &dead));
+        assert!(net.sets_connected(&[fort], &[lon], &dead));
+    }
+
+    #[test]
+    fn country_lookup() {
+        let (net, ids) = tiny();
+        assert_eq!(net.nodes_of_country("US"), vec![ids[0]]);
+        assert_eq!(net.nodes_of_country("BR"), vec![ids[2]]);
+        assert!(net.nodes_of_country("XX").is_empty());
+    }
+
+    #[test]
+    fn one_hop_closure_includes_direct_neighbors() {
+        let (net, ids) = tiny();
+        let (nyc, lon, fort, lis) = (ids[0], ids[1], ids[2], ids[3]);
+        // Seed = {London}: one hop reaches NYC (TA) and Lisbon (EU).
+        let closure = net.one_hop_closure(&[lon]);
+        assert!(closure.contains(&nyc));
+        assert!(closure.contains(&lis));
+        assert!(closure.contains(&lon));
+        assert!(!closure.contains(&fort));
+    }
+
+    #[test]
+    fn multi_segment_cable_fails_as_a_unit() {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let a = net.add_node(node("A", 0.0, 0.0, "AA"));
+        let b = net.add_node(node("B", 0.0, 10.0, "BB"));
+        let c = net.add_node(node("C", 0.0, 20.0, "CC"));
+        let id = net
+            .add_cable(
+                "branchy",
+                vec![
+                    SegmentSpec {
+                        a,
+                        b,
+                        route: None,
+                        length_km: Some(1000.0),
+                    },
+                    SegmentSpec {
+                        a: b,
+                        b: c,
+                        route: None,
+                        length_km: Some(2000.0),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(net.cable(id).unwrap().length_km, 3000.0);
+        assert_eq!(net.cable(id).unwrap().segments.len(), 2);
+        // Cable dead => every node isolated.
+        let unreachable = net.unreachable_nodes(&[true]);
+        assert!(unreachable.iter().all(|&u| u));
+        let (_, comps) = net.surviving_components(&[true]);
+        assert_eq!(comps, 3);
+    }
+
+    #[test]
+    fn route_waypoints_raise_band_latitude() {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let a = net.add_node(node("A", 50.0, -50.0, "AA"));
+        let b = net.add_node(node("B", 50.0, 0.0, "BB"));
+        let route = Polyline::new(vec![
+            GeoPoint::new(50.0, -50.0).unwrap(),
+            GeoPoint::new(65.0, -25.0).unwrap(), // arctic detour
+            GeoPoint::new(50.0, 0.0).unwrap(),
+        ])
+        .unwrap();
+        let id = net
+            .add_cable(
+                "arctic",
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: Some(route),
+                    length_km: None,
+                }],
+            )
+            .unwrap();
+        assert_eq!(net.cable(id).unwrap().max_abs_lat_deg, 65.0);
+    }
+
+    #[test]
+    fn cables_at_deduplicates() {
+        let (net, ids) = tiny();
+        let at_london = net.cables_at(ids[1]);
+        assert_eq!(at_london, vec![CableId(0), CableId(2)]);
+    }
+}

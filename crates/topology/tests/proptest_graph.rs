@@ -1,0 +1,150 @@
+//! Property-based tests for graph algorithms on random multigraphs.
+
+use proptest::prelude::*;
+use solarstorm_topology::{algo, EdgeId, Graph, NodeId};
+
+/// A random multigraph: `n` nodes, edges as (a, b) index pairs.
+fn arb_graph() -> impl Strategy<Value = Graph<(), f64>> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1.0f64..1000.0), 0..80).prop_map(move |edges| {
+            let mut g = Graph::new();
+            let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for (a, b, w) in edges {
+                if a != b {
+                    g.add_edge(ids[a], ids[b], w).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+/// An alive-mask over edges derived from a seed.
+fn alive_mask(g: &Graph<(), f64>, seed: u64) -> Vec<bool> {
+    (0..g.edge_count())
+        .map(|i| {
+            (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 31))
+                % 10
+                < 7
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn component_labels_are_dense_and_consistent(g in arb_graph(), seed in any::<u64>()) {
+        let alive = alive_mask(&g, seed);
+        let (labels, count) = algo::connected_components(&g, |e| alive[e.0]);
+        prop_assert_eq!(labels.len(), g.node_count());
+        // Dense labels.
+        for l in &labels {
+            prop_assert!(*l < count);
+        }
+        for c in 0..count {
+            prop_assert!(labels.iter().any(|&l| l == c));
+        }
+        // Alive edges never cross components.
+        for (e, a, b, _) in g.edges() {
+            if alive[e.0] {
+                prop_assert_eq!(labels[a.0], labels[b.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_matches_component_labels(g in arb_graph(), seed in any::<u64>()) {
+        let alive = alive_mask(&g, seed);
+        let (labels, _) = algo::connected_components(&g, |e| alive[e.0]);
+        let src = NodeId(0);
+        let seen = algo::reachable_from(&g, &[src], |e| alive[e.0]);
+        for v in g.node_ids() {
+            prop_assert_eq!(seen[v.0], labels[v.0] == labels[src.0]);
+        }
+    }
+
+    #[test]
+    fn removing_a_bridge_splits_a_component(g in arb_graph()) {
+        let (_, before) = algo::connected_components(&g, |_| true);
+        for bridge in algo::bridges(&g, |_| true) {
+            let (_, after) = algo::connected_components(&g, |e| e != bridge);
+            prop_assert_eq!(after, before + 1, "bridge {:?}", bridge);
+        }
+    }
+
+    #[test]
+    fn removing_a_non_bridge_preserves_components(g in arb_graph()) {
+        let bridges = algo::bridges(&g, |_| true);
+        let (_, before) = algo::connected_components(&g, |_| true);
+        for e in g.edge_ids().take(40) {
+            if !bridges.contains(&e) {
+                let (_, after) = algo::connected_components(&g, |x| x != e);
+                prop_assert_eq!(after, before, "edge {:?}", e);
+            }
+        }
+    }
+
+    #[test]
+    fn articulation_points_disconnect(g in arb_graph()) {
+        let cuts = algo::articulation_points(&g, |_| true);
+        let (_, before) = algo::connected_components(&g, |_| true);
+        for cut in cuts {
+            // Simulate node removal by killing all its incident edges; the
+            // removed node becomes isolated (+1 component), so a true cut
+            // vertex yields at least +2.
+            let incident: Vec<EdgeId> = g.neighbors(cut).iter().map(|&(e, _)| e).collect();
+            let (_, after) = algo::connected_components(&g, |e| !incident.contains(&e));
+            prop_assert!(
+                after >= before + 2,
+                "cut {:?}: {} -> {}", cut, before, after
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_reachability(g in arb_graph(), seed in any::<u64>()) {
+        let alive = alive_mask(&g, seed);
+        let src = NodeId(0);
+        let seen = algo::reachable_from(&g, &[src], |e| alive[e.0]);
+        for dst in g.node_ids().take(10) {
+            let sp = algo::shortest_path(
+                &g, src, dst,
+                |e| alive[e.0],
+                |e| *g.edge(e).unwrap(),
+            );
+            prop_assert_eq!(sp.is_some(), seen[dst.0]);
+            if let Some((dist, path)) = sp {
+                // Path edges sum to the reported distance and form a walk.
+                let sum: f64 = path.iter().map(|e| *g.edge(*e).unwrap()).sum();
+                prop_assert!((sum - dist).abs() < 1e-9);
+                let mut cur = src;
+                for e in &path {
+                    let (a, b) = g.edge_endpoints(*e).unwrap();
+                    prop_assert!(alive[e.0]);
+                    cur = if a == cur { b } else { prop_assert_eq!(b, cur); a };
+                }
+                prop_assert_eq!(cur, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_minimal_over_two_hops(g in arb_graph()) {
+        // Triangle check: d(a,c) <= d(a,b) + d(b,c) for sampled triples.
+        let n = g.node_count();
+        let d = |x: usize, y: usize| {
+            algo::shortest_path(&g, NodeId(x), NodeId(y), |_| true, |e| *g.edge(e).unwrap())
+                .map(|(dist, _)| dist)
+        };
+        for x in 0..n.min(5) {
+            for y in 0..n.min(5) {
+                for z in 0..n.min(5) {
+                    if let (Some(xy), Some(yz), Some(xz)) = (d(x, y), d(y, z), d(x, z)) {
+                        prop_assert!(xz <= xy + yz + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The full scenario, end to end: a Carrington-class CME is detected,
+//! transits to Earth, destroys repeaters and satellites, partitions the
+//! Internet, overloads the survivors — and then the cable ships go to
+//! work. Every number comes from the models in this toolkit.
+//!
+//! ```sh
+//! cargo run --example apocalypse_scenario
+//! ```
+
+use solarstorm::analysis::{partition_report, traffic_report};
+use solarstorm::sim::monte_carlo::run_outcomes;
+use solarstorm::sim::repair::{self, RepairFleet, RepairStrategy};
+use solarstorm::{Cme, PhysicsFailure, StormClass, Study};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = Study::test_scale()?;
+    let net = &study.datasets().submarine;
+    let class = StormClass::Extreme;
+    let cme = Cme::typical(class);
+
+    println!("== T-{:.1} h: detection ==", cme.transit_hours());
+    println!(
+        "A Carrington-class CME departs the Sun at {:.0} km/s; impact in {:.1} hours.\n",
+        cme.speed_km_s(),
+        cme.transit_hours()
+    );
+
+    // Impact: physics-chain failures on the submarine network.
+    let model = PhysicsFailure::calibrated(class);
+    let cfg = study.mc_config(150.0);
+    let outcomes = run_outcomes(net, &model, &cfg)?;
+    let outcome = &outcomes[0];
+    println!("== T+0: impact ==");
+    println!(
+        "{:.1}% of submarine cables fail; {:.1}% of landing points go dark.\n",
+        outcome.cables_failed_pct, outcome.nodes_unreachable_pct
+    );
+
+    // Satellites.
+    let sat = study.satellite_impact(class)?;
+    println!(
+        "LEO constellation: {:.1}% of satellites lost ({:.1}% electronics, {:.1}% decay).",
+        100.0 * sat.total_lost,
+        100.0 * sat.electronics_lost,
+        100.0 * sat.decay_lost
+    );
+    let lost_service: Vec<String> = sat
+        .service_by_latitude
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(lat, _)| format!("{lat:.0}°"))
+        .collect();
+    if lost_service.is_empty() {
+        println!("Satellite service survives at every latitude band.\n");
+    } else {
+        println!(
+            "Satellite service lost at latitudes: {}.\n",
+            lost_service.join(", ")
+        );
+    }
+
+    // Partitions.
+    let parts = partition_report::reproduce(study.datasets(), &model, &cfg, 3)?;
+    println!("== T+1 day: the partitioned Internet ==");
+    print!("{}", partition_report::render_table(&parts));
+
+    // Traffic shifts.
+    let traffic = traffic_report::reproduce(study.datasets(), &model, &cfg)?;
+    println!("\n== Traffic on the survivors ==");
+    print!("{}", traffic_report::render_table(&traffic));
+
+    // Recovery.
+    println!("\n== The repair campaign ==");
+    let fleet = RepairFleet::default();
+    for strategy in RepairStrategy::ALL {
+        let out = repair::simulate_repairs(net, &outcome.dead, &fleet, strategy)?;
+        println!(
+            "{:<22} 50% of cables back in {:>6.0} days; 95% of nodes reachable in {:>6.0} days; full repair {:>6.0} days",
+            out.strategy.label(),
+            out.days_to_50pct_cables,
+            out.days_to_95pct_nodes,
+            out.total_days
+        );
+    }
+    println!(
+        "\nWith ~{} failed cables and {} ships, recovery is measured in months —",
+        outcome.dead.iter().filter(|d| **d).count(),
+        fleet.ships
+    );
+    println!("the paper's warning: an outage 'lasting several months' is plausible.");
+    Ok(())
+}

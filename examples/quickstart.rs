@@ -1,0 +1,39 @@
+//! Quick start: build the datasets, reproduce the paper's headline
+//! statistics, and draw one figure in the terminal.
+//!
+//! ```sh
+//! cargo run --example quickstart            # scaled datasets (fast)
+//! cargo run --example quickstart -- --full  # paper-scale datasets
+//! ```
+
+use solarstorm::analysis::headline;
+use solarstorm::Study;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let study = if full {
+        println!("building paper-scale datasets…");
+        Study::paper_scale()?
+    } else {
+        println!("building test-scale datasets (pass --full for paper scale)…");
+        Study::test_scale()?
+    };
+
+    println!("\n== Headline statistics (paper vs measured) ==\n");
+    print!("{}", headline::render_table(&study.headline()));
+
+    println!("\n== Fig. 5: cable-length CDFs ==\n");
+    println!("{}", study.fig5().render_ascii(72, 18));
+
+    println!("== Fig. 6 (150 km spacing): cables failed vs repeater failure probability ==\n");
+    let fig6 = study.fig6(150.0)?;
+    println!("{}", fig6.render_ascii(72, 18));
+
+    println!("CSV export of any figure is one call away:");
+    println!(
+        "{}",
+        &fig6.to_csv().lines().take(5).collect::<Vec<_>>().join("\n")
+    );
+    println!("…");
+    Ok(())
+}

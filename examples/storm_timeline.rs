@@ -1,0 +1,79 @@
+//! A century of simulated space weather: sample CME arrivals from the
+//! calibrated solar-cycle model, and for each impact estimate the
+//! warning lead time and the damage to the submarine-cable network.
+//!
+//! ```sh
+//! cargo run --example storm_timeline
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use solarstorm::sim::mitigation;
+use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+use solarstorm::{ArrivalModel, Cme, PhysicsFailure, StormClass, Study};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = Study::test_scale()?;
+    let net = &study.datasets().submarine;
+
+    let model = ArrivalModel::calibrated();
+    println!(
+        "calibrated arrival model: {:.2} direct impacts per century, \
+         P[extreme impact per decade] = {:.1}% (paper window: 1.6-12%)\n",
+        model.annual_rate() * 100.0,
+        model.extreme_decade_probability() * 100.0
+    );
+
+    let mut rng = ChaCha12Rng::seed_from_u64(2026);
+    let arrivals = model.sample_arrivals(&mut rng, 2026.0, 100.0)?;
+    println!(
+        "sampled {} direct impacts over 2026-2126:\n",
+        arrivals.len()
+    );
+    println!(
+        "{:>8}  {:<10} {:>10} {:>12} {:>16} {:>16}",
+        "year", "class", "transit h", "lead-time h", "cables failed %", "after shutdown %"
+    );
+
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 7,
+        ..Default::default()
+    };
+    for a in &arrivals {
+        let cme = Cme::typical(a.class);
+        let powered = run(net, &PhysicsFailure::calibrated(a.class), &cfg)?;
+        let shutdown = run(
+            net,
+            &PhysicsFailure::calibrated(a.class).powered_off(),
+            &cfg,
+        )?;
+        println!(
+            "{:>8.1}  {:<10} {:>10.1} {:>12.1} {:>16.1} {:>16.1}",
+            a.year,
+            format!("{:?}", a.class),
+            cme.transit_hours(),
+            cme.lead_time_hours(1.0),
+            powered.mean_cables_failed_pct,
+            shutdown.mean_cables_failed_pct,
+        );
+    }
+
+    // Can operators actually power the fleet down in time?
+    println!("\nshutdown-campaign feasibility for a Carrington-speed CME:");
+    let cme = Cme::typical(StormClass::Extreme);
+    let plan = mitigation::lead_time_plan(&cme, net.node_count(), 100.0, 1.0)?;
+    println!(
+        "  {} landing stations at 100/h: campaign {:.1} h vs lead time {:.1} h -> {}",
+        net.node_count(),
+        plan.campaign_hours,
+        plan.lead_time_hours,
+        if plan.feasible {
+            "FEASIBLE"
+        } else {
+            "NOT FEASIBLE"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Topology augmentation (§5.1): greedily pick new low-latitude cables
+//! that most improve resilience under the S1 failure state.
+//!
+//! ```sh
+//! cargo run --example topology_planning
+//! ```
+
+use solarstorm::sim::augment;
+use solarstorm::sim::monte_carlo::MonteCarloConfig;
+use solarstorm::{LatitudeBandFailure, Study};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = Study::test_scale()?;
+    let net = &study.datasets().submarine;
+    let model = LatitudeBandFailure::s1();
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 15,
+        seed: 99,
+        ..Default::default()
+    };
+
+    // Candidate cables: both endpoints below 40° latitude (the paper's
+    // prescription: "increase capacity in lower latitudes"), between
+    // 1,000 and 9,000 km — long enough to matter, short enough to build.
+    let candidates = augment::low_latitude_candidates(net, 40.0, 1_000.0, 9_000.0, 1.15, 40);
+    println!(
+        "{} candidate low-latitude cables (showing greedy picks):\n",
+        candidates.len()
+    );
+
+    let steps = augment::greedy_augment(net, &model, &cfg, &candidates, 3)?;
+    for (i, step) in steps.iter().enumerate() {
+        let name_of = |id| {
+            net.node(id)
+                .map(|n| n.name.clone())
+                .unwrap_or_else(|| "?".into())
+        };
+        println!(
+            "pick {}: {} <-> {} ({:.0} km, max |lat| {:.1}°)",
+            i + 1,
+            name_of(step.candidate.a),
+            name_of(step.candidate.b),
+            step.candidate.length_km,
+            step.candidate.max_abs_lat_deg,
+        );
+        println!(
+            "         mean nodes unreachable under S1: {:.1}% -> {:.1}%\n",
+            step.before_pct, step.after_pct
+        );
+    }
+
+    if let (Some(first), Some(last)) = (steps.first(), steps.last()) {
+        println!(
+            "three cables cut expected unreachability by {:.1} percentage points",
+            first.before_pct - last.after_pct
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Paper-scale dataset integration: the calibration targets that only
+//! hold at full size (length distributions, network ordering) are
+//! checked here, on the exact datasets the benchmarks use.
+
+use solarstorm::analysis::headline;
+use solarstorm::data::io;
+use solarstorm::Study;
+
+fn study() -> &'static Study {
+    static CACHE: std::sync::OnceLock<Study> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Study::paper_scale().expect("paper-scale build"))
+}
+
+#[test]
+fn paper_scale_counts() {
+    let d = study().datasets();
+    assert_eq!(d.submarine.cable_count(), 470);
+    assert!((800..=1_600).contains(&d.submarine.node_count()));
+    assert_eq!(d.intertubes.cable_count(), 542);
+    assert_eq!(d.intertubes.node_count(), 273);
+    assert_eq!(d.itu.cable_count(), 11_737);
+    assert!((10_000..=11_500).contains(&d.itu.node_count()));
+    assert_eq!(d.dns.len(), 1_076);
+    assert_eq!(d.ixps.len(), 1_026);
+    assert_eq!(d.routers.routers.len(), 200_000);
+    assert_eq!(d.routers.ases.len(), 8_000);
+}
+
+#[test]
+fn every_headline_statistic_within_tolerance_at_full_scale() {
+    let rows = headline::reproduce(study().datasets());
+    for r in &rows {
+        assert!(
+            r.relative_error() < 0.40,
+            "{}: paper {} vs measured {}",
+            r.metric,
+            r.paper,
+            r.measured
+        );
+    }
+    // The marquee numbers deserve tighter bands.
+    let get = |m: &str| {
+        rows.iter()
+            .find(|r| r.metric.starts_with(m))
+            .unwrap_or_else(|| panic!("row {m}"))
+            .measured
+    };
+    assert!((26.0..=36.0).contains(&get("submarine endpoints above 40°")));
+    assert!((13.0..=19.0).contains(&get("population above 40°")));
+    assert!((600.0..=1_000.0).contains(&get("submarine median length")));
+    // Segment lengths are allocated proportionally, so the SEA-ME-WE-3
+    // total reassembles to 39,000 km only up to float rounding.
+    assert!((get("submarine max length") - 39_000.0).abs() < 1e-6);
+}
+
+#[test]
+fn land_network_ordering_holds_at_full_scale() {
+    // Fig 6 ordering at p=0.01/150 km: submarine >> Intertubes > ITU.
+    use solarstorm::analysis::fig6;
+    let results = fig6::sweep_all(study().datasets(), 150.0, 10, 77).unwrap();
+    let at = |idx: usize| {
+        results[idx]
+            .points
+            .iter()
+            .find(|(p, _)| (*p - 0.01).abs() < 1e-12)
+            .map(|(_, s)| s.mean_cables_failed_pct)
+            .unwrap()
+    };
+    let (sub, us, itu) = (at(0), at(1), at(2));
+    assert!(sub > 3.0 * us, "submarine {sub}% vs US {us}%");
+    assert!(us > itu, "US {us}% vs ITU {itu}%");
+    assert!(
+        (9.0..=24.0).contains(&sub),
+        "submarine {sub}% vs paper 14.9%"
+    );
+    assert!((0.2..=1.6).contains(&itu), "ITU {itu}% vs paper 0.6%");
+}
+
+#[test]
+fn json_round_trip_preserves_full_submarine_network() {
+    let d = study().datasets();
+    let json = io::network_to_json(&d.submarine).unwrap();
+    let back = io::network_from_json(&json).unwrap();
+    assert_eq!(back.cable_count(), d.submarine.cable_count());
+    assert_eq!(back.node_count(), d.submarine.node_count());
+    // Failure behavior must be identical: same repeater counts.
+    for (a, b) in d.submarine.cables().iter().zip(back.cables()) {
+        assert_eq!(a.repeater_count(150.0), b.repeater_count(150.0));
+    }
+}
+
+#[test]
+fn generators_are_reproducible_across_builds() {
+    let a = Study::paper_scale().unwrap();
+    let d1 = study().datasets();
+    let d2 = a.datasets();
+    let sum1: f64 = d1.submarine.cables().iter().map(|c| c.length_km).sum();
+    let sum2: f64 = d2.submarine.cables().iter().map(|c| c.length_km).sum();
+    assert_eq!(sum1, sum2);
+    assert_eq!(d1.routers.routers[4242], d2.routers.routers[4242]);
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the extension analyses: satellites, repair,
+//! partitions, traffic, isolation, risk, economics — all running against
+//! the generated datasets through the `Study` facade.
+
+use solarstorm::analysis::countries::FailureState;
+use solarstorm::analysis::{economics, maps, risk};
+use solarstorm::sim::isolation::{self, CouplingModel};
+use solarstorm::sim::monte_carlo::run_outcomes;
+use solarstorm::sim::repair::{self, RepairFleet, RepairStrategy};
+use solarstorm::{PhysicsFailure, StormClass, Study};
+
+fn study() -> &'static Study {
+    static CACHE: std::sync::OnceLock<Study> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Study::test_scale().expect("test-scale build"))
+}
+
+#[test]
+fn satellite_impact_orders_with_storm_class() {
+    let s = study();
+    let minor = s.satellite_impact(StormClass::Minor).unwrap();
+    let extreme = s.satellite_impact(StormClass::Extreme).unwrap();
+    assert!(extreme.total_lost > minor.total_lost);
+    // The Feb-2022 mechanism shows even in minor storms.
+    assert!(minor.decay_lost > 0.0);
+}
+
+#[test]
+fn carrington_recovery_takes_months_not_days() {
+    let s = study();
+    let net = &s.datasets().submarine;
+    let model = PhysicsFailure::calibrated(StormClass::Extreme);
+    let outcome = &run_outcomes(net, &model, &s.mc_config(150.0)).unwrap()[0];
+    let out = repair::simulate_repairs(
+        net,
+        &outcome.dead,
+        &RepairFleet::default(),
+        RepairStrategy::ConnectivityGreedy,
+    )
+    .unwrap();
+    // The paper's stake: outages "lasting several months".
+    assert!(
+        out.days_to_95pct_nodes > 60.0,
+        "95% recovery in {} days",
+        out.days_to_95pct_nodes
+    );
+    // Prioritization matters: greedy beats FIFO to 95% reachability.
+    let fifo = repair::simulate_repairs(
+        net,
+        &outcome.dead,
+        &RepairFleet::default(),
+        RepairStrategy::Fifo,
+    )
+    .unwrap();
+    assert!(out.days_to_95pct_nodes <= fifo.days_to_95pct_nodes);
+}
+
+#[test]
+fn as_impact_grows_with_footprint_and_severity() {
+    let s = study();
+    let s1 = s.as_impact(&FailureState::S1.model()).unwrap();
+    let s2 = s.as_impact(&FailureState::S2.model()).unwrap();
+    assert!(s1.overall_impact_probability >= s2.overall_impact_probability);
+    // Global footprints are the most exposed in both states.
+    for report in [&s1, &s2] {
+        let global = report
+            .by_footprint
+            .iter()
+            .find(|f| f.footprint == solarstorm::data::routers::AsFootprint::Global)
+            .unwrap();
+        let metro = report
+            .by_footprint
+            .iter()
+            .find(|f| f.footprint == solarstorm::data::routers::AsFootprint::Metro)
+            .unwrap();
+        assert!(global.impact_probability + 1e-9 >= metro.impact_probability);
+    }
+}
+
+#[test]
+fn partitions_and_traffic_cohere() {
+    let s = study();
+    let model = FailureState::S1.model();
+    let parts = s.partition_report(&model).unwrap();
+    let traffic = s.traffic_report(&model).unwrap();
+    // A storm that splinters the network must also strand or reroute
+    // traffic.
+    if parts.partitions.len() > 2 {
+        assert!(
+            traffic.stranded_after > 0.0 || traffic.max_growth > 1.0,
+            "fragmented network but no traffic effect: {traffic:?}"
+        );
+    }
+    assert!(traffic.routed_after <= traffic.routed_before + 1e-9);
+}
+
+#[test]
+fn isolation_always_dominates_no_isolation() {
+    let s = study();
+    let out = isolation::isolation_ablation(
+        &s.datasets().submarine,
+        &FailureState::S2.model(),
+        &CouplingModel::default(),
+        &s.mc_config(150.0),
+    )
+    .unwrap();
+    assert!(out.unisolated_cables_failed_pct >= out.isolated_cables_failed_pct);
+    assert!(out.mean_cascades >= 0.0);
+}
+
+#[test]
+fn risk_outlook_matches_paper_band() {
+    let risks = risk::decade_risks(2026.0, 3, 1_000, 42).unwrap();
+    for r in &risks {
+        // The paper quotes 1.6-12% per decade for a large-scale event.
+        assert!(
+            (0.005..=0.15).contains(&r.modulated),
+            "decade risk {} outside the plausible band",
+            r.modulated
+        );
+    }
+}
+
+#[test]
+fn economics_scale_with_severity() {
+    let s = study();
+    let e1 =
+        economics::reproduce(s.datasets(), &FailureState::S1.model(), &s.mc_config(150.0)).unwrap();
+    let e2 =
+        economics::reproduce(s.datasets(), &FailureState::S2.model(), &s.mc_config(150.0)).unwrap();
+    assert!(e1.first_day_cost_busd > e2.first_day_cost_busd);
+    // US should be among the costliest countries under S1 (it is the
+    // largest digital economy with the most exposed cables).
+    assert!(
+        e1.top_countries.iter().any(|(c, _)| c == "US"),
+        "top countries: {:?}",
+        e1.top_countries
+    );
+}
+
+#[test]
+fn world_maps_show_the_northern_skew() {
+    let s = study();
+    let map = maps::fig1_infrastructure_map(s.datasets(), 100, 30);
+    assert!(map.contains("40N"));
+    // Fig 2 renders with both operators' fleets.
+    let dc = maps::fig2_datacenter_map(100, 30);
+    assert!(dc.contains("Fig. 2"));
+}

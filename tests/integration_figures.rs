@@ -1,0 +1,99 @@
+//! Cross-crate figure integration: every figure of the paper renders,
+//! exports, and carries the qualitative findings end-to-end.
+
+use solarstorm::analysis::countries::FailureState;
+use solarstorm::Study;
+
+fn study() -> &'static Study {
+    static CACHE: std::sync::OnceLock<Study> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Study::test_scale().expect("test-scale build"))
+}
+
+#[test]
+fn every_figure_renders_ascii_and_csv() {
+    let s = study();
+    let figures = vec![
+        s.fig3(),
+        s.fig4a(),
+        s.fig4b(),
+        s.fig5(),
+        s.fig6(150.0).unwrap(),
+        s.fig7(150.0).unwrap(),
+        s.fig8().unwrap(),
+        s.fig9a(),
+        s.fig9b(),
+    ];
+    for fig in &figures {
+        let ascii = fig.render_ascii(60, 15);
+        assert!(ascii.contains(&fig.title), "{}", fig.id);
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("series,x,y,err"), "{}", fig.id);
+        assert!(csv.lines().count() > fig.series.len(), "{}", fig.id);
+    }
+}
+
+#[test]
+fn fig6_panels_ordered_by_spacing() {
+    // Tighter repeater spacing = more repeaters = more failures, at every
+    // probability, for the submarine network.
+    let s = study();
+    let f50 = s.fig6(50.0).unwrap();
+    let f150 = s.fig6(150.0).unwrap();
+    let sub50 = &f50.series[0];
+    let sub150 = &f150.series[0];
+    for (a, b) in sub50.points.iter().zip(&sub150.points) {
+        assert!(
+            a.1 >= b.1 - 3.0,
+            "at p={}: 50 km {} vs 150 km {}",
+            a.0,
+            a.1,
+            b.1
+        );
+    }
+}
+
+#[test]
+fn fig7_tracks_fig6_direction() {
+    // Node unreachability grows with cable failures.
+    let s = study();
+    let f6 = s.fig6(100.0).unwrap();
+    let f7 = s.fig7(100.0).unwrap();
+    for (c, n) in f6.series[0].points.iter().zip(&f7.series[0].points) {
+        // More cable failures can only mean equal-or-more unreachable
+        // nodes than a quarter of the rate (loose structural sanity).
+        assert!(n.1 <= c.1 + 15.0, "nodes {} vs cables {}", n.1, c.1);
+    }
+    let last6 = f6.series[0].points.last().unwrap().1;
+    let last7 = f7.series[0].points.last().unwrap().1;
+    assert!(last6 > 50.0 && last7 > 50.0);
+}
+
+#[test]
+fn marquee_country_findings_end_to_end() {
+    let s = study();
+    let s1 = s.countries(FailureState::S1).unwrap();
+    let get = |c: &str, to: &str| {
+        s1.iter()
+            .find(|r| r.country == c)
+            .and_then(|r| r.pairs.iter().find(|p| p.to == to))
+            .map(|p| p.connectivity_probability)
+            .unwrap()
+    };
+    // US-Europe far worse than Brazil-Europe under high failures.
+    assert!(get("BR", "PT") > get("US", "GB") + 0.2);
+    // Singapore's hub role survives.
+    assert!(get("SG", "ID") > 0.3 || get("SG", "IN") > 0.3 || get("SG", "AU") > 0.3);
+    // New Zealand keeps Australia.
+    assert!(get("NZ", "AU") >= get("NZ", "US"));
+}
+
+#[test]
+fn figures_are_deterministic() {
+    let s = study();
+    let a = s.fig6(150.0).unwrap();
+    let b = s.fig6(150.0).unwrap();
+    assert_eq!(a, b);
+    let c = s.fig8().unwrap();
+    let d = s.fig8().unwrap();
+    assert_eq!(c, d);
+}

@@ -1,0 +1,88 @@
+//! Mitigation & planning integration (§5): shutdown strategy, lead-time
+//! planning, topology augmentation and grid coupling, all running on the
+//! generated submarine network.
+
+use solarstorm::sim::augment;
+use solarstorm::sim::cascade::{self, GridFailureModel};
+use solarstorm::sim::mitigation;
+use solarstorm::sim::monte_carlo::MonteCarloConfig;
+use solarstorm::{Cme, LatitudeBandFailure, StormClass, Study};
+
+fn study() -> &'static Study {
+    static CACHE: std::sync::OnceLock<Study> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Study::test_scale().expect("test-scale build"))
+}
+
+fn cfg(trials: usize) -> MonteCarloConfig {
+    MonteCarloConfig {
+        spacing_km: 150.0,
+        trials,
+        seed: 31,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn shutdown_helps_most_for_moderate_storms() {
+    let net = &study().datasets().submarine;
+    let moderate = mitigation::shutdown_ablation(net, StormClass::Moderate, &cfg(30)).unwrap();
+    let extreme = mitigation::shutdown_ablation(net, StormClass::Extreme, &cfg(30)).unwrap();
+    // §5.2: powering off "can help only when the threat is moderate".
+    assert!(moderate.cables_saved_pct >= -1.0);
+    // Extreme storms still devastate the powered-off fleet.
+    assert!(
+        extreme.shutdown.mean_cables_failed_pct > 0.6 * extreme.powered.mean_cables_failed_pct,
+        "shutdown {} vs powered {}",
+        extreme.shutdown.mean_cables_failed_pct,
+        extreme.powered.mean_cables_failed_pct
+    );
+}
+
+#[test]
+fn fleet_shutdown_fits_in_carrington_lead_time() {
+    // 13+ hours of warning; ~1,100 landing stations; a coordinated
+    // campaign at 100 stations/hour fits.
+    let net = &study().datasets().submarine;
+    let cme = Cme::typical(StormClass::Extreme);
+    let plan = mitigation::lead_time_plan(&cme, net.node_count(), 100.0, 1.0).unwrap();
+    assert!(plan.feasible, "{plan:?}");
+    // A slow bureaucracy (10 stations/hour) does not fit.
+    let slow = mitigation::lead_time_plan(&cme, net.node_count(), 10.0, 1.0).unwrap();
+    assert!(!slow.feasible);
+}
+
+#[test]
+fn augmentation_helps_on_the_real_network() {
+    let net = &study().datasets().submarine;
+    let model = LatitudeBandFailure::s1();
+    let candidates = augment::low_latitude_candidates(net, 40.0, 1_000.0, 9_000.0, 1.15, 25);
+    assert!(!candidates.is_empty());
+    let steps = augment::greedy_augment(net, &model, &cfg(8), &candidates, 1).unwrap();
+    assert_eq!(steps.len(), 1);
+    // Greedy never picks a cable that makes things worse.
+    assert!(steps[0].after_pct <= steps[0].before_pct + 0.5);
+}
+
+#[test]
+fn grid_coupling_strictly_amplifies_failures() {
+    let net = &study().datasets().submarine;
+    let stats = cascade::run_coupled(
+        net,
+        &LatitudeBandFailure::s2(),
+        &GridFailureModel::severe(),
+        &cfg(20),
+    )
+    .unwrap();
+    assert!(
+        stats.mean_cables_failed_coupled_pct >= stats.mean_cables_failed_repeaters_pct,
+        "coupling can only add failures"
+    );
+    assert!(stats.mean_stations_dark_pct > 0.0);
+    // §5.5's point: the coupled number is materially worse.
+    assert!(
+        stats.mean_cables_failed_coupled_pct > stats.mean_cables_failed_repeaters_pct + 2.0,
+        "coupled {} vs repeaters {}",
+        stats.mean_cables_failed_coupled_pct,
+        stats.mean_cables_failed_repeaters_pct
+    );
+}

@@ -1,0 +1,153 @@
+//! End-to-end pipeline over a hand-built network: JSON in, physics
+//! chain, Monte Carlo out. Exercises every layer working together on a
+//! topology small enough to verify by hand.
+
+use solarstorm::data::io;
+use solarstorm::geo::GeoPoint;
+use solarstorm::sim::monte_carlo::{run, run_outcomes, MonteCarloConfig};
+use solarstorm::topology::{Network, NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+use solarstorm::{
+    Cme, FailureModel, LatitudeBandFailure, PhysicsFailure, StormClass, UniformFailure,
+};
+
+/// Three-cable miniature: polar trunk, mid-latitude trunk, equatorial
+/// festoon.
+fn mini() -> Network {
+    let mut net = Network::new(NetworkKind::Submarine);
+    let mk = |net: &mut Network, name: &str, lat: f64, lon: f64, cc: &str| {
+        net.add_node(NodeInfo {
+            name: name.into(),
+            location: GeoPoint::new(lat, lon).unwrap(),
+            country: cc.into(),
+            role: NodeRole::LandingPoint,
+        })
+    };
+    let oslo = mk(&mut net, "Oslo", 59.9, 10.7, "NO");
+    let reyk = mk(&mut net, "Reykjavik", 64.1, -21.9, "IS");
+    let ny = mk(&mut net, "New York", 40.7, -74.0, "US");
+    let lis = mk(&mut net, "Lisbon", 38.7, -9.1, "PT");
+    let sin = mk(&mut net, "Singapore", 1.3, 103.8, "SG");
+    let jak = mk(&mut net, "Jakarta", -6.2, 106.8, "ID");
+    net.add_cable(
+        "polar",
+        vec![SegmentSpec {
+            a: oslo,
+            b: reyk,
+            route: None,
+            length_km: Some(2_000.0),
+        }],
+    )
+    .unwrap();
+    net.add_cable(
+        "midlat",
+        vec![SegmentSpec {
+            a: ny,
+            b: lis,
+            route: None,
+            length_km: Some(6_000.0),
+        }],
+    )
+    .unwrap();
+    net.add_cable(
+        "festoon",
+        vec![SegmentSpec {
+            a: sin,
+            b: jak,
+            route: None,
+            length_km: Some(120.0),
+        }],
+    )
+    .unwrap();
+    net
+}
+
+#[test]
+fn json_round_trip_then_simulate() {
+    let net = mini();
+    let json = io::network_to_json(&net).unwrap();
+    let net2 = io::network_from_json(&json).unwrap();
+    let model = LatitudeBandFailure::s1();
+    let cfg = MonteCarloConfig {
+        trials: 64,
+        spacing_km: 150.0,
+        seed: 5,
+        ..Default::default()
+    };
+    let a = run(&net, &model, &cfg).unwrap();
+    let b = run(&net2, &model, &cfg).unwrap();
+    assert_eq!(a, b, "round-tripped network must behave identically");
+}
+
+#[test]
+fn band_model_hits_expected_closed_forms() {
+    // polar: 13 repeaters @150km, p=1   -> dies always under S1.
+    // midlat: 39 repeaters, p=0.1        -> survives 0.9^39 ≈ 1.6%.
+    // festoon: 0 repeaters               -> never dies.
+    let net = mini();
+    let model = LatitudeBandFailure::s1();
+    let cfg = MonteCarloConfig {
+        trials: 4_000,
+        spacing_km: 150.0,
+        seed: 11,
+        ..Default::default()
+    };
+    let outcomes = run_outcomes(&net, &model, &cfg).unwrap();
+    let death_rate =
+        |idx: usize| outcomes.iter().filter(|o| o.dead[idx]).count() as f64 / outcomes.len() as f64;
+    assert_eq!(death_rate(0), 1.0, "polar trunk");
+    let mid = death_rate(1);
+    let expected = 1.0 - 0.9f64.powi(39);
+    assert!(
+        (mid - expected).abs() < 0.02,
+        "midlat death rate {mid} vs closed form {expected}"
+    );
+    assert_eq!(death_rate(2), 0.0, "festoon");
+}
+
+#[test]
+fn physics_chain_orders_storm_classes() {
+    let net = mini();
+    let cfg = MonteCarloConfig {
+        trials: 400,
+        spacing_km: 150.0,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut previous = -1.0;
+    for class in StormClass::ALL {
+        let stats = run(&net, &PhysicsFailure::calibrated(class), &cfg).unwrap();
+        assert!(
+            stats.mean_cables_failed_pct >= previous - 2.0,
+            "{class:?} broke monotonicity"
+        );
+        previous = stats.mean_cables_failed_pct;
+    }
+    // Extreme storms kill the polar trunk essentially always.
+    let extreme = run(&net, &PhysicsFailure::calibrated(StormClass::Extreme), &cfg).unwrap();
+    assert!(extreme.mean_cables_failed_pct >= 60.0);
+}
+
+#[test]
+fn cme_lead_time_consistent_with_class() {
+    // Faster (stronger) CMEs leave less time to act.
+    let extreme = Cme::typical(StormClass::Extreme);
+    let moderate = Cme::typical(StormClass::Moderate);
+    assert!(extreme.transit_hours() < moderate.transit_hours());
+    assert!(extreme.lead_time_hours(2.0) < moderate.lead_time_hours(2.0));
+}
+
+#[test]
+fn uniform_and_band_models_agree_when_flat() {
+    // A band model with equal probabilities in every band IS the uniform
+    // model — cable survival must match exactly.
+    let net = mini();
+    let flat = LatitudeBandFailure::new([0.05, 0.05, 0.05]).unwrap();
+    let uniform = UniformFailure::new(0.05).unwrap();
+    let profiles = solarstorm::sim::cable_profiles(&net);
+    for p in &profiles {
+        assert_eq!(
+            flat.cable_survival_probability(p, 150.0),
+            uniform.cable_survival_probability(p, 150.0)
+        );
+    }
+}
