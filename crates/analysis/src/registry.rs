@@ -279,6 +279,14 @@ pub fn all() -> &'static [Experiment] {
     R
 }
 
+/// Looks up one experiment by its stable id (`E0`…`A15`).
+///
+/// This is the hook that makes the registry *invocable data*: the
+/// scenario-evaluation service resolves wire requests through it.
+pub fn by_id(id: &str) -> Option<&'static Experiment> {
+    all().iter().find(|e| e.id == id)
+}
+
 /// Renders the registry as an aligned text index.
 pub fn render_index() -> String {
     let mut out = format!(
@@ -354,6 +362,15 @@ mod tests {
                 assert!(known.contains(&b), "unknown bench {b} in {}", e.id);
             }
         }
+    }
+
+    #[test]
+    fn by_id_finds_every_experiment_and_only_those() {
+        for e in all() {
+            assert_eq!(by_id(e.id).unwrap().id, e.id);
+        }
+        assert!(by_id("Z99").is_none());
+        assert!(by_id("").is_none());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use solarstorm::analysis::{
     as_impact, economics, headline, maps, partition_report, risk, traffic_report,
 };
 use solarstorm::data::io;
+use solarstorm::engine::{proto, Engine, EngineConfig, Scale, Server, ServerConfig};
 use solarstorm::sim::cascade::{self, GridFailureModel};
 use solarstorm::sim::isolation::{self, CouplingModel};
 use solarstorm::sim::mitigation;
@@ -51,6 +52,8 @@ COMMANDS
   arctic          Arctic vs southern route tradeoff (§5.1)
   index           list every registered experiment
   export          dump the generated networks as JSON
+  serve           NDJSON scenario-evaluation service over TCP
+  batch           evaluate NDJSON scenario requests from stdin
   all             run everything
 
 OPTIONS
@@ -59,7 +62,53 @@ OPTIONS
   --seed N          base RNG seed (default 42)
   --spacing KM      repeater spacing for fig6/fig7 (default 150)
   --csv             print figures as CSV instead of ASCII
+
+SERVICE OPTIONS (serve | batch)
+  --addr HOST:PORT  listen address for serve (default 127.0.0.1:7070)
+  --workers N       worker threads (default: CPU cores, capped at 8)
+  --queue N         bounded work-queue capacity (default 64)
+  --cache N         result-cache entry cap, 0 disables (default 256)
+  --full            paper-scale datasets (default: scaled test datasets)
 ";
+
+/// Every accepted command, checked before datasets are built so a typo
+/// fails fast with usage instead of after seconds of generation.
+const KNOWN_COMMANDS: &[&str] = &[
+    "help",
+    "--help",
+    "-h",
+    "index",
+    "serve",
+    "batch",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "stats",
+    "countries",
+    "systems",
+    "mitigate",
+    "cascade",
+    "repair",
+    "partitions",
+    "traffic",
+    "satellite",
+    "asimpact",
+    "map",
+    "risk",
+    "isolate",
+    "economics",
+    "timeline",
+    "robustness",
+    "arctic",
+    "export",
+    "all",
+];
 
 struct Opts {
     full: bool,
@@ -109,6 +158,125 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(opts)
 }
 
+/// Options for the `serve` and `batch` service frontends.
+struct ServiceOpts {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    full: bool,
+}
+
+fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
+    let defaults = EngineConfig::default();
+    let mut opts = ServiceOpts {
+        addr: "127.0.0.1:7070".to_string(),
+        workers: defaults.workers,
+        queue: defaults.queue_cap,
+        cache: defaults.cache_cap,
+        full: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--addr" => {
+                opts.addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--workers" => {
+                opts.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                opts.queue = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--cache" => {
+                opts.cache = it
+                    .next()
+                    .ok_or("--cache needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn engine_config(opts: &ServiceOpts) -> EngineConfig {
+    EngineConfig {
+        workers: opts.workers,
+        queue_cap: opts.queue,
+        cache_cap: opts.cache,
+        prewarm: Some(if opts.full { Scale::Paper } else { Scale::Test }),
+    }
+}
+
+/// `stormsim serve`: NDJSON scenario service over TCP, thread per
+/// connection, until killed.
+fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!(
+        "prewarming {} datasets…",
+        if opts.full {
+            "paper-scale"
+        } else {
+            "test-scale"
+        }
+    );
+    let engine = std::sync::Arc::new(Engine::new(engine_config(opts)));
+    let server = Server::bind(
+        &opts.addr,
+        std::sync::Arc::clone(&engine),
+        ServerConfig::default(),
+    )?;
+    eprintln!(
+        "stormsim serve listening on {} ({} workers, queue {}, cache {})",
+        server.local_addr()?,
+        opts.workers,
+        opts.queue,
+        opts.cache
+    );
+    server.run()?;
+    Ok(())
+}
+
+/// `stormsim batch`: one NDJSON request per stdin line, one response
+/// per stdout line; a metrics snapshot goes to stderr at EOF.
+fn run_batch(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{BufRead, Write};
+    eprintln!(
+        "prewarming {} datasets…",
+        if opts.full {
+            "paper-scale"
+        } else {
+            "test-scale"
+        }
+    );
+    let engine = Engine::new(engine_config(opts));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        writeln!(out, "{}", proto::handle_line(&engine, trimmed).to_line())?;
+    }
+    out.flush()?;
+    engine.shutdown();
+    eprintln!("{}", serde_json::to_string_pretty(&engine.metrics())?);
+    Ok(())
+}
+
 fn show(fig: &Figure, csv: bool) {
     if csv {
         print!("{}", fig.to_csv());
@@ -123,6 +291,31 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
+    if !KNOWN_COMMANDS.contains(&command.as_str()) {
+        eprintln!("unknown command {command}\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    if command == "serve" || command == "batch" {
+        let sopts = match parse_service_opts(&args[1..]) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        let out = if command == "serve" {
+            run_serve(&sopts)
+        } else {
+            run_batch(&sopts)
+        };
+        if let Err(e) = out {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let opts = match parse_opts(&args[1..]) {
         Ok(o) => o,
         Err(e) => {

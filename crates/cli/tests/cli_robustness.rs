@@ -1,0 +1,89 @@
+//! Black-box tests of the `stormsim` binary's argument handling: every
+//! malformed invocation must fail fast with a one-line error plus usage
+//! on stderr and a nonzero exit code — before any dataset is built.
+
+use std::process::{Command, Output};
+
+fn stormsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_stormsim"))
+        .args(args)
+        .output()
+        .expect("spawn stormsim")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_command_prints_usage_and_exits_2() {
+    let out = stormsim(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("USAGE: stormsim"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_command_fails_fast_with_usage() {
+    let out = stormsim(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown command frobnicate"), "{err}");
+    assert!(err.contains("USAGE: stormsim"), "{err}");
+    // Fail-fast: the dataset-build banner must not have printed.
+    assert!(
+        !err.contains("building"),
+        "built datasets for a typo: {err}"
+    );
+}
+
+#[test]
+fn bad_option_value_is_rejected() {
+    let out = stormsim(&["fig3", "--trials", "abc"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--trials"), "{err}");
+    assert!(err.contains("USAGE: stormsim"), "{err}");
+}
+
+#[test]
+fn unknown_option_is_rejected() {
+    let out = stormsim(&["fig3", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("unknown option --bogus"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn service_commands_reject_bad_options() {
+    let out = stormsim(&["serve", "--workers", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--workers"), "{}", stderr(&out));
+
+    let out = stormsim(&["batch", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("unknown option --bogus"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn help_and_index_succeed_without_datasets() {
+    let out = stormsim(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("USAGE: stormsim"), "{}", stdout(&out));
+
+    let out = stormsim(&["index"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("E13"), "{text}");
+    assert!(text.contains("A15"), "{text}");
+}

@@ -1,0 +1,56 @@
+//! The experiment registry is the single source of truth for what the
+//! toolkit can do; these tests pin the CLI and the bench suite to it.
+
+use solarstorm::analysis::registry;
+
+const MAIN_SRC: &str = include_str!("../src/main.rs");
+
+/// Every experiment's `cli` name must appear as a quoted string in
+/// `main.rs` — i.e. have a dispatch arm (and a `KNOWN_COMMANDS` entry,
+/// since both use the same literal).
+#[test]
+fn every_registry_cli_has_a_dispatch_arm() {
+    for e in registry::all() {
+        let needle = format!("\"{}\"", e.cli);
+        assert!(
+            MAIN_SRC.contains(&needle),
+            "experiment {} maps to cli command {:?}, but crates/cli/src/main.rs \
+             never mentions {needle}; add a dispatch arm",
+            e.id,
+            e.cli
+        );
+    }
+}
+
+/// Every experiment that names a benchmark must point at a real file
+/// under `crates/bench/benches/`.
+#[test]
+fn every_registry_bench_names_an_existing_file() {
+    let benches = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../bench/benches");
+    for e in registry::all() {
+        if let Some(bench) = e.bench {
+            let path = benches.join(format!("{bench}.rs"));
+            assert!(
+                path.is_file(),
+                "experiment {} names bench {bench:?}, but {} does not exist",
+                e.id,
+                path.display()
+            );
+        }
+    }
+}
+
+/// Registry ids stay unique and resolvable — the engine's wire protocol
+/// addresses experiments by these ids.
+#[test]
+fn registry_ids_are_unique_and_resolvable() {
+    let all = registry::all();
+    for e in all {
+        let found = registry::by_id(e.id).expect("by_id resolves every listed id");
+        assert_eq!(found.id, e.id);
+    }
+    let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), all.len(), "duplicate experiment id in registry");
+}

@@ -45,13 +45,17 @@
 //!   orbital decay and satellite service loss;
 //! * [`analysis`] — figure/table reproduction (Figs. 3–9, §4.3.4,
 //!   §4.4, headline statistics) plus the extensions: AS-to-cable impact,
-//!   functional partitions, traffic shifts.
+//!   functional partitions, traffic shifts;
+//! * [`engine`] — the concurrent scenario-evaluation service behind
+//!   `stormsim serve`/`batch`: content-addressed result cache,
+//!   single-flight dedup, bounded worker pool, NDJSON protocol.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use solarstorm_analysis as analysis;
 pub use solarstorm_data as data;
+pub use solarstorm_engine as engine;
 pub use solarstorm_geo as geo;
 pub use solarstorm_gic as gic;
 pub use solarstorm_sat as sat;
@@ -60,6 +64,9 @@ pub use solarstorm_solar as solar;
 pub use solarstorm_topology as topology;
 
 pub use solarstorm_analysis::{Datasets, DatasetsConfig, Figure, Series};
+pub use solarstorm_engine::{
+    AnalysisRequest, Engine, EngineConfig, EngineMetrics, FailureSpec, ScenarioResult, ScenarioSpec,
+};
 pub use solarstorm_gic::{
     CableProfile, DamageCurve, FailureModel, GeoelectricField, LatitudeBandFailure, PhysicsFailure,
     PowerFeedSystem, UniformFailure,

@@ -1,0 +1,139 @@
+//! Content-addressed LRU result cache.
+//!
+//! Entries are keyed by the FNV-1a hash of the scenario's canonical
+//! serialization; each entry stores that serialization so a hash
+//! collision is detected and treated as a miss (the newer scenario
+//! evicts the colliding entry) rather than returning a wrong result.
+
+use crate::spec::ScenarioResult;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    canon: String,
+    value: Arc<ScenarioResult>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of scenario results shared by all workers.
+pub(crate) struct ResultCache {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `cap` entries (`cap == 0`
+    /// disables caching entirely).
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            cap,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Looks up a result, bumping its recency on a hit. The canonical
+    /// string must match, not just the hash.
+    pub fn get(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        let e = g.map.get_mut(&hash)?;
+        if e.canon != canon {
+            return None;
+        }
+        e.last_used = tick;
+        Some(Arc::clone(&e.value))
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry when
+    /// full. A colliding hash with a different canonical string is
+    /// overwritten by the newcomer.
+    pub fn insert(&self, hash: u64, canon: String, value: Arc<ScenarioResult>) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        if !g.map.contains_key(&hash) && g.map.len() >= self.cap {
+            let oldest = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            if let Some(oldest) = oldest {
+                g.map.remove(&oldest);
+            }
+        }
+        g.map.insert(
+            hash,
+            Entry {
+                canon,
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(ms: u64) -> Arc<ScenarioResult> {
+        Arc::new(ScenarioResult::Slept { ms })
+    }
+
+    #[test]
+    fn hit_requires_matching_canon() {
+        let c = ResultCache::new(4);
+        c.insert(7, "a".into(), res(1));
+        assert!(c.get(7, "a").is_some());
+        assert!(c.get(7, "b").is_none(), "hash collision must miss");
+        assert!(c.get(8, "a").is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_cap() {
+        let c = ResultCache::new(2);
+        c.insert(1, "k1".into(), res(1));
+        c.insert(2, "k2".into(), res(2));
+        assert!(c.get(1, "k1").is_some()); // bump k1; k2 is now LRU
+        c.insert(3, "k3".into(), res(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2, "k2").is_none(), "k2 was LRU and must be evicted");
+        assert!(c.get(1, "k1").is_some());
+        assert!(c.get(3, "k3").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ResultCache::new(0);
+        c.insert(1, "k".into(), res(1));
+        assert_eq!(c.len(), 0);
+        assert!(c.get(1, "k").is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let c = ResultCache::new(2);
+        c.insert(1, "k".into(), res(1));
+        c.insert(1, "k".into(), res(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.get(1, "k").unwrap(), ScenarioResult::Slept { ms: 9 });
+    }
+}

@@ -1,0 +1,118 @@
+//! Canonical JSON serialization and the FNV-1a content hash.
+//!
+//! Two requests that mean the same thing must cache-address the same
+//! entry, regardless of the key order their client happened to emit or
+//! whether defaulted fields were spelled out. The canonical form
+//! serializes through `serde_json::Value` (so defaults are materialized)
+//! and writes objects with keys sorted bytewise; the 64-bit FNV-1a hash
+//! of that string is the scenario's content address.
+
+use serde::Serialize;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes bytes with 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Writes `v` as canonical JSON: object keys sorted bytewise, no
+/// whitespace, arrays in order.
+fn write_canonical(v: &serde_json::Value, out: &mut String) {
+    match v {
+        serde_json::Value::Object(map) => {
+            out.push('{');
+            let mut keys: Vec<&String> = map.keys().collect();
+            keys.sort_unstable();
+            for (i, k) in keys.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                // serde_json string serialization cannot fail.
+                out.push_str(&serde_json::to_string(k).expect("string serializes"));
+                out.push(':');
+                write_canonical(&map[*k], out);
+            }
+            out.push('}');
+        }
+        serde_json::Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(item, out);
+            }
+            out.push(']');
+        }
+        scalar => out.push_str(&serde_json::to_string(scalar).expect("scalar serializes")),
+    }
+}
+
+/// Canonical JSON serialization of any serde value.
+pub fn canonical_string<T: Serialize>(t: &T) -> Result<String, serde_json::Error> {
+    let v = serde_json::to_value(t)?;
+    let mut out = String::with_capacity(128);
+    write_canonical(&v, &mut out);
+    Ok(out)
+}
+
+/// Canonical serialization plus its FNV-1a content hash.
+pub fn content_hash<T: Serialize>(t: &T) -> Result<(String, u64), serde_json::Error> {
+    let canon = canonical_string(t)?;
+    let hash = fnv1a64(canon.as_bytes());
+    Ok((canon, hash))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    #[test]
+    fn fnv_test_vectors() {
+        // Standard FNV-1a 64-bit vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_order_does_not_change_the_hash() {
+        let a: serde_json::Value =
+            serde_json::from_str(r#"{"x": 1, "y": [true, {"b": 2, "a": 3}]}"#).unwrap();
+        let b: serde_json::Value =
+            serde_json::from_str(r#"{"y": [true, {"a": 3, "b": 2}], "x": 1}"#).unwrap();
+        assert_eq!(canonical_string(&a).unwrap(), canonical_string(&b).unwrap());
+    }
+
+    #[test]
+    fn omitted_defaults_hash_like_explicit_defaults() {
+        let implicit: ScenarioSpec = serde_json::from_str("{}").unwrap();
+        let explicit: ScenarioSpec = serde_json::from_str(
+            r#"{"scale":"test","network":"submarine","model":{"kind":"s2"},
+                "mc":{"spacing_km":150.0,"trials":10,"seed":42,"max_threads":8},
+                "analysis":{"kind":"stats"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            content_hash(&implicit).unwrap(),
+            content_hash(&explicit).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_specs_hash_differently() {
+        let a: ScenarioSpec = serde_json::from_str("{}").unwrap();
+        let b: ScenarioSpec = serde_json::from_str(r#"{"mc":{"seed":43}}"#).unwrap();
+        assert_ne!(content_hash(&a).unwrap().1, content_hash(&b).unwrap().1);
+    }
+}

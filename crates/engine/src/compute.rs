@@ -1,0 +1,173 @@
+//! Scenario evaluation: from a validated [`ScenarioSpec`] to a
+//! [`ScenarioResult`], on the worker thread.
+
+use crate::error::EngineError;
+use crate::experiments;
+use crate::spec::{
+    AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
+};
+use solarstorm_analysis::Datasets;
+use solarstorm_gic::{LatitudeBandFailure, PhysicsFailure, UniformFailure};
+use solarstorm_sim::monte_carlo::{run, run_outcomes};
+use solarstorm_topology::Network;
+
+/// Upper bound on trials accepted over the wire: a scenario above this
+/// is almost certainly a mistake or an abuse attempt.
+const MAX_TRIALS: usize = 100_000;
+
+/// Upper bound on the synthetic sleep workload.
+const MAX_SLEEP_MS: u64 = 5_000;
+
+/// The shared, pre-built dataset bundle for a scale. Built once per
+/// process and reused by every request, so repeated queries never pay
+/// dataset regeneration.
+pub(crate) fn datasets(scale: Scale) -> &'static Datasets {
+    match scale {
+        Scale::Test => Datasets::small_cached(),
+        Scale::Paper => Datasets::default_cached(),
+    }
+}
+
+fn network(data: &Datasets, sel: NetworkSel) -> &Network {
+    match sel {
+        NetworkSel::Submarine => &data.submarine,
+        NetworkSel::Intertubes => &data.intertubes,
+        NetworkSel::Itu => &data.itu,
+    }
+}
+
+/// Runs `body` with the concrete failure model the spec selects.
+macro_rules! with_model {
+    ($spec:expr, |$m:ident| $body:expr) => {
+        match &$spec.model {
+            FailureSpec::Uniform { p } => {
+                let $m = UniformFailure::new(*p)?;
+                $body
+            }
+            FailureSpec::S1 => {
+                let $m = LatitudeBandFailure::s1();
+                $body
+            }
+            FailureSpec::S2 => {
+                let $m = LatitudeBandFailure::s2();
+                $body
+            }
+            FailureSpec::Bands { probs } => {
+                let $m = LatitudeBandFailure::new(*probs)?;
+                $body
+            }
+            FailureSpec::Physics { class, shutdown } => {
+                let base = PhysicsFailure::calibrated(*class);
+                let $m = if *shutdown { base.powered_off() } else { base };
+                $body
+            }
+        }
+    };
+}
+
+/// Cheap structural validation, run on the caller thread before the
+/// request is hashed or enqueued.
+pub(crate) fn validate(spec: &ScenarioSpec) -> Result<(), EngineError> {
+    if spec.mc.trials > MAX_TRIALS {
+        return Err(EngineError::InvalidSpec(format!(
+            "trials {} exceeds the service limit of {MAX_TRIALS}",
+            spec.mc.trials
+        )));
+    }
+    if let AnalysisRequest::Sleep { ms } = &spec.analysis {
+        if *ms > MAX_SLEEP_MS {
+            return Err(EngineError::InvalidSpec(format!(
+                "sleep ms {ms} exceeds the service limit of {MAX_SLEEP_MS}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates one scenario. Deterministic: the same spec always yields
+/// the same result, which is what makes the result cache sound.
+pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineError> {
+    validate(spec)?;
+    match &spec.analysis {
+        AnalysisRequest::Sleep { ms } => {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            Ok(ScenarioResult::Slept { ms: *ms })
+        }
+        AnalysisRequest::Stats => {
+            let data = datasets(spec.scale);
+            let net = network(data, spec.network);
+            let stats = with_model!(spec, |m| run(net, &m, &spec.mc))?;
+            Ok(ScenarioResult::Stats { stats })
+        }
+        AnalysisRequest::Outcomes => {
+            let data = datasets(spec.scale);
+            let net = network(data, spec.network);
+            let outcomes = with_model!(spec, |m| run_outcomes(net, &m, &spec.mc))?;
+            Ok(ScenarioResult::Outcomes {
+                outcomes: outcomes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| OutcomeSummary::from_outcome(i, o))
+                    .collect(),
+            })
+        }
+        AnalysisRequest::Experiment { id } => {
+            let data = datasets(spec.scale);
+            let text = experiments::run_experiment(data, &spec.mc, id)?;
+            Ok(ScenarioResult::Report {
+                id: id.clone(),
+                text,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_specs_are_rejected_before_compute() {
+        let spec = ScenarioSpec {
+            mc: solarstorm_sim::MonteCarloConfig {
+                trials: MAX_TRIALS + 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            validate(&spec).unwrap_err().code(),
+            "invalid_spec",
+            "trial cap"
+        );
+        let spec = ScenarioSpec {
+            analysis: AnalysisRequest::Sleep {
+                ms: MAX_SLEEP_MS + 1,
+            },
+            ..Default::default()
+        };
+        assert_eq!(validate(&spec).unwrap_err().code(), "invalid_spec");
+    }
+
+    #[test]
+    fn sleep_needs_no_datasets() {
+        let spec = ScenarioSpec {
+            analysis: AnalysisRequest::Sleep { ms: 1 },
+            ..Default::default()
+        };
+        assert_eq!(evaluate(&spec).unwrap(), ScenarioResult::Slept { ms: 1 });
+    }
+
+    #[test]
+    fn invalid_probability_is_an_invalid_spec() {
+        let spec = ScenarioSpec {
+            model: FailureSpec::Uniform { p: 1.5 },
+            mc: solarstorm_sim::MonteCarloConfig {
+                trials: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(evaluate(&spec).unwrap_err().code(), "invalid_spec");
+    }
+}

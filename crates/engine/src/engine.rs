@@ -1,0 +1,307 @@
+//! The engine proper: a fixed worker pool fed by a bounded queue, with
+//! content-addressed caching, single-flight dedup, explicit
+//! backpressure, and graceful drain-then-stop shutdown.
+
+use crate::cache::ResultCache;
+use crate::canon;
+use crate::compute;
+use crate::error::EngineError;
+use crate::flight::{FlightTable, Role};
+use crate::metrics::{EngineMetrics, Registry};
+use crate::spec::{Scale, ScenarioResult, ScenarioSpec};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine sizing and behavior knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Fixed number of worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with
+    /// [`EngineError::Busy`] instead of growing without bound.
+    pub queue_cap: usize,
+    /// Result-cache entry cap (0 disables caching).
+    pub cache_cap: usize,
+    /// Dataset bundle to pre-build at startup, so the first request
+    /// doesn't pay generation latency. `None` builds lazily.
+    pub prewarm: Option<Scale>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        EngineConfig {
+            workers: cores.clamp(1, 8),
+            queue_cap: 64,
+            cache_cap: 256,
+            prewarm: None,
+        }
+    }
+}
+
+/// One successfully answered request.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The (possibly shared) scenario result.
+    pub result: Arc<ScenarioResult>,
+    /// Whether the answer came straight from the result cache.
+    pub cached: bool,
+    /// The scenario's FNV-1a content hash.
+    pub hash: u64,
+}
+
+struct Job {
+    canon: String,
+    hash: u64,
+    spec: ScenarioSpec,
+}
+
+/// State shared between the public handle and the worker threads.
+struct Shared {
+    cache: ResultCache,
+    flights: FlightTable,
+    metrics: Registry,
+}
+
+/// The concurrent scenario-evaluation service.
+///
+/// Cheap to share behind an `Arc`; every public method takes `&self`.
+/// Dropping the engine shuts it down gracefully (drain, then stop).
+pub struct Engine {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    accepting: AtomicBool,
+}
+
+impl Engine {
+    /// Builds the engine and starts its worker pool.
+    pub fn new(cfg: EngineConfig) -> Self {
+        if let Some(scale) = cfg.prewarm {
+            let _ = compute::datasets(scale);
+        }
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(cfg.cache_cap),
+            flights: FlightTable::default(),
+            metrics: Registry::default(),
+        });
+        let (tx, rx) = bounded::<Job>(cfg.queue_cap.max(1));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("storm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Engine {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            accepting: AtomicBool::new(true),
+        }
+    }
+
+    /// Evaluates one scenario, blocking until the answer is available.
+    ///
+    /// Identical concurrent requests share a single computation
+    /// (single-flight); repeated requests are served from the cache; a
+    /// full queue fails fast with [`EngineError::Busy`].
+    pub fn evaluate(&self, spec: &ScenarioSpec) -> Result<Evaluation, EngineError> {
+        let t0 = Instant::now();
+        let m = &self.shared.metrics;
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        let out = self.evaluate_inner(spec);
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        m.record_latency(us);
+        match &out {
+            Ok(_) => {
+                m.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(EngineError::Busy) => {} // counted at the rejection site
+            Err(_) => {
+                m.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    fn evaluate_inner(&self, spec: &ScenarioSpec) -> Result<Evaluation, EngineError> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(EngineError::ShuttingDown);
+        }
+        compute::validate(spec)?;
+        let (canon, hash) = canon::content_hash(spec)
+            .map_err(|e| EngineError::InvalidSpec(format!("unserializable spec: {e}")))?;
+        let m = &self.shared.metrics;
+
+        if let Some(result) = self.shared.cache.get(hash, &canon) {
+            m.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Evaluation {
+                result,
+                cached: true,
+                hash,
+            });
+        }
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        match self.shared.flights.join_or_lead(&canon) {
+            Role::Join(flight) => {
+                m.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                flight.wait().map(|result| Evaluation {
+                    result,
+                    cached: false,
+                    hash,
+                })
+            }
+            Role::Lead(flight) => {
+                // A completed computation may have filled the cache
+                // between our miss and taking the lead.
+                if let Some(result) = self.shared.cache.get(hash, &canon) {
+                    self.shared
+                        .flights
+                        .complete(&canon, Ok(Arc::clone(&result)));
+                    m.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Evaluation {
+                        result,
+                        cached: true,
+                        hash,
+                    });
+                }
+                let job = Job {
+                    canon: canon.clone(),
+                    hash,
+                    spec: spec.clone(),
+                };
+                let sender = self.tx.lock().clone();
+                let Some(sender) = sender else {
+                    self.shared
+                        .flights
+                        .complete(&canon, Err(EngineError::ShuttingDown));
+                    return Err(EngineError::ShuttingDown);
+                };
+                m.queue_depth.fetch_add(1, Ordering::Relaxed);
+                match sender.try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        m.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        self.shared.flights.complete(&canon, Err(EngineError::Busy));
+                        return Err(EngineError::Busy);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        self.shared
+                            .flights
+                            .complete(&canon, Err(EngineError::ShuttingDown));
+                        return Err(EngineError::ShuttingDown);
+                    }
+                }
+                flight.wait().map(|result| Evaluation {
+                    result,
+                    cached: false,
+                    hash,
+                })
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.shared.metrics.snapshot(self.shared.cache.len())
+    }
+
+    /// Graceful shutdown: stop accepting, let workers drain every
+    /// queued job (all blocked callers receive their responses), then
+    /// join the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.accepting.store(false, Ordering::Release);
+        // Dropping the only Sender closes the channel once drained.
+        drop(self.tx.lock().take());
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
+    // recv drains remaining queued jobs after the sender drops, then
+    // errors out — exactly the drain-then-stop semantics we want.
+    while let Ok(job) = rx.recv() {
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.computations.fetch_add(1, Ordering::Relaxed);
+        let result = compute::evaluate(&job.spec).map(Arc::new);
+        if let Ok(value) = &result {
+            shared
+                .cache
+                .insert(job.hash, job.canon.clone(), Arc::clone(value));
+        }
+        shared.flights.complete(&job.canon, result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AnalysisRequest;
+
+    fn sleep_spec(ms: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            analysis: AnalysisRequest::Sleep { ms },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn evaluate_then_cache_hit() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let spec = sleep_spec(5);
+        let cold = engine.evaluate(&spec).unwrap();
+        assert!(!cold.cached);
+        let warm = engine.evaluate(&spec).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.hash, warm.hash);
+        let m = engine.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.computations, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.shutdown();
+        assert_eq!(
+            engine.evaluate(&sleep_spec(1)).unwrap_err(),
+            EngineError::ShuttingDown
+        );
+        engine.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn invalid_spec_does_not_reach_a_worker() {
+        let engine = Engine::new(EngineConfig::default());
+        let err = engine.evaluate(&sleep_spec(60_000)).unwrap_err();
+        assert_eq!(err.code(), "invalid_spec");
+        assert_eq!(engine.metrics().computations, 0);
+    }
+}

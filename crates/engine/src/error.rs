@@ -1,0 +1,112 @@
+//! The engine's error type, shared across every service layer.
+
+use std::fmt;
+
+/// Errors produced by the scenario-evaluation service.
+///
+/// The type is `Clone` because single-flight followers receive the same
+/// error instance the leading computation produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request parsed but a value is out of range or inconsistent.
+    InvalidSpec(String),
+    /// The requested experiment id is not in the registry.
+    UnknownExperiment(String),
+    /// The work queue is full; the caller should back off and retry.
+    Busy,
+    /// The engine is draining and accepts no new work.
+    ShuttingDown,
+    /// The computation itself failed.
+    Compute(String),
+}
+
+impl EngineError {
+    /// Stable machine-readable code used by the NDJSON wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::InvalidSpec(_) => "invalid_spec",
+            EngineError::UnknownExperiment(_) => "unknown_experiment",
+            EngineError::Busy => "busy",
+            EngineError::ShuttingDown => "shutting_down",
+            EngineError::Compute(_) => "compute",
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidSpec(m) => write!(f, "invalid scenario spec: {m}"),
+            EngineError::UnknownExperiment(id) => {
+                write!(f, "unknown experiment id {id} (see `stormsim index`)")
+            }
+            EngineError::Busy => write!(f, "engine queue full, retry later"),
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::Compute(m) => write!(f, "scenario computation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<solarstorm_sim::SimError> for EngineError {
+    fn from(e: solarstorm_sim::SimError) -> Self {
+        match e {
+            solarstorm_sim::SimError::InvalidConfig { .. } => {
+                EngineError::InvalidSpec(e.to_string())
+            }
+            other => EngineError::Compute(other.to_string()),
+        }
+    }
+}
+
+impl From<solarstorm_gic::GicError> for EngineError {
+    fn from(e: solarstorm_gic::GicError) -> Self {
+        EngineError::InvalidSpec(e.to_string())
+    }
+}
+
+impl From<solarstorm_solar::SolarError> for EngineError {
+    fn from(e: solarstorm_solar::SolarError) -> Self {
+        EngineError::Compute(e.to_string())
+    }
+}
+
+impl From<solarstorm_data::DataError> for EngineError {
+    fn from(e: solarstorm_data::DataError) -> Self {
+        EngineError::Compute(e.to_string())
+    }
+}
+
+impl From<solarstorm_sat::SatError> for EngineError {
+    fn from(e: solarstorm_sat::SatError) -> Self {
+        EngineError::Compute(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(EngineError::Busy.code(), "busy");
+        assert_eq!(EngineError::ShuttingDown.code(), "shutting_down");
+        assert_eq!(EngineError::InvalidSpec("x".into()).code(), "invalid_spec");
+        assert_eq!(
+            EngineError::UnknownExperiment("Z9".into()).code(),
+            "unknown_experiment"
+        );
+        assert_eq!(EngineError::Compute("x".into()).code(), "compute");
+    }
+
+    #[test]
+    fn sim_invalid_config_maps_to_invalid_spec() {
+        let e: EngineError = solarstorm_sim::SimError::InvalidConfig {
+            name: "trials",
+            message: "must be > 0".into(),
+        }
+        .into();
+        assert_eq!(e.code(), "invalid_spec");
+    }
+}

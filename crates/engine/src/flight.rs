@@ -1,0 +1,127 @@
+//! Single-flight deduplication: identical concurrent requests share one
+//! computation.
+//!
+//! The first caller for a canonical scenario key becomes the *leader*
+//! and enqueues the job; every later caller arriving before completion
+//! becomes a *follower* and blocks on the same [`Flight`]. When a worker
+//! completes the job it publishes the shared result and wakes everyone.
+
+use crate::error::EngineError;
+use crate::spec::ScenarioResult;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The shared completion slot one in-flight computation fills.
+pub(crate) struct Flight {
+    slot: Mutex<Option<Result<Arc<ScenarioResult>, EngineError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the computation completes and returns its result.
+    pub fn wait(&self) -> Result<Arc<ScenarioResult>, EngineError> {
+        let mut g = self.slot.lock();
+        while g.is_none() {
+            self.cv.wait(&mut g);
+        }
+        g.as_ref().expect("slot filled").clone()
+    }
+
+    fn fill(&self, r: Result<Arc<ScenarioResult>, EngineError>) {
+        let mut g = self.slot.lock();
+        *g = Some(r);
+        self.cv.notify_all();
+    }
+}
+
+/// Whether a caller leads or joins an in-flight computation.
+pub(crate) enum Role {
+    /// This caller must enqueue the job and eventually complete it.
+    Lead(Arc<Flight>),
+    /// Another caller already owns the computation; wait on its flight.
+    Join(Arc<Flight>),
+}
+
+/// The table of in-flight computations, keyed by canonical scenario.
+#[derive(Default)]
+pub(crate) struct FlightTable {
+    map: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl FlightTable {
+    /// Joins the flight for `key`, creating it (as leader) when absent.
+    pub fn join_or_lead(&self, key: &str) -> Role {
+        let mut g = self.map.lock();
+        if let Some(f) = g.get(key) {
+            Role::Join(Arc::clone(f))
+        } else {
+            let f = Arc::new(Flight::new());
+            g.insert(key.to_string(), Arc::clone(&f));
+            Role::Lead(f)
+        }
+    }
+
+    /// Publishes the result for `key` and removes it from the table.
+    /// Followers blocked in [`Flight::wait`] observe the result; callers
+    /// arriving after this point start a fresh flight (and will normally
+    /// hit the cache instead).
+    pub fn complete(&self, key: &str, result: Result<Arc<ScenarioResult>, EngineError>) {
+        let flight = self.map.lock().remove(key);
+        if let Some(f) = flight {
+            f.fill(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn followers_receive_the_leaders_result() {
+        let table = Arc::new(FlightTable::default());
+        let Role::Lead(lead) = table.join_or_lead("k") else {
+            panic!("first caller must lead");
+        };
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let t = Arc::clone(&table);
+            joins.push(thread::spawn(move || match t.join_or_lead("k") {
+                Role::Join(f) => f.wait(),
+                Role::Lead(_) => panic!("must join the existing flight"),
+            }));
+        }
+        // Give followers a moment to block, then complete.
+        thread::sleep(std::time::Duration::from_millis(20));
+        table.complete("k", Ok(Arc::new(ScenarioResult::Slept { ms: 7 })));
+        for j in joins {
+            let r = j.join().unwrap().unwrap();
+            assert_eq!(*r, ScenarioResult::Slept { ms: 7 });
+        }
+        drop(lead);
+        // After completion the key is free again.
+        assert!(matches!(table.join_or_lead("k"), Role::Lead(_)));
+    }
+
+    #[test]
+    fn errors_propagate_to_followers() {
+        let table = FlightTable::default();
+        let Role::Lead(_) = table.join_or_lead("k") else {
+            panic!("lead");
+        };
+        let Role::Join(f) = table.join_or_lead("k") else {
+            panic!("join");
+        };
+        table.complete("k", Err(EngineError::Busy));
+        assert_eq!(f.wait().unwrap_err(), EngineError::Busy);
+    }
+}

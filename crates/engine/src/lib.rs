@@ -1,0 +1,70 @@
+//! `solarstorm-engine` — a concurrent scenario-evaluation service over
+//! the solarstorm toolkit.
+//!
+//! The library crates answer one question at a time; this crate turns
+//! them into a long-running service that answers *many* what-if queries
+//! over shared, pre-built datasets — the shape of workload an operator
+//! tool (per-cable scenario queries, resilience dashboards) produces:
+//!
+//! * **[`ScenarioSpec`]** — a serde request value selecting datasets, a
+//!   failure model, Monte Carlo parameters, and an analysis; registry
+//!   experiments (`E0`–`A15`) are invocable by id.
+//! * **Content-addressed caching** — the FNV-1a hash of the spec's
+//!   canonical (key-sorted) JSON keys a bounded LRU result cache, so a
+//!   repeated query costs a hash lookup, not a simulation.
+//! * **Single-flight dedup** — identical concurrent requests block on
+//!   one computation instead of repeating it.
+//! * **Bounded worker pool** — a fixed pool fed by a bounded crossbeam
+//!   channel; a full queue rejects with [`EngineError::Busy`] instead of
+//!   growing without bound, and [`Engine::shutdown`] drains in-flight
+//!   work before stopping.
+//! * **[`EngineMetrics`]** — served/rejected counts, cache hits/misses,
+//!   dedup joins, queue depth, and a latency histogram with p50/p99.
+//!
+//! Frontends: [`Server`] speaks newline-delimited JSON over
+//! `std::net::TcpListener` (`stormsim serve`), and the same
+//! [`proto`] handlers back `stormsim batch` for offline NDJSON bulk
+//! evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use solarstorm_engine::{AnalysisRequest, Engine, EngineConfig, ScenarioSpec};
+//!
+//! let engine = Engine::new(EngineConfig { workers: 2, ..Default::default() });
+//! // A synthetic workload needs no datasets, so this doc test is cheap;
+//! // real requests select networks, failure models and analyses.
+//! let spec = ScenarioSpec {
+//!     analysis: AnalysisRequest::Sleep { ms: 1 },
+//!     ..Default::default()
+//! };
+//! let cold = engine.evaluate(&spec).unwrap();
+//! let warm = engine.evaluate(&spec).unwrap();
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(engine.metrics().computations, 1);
+//! engine.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod cache;
+pub mod canon;
+mod compute;
+mod engine;
+mod error;
+mod experiments;
+mod flight;
+mod metrics;
+pub mod proto;
+mod server;
+mod spec;
+
+pub use engine::{Engine, EngineConfig, Evaluation};
+pub use error::EngineError;
+pub use metrics::{EngineMetrics, LatencySummary};
+pub use proto::{Request, RequestBody, Response, WireError};
+pub use server::{Server, ServerConfig};
+pub use spec::{
+    AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
+};

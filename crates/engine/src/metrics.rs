@@ -1,0 +1,194 @@
+//! Lock-free service counters and a log-scaled latency histogram.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of power-of-two latency buckets (bucket `i` holds requests
+/// that finished in `< 2^i` µs; the last bucket absorbs the tail).
+const BUCKETS: usize = 40;
+
+/// Internal registry of atomic counters. One per engine; cheap to
+/// update from every worker and connection thread.
+pub(crate) struct Registry {
+    pub requests: AtomicU64,
+    pub completed: AtomicU64,
+    pub errors: AtomicU64,
+    pub rejected_busy: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub dedup_joins: AtomicU64,
+    pub computations: AtomicU64,
+    pub queue_depth: AtomicU64,
+    latency_count: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            dedup_joins: AtomicU64::new(0),
+            computations: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Registry {
+    /// Records one request latency in microseconds.
+    pub fn record_latency(&self, us: u64) {
+        self.latency_count.fetch_add(1, Relaxed);
+        self.latency_sum_us.fetch_add(us, Relaxed);
+        self.latency_max_us.fetch_max(us, Relaxed);
+        self.latency_buckets[bucket_index(us)].fetch_add(1, Relaxed);
+    }
+
+    fn percentile_us(&self, counts: &[u64; BUCKETS], total: u64, p: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i: 2^i µs (bucket 0 is < 1 µs).
+                return 1u64 << i.min(63);
+            }
+        }
+        self.latency_max_us.load(Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot of every counter.
+    pub fn snapshot(&self, cache_entries: usize) -> EngineMetrics {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.latency_buckets) {
+            *slot = bucket.load(Relaxed);
+        }
+        let count = self.latency_count.load(Relaxed);
+        EngineMetrics {
+            requests: self.requests.load(Relaxed),
+            completed: self.completed.load(Relaxed),
+            errors: self.errors.load(Relaxed),
+            rejected_busy: self.rejected_busy.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            dedup_joins: self.dedup_joins.load(Relaxed),
+            computations: self.computations.load(Relaxed),
+            queue_depth: self.queue_depth.load(Relaxed),
+            cache_entries: cache_entries as u64,
+            latency: LatencySummary {
+                count,
+                mean_us: if count == 0 {
+                    0
+                } else {
+                    self.latency_sum_us.load(Relaxed) / count
+                },
+                p50_us: self.percentile_us(&counts, count, 0.50),
+                p99_us: self.percentile_us(&counts, count, 0.99),
+                max_us: self.latency_max_us.load(Relaxed),
+            },
+        }
+    }
+}
+
+/// Latency distribution summary (microseconds; percentiles are the
+/// upper bound of the matching power-of-two histogram bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_us: u64,
+    /// Median (bucketed upper bound).
+    pub p50_us: u64,
+    /// 99th percentile (bucketed upper bound).
+    pub p99_us: u64,
+    /// Exact maximum observed.
+    pub max_us: u64,
+}
+
+/// A point-in-time snapshot of the engine's service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Requests received (including rejected ones).
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error other than `Busy`.
+    pub errors: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected_busy: u64,
+    /// Requests answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Requests that missed the cache.
+    pub cache_misses: u64,
+    /// Requests that joined another caller's in-flight computation.
+    pub dedup_joins: u64,
+    /// Scenario computations actually executed by workers.
+    pub computations: u64,
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub queue_depth: u64,
+    /// Entries currently in the result cache.
+    pub cache_entries: u64,
+    /// Request-latency distribution.
+    pub latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_scaled() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_samples() {
+        let r = Registry::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 4000] {
+            r.record_latency(us);
+        }
+        let m = r.snapshot(0);
+        assert_eq!(m.latency.count, 10);
+        assert_eq!(m.latency.max_us, 4000);
+        assert!(m.latency.p50_us >= 50 && m.latency.p50_us <= 128);
+        assert!(m.latency.p99_us >= 4000);
+        assert!(m.latency.mean_us > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let r = Registry::default();
+        r.requests.fetch_add(3, Relaxed);
+        r.record_latency(77);
+        let m = r.snapshot(2);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: EngineMetrics = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,205 @@
+//! The newline-delimited JSON wire protocol shared by `stormsim serve`
+//! (TCP) and `stormsim batch` (stdin/stdout).
+//!
+//! One request per line, one response per line, in order:
+//!
+//! ```text
+//! → {"id":"q1","type":"scenario","spec":{"model":{"kind":"s1"}}}
+//! ← {"id":"q1","ok":true,"hash":"…","result":{"kind":"stats","stats":{…}}}
+//! → {"type":"metrics"}
+//! ← {"ok":true,"result":{"requests":2,…}}
+//! → not json
+//! ← {"ok":false,"error":{"code":"parse","message":"…"}}
+//! ```
+//!
+//! A bare [`ScenarioSpec`] object (no `type` tag) is also accepted and
+//! treated as an id-less scenario request, which keeps `stormsim batch`
+//! pipelines terse.
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::spec::ScenarioSpec;
+use serde::{Deserialize, Serialize};
+
+/// What a request line asks for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum RequestBody {
+    /// Evaluate one scenario.
+    Scenario {
+        /// The scenario to evaluate.
+        spec: ScenarioSpec,
+    },
+    /// Return an [`crate::EngineMetrics`] snapshot.
+    Metrics,
+    /// Liveness probe; answers `"pong"`.
+    Ping,
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<String>,
+    /// The request body, tagged by `type`.
+    #[serde(flatten)]
+    pub body: RequestBody,
+}
+
+/// Machine-readable error payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Stable error code (`busy`, `invalid_spec`, `parse`, …).
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// One response line. Identical requests produce byte-identical
+/// response lines (the cache never changes an answer), which is why
+/// volatile fields like latency are reported via `metrics` instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request id, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<String>,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Content hash of the scenario (scenario requests only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hash: Option<String>,
+    /// The result payload on success.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub result: Option<serde_json::Value>,
+    /// The error payload on failure.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<WireError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn success(id: Option<String>, hash: Option<u64>, result: serde_json::Value) -> Self {
+        Response {
+            id,
+            ok: true,
+            hash: hash.map(|h| format!("{h:016x}")),
+            result: Some(result),
+            error: None,
+        }
+    }
+
+    /// A failure response with a stable code.
+    pub fn failure(id: Option<String>, code: &str, message: String) -> Self {
+        Response {
+            id,
+            ok: false,
+            hash: None,
+            result: None,
+            error: Some(WireError {
+                code: code.to_string(),
+                message,
+            }),
+        }
+    }
+
+    /// Serializes to one NDJSON line (without the trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response serializes")
+    }
+}
+
+/// Parses one request line. Accepts the tagged [`Request`] envelope or
+/// a bare [`ScenarioSpec`]; anything else is a parse error.
+pub fn parse_line(line: &str) -> Result<Request, String> {
+    match serde_json::from_str::<Request>(line) {
+        Ok(req) => Ok(req),
+        Err(envelope_err) => match serde_json::from_str::<ScenarioSpec>(line) {
+            Ok(spec) => Ok(Request {
+                id: None,
+                body: RequestBody::Scenario { spec },
+            }),
+            Err(_) => Err(envelope_err.to_string()),
+        },
+    }
+}
+
+/// Handles one parsed request against an engine. Never panics; every
+/// failure becomes an error response.
+pub fn handle_request(engine: &Engine, req: Request) -> Response {
+    match req.body {
+        RequestBody::Ping => Response::success(req.id, None, serde_json::json!("pong")),
+        RequestBody::Metrics => match serde_json::to_value(engine.metrics()) {
+            Ok(v) => Response::success(req.id, None, v),
+            Err(e) => Response::failure(req.id, "internal", e.to_string()),
+        },
+        RequestBody::Scenario { spec } => match engine.evaluate(&spec) {
+            Ok(eval) => match serde_json::to_value(&*eval.result) {
+                Ok(v) => Response::success(req.id, Some(eval.hash), v),
+                Err(e) => Response::failure(req.id, "internal", e.to_string()),
+            },
+            Err(e) => Response::failure(req.id, e.code(), e.to_string()),
+        },
+    }
+}
+
+/// Convenience: parse + handle one raw line.
+pub fn handle_line(engine: &Engine, line: &str) -> Response {
+    match parse_line(line) {
+        Ok(req) => handle_request(engine, req),
+        Err(msg) => Response::failure(None, "parse", msg),
+    }
+}
+
+/// Maps an [`EngineError`] to its wire code — re-exported for frontends
+/// that answer without going through [`handle_request`].
+pub fn error_response(id: Option<String>, e: &EngineError) -> Response {
+    Response::failure(id, e.code(), e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_and_bare_spec_both_parse() {
+        let env = parse_line(r#"{"id":"a","type":"scenario","spec":{}}"#).unwrap();
+        assert_eq!(env.id.as_deref(), Some("a"));
+        assert!(matches!(env.body, RequestBody::Scenario { .. }));
+
+        let bare = parse_line(r#"{"model":{"kind":"s1"}}"#).unwrap();
+        assert!(bare.id.is_none());
+        assert!(matches!(bare.body, RequestBody::Scenario { .. }));
+
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"type":"bogus"}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_and_ping_parse() {
+        assert_eq!(
+            parse_line(r#"{"type":"ping"}"#).unwrap().body,
+            RequestBody::Ping
+        );
+        assert_eq!(
+            parse_line(r#"{"type":"metrics"}"#).unwrap().body,
+            RequestBody::Metrics
+        );
+    }
+
+    #[test]
+    fn responses_serialize_compactly() {
+        let ok = Response::success(Some("q".into()), Some(0xabc), serde_json::json!({"k": 1}));
+        let line = ok.to_line();
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        assert!(line.contains("0000000000000abc"), "{line}");
+        assert!(!line.contains("error"), "{line}");
+
+        let err = Response::failure(None, "busy", "queue full".into());
+        let line = err.to_line();
+        assert!(line.contains(r#""ok":false"#), "{line}");
+        assert!(!line.contains("result"), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, err);
+    }
+}

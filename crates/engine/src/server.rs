@@ -1,0 +1,191 @@
+//! The `stormsim serve` frontend: newline-delimited JSON over TCP,
+//! one thread per connection.
+//!
+//! Built on `std::net::TcpListener` only. Connections get a read
+//! timeout so an idle or half-dead client cannot pin a thread forever;
+//! malformed lines are answered with a JSON error, never a panic or a
+//! dropped connection.
+
+use crate::engine::Engine;
+use crate::proto;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Per-connection read timeout; a quiet connection past it is
+    /// closed.
+    pub read_timeout: Duration,
+    /// Longest accepted request line in bytes; longer lines are
+    /// answered with a parse error and the connection is closed.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(60),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A bound NDJSON scenario server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    cfg: ServerConfig,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:7070`; port 0 picks a free
+    /// port).
+    pub fn bind(addr: &str, engine: Arc<Engine>, cfg: ServerConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            cfg,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: serves forever, one spawned thread per connection.
+    /// Accept errors on a single connection are logged and survived.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let engine = Arc::clone(&self.engine);
+                    let cfg = self.cfg.clone();
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "?".into());
+                    std::thread::Builder::new()
+                        .name(format!("storm-conn-{peer}"))
+                        .spawn(move || handle_connection(&engine, stream, &cfg))
+                        .ok();
+                }
+                Err(e) => eprintln!("accept error: {e}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection until EOF, timeout, or I/O error.
+fn handle_connection(engine: &Engine, stream: TcpStream, cfg: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // take() bounds the line length; a giant line errors instead of
+        // buffering without limit.
+        let mut limited = (&mut reader).take(cfg.max_line_bytes as u64);
+        match limited.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) if line.ends_with('\n') || line.len() < cfg.max_line_bytes => {}
+            Ok(_) => {
+                let resp = proto::Response::failure(None, "parse", "request line too long".into());
+                let _ = writeln!(writer, "{}", resp.to_line());
+                return;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return
+            }
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let resp = proto::handle_line(engine, trimmed);
+        if writeln!(writer, "{}", resp.to_line()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn spawn_server() -> (SocketAddr, Arc<Engine>) {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        }));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+            .expect("bind");
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        (addr, engine)
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for l in lines {
+            writeln!(writer, "{l}").unwrap();
+            writer.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            out.push(resp.trim().to_string());
+        }
+        out
+    }
+
+    #[test]
+    fn serves_ping_malformed_and_sleep() {
+        let (addr, _engine) = spawn_server();
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"type":"ping","id":"p"}"#,
+                "garbage",
+                r#"{"type":"scenario","spec":{"analysis":{"kind":"sleep","ms":1}}}"#,
+            ],
+        );
+        assert!(responses[0].contains(r#""ok":true"#), "{}", responses[0]);
+        assert!(responses[0].contains("pong"), "{}", responses[0]);
+        assert!(
+            responses[1].contains(r#""code":"parse""#),
+            "{}",
+            responses[1]
+        );
+        assert!(
+            responses[2].contains(r#""kind":"slept""#),
+            "{}",
+            responses[2]
+        );
+    }
+
+    #[test]
+    fn empty_lines_are_skipped_not_answered() {
+        let (addr, _engine) = spawn_server();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer).unwrap();
+        writeln!(writer, r#"{{"type":"ping"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("pong"), "{resp}");
+    }
+}

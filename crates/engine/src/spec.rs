@@ -1,0 +1,221 @@
+//! The request and response value types of the scenario service.
+//!
+//! A [`ScenarioSpec`] is the unit of work: which dataset bundle, which
+//! network, which failure model, the Monte Carlo parameters, and which
+//! analysis to run over the outcomes. Every field has a serde default so
+//! the minimal NDJSON request is `{}` (test-scale submarine network, S2
+//! band model, paper-default Monte Carlo, aggregate statistics).
+
+use serde::{Deserialize, Serialize};
+use solarstorm_sim::{MonteCarloConfig, TrialOutcome, TrialStats};
+use solarstorm_solar::StormClass;
+
+/// Which dataset bundle a scenario runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum Scale {
+    /// Scaled-down datasets: fast, suitable for interactive queries.
+    #[default]
+    Test,
+    /// Paper-scale datasets (470 submarine cables, 200k routers);
+    /// expensive to build the first time, shared afterwards.
+    Paper,
+}
+
+/// Which generated network a scenario runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum NetworkSel {
+    /// Global submarine-cable network (§4.1.1).
+    #[default]
+    Submarine,
+    /// US long-haul fiber (§4.1.2).
+    Intertubes,
+    /// Global ITU land network (§4.1.3).
+    Itu,
+}
+
+/// Serializable selection of a repeater-failure model.
+///
+/// Mirrors the `solarstorm-gic` model family: the paper's uniform-`p`
+/// model (Figs. 6–7), the S1/S2 latitude-band models (Fig. 8), arbitrary
+/// band probabilities, and the physics chain calibrated per storm class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FailureSpec {
+    /// Uniform per-repeater failure probability.
+    Uniform {
+        /// Probability in `[0, 1]`.
+        p: f64,
+    },
+    /// The paper's S1 ("high failure") band model.
+    S1,
+    /// The paper's S2 ("low failure") band model — the default.
+    #[default]
+    S2,
+    /// Custom `[>60°, 40–60°, <40°]` band probabilities.
+    Bands {
+        /// Per-band probabilities, highest latitude first.
+        probs: [f64; 3],
+    },
+    /// Physics-chain model calibrated to a storm class.
+    Physics {
+        /// Storm class driving the geoelectric field.
+        class: StormClass,
+        /// Model cables as powered off (§5.2 mitigation posture).
+        #[serde(default)]
+        shutdown: bool,
+    },
+}
+
+/// Which analysis the engine runs over the selected scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum AnalysisRequest {
+    /// Aggregate Monte Carlo statistics (mean/σ of the two paper
+    /// metrics) — the default.
+    #[default]
+    Stats,
+    /// Per-trial outcome summaries, in trial order.
+    Outcomes,
+    /// A registered experiment by registry id (`E0`–`E13`, `A1`–`A15`);
+    /// returns the rendered report or figure CSV. The failure-model and
+    /// network selections are ignored where the experiment prescribes
+    /// its own (e.g. Fig. 8 sweeps S1 and S2 itself).
+    Experiment {
+        /// Registry id, as listed by `stormsim index`.
+        id: String,
+    },
+    /// Synthetic workload: hold a worker for `ms` milliseconds (capped
+    /// at 5000). Exists for load tests and queue/drain diagnostics.
+    Sleep {
+        /// Milliseconds to sleep.
+        ms: u64,
+    },
+}
+
+/// One scenario-evaluation request: the engine's unit of work and the
+/// value whose canonical serialization content-addresses the cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(deny_unknown_fields)]
+pub struct ScenarioSpec {
+    /// Dataset bundle scale.
+    #[serde(default)]
+    pub scale: Scale,
+    /// Which network to evaluate.
+    #[serde(default)]
+    pub network: NetworkSel,
+    /// Failure model.
+    #[serde(default)]
+    pub model: FailureSpec,
+    /// Monte Carlo parameters (spacing, trials, seed, threads).
+    #[serde(default)]
+    pub mc: MonteCarloConfig,
+    /// Requested analysis.
+    #[serde(default)]
+    pub analysis: AnalysisRequest,
+}
+
+/// Per-trial summary returned by [`AnalysisRequest::Outcomes`]: the two
+/// paper metrics plus the dead-cable count, without the per-cable mask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeSummary {
+    /// Trial index (deterministic under any thread count).
+    pub trial: usize,
+    /// Percentage of cables that failed.
+    pub cables_failed_pct: f64,
+    /// Percentage of nodes left unreachable.
+    pub nodes_unreachable_pct: f64,
+    /// Number of dead cables.
+    pub cables_dead: usize,
+}
+
+impl OutcomeSummary {
+    /// Summarizes one trial outcome.
+    pub fn from_outcome(trial: usize, o: &TrialOutcome) -> Self {
+        OutcomeSummary {
+            trial,
+            cables_failed_pct: o.cables_failed_pct,
+            nodes_unreachable_pct: o.nodes_unreachable_pct,
+            cables_dead: o.dead.iter().filter(|d| **d).count(),
+        }
+    }
+}
+
+/// The result of evaluating one [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ScenarioResult {
+    /// Aggregate Monte Carlo statistics.
+    Stats {
+        /// The aggregated batch statistics.
+        stats: TrialStats,
+    },
+    /// Per-trial summaries.
+    Outcomes {
+        /// One summary per trial, in trial order.
+        outcomes: Vec<OutcomeSummary>,
+    },
+    /// A rendered experiment report or figure CSV.
+    Report {
+        /// Registry id that produced the report.
+        id: String,
+        /// Rendered text (table or CSV).
+        text: String,
+    },
+    /// Acknowledgement of a synthetic sleep workload.
+    Slept {
+        /// Milliseconds slept.
+        ms: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_is_all_defaults() {
+        let spec: ScenarioSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec, ScenarioSpec::default());
+        assert_eq!(spec.scale, Scale::Test);
+        assert_eq!(spec.network, NetworkSel::Submarine);
+        assert_eq!(spec.model, FailureSpec::S2);
+        assert_eq!(spec.analysis, AnalysisRequest::Stats);
+        assert_eq!(spec.mc, MonteCarloConfig::default());
+    }
+
+    #[test]
+    fn partial_mc_override_keeps_other_defaults() {
+        let spec: ScenarioSpec =
+            serde_json::from_str(r#"{"mc": {"trials": 99}, "model": {"kind": "s1"}}"#).unwrap();
+        assert_eq!(spec.mc.trials, 99);
+        assert_eq!(spec.mc.seed, MonteCarloConfig::default().seed);
+        assert_eq!(spec.model, FailureSpec::S1);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        assert!(serde_json::from_str::<ScenarioSpec>(r#"{"bogus": 1}"#).is_err());
+    }
+
+    #[test]
+    fn model_kinds_round_trip() {
+        for model in [
+            FailureSpec::Uniform { p: 0.25 },
+            FailureSpec::S1,
+            FailureSpec::S2,
+            FailureSpec::Bands {
+                probs: [0.5, 0.05, 0.005],
+            },
+            FailureSpec::Physics {
+                class: StormClass::Extreme,
+                shutdown: true,
+            },
+        ] {
+            let s = serde_json::to_string(&model).unwrap();
+            let back: FailureSpec = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, model, "{s}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! End-to-end tests of the scenario-evaluation service: caching,
+//! single-flight dedup, backpressure, graceful shutdown, and the NDJSON
+//! wire protocol over real TCP connections.
+
+use solarstorm_engine::{
+    proto, AnalysisRequest, Engine, EngineConfig, EngineError, FailureSpec, ScenarioResult,
+    ScenarioSpec, Server, ServerConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+fn sleep_spec(ms: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        analysis: AnalysisRequest::Sleep { ms },
+        ..Default::default()
+    }
+}
+
+fn stats_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        model: FailureSpec::S2,
+        analysis: AnalysisRequest::Stats,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn cache_hit_is_observable_in_metrics_and_never_changes_the_answer() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let spec = stats_spec();
+    let cold = engine.evaluate(&spec).unwrap();
+    let warm = engine.evaluate(&spec).unwrap();
+    assert!(!cold.cached && warm.cached);
+    assert_eq!(cold.hash, warm.hash);
+    // Cold vs warm must be byte-equal once serialized: the cache may
+    // only ever return exactly what the computation produced.
+    let cold_bytes = serde_json::to_string(&*cold.result).unwrap();
+    let warm_bytes = serde_json::to_string(&*warm.result).unwrap();
+    assert_eq!(cold_bytes, warm_bytes);
+
+    let m = engine.metrics();
+    assert_eq!(m.requests, 2);
+    assert_eq!(m.computations, 1);
+    assert_eq!(m.cache_hits, 1);
+    assert_eq!(m.cache_misses, 1);
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.cache_entries, 1);
+    assert!(m.latency.count == 2 && m.latency.max_us > 0);
+}
+
+#[test]
+fn simultaneous_identical_requests_compute_exactly_once() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 4,
+        ..Default::default()
+    }));
+    let spec = sleep_spec(150);
+    let barrier = Arc::new(Barrier::new(2));
+    let hashes: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let spec = spec.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    engine.evaluate(&spec).unwrap().hash
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(hashes[0], hashes[1]);
+    let m = engine.metrics();
+    assert_eq!(m.requests, 2);
+    assert_eq!(
+        m.computations, 1,
+        "two simultaneous identical requests must share one computation"
+    );
+    assert_eq!(m.dedup_joins + m.cache_hits, 1, "the second caller joined");
+    assert_eq!(m.completed, 2);
+}
+
+#[test]
+fn full_queue_rejects_with_busy() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..Default::default()
+    }));
+    // Occupy the only worker…
+    let e1 = Arc::clone(&engine);
+    let t1 = std::thread::spawn(move || e1.evaluate(&sleep_spec(400)));
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // …fill the queue's single slot…
+    let e2 = Arc::clone(&engine);
+    let t2 = std::thread::spawn(move || e2.evaluate(&sleep_spec(401)));
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // …and watch a third distinct request bounce.
+    let err = engine.evaluate(&sleep_spec(402)).unwrap_err();
+    assert_eq!(err, EngineError::Busy);
+    assert_eq!(engine.metrics().rejected_busy, 1);
+    assert!(t1.join().unwrap().is_ok());
+    assert!(t2.join().unwrap().is_ok());
+}
+
+#[test]
+fn shutdown_drains_queued_work_without_dropping_responses() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 1,
+        queue_cap: 16,
+        ..Default::default()
+    }));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || engine.evaluate(&sleep_spec(60 + i)))
+        })
+        .collect();
+    // Let every request reach the queue, then shut down mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    engine.shutdown();
+    for h in handles {
+        let out = h.join().unwrap();
+        assert!(out.is_ok(), "queued request dropped on shutdown: {out:?}");
+    }
+    let m = engine.metrics();
+    assert_eq!(m.completed, 4);
+    assert_eq!(m.computations, 4);
+    assert_eq!(m.queue_depth, 0);
+    // New work is refused once shutdown began.
+    assert_eq!(
+        engine.evaluate(&sleep_spec(1)).unwrap_err(),
+        EngineError::ShuttingDown
+    );
+}
+
+#[test]
+fn tcp_round_trip_with_cache_malformed_lines_and_metrics() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        ..Default::default()
+    }));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut send = |line: &str| {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp.trim().to_string()
+    };
+
+    let scenario = r#"{"id":"q1","type":"scenario","spec":{"model":{"kind":"s2"},"analysis":{"kind":"stats"}}}"#;
+    let first = send(scenario);
+    assert!(first.contains(r#""ok":true"#), "{first}");
+    assert!(first.contains(r#""id":"q1""#), "{first}");
+    assert!(first.contains(r#""kind":"stats""#), "{first}");
+
+    // Identical request: byte-identical response (the cache is invisible
+    // on the wire), and the hit shows up in the metrics counters.
+    let second = send(scenario);
+    assert_eq!(first, second, "cache changed a response");
+
+    let garbage = send("this is not json");
+    assert!(garbage.contains(r#""ok":false"#), "{garbage}");
+    assert!(garbage.contains(r#""code":"parse""#), "{garbage}");
+
+    let metrics = send(r#"{"type":"metrics"}"#);
+    assert!(metrics.contains(r#""cache_hits":1"#), "{metrics}");
+    assert!(metrics.contains(r#""computations":1"#), "{metrics}");
+
+    // A bare spec (no envelope) is accepted as an id-less scenario.
+    let bare = send(r#"{"analysis":{"kind":"sleep","ms":1}}"#);
+    assert!(bare.contains(r#""kind":"slept""#), "{bare}");
+}
+
+#[test]
+fn scenario_spec_and_result_round_trip_through_serde() {
+    let spec = ScenarioSpec {
+        model: FailureSpec::Bands {
+            probs: [0.1, 0.5, 0.9],
+        },
+        analysis: AnalysisRequest::Experiment { id: "E5".into() },
+        ..Default::default()
+    };
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let result = engine.evaluate(&stats_spec()).unwrap().result;
+    let json = serde_json::to_string(&*result).unwrap();
+    let back: ScenarioResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, *result);
+
+    // Unknown fields in a spec are a hard error, not silently ignored —
+    // a typo must never silently select the defaults.
+    assert!(serde_json::from_str::<ScenarioSpec>(r#"{"trails":5}"#).is_err());
+}
+
+#[test]
+fn experiment_requests_resolve_through_the_registry() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let ok = engine
+        .evaluate(&ScenarioSpec {
+            analysis: AnalysisRequest::Experiment { id: "E0".into() },
+            ..Default::default()
+        })
+        .unwrap();
+    match &*ok.result {
+        ScenarioResult::Report { id, text } => {
+            assert_eq!(id, "E0");
+            assert!(!text.is_empty());
+        }
+        other => panic!("expected a report, got {other:?}"),
+    }
+    let err = engine
+        .evaluate(&ScenarioSpec {
+            analysis: AnalysisRequest::Experiment { id: "Z9".into() },
+            ..Default::default()
+        })
+        .unwrap_err();
+    assert_eq!(err.code(), "unknown_experiment");
+}
+
+#[test]
+fn wire_handlers_never_panic_on_hostile_lines() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    for line in [
+        "",
+        "{",
+        "[]",
+        "null",
+        "42",
+        r#""string""#,
+        r#"{"type":"scenario"}"#,
+        r#"{"type":"scenario","spec":{"mc":{"trials":18446744073709551615}}}"#,
+        r#"{"type":"scenario","spec":{"analysis":{"kind":"sleep","ms":99999999}}}"#,
+        r#"{"model":{"kind":"uniform","p":7.0},"analysis":{"kind":"outcomes"}}"#,
+    ] {
+        let resp = proto::handle_line(&engine, line);
+        assert!(!resp.ok, "hostile line accepted: {line}");
+        let parsed: serde_json::Value = serde_json::from_str(&resp.to_line()).unwrap();
+        assert!(parsed["error"]["code"].is_string(), "line {line}");
+    }
+}

@@ -12,7 +12,11 @@ use solarstorm_gic::FailureModel;
 use solarstorm_topology::Network;
 
 /// Trial-batch configuration.
+///
+/// Deserializes with per-field defaults so wire requests (the engine's
+/// NDJSON protocol) may override any subset of the parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct MonteCarloConfig {
     /// Inter-repeater spacing in km (the paper sweeps 50/100/150).
     pub spacing_km: f64,
@@ -353,11 +357,15 @@ mod tests {
     fn rejects_bad_config() {
         let net = test_net();
         let model = UniformFailure::new(0.1).unwrap();
-        let mut cfg = MonteCarloConfig::default();
-        cfg.trials = 0;
+        let cfg = MonteCarloConfig {
+            trials: 0,
+            ..Default::default()
+        };
         assert!(run(&net, &model, &cfg).is_err());
-        let mut cfg = MonteCarloConfig::default();
-        cfg.spacing_km = 0.0;
+        let cfg = MonteCarloConfig {
+            spacing_km: 0.0,
+            ..Default::default()
+        };
         assert!(run(&net, &model, &cfg).is_err());
     }
 }

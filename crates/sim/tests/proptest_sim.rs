@@ -75,16 +75,19 @@ proptest! {
     fn outcomes_deterministic_across_thread_counts(
         net in arb_network(),
         seed in any::<u64>(),
+        trials in 1usize..24,
     ) {
         prop_assume!(net.cable_count() > 0);
         let model = UniformFailure::new(0.3).unwrap();
-        let mut c1 = cfg(8, seed);
-        c1.max_threads = 1;
-        let mut c8 = cfg(8, seed);
-        c8.max_threads = 8;
-        let a = run_outcomes(&net, &model, &c1).unwrap();
-        let b = run_outcomes(&net, &model, &c8).unwrap();
-        prop_assert_eq!(a, b);
+        let mk = |threads| MonteCarloConfig {
+            max_threads: threads,
+            ..cfg(trials, seed)
+        };
+        let t1 = run_outcomes(&net, &model, &mk(1)).unwrap();
+        let t2 = run_outcomes(&net, &model, &mk(2)).unwrap();
+        let t8 = run_outcomes(&net, &model, &mk(8)).unwrap();
+        prop_assert_eq!(&t1, &t2, "1 vs 2 threads must agree bit-for-bit");
+        prop_assert_eq!(&t1, &t8, "1 vs 8 threads must agree bit-for-bit");
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Serde round-trip guarantees for the simulation types that cross the
+//! engine's NDJSON wire boundary.
+
+use solarstorm_sim::monte_carlo::{MonteCarloConfig, TrialOutcome, TrialStats};
+
+#[test]
+fn trial_outcome_round_trips() {
+    let outcome = TrialOutcome {
+        cables_failed_pct: 37.5,
+        nodes_unreachable_pct: 12.25,
+        dead: vec![true, false, false, true],
+    };
+    let json = serde_json::to_string(&outcome).unwrap();
+    let back: TrialOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, outcome);
+}
+
+#[test]
+fn trial_stats_round_trip() {
+    let stats = TrialStats {
+        mean_cables_failed_pct: 40.0,
+        std_cables_failed_pct: 3.5,
+        mean_nodes_unreachable_pct: 17.0,
+        std_nodes_unreachable_pct: 2.25,
+        trials: 10,
+    };
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: TrialStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+}
+
+#[test]
+fn monte_carlo_config_round_trips() {
+    let cfg = MonteCarloConfig {
+        spacing_km: 75.0,
+        trials: 123,
+        seed: 7,
+        max_threads: 3,
+    };
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: MonteCarloConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn monte_carlo_config_accepts_partial_overrides() {
+    // The engine's wire protocol sends sparse configs; every omitted
+    // field must fall back to its documented default.
+    let back: MonteCarloConfig = serde_json::from_str(r#"{"trials":3}"#).unwrap();
+    assert_eq!(back.trials, 3);
+    assert_eq!(back.spacing_km, 150.0);
+    assert_eq!(back.seed, 42);
+    assert_eq!(back.max_threads, 8);
+
+    let empty: MonteCarloConfig = serde_json::from_str("{}").unwrap();
+    assert_eq!(empty, MonteCarloConfig::default());
+}

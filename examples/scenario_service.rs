@@ -1,0 +1,74 @@
+//! The scenario-evaluation service, in-process: submit specs, watch the
+//! content-addressed cache and single-flight dedup work, and speak one
+//! line of the NDJSON wire protocol.
+//!
+//! ```sh
+//! cargo run --example scenario_service
+//! ```
+//!
+//! The same engine backs `stormsim serve` (TCP) and `stormsim batch`
+//! (stdin); this example drives it directly through the library API.
+
+use solarstorm_engine::{
+    proto, AnalysisRequest, Engine, EngineConfig, FailureSpec, Scale, ScenarioSpec,
+};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("starting engine (test-scale datasets, 4 workers)…");
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 4,
+        prewarm: Some(Scale::Test),
+        ..Default::default()
+    }));
+
+    // One scenario: S2 latitude-banded failures, headline statistics.
+    let spec = ScenarioSpec {
+        model: FailureSpec::S2,
+        analysis: AnalysisRequest::Stats,
+        ..Default::default()
+    };
+
+    let cold = engine.evaluate(&spec)?;
+    println!(
+        "cold evaluation: cached={} hash={:016x}",
+        cold.cached, cold.hash
+    );
+    let warm = engine.evaluate(&spec)?;
+    println!(
+        "warm evaluation: cached={} (same hash: {})",
+        warm.cached,
+        warm.hash == cold.hash
+    );
+
+    // Identical concurrent requests share one computation.
+    let experiment = ScenarioSpec {
+        analysis: AnalysisRequest::Experiment { id: "E5".into() },
+        ..Default::default()
+    };
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            let spec = experiment.clone();
+            s.spawn(move || engine.evaluate(&spec).map(|e| e.hash));
+        }
+    });
+
+    // The exact line a `stormsim serve` client would send over TCP.
+    let line =
+        r#"{"id":"demo","type":"scenario","spec":{"analysis":{"kind":"experiment","id":"E0"}}}"#;
+    let resp = proto::handle_line(&engine, line);
+    println!(
+        "wire response for {line}: ok={} ({} bytes)",
+        resp.ok,
+        resp.to_line().len()
+    );
+
+    let m = engine.metrics();
+    println!(
+        "metrics: requests={} computations={} cache_hits={} dedup_joins={} p99={}us",
+        m.requests, m.computations, m.cache_hits, m.dedup_joins, m.latency.p99_us
+    );
+    engine.shutdown();
+    Ok(())
+}
