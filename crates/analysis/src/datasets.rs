@@ -76,13 +76,35 @@ pub struct Datasets {
 }
 
 impl Datasets {
-    /// Builds everything from a config.
+    /// Builds everything from a config. Each component build is timed
+    /// as its own span so `dataset_build` cost can be attributed.
     pub fn build(cfg: &DatasetsConfig) -> Result<Self, DataError> {
+        let _span = solarstorm_obs::span_at!(
+            solarstorm_obs::Level::Info,
+            "dataset_build",
+            routers = cfg.routers.total_routers,
+            itu_nodes = cfg.itu.total_nodes
+        );
+        let timed = |name: &'static str| {
+            solarstorm_obs::SpanGuard::enter(name, solarstorm_obs::Level::Debug, Vec::new)
+        };
         Ok(Datasets {
-            submarine: solarstorm_data::submarine::build(&cfg.submarine)?,
-            intertubes: solarstorm_data::intertubes::build(&cfg.intertubes)?,
-            itu: solarstorm_data::itu::build(&cfg.itu)?,
-            routers: solarstorm_data::routers::build(&cfg.routers)?,
+            submarine: {
+                let _s = timed("build_submarine_net");
+                solarstorm_data::submarine::build(&cfg.submarine)?
+            },
+            intertubes: {
+                let _s = timed("build_intertubes_net");
+                solarstorm_data::intertubes::build(&cfg.intertubes)?
+            },
+            itu: {
+                let _s = timed("build_itu_net");
+                solarstorm_data::itu::build(&cfg.itu)?
+            },
+            routers: {
+                let _s = timed("build_router_dataset");
+                solarstorm_data::routers::build(&cfg.routers)?
+            },
             dns: dns::build(cfg.seed)?,
             ixps: ixp::build(cfg.ixp_total, cfg.seed)?,
             population: population::build_grid(1.0)?,

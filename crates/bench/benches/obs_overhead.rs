@@ -1,0 +1,76 @@
+//! Overhead of the observability layer with logging disabled
+//! (`STORMSIM_LOG` unset): a disabled span costs one relaxed atomic
+//! load plus two `Instant` reads and a stage-table update, and must
+//! stay well under 5% of any stage it instruments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::obs;
+use solarstorm::sim::monte_carlo::{run_outcomes, MonteCarloConfig};
+use solarstorm::LatitudeBandFailure;
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    assert_eq!(
+        obs::global().level(),
+        obs::Level::Off,
+        "this bench measures the logging-off fast path; unset STORMSIM_LOG"
+    );
+
+    // The only cost instrumentation adds to a hot path when logging is
+    // off: guard construction + drop into the stage table.
+    c.bench_function("disabled_span_enter_drop", |b| {
+        b.iter(|| {
+            let _s = obs::span!("bench_disabled_span", n = black_box(1usize));
+        })
+    });
+
+    // An instrumented pipeline stage end to end, logging off.
+    let s = study();
+    let net = &s.datasets().submarine;
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: 10,
+        seed: 42,
+        ..Default::default()
+    };
+    let model = LatitudeBandFailure::s2();
+    c.bench_function("monte_carlo_outcomes_logging_off", |b| {
+        b.iter(|| black_box(run_outcomes(net, &model, &cfg).expect("run")))
+    });
+
+    // Overhead budget check: per-span cost against the mean wall time
+    // of the monte_carlo stage this process just recorded.
+    const SPANS: u64 = 100_000;
+    let t = std::time::Instant::now();
+    for _ in 0..SPANS {
+        let _s = obs::span!("bench_disabled_span");
+    }
+    let per_span_ns = t.elapsed().as_nanos() as f64 / SPANS as f64;
+    let snap = obs::stage_snapshot();
+    let mc = snap
+        .iter()
+        .find(|s| s.name == "monte_carlo")
+        .expect("run_outcomes recorded its stage");
+    let mean_ns = mc.total_ns as f64 / mc.count.max(1) as f64;
+    let overhead_pct = 100.0 * per_span_ns / mean_ns;
+    println!(
+        "\ndisabled span: {per_span_ns:.0} ns; monte_carlo mean {:.0} µs/run; \
+         span overhead ≈ {overhead_pct:.4}% of the stage",
+        mean_ns / 1_000.0
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "instrumentation overhead {overhead_pct:.2}% exceeds the 5% budget"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

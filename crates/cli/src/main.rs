@@ -9,7 +9,8 @@ use solarstorm::analysis::{
     as_impact, economics, headline, maps, partition_report, risk, traffic_report,
 };
 use solarstorm::data::io;
-use solarstorm::engine::{proto, Engine, EngineConfig, Scale, Server, ServerConfig};
+use solarstorm::engine::{proto, Engine, EngineConfig, MetricsServer, Scale, Server, ServerConfig};
+use solarstorm::obs;
 use solarstorm::sim::cascade::{self, GridFailureModel};
 use solarstorm::sim::isolation::{self, CouplingModel};
 use solarstorm::sim::mitigation;
@@ -62,6 +63,9 @@ OPTIONS
   --seed N          base RNG seed (default 42)
   --spacing KM      repeater spacing for fig6/fig7 (default 150)
   --csv             print figures as CSV instead of ASCII
+  --log-level L     structured-log verbosity: off|error|warn|info|debug|trace
+                    (overrides STORMSIM_LOG; STORMSIM_LOG_FILE=path adds an
+                    NDJSON sink)
 
 SERVICE OPTIONS (serve | batch)
   --addr HOST:PORT  listen address for serve (default 127.0.0.1:7070)
@@ -69,6 +73,9 @@ SERVICE OPTIONS (serve | batch)
   --queue N         bounded work-queue capacity (default 64)
   --cache N         result-cache entry cap, 0 disables (default 256)
   --full            paper-scale datasets (default: scaled test datasets)
+  --log-level L     structured-log verbosity (see above)
+  --metrics-addr HOST:PORT
+                    also serve Prometheus text metrics over HTTP (serve only)
 ";
 
 /// Every accepted command, checked before datasets are built so a typo
@@ -116,6 +123,16 @@ struct Opts {
     seed: u64,
     spacing: f64,
     csv: bool,
+    log_level: Option<obs::Level>,
+}
+
+/// Parses `--log-level LEVEL`; the error carries the accepted names so
+/// the one-line failure is self-explanatory.
+fn parse_log_level(it: &mut std::slice::Iter<'_, String>) -> Result<obs::Level, String> {
+    it.next()
+        .ok_or_else(|| format!("--log-level needs a value ({})", obs::Level::NAMES))?
+        .parse::<obs::Level>()
+        .map_err(|e| format!("--log-level: {e}"))
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -125,12 +142,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: 42,
         spacing: 150.0,
         csv: false,
+        log_level: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--csv" => opts.csv = true,
+            "--log-level" => opts.log_level = Some(parse_log_level(&mut it)?),
             "--trials" => {
                 opts.trials = it
                     .next()
@@ -165,6 +184,8 @@ struct ServiceOpts {
     queue: usize,
     cache: usize,
     full: bool,
+    log_level: Option<obs::Level>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
@@ -175,13 +196,19 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
         queue: defaults.queue_cap,
         cache: defaults.cache_cap,
         full: false,
+        log_level: None,
+        metrics_addr: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => opts.full = true,
+            "--log-level" => opts.log_level = Some(parse_log_level(&mut it)?),
             "--addr" => {
                 opts.addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(it.next().ok_or("--metrics-addr needs a value")?.clone());
             }
             "--workers" => {
                 opts.workers = it
@@ -236,6 +263,16 @@ fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
         std::sync::Arc::clone(&engine),
         ServerConfig::default(),
     )?;
+    if let Some(metrics_addr) = &opts.metrics_addr {
+        let metrics = MetricsServer::bind(metrics_addr, std::sync::Arc::clone(&engine))?;
+        eprintln!(
+            "stormsim metrics (Prometheus text) on http://{}/metrics",
+            metrics.local_addr()?
+        );
+        std::thread::Builder::new()
+            .name("storm-metrics-accept".into())
+            .spawn(move || metrics.run())?;
+    }
     eprintln!(
         "stormsim serve listening on {} ({} workers, queue {}, cache {})",
         server.local_addr()?,
@@ -273,8 +310,20 @@ fn run_batch(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
     }
     out.flush()?;
     engine.shutdown();
+    obs::flush();
     eprintln!("{}", serde_json::to_string_pretty(&engine.metrics())?);
     Ok(())
+}
+
+/// Initializes structured logging. The `--log-level` flag wins over the
+/// `STORMSIM_LOG` environment variable; both fail fast on a bad value
+/// (one-line error + usage, exit 2) instead of running for minutes with
+/// logging silently misconfigured.
+fn setup_obs(flag: Option<obs::Level>) -> Result<(), String> {
+    match flag {
+        Some(level) => obs::init_with_sinks(level),
+        None => obs::init_from_env().map(|_| ()),
+    }
 }
 
 fn show(fig: &Figure, csv: bool) {
@@ -305,6 +354,11 @@ fn main() {
                 std::process::exit(2);
             }
         };
+        if let Err(e) = setup_obs(sopts.log_level) {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
         let out = if command == "serve" {
             run_serve(&sopts)
         } else {
@@ -324,7 +378,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = run(&command, &opts) {
+    if let Err(e) = setup_obs(opts.log_level) {
+        eprintln!("error: {e}\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    let out = run(&command, &opts);
+    obs::flush();
+    if let Err(e) = out {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
@@ -661,5 +722,30 @@ mod tests {
         assert!(parse_opts(&args(&["--trials"])).is_err());
         assert!(parse_opts(&args(&["--trials", "abc"])).is_err());
         assert!(parse_opts(&args(&["--spacing", "x"])).is_err());
+    }
+
+    #[test]
+    fn log_level_parses_on_every_frontend() {
+        let o = parse_opts(&args(&["--log-level", "debug"])).unwrap();
+        assert_eq!(o.log_level, Some(obs::Level::Debug));
+        assert!(parse_opts(&[]).unwrap().log_level.is_none());
+
+        let s = parse_service_opts(&args(&["--log-level", "trace"])).unwrap();
+        assert_eq!(s.log_level, Some(obs::Level::Trace));
+
+        let err = parse_opts(&args(&["--log-level", "loud"])).unwrap_err();
+        assert!(err.contains("--log-level"), "{err}");
+        assert!(err.contains("loud"), "{err}");
+        assert!(err.contains("trace"), "{err}");
+        assert!(parse_opts(&args(&["--log-level"])).is_err());
+        assert!(parse_service_opts(&args(&["--log-level", "x"])).is_err());
+    }
+
+    #[test]
+    fn metrics_addr_parses() {
+        let s = parse_service_opts(&args(&["--metrics-addr", "127.0.0.1:9184"])).unwrap();
+        assert_eq!(s.metrics_addr.as_deref(), Some("127.0.0.1:9184"));
+        assert!(parse_service_opts(&[]).unwrap().metrics_addr.is_none());
+        assert!(parse_service_opts(&args(&["--metrics-addr"])).is_err());
     }
 }

@@ -76,6 +76,103 @@ fn service_commands_reject_bad_options() {
 }
 
 #[test]
+fn bad_log_level_fails_fast_with_usage() {
+    for cmd in [
+        &["fig3", "--log-level", "loud"][..],
+        &["batch", "--log-level", "loud"][..],
+        &["serve", "--log-level", "loud"][..],
+    ] {
+        let out = stormsim(cmd);
+        assert_eq!(out.status.code(), Some(2), "{cmd:?}");
+        let err = stderr(&out);
+        assert!(err.contains("unknown log level"), "{cmd:?}: {err}");
+        assert!(err.contains("off|error|warn|info|debug|trace"), "{err}");
+        assert!(err.contains("USAGE: stormsim"), "{err}");
+        // Fail-fast: no dataset build may have started.
+        assert!(!err.contains("building"), "{err}");
+        assert!(!err.contains("prewarming"), "{err}");
+    }
+}
+
+#[test]
+fn bad_env_log_level_fails_fast_too() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stormsim"))
+        .args(["index"])
+        .env("STORMSIM_LOG", "shouty")
+        .output()
+        .expect("spawn stormsim");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown log level"), "{err}");
+    assert!(err.contains("USAGE: stormsim"), "{err}");
+}
+
+#[test]
+fn valid_log_level_flag_overrides_bad_env() {
+    // The flag wins over STORMSIM_LOG, so a bad env value must not kill
+    // an invocation that explicitly chose a level.
+    let out = Command::new(env!("CARGO_BIN_EXE_stormsim"))
+        .args(["help", "--log-level", "warn"])
+        .env("STORMSIM_LOG", "shouty")
+        .output()
+        .expect("spawn stormsim");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("USAGE: stormsim"), "{}", stdout(&out));
+}
+
+#[test]
+fn batch_with_debug_logging_emits_spans_to_the_ndjson_sink() {
+    use std::io::Write as _;
+    let log_path =
+        std::env::temp_dir().join(format!("stormsim-obs-test-{}.ndjson", std::process::id()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stormsim"))
+        .args(["batch", "--log-level", "debug"])
+        .env("STORMSIM_LOG_FILE", &log_path)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn stormsim batch");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(include_str!("fixtures/two_scenarios.ndjson").as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("batch finishes");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let output = stdout(&out);
+    let lines: Vec<&str> = output.lines().collect();
+    assert_eq!(lines.len(), 3, "one response per request: {lines:?}");
+    for line in [lines[0], lines[2]] {
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        assert!(
+            line.contains(r#""spec_hash""#),
+            "scenario responses carry a manifest: {line}"
+        );
+    }
+    // The metrics request is answered in order, mid-stream — not only
+    // via the EOF summary on stderr.
+    assert!(lines[1].contains(r#""id":"mid-metrics""#), "{}", lines[1]);
+    assert!(lines[1].contains(r#""requests":1"#), "{}", lines[1]);
+    assert!(lines[1].contains(r#""stages""#), "{}", lines[1]);
+
+    let log = std::fs::read_to_string(&log_path).expect("NDJSON sink file written");
+    let _ = std::fs::remove_file(&log_path);
+    for span in ["dataset_build", "monte_carlo", "engine_compute"] {
+        assert!(
+            log.contains(&format!("\"name\":\"{span}\"")),
+            "span {span} missing from sink:\n{log}"
+        );
+    }
+    for line in log.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("sink line is valid JSON");
+        assert!(v["name"].is_string(), "{line}");
+    }
+}
+
+#[test]
 fn help_and_index_succeed_without_datasets() {
     let out = stormsim(&["help"]);
     assert_eq!(out.status.code(), Some(0));

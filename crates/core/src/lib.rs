@@ -48,7 +48,9 @@
 //!   functional partitions, traffic shifts;
 //! * [`engine`] — the concurrent scenario-evaluation service behind
 //!   `stormsim serve`/`batch`: content-addressed result cache,
-//!   single-flight dedup, bounded worker pool, NDJSON protocol.
+//!   single-flight dedup, bounded worker pool, NDJSON protocol;
+//! * [`obs`] — structured tracing spans, per-stage timing aggregates
+//!   and sinks behind `STORMSIM_LOG`/`STORMSIM_LOG_FILE`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -58,6 +60,7 @@ pub use solarstorm_data as data;
 pub use solarstorm_engine as engine;
 pub use solarstorm_geo as geo;
 pub use solarstorm_gic as gic;
+pub use solarstorm_obs as obs;
 pub use solarstorm_sat as sat;
 pub use solarstorm_sim as sim;
 pub use solarstorm_solar as solar;
@@ -65,7 +68,8 @@ pub use solarstorm_topology as topology;
 
 pub use solarstorm_analysis::{Datasets, DatasetsConfig, Figure, Series};
 pub use solarstorm_engine::{
-    AnalysisRequest, Engine, EngineConfig, EngineMetrics, FailureSpec, ScenarioResult, ScenarioSpec,
+    AnalysisRequest, Engine, EngineConfig, EngineMetrics, FailureSpec, MetricsServer, RunManifest,
+    ScenarioResult, ScenarioSpec,
 };
 pub use solarstorm_gic::{
     CableProfile, DamageCurve, FailureModel, GeoelectricField, LatitudeBandFailure, PhysicsFailure,

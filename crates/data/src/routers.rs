@@ -148,6 +148,11 @@ impl RouterDataset {
 
 /// Builds the router/AS dataset.
 pub fn build(cfg: &RouterConfig) -> Result<RouterDataset, DataError> {
+    let _span = solarstorm_obs::span!(
+        "build_routers",
+        routers = cfg.total_routers,
+        ases = cfg.total_ases
+    );
     if cfg.total_ases == 0 || cfg.total_routers < cfg.total_ases {
         return Err(DataError::InvalidConfig {
             name: "total_routers",

@@ -1158,6 +1158,11 @@ pub fn real_cables() -> &'static [RealCableSpec] {
 /// synthetic cables.
 pub fn build(cfg: &SubmarineConfig) -> Result<Network, DataError> {
     cfg.validate()?;
+    let _span = solarstorm_obs::span!(
+        "build_submarine",
+        cables = cfg.total_cables,
+        seed = cfg.seed
+    );
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
     let mut net = Network::new(NetworkKind::Submarine);
     // Station registry: one primary station per city, created on demand.

@@ -6,15 +6,21 @@ use crate::cache::ResultCache;
 use crate::canon;
 use crate::compute;
 use crate::error::EngineError;
-use crate::flight::{FlightTable, Role};
-use crate::metrics::{EngineMetrics, Registry};
+use crate::flight::{FlightOutput, FlightTable, Role};
+use crate::manifest::RunManifest;
+use crate::metrics::{stage_summaries, EngineMetrics, Registry};
 use crate::spec::{Scale, ScenarioResult, ScenarioSpec};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Duration → nanoseconds, saturating at `u64::MAX`.
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
 
 /// Engine sizing and behavior knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,12 +60,17 @@ pub struct Evaluation {
     pub cached: bool,
     /// The scenario's FNV-1a content hash.
     pub hash: u64,
+    /// Provenance: spec identity plus per-stage wall-time breakdown.
+    pub manifest: RunManifest,
 }
 
 struct Job {
     canon: String,
     hash: u64,
     spec: ScenarioSpec,
+    /// When the job entered the bounded queue; the picking worker turns
+    /// this into the `queue_wait` stage.
+    enqueued: Instant,
 }
 
 /// State shared between the public handle and the worker threads.
@@ -138,48 +149,97 @@ impl Engine {
         if !self.accepting.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown);
         }
+        let t = Instant::now();
         compute::validate(spec)?;
+        let validate_ns = dur_ns(t.elapsed());
+        solarstorm_obs::record_stage("validate", validate_ns);
+
+        let t = Instant::now();
         let (canon, hash) = canon::content_hash(spec)
             .map_err(|e| EngineError::InvalidSpec(format!("unserializable spec: {e}")))?;
+        let hash_ns = dur_ns(t.elapsed());
+        solarstorm_obs::record_stage("hash", hash_ns);
+
+        let mut manifest = RunManifest::new(spec, hash);
+        manifest.push_stage("validate", validate_ns);
+        manifest.push_stage("hash", hash_ns);
         let m = &self.shared.metrics;
 
-        if let Some(result) = self.shared.cache.get(hash, &canon) {
+        let t = Instant::now();
+        let first_lookup = self.shared.cache.get(hash, &canon);
+        let lookup_ns = dur_ns(t.elapsed());
+        solarstorm_obs::record_stage("cache_lookup", lookup_ns);
+        manifest.push_stage("cache_lookup", lookup_ns);
+        if let Some(result) = first_lookup {
             m.cache_hits.fetch_add(1, Ordering::Relaxed);
+            solarstorm_obs::event!(
+                solarstorm_obs::Level::Debug,
+                "cache_hit",
+                hash = manifest.spec_hash.clone()
+            );
             return Ok(Evaluation {
                 result,
                 cached: true,
                 hash,
+                manifest,
             });
         }
         m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        solarstorm_obs::event!(
+            solarstorm_obs::Level::Debug,
+            "cache_miss",
+            hash = manifest.spec_hash.clone()
+        );
 
         match self.shared.flights.join_or_lead(&canon) {
             Role::Join(flight) => {
                 m.dedup_joins.fetch_add(1, Ordering::Relaxed);
-                flight.wait().map(|result| Evaluation {
-                    result,
+                solarstorm_obs::event!(
+                    solarstorm_obs::Level::Debug,
+                    "dedup_join",
+                    hash = manifest.spec_hash.clone()
+                );
+                let t = Instant::now();
+                let out = flight.wait()?;
+                let wait_ns = dur_ns(t.elapsed());
+                solarstorm_obs::record_stage("dedup_wait", wait_ns);
+                manifest.push_stage("dedup_wait", wait_ns);
+                // A follower shares the leader's computation, so its
+                // manifest reports the leader's queue/compute cost.
+                manifest.push_stage("queue_wait", out.queue_wait_ns);
+                manifest.push_stage("compute", out.compute_ns);
+                Ok(Evaluation {
+                    result: out.result,
                     cached: false,
                     hash,
+                    manifest,
                 })
             }
             Role::Lead(flight) => {
                 // A completed computation may have filled the cache
                 // between our miss and taking the lead.
                 if let Some(result) = self.shared.cache.get(hash, &canon) {
-                    self.shared
-                        .flights
-                        .complete(&canon, Ok(Arc::clone(&result)));
+                    self.shared.flights.complete(
+                        &canon,
+                        Ok(FlightOutput {
+                            result: Arc::clone(&result),
+                            queue_wait_ns: 0,
+                            compute_ns: 0,
+                        }),
+                    );
                     m.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(Evaluation {
                         result,
                         cached: true,
                         hash,
+                        manifest,
                     });
                 }
                 let job = Job {
                     canon: canon.clone(),
                     hash,
                     spec: spec.clone(),
+                    enqueued: Instant::now(),
                 };
                 let sender = self.tx.lock().clone();
                 let Some(sender) = sender else {
@@ -192,31 +252,43 @@ impl Engine {
                 match sender.try_send(job) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
-                        m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        m.dec_queue_depth();
                         m.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        solarstorm_obs::event!(
+                            solarstorm_obs::Level::Warn,
+                            "rejected_busy",
+                            hash = manifest.spec_hash.clone()
+                        );
                         self.shared.flights.complete(&canon, Err(EngineError::Busy));
                         return Err(EngineError::Busy);
                     }
                     Err(TrySendError::Disconnected(_)) => {
-                        m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        m.dec_queue_depth();
                         self.shared
                             .flights
                             .complete(&canon, Err(EngineError::ShuttingDown));
                         return Err(EngineError::ShuttingDown);
                     }
                 }
-                flight.wait().map(|result| Evaluation {
-                    result,
+                let out = flight.wait()?;
+                manifest.push_stage("queue_wait", out.queue_wait_ns);
+                manifest.push_stage("compute", out.compute_ns);
+                Ok(Evaluation {
+                    result: out.result,
                     cached: false,
                     hash,
+                    manifest,
                 })
             }
         }
     }
 
-    /// A point-in-time snapshot of the service counters.
+    /// A point-in-time snapshot of the service counters, including the
+    /// process-wide per-stage timing aggregates.
     pub fn metrics(&self) -> EngineMetrics {
-        self.shared.metrics.snapshot(self.shared.cache.len())
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.len(), stage_summaries())
     }
 
     /// Graceful shutdown: stop accepting, let workers drain every
@@ -243,15 +315,33 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     // recv drains remaining queued jobs after the sender drops, then
     // errors out — exactly the drain-then-stop semantics we want.
     while let Ok(job) = rx.recv() {
-        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.dec_queue_depth();
         shared.metrics.computations.fetch_add(1, Ordering::Relaxed);
-        let result = compute::evaluate(&job.spec).map(Arc::new);
+        let queue_wait_ns = dur_ns(job.enqueued.elapsed());
+        solarstorm_obs::record_stage("queue_wait", queue_wait_ns);
+        let t = Instant::now();
+        let result = {
+            let _span = solarstorm_obs::span!(
+                "engine_compute",
+                hash = format!("{:016x}", job.hash),
+                queue_wait_us = queue_wait_ns / 1_000
+            );
+            compute::evaluate(&job.spec).map(Arc::new)
+        };
+        let compute_ns = dur_ns(t.elapsed());
         if let Ok(value) = &result {
             shared
                 .cache
                 .insert(job.hash, job.canon.clone(), Arc::clone(value));
         }
-        shared.flights.complete(&job.canon, result);
+        shared.flights.complete(
+            &job.canon,
+            result.map(|result| FlightOutput {
+                result,
+                queue_wait_ns,
+                compute_ns,
+            }),
+        );
     }
 }
 
@@ -284,6 +374,30 @@ mod tests {
         assert_eq!(m.computations, 1);
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn manifests_share_identity_modulo_timings() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let spec = sleep_spec(2);
+        let cold = engine.evaluate(&spec).unwrap();
+        let warm = engine.evaluate(&spec).unwrap();
+        assert!(cold.manifest.same_identity(&warm.manifest));
+        assert_eq!(cold.manifest.spec_hash, format!("{:016x}", cold.hash));
+        assert_eq!(cold.manifest.seed, spec.mc.seed);
+        assert!(cold.manifest.stages.iter().all(|s| s.ns > 0));
+        assert!(
+            cold.manifest.stage_ns("compute").unwrap() >= 1_000_000,
+            "a 2 ms sleep must show up in the compute stage"
+        );
+        assert!(
+            warm.manifest.stage_ns("compute").is_none(),
+            "a cache hit skips the compute stages"
+        );
+        assert!(warm.manifest.stage_ns("cache_lookup").is_some());
     }
 
     #[test]

@@ -12,9 +12,22 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// What a completed computation publishes to everyone waiting on it:
+/// the shared result plus where the leader's wall time went, so every
+/// follower's [`crate::RunManifest`] can report the true cost of the
+/// computation it shared.
+#[derive(Debug, Clone)]
+pub(crate) struct FlightOutput {
+    pub result: Arc<ScenarioResult>,
+    /// Time the job sat in the bounded queue before a worker picked it up.
+    pub queue_wait_ns: u64,
+    /// Time the worker spent actually evaluating the scenario.
+    pub compute_ns: u64,
+}
+
 /// The shared completion slot one in-flight computation fills.
 pub(crate) struct Flight {
-    slot: Mutex<Option<Result<Arc<ScenarioResult>, EngineError>>>,
+    slot: Mutex<Option<Result<FlightOutput, EngineError>>>,
     cv: Condvar,
 }
 
@@ -26,8 +39,8 @@ impl Flight {
         }
     }
 
-    /// Blocks until the computation completes and returns its result.
-    pub fn wait(&self) -> Result<Arc<ScenarioResult>, EngineError> {
+    /// Blocks until the computation completes and returns its output.
+    pub fn wait(&self) -> Result<FlightOutput, EngineError> {
         let mut g = self.slot.lock();
         while g.is_none() {
             self.cv.wait(&mut g);
@@ -35,7 +48,7 @@ impl Flight {
         g.as_ref().expect("slot filled").clone()
     }
 
-    fn fill(&self, r: Result<Arc<ScenarioResult>, EngineError>) {
+    fn fill(&self, r: Result<FlightOutput, EngineError>) {
         let mut g = self.slot.lock();
         *g = Some(r);
         self.cv.notify_all();
@@ -73,7 +86,7 @@ impl FlightTable {
     /// Followers blocked in [`Flight::wait`] observe the result; callers
     /// arriving after this point start a fresh flight (and will normally
     /// hit the cache instead).
-    pub fn complete(&self, key: &str, result: Result<Arc<ScenarioResult>, EngineError>) {
+    pub fn complete(&self, key: &str, result: Result<FlightOutput, EngineError>) {
         let flight = self.map.lock().remove(key);
         if let Some(f) = flight {
             f.fill(result);
@@ -102,10 +115,19 @@ mod tests {
         }
         // Give followers a moment to block, then complete.
         thread::sleep(std::time::Duration::from_millis(20));
-        table.complete("k", Ok(Arc::new(ScenarioResult::Slept { ms: 7 })));
+        table.complete(
+            "k",
+            Ok(FlightOutput {
+                result: Arc::new(ScenarioResult::Slept { ms: 7 }),
+                queue_wait_ns: 11,
+                compute_ns: 22,
+            }),
+        );
         for j in joins {
-            let r = j.join().unwrap().unwrap();
-            assert_eq!(*r, ScenarioResult::Slept { ms: 7 });
+            let out = j.join().unwrap().unwrap();
+            assert_eq!(*out.result, ScenarioResult::Slept { ms: 7 });
+            assert_eq!(out.queue_wait_ns, 11);
+            assert_eq!(out.compute_ns, 22);
         }
         drop(lead);
         // After completion the key is free again.

@@ -19,7 +19,12 @@
 //!   growing without bound, and [`Engine::shutdown`] drains in-flight
 //!   work before stopping.
 //! * **[`EngineMetrics`]** — served/rejected counts, cache hits/misses,
-//!   dedup joins, queue depth, and a latency histogram with p50/p99.
+//!   dedup joins, queue depth, a latency histogram with p50/p99, and
+//!   per-stage timing aggregates; also rendered as Prometheus text by
+//!   [`MetricsServer`] (`stormsim serve --metrics-addr`).
+//! * **[`RunManifest`]** — provenance attached to every scenario
+//!   response: spec content hash, RNG seed, dataset scale, engine
+//!   version, and a per-stage wall-time breakdown.
 //!
 //! Frontends: [`Server`] speaks newline-delimited JSON over
 //! `std::net::TcpListener` (`stormsim serve`), and the same
@@ -55,14 +60,18 @@ mod engine;
 mod error;
 mod experiments;
 mod flight;
+mod manifest;
 mod metrics;
+mod metrics_http;
 pub mod proto;
 mod server;
 mod spec;
 
 pub use engine::{Engine, EngineConfig, Evaluation};
 pub use error::EngineError;
-pub use metrics::{EngineMetrics, LatencySummary};
+pub use manifest::{RunManifest, StageTiming};
+pub use metrics::{EngineMetrics, LatencySummary, StageSummary};
+pub use metrics_http::MetricsServer;
 pub use proto::{Request, RequestBody, Response, WireError};
 pub use server::{Server, ServerConfig};
 pub use spec::{

@@ -1,0 +1,115 @@
+//! Run provenance: a [`RunManifest`] attached to every engine response.
+//!
+//! The manifest makes any figure a client receives reproducible from
+//! the response alone: the spec's content hash, the RNG seed, the
+//! dataset scale, the crate version, and where the wall time went
+//! stage by stage. Identical specs always yield identical manifests
+//! modulo the stage timings (and which stages ran — a cache hit skips
+//! the compute stages).
+
+use crate::spec::{NetworkSel, Scale, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+/// Wall time spent in one named pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`validate`, `hash`, `cache_lookup`, `queue_wait`,
+    /// `compute`, `dedup_wait`, `serialize`).
+    pub stage: String,
+    /// Duration in nanoseconds, clamped to ≥ 1 so a stage that ran is
+    /// never reported as zero time.
+    pub ns: u64,
+}
+
+/// Provenance record for one evaluated scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// FNV-1a content hash of the canonical spec, as 16 hex digits —
+    /// the same value as the response's `hash` field.
+    pub spec_hash: String,
+    /// Base RNG seed the Monte Carlo trials derive their streams from.
+    pub seed: u64,
+    /// Dataset bundle scale the scenario ran against.
+    pub scale: Scale,
+    /// Network the scenario ran against.
+    pub network: NetworkSel,
+    /// Number of Monte Carlo trials requested.
+    pub trials: usize,
+    /// Version of `solarstorm-engine` that produced the result.
+    pub engine_version: String,
+    /// Per-stage wall-time breakdown, in execution order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl RunManifest {
+    /// Builds the identity part of the manifest from a spec and its
+    /// content hash; stages are pushed as the pipeline progresses.
+    pub fn new(spec: &ScenarioSpec, hash: u64) -> RunManifest {
+        RunManifest {
+            spec_hash: format!("{hash:016x}"),
+            seed: spec.mc.seed,
+            scale: spec.scale,
+            network: spec.network,
+            trials: spec.mc.trials,
+            engine_version: env!("CARGO_PKG_VERSION").to_string(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends one stage duration (nanoseconds, clamped to ≥ 1).
+    pub fn push_stage(&mut self, stage: &'static str, ns: u64) {
+        self.stages.push(StageTiming {
+            stage: stage.to_string(),
+            ns: ns.max(1),
+        });
+    }
+
+    /// The duration of a named stage, if it ran.
+    pub fn stage_ns(&self, stage: &str) -> Option<u64> {
+        self.stages.iter().find(|s| s.stage == stage).map(|s| s.ns)
+    }
+
+    /// Whether two manifests describe the same run identity — every
+    /// field except the volatile stage timings.
+    pub fn same_identity(&self, other: &RunManifest) -> bool {
+        self.spec_hash == other.spec_hash
+            && self.seed == other.seed
+            && self.scale == other.scale
+            && self.network == other.network
+            && self.trials == other.trials
+            && self.engine_version == other.engine_version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_ignores_stage_timings() {
+        let spec = ScenarioSpec::default();
+        let mut a = RunManifest::new(&spec, 0xabc);
+        let mut b = RunManifest::new(&spec, 0xabc);
+        a.push_stage("validate", 10);
+        a.push_stage("compute", 999);
+        b.push_stage("validate", 77);
+        assert!(a.same_identity(&b));
+        assert_ne!(a, b, "stage timings still distinguish the values");
+
+        let c = RunManifest::new(&spec, 0xdef);
+        assert!(!a.same_identity(&c));
+    }
+
+    #[test]
+    fn stages_clamp_to_nonzero_and_round_trip() {
+        let mut m = RunManifest::new(&ScenarioSpec::default(), 1);
+        m.push_stage("validate", 0);
+        assert_eq!(m.stage_ns("validate"), Some(1));
+        assert_eq!(m.stage_ns("compute"), None);
+
+        let s = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(m.spec_hash, "0000000000000001");
+    }
+}

@@ -1,6 +1,8 @@
-//! Lock-free service counters and a log-scaled latency histogram.
+//! Lock-free service counters, a log-scaled latency histogram, and
+//! Prometheus-compatible text exposition.
 
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Number of power-of-two latency buckets (bucket `i` holds requests
@@ -62,6 +64,15 @@ impl Registry {
         self.latency_buckets[bucket_index(us)].fetch_add(1, Relaxed);
     }
 
+    /// Decrements the queue-depth gauge, saturating at zero. A racing
+    /// pair of increments/decrements must never wrap the gauge to
+    /// `u64::MAX` and report a billion-deep queue.
+    pub fn dec_queue_depth(&self) {
+        let _ = self
+            .queue_depth
+            .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
     fn percentile_us(&self, counts: &[u64; BUCKETS], total: u64, p: f64) -> u64 {
         if total == 0 {
             return 0;
@@ -78,8 +89,9 @@ impl Registry {
         self.latency_max_us.load(Relaxed)
     }
 
-    /// Takes a consistent-enough snapshot of every counter.
-    pub fn snapshot(&self, cache_entries: usize) -> EngineMetrics {
+    /// Takes a consistent-enough snapshot of every counter, attaching
+    /// the caller-provided per-stage timing aggregates.
+    pub fn snapshot(&self, cache_entries: usize, stages: Vec<StageSummary>) -> EngineMetrics {
         let mut counts = [0u64; BUCKETS];
         for (slot, bucket) in counts.iter_mut().zip(&self.latency_buckets) {
             *slot = bucket.load(Relaxed);
@@ -107,8 +119,24 @@ impl Registry {
                 p99_us: self.percentile_us(&counts, count, 0.99),
                 max_us: self.latency_max_us.load(Relaxed),
             },
+            stages,
         }
     }
+}
+
+/// Reads the process-wide pipeline-stage aggregates maintained by
+/// `solarstorm-obs` (they accumulate even with logging off) into the
+/// serializable form `EngineMetrics` carries.
+pub(crate) fn stage_summaries() -> Vec<StageSummary> {
+    solarstorm_obs::stage_snapshot()
+        .into_iter()
+        .map(|s| StageSummary {
+            stage: s.name.to_string(),
+            count: s.count,
+            total_us: s.total_ns / 1_000,
+            max_us: s.max_ns / 1_000,
+        })
+        .collect()
 }
 
 /// Latency distribution summary (microseconds; percentiles are the
@@ -127,8 +155,22 @@ pub struct LatencySummary {
     pub max_us: u64,
 }
 
+/// Aggregate wall time for one named pipeline stage across the whole
+/// process (dataset builds, Monte Carlo batches, engine stages).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage name (e.g. `monte_carlo`, `engine_compute`, `queue_wait`).
+    pub stage: String,
+    /// Times the stage ran.
+    pub count: u64,
+    /// Total wall time, microseconds.
+    pub total_us: u64,
+    /// Longest single run, microseconds.
+    pub max_us: u64,
+}
+
 /// A point-in-time snapshot of the engine's service counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineMetrics {
     /// Requests received (including rejected ones).
     pub requests: u64,
@@ -152,11 +194,151 @@ pub struct EngineMetrics {
     pub cache_entries: u64,
     /// Request-latency distribution.
     pub latency: LatencySummary,
+    /// Per-stage timing aggregates, sorted by stage name. Missing in
+    /// snapshots from older engines, hence the serde default.
+    #[serde(default)]
+    pub stages: Vec<StageSummary>,
+}
+
+fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+impl EngineMetrics {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` comment pairs followed by
+    /// `name[{labels}] value` sample lines.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for (name, help, v) in [
+            (
+                "stormsim_requests_total",
+                "Requests received (including rejected ones).",
+                self.requests,
+            ),
+            (
+                "stormsim_completed_total",
+                "Requests answered successfully.",
+                self.completed,
+            ),
+            (
+                "stormsim_errors_total",
+                "Requests answered with an error other than busy.",
+                self.errors,
+            ),
+            (
+                "stormsim_rejected_busy_total",
+                "Requests rejected because the queue was full.",
+                self.rejected_busy,
+            ),
+            (
+                "stormsim_cache_hits_total",
+                "Requests answered straight from the result cache.",
+                self.cache_hits,
+            ),
+            (
+                "stormsim_cache_misses_total",
+                "Requests that missed the result cache.",
+                self.cache_misses,
+            ),
+            (
+                "stormsim_dedup_joins_total",
+                "Requests that joined another caller's in-flight computation.",
+                self.dedup_joins,
+            ),
+            (
+                "stormsim_computations_total",
+                "Scenario computations actually executed by workers.",
+                self.computations,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "counter", help, v);
+        }
+        for (name, help, v) in [
+            (
+                "stormsim_queue_depth",
+                "Jobs currently queued (not yet picked up by a worker).",
+                self.queue_depth,
+            ),
+            (
+                "stormsim_cache_entries",
+                "Entries currently in the result cache.",
+                self.cache_entries,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "gauge", help, v);
+        }
+        prom_scalar(
+            &mut out,
+            "stormsim_request_latency_measurements_total",
+            "counter",
+            "Request latencies recorded.",
+            self.latency.count,
+        );
+        for (name, help, v) in [
+            (
+                "stormsim_request_latency_mean_us",
+                "Mean request latency, microseconds.",
+                self.latency.mean_us,
+            ),
+            (
+                "stormsim_request_latency_p50_us",
+                "Median request latency (bucketed upper bound), microseconds.",
+                self.latency.p50_us,
+            ),
+            (
+                "stormsim_request_latency_p99_us",
+                "99th-percentile request latency (bucketed upper bound), microseconds.",
+                self.latency.p99_us,
+            ),
+            (
+                "stormsim_request_latency_max_us",
+                "Maximum observed request latency, microseconds.",
+                self.latency.max_us,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "gauge", help, v);
+        }
+        let stage_families: [(&str, &str, &str, fn(&StageSummary) -> u64); 3] = [
+            (
+                "stormsim_stage_runs_total",
+                "counter",
+                "Times each pipeline stage ran.",
+                |s| s.count,
+            ),
+            (
+                "stormsim_stage_duration_us_total",
+                "counter",
+                "Cumulative wall time per pipeline stage, microseconds.",
+                |s| s.total_us,
+            ),
+            (
+                "stormsim_stage_duration_us_max",
+                "gauge",
+                "Longest single run per pipeline stage, microseconds.",
+                |s| s.max_us,
+            ),
+        ];
+        for (name, kind, help, get) in stage_families {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for s in &self.stages {
+                let _ = writeln!(out, "{name}{{stage=\"{}\"}} {}", s.stage, get(s));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn snap(r: &Registry) -> EngineMetrics {
+        r.snapshot(0, Vec::new())
+    }
 
     #[test]
     fn buckets_are_log_scaled() {
@@ -168,12 +350,51 @@ mod tests {
     }
 
     #[test]
+    fn bucket_index_edges() {
+        // Exact powers of two land in the bucket whose upper bound is
+        // the next power (bucket i holds < 2^i, so 2^k maps to k + 1).
+        for k in 0..20u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), (k as usize + 1).min(BUCKETS - 1), "2^{k}");
+            assert_eq!(
+                bucket_index(v - 1),
+                (k as usize).min(BUCKETS - 1),
+                "2^{k}-1"
+            );
+        }
+        // The tail bucket absorbs everything from 2^(BUCKETS-1) up.
+        assert_eq!(bucket_index(1u64 << (BUCKETS - 1)), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX - 1), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // 0 µs (sub-microsecond request) is a valid measurement.
+        let r = Registry::default();
+        r.record_latency(0);
+        r.record_latency(u64::MAX);
+        let m = snap(&r);
+        assert_eq!(m.latency.count, 2);
+        assert_eq!(m.latency.max_us, u64::MAX);
+    }
+
+    #[test]
+    fn queue_depth_decrement_saturates_at_zero() {
+        let r = Registry::default();
+        r.dec_queue_depth();
+        assert_eq!(snap(&r).queue_depth, 0, "must not wrap to u64::MAX");
+        r.queue_depth.fetch_add(2, Relaxed);
+        r.dec_queue_depth();
+        assert_eq!(snap(&r).queue_depth, 1);
+        r.dec_queue_depth();
+        r.dec_queue_depth();
+        assert_eq!(snap(&r).queue_depth, 0);
+    }
+
+    #[test]
     fn percentiles_bracket_the_samples() {
         let r = Registry::default();
         for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 4000] {
             r.record_latency(us);
         }
-        let m = r.snapshot(0);
+        let m = snap(&r);
         assert_eq!(m.latency.count, 10);
         assert_eq!(m.latency.max_us, 4000);
         assert!(m.latency.p50_us >= 50 && m.latency.p50_us <= 128);
@@ -186,9 +407,61 @@ mod tests {
         let r = Registry::default();
         r.requests.fetch_add(3, Relaxed);
         r.record_latency(77);
-        let m = r.snapshot(2);
+        let m = r.snapshot(
+            2,
+            vec![StageSummary {
+                stage: "compute".into(),
+                count: 1,
+                total_us: 9,
+                max_us: 9,
+            }],
+        );
         let s = serde_json::to_string(&m).unwrap();
         let back: EngineMetrics = serde_json::from_str(&s).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn snapshots_without_stages_still_deserialize() {
+        // Snapshots serialized before the stages field existed.
+        let legacy = serde_json::json!({
+            "requests": 1, "completed": 1, "errors": 0, "rejected_busy": 0,
+            "cache_hits": 0, "cache_misses": 1, "dedup_joins": 0,
+            "computations": 1, "queue_depth": 0, "cache_entries": 1,
+            "latency": {"count": 1, "mean_us": 5, "p50_us": 8, "p99_us": 8, "max_us": 5}
+        });
+        let m: EngineMetrics = serde_json::from_value(legacy).unwrap();
+        assert!(m.stages.is_empty());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let r = Registry::default();
+        r.requests.fetch_add(7, Relaxed);
+        r.record_latency(123);
+        let m = r.snapshot(
+            1,
+            vec![StageSummary {
+                stage: "monte_carlo".into(),
+                count: 4,
+                total_us: 1000,
+                max_us: 400,
+            }],
+        );
+        let text = m.to_prometheus();
+        assert!(text.contains("# HELP stormsim_requests_total "));
+        assert!(text.contains("# TYPE stormsim_requests_total counter\n"));
+        assert!(text.contains("\nstormsim_requests_total 7\n"));
+        assert!(text.contains("# TYPE stormsim_queue_depth gauge\n"));
+        assert!(text.contains("stormsim_stage_duration_us_total{stage=\"monte_carlo\"} 1000\n"));
+        assert!(text.ends_with('\n'));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            value.parse::<u64>().expect("sample value is an integer");
+        }
     }
 }

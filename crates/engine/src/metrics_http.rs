@@ -1,0 +1,126 @@
+//! Minimal HTTP/1.1 endpoint serving [`EngineMetrics`] in the
+//! Prometheus text exposition format.
+//!
+//! Deliberately tiny: every request — whatever its path — gets a fresh
+//! snapshot rendered by [`EngineMetrics::to_prometheus`] with
+//! `Connection: close`, which is all a Prometheus scraper (or `curl`)
+//! needs. Runs alongside the NDJSON [`crate::Server`] as
+//! `stormsim serve --metrics-addr`.
+
+use crate::engine::Engine;
+use crate::metrics::EngineMetrics;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The metrics scrape endpoint.
+pub struct MetricsServer {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+}
+
+impl MetricsServer {
+    /// Binds the scrape endpoint (e.g. `"127.0.0.1:9184"`; port 0 picks
+    /// a free port).
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<MetricsServer> {
+        Ok(MetricsServer {
+            listener: TcpListener::bind(addr)?,
+            engine,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves scrapes forever; each connection is handled on its own
+    /// short-lived thread so one slow scraper cannot block the next.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let engine = Arc::clone(&self.engine);
+                    let _ = std::thread::Builder::new()
+                        .name("storm-metrics".into())
+                        .spawn(move || serve_scrape(&engine.metrics(), stream));
+                }
+                Err(e) => eprintln!("stormsim: metrics accept error: {e}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Answers one scrape: drain the request head, write one response.
+fn serve_scrape(metrics: &EngineMetrics, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+        }
+    }
+    let body = metrics.to_prometheus();
+    let mut stream = stream;
+    let _ = write!(
+        stream,
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        }));
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let raw = scrape(addr);
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("# TYPE stormsim_requests_total counter"));
+        assert_eq!(
+            head.split("Content-Length: ")
+                .nth(1)
+                .unwrap()
+                .split("\r\n")
+                .next(),
+            Some(body.len().to_string().as_str()),
+            "Content-Length matches the body"
+        );
+        engine.shutdown();
+    }
+}

@@ -18,6 +18,7 @@
 
 use crate::engine::Engine;
 use crate::error::EngineError;
+use crate::manifest::RunManifest;
 use crate::spec::ScenarioSpec;
 use serde::{Deserialize, Serialize};
 
@@ -57,8 +58,9 @@ pub struct WireError {
 }
 
 /// One response line. Identical requests produce byte-identical
-/// response lines (the cache never changes an answer), which is why
-/// volatile fields like latency are reported via `metrics` instead.
+/// `hash` and `result` fields (the cache never changes an answer);
+/// the `manifest` additionally carries volatile per-stage timings, so
+/// clients comparing responses should compare `result`, not the line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
     /// Echo of the request id, if any.
@@ -75,6 +77,10 @@ pub struct Response {
     /// The error payload on failure.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<WireError>,
+    /// Run provenance (scenario requests only): spec hash, seed, scale,
+    /// engine version, and per-stage wall-time breakdown.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub manifest: Option<RunManifest>,
 }
 
 impl Response {
@@ -86,7 +92,14 @@ impl Response {
             hash: hash.map(|h| format!("{h:016x}")),
             result: Some(result),
             error: None,
+            manifest: None,
         }
+    }
+
+    /// Attaches a run manifest to a (success) response.
+    pub fn with_manifest(mut self, manifest: RunManifest) -> Self {
+        self.manifest = Some(manifest);
+        self
     }
 
     /// A failure response with a stable code.
@@ -100,6 +113,7 @@ impl Response {
                 code: code.to_string(),
                 message,
             }),
+            manifest: None,
         }
     }
 
@@ -134,10 +148,20 @@ pub fn handle_request(engine: &Engine, req: Request) -> Response {
             Err(e) => Response::failure(req.id, "internal", e.to_string()),
         },
         RequestBody::Scenario { spec } => match engine.evaluate(&spec) {
-            Ok(eval) => match serde_json::to_value(&*eval.result) {
-                Ok(v) => Response::success(req.id, Some(eval.hash), v),
-                Err(e) => Response::failure(req.id, "internal", e.to_string()),
-            },
+            Ok(eval) => {
+                let t = std::time::Instant::now();
+                let serialized = serde_json::to_value(&*eval.result);
+                let serialize_ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                solarstorm_obs::record_stage("serialize", serialize_ns);
+                match serialized {
+                    Ok(v) => {
+                        let mut manifest = eval.manifest;
+                        manifest.push_stage("serialize", serialize_ns);
+                        Response::success(req.id, Some(eval.hash), v).with_manifest(manifest)
+                    }
+                    Err(e) => Response::failure(req.id, "internal", e.to_string()),
+                }
+            }
             Err(e) => Response::failure(req.id, e.code(), e.to_string()),
         },
     }
@@ -201,5 +225,19 @@ mod tests {
         assert!(!line.contains("result"), "{line}");
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(back, err);
+    }
+
+    #[test]
+    fn manifest_field_is_optional_on_the_wire() {
+        let plain = Response::success(None, Some(1), serde_json::json!("pong"));
+        assert!(!plain.to_line().contains("manifest"), "{}", plain.to_line());
+
+        let mut m = RunManifest::new(&ScenarioSpec::default(), 1);
+        m.push_stage("validate", 5);
+        let with = plain.clone().with_manifest(m);
+        let line = with.to_line();
+        assert!(line.contains(r#""spec_hash":"0000000000000001""#), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, with);
     }
 }

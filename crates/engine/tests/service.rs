@@ -1,13 +1,14 @@
 //! End-to-end tests of the scenario-evaluation service: caching,
-//! single-flight dedup, backpressure, graceful shutdown, and the NDJSON
-//! wire protocol over real TCP connections.
+//! single-flight dedup, backpressure, graceful shutdown, run
+//! provenance manifests, metrics exposition, and the NDJSON wire
+//! protocol over real TCP connections.
 
 use solarstorm_engine::{
-    proto, AnalysisRequest, Engine, EngineConfig, EngineError, FailureSpec, ScenarioResult,
-    ScenarioSpec, Server, ServerConfig,
+    proto, AnalysisRequest, Engine, EngineConfig, EngineError, FailureSpec, MetricsServer,
+    Response, ScenarioResult, ScenarioSpec, Server, ServerConfig,
 };
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Barrier};
 
 fn sleep_spec(ms: u64) -> ScenarioSpec {
@@ -167,10 +168,23 @@ fn tcp_round_trip_with_cache_malformed_lines_and_metrics() {
     assert!(first.contains(r#""id":"q1""#), "{first}");
     assert!(first.contains(r#""kind":"stats""#), "{first}");
 
-    // Identical request: byte-identical response (the cache is invisible
-    // on the wire), and the hit shows up in the metrics counters.
+    // Identical request: identical `hash` and `result` bytes (the cache
+    // is invisible in the answer); only the manifest's stage timings may
+    // differ between the two lines.
     let second = send(scenario);
-    assert_eq!(first, second, "cache changed a response");
+    let first_v: serde_json::Value = serde_json::from_str(&first).unwrap();
+    let second_v: serde_json::Value = serde_json::from_str(&second).unwrap();
+    assert_eq!(first_v["hash"], second_v["hash"]);
+    assert_eq!(
+        serde_json::to_string(&first_v["result"]).unwrap(),
+        serde_json::to_string(&second_v["result"]).unwrap(),
+        "cache changed a result"
+    );
+    assert_eq!(first_v["manifest"]["spec_hash"], first_v["hash"]);
+    assert_eq!(
+        first_v["manifest"]["spec_hash"],
+        second_v["manifest"]["spec_hash"]
+    );
 
     let garbage = send("this is not json");
     assert!(garbage.contains(r#""ok":false"#), "{garbage}");
@@ -238,6 +252,131 @@ fn experiment_requests_resolve_through_the_registry() {
         })
         .unwrap_err();
     assert_eq!(err.code(), "unknown_experiment");
+}
+
+#[test]
+fn every_scenario_response_carries_a_reproducible_manifest() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let line = r#"{"type":"scenario","spec":{"model":{"kind":"s2"},"analysis":{"kind":"stats"}}}"#;
+    let cold: Response =
+        serde_json::from_str(&proto::handle_line(&engine, line).to_line()).unwrap();
+    let warm: Response =
+        serde_json::from_str(&proto::handle_line(&engine, line).to_line()).unwrap();
+
+    let cold_m = cold.manifest.expect("cold response carries a manifest");
+    let warm_m = warm.manifest.expect("warm response carries a manifest");
+    assert_eq!(Some(cold_m.spec_hash.clone()), cold.hash);
+    assert_eq!(cold_m.engine_version, env!("CARGO_PKG_VERSION"));
+    assert!(
+        cold_m.stages.iter().all(|s| s.ns > 0),
+        "every stage duration is non-zero: {:?}",
+        cold_m.stages
+    );
+    for stage in ["validate", "hash", "cache_lookup", "compute", "serialize"] {
+        assert!(
+            cold_m.stage_ns(stage).is_some(),
+            "cold run records {stage}: {:?}",
+            cold_m.stages
+        );
+    }
+    // Identical specs: identical manifests modulo the stage timings.
+    assert!(cold_m.same_identity(&warm_m), "{cold_m:?} vs {warm_m:?}");
+    assert!(
+        warm_m.stage_ns("compute").is_none(),
+        "the cache hit must not claim it computed: {:?}",
+        warm_m.stages
+    );
+}
+
+fn prom_scrape(addr: SocketAddr) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    body.to_string()
+}
+
+fn prom_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("sample {name} missing from scrape:\n{text}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn prometheus_scrapes_parse_and_agree_with_ndjson_metrics() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        ..Default::default()
+    }));
+    let metrics_server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let metrics_addr = metrics_server.local_addr().unwrap();
+    std::thread::spawn(move || metrics_server.run());
+
+    let spec = stats_spec();
+    engine.evaluate(&spec).unwrap();
+    let first = prom_scrape(metrics_addr);
+    // Exposition-format shape: HELP/TYPE comment pairs and integer samples.
+    assert!(first.contains("# HELP stormsim_requests_total "), "{first}");
+    assert!(
+        first.contains("# TYPE stormsim_requests_total counter"),
+        "{first}"
+    );
+    assert!(
+        first.contains("# TYPE stormsim_queue_depth gauge"),
+        "{first}"
+    );
+    assert!(
+        first.contains("stormsim_stage_duration_us_total{stage=\"engine_compute\"}"),
+        "{first}"
+    );
+    assert_eq!(prom_value(&first, "stormsim_requests_total"), 1);
+    assert_eq!(prom_value(&first, "stormsim_computations_total"), 1);
+
+    // Counters are monotonic across scrapes.
+    engine.evaluate(&spec).unwrap();
+    let second = prom_scrape(metrics_addr);
+    assert_eq!(prom_value(&second, "stormsim_requests_total"), 2);
+    assert_eq!(prom_value(&second, "stormsim_cache_hits_total"), 1);
+    for counter in [
+        "stormsim_requests_total",
+        "stormsim_completed_total",
+        "stormsim_computations_total",
+        "stormsim_cache_hits_total",
+        "stormsim_cache_misses_total",
+    ] {
+        assert!(
+            prom_value(&second, counter) >= prom_value(&first, counter),
+            "{counter} went backwards"
+        );
+    }
+
+    // The NDJSON `metrics` request reports the same counters the
+    // Prometheus endpoint exposes.
+    let resp = proto::handle_line(&engine, r#"{"type":"metrics"}"#);
+    let snap: serde_json::Value = resp.result.expect("metrics result");
+    let third = prom_scrape(metrics_addr);
+    for (json_field, prom_name) in [
+        ("requests", "stormsim_requests_total"),
+        ("completed", "stormsim_completed_total"),
+        ("computations", "stormsim_computations_total"),
+        ("cache_hits", "stormsim_cache_hits_total"),
+        ("cache_misses", "stormsim_cache_misses_total"),
+        ("queue_depth", "stormsim_queue_depth"),
+        ("cache_entries", "stormsim_cache_entries"),
+    ] {
+        assert_eq!(
+            snap[json_field].as_u64().unwrap(),
+            prom_value(&third, prom_name),
+            "{json_field} disagrees between NDJSON and Prometheus"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,179 @@
+//! The collector: a level filter, a lock-free ring buffer, and sinks.
+//!
+//! Producers push completed events into a `crossbeam` `ArrayQueue`
+//! (lock-free, bounded) and then *opportunistically* drain it into the
+//! registered sinks under a try-lock — so no producer ever blocks on
+//! sink I/O; whichever thread wins the try-lock does the writing. A
+//! full ring drops the newest event and counts the drop instead of
+//! blocking or growing without bound.
+
+use crate::event::Event;
+use crate::level::Level;
+use crate::sink::Sink;
+use crossbeam::queue::ArrayQueue;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Default ring capacity (events buffered between drains).
+pub const DEFAULT_RING_CAPACITY: usize = 8_192;
+
+/// An event collector: filter, ring buffer, and registered sinks.
+///
+/// Usable standalone (tests construct private collectors) or through
+/// the process-global instance behind [`crate::global`].
+pub struct Collector {
+    level: AtomicU8,
+    ring: ArrayQueue<Event>,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl Collector {
+    /// Creates a collector with the given threshold and ring capacity.
+    pub fn new(level: Level, capacity: usize) -> Collector {
+        Collector {
+            level: AtomicU8::new(level as u8),
+            ring: ArrayQueue::new(capacity.max(1)),
+            sinks: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The active threshold.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Replaces the threshold.
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Whether an event at `level` would pass the filter.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level != Level::Off && self.level.load(Ordering::Relaxed) >= level as u8
+    }
+
+    /// Registers a sink; drained events go to every registered sink.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.sinks.lock().push(sink);
+    }
+
+    /// Microseconds since this collector was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one event (the filter must already have been checked by
+    /// the caller — macros do this to skip field construction when
+    /// disabled) and opportunistically drains the ring.
+    pub fn record(&self, event: Event) {
+        if self.ring.push(event).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        self.maybe_drain();
+    }
+
+    /// Drains the ring into the sinks if no other thread is already
+    /// draining. Never blocks the caller on another drainer.
+    fn maybe_drain(&self) {
+        if let Some(sinks) = self.sinks.try_lock() {
+            while let Some(e) = self.ring.pop() {
+                for s in sinks.iter() {
+                    s.emit(&e);
+                }
+            }
+        }
+    }
+
+    /// Drains every buffered event and flushes every sink. Blocks on
+    /// the sink lock so the caller observes a complete flush.
+    pub fn flush(&self) {
+        let sinks = self.sinks.lock();
+        while let Some(e) = self.ring.pop() {
+            for s in sinks.iter() {
+                s.emit(&e);
+            }
+        }
+        for s in sinks.iter() {
+            s.flush();
+        }
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::sink::VecSink;
+    use std::sync::Arc;
+
+    fn ev(name: &'static str) -> Event {
+        Event {
+            name,
+            kind: EventKind::Instant,
+            level: Level::Info,
+            ts_us: 0,
+            dur_ns: None,
+            thread: "t".into(),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn filter_respects_threshold() {
+        let c = Collector::new(Level::Info, 8);
+        assert!(c.enabled(Level::Error));
+        assert!(c.enabled(Level::Info));
+        assert!(!c.enabled(Level::Debug));
+        assert!(!c.enabled(Level::Off));
+        c.set_level(Level::Trace);
+        assert!(c.enabled(Level::Trace));
+    }
+
+    #[test]
+    fn events_reach_sinks_in_order() {
+        let c = Collector::new(Level::Trace, 64);
+        let sink = Arc::new(VecSink::default());
+        struct Fwd(Arc<VecSink>);
+        impl Sink for Fwd {
+            fn emit(&self, e: &Event) {
+                self.0.emit(e);
+            }
+        }
+        c.add_sink(Box::new(Fwd(Arc::clone(&sink))));
+        c.record(ev("a"));
+        c.record(ev("b"));
+        c.flush();
+        let names: Vec<_> = sink.drained().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let c = Collector::new(Level::Trace, 2);
+        // No sinks: nothing drains except through record's try-lock,
+        // which empties the ring — so hold the sink lock to force drops.
+        let sinks = c.sinks.lock();
+        assert!(c.ring.push(ev("a")).is_ok());
+        assert!(c.ring.push(ev("b")).is_ok());
+        drop(sinks);
+        // ring is full now; bypass drain by locking again
+        let sinks = c.sinks.lock();
+        if c.ring.push(ev("c")).is_err() {
+            c.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(sinks);
+        assert_eq!(c.dropped(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! The event record and its two serializations (NDJSON, human).
+//!
+//! JSON encoding is hand-rolled (string escaping per RFC 8259) so the
+//! crate stays dependency-free; the NDJSON output is nevertheless plain
+//! JSON and round-trips through `serde_json` (property-tested).
+
+use crate::level::Level;
+use std::fmt::Write as _;
+
+/// Whether a record marks a completed span or a point-in-time event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: `dur_ns` holds its wall-clock duration.
+    Span,
+    /// An instantaneous event (a decision, a state change).
+    Instant,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Instant => "event",
+        }
+    }
+}
+
+/// A typed key-value field attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values serialize as JSON `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self { FieldValue::U64(v as u64) }
+        }
+    )*};
+}
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self { FieldValue::I64(v as i64) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(f64::from(v))
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded observation: a completed span or an instantaneous event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Static span/event name (`"monte_carlo"`, `"cache_hit"`, …).
+    pub name: &'static str,
+    /// Span end or instantaneous.
+    pub kind: EventKind,
+    /// Verbosity level the record was emitted at.
+    pub level: Level,
+    /// Microseconds since the collector's epoch (process start).
+    pub ts_us: u64,
+    /// Span duration in nanoseconds (`None` for instantaneous events).
+    pub dur_ns: Option<u64>,
+    /// Name (or numeric id) of the emitting thread.
+    pub thread: String,
+    /// Key-value payload, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Escapes `s` into `out` as the body of a JSON string literal.
+fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(v: &FieldValue, out: &mut String) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_json_into(s, out);
+            out.push('"');
+        }
+    }
+}
+
+impl Event {
+    /// Serializes the event as one NDJSON line (no trailing newline).
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            r#"{{"name":"{}","kind":"{}","level":"{}","ts_us":{}"#,
+            self.name,
+            self.kind.as_str(),
+            self.level.as_str(),
+            self.ts_us
+        );
+        if let Some(d) = self.dur_ns {
+            let _ = write!(out, r#","dur_ns":{d}"#);
+        }
+        out.push_str(r#","thread":""#);
+        escape_json_into(&self.thread, &mut out);
+        out.push('"');
+        if !self.fields.is_empty() {
+            out.push_str(r#","fields":{"#);
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json_into(k, &mut out);
+                out.push_str("\":");
+                write_value(v, &mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Formats the event for human eyes (the stderr sink).
+    pub fn to_human(&self) -> String {
+        let mut out = String::with_capacity(80);
+        let _ = write!(
+            out,
+            "[{:>10.3}ms {:<5} {}] {}",
+            self.ts_us as f64 / 1_000.0,
+            self.level.as_str(),
+            self.thread,
+            self.name
+        );
+        if let Some(d) = self.dur_ns {
+            let _ = write!(out, " took {:.3}ms", d as f64 / 1_000_000.0);
+        }
+        for (k, v) in &self.fields {
+            let mut rendered = String::new();
+            write_value(v, &mut rendered);
+            let _ = write!(out, " {k}={rendered}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            name: "monte_carlo",
+            kind: EventKind::Span,
+            level: Level::Debug,
+            ts_us: 1234,
+            dur_ns: Some(5_600_000),
+            thread: "storm-worker-0".into(),
+            fields: vec![
+                ("trials", FieldValue::U64(10)),
+                ("spacing", FieldValue::F64(150.0)),
+                ("net", FieldValue::Str("sub\"marine\\".into())),
+                ("ok", FieldValue::Bool(true)),
+            ],
+        }
+    }
+
+    #[test]
+    fn ndjson_escapes_and_structures() {
+        let line = sample().to_ndjson();
+        assert!(line.contains(r#""name":"monte_carlo""#), "{line}");
+        assert!(line.contains(r#""dur_ns":5600000"#), "{line}");
+        assert!(line.contains(r#""net":"sub\"marine\\""#), "{line}");
+        assert!(!line.contains('\n'), "{line}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut e = sample();
+        e.fields = vec![("x", FieldValue::F64(f64::NAN))];
+        assert!(e.to_ndjson().contains(r#""x":null"#));
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut e = sample();
+        e.fields = vec![("x", FieldValue::Str("a\u{1}\nb".into()))];
+        let line = e.to_ndjson();
+        assert!(line.contains("\\u0001"), "{line}");
+        assert!(line.contains("\\n"), "{line}");
+    }
+
+    #[test]
+    fn human_format_mentions_name_and_duration() {
+        let h = sample().to_human();
+        assert!(h.contains("monte_carlo"), "{h}");
+        assert!(h.contains("took 5.600ms"), "{h}");
+        assert!(h.contains("trials=10"), "{h}");
+    }
+}

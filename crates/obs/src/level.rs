@@ -1,0 +1,121 @@
+//! Log levels and `STORMSIM_LOG` parsing.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Verbosity level of an event, or the collector's filter threshold.
+///
+/// Ordered so that a numerically higher level is *more* verbose:
+/// a collector at [`Level::Info`] passes `Error`/`Warn`/`Info` events
+/// and drops `Debug`/`Trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Logging disabled entirely (the default).
+    Off = 0,
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Degraded-but-continuing conditions.
+    Warn = 2,
+    /// High-level lifecycle events.
+    Info = 3,
+    /// Per-stage spans and cache/dedup decisions.
+    Debug = 4,
+    /// Everything, including per-chunk worker spans.
+    Trace = 5,
+}
+
+impl Level {
+    /// All accepted spellings, for error messages.
+    pub const NAMES: &'static str = "off|error|warn|info|debug|trace";
+
+    /// Stable lowercase name (`"debug"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Decodes the representation produced by `as u8` casts; out-of-range
+    /// values clamp to [`Level::Trace`].
+    pub fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    /// Case-insensitive parse of a level name; the error message lists
+    /// every accepted spelling so CLI surfaces can fail fast verbatim.
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "" => Ok(Level::Off),
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (expected {})",
+                Level::NAMES
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_name_case_insensitively() {
+        assert_eq!("OFF".parse::<Level>().unwrap(), Level::Off);
+        assert_eq!("Error".parse::<Level>().unwrap(), Level::Error);
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("info".parse::<Level>().unwrap(), Level::Info);
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+        assert_eq!(" trace ".parse::<Level>().unwrap(), Level::Trace);
+        assert!("bogus".parse::<Level>().unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Trace > Level::Debug);
+        assert!(Level::Debug > Level::Info);
+        assert!(Level::Off < Level::Error);
+    }
+
+    #[test]
+    fn u8_round_trip() {
+        for l in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::from_u8(l as u8), l);
+        }
+    }
+}

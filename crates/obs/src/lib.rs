@@ -1,0 +1,266 @@
+//! `solarstorm-obs` — zero-new-dependency structured observability.
+//!
+//! The analyses behind every paper figure are multi-stage pipelines
+//! (dataset build → topology graph → GIC failure sampling → Monte
+//! Carlo → partition analysis), and the engine turns them into a
+//! long-running service. This crate gives operators visibility into
+//! *where* time and failures go, live, without a debugger:
+//!
+//! * **Spans and events** — [`span!`] returns a guard that records
+//!   wall time, thread, and typed key-value fields when dropped;
+//!   [`event!`] records point-in-time decisions (cache hits, dedup
+//!   joins). Both are no-ops (beyond a relaxed atomic load and, for
+//!   spans, two `Instant` reads feeding the stage table) when the
+//!   active level filters them out.
+//! * **Lock-free ring buffer** — producers push into a bounded
+//!   `crossbeam` `ArrayQueue` and never block on sink I/O; a full ring
+//!   drops and counts instead of stalling a worker.
+//! * **Pluggable sinks** — a human-readable stderr logger gated by
+//!   `STORMSIM_LOG`, an NDJSON file sink (`STORMSIM_LOG_FILE`), and an
+//!   in-memory capture sink for tests.
+//! * **Always-on stage aggregates** — every span feeds a process-global
+//!   `{count, total_ns, max_ns}` table per stage name, which the engine
+//!   exposes over Prometheus text exposition and the NDJSON `metrics`
+//!   request even when logging is off.
+//!
+//! # Example
+//!
+//! ```
+//! use solarstorm_obs as obs;
+//!
+//! // Record a span; with logging off only the stage table is updated.
+//! {
+//!     let _span = obs::span!("monte_carlo", trials = 10usize, spacing_km = 150.0);
+//!     // ... work ...
+//! }
+//! obs::event!(obs::Level::Debug, "cache_hit", hash = "00ff");
+//! let stages = obs::stage_snapshot();
+//! assert!(stages.iter().any(|s| s.name == "monte_carlo"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod collector;
+mod event;
+mod level;
+mod sink;
+mod stage;
+
+pub use collector::{Collector, DEFAULT_RING_CAPACITY};
+pub use event::{Event, EventKind, FieldValue};
+pub use level::Level;
+pub use sink::{NdjsonSink, Sink, StderrSink, VecSink};
+pub use stage::{record_stage, stage_snapshot, StageAgg};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Environment variable selecting the log level (`off`…`trace`).
+pub const ENV_LEVEL: &str = "STORMSIM_LOG";
+/// Environment variable naming the NDJSON sink file, if any.
+pub const ENV_FILE: &str = "STORMSIM_LOG_FILE";
+
+/// The process-global collector (created disabled on first use).
+pub fn global() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(|| Collector::new(Level::Off, DEFAULT_RING_CAPACITY))
+}
+
+/// Sets the global level. Sinks are registered separately (see
+/// [`add_stderr_sink`] / [`add_ndjson_sink`]).
+pub fn init(level: Level) {
+    global().set_level(level);
+}
+
+/// Initializes the global collector from `STORMSIM_LOG` and
+/// `STORMSIM_LOG_FILE`. Returns an error (for fail-fast CLIs) when the
+/// level does not parse or the sink file cannot be created; an unset
+/// `STORMSIM_LOG` leaves logging off.
+pub fn init_from_env() -> Result<Level, String> {
+    let level = match std::env::var(ENV_LEVEL) {
+        Ok(v) => v.parse::<Level>()?,
+        Err(_) => Level::Off,
+    };
+    init_with_sinks(level)?;
+    Ok(level)
+}
+
+/// Sets the level and registers the standard sinks: stderr whenever the
+/// level is not `off`, plus an NDJSON file sink when `STORMSIM_LOG_FILE`
+/// is set (even at `off`, so instrumentation smoke tests can force it).
+pub fn init_with_sinks(level: Level) -> Result<(), String> {
+    init(level);
+    if level != Level::Off {
+        add_stderr_sink();
+    }
+    if let Ok(path) = std::env::var(ENV_FILE) {
+        if !path.is_empty() {
+            add_ndjson_sink(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Registers the human-readable stderr sink on the global collector.
+pub fn add_stderr_sink() {
+    global().add_sink(Box::new(StderrSink));
+}
+
+/// Registers an NDJSON file sink on the global collector.
+pub fn add_ndjson_sink(path: &str) -> std::io::Result<()> {
+    global().add_sink(Box::new(NdjsonSink::create(path)?));
+    Ok(())
+}
+
+/// Whether the global collector passes events at `level`.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    global().enabled(level)
+}
+
+/// Drains the global ring buffer and flushes every sink.
+pub fn flush() {
+    global().flush();
+}
+
+/// Name (or numeric id) of the current thread, for event records.
+pub fn thread_label() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(n) => n.to_string(),
+        None => format!("{:?}", t.id()),
+    }
+}
+
+/// Records one instantaneous event on the global collector. Callers
+/// (normally the [`event!`] macro) must have checked [`enabled`].
+pub fn emit_event(name: &'static str, level: Level, fields: Vec<(&'static str, FieldValue)>) {
+    let c = global();
+    c.record(Event {
+        name,
+        kind: EventKind::Instant,
+        level,
+        ts_us: c.now_us(),
+        dur_ns: None,
+        thread: thread_label(),
+        fields,
+    });
+}
+
+/// An RAII span: created by [`span!`], it records its wall-clock
+/// duration into the stage table on drop and — when the level passes
+/// the global filter — emits a span-end event with its fields.
+pub struct SpanGuard {
+    name: &'static str,
+    level: Level,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+    emit: bool,
+}
+
+impl SpanGuard {
+    /// Starts a span. `fields` is only invoked when the level passes
+    /// the filter, so disabled spans never format their fields.
+    pub fn enter<F>(name: &'static str, level: Level, fields: F) -> SpanGuard
+    where
+        F: FnOnce() -> Vec<(&'static str, FieldValue)>,
+    {
+        let emit = enabled(level);
+        SpanGuard {
+            name,
+            level,
+            start: Instant::now(),
+            fields: if emit { fields() } else { Vec::new() },
+            emit,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds a field after entry (recorded only if the span emits).
+    pub fn record_field(&mut self, key: &'static str, value: FieldValue) {
+        if self.emit {
+            self.fields.push((key, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        record_stage(self.name, dur_ns);
+        if self.emit {
+            let c = global();
+            c.record(Event {
+                name: self.name,
+                kind: EventKind::Span,
+                level: self.level,
+                ts_us: c.now_us(),
+                dur_ns: Some(dur_ns.max(1)),
+                thread: thread_label(),
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+    }
+}
+
+/// Opens a debug-level span: `let _span = span!("name", key = value);`.
+/// The guard records wall time on drop; fields are evaluated only when
+/// the global level passes `debug`. Use [`span_at!`] for other levels.
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::span_at!($crate::Level::Debug, $name $(, $key = $val)*)
+    };
+}
+
+/// Opens a span at an explicit level.
+#[macro_export]
+macro_rules! span_at {
+    ($level:expr, $name:literal $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::SpanGuard::enter($name, $level, || {
+            vec![$((stringify!($key), $crate::FieldValue::from($val))),*]
+        })
+    };
+}
+
+/// Records an instantaneous event when the level passes the filter:
+/// `event!(Level::Debug, "cache_hit", hash = h);`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $name:literal $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::emit_event(
+                $name,
+                $level,
+                vec![$((stringify!($key), $crate::FieldValue::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_still_feed_the_stage_table() {
+        assert_eq!(global().level(), Level::Off);
+        {
+            let _s = span!("zz_lib_test_span", n = 3usize);
+        }
+        let snap = stage_snapshot();
+        let s = snap.iter().find(|s| s.name == "zz_lib_test_span").unwrap();
+        assert!(s.count >= 1);
+        assert!(s.total_ns >= 1);
+    }
+
+    #[test]
+    fn thread_label_is_nonempty() {
+        assert!(!thread_label().is_empty());
+    }
+}

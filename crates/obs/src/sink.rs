@@ -1,0 +1,86 @@
+//! Pluggable event sinks: human-readable stderr and NDJSON file.
+
+use crate::event::Event;
+use parking_lot::Mutex;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A destination for drained events. Implementations must be cheap and
+/// must never panic; they run while the collector's drain lock is held.
+pub trait Sink: Send + Sync {
+    /// Writes one event.
+    fn emit(&self, event: &Event);
+    /// Flushes any buffered output (called by [`crate::flush`]).
+    fn flush(&self) {}
+}
+
+/// Human-readable sink writing one line per event to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!("{}", event.to_human());
+    }
+}
+
+/// NDJSON sink appending one JSON line per event to a file.
+pub struct NdjsonSink {
+    writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl NdjsonSink {
+    /// Creates (or truncates) `path` and returns the sink.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<NdjsonSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(NdjsonSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for NdjsonSink {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock();
+        let _ = writeln!(w, "{}", event.to_ndjson());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+impl Drop for NdjsonSink {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// In-memory capture sink for tests: stores every drained event.
+#[derive(Default)]
+pub struct VecSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl VecSink {
+    /// A snapshot of everything captured so far.
+    pub fn drained(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for VecSink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}

@@ -1,0 +1,109 @@
+//! Always-on per-stage timing aggregates.
+//!
+//! Every span records into this process-global table regardless of the
+//! log level, so metrics exposition (Prometheus, the NDJSON `metrics`
+//! request) can report where time goes even with logging disabled. The
+//! hot path is a read-locked hash lookup plus three relaxed atomic
+//! adds — cheap enough for per-batch instrumentation.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+/// Accumulated timings of one named stage.
+#[derive(Debug, Default)]
+pub struct StageStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// A point-in-time copy of one stage's aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageAgg {
+    /// Stage (span) name.
+    pub name: &'static str,
+    /// Completed spans recorded.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+fn table() -> &'static RwLock<HashMap<&'static str, &'static StageStat>> {
+    static TABLE: OnceLock<RwLock<HashMap<&'static str, &'static StageStat>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Records one completed stage duration (clamped to ≥ 1 ns so a stage
+/// that ran is never reported as zero time).
+pub fn record_stage(name: &'static str, dur_ns: u64) {
+    let dur_ns = dur_ns.max(1);
+    let stat = {
+        let read = table().read();
+        read.get(name).copied()
+    };
+    let stat = match stat {
+        Some(s) => s,
+        None => {
+            let mut write = table().write();
+            *write
+                .entry(name)
+                .or_insert_with(|| Box::leak(Box::new(StageStat::default())))
+        }
+    };
+    stat.count.fetch_add(1, Relaxed);
+    stat.total_ns.fetch_add(dur_ns, Relaxed);
+    stat.max_ns.fetch_max(dur_ns, Relaxed);
+}
+
+/// Snapshot of every stage recorded so far, sorted by name.
+pub fn stage_snapshot() -> Vec<StageAgg> {
+    let read = table().read();
+    let mut out: Vec<StageAgg> = read
+        .iter()
+        .map(|(&name, stat)| StageAgg {
+            name,
+            count: stat.count.load(Relaxed),
+            total_ns: stat.total_ns.load(Relaxed),
+            max_ns: stat.max_ns.load(Relaxed),
+        })
+        .collect();
+    out.sort_unstable_by_key(|a| a.name);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_accumulate_and_snapshot_sorted() {
+        record_stage("zz_test_stage_b", 100);
+        record_stage("zz_test_stage_a", 50);
+        record_stage("zz_test_stage_a", 250);
+        let snap = stage_snapshot();
+        let a = snap.iter().find(|s| s.name == "zz_test_stage_a").unwrap();
+        assert!(a.count >= 2);
+        assert!(a.total_ns >= 300);
+        assert!(a.max_ns >= 250);
+        let names: Vec<_> = snap.iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn zero_durations_clamp_to_one() {
+        record_stage("zz_test_stage_zero", 0);
+        let snap = stage_snapshot();
+        let s = snap
+            .iter()
+            .find(|s| s.name == "zz_test_stage_zero")
+            .unwrap();
+        assert!(s.total_ns >= 1);
+        assert!(s.max_ns >= 1);
+    }
+}

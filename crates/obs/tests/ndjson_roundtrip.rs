@@ -1,0 +1,79 @@
+//! Property test: every NDJSON line the sink emits is valid JSON that
+//! round-trips through `serde_json` with all payload intact.
+
+use proptest::prelude::*;
+use solarstorm_obs::{Event, EventKind, FieldValue, Level};
+
+static NAMES: [&str; 4] = ["monte_carlo", "engine_compute", "cache_hit", "odd \"name\""];
+static KEYS: [&str; 6] = ["trials", "seed", "x", "pct", "weird \"key\"", "back\\slash"];
+static LEVELS: [Level; 5] = [
+    Level::Error,
+    Level::Warn,
+    Level::Info,
+    Level::Debug,
+    Level::Trace,
+];
+
+fn field_value() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        any::<u64>().prop_map(FieldValue::U64),
+        any::<i64>().prop_map(FieldValue::I64),
+        any::<f64>().prop_map(|x| FieldValue::F64(if x.is_finite() { x } else { 0.0 })),
+        any::<bool>().prop_map(FieldValue::Bool),
+        ".*".prop_map(FieldValue::Str),
+    ]
+}
+
+fn check_field(json: &serde_json::Value, key: &str, value: &FieldValue) {
+    let got = &json["fields"][key];
+    match value {
+        FieldValue::U64(n) => assert_eq!(got.as_u64(), Some(*n), "{key}"),
+        FieldValue::I64(n) => assert_eq!(got.as_i64(), Some(*n), "{key}"),
+        FieldValue::F64(x) => assert_eq!(got.as_f64(), Some(*x), "{key}"),
+        FieldValue::Bool(b) => assert_eq!(got.as_bool(), Some(*b), "{key}"),
+        FieldValue::Str(s) => assert_eq!(got.as_str(), Some(s.as_str()), "{key}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn ndjson_round_trips_through_serde_json(
+        name_idx in 0usize..NAMES.len(),
+        level_idx in 0usize..LEVELS.len(),
+        ts_us in any::<u64>(),
+        dur_ns in proptest::option::of(1u64..),
+        thread in ".*",
+        fields in proptest::collection::hash_map(0usize..KEYS.len(), field_value(), 0..KEYS.len()),
+    ) {
+        let event = Event {
+            name: NAMES[name_idx],
+            kind: if dur_ns.is_some() { EventKind::Span } else { EventKind::Instant },
+            level: LEVELS[level_idx],
+            ts_us,
+            dur_ns,
+            thread,
+            fields: fields.iter().map(|(&k, v)| (KEYS[k], v.clone())).collect(),
+        };
+        let line = event.to_ndjson();
+        prop_assert!(!line.contains('\n'), "NDJSON line contains a newline: {line}");
+        let v: serde_json::Value = serde_json::from_str(&line).expect("sink emitted invalid JSON");
+
+        prop_assert_eq!(v["name"].as_str(), Some(event.name));
+        prop_assert_eq!(v["level"].as_str(), Some(event.level.as_str()));
+        prop_assert_eq!(v["ts_us"].as_u64(), Some(event.ts_us));
+        match event.dur_ns {
+            Some(d) => {
+                prop_assert_eq!(v["kind"].as_str(), Some("span"));
+                prop_assert_eq!(v["dur_ns"].as_u64(), Some(d));
+            }
+            None => {
+                prop_assert_eq!(v["kind"].as_str(), Some("event"));
+                prop_assert!(v.get("dur_ns").is_none());
+            }
+        }
+        prop_assert_eq!(v["thread"].as_str(), Some(event.thread.as_str()));
+        for (key, value) in &event.fields {
+            check_field(&v, key, value);
+        }
+    }
+}

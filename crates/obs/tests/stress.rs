@@ -1,0 +1,111 @@
+//! Concurrency stress tests for the span/event layer: events pushed
+//! from many threads must arrive in the sinks complete (no torn
+//! records) and, when the ring is large enough, without loss.
+
+use solarstorm_obs::{Collector, Event, EventKind, FieldValue, Level, Sink, VecSink};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 1_000;
+
+/// Forwards to a shared [`VecSink`] so the test can inspect captures.
+struct Fwd(Arc<VecSink>);
+
+impl Sink for Fwd {
+    fn emit(&self, e: &Event) {
+        self.0.emit(e);
+    }
+}
+
+fn stress_event(c: &Collector, t: usize, i: usize) -> Event {
+    // The payload is self-describing: dur_ns, thread, and both fields
+    // all encode (t, i), so any torn or corrupted record is detected.
+    Event {
+        name: "stress",
+        kind: EventKind::Instant,
+        level: Level::Info,
+        ts_us: c.now_us(),
+        dur_ns: Some((t * PER_THREAD + i) as u64 + 1),
+        thread: format!("t{t}"),
+        fields: vec![
+            ("t", FieldValue::U64(t as u64)),
+            ("i", FieldValue::U64(i as u64)),
+        ],
+    }
+}
+
+#[test]
+fn no_events_lost_or_torn_across_8_threads() {
+    let collector = Arc::new(Collector::new(Level::Trace, 2 * THREADS * PER_THREAD));
+    let sink = Arc::new(VecSink::default());
+    collector.add_sink(Box::new(Fwd(Arc::clone(&sink))));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let collector = Arc::clone(&collector);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let e = stress_event(&collector, t, i);
+                    collector.record(e);
+                }
+            });
+        }
+    });
+    collector.flush();
+
+    assert_eq!(collector.dropped(), 0, "ring overflowed");
+    let events = sink.drained();
+    assert_eq!(events.len(), THREADS * PER_THREAD, "events lost");
+
+    let mut seen = vec![vec![false; PER_THREAD]; THREADS];
+    for e in &events {
+        assert_eq!(e.name, "stress");
+        let FieldValue::U64(t) = e.fields[0].1 else {
+            panic!("torn field: {:?}", e.fields);
+        };
+        let FieldValue::U64(i) = e.fields[1].1 else {
+            panic!("torn field: {:?}", e.fields);
+        };
+        let (t, i) = (t as usize, i as usize);
+        assert_eq!(
+            e.dur_ns,
+            Some((t * PER_THREAD + i) as u64 + 1),
+            "payload torn across fields"
+        );
+        assert_eq!(e.thread, format!("t{t}"), "thread label torn");
+        assert!(!seen[t][i], "event ({t},{i}) delivered twice");
+        seen[t][i] = true;
+    }
+}
+
+#[test]
+fn overflow_drops_are_counted_never_silent() {
+    // A deliberately tiny ring with no sink attached until the end:
+    // drains still happen opportunistically, so some events flow
+    // through and the rest are counted as dropped — but every event is
+    // either delivered intact or counted, never silently vanished.
+    let collector = Arc::new(Collector::new(Level::Trace, 4));
+    let sink = Arc::new(VecSink::default());
+    collector.add_sink(Box::new(Fwd(Arc::clone(&sink))));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let collector = Arc::clone(&collector);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let e = stress_event(&collector, t, i);
+                    collector.record(e);
+                }
+            });
+        }
+    });
+    collector.flush();
+
+    let delivered = sink.len() as u64;
+    let dropped = collector.dropped();
+    assert_eq!(
+        delivered + dropped,
+        (THREADS * PER_THREAD) as u64,
+        "delivered + dropped must account for every record"
+    );
+}

@@ -99,6 +99,7 @@ pub fn run_coupled<M: FailureModel>(
             message: format!("{} must be finite and > 0", cfg.spacing_km),
         });
     }
+    let _span = solarstorm_obs::span!("cascade", trials = cfg.trials, seed = cfg.seed);
     let profiles = cable_profiles(net);
     // Stations touching each cable.
     let cable_stations: Vec<Vec<NodeId>> = net

@@ -150,6 +150,13 @@ pub fn run_outcomes<M: FailureModel>(
                 .unwrap_or(1),
         )
         .max(1);
+    let _span = solarstorm_obs::span!(
+        "monte_carlo",
+        trials = cfg.trials,
+        threads = threads,
+        spacing_km = cfg.spacing_km,
+        seed = cfg.seed
+    );
     let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; cfg.trials];
     if threads == 1 {
         for (i, slot) in outcomes.iter_mut().enumerate() {
@@ -162,6 +169,12 @@ pub fn run_outcomes<M: FailureModel>(
             for (t, slots) in outcomes.chunks_mut(chunk).enumerate() {
                 let profiles = &profiles;
                 s.spawn(move |_| {
+                    let _span = solarstorm_obs::span_at!(
+                        solarstorm_obs::Level::Trace,
+                        "mc_chunk",
+                        chunk = t,
+                        trials = slots.len()
+                    );
                     for (j, slot) in slots.iter_mut().enumerate() {
                         let i = t * chunk + j;
                         let mut rng = trial_rng(cfg.seed, i);

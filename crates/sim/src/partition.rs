@@ -43,6 +43,12 @@ impl Partition {
 /// first. Nodes whose every cable died are *excluded* (they are dark,
 /// not partition members); isolated-but-alive nodes form singletons.
 pub fn partitions(net: &Network, dead: &[bool]) -> Vec<Partition> {
+    let _span = solarstorm_obs::span_at!(
+        solarstorm_obs::Level::Trace,
+        "partition",
+        nodes = net.node_count(),
+        cables = dead.len()
+    );
     let (labels, count) = net.surviving_components(dead);
     let unreachable = net.unreachable_nodes(dead);
     let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); count];
