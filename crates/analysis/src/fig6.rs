@@ -6,8 +6,8 @@
 
 use crate::{Datasets, Figure, Series};
 use solarstorm_gic::UniformFailure;
-use solarstorm_sim::monte_carlo::{run, MonteCarloConfig};
-use solarstorm_sim::{SimError, TrialStats};
+use solarstorm_sim::monte_carlo::MonteCarloConfig;
+use solarstorm_sim::{sweep, SimError, TrialStats};
 use solarstorm_topology::Network;
 
 /// The probability sweep (log-spaced, 0.001 → 1, as in the paper).
@@ -27,45 +27,69 @@ pub struct SweepResult {
     pub points: Vec<(f64, TrialStats)>,
 }
 
-/// Runs the uniform-failure sweep for one network.
+/// Prepares the sweep points for one network (hoisting probabilities
+/// and connectivity per point, on the caller's thread).
+fn prepare_network(
+    net: &Network,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<sweep::SweepPoint>, SimError> {
+    probabilities()
+        .into_iter()
+        .map(|p| {
+            let model = UniformFailure::new(p).map_err(|e| SimError::InvalidConfig {
+                name: "probability",
+                message: e.to_string(),
+            })?;
+            let cfg = MonteCarloConfig {
+                spacing_km,
+                trials,
+                seed: seed ^ (p.to_bits().rotate_left(17)),
+                ..Default::default()
+            };
+            sweep::prepare(net, &model, &cfg)
+        })
+        .collect()
+}
+
+/// Runs the uniform-failure sweep for one network; the ten probability
+/// points run concurrently on the shared pool.
 pub fn sweep_network(
     net: &Network,
     spacing_km: f64,
     trials: usize,
     seed: u64,
 ) -> Result<SweepResult, SimError> {
-    let mut points = Vec::new();
-    for p in probabilities() {
-        let model = UniformFailure::new(p).map_err(|e| SimError::InvalidConfig {
-            name: "probability",
-            message: e.to_string(),
-        })?;
-        let cfg = MonteCarloConfig {
-            spacing_km,
-            trials,
-            seed: seed ^ (p.to_bits().rotate_left(17)),
-            ..Default::default()
-        };
-        points.push((p, run(net, &model, &cfg)?));
-    }
+    let points = prepare_network(net, spacing_km, trials, seed)?;
+    let stats = sweep::run_stats(points);
     Ok(SweepResult {
         network: net.kind().label(),
-        points,
+        points: probabilities().into_iter().zip(stats).collect(),
     })
 }
 
-/// Runs the sweep for all three networks at one spacing.
+/// Runs the sweep for all three networks at one spacing — all thirty
+/// (network × probability) points as a single parallel batch.
 pub fn sweep_all(
     data: &Datasets,
     spacing_km: f64,
     trials: usize,
     seed: u64,
 ) -> Result<Vec<SweepResult>, SimError> {
-    Ok(vec![
-        sweep_network(&data.submarine, spacing_km, trials, seed)?,
-        sweep_network(&data.intertubes, spacing_km, trials, seed)?,
-        sweep_network(&data.itu, spacing_km, trials, seed)?,
-    ])
+    let nets = [&data.submarine, &data.intertubes, &data.itu];
+    let mut points = Vec::new();
+    for net in nets {
+        points.extend(prepare_network(net, spacing_km, trials, seed)?);
+    }
+    let mut stats = sweep::run_stats(points).into_iter();
+    Ok(nets
+        .iter()
+        .map(|net| SweepResult {
+            network: net.kind().label(),
+            points: probabilities().into_iter().zip(stats.by_ref()).collect(),
+        })
+        .collect())
 }
 
 /// Converts sweep results into the Fig. 6 panel (cables failed).

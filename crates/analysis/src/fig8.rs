@@ -8,8 +8,8 @@
 
 use crate::{Datasets, Figure, Series};
 use solarstorm_gic::LatitudeBandFailure;
-use solarstorm_sim::monte_carlo::{run, MonteCarloConfig};
-use solarstorm_sim::{SimError, TrialStats};
+use solarstorm_sim::monte_carlo::MonteCarloConfig;
+use solarstorm_sim::{sweep, SimError, TrialStats};
 use solarstorm_topology::Network;
 
 /// One bar of the figure.
@@ -36,7 +36,10 @@ pub fn reproduce_points(
         ("S2", LatitudeBandFailure::s2()),
     ];
     let nets: [&Network; 2] = [&data.submarine, &data.intertubes];
-    let mut out = Vec::new();
+    // Prepare the full (state × spacing × network) grid, then run all
+    // twelve points as one parallel batch on the shared pool.
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
     for (state, model) in &states {
         for spacing in [50.0, 100.0, 150.0] {
             for net in nets {
@@ -46,16 +49,21 @@ pub fn reproduce_points(
                     seed: seed ^ spacing as u64 ^ ((state.len() as u64) << 32),
                     ..Default::default()
                 };
-                out.push(Fig8Point {
-                    state,
-                    spacing_km: spacing,
-                    network: net.kind().label(),
-                    stats: run(net, model, &cfg)?,
-                });
+                labels.push((*state, spacing, net.kind().label()));
+                points.push(sweep::prepare(net, model, &cfg)?);
             }
         }
     }
-    Ok(out)
+    Ok(labels
+        .into_iter()
+        .zip(sweep::run_stats(points))
+        .map(|((state, spacing_km, network), stats)| Fig8Point {
+            state,
+            spacing_km,
+            network,
+            stats,
+        })
+        .collect())
 }
 
 /// Renders the grid as a grouped figure: x = spacing, one series per

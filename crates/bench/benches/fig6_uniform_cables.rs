@@ -25,6 +25,12 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig6_sweep_point_submarine", |b| {
         b.iter(|| black_box(run(net, &model, &cfg).expect("trials")))
     });
+    // Timing target: the full ten-probability sweep for one network —
+    // the unit the sweep-parallel executor fans out across the pool.
+    use solarstorm::analysis::fig6::sweep_network;
+    c.bench_function("fig6_sweep_submarine_full", |b| {
+        b.iter(|| black_box(sweep_network(net, 150.0, 10, 42).expect("sweep")))
+    });
 }
 
 criterion_group! {

@@ -1,0 +1,130 @@
+//! Machine-readable Monte Carlo performance report.
+//!
+//! Writes `BENCH_monte_carlo.json` with kernel throughput (trials/sec)
+//! and per-figure sweep wall time, so CI and the README can track the
+//! simulation engine's performance over time.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p solarstorm-bench --bin perf_report            # paper-scale
+//! cargo run --release -p solarstorm-bench --bin perf_report -- --quick # CI smoke
+//! ```
+
+use solarstorm::analysis::{fig6, fig7, fig8, Datasets};
+use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+use solarstorm::sim::pool::WorkerPool;
+use solarstorm::UniformFailure;
+use std::time::Instant;
+
+struct Report {
+    mode: &'static str,
+    threads: usize,
+    kernel_trials: usize,
+    kernel_wall_ms: f64,
+    kernel_trials_per_sec: f64,
+    fig6_wall_ms: f64,
+    fig7_wall_ms: f64,
+    fig8_wall_ms: f64,
+    sweep_trials_per_point: usize,
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"monte_carlo\",\n",
+                "  \"mode\": \"{mode}\",\n",
+                "  \"threads\": {threads},\n",
+                "  \"kernel\": {{\n",
+                "    \"trials\": {ktrials},\n",
+                "    \"wall_ms\": {kms:.3},\n",
+                "    \"trials_per_sec\": {ktps:.1}\n",
+                "  }},\n",
+                "  \"sweeps\": {{\n",
+                "    \"trials_per_point\": {stp},\n",
+                "    \"fig6_wall_ms\": {f6:.3},\n",
+                "    \"fig7_wall_ms\": {f7:.3},\n",
+                "    \"fig8_wall_ms\": {f8:.3}\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            mode = self.mode,
+            threads = self.threads,
+            ktrials = self.kernel_trials,
+            kms = self.kernel_wall_ms,
+            ktps = self.kernel_trials_per_sec,
+            stp = self.sweep_trials_per_point,
+            f6 = self.fig6_wall_ms,
+            f7 = self.fig7_wall_ms,
+            f8 = self.fig8_wall_ms,
+        )
+    }
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_monte_carlo.json".to_string());
+
+    let paper_scale;
+    let (mode, data, kernel_trials, sweep_trials): (_, &Datasets, usize, usize) = if quick {
+        ("quick", Datasets::small_cached(), 200, 10)
+    } else {
+        paper_scale = Datasets::build_default().expect("paper-scale datasets build");
+        ("full", &paper_scale, 1_000, 10)
+    };
+    eprintln!("perf_report: mode={mode}, building report…");
+
+    // Kernel throughput: the fig6 headline point (p=0.01, 150 km) on the
+    // submarine network, scaled up to a measurable trial count.
+    let model = UniformFailure::new(0.01).expect("probability");
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: kernel_trials,
+        seed: 42,
+        ..Default::default()
+    };
+    // Warm up once so dataset/index construction is not timed.
+    run(&data.submarine, &model, &cfg).expect("warm-up trials");
+    let t = Instant::now();
+    run(&data.submarine, &model, &cfg).expect("timed trials");
+    let kernel_wall_ms = ms(t);
+
+    let t = Instant::now();
+    fig6::sweep_all(data, 150.0, sweep_trials, 42).expect("fig6 sweep");
+    let fig6_wall_ms = ms(t);
+
+    let t = Instant::now();
+    fig7::reproduce_panel(data, 150.0, sweep_trials, 42).expect("fig7 sweep");
+    let fig7_wall_ms = ms(t);
+
+    let t = Instant::now();
+    fig8::reproduce_points(data, sweep_trials, 42).expect("fig8 grid");
+    let fig8_wall_ms = ms(t);
+
+    let report = Report {
+        mode,
+        threads: WorkerPool::global().workers(),
+        kernel_trials,
+        kernel_wall_ms,
+        kernel_trials_per_sec: kernel_trials as f64 / (kernel_wall_ms / 1_000.0),
+        fig6_wall_ms,
+        fig7_wall_ms,
+        fig8_wall_ms,
+        sweep_trials_per_point: sweep_trials,
+    };
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write BENCH_monte_carlo.json");
+    println!("{json}");
+    eprintln!("perf_report: wrote {out_path}");
+}

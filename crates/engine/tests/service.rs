@@ -403,3 +403,36 @@ fn wire_handlers_never_panic_on_hostile_lines() {
         assert!(parsed["error"]["code"].is_string(), "line {line}");
     }
 }
+
+#[test]
+fn stats_requests_record_the_monte_carlo_stage() {
+    // The Monte Carlo kernel runs on the persistent sim worker pool,
+    // not the request thread — the "monte_carlo" stage must still land
+    // in the process-global stage table, and the request's manifest
+    // must still account for the compute stage.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let before = solarstorm_obs::stage_snapshot()
+        .iter()
+        .find(|s| s.name == "monte_carlo")
+        .map(|s| s.count)
+        .unwrap_or(0);
+    let out = engine.evaluate(&stats_spec()).unwrap();
+    assert!(matches!(*out.result, ScenarioResult::Stats { .. }));
+    let after = solarstorm_obs::stage_snapshot()
+        .iter()
+        .find(|s| s.name == "monte_carlo")
+        .map(|s| s.count)
+        .unwrap_or(0);
+    assert!(
+        after > before,
+        "monte_carlo stage count must grow: {before} -> {after}"
+    );
+    assert!(
+        out.manifest.stage_ns("compute").unwrap_or(0) > 0,
+        "compute stage must be timed on the request thread: {:?}",
+        out.manifest.stages
+    );
+}

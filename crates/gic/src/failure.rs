@@ -28,7 +28,11 @@ impl CableProfile {
     /// the far landing station is not a repeater. Matches
     /// `solarstorm_topology::Cable::repeater_count`.
     pub fn repeater_count(&self, spacing_km: f64) -> usize {
-        if spacing_km <= 0.0 || !spacing_km.is_finite() || self.length_km <= 0.0 {
+        if spacing_km <= 0.0
+            || !spacing_km.is_finite()
+            || self.length_km <= 0.0
+            || !self.length_km.is_finite()
+        {
             return 0;
         }
         let n = (self.length_km / spacing_km).floor();
@@ -77,6 +81,77 @@ pub trait FailureModel: Send + Sync {
     {
         let survive = self.cable_survival_probability(cable, spacing_km);
         !rng.random_bool(survive.clamp(0.0, 1.0))
+    }
+}
+
+/// Per-cable failure probabilities hoisted out of the Monte Carlo trial
+/// loop: `(model, profiles, spacing_km)` collapses to one float per
+/// cable, computed once per batch, so trial sampling is a single uniform
+/// draw per cable with no `repeater_count`/`powi` work on the hot path.
+///
+/// Survival probabilities are stored (rather than failure probabilities)
+/// so that [`CableFailureProbabilities::sample_cable_failure`] consumes
+/// the RNG stream exactly like [`FailureModel::sample_cable_failure`]
+/// does — batched and per-trial sampling are bit-identical for the same
+/// seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CableFailureProbabilities {
+    /// `survival[c]` = probability cable `c` survives the storm.
+    survival: Vec<f64>,
+}
+
+impl CableFailureProbabilities {
+    /// Precomputes survival probabilities for every profile under the
+    /// model at the given repeater spacing.
+    pub fn hoist<M: FailureModel + ?Sized>(
+        model: &M,
+        profiles: &[CableProfile],
+        spacing_km: f64,
+    ) -> Self {
+        CableFailureProbabilities {
+            survival: profiles
+                .iter()
+                .map(|c| model.cable_survival_probability(c, spacing_km))
+                .collect(),
+        }
+    }
+
+    /// Number of cables covered.
+    pub fn len(&self) -> usize {
+        self.survival.len()
+    }
+
+    /// True when no cables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.survival.is_empty()
+    }
+
+    /// The hoisted survival probabilities, one per cable.
+    pub fn survival(&self) -> &[f64] {
+        &self.survival
+    }
+
+    /// Survival probability of one cable.
+    pub fn survival_of(&self, cable: usize) -> f64 {
+        self.survival[cable]
+    }
+
+    /// Failure probability of one cable (`1 - survival`).
+    pub fn failure_of(&self, cable: usize) -> f64 {
+        1.0 - self.survival[cable]
+    }
+
+    /// The flat per-cable failure probabilities, `1 - survival` each.
+    pub fn failure_probabilities(&self) -> Vec<f64> {
+        self.survival.iter().map(|s| 1.0 - s).collect()
+    }
+
+    /// Samples whether `cable` fails in one trial. Draws from the RNG
+    /// exactly as [`FailureModel::sample_cable_failure`] would for the
+    /// same cable, so the two paths produce identical streams.
+    #[inline]
+    pub fn sample_cable_failure<R: Rng + ?Sized>(&self, cable: usize, rng: &mut R) -> bool {
+        !rng.random_bool(self.survival[cable].clamp(0.0, 1.0))
     }
 }
 
@@ -430,5 +505,90 @@ mod tests {
         assert_eq!(cable(300.0, 0.0, false).repeater_count(0.0), 0);
         assert_eq!(cable(300.0, 0.0, false).repeater_count(100.0), 2);
         assert_eq!(cable(301.0, 0.0, false).repeater_count(100.0), 3);
+    }
+
+    #[test]
+    fn repeater_count_at_exact_spacing_multiples() {
+        // length = k * spacing: the sample at the far landing station is
+        // not a repeater, so exactly k - 1 repeaters.
+        for (k, spacing) in [(1usize, 150.0), (2, 150.0), (33, 150.0), (2, 100.0)] {
+            let c = cable(k as f64 * spacing, 0.0, true);
+            assert_eq!(
+                c.repeater_count(spacing),
+                k - 1,
+                "length {} spacing {spacing}",
+                c.length_km
+            );
+        }
+        // Just below / above a multiple straddle the epsilon branch.
+        assert_eq!(cable(150.0 - 1e-6, 0.0, true).repeater_count(150.0), 0);
+        assert_eq!(cable(150.0 + 1e-6, 0.0, true).repeater_count(150.0), 1);
+    }
+
+    #[test]
+    fn repeater_count_very_large_lengths() {
+        // 40,000 km (circumference-scale) and beyond stay exact.
+        assert_eq!(cable(40_000.0, 0.0, true).repeater_count(150.0), 266);
+        assert_eq!(cable(40_050.0, 0.0, true).repeater_count(150.0), 266); // 267 * 150, exact
+        assert_eq!(cable(1.0e9, 0.0, true).repeater_count(150.0), 6_666_666);
+        // Non-finite lengths carry no repeaters rather than huge counts.
+        assert_eq!(cable(f64::INFINITY, 0.0, true).repeater_count(150.0), 0);
+        assert_eq!(cable(f64::NAN, 0.0, true).repeater_count(150.0), 0);
+    }
+
+    #[test]
+    fn hoisted_probabilities_match_model() {
+        let cables = [
+            cable(100.0, 70.0, true), // no repeaters
+            cable(5000.0, 65.0, true),
+            cable(5000.0, 50.0, true),
+            cable(5000.0, 10.0, false),
+            cable(9000.0, 45.0, true),
+        ];
+        let m = LatitudeBandFailure::s1();
+        let hoisted = CableFailureProbabilities::hoist(&m, &cables, 150.0);
+        assert_eq!(hoisted.len(), cables.len());
+        for (i, c) in cables.iter().enumerate() {
+            let s = m.cable_survival_probability(c, 150.0);
+            assert_eq!(hoisted.survival_of(i), s, "cable {i}");
+            assert_eq!(hoisted.failure_of(i), 1.0 - s);
+        }
+        assert_eq!(hoisted.failure_probabilities().len(), cables.len());
+        assert_eq!(hoisted.survival_of(0), 1.0, "repeater-free cable survives");
+    }
+
+    #[test]
+    fn hoisted_sampling_is_bit_identical_to_model_sampling() {
+        let cables = [
+            cable(100.0, 70.0, true),
+            cable(5000.0, 65.0, true),
+            cable(5000.0, 50.0, true),
+            cable(9000.0, 10.0, true),
+        ];
+        let m = UniformFailure::new(0.03).unwrap();
+        let hoisted = CableFailureProbabilities::hoist(&m, &cables, 150.0);
+        for seed in 0..32 {
+            let mut rng_model = ChaCha12Rng::seed_from_u64(seed);
+            let mut rng_hoisted = ChaCha12Rng::seed_from_u64(seed);
+            for (i, c) in cables.iter().enumerate() {
+                let a = m.sample_cable_failure(c, 150.0, &mut rng_model);
+                let b = hoisted.sample_cable_failure(i, &mut rng_hoisted);
+                assert_eq!(a, b, "seed {seed} cable {i}");
+            }
+            // The streams stay aligned after sampling every cable.
+            assert_eq!(
+                rng_model.random_bool(0.5),
+                rng_hoisted.random_bool(0.5),
+                "stream drift at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_profile_set_hoists_empty() {
+        let m = UniformFailure::new(0.5).unwrap();
+        let hoisted = CableFailureProbabilities::hoist(&m, &[], 150.0);
+        assert!(hoisted.is_empty());
+        assert_eq!(hoisted.len(), 0);
     }
 }

@@ -9,7 +9,7 @@
 //! and greedily pick a budget's worth.
 
 use crate::monte_carlo::{run, MonteCarloConfig};
-use crate::SimError;
+use crate::{sweep, SimError};
 use serde::{Deserialize, Serialize};
 use solarstorm_geo::haversine_km;
 use solarstorm_gic::FailureModel;
@@ -95,7 +95,10 @@ pub fn greedy_augment<M: FailureModel>(
         if remaining.is_empty() {
             break;
         }
-        let mut best: Option<(usize, f64)> = None;
+        // Score every remaining candidate concurrently: preparation
+        // (clone + hoist) happens here so errors surface in order, then
+        // the sweep executor runs all points on the shared pool.
+        let mut points = Vec::with_capacity(remaining.len());
         for (i, cand) in remaining.iter().enumerate() {
             let mut trial_net = current.clone();
             trial_net
@@ -112,7 +115,12 @@ pub fn greedy_augment<M: FailureModel>(
                     name: "candidates",
                     message: e.to_string(),
                 })?;
-            let after = run(&trial_net, model, cfg)?.mean_nodes_unreachable_pct;
+            points.push(sweep::prepare(&trial_net, model, cfg)?);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, stats) in sweep::run_stats(points).iter().enumerate() {
+            let after = stats.mean_nodes_unreachable_pct;
+            // Strict `<`: the first candidate wins ties, as before.
             if best.map(|(_, b)| after < b).unwrap_or(true) {
                 best = Some((i, after));
             }

@@ -4,9 +4,13 @@
 //!
 //! * [`cable_profiles`] — adapts a [`solarstorm_topology::Network`] to the
 //!   [`solarstorm_gic::FailureModel`] view;
-//! * [`monte_carlo`] — seeded, crossbeam-parallel trials measuring the
-//!   percentage of cables failed and nodes unreachable under any failure
-//!   model (Figs. 6–8);
+//! * [`monte_carlo`] — seeded, parallel trials measuring the percentage
+//!   of cables failed and nodes unreachable under any failure model
+//!   (Figs. 6–8), batched through a hoisted-probability kernel;
+//! * [`pool`] — the persistent worker pool the kernel and sweeps share
+//!   (help-first scheduling, safe under nested submission);
+//! * [`sweep`] — sweep-level parallelism: independent Monte Carlo
+//!   points (figure grids, candidate searches) run concurrently;
 //! * [`country`] — country-scale connectivity analysis (§4.3.4): per-
 //!   country disconnection probabilities and pairwise reachability;
 //! * [`mitigation`] — the §5.2 shutdown/lead-time analysis comparing
@@ -41,8 +45,10 @@ pub mod isolation;
 pub mod mitigation;
 pub mod monte_carlo;
 pub mod partition;
+pub mod pool;
 mod profile;
 pub mod repair;
+pub mod sweep;
 pub mod timeline;
 pub mod traffic;
 

@@ -3,13 +3,26 @@
 //! Reproduces the experimental protocol of §4.3: "for each value of the
 //! probability of failure, we repeat the experiment 10 times for each
 //! network and plot the mean and the standard deviation."
+//!
+//! The batched kernel hoists everything loop-invariant out of the trial
+//! loop: per-cable survival probabilities are precomputed once per batch
+//! ([`solarstorm_gic::CableFailureProbabilities`]), node connectivity is
+//! answered by the network's cached flat index
+//! ([`solarstorm_topology::ConnectivityIndex`]), and each worker reuses a
+//! packed `u64` dead-mask between trials. Trials run on the persistent
+//! [`crate::pool::WorkerPool`] instead of per-batch thread spawns. The
+//! kernel consumes the RNG exactly like the per-trial reference path
+//! ([`run_trial`]), so outcomes are bit-identical to the pre-kernel
+//! implementation for the same seed, and identical across thread counts.
 
+use crate::pool::WorkerPool;
 use crate::{cable_profiles, SimError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
-use solarstorm_gic::FailureModel;
-use solarstorm_topology::Network;
+use solarstorm_gic::{CableFailureProbabilities, FailureModel};
+use solarstorm_topology::{ConnectivityIndex, Network};
+use std::sync::Arc;
 
 /// Trial-batch configuration.
 ///
@@ -40,7 +53,7 @@ impl Default for MonteCarloConfig {
 }
 
 impl MonteCarloConfig {
-    fn validate(&self) -> Result<(), SimError> {
+    pub(crate) fn validate(&self) -> Result<(), SimError> {
         if !self.spacing_km.is_finite() || self.spacing_km <= 0.0 {
             return Err(SimError::InvalidConfig {
                 name: "spacing_km",
@@ -54,6 +67,18 @@ impl MonteCarloConfig {
             });
         }
         Ok(())
+    }
+
+    /// Worker threads this batch will actually use.
+    fn threads(&self) -> usize {
+        self.max_threads
+            .min(self.trials)
+            .min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+            .max(1)
     }
 }
 
@@ -84,21 +109,40 @@ pub struct TrialStats {
 }
 
 impl TrialStats {
-    fn from_outcomes(outcomes: &[TrialOutcome]) -> TrialStats {
-        let n = outcomes.len().max(1) as f64;
-        let mean =
-            |f: &dyn Fn(&TrialOutcome) -> f64| outcomes.iter().map(|o| f(o)).sum::<f64>() / n;
-        let mc = mean(&|o| o.cables_failed_pct);
-        let mn = mean(&|o| o.nodes_unreachable_pct);
-        let var = |f: &dyn Fn(&TrialOutcome) -> f64, m: f64| {
-            outcomes.iter().map(|o| (f(o) - m).powi(2)).sum::<f64>() / n
-        };
+    /// Aggregates a batch of outcomes. An empty slice yields zeroed
+    /// statistics with `trials: 0` (not a silent division by one).
+    pub fn from_outcomes(outcomes: &[TrialOutcome]) -> TrialStats {
+        let cables: Vec<f64> = outcomes.iter().map(|o| o.cables_failed_pct).collect();
+        let nodes: Vec<f64> = outcomes.iter().map(|o| o.nodes_unreachable_pct).collect();
+        Self::from_metrics(&cables, &nodes)
+    }
+
+    /// Aggregates the two per-trial metric series (same length, trial
+    /// order). Summation order matches [`TrialStats::from_outcomes`]
+    /// exactly, so both paths produce bit-identical statistics.
+    fn from_metrics(cables: &[f64], nodes: &[f64]) -> TrialStats {
+        debug_assert_eq!(cables.len(), nodes.len());
+        let trials = cables.len();
+        if trials == 0 {
+            return TrialStats {
+                mean_cables_failed_pct: 0.0,
+                std_cables_failed_pct: 0.0,
+                mean_nodes_unreachable_pct: 0.0,
+                std_nodes_unreachable_pct: 0.0,
+                trials: 0,
+            };
+        }
+        let n = trials as f64;
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / n;
+        let var = |xs: &[f64], m: f64| xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n;
+        let mc = mean(cables);
+        let mn = mean(nodes);
         TrialStats {
             mean_cables_failed_pct: mc,
-            std_cables_failed_pct: var(&|o| o.cables_failed_pct, mc).sqrt(),
+            std_cables_failed_pct: var(cables, mc).sqrt(),
             mean_nodes_unreachable_pct: mn,
-            std_nodes_unreachable_pct: var(&|o| o.nodes_unreachable_pct, mn).sqrt(),
-            trials: outcomes.len(),
+            std_nodes_unreachable_pct: var(nodes, mn).sqrt(),
+            trials,
         }
     }
 }
@@ -112,8 +156,9 @@ fn trial_rng(seed: u64, trial: usize) -> ChaCha12Rng {
     ChaCha12Rng::seed_from_u64(z ^ (z >> 31))
 }
 
-/// Runs one trial: samples every cable's fate and measures the two
-/// paper metrics.
+/// Runs one trial the reference way: samples every cable's fate through
+/// the model and measures the two paper metrics. The batched kernel is
+/// tested bit-identical against this path.
 pub fn run_trial<M: FailureModel>(
     net: &Network,
     profiles: &[solarstorm_gic::CableProfile],
@@ -132,6 +177,177 @@ pub fn run_trial<M: FailureModel>(
     }
 }
 
+/// Everything a worker needs to run trials without borrowing the
+/// network: the cached connectivity index, the hoisted per-cable
+/// probabilities, and the batch seed. Cloning is two `Arc` bumps, so
+/// jobs on the persistent pool can own their inputs.
+#[derive(Clone)]
+pub(crate) struct KernelInputs {
+    pub(crate) conn: Arc<ConnectivityIndex>,
+    pub(crate) probs: Arc<CableFailureProbabilities>,
+    pub(crate) seed: u64,
+}
+
+impl KernelInputs {
+    /// Hoists the batch invariants out of the trial loop.
+    pub(crate) fn prepare<M: FailureModel + ?Sized>(
+        net: &Network,
+        model: &M,
+        cfg: &MonteCarloConfig,
+    ) -> KernelInputs {
+        let profiles = cable_profiles(net);
+        KernelInputs {
+            conn: net.connectivity(),
+            probs: Arc::new(CableFailureProbabilities::hoist(
+                model,
+                &profiles,
+                cfg.spacing_km,
+            )),
+            seed: cfg.seed,
+        }
+    }
+}
+
+/// Worker-local scratch reused across trials: the packed dead-cable
+/// mask. After the first trial the hot loop performs no heap allocation.
+#[derive(Default)]
+pub(crate) struct TrialScratch {
+    dead_words: Vec<u64>,
+}
+
+/// Samples every cable's fate into the packed scratch mask, in cable
+/// order (the same RNG stream as [`run_trial`]). Returns the number of
+/// failed cables.
+fn sample_dead_words(
+    probs: &CableFailureProbabilities,
+    rng: &mut ChaCha12Rng,
+    words: &mut Vec<u64>,
+) -> usize {
+    words.clear();
+    words.resize(probs.len().div_ceil(64), 0);
+    let mut failed = 0;
+    for c in 0..probs.len() {
+        if probs.sample_cable_failure(c, rng) {
+            words[c >> 6] |= 1 << (c & 63);
+            failed += 1;
+        }
+    }
+    failed
+}
+
+/// The two paper metrics for one sampled trial, with float arithmetic
+/// identical to `Network::percent_cables_dead` /
+/// `Network::percent_nodes_unreachable`.
+fn trial_metrics(conn: &ConnectivityIndex, failed: usize, words: &[u64]) -> (f64, f64) {
+    let cables_failed_pct = if conn.cable_count() == 0 {
+        0.0
+    } else {
+        100.0 * failed as f64 / conn.cable_count() as f64
+    };
+    let nodes_unreachable_pct = if conn.node_count() == 0 {
+        0.0
+    } else {
+        100.0 * conn.unreachable_count_words(words) as f64 / conn.node_count() as f64
+    };
+    (cables_failed_pct, nodes_unreachable_pct)
+}
+
+/// Runs trials `[start, end)` through the kernel, pushing `(cables %,
+/// nodes %)` per trial. Zero heap allocation past scratch warm-up.
+fn metrics_chunk(
+    inputs: &KernelInputs,
+    start: usize,
+    end: usize,
+    scratch: &mut TrialScratch,
+    out: &mut Vec<(f64, f64)>,
+) {
+    for trial in start..end {
+        let mut rng = trial_rng(inputs.seed, trial);
+        let failed = sample_dead_words(&inputs.probs, &mut rng, &mut scratch.dead_words);
+        out.push(trial_metrics(&inputs.conn, failed, &scratch.dead_words));
+    }
+}
+
+/// Runs trials `[start, end)` and materializes full outcomes (with the
+/// unpacked dead mask downstream analyses consume).
+fn outcomes_chunk(
+    inputs: &KernelInputs,
+    start: usize,
+    end: usize,
+    scratch: &mut TrialScratch,
+    out: &mut Vec<TrialOutcome>,
+) {
+    for trial in start..end {
+        let mut rng = trial_rng(inputs.seed, trial);
+        let failed = sample_dead_words(&inputs.probs, &mut rng, &mut scratch.dead_words);
+        let (cables_failed_pct, nodes_unreachable_pct) =
+            trial_metrics(&inputs.conn, failed, &scratch.dead_words);
+        let dead = (0..inputs.probs.len())
+            .map(|c| (scratch.dead_words[c >> 6] >> (c & 63)) & 1 == 1)
+            .collect();
+        out.push(TrialOutcome {
+            cables_failed_pct,
+            nodes_unreachable_pct,
+            dead,
+        });
+    }
+}
+
+/// Fans `trials` out over the pool in `threads` contiguous chunks and
+/// concatenates the per-chunk results in trial order.
+fn run_chunked<T, F>(inputs: &KernelInputs, trials: usize, threads: usize, chunk_fn: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&KernelInputs, usize, usize, &mut TrialScratch, &mut Vec<T>)
+        + Send
+        + Sync
+        + Clone
+        + 'static,
+{
+    if threads <= 1 {
+        let mut scratch = TrialScratch::default();
+        let mut out = Vec::with_capacity(trials);
+        chunk_fn(inputs, 0, trials, &mut scratch, &mut out);
+        return out;
+    }
+    let chunk = trials.div_ceil(threads);
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<T> + Send>> = (0..trials.div_ceil(chunk))
+        .map(|t| {
+            let inputs = inputs.clone();
+            let chunk_fn = chunk_fn.clone();
+            let start = t * chunk;
+            let end = (start + chunk).min(trials);
+            Box::new(move || {
+                let _span = solarstorm_obs::span_at!(
+                    solarstorm_obs::Level::Trace,
+                    "mc_chunk",
+                    chunk = t,
+                    trials = end - start
+                );
+                let mut scratch = TrialScratch::default();
+                let mut out = Vec::with_capacity(end - start);
+                chunk_fn(&inputs, start, end, &mut scratch, &mut out);
+                out
+            }) as Box<dyn FnOnce() -> Vec<T> + Send>
+        })
+        .collect();
+    let mut out = Vec::with_capacity(trials);
+    for part in WorkerPool::global().run_batch(jobs) {
+        out.extend(part);
+    }
+    out
+}
+
+/// Runs the sequential kernel for `trials` trials and aggregates stats —
+/// the path sweep-level parallelism uses for each point (one job per
+/// point; no nested fan-out).
+pub(crate) fn run_stats_sequential(inputs: &KernelInputs, trials: usize) -> TrialStats {
+    let metrics = run_chunked(inputs, trials, 1, metrics_chunk);
+    let cables: Vec<f64> = metrics.iter().map(|m| m.0).collect();
+    let nodes: Vec<f64> = metrics.iter().map(|m| m.1).collect();
+    TrialStats::from_metrics(&cables, &nodes)
+}
+
 /// Runs a full trial batch, in parallel, and returns every outcome
 /// (deterministic order: trial index).
 pub fn run_outcomes<M: FailureModel>(
@@ -140,16 +356,8 @@ pub fn run_outcomes<M: FailureModel>(
     cfg: &MonteCarloConfig,
 ) -> Result<Vec<TrialOutcome>, SimError> {
     cfg.validate()?;
-    let profiles = cable_profiles(net);
-    let threads = cfg
-        .max_threads
-        .min(cfg.trials)
-        .min(
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        )
-        .max(1);
+    let inputs = KernelInputs::prepare(net, model, cfg);
+    let threads = cfg.threads();
     let _span = solarstorm_obs::span!(
         "monte_carlo",
         trials = cfg.trials,
@@ -157,47 +365,31 @@ pub fn run_outcomes<M: FailureModel>(
         spacing_km = cfg.spacing_km,
         seed = cfg.seed
     );
-    let mut outcomes: Vec<Option<TrialOutcome>> = vec![None; cfg.trials];
-    if threads == 1 {
-        for (i, slot) in outcomes.iter_mut().enumerate() {
-            let mut rng = trial_rng(cfg.seed, i);
-            *slot = Some(run_trial(net, &profiles, model, cfg.spacing_km, &mut rng));
-        }
-    } else {
-        let chunk = cfg.trials.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (t, slots) in outcomes.chunks_mut(chunk).enumerate() {
-                let profiles = &profiles;
-                s.spawn(move |_| {
-                    let _span = solarstorm_obs::span_at!(
-                        solarstorm_obs::Level::Trace,
-                        "mc_chunk",
-                        chunk = t,
-                        trials = slots.len()
-                    );
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        let i = t * chunk + j;
-                        let mut rng = trial_rng(cfg.seed, i);
-                        *slot = Some(run_trial(net, profiles, model, cfg.spacing_km, &mut rng));
-                    }
-                });
-            }
-        })
-        .expect("worker threads do not panic");
-    }
-    Ok(outcomes
-        .into_iter()
-        .map(|o| o.expect("every trial filled"))
-        .collect())
+    Ok(run_chunked(&inputs, cfg.trials, threads, outcomes_chunk))
 }
 
-/// Runs a trial batch and aggregates the two paper metrics.
+/// Runs a trial batch and aggregates the two paper metrics. This path
+/// never materializes per-trial outcome vectors: workers keep only the
+/// two percentages per trial plus reused scratch.
 pub fn run<M: FailureModel>(
     net: &Network,
     model: &M,
     cfg: &MonteCarloConfig,
 ) -> Result<TrialStats, SimError> {
-    Ok(TrialStats::from_outcomes(&run_outcomes(net, model, cfg)?))
+    cfg.validate()?;
+    let inputs = KernelInputs::prepare(net, model, cfg);
+    let threads = cfg.threads();
+    let _span = solarstorm_obs::span!(
+        "monte_carlo",
+        trials = cfg.trials,
+        threads = threads,
+        spacing_km = cfg.spacing_km,
+        seed = cfg.seed
+    );
+    let metrics = run_chunked(&inputs, cfg.trials, threads, metrics_chunk);
+    let cables: Vec<f64> = metrics.iter().map(|m| m.0).collect();
+    let nodes: Vec<f64> = metrics.iter().map(|m| m.1).collect();
+    Ok(TrialStats::from_metrics(&cables, &nodes))
 }
 
 #[cfg(test)]
@@ -285,19 +477,78 @@ mod tests {
     fn deterministic_across_runs_and_thread_counts() {
         let net = test_net();
         let model = UniformFailure::new(0.01).unwrap();
-        let cfg1 = MonteCarloConfig {
+        let base = MonteCarloConfig {
             trials: 16,
             max_threads: 1,
             ..Default::default()
         };
-        let cfg8 = MonteCarloConfig {
-            trials: 16,
-            max_threads: 8,
+        let a = run_outcomes(&net, &model, &base).unwrap();
+        for max_threads in [2, 8] {
+            let cfg = MonteCarloConfig {
+                max_threads,
+                ..base
+            };
+            let b = run_outcomes(&net, &model, &cfg).unwrap();
+            assert_eq!(
+                a, b,
+                "parallelism ({max_threads} threads) must not change results"
+            );
+        }
+        // And across repeated runs on warm caches.
+        let c = run_outcomes(&net, &model, &base).unwrap();
+        assert_eq!(a, c, "repeat runs must be identical");
+    }
+
+    #[test]
+    fn batched_kernel_matches_reference_sampling() {
+        // The kernel must consume the RNG exactly like the per-trial
+        // reference path: same dead masks, same metrics, bit for bit.
+        let net = test_net();
+        let profiles = cable_profiles(&net);
+        for (spacing_km, seed) in [(150.0, 42u64), (100.0, 7), (50.0, 0xDEAD_BEEF)] {
+            let model = UniformFailure::new(0.013).unwrap();
+            let cfg = MonteCarloConfig {
+                trials: 24,
+                spacing_km,
+                seed,
+                max_threads: 4,
+                ..Default::default()
+            };
+            let kernel = run_outcomes(&net, &model, &cfg).unwrap();
+            let reference: Vec<TrialOutcome> = (0..cfg.trials)
+                .map(|i| {
+                    let mut rng = trial_rng(seed, i);
+                    run_trial(&net, &profiles, &model, spacing_km, &mut rng)
+                })
+                .collect();
+            assert_eq!(kernel, reference, "spacing {spacing_km} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stats_path_matches_outcome_aggregation() {
+        // `run` (scratch-reusing metrics path) and aggregating
+        // `run_outcomes` must agree bit for bit.
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 40,
+            max_threads: 4,
             ..Default::default()
         };
-        let a = run_outcomes(&net, &model, &cfg1).unwrap();
-        let b = run_outcomes(&net, &model, &cfg8).unwrap();
-        assert_eq!(a, b, "parallelism must not change results");
+        let stats = run(&net, &model, &cfg).unwrap();
+        let from_outcomes = TrialStats::from_outcomes(&run_outcomes(&net, &model, &cfg).unwrap());
+        assert_eq!(stats, from_outcomes);
+    }
+
+    #[test]
+    fn empty_outcomes_aggregate_to_zeroed_stats() {
+        let stats = TrialStats::from_outcomes(&[]);
+        assert_eq!(stats.trials, 0);
+        assert_eq!(stats.mean_cables_failed_pct, 0.0);
+        assert_eq!(stats.std_cables_failed_pct, 0.0);
+        assert_eq!(stats.mean_nodes_unreachable_pct, 0.0);
+        assert_eq!(stats.std_nodes_unreachable_pct, 0.0);
     }
 
     #[test]

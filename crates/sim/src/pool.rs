@@ -1,0 +1,295 @@
+//! Persistent worker pool for trial batches and sweep points.
+//!
+//! `run_outcomes` used to spawn fresh crossbeam scoped threads for every
+//! batch; under the engine's request traffic that is thousands of thread
+//! spawns per second. This pool spawns its workers once (sized to the
+//! machine) and feeds them boxed jobs through a queue, so a batch costs
+//! two lock round-trips per job instead of a thread spawn.
+//!
+//! Scheduling is *help-first*: a thread blocked in
+//! [`WorkerPool::run_batch`] does not sleep while the queue is non-empty
+//! — it pops and runs queued jobs itself. That keeps the pool
+//! deadlock-free under nested submission (a sweep point running on a
+//! worker may itself submit a batch: its submitter executes those jobs
+//! if no other worker is free) and lets the caller's core contribute
+//! instead of idling.
+//!
+//! Determinism is unaffected by scheduling: jobs write into indexed
+//! result slots, and every Monte Carlo trial derives its RNG from
+//! `(seed, trial)` alone.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued or shutdown begins.
+    available: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads executing boxed jobs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Per-batch result collection: indexed slots plus a completion count.
+struct Batch<T> {
+    slots: Mutex<(Vec<Option<std::thread::Result<T>>>, usize)>,
+    done: Condvar,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stormsim-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// The process-wide pool, created on first use and sized to the
+    /// machine's available parallelism.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            WorkerPool::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs every job and returns their results in submission order.
+    ///
+    /// Blocks until the whole batch completes; while blocked, the calling
+    /// thread executes queued jobs (its own or other batches'). If a job
+    /// panics, the panic is resumed here after the batch drains.
+    pub fn run_batch<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // One job: run inline, skip the queue entirely.
+            let job = jobs.into_iter().next().expect("one job");
+            return vec![unwrap_slot(catch_unwind(AssertUnwindSafe(job)))];
+        }
+        let batch: Arc<Batch<T>> = Arc::new(Batch {
+            slots: Mutex::new(((0..n).map(|_| None).collect(), 0)),
+            done: Condvar::new(),
+        });
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            for (i, job) in jobs.into_iter().enumerate() {
+                let batch = Arc::clone(&batch);
+                state.jobs.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    let mut slots = batch.slots.lock().expect("batch lock");
+                    slots.0[i] = Some(result);
+                    slots.1 += 1;
+                    if slots.1 == slots.0.len() {
+                        batch.done.notify_all();
+                    }
+                }));
+            }
+            self.shared.available.notify_all();
+        }
+        // Help-first wait: drain the queue ourselves, sleep only when
+        // every remaining job of the batch is already running elsewhere.
+        loop {
+            let next = self
+                .shared
+                .state
+                .lock()
+                .expect("pool lock")
+                .jobs
+                .pop_front();
+            if let Some(job) = next {
+                job();
+                continue;
+            }
+            let slots = batch.slots.lock().expect("batch lock");
+            if slots.1 == slots.0.len() {
+                break;
+            }
+            // Bounded wait so a nested batch queued after our emptiness
+            // check still gets helped promptly.
+            let _ = batch
+                .done
+                .wait_timeout(slots, Duration::from_millis(10))
+                .expect("batch lock");
+        }
+        let mut slots = batch.slots.lock().expect("batch lock");
+        slots
+            .0
+            .drain(..)
+            .map(|slot| unwrap_slot(slot.expect("batch complete")))
+            .collect()
+    }
+}
+
+/// Unwraps a job result, resuming the job's panic on the caller.
+fn unwrap_slot<T>(result: std::thread::Result<T>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(panic) => resume_unwind(panic),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.available.wait(state).expect("pool lock");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<T, F: FnOnce() -> T + Send + 'static>(f: F) -> Box<dyn FnOnce() -> T + Send> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs = (0..64).map(|i| boxed(move || i * i)).collect();
+        let got: Vec<usize> = pool.run_batch(jobs);
+        assert_eq!(got, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let pool = WorkerPool::new(2);
+        let none: Vec<u8> = pool.run_batch(Vec::new());
+        assert!(none.is_empty());
+        assert_eq!(pool.run_batch(vec![boxed(|| 7u8)]), vec![7]);
+    }
+
+    #[test]
+    fn nested_batches_complete() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let inner_pool = Arc::clone(&pool);
+        // More outer jobs than workers, each submitting an inner batch:
+        // help-first scheduling must drain everything.
+        let jobs = (0..8)
+            .map(|i| {
+                let pool = Arc::clone(&inner_pool);
+                boxed(move || {
+                    let inner = (0..4).map(|j| boxed(move || i * 10 + j)).collect();
+                    pool.run_batch(inner).into_iter().sum::<usize>()
+                })
+            })
+            .collect();
+        let got: Vec<usize> = pool.run_batch(jobs);
+        assert_eq!(got, (0..8).map(|i| 4 * (i * 10) + 6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let jobs = (0..7)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    boxed(move || counter.fetch_add(1, Ordering::Relaxed))
+                })
+                .collect();
+            let _: Vec<usize> = pool.run_batch(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 350);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 exploded")]
+    fn job_panics_propagate_to_submitter() {
+        let pool = WorkerPool::new(2);
+        let jobs = (0..6)
+            .map(|i| {
+                boxed(move || {
+                    if i == 3 {
+                        panic!("job 3 exploded");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let _: Vec<usize> = pool.run_batch(jobs);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let jobs = (0..4).map(|i| boxed(move || i)).collect();
+        let _: Vec<usize> = pool.run_batch(jobs);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.workers() >= 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Sweep-level parallelism: run many independent Monte Carlo points
+//! concurrently on the persistent worker pool.
+//!
+//! The figure workloads (Figs. 6–8) and the augmentation planner's
+//! candidate search evaluate dozens of *independent* `(network, model,
+//! config)` points; running each point's trials in parallel but the
+//! points themselves in sequence leaves most of the machine idle between
+//! points. This executor flips that: each point becomes one pool job
+//! running its trials sequentially with reused scratch, and the pool
+//! runs points concurrently. Per-point results are unchanged — every
+//! trial still derives its RNG from `(seed, trial)` alone, so a point
+//! computes the same statistics whether it runs alone or in a batch.
+
+use crate::monte_carlo::{run_stats_sequential, KernelInputs, MonteCarloConfig, TrialStats};
+use crate::pool::WorkerPool;
+use crate::SimError;
+use solarstorm_gic::FailureModel;
+use solarstorm_topology::Network;
+
+/// One prepared sweep point: hoisted kernel inputs plus the trial count.
+/// Owns everything it needs (via `Arc`s), so the pool job outlives the
+/// caller's borrows of the network and model.
+pub struct SweepPoint {
+    inputs: KernelInputs,
+    trials: usize,
+    spacing_km: f64,
+}
+
+/// Validates the configuration and hoists the batch invariants for one
+/// sweep point: per-cable survival probabilities and the connectivity
+/// index. Runs on the caller's thread so errors surface before any
+/// parallel work starts.
+pub fn prepare<M: FailureModel + ?Sized>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<SweepPoint, SimError> {
+    cfg.validate()?;
+    Ok(SweepPoint {
+        inputs: KernelInputs::prepare(net, model, cfg),
+        trials: cfg.trials,
+        spacing_km: cfg.spacing_km,
+    })
+}
+
+/// Runs every prepared point on the pool and returns their statistics in
+/// submission order.
+pub fn run_stats(points: Vec<SweepPoint>) -> Vec<TrialStats> {
+    let jobs: Vec<Box<dyn FnOnce() -> TrialStats + Send>> = points
+        .into_iter()
+        .map(|point| {
+            Box::new(move || {
+                let _span = solarstorm_obs::span!(
+                    "monte_carlo",
+                    trials = point.trials,
+                    threads = 1usize,
+                    spacing_km = point.spacing_km,
+                    seed = point.inputs.seed
+                );
+                run_stats_sequential(&point.inputs, point.trials)
+            }) as Box<dyn FnOnce() -> TrialStats + Send>
+        })
+        .collect();
+    WorkerPool::global().run_batch(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::run;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_gic::UniformFailure;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    fn chain_net(cables: usize) -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let mut prev = net.add_node(NodeInfo {
+            name: "n0".into(),
+            location: GeoPoint::new(10.0, 0.0).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::LandingPoint,
+        });
+        for i in 0..cables {
+            let next = net.add_node(NodeInfo {
+                name: format!("n{}", i + 1),
+                location: GeoPoint::new(10.0, (i + 1) as f64).unwrap(),
+                country: "AA".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("c{i}"),
+                vec![SegmentSpec {
+                    a: prev,
+                    b: next,
+                    route: None,
+                    length_km: Some(2000.0 + 100.0 * i as f64),
+                }],
+            )
+            .unwrap();
+            prev = next;
+        }
+        net
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_runs() {
+        let net = chain_net(12);
+        let configs: Vec<MonteCarloConfig> = (0..10)
+            .map(|i| MonteCarloConfig {
+                trials: 30,
+                seed: 1000 + i,
+                spacing_km: [50.0, 100.0, 150.0][i as usize % 3],
+                ..Default::default()
+            })
+            .collect();
+        let models: Vec<UniformFailure> = (1..=10)
+            .map(|i| UniformFailure::new(i as f64 / 100.0).unwrap())
+            .collect();
+        let points = configs
+            .iter()
+            .zip(&models)
+            .map(|(cfg, m)| prepare(&net, m, cfg).unwrap())
+            .collect();
+        let parallel = run_stats(points);
+        let sequential: Vec<TrialStats> = configs
+            .iter()
+            .zip(&models)
+            .map(|(cfg, m)| {
+                run(
+                    &net,
+                    m,
+                    &MonteCarloConfig {
+                        max_threads: 1,
+                        ..*cfg
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn prepare_rejects_bad_config() {
+        let net = chain_net(2);
+        let m = UniformFailure::new(0.1).unwrap();
+        let bad = MonteCarloConfig {
+            trials: 0,
+            ..Default::default()
+        };
+        assert!(prepare(&net, &m, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(run_stats(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! `solarstorm_gic::CableProfile::repeater_count` and
+//! `solarstorm_topology::Cable::repeater_count` implement the same
+//! length → repeater-count rule; this shared test pins them together
+//! across exact spacing multiples, epsilon neighborhoods, and extreme
+//! lengths.
+
+use solarstorm_gic::CableProfile;
+use solarstorm_topology::Cable;
+
+fn both(length_km: f64, spacing_km: f64) -> (usize, usize) {
+    let profile = CableProfile {
+        length_km,
+        max_abs_lat_deg: 0.0,
+        submarine: true,
+    };
+    let cable = Cable {
+        name: "shared".into(),
+        segments: vec![],
+        length_km,
+        max_abs_lat_deg: 0.0,
+    };
+    (
+        profile.repeater_count(spacing_km),
+        cable.repeater_count(spacing_km),
+    )
+}
+
+#[test]
+fn implementations_agree_on_a_dense_grid() {
+    let lengths = [
+        0.0, 1.0, 50.0, 99.9, 100.0, 149.0, 150.0, 151.0, 300.0, 1585.3, 4950.0, 5000.0, 6200.0,
+        6500.0, 9000.0, 40_000.0, 40_050.0, 1.0e9,
+    ];
+    let spacings = [50.0, 100.0, 150.0, 151.0, 333.3];
+    for length in lengths {
+        for spacing in spacings {
+            let (p, c) = both(length, spacing);
+            assert_eq!(p, c, "length {length} spacing {spacing}: {p} vs {c}");
+        }
+    }
+}
+
+#[test]
+fn exact_multiples_drop_the_far_station_sample() {
+    // length = k * spacing → k - 1 repeaters (the sample at the far
+    // landing station is not a repeater), for both implementations.
+    for k in [1usize, 2, 33] {
+        for spacing in [50.0, 100.0, 150.0] {
+            let (p, c) = both(k as f64 * spacing, spacing);
+            assert_eq!(p, k - 1, "profile at k={k} spacing={spacing}");
+            assert_eq!(c, k - 1, "cable at k={k} spacing={spacing}");
+        }
+    }
+}
+
+#[test]
+fn epsilon_neighborhood_of_a_multiple() {
+    // Just below a multiple floors down; just above keeps the count.
+    let (p_lo, c_lo) = both(2.0 * 150.0 - 1e-6, 150.0);
+    assert_eq!(p_lo, 1);
+    assert_eq!(c_lo, 1);
+    let (p_hi, c_hi) = both(2.0 * 150.0 + 1e-6, 150.0);
+    assert_eq!(p_hi, 2);
+    assert_eq!(c_hi, 2);
+}
+
+#[test]
+fn degenerate_inputs_have_no_repeaters() {
+    for (length, spacing) in [
+        (5000.0, 0.0),
+        (5000.0, -10.0),
+        (5000.0, f64::NAN),
+        (5000.0, f64::INFINITY),
+        (0.0, 150.0),
+        (-100.0, 150.0),
+        (f64::NAN, 150.0),
+        (f64::INFINITY, 150.0),
+    ] {
+        let (p, c) = both(length, spacing);
+        assert_eq!(p, 0, "profile length {length} spacing {spacing}");
+        assert_eq!(c, 0, "cable length {length} spacing {spacing}");
+    }
+}

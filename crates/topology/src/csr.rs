@@ -1,0 +1,308 @@
+//! Flat CSR (compressed sparse row) connectivity index over a
+//! [`Network`].
+//!
+//! The Monte Carlo hot loop asks two questions of the topology per
+//! trial: "which nodes have every incident cable dead?" and "how many
+//! components survive?". Answering them through the nested
+//! `Vec<Vec<(EdgeId, NodeId)>>` adjacency plus per-edge cable lookups
+//! costs a pointer chase per neighbor; this index flattens the
+//! node→incident-cable and segment→(endpoints, cable) relations into
+//! contiguous `u32` arrays built once per network and shared (via
+//! `Arc`) across worker threads. All queries take a dead-cable mask —
+//! either a `&[bool]` or a packed `u64` bitset — and allocate nothing.
+
+use crate::{Network, UnionFind};
+
+/// Immutable flat view of a network's cable incidence structure.
+///
+/// Built lazily by [`Network::connectivity`] and cached on the network;
+/// cheap to share across threads.
+#[derive(Debug, Clone)]
+pub struct ConnectivityIndex {
+    node_count: usize,
+    cable_count: usize,
+    /// CSR offsets into `incident_cable`, length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// Owning cable of each incident segment, grouped by node.
+    incident_cable: Vec<u32>,
+    /// Per graph edge: endpoint `a`.
+    edge_a: Vec<u32>,
+    /// Per graph edge: endpoint `b`.
+    edge_b: Vec<u32>,
+    /// Per graph edge: owning cable.
+    edge_cable: Vec<u32>,
+}
+
+/// True when cable `c` is dead under a boolean mask. Cables beyond the
+/// mask count as dead, matching [`Network::edge_alive`].
+#[inline]
+fn dead_bool(dead: &[bool], c: u32) -> bool {
+    dead.get(c as usize).copied().unwrap_or(true)
+}
+
+/// True when cable `c` is dead under a packed bitset (one bit per
+/// cable, word-major). Cables beyond the mask count as dead.
+#[inline]
+fn dead_word(dead_words: &[u64], c: u32) -> bool {
+    match dead_words.get((c >> 6) as usize) {
+        Some(w) => (w >> (c & 63)) & 1 == 1,
+        None => true,
+    }
+}
+
+impl ConnectivityIndex {
+    /// Builds the index from a network. O(nodes + segments).
+    pub(crate) fn build(net: &Network) -> ConnectivityIndex {
+        let g = net.graph();
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut incident_cable = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for node in g.node_ids() {
+            for &(e, _) in g.neighbors(node) {
+                let cable = net.edge_cable(e).expect("every segment has a cable").0;
+                incident_cable.push(cable as u32);
+            }
+            offsets.push(incident_cable.len() as u32);
+        }
+        let mut edge_a = Vec::with_capacity(g.edge_count());
+        let mut edge_b = Vec::with_capacity(g.edge_count());
+        let mut edge_cable = Vec::with_capacity(g.edge_count());
+        for (_, a, b, seg) in g.edges() {
+            edge_a.push(a.0 as u32);
+            edge_b.push(b.0 as u32);
+            edge_cable.push(seg.cable.0 as u32);
+        }
+        ConnectivityIndex {
+            node_count: n,
+            cable_count: net.cable_count(),
+            offsets,
+            incident_cable,
+            edge_a,
+            edge_b,
+            edge_cable,
+        }
+    }
+
+    /// Number of nodes indexed.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of cables (failure units) indexed.
+    pub fn cable_count(&self) -> usize {
+        self.cable_count
+    }
+
+    /// Number of graph edges (cable segments) indexed.
+    pub fn edge_count(&self) -> usize {
+        self.edge_a.len()
+    }
+
+    /// Number of `u64` words a packed dead-cable bitset needs.
+    pub fn dead_mask_words(&self) -> usize {
+        self.cable_count.div_ceil(64)
+    }
+
+    /// Incident-cable ids of one node (with segment multiplicity).
+    pub fn incident_cables(&self, node: usize) -> &[u32] {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        &self.incident_cable[lo..hi]
+    }
+
+    /// Nodes left unreachable under a dead-cable mask, per the paper's
+    /// definition: a node with at least one incident segment whose
+    /// incident cables are all dead. Zero-allocation.
+    pub fn unreachable_count(&self, dead: &[bool]) -> usize {
+        self.count_unreachable(|c| dead_bool(dead, c))
+    }
+
+    /// [`ConnectivityIndex::unreachable_count`] over a packed bitset.
+    pub fn unreachable_count_words(&self, dead_words: &[u64]) -> usize {
+        self.count_unreachable(|c| dead_word(dead_words, c))
+    }
+
+    #[inline]
+    fn count_unreachable(&self, mut is_dead: impl FnMut(u32) -> bool) -> usize {
+        let mut unreachable = 0;
+        for node in 0..self.node_count {
+            let lo = self.offsets[node] as usize;
+            let hi = self.offsets[node + 1] as usize;
+            if lo == hi {
+                continue; // isolated nodes are reported reachable
+            }
+            if self.incident_cable[lo..hi].iter().all(|&c| is_dead(c)) {
+                unreachable += 1;
+            }
+        }
+        unreachable
+    }
+
+    /// Number of connected components of the surviving subgraph,
+    /// computed by union-find over the flat edge list. `uf` is reset and
+    /// reused; nothing is allocated once its storage is warm.
+    pub fn component_count(&self, dead: &[bool], uf: &mut UnionFind) -> usize {
+        self.union_alive(|c| dead_bool(dead, c), uf);
+        uf.component_count()
+    }
+
+    /// [`ConnectivityIndex::component_count`] over a packed bitset.
+    pub fn component_count_words(&self, dead_words: &[u64], uf: &mut UnionFind) -> usize {
+        self.union_alive(|c| dead_word(dead_words, c), uf);
+        uf.component_count()
+    }
+
+    /// Dense component labels of the surviving subgraph, written into
+    /// `labels` (resized to `node_count`). Returns the component count.
+    /// Labels follow first-occurrence order of node ids — byte-identical
+    /// to [`crate::algo::connected_components`] over the same scenario.
+    pub fn component_labels(
+        &self,
+        dead: &[bool],
+        uf: &mut UnionFind,
+        labels: &mut Vec<usize>,
+    ) -> usize {
+        self.union_alive(|c| dead_bool(dead, c), uf);
+        uf.labels_into(labels)
+    }
+
+    #[inline]
+    fn union_alive(&self, mut is_dead: impl FnMut(u32) -> bool, uf: &mut UnionFind) {
+        uf.reset(self.node_count);
+        for i in 0..self.edge_cable.len() {
+            if !is_dead(self.edge_cable[i]) {
+                uf.union(self.edge_a[i], self.edge_b[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Network, NetworkKind, NodeInfo, NodeRole, SegmentSpec, UnionFind};
+    use solarstorm_geo::GeoPoint;
+
+    fn node(name: &str, lat: f64, lon: f64) -> NodeInfo {
+        NodeInfo {
+            name: name.into(),
+            location: GeoPoint::new(lat, lon).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::LandingPoint,
+        }
+    }
+
+    /// A 4-node network: cable 0 = A-B, cable 1 = B-C + C-D (two
+    /// segments), plus an isolated node E.
+    fn net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let a = net.add_node(node("A", 0.0, 0.0));
+        let b = net.add_node(node("B", 0.0, 10.0));
+        let c = net.add_node(node("C", 0.0, 20.0));
+        let d = net.add_node(node("D", 0.0, 30.0));
+        net.add_node(node("E", 0.0, 40.0));
+        net.add_cable(
+            "ab",
+            vec![SegmentSpec {
+                a,
+                b,
+                route: None,
+                length_km: Some(1000.0),
+            }],
+        )
+        .unwrap();
+        net.add_cable(
+            "bcd",
+            vec![
+                SegmentSpec {
+                    a: b,
+                    b: c,
+                    route: None,
+                    length_km: Some(1000.0),
+                },
+                SegmentSpec {
+                    a: c,
+                    b: d,
+                    route: None,
+                    length_km: Some(1000.0),
+                },
+            ],
+        )
+        .unwrap();
+        net
+    }
+
+    #[test]
+    fn index_shapes_match_network() {
+        let net = net();
+        let conn = net.connectivity();
+        assert_eq!(conn.node_count(), 5);
+        assert_eq!(conn.cable_count(), 2);
+        assert_eq!(conn.edge_count(), 3);
+        assert_eq!(conn.dead_mask_words(), 1);
+        assert_eq!(conn.incident_cables(0), &[0]);
+        assert_eq!(conn.incident_cables(1), &[0, 1]);
+        assert_eq!(conn.incident_cables(2), &[1, 1]);
+        assert!(conn.incident_cables(4).is_empty());
+    }
+
+    #[test]
+    fn unreachable_counts_match_mask_semantics() {
+        let net = net();
+        let conn = net.connectivity();
+        for dead in [[false, false], [true, false], [false, true], [true, true]] {
+            let expected = net.unreachable_nodes(&dead).iter().filter(|&&u| u).count();
+            assert_eq!(conn.unreachable_count(&dead), expected, "mask {dead:?}");
+            let mut words = vec![0u64];
+            for (c, &d) in dead.iter().enumerate() {
+                if d {
+                    words[c >> 6] |= 1 << (c & 63);
+                }
+            }
+            assert_eq!(conn.unreachable_count_words(&words), expected);
+        }
+    }
+
+    #[test]
+    fn short_masks_treat_missing_cables_as_dead() {
+        let net = net();
+        let conn = net.connectivity();
+        // Empty mask: every cable dead, so A..D unreachable, E spared.
+        assert_eq!(conn.unreachable_count(&[]), 4);
+        assert_eq!(conn.unreachable_count_words(&[]), 4);
+    }
+
+    #[test]
+    fn component_counts_match_bfs() {
+        let net = net();
+        let conn = net.connectivity();
+        let mut uf = UnionFind::new();
+        for dead in [[false, false], [true, false], [false, true], [true, true]] {
+            let (_, expected) = net.surviving_components(&dead);
+            assert_eq!(
+                conn.component_count(&dead, &mut uf),
+                expected,
+                "mask {dead:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_invalidated_by_mutation() {
+        let mut net = net();
+        assert_eq!(net.connectivity().node_count(), 5);
+        let f = net.add_node(node("F", 0.0, 50.0));
+        assert_eq!(net.connectivity().node_count(), 6);
+        net.add_cable(
+            "af",
+            vec![SegmentSpec {
+                a: crate::NodeId(0),
+                b: f,
+                route: None,
+                length_km: Some(100.0),
+            }],
+        )
+        .unwrap();
+        assert_eq!(net.connectivity().cable_count(), 3);
+    }
+}

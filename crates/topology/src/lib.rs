@@ -20,12 +20,16 @@
 #![deny(missing_docs)]
 
 pub mod algo;
+mod csr;
 mod error;
 mod graph;
 mod network;
+mod unionfind;
 
+pub use csr::ConnectivityIndex;
 pub use error::TopologyError;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use network::{
     Cable, CableId, Network, NetworkKind, NodeInfo, NodeRole, SegmentInfo, SegmentSpec,
 };
+pub use unionfind::UnionFind;

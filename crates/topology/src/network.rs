@@ -1,6 +1,7 @@
-use crate::{algo, EdgeId, Graph, NodeId, TopologyError};
+use crate::{algo, ConnectivityIndex, EdgeId, Graph, NodeId, TopologyError, UnionFind};
 use serde::{Deserialize, Serialize};
 use solarstorm_geo::{GeoPoint, Polyline};
+use std::sync::{Arc, OnceLock};
 
 /// Which physical network a topology models. The paper analyzes three:
 /// the global submarine-cable map, the US long-haul fiber map
@@ -77,7 +78,7 @@ impl Cable {
     /// length. Cables shorter than the spacing carry none (§4.3.1: at
     /// 150 km spacing, 82 of 441 submarine cables need no repeater).
     pub fn repeater_count(&self, spacing_km: f64) -> usize {
-        if spacing_km <= 0.0 || !spacing_km.is_finite() {
+        if spacing_km <= 0.0 || !spacing_km.is_finite() || !self.length_km.is_finite() {
             return 0;
         }
         let n = (self.length_km / spacing_km).floor();
@@ -109,6 +110,10 @@ pub struct Network {
     kind: NetworkKind,
     graph: Graph<NodeInfo, SegmentInfo>,
     cables: Vec<Cable>,
+    /// Lazily built flat connectivity index, shared with worker threads.
+    /// Dropped (and rebuilt on demand) whenever the topology mutates.
+    #[serde(skip)]
+    conn: OnceLock<Arc<ConnectivityIndex>>,
 }
 
 /// One segment of a cable under construction: endpoints plus either an
@@ -134,6 +139,7 @@ impl Network {
             kind,
             graph: Graph::new(),
             cables: Vec::new(),
+            conn: OnceLock::new(),
         }
     }
 
@@ -144,6 +150,7 @@ impl Network {
 
     /// Adds a node.
     pub fn add_node(&mut self, info: NodeInfo) -> NodeId {
+        self.conn.take();
         self.graph.add_node(info)
     }
 
@@ -159,6 +166,7 @@ impl Network {
         if segments.is_empty() {
             return Err(TopologyError::EmptyCable);
         }
+        self.conn.take();
         let cable_id = CableId(self.cables.len());
         let mut total_len = 0.0;
         let mut max_lat: f64 = 0.0;
@@ -216,6 +224,15 @@ impl Network {
     /// The underlying graph.
     pub fn graph(&self) -> &Graph<NodeInfo, SegmentInfo> {
         &self.graph
+    }
+
+    /// The flat connectivity index, built on first use and cached until
+    /// the next topology mutation. The `Arc` makes it cheap to hand to
+    /// worker threads that outlive any borrow of `self`.
+    pub fn connectivity(&self) -> Arc<ConnectivityIndex> {
+        self.conn
+            .get_or_init(|| Arc::new(ConnectivityIndex::build(self)))
+            .clone()
     }
 
     /// All cables.
@@ -303,17 +320,32 @@ impl Network {
     }
 
     /// Fraction (%) of nodes unreachable under a dead-cable mask.
+    /// Served by the cached [`ConnectivityIndex`]: near-linear, and
+    /// allocation-free once the index exists.
     pub fn percent_nodes_unreachable(&self, dead: &[bool]) -> f64 {
-        let mask = self.unreachable_nodes(dead);
-        if mask.is_empty() {
+        let n = self.graph.node_count();
+        if n == 0 {
             return 0.0;
         }
-        100.0 * mask.iter().filter(|&&u| u).count() as f64 / mask.len() as f64
+        let count = self.connectivity().unreachable_count(dead);
+        100.0 * count as f64 / n as f64
     }
 
-    /// Connected components of the surviving subgraph.
+    /// Connected components of the surviving subgraph. Labels are dense
+    /// and assigned in first-occurrence node-id order — identical to
+    /// [`algo::connected_components`] over [`Network::edge_alive`].
     pub fn surviving_components(&self, dead: &[bool]) -> (Vec<usize>, usize) {
-        algo::connected_components(&self.graph, self.edge_alive(dead))
+        let conn = self.connectivity();
+        let mut uf = UnionFind::new();
+        let mut labels = Vec::new();
+        let count = conn.component_labels(dead, &mut uf, &mut labels);
+        (labels, count)
+    }
+
+    /// Component count of the surviving subgraph into caller-provided
+    /// union-find scratch — the zero-allocation path for hot loops.
+    pub fn surviving_component_count(&self, dead: &[bool], uf: &mut UnionFind) -> usize {
+        self.connectivity().component_count(dead, uf)
     }
 
     /// True if any surviving path connects the two node sets.

@@ -1,0 +1,197 @@
+//! Flat union-find (disjoint-set forest) connectivity.
+//!
+//! The Monte Carlo kernel and the partition analyses measure surviving
+//! connectivity thousands of times per sweep. A BFS walk allocates a
+//! visited mask and a stack per scenario; this forest instead keeps two
+//! flat arrays (`parent`, `rank`) that are reset in O(n) and reused
+//! across trials, so the per-scenario cost is near-linear with zero
+//! allocation once warm.
+
+/// Reusable disjoint-set forest over dense `u32` ids with union by rank
+/// and path halving.
+///
+/// [`UnionFind::reset`] re-initialises without freeing the backing
+/// storage, so one instance can serve an entire trial batch.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Scratch for dense-label extraction (root -> label).
+    label_of_root: Vec<u32>,
+    components: usize,
+}
+
+const NO_LABEL: u32 = u32::MAX;
+
+impl UnionFind {
+    /// Creates an empty forest; call [`UnionFind::reset`] before use.
+    pub fn new() -> Self {
+        UnionFind::default()
+    }
+
+    /// Creates a forest pre-sized (and reset) for `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut uf = UnionFind::default();
+        uf.reset(n);
+        uf
+    }
+
+    /// Re-initialises the forest to `n` singleton sets, reusing the
+    /// existing allocations where possible.
+    pub fn reset(&mut self, n: usize) {
+        assert!(
+            n <= u32::MAX as usize,
+            "union-find supports up to 2^32 - 1 elements"
+        );
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.components = n;
+    }
+
+    /// Number of elements in the forest.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the forest holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` when they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[hi as usize] = self.rank[hi as usize].saturating_add(1);
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets (O(1): tracked across unions).
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x` (O(n): scans all elements).
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let root = self.find(x);
+        let n = self.parent.len();
+        (0..n as u32).filter(|&i| self.find(i) == root).count()
+    }
+
+    /// Writes dense component labels into `labels` and returns the
+    /// component count. Labels are assigned in first-occurrence order of
+    /// element ids, matching the labelling convention of
+    /// [`crate::algo::connected_components`], so the two paths produce
+    /// byte-identical partitions.
+    pub fn labels_into(&mut self, labels: &mut Vec<usize>) -> usize {
+        let n = self.parent.len();
+        labels.clear();
+        labels.resize(n, 0);
+        self.label_of_root.clear();
+        self.label_of_root.resize(n, NO_LABEL);
+        let mut next = 0u32;
+        for i in 0..n as u32 {
+            let root = self.find(i) as usize;
+            if self.label_of_root[root] == NO_LABEL {
+                self.label_of_root[root] = next;
+                next += 1;
+            }
+            labels[i as usize] = self.label_of_root[root] as usize;
+        }
+        next as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_after_reset() {
+        let mut uf = UnionFind::with_capacity(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::with_capacity(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already joined");
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.component_size(0), 3);
+        assert_eq!(uf.component_size(5), 1);
+    }
+
+    #[test]
+    fn labels_are_dense_and_first_occurrence_ordered() {
+        let mut uf = UnionFind::with_capacity(5);
+        // {0}, {1, 3}, {2, 4}
+        uf.union(1, 3);
+        uf.union(2, 4);
+        let mut labels = Vec::new();
+        let count = uf.labels_into(&mut labels);
+        assert_eq!(count, 3);
+        assert_eq!(labels, vec![0, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn reset_reuses_storage() {
+        let mut uf = UnionFind::with_capacity(8);
+        uf.union(0, 7);
+        uf.reset(3);
+        assert_eq!(uf.len(), 3);
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.find(2), 2);
+    }
+
+    #[test]
+    fn empty_forest() {
+        let mut uf = UnionFind::new();
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        let mut labels = vec![9];
+        assert_eq!(uf.labels_into(&mut labels), 0);
+        assert!(labels.is_empty());
+    }
+}

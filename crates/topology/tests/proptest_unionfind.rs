@@ -1,0 +1,166 @@
+//! Property-based equivalence tests: the union-find / CSR connectivity
+//! path must agree with the BFS/DFS algorithms in `algo` on random
+//! multigraphs and random dead-cable masks.
+
+use proptest::prelude::*;
+use solarstorm_geo::GeoPoint;
+use solarstorm_topology::{
+    algo, Graph, Network, NetworkKind, NodeId, NodeInfo, NodeRole, SegmentSpec, UnionFind,
+};
+
+/// A random multigraph mirroring `proptest_graph::arb_graph`.
+fn arb_graph() -> impl Strategy<Value = Graph<(), f64>> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1.0f64..1000.0), 0..80).prop_map(move |edges| {
+            let mut g = Graph::new();
+            let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for (a, b, w) in edges {
+                if a != b {
+                    g.add_edge(ids[a], ids[b], w).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+/// A random network: each generated (a, b) pair becomes a one-segment
+/// cable, so cable ids and graph edge ids coincide.
+fn arb_network() -> impl Strategy<Value = Network> {
+    (2usize..25).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..60).prop_map(move |pairs| {
+            let mut net = Network::new(NetworkKind::Submarine);
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    net.add_node(NodeInfo {
+                        name: format!("n{i}"),
+                        location: GeoPoint::new(
+                            -60.0 + (i as f64 * 7.0) % 120.0,
+                            -170.0 + (i as f64 * 13.0) % 340.0,
+                        )
+                        .unwrap(),
+                        country: "AA".into(),
+                        role: NodeRole::LandingPoint,
+                    })
+                })
+                .collect();
+            for (k, (a, b)) in pairs.into_iter().enumerate() {
+                if a != b {
+                    net.add_cable(
+                        format!("c{k}"),
+                        vec![SegmentSpec {
+                            a: ids[a],
+                            b: ids[b],
+                            route: None,
+                            length_km: Some(100.0 + k as f64),
+                        }],
+                    )
+                    .unwrap();
+                }
+            }
+            net
+        })
+    })
+}
+
+/// A dead-cable mask derived from a seed (~30% dead).
+fn dead_mask(cables: usize, seed: u64) -> Vec<bool> {
+    (0..cables)
+        .map(|i| {
+            (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 31))
+                % 10
+                >= 7
+        })
+        .collect()
+}
+
+/// Packs a boolean mask into the `u64` bitset layout the kernel uses.
+fn pack(dead: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; dead.len().div_ceil(64)];
+    for (c, &d) in dead.iter().enumerate() {
+        if d {
+            words[c >> 6] |= 1 << (c & 63);
+        }
+    }
+    words
+}
+
+proptest! {
+    /// Raw union-find over alive edges reproduces the DFS labelling
+    /// exactly (count and per-node labels).
+    #[test]
+    fn unionfind_matches_connected_components(g in arb_graph(), seed in any::<u64>()) {
+        let alive: Vec<bool> = dead_mask(g.edge_count(), seed).iter().map(|&d| !d).collect();
+        let (labels, count) = algo::connected_components(&g, |e| alive[e.0]);
+
+        let mut uf = UnionFind::with_capacity(g.node_count());
+        for (e, a, b, _) in g.edges() {
+            if alive[e.0] {
+                uf.union(a.0 as u32, b.0 as u32);
+            }
+        }
+        prop_assert_eq!(uf.component_count(), count);
+        let mut uf_labels = Vec::new();
+        prop_assert_eq!(uf.labels_into(&mut uf_labels), count);
+        prop_assert_eq!(uf_labels, labels);
+    }
+
+    /// `same` agrees with BFS reachability from node 0.
+    #[test]
+    fn unionfind_matches_reachable_from(g in arb_graph(), seed in any::<u64>()) {
+        let dead = dead_mask(g.edge_count(), seed);
+        let seen = algo::reachable_from(&g, &[NodeId(0)], |e| !dead[e.0]);
+        let mut uf = UnionFind::with_capacity(g.node_count());
+        for (e, a, b, _) in g.edges() {
+            if !dead[e.0] {
+                uf.union(a.0 as u32, b.0 as u32);
+            }
+        }
+        for v in g.node_ids() {
+            prop_assert_eq!(uf.same(0, v.0 as u32), seen[v.0]);
+        }
+    }
+
+    /// The CSR component path on `Network` is byte-identical to the DFS
+    /// path, for both mask encodings.
+    #[test]
+    fn csr_components_match_bfs(net in arb_network(), seed in any::<u64>()) {
+        let dead = dead_mask(net.cable_count(), seed);
+        let expected = algo::connected_components(net.graph(), net.edge_alive(&dead));
+        let got = net.surviving_components(&dead);
+        prop_assert_eq!(&got.0, &expected.0);
+        prop_assert_eq!(got.1, expected.1);
+
+        let conn = net.connectivity();
+        let mut uf = UnionFind::new();
+        prop_assert_eq!(conn.component_count(&dead, &mut uf), expected.1);
+        prop_assert_eq!(
+            conn.component_count_words(&pack(&dead), &mut uf),
+            expected.1
+        );
+        prop_assert_eq!(net.surviving_component_count(&dead, &mut uf), expected.1);
+    }
+
+    /// The CSR unreachable count agrees with the per-node mask for both
+    /// encodings, including short masks (missing cables count as dead).
+    #[test]
+    fn csr_unreachable_matches_mask(net in arb_network(), seed in any::<u64>(), trim in 0usize..4) {
+        let mut dead = dead_mask(net.cable_count(), seed);
+        dead.truncate(dead.len().saturating_sub(trim));
+        let expected = net
+            .unreachable_nodes(&dead)
+            .iter()
+            .filter(|&&u| u)
+            .count();
+        let conn = net.connectivity();
+        prop_assert_eq!(conn.unreachable_count(&dead), expected);
+        if dead.len() == net.cable_count() {
+            prop_assert_eq!(conn.unreachable_count_words(&pack(&dead)), expected);
+        }
+        let pct = net.percent_nodes_unreachable(&dead);
+        let node_count = net.node_count();
+        prop_assert!((pct - 100.0 * expected as f64 / node_count as f64).abs() < 1e-12);
+    }
+}
