@@ -5,9 +5,9 @@
 //! unreachable (Fig. 7).
 
 use crate::{Datasets, Figure, Series};
-use solarstorm_gic::UniformFailure;
+use solarstorm_gic::{UniformAxis, UniformFailure};
 use solarstorm_sim::monte_carlo::MonteCarloConfig;
-use solarstorm_sim::{sweep, SimError, TrialStats};
+use solarstorm_sim::{sweep, Kernel, SimError, TrialStats};
 use solarstorm_topology::Network;
 
 /// The probability sweep (log-spaced, 0.001 → 1, as in the paper).
@@ -53,43 +53,106 @@ fn prepare_network(
         .collect()
 }
 
-/// Runs the uniform-failure sweep for one network; the ten probability
-/// points run concurrently on the shared pool.
-pub fn sweep_network(
+/// Prepares the whole probability axis for one network as a single CRN
+/// sweep (one uniform threshold per cable per trial evaluates all ten
+/// points).
+fn prepare_network_axis(
     net: &Network,
     spacing_km: f64,
     trials: usize,
     seed: u64,
+) -> Result<sweep::AxisSweep, SimError> {
+    let axis = UniformAxis::new(probabilities()).map_err(|e| SimError::InvalidConfig {
+        name: "probability",
+        message: e.to_string(),
+    })?;
+    let cfg = MonteCarloConfig {
+        spacing_km,
+        trials,
+        seed,
+        ..Default::default()
+    };
+    sweep::prepare_axis(net, &axis, &cfg)
+}
+
+/// Runs the uniform-failure sweep for one network under the chosen
+/// kernel: the CRN axis kernel evaluates all ten points per trial;
+/// per-point runs the ten points concurrently on the shared pool.
+pub fn sweep_network_with(
+    net: &Network,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+    kernel: Kernel,
 ) -> Result<SweepResult, SimError> {
-    let points = prepare_network(net, spacing_km, trials, seed)?;
-    let stats = sweep::run_stats(points);
+    let stats = match kernel {
+        Kernel::PerPoint => sweep::run_stats(prepare_network(net, spacing_km, trials, seed)?),
+        Kernel::CrnAxis => sweep::run_axis(prepare_network_axis(net, spacing_km, trials, seed)?),
+    };
     Ok(SweepResult {
         network: net.kind().label(),
         points: probabilities().into_iter().zip(stats).collect(),
     })
 }
 
-/// Runs the sweep for all three networks at one spacing — all thirty
-/// (network × probability) points as a single parallel batch.
+/// [`sweep_network_with`] under the default (CRN axis) kernel.
+pub fn sweep_network(
+    net: &Network,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<SweepResult, SimError> {
+    sweep_network_with(net, spacing_km, trials, seed, Kernel::default())
+}
+
+/// Runs the sweep for all three networks at one spacing under the
+/// chosen kernel — one parallel batch either way (thirty per-point jobs,
+/// or three chunked axes).
+pub fn sweep_all_with(
+    data: &Datasets,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+    kernel: Kernel,
+) -> Result<Vec<SweepResult>, SimError> {
+    let nets = [&data.submarine, &data.intertubes, &data.itu];
+    let per_net: Vec<Vec<TrialStats>> = match kernel {
+        Kernel::PerPoint => {
+            let mut points = Vec::new();
+            for net in nets {
+                points.extend(prepare_network(net, spacing_km, trials, seed)?);
+            }
+            let mut stats = sweep::run_stats(points).into_iter();
+            nets.iter()
+                .map(|_| stats.by_ref().take(probabilities().len()).collect())
+                .collect()
+        }
+        Kernel::CrnAxis => {
+            let axes = nets
+                .iter()
+                .map(|net| prepare_network_axis(net, spacing_km, trials, seed))
+                .collect::<Result<Vec<_>, _>>()?;
+            sweep::run_axes(axes)
+        }
+    };
+    Ok(nets
+        .iter()
+        .zip(per_net)
+        .map(|(net, stats)| SweepResult {
+            network: net.kind().label(),
+            points: probabilities().into_iter().zip(stats).collect(),
+        })
+        .collect())
+}
+
+/// [`sweep_all_with`] under the default (CRN axis) kernel.
 pub fn sweep_all(
     data: &Datasets,
     spacing_km: f64,
     trials: usize,
     seed: u64,
 ) -> Result<Vec<SweepResult>, SimError> {
-    let nets = [&data.submarine, &data.intertubes, &data.itu];
-    let mut points = Vec::new();
-    for net in nets {
-        points.extend(prepare_network(net, spacing_km, trials, seed)?);
-    }
-    let mut stats = sweep::run_stats(points).into_iter();
-    Ok(nets
-        .iter()
-        .map(|net| SweepResult {
-            network: net.kind().label(),
-            points: probabilities().into_iter().zip(stats.by_ref()).collect(),
-        })
-        .collect())
+    sweep_all_with(data, spacing_km, trials, seed, Kernel::default())
 }
 
 /// Converts sweep results into the Fig. 6 panel (cables failed).
@@ -120,17 +183,28 @@ pub fn to_cables_figure(results: &[SweepResult], spacing_km: f64) -> Figure {
     }
 }
 
-/// Reproduces one panel of Fig. 6.
+/// Reproduces one panel of Fig. 6 under the chosen kernel.
+pub fn reproduce_panel_with(
+    data: &Datasets,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+    kernel: Kernel,
+) -> Result<Figure, SimError> {
+    Ok(to_cables_figure(
+        &sweep_all_with(data, spacing_km, trials, seed, kernel)?,
+        spacing_km,
+    ))
+}
+
+/// Reproduces one panel of Fig. 6 (default kernel).
 pub fn reproduce_panel(
     data: &Datasets,
     spacing_km: f64,
     trials: usize,
     seed: u64,
 ) -> Result<Figure, SimError> {
-    Ok(to_cables_figure(
-        &sweep_all(data, spacing_km, trials, seed)?,
-        spacing_km,
-    ))
+    reproduce_panel_with(data, spacing_km, trials, seed, Kernel::default())
 }
 
 #[cfg(test)]
@@ -192,6 +266,19 @@ mod tests {
                 w[0].0,
                 w[1].0
             );
+        }
+    }
+
+    #[test]
+    fn per_point_kernel_sweeps_the_same_grid() {
+        let data = Datasets::small_cached();
+        let results = sweep_all_with(&data, 150.0, 3, 7, Kernel::PerPoint).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.points.len(), probabilities().len());
+            let first = r.points[0].1.mean_cables_failed_pct;
+            let last = r.points.last().unwrap().1.mean_cables_failed_pct;
+            assert!(last >= first, "{}: {first}% → {last}%", r.network);
         }
     }
 

@@ -1,9 +1,9 @@
 //! Figure 7: nodes unreachable under uniform repeater-failure
 //! probability (same sweep as Fig. 6, node metric).
 
-use crate::fig6::{sweep_all, SweepResult};
+use crate::fig6::{sweep_all_with, SweepResult};
 use crate::{Datasets, Figure, Series};
-use solarstorm_sim::SimError;
+use solarstorm_sim::{Kernel, SimError};
 
 /// Converts sweep results into the Fig. 7 panel (nodes unreachable).
 pub fn to_nodes_figure(results: &[SweepResult], spacing_km: f64) -> Figure {
@@ -33,22 +33,34 @@ pub fn to_nodes_figure(results: &[SweepResult], spacing_km: f64) -> Figure {
     }
 }
 
-/// Reproduces one panel of Fig. 7.
+/// Reproduces one panel of Fig. 7 under the chosen kernel.
+pub fn reproduce_panel_with(
+    data: &Datasets,
+    spacing_km: f64,
+    trials: usize,
+    seed: u64,
+    kernel: Kernel,
+) -> Result<Figure, SimError> {
+    Ok(to_nodes_figure(
+        &sweep_all_with(data, spacing_km, trials, seed, kernel)?,
+        spacing_km,
+    ))
+}
+
+/// Reproduces one panel of Fig. 7 (default kernel).
 pub fn reproduce_panel(
     data: &Datasets,
     spacing_km: f64,
     trials: usize,
     seed: u64,
 ) -> Result<Figure, SimError> {
-    Ok(to_nodes_figure(
-        &sweep_all(data, spacing_km, trials, seed)?,
-        spacing_km,
-    ))
+    reproduce_panel_with(data, spacing_km, trials, seed, Kernel::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fig6::sweep_all;
 
     #[test]
     fn headline_nodes_at_p001_150km() {

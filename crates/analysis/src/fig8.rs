@@ -7,9 +7,9 @@
 //! bounds it; we follow the same protocol.
 
 use crate::{Datasets, Figure, Series};
-use solarstorm_gic::LatitudeBandFailure;
+use solarstorm_gic::{BandAxis, LatitudeBandFailure};
 use solarstorm_sim::monte_carlo::MonteCarloConfig;
-use solarstorm_sim::{sweep, SimError, TrialStats};
+use solarstorm_sim::{sweep, Kernel, SimError, TrialStats};
 use solarstorm_topology::Network;
 
 /// One bar of the figure.
@@ -25,45 +25,97 @@ pub struct Fig8Point {
     pub stats: TrialStats,
 }
 
-/// Runs the full Fig. 8 grid.
+/// Runs the full Fig. 8 grid under the chosen kernel.
+///
+/// The CRN axis kernel treats the two severity states as one monotone
+/// axis `[S2, S1]` per (spacing, network) pair — each trial draws one
+/// threshold per cable and reads off both states, so S1-vs-S2 contrasts
+/// are free of sampling noise within a trial.
+pub fn reproduce_points_with(
+    data: &Datasets,
+    trials: usize,
+    seed: u64,
+    kernel: Kernel,
+) -> Result<Vec<Fig8Point>, SimError> {
+    let nets: [&Network; 2] = [&data.submarine, &data.intertubes];
+    match kernel {
+        Kernel::PerPoint => {
+            let states: [(&'static str, LatitudeBandFailure); 2] = [
+                ("S1", LatitudeBandFailure::s1()),
+                ("S2", LatitudeBandFailure::s2()),
+            ];
+            // Prepare the full (state × spacing × network) grid, then run
+            // all twelve points as one parallel batch on the shared pool.
+            let mut labels = Vec::new();
+            let mut points = Vec::new();
+            for (state, model) in &states {
+                for spacing in [50.0, 100.0, 150.0] {
+                    for net in nets {
+                        let cfg = MonteCarloConfig {
+                            spacing_km: spacing,
+                            trials,
+                            seed: seed ^ spacing as u64 ^ ((state.len() as u64) << 32),
+                            ..Default::default()
+                        };
+                        labels.push((*state, spacing, net.kind().label()));
+                        points.push(sweep::prepare(net, model, &cfg)?);
+                    }
+                }
+            }
+            Ok(labels
+                .into_iter()
+                .zip(sweep::run_stats(points))
+                .map(|((state, spacing_km, network), stats)| Fig8Point {
+                    state,
+                    spacing_km,
+                    network,
+                    stats,
+                })
+                .collect())
+        }
+        Kernel::CrnAxis => {
+            // One two-point axis per (spacing, network); all six axes run
+            // as a single batch. Axis point 0 is S2, point 1 is S1.
+            let axis = BandAxis::s2_to_s1();
+            let mut labels = Vec::new();
+            let mut axes = Vec::new();
+            for spacing in [50.0, 100.0, 150.0] {
+                for net in nets {
+                    let cfg = MonteCarloConfig {
+                        spacing_km: spacing,
+                        trials,
+                        seed: seed ^ spacing as u64,
+                        ..Default::default()
+                    };
+                    labels.push((spacing, net.kind().label()));
+                    axes.push(sweep::prepare_axis(net, &axis, &cfg)?);
+                }
+            }
+            let results = sweep::run_axes(axes);
+            // Emit in the historical S1-first grid order.
+            let mut out = Vec::with_capacity(2 * labels.len());
+            for (state, point) in [("S1", 1usize), ("S2", 0usize)] {
+                for ((spacing_km, network), stats) in labels.iter().zip(&results) {
+                    out.push(Fig8Point {
+                        state,
+                        spacing_km: *spacing_km,
+                        network,
+                        stats: stats[point].clone(),
+                    });
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Runs the full Fig. 8 grid (default kernel).
 pub fn reproduce_points(
     data: &Datasets,
     trials: usize,
     seed: u64,
 ) -> Result<Vec<Fig8Point>, SimError> {
-    let states: [(&'static str, LatitudeBandFailure); 2] = [
-        ("S1", LatitudeBandFailure::s1()),
-        ("S2", LatitudeBandFailure::s2()),
-    ];
-    let nets: [&Network; 2] = [&data.submarine, &data.intertubes];
-    // Prepare the full (state × spacing × network) grid, then run all
-    // twelve points as one parallel batch on the shared pool.
-    let mut labels = Vec::new();
-    let mut points = Vec::new();
-    for (state, model) in &states {
-        for spacing in [50.0, 100.0, 150.0] {
-            for net in nets {
-                let cfg = MonteCarloConfig {
-                    spacing_km: spacing,
-                    trials,
-                    seed: seed ^ spacing as u64 ^ ((state.len() as u64) << 32),
-                    ..Default::default()
-                };
-                labels.push((*state, spacing, net.kind().label()));
-                points.push(sweep::prepare(net, model, &cfg)?);
-            }
-        }
-    }
-    Ok(labels
-        .into_iter()
-        .zip(sweep::run_stats(points))
-        .map(|((state, spacing_km, network), stats)| Fig8Point {
-            state,
-            spacing_km,
-            network,
-            stats,
-        })
-        .collect())
+    reproduce_points_with(data, trials, seed, Kernel::default())
 }
 
 /// Renders the grid as a grouped figure: x = spacing, one series per
@@ -172,6 +224,23 @@ mod tests {
                     "{network}@{spacing}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn kernels_emit_the_same_grid_layout() {
+        let data = Datasets::small_cached();
+        let per_point = reproduce_points_with(&data, 3, 11, Kernel::PerPoint).unwrap();
+        let crn = reproduce_points(&data, 3, 11).unwrap();
+        assert_eq!(per_point.len(), 12);
+        assert_eq!(crn.len(), 12);
+        // Same (state, spacing, network) labels in the same order,
+        // whichever kernel produced the stats.
+        for (a, b) in per_point.iter().zip(&crn) {
+            assert_eq!(
+                (a.state, a.spacing_km, a.network),
+                (b.state, b.spacing_km, b.network)
+            );
         }
     }
 

@@ -1,0 +1,38 @@
+//! Kernel comparison: the full Fig. 6 uniform-failure sweep under the
+//! per-point kernel (one Monte Carlo batch per probability, independent
+//! RNG streams) vs the common-random-numbers axis kernel (one trial
+//! walks the whole probability axis via incremental union-find).
+//!
+//! Both targets run the identical workload — three networks, ten
+//! probabilities, equal trial counts — so the timing ratio is the axis
+//! kernel's speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::analysis::fig6::sweep_all_with;
+use solarstorm::sim::Kernel;
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = study().datasets();
+    let mut group = c.benchmark_group("fig6_full_sweep");
+    for (name, kernel) in [
+        ("per_point", Kernel::PerPoint),
+        ("crn_axis", Kernel::CrnAxis),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sweep_all_with(data, 150.0, 10, 42, kernel).expect("sweep")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

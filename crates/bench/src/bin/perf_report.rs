@@ -1,21 +1,29 @@
 //! Machine-readable Monte Carlo performance report.
 //!
-//! Writes `BENCH_monte_carlo.json` with kernel throughput (trials/sec)
-//! and per-figure sweep wall time, so CI and the README can track the
-//! simulation engine's performance over time.
+//! Writes `BENCH_monte_carlo.json` with kernel throughput (trials/sec),
+//! per-figure sweep wall time, and a per-point vs CRN-axis kernel
+//! comparison on the full Fig. 6 sweep, so CI and the README can track
+//! the simulation engine's performance over time.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p solarstorm-bench --bin perf_report            # paper-scale
 //! cargo run --release -p solarstorm-bench --bin perf_report -- --quick # CI smoke
+//! cargo run --release -p solarstorm-bench --bin perf_report -- \
+//!     --quick --guard BENCH_monte_carlo.json   # fail if >20% slower than baseline
 //! ```
 
 use solarstorm::analysis::{fig6, fig7, fig8, Datasets};
 use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
 use solarstorm::sim::pool::WorkerPool;
+use solarstorm::sim::Kernel;
 use solarstorm::UniformFailure;
 use std::time::Instant;
+
+/// A run may be this much slower than the `--guard` baseline before the
+/// report exits non-zero (CI noise tolerance).
+const GUARD_TOLERANCE: f64 = 0.8;
 
 struct Report {
     mode: &'static str,
@@ -27,6 +35,10 @@ struct Report {
     fig7_wall_ms: f64,
     fig8_wall_ms: f64,
     sweep_trials_per_point: usize,
+    axis_trials: usize,
+    axis_per_point_wall_ms: f64,
+    axis_crn_wall_ms: f64,
+    axis_speedup: f64,
 }
 
 impl Report {
@@ -47,6 +59,12 @@ impl Report {
                 "    \"fig6_wall_ms\": {f6:.3},\n",
                 "    \"fig7_wall_ms\": {f7:.3},\n",
                 "    \"fig8_wall_ms\": {f8:.3}\n",
+                "  }},\n",
+                "  \"axis\": {{\n",
+                "    \"trials\": {atrials},\n",
+                "    \"per_point_wall_ms\": {app:.3},\n",
+                "    \"crn_axis_wall_ms\": {acrn:.3},\n",
+                "    \"speedup\": {aspd:.2}\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -59,8 +77,46 @@ impl Report {
             f6 = self.fig6_wall_ms,
             f7 = self.fig7_wall_ms,
             f8 = self.fig8_wall_ms,
+            atrials = self.axis_trials,
+            app = self.axis_per_point_wall_ms,
+            acrn = self.axis_crn_wall_ms,
+            aspd = self.axis_speedup,
         )
     }
+}
+
+/// Pulls the first `"key": <number>` out of a hand-written report JSON.
+/// The bench crate deliberately has no serde dependency; the report
+/// format is ours, so a string scan is enough for the guard.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares this run's kernel throughput against a committed baseline
+/// report; a drop past [`GUARD_TOLERANCE`] is a regression.
+fn guard(report: &Report, baseline_path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("guard: cannot read {baseline_path}: {e}"))?;
+    let baseline_tps = json_number(&text, "trials_per_sec")
+        .ok_or_else(|| format!("guard: no trials_per_sec in {baseline_path}"))?;
+    let floor = baseline_tps * GUARD_TOLERANCE;
+    if report.kernel_trials_per_sec < floor {
+        return Err(format!(
+            "guard: kernel throughput regressed: {:.1} trials/sec < {floor:.1} \
+             ({GUARD_TOLERANCE}x of baseline {baseline_tps:.1})",
+            report.kernel_trials_per_sec
+        ));
+    }
+    Ok(format!(
+        "guard: ok — {:.1} trials/sec vs baseline {baseline_tps:.1} (floor {floor:.1})",
+        report.kernel_trials_per_sec
+    ))
 }
 
 fn ms(start: Instant) -> f64 {
@@ -75,6 +131,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_monte_carlo.json".to_string());
+    let guard_path = args
+        .iter()
+        .position(|a| a == "--guard")
+        .and_then(|i| args.get(i + 1).cloned());
 
     let paper_scale;
     let (mode, data, kernel_trials, sweep_trials): (_, &Datasets, usize, usize) = if quick {
@@ -112,6 +172,22 @@ fn main() {
     fig8::reproduce_points(data, sweep_trials, 42).expect("fig8 grid");
     let fig8_wall_ms = ms(t);
 
+    // Kernel comparison: the full Fig. 6 sweep (three networks, ten
+    // probabilities) at every spacing, identical trial counts, per-point
+    // streams vs one common-random-numbers axis pass.
+    let axis_trials = kernel_trials.min(200);
+    let timed_sweep = |kernel: Kernel| {
+        let t = Instant::now();
+        for spacing in [50.0, 100.0, 150.0] {
+            fig6::sweep_all_with(data, spacing, axis_trials, 42, kernel).expect("fig6 sweep");
+        }
+        ms(t)
+    };
+    // Warm-up pass so neither kernel pays one-time construction costs.
+    timed_sweep(Kernel::CrnAxis);
+    let axis_per_point_wall_ms = timed_sweep(Kernel::PerPoint);
+    let axis_crn_wall_ms = timed_sweep(Kernel::CrnAxis);
+
     let report = Report {
         mode,
         threads: WorkerPool::global().workers(),
@@ -122,9 +198,22 @@ fn main() {
         fig7_wall_ms,
         fig8_wall_ms,
         sweep_trials_per_point: sweep_trials,
+        axis_trials,
+        axis_per_point_wall_ms,
+        axis_crn_wall_ms,
+        axis_speedup: axis_per_point_wall_ms / axis_crn_wall_ms.max(1e-9),
     };
     let json = report.to_json();
     std::fs::write(&out_path, &json).expect("write BENCH_monte_carlo.json");
     println!("{json}");
     eprintln!("perf_report: wrote {out_path}");
+    if let Some(baseline) = guard_path {
+        match guard(&report, &baseline) {
+            Ok(msg) => eprintln!("perf_report: {msg}"),
+            Err(msg) => {
+                eprintln!("perf_report: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

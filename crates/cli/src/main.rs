@@ -62,6 +62,8 @@ OPTIONS
   --trials N        Monte Carlo trials per point (default 10)
   --seed N          base RNG seed (default 42)
   --spacing KM      repeater spacing for fig6/fig7 (default 150)
+  --threads N       simulation worker-pool threads (default: CPU cores;
+                    overrides STORMSIM_THREADS)
   --csv             print figures as CSV instead of ASCII
   --log-level L     structured-log verbosity: off|error|warn|info|debug|trace
                     (overrides STORMSIM_LOG; STORMSIM_LOG_FILE=path adds an
@@ -73,6 +75,7 @@ SERVICE OPTIONS (serve | batch)
   --queue N         bounded work-queue capacity (default 64)
   --cache N         result-cache entry cap, 0 disables (default 256)
   --full            paper-scale datasets (default: scaled test datasets)
+  --threads N       simulation worker-pool threads (see above)
   --log-level L     structured-log verbosity (see above)
   --metrics-addr HOST:PORT
                     also serve Prometheus text metrics over HTTP (serve only)
@@ -117,6 +120,7 @@ const KNOWN_COMMANDS: &[&str] = &[
     "all",
 ];
 
+#[derive(Debug)]
 struct Opts {
     full: bool,
     trials: usize,
@@ -124,6 +128,7 @@ struct Opts {
     spacing: f64,
     csv: bool,
     log_level: Option<obs::Level>,
+    threads: Option<usize>,
 }
 
 /// Parses `--log-level LEVEL`; the error carries the accepted names so
@@ -135,6 +140,50 @@ fn parse_log_level(it: &mut std::slice::Iter<'_, String>) -> Result<obs::Level, 
         .map_err(|e| format!("--log-level: {e}"))
 }
 
+/// Parses `--threads N`: a positive integer sizing the global simulation
+/// worker pool. Zero and garbage are rejected so a typo fails fast with
+/// usage instead of silently running single-threaded.
+fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+    let n: usize = it
+        .next()
+        .ok_or("--threads needs a value")?
+        .parse()
+        .map_err(|e| format!("--threads: {e}"))?;
+    if n == 0 {
+        return Err("--threads: must be at least 1".to_string());
+    }
+    Ok(n)
+}
+
+/// The requested simulation pool width: the `--threads` flag wins over
+/// the `STORMSIM_THREADS` environment variable; `None` means "size to
+/// the machine". Both sources reject zero and non-integers.
+fn resolve_threads(flag: Option<usize>) -> Result<Option<usize>, String> {
+    if flag.is_some() {
+        return Ok(flag);
+    }
+    let Ok(raw) = std::env::var("STORMSIM_THREADS") else {
+        return Ok(None);
+    };
+    let n: usize = raw
+        .trim()
+        .parse()
+        .map_err(|e| format!("STORMSIM_THREADS={raw}: {e}"))?;
+    if n == 0 {
+        return Err(format!("STORMSIM_THREADS={raw}: must be at least 1"));
+    }
+    Ok(Some(n))
+}
+
+/// Applies the resolved pool width before any simulation work builds the
+/// process-wide pool.
+fn setup_pool(flag: Option<usize>) -> Result<(), String> {
+    if let Some(n) = resolve_threads(flag)? {
+        solarstorm::sim::pool::set_global_workers(n);
+    }
+    Ok(())
+}
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         full: false,
@@ -143,6 +192,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         spacing: 150.0,
         csv: false,
         log_level: None,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -150,6 +200,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--full" => opts.full = true,
             "--csv" => opts.csv = true,
             "--log-level" => opts.log_level = Some(parse_log_level(&mut it)?),
+            "--threads" => opts.threads = Some(parse_threads(&mut it)?),
             "--trials" => {
                 opts.trials = it
                     .next()
@@ -178,6 +229,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 /// Options for the `serve` and `batch` service frontends.
+#[derive(Debug)]
 struct ServiceOpts {
     addr: String,
     workers: usize,
@@ -186,6 +238,7 @@ struct ServiceOpts {
     full: bool,
     log_level: Option<obs::Level>,
     metrics_addr: Option<String>,
+    threads: Option<usize>,
 }
 
 fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
@@ -198,12 +251,14 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
         full: false,
         log_level: None,
         metrics_addr: None,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--log-level" => opts.log_level = Some(parse_log_level(&mut it)?),
+            "--threads" => opts.threads = Some(parse_threads(&mut it)?),
             "--addr" => {
                 opts.addr = it.next().ok_or("--addr needs a value")?.clone();
             }
@@ -359,6 +414,11 @@ fn main() {
             eprint!("{USAGE}");
             std::process::exit(2);
         }
+        if let Err(e) = setup_pool(sopts.threads) {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
         let out = if command == "serve" {
             run_serve(&sopts)
         } else {
@@ -379,6 +439,11 @@ fn main() {
         }
     };
     if let Err(e) = setup_obs(opts.log_level) {
+        eprintln!("error: {e}\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    if let Err(e) = setup_pool(opts.threads) {
         eprintln!("error: {e}\n");
         eprint!("{USAGE}");
         std::process::exit(2);
@@ -739,6 +804,48 @@ mod tests {
         assert!(err.contains("trace"), "{err}");
         assert!(parse_opts(&args(&["--log-level"])).is_err());
         assert!(parse_service_opts(&args(&["--log-level", "x"])).is_err());
+    }
+
+    #[test]
+    fn threads_parse_on_every_frontend() {
+        let o = parse_opts(&args(&["--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert!(parse_opts(&[]).unwrap().threads.is_none());
+
+        let s = parse_service_opts(&args(&["--threads", "2"])).unwrap();
+        assert_eq!(s.threads, Some(2));
+        assert!(parse_service_opts(&[]).unwrap().threads.is_none());
+
+        for bad in [
+            &["--threads"][..],
+            &["--threads", "0"],
+            &["--threads", "abc"],
+            &["--threads", "-3"],
+            &["--threads", "1.5"],
+        ] {
+            let err = parse_opts(&args(bad)).unwrap_err();
+            assert!(err.contains("--threads"), "{err}");
+            assert!(parse_service_opts(&args(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn threads_env_var_is_validated_and_flag_wins() {
+        // The flag short-circuits: the environment is not even read.
+        std::env::set_var("STORMSIM_THREADS", "garbage");
+        assert_eq!(resolve_threads(Some(3)).unwrap(), Some(3));
+        let err = resolve_threads(None).unwrap_err();
+        assert!(err.contains("STORMSIM_THREADS"), "{err}");
+
+        std::env::set_var("STORMSIM_THREADS", "0");
+        let err = resolve_threads(None).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+
+        std::env::set_var("STORMSIM_THREADS", "6");
+        assert_eq!(resolve_threads(None).unwrap(), Some(6));
+
+        std::env::remove_var("STORMSIM_THREADS");
+        assert_eq!(resolve_threads(None).unwrap(), None);
     }
 
     #[test]

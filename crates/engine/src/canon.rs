@@ -100,13 +100,27 @@ mod tests {
         let explicit: ScenarioSpec = serde_json::from_str(
             r#"{"scale":"test","network":"submarine","model":{"kind":"s2"},
                 "mc":{"spacing_km":150.0,"trials":10,"seed":42,"max_threads":8},
-                "analysis":{"kind":"stats"}}"#,
+                "analysis":{"kind":"stats"},"kernel":"crn_axis"}"#,
         )
         .unwrap();
         assert_eq!(
             content_hash(&implicit).unwrap(),
             content_hash(&explicit).unwrap()
         );
+    }
+
+    #[test]
+    fn kernel_variants_address_different_cache_entries() {
+        // Two otherwise-identical specs under different kernels draw
+        // different RNG streams, so they must hash to different content
+        // addresses.
+        let crn: ScenarioSpec = serde_json::from_str(r#"{"kernel":"crn_axis"}"#).unwrap();
+        let per_point: ScenarioSpec = serde_json::from_str(r#"{"kernel":"per_point"}"#).unwrap();
+        let (canon_a, hash_a) = content_hash(&crn).unwrap();
+        let (canon_b, hash_b) = content_hash(&per_point).unwrap();
+        assert_ne!(hash_a, hash_b);
+        assert!(canon_a.contains(r#""kernel":"crn_axis""#), "{canon_a}");
+        assert!(canon_b.contains(r#""kernel":"per_point""#), "{canon_b}");
     }
 
     #[test]

@@ -5,10 +5,14 @@ use crate::error::EngineError;
 use crate::experiments;
 use crate::spec::{
     AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
+    SweepPointResult,
 };
 use solarstorm_analysis::Datasets;
-use solarstorm_gic::{LatitudeBandFailure, PhysicsFailure, UniformFailure};
+use solarstorm_gic::{
+    LatitudeBandFailure, PhysicsFailure, SingleModelAxis, UniformAxis, UniformFailure,
+};
 use solarstorm_sim::monte_carlo::{run, run_outcomes};
+use solarstorm_sim::{sweep, Kernel};
 use solarstorm_topology::Network;
 
 /// Upper bound on trials accepted over the wire: a scenario above this
@@ -17,6 +21,9 @@ const MAX_TRIALS: usize = 100_000;
 
 /// Upper bound on the synthetic sleep workload.
 const MAX_SLEEP_MS: u64 = 5_000;
+
+/// Upper bound on sweep-axis points per request.
+const MAX_AXIS_POINTS: usize = 1_000;
 
 /// The shared, pre-built dataset bundle for a scale. Built once per
 /// process and reused by every request, so repeated queries never pay
@@ -74,12 +81,31 @@ pub(crate) fn validate(spec: &ScenarioSpec) -> Result<(), EngineError> {
             spec.mc.trials
         )));
     }
-    if let AnalysisRequest::Sleep { ms } = &spec.analysis {
-        if *ms > MAX_SLEEP_MS {
-            return Err(EngineError::InvalidSpec(format!(
-                "sleep ms {ms} exceeds the service limit of {MAX_SLEEP_MS}"
-            )));
+    match &spec.analysis {
+        AnalysisRequest::Sleep { ms } => {
+            if *ms > MAX_SLEEP_MS {
+                return Err(EngineError::InvalidSpec(format!(
+                    "sleep ms {ms} exceeds the service limit of {MAX_SLEEP_MS}"
+                )));
+            }
         }
+        AnalysisRequest::SweepAxis { points } => {
+            if points.len() > MAX_AXIS_POINTS {
+                return Err(EngineError::InvalidSpec(format!(
+                    "sweep of {} points exceeds the service limit of {MAX_AXIS_POINTS}",
+                    points.len()
+                )));
+            }
+            if let Some(p) = points
+                .iter()
+                .find(|p| !p.is_finite() || **p < 0.0 || **p > 1.0)
+            {
+                return Err(EngineError::InvalidSpec(format!(
+                    "sweep probability {p} is outside [0, 1]"
+                )));
+            }
+        }
+        _ => {}
     }
     Ok(())
 }
@@ -96,8 +122,49 @@ pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineErro
         AnalysisRequest::Stats => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
-            let stats = with_model!(spec, |m| run(net, &m, &spec.mc))?;
+            let stats = match spec.kernel {
+                Kernel::PerPoint => with_model!(spec, |m| run(net, &m, &spec.mc))?,
+                Kernel::CrnAxis => with_model!(spec, |m| {
+                    let axis = SingleModelAxis::new(&m);
+                    sweep::run_axis(sweep::prepare_axis(net, &axis, &spec.mc)?)
+                        .pop()
+                        .expect("single-point axis yields one stats entry")
+                }),
+            };
             Ok(ScenarioResult::Stats { stats })
+        }
+        AnalysisRequest::SweepAxis { points } => {
+            let data = datasets(spec.scale);
+            let net = network(data, spec.network);
+            let stats = match spec.kernel {
+                Kernel::CrnAxis => {
+                    let axis = UniformAxis::new(points.clone())?;
+                    sweep::run_axis(sweep::prepare_axis(net, &axis, &spec.mc)?)
+                }
+                Kernel::PerPoint => {
+                    // Independent per-point streams: salt the seed per
+                    // probability, matching the Fig. 6 sweep protocol.
+                    let prepared = points
+                        .iter()
+                        .map(|p| {
+                            let model = UniformFailure::new(*p)?;
+                            let cfg = solarstorm_sim::MonteCarloConfig {
+                                seed: spec.mc.seed ^ (p.to_bits().rotate_left(17)),
+                                ..spec.mc
+                            };
+                            Ok(sweep::prepare(net, &model, &cfg)?)
+                        })
+                        .collect::<Result<Vec<_>, EngineError>>()?;
+                    sweep::run_stats(prepared)
+                }
+            };
+            Ok(ScenarioResult::Sweep {
+                points: points
+                    .iter()
+                    .zip(stats)
+                    .map(|(p, stats)| SweepPointResult { p: *p, stats })
+                    .collect(),
+            })
         }
         AnalysisRequest::Outcomes => {
             let data = datasets(spec.scale);
@@ -113,7 +180,7 @@ pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineErro
         }
         AnalysisRequest::Experiment { id } => {
             let data = datasets(spec.scale);
-            let text = experiments::run_experiment(data, &spec.mc, id)?;
+            let text = experiments::run_experiment(data, &spec.mc, spec.kernel, id)?;
             Ok(ScenarioResult::Report {
                 id: id.clone(),
                 text,
@@ -156,6 +223,40 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(evaluate(&spec).unwrap(), ScenarioResult::Slept { ms: 1 });
+    }
+
+    #[test]
+    fn sweep_axis_runs_under_both_kernels() {
+        let mk = |kernel| ScenarioSpec {
+            analysis: AnalysisRequest::SweepAxis {
+                points: vec![0.01, 0.1, 1.0],
+            },
+            mc: solarstorm_sim::MonteCarloConfig {
+                trials: 3,
+                ..Default::default()
+            },
+            kernel,
+            ..Default::default()
+        };
+        for kernel in [Kernel::CrnAxis, Kernel::PerPoint] {
+            match evaluate(&mk(kernel)).unwrap() {
+                ScenarioResult::Sweep { points } => {
+                    assert_eq!(points.len(), 3, "{kernel:?}");
+                    assert_eq!(points[0].p, 0.01);
+                    assert!(
+                        points[2].stats.mean_cables_failed_pct
+                            >= points[0].stats.mean_cables_failed_pct,
+                        "{kernel:?}: p=1 must fail at least as much as p=0.01"
+                    );
+                }
+                other => panic!("expected sweep result, got {other:?}"),
+            }
+        }
+        let bad = ScenarioSpec {
+            analysis: AnalysisRequest::SweepAxis { points: vec![1.5] },
+            ..Default::default()
+        };
+        assert_eq!(validate(&bad).unwrap_err().code(), "invalid_spec");
     }
 
     #[test]

@@ -20,22 +20,32 @@ use solarstorm_sim::mitigation;
 use solarstorm_sim::monte_carlo::{run_outcomes, MonteCarloConfig};
 use solarstorm_sim::repair::{self, RepairFleet, RepairStrategy};
 use solarstorm_sim::timeline;
+use solarstorm_sim::Kernel;
 use solarstorm_solar::{Cme, StormClass};
 use std::fmt::Write as _;
 
 /// Runs the registered experiment `id` over the shared datasets with
-/// the request's Monte Carlo parameters, returning the rendered report.
+/// the request's Monte Carlo parameters and sweep kernel, returning the
+/// rendered report.
 pub(crate) fn run_experiment(
     data: &Datasets,
     mc: &MonteCarloConfig,
+    kernel: Kernel,
     id: &str,
 ) -> Result<String, EngineError> {
     let exp = registry::by_id(id).ok_or_else(|| EngineError::UnknownExperiment(id.to_string()))?;
-    run_command(data, mc, exp.cli)
+    run_command(data, mc, kernel, exp.cli)
 }
 
-/// Renders the report for one `stormsim` command name.
-fn run_command(data: &Datasets, mc: &MonteCarloConfig, cli: &str) -> Result<String, EngineError> {
+/// Renders the report for one `stormsim` command name. The kernel
+/// selects how the sweep-shaped experiments (Figs. 6–8) evaluate their
+/// grids; experiments without a sweep axis ignore it.
+fn run_command(
+    data: &Datasets,
+    mc: &MonteCarloConfig,
+    kernel: Kernel,
+    cli: &str,
+) -> Result<String, EngineError> {
     let mut out = String::new();
     match cli {
         "help" | "index" => out.push_str(&registry::render_index()),
@@ -47,14 +57,14 @@ fn run_command(data: &Datasets, mc: &MonteCarloConfig, cli: &str) -> Result<Stri
         "fig4a" => out.push_str(&fig4::reproduce_a(data).to_csv()),
         "fig4b" => out.push_str(&fig4::reproduce_b(data).to_csv()),
         "fig5" => out.push_str(&fig5::reproduce(data).to_csv()),
-        "fig6" => {
-            out.push_str(&fig6::reproduce_panel(data, mc.spacing_km, mc.trials, mc.seed)?.to_csv())
-        }
-        "fig7" => {
-            out.push_str(&fig7::reproduce_panel(data, mc.spacing_km, mc.trials, mc.seed)?.to_csv())
-        }
+        "fig6" => out.push_str(
+            &fig6::reproduce_panel_with(data, mc.spacing_km, mc.trials, mc.seed, kernel)?.to_csv(),
+        ),
+        "fig7" => out.push_str(
+            &fig7::reproduce_panel_with(data, mc.spacing_km, mc.trials, mc.seed, kernel)?.to_csv(),
+        ),
         "fig8" => {
-            let pts = fig8::reproduce_points(data, mc.trials, mc.seed)?;
+            let pts = fig8::reproduce_points_with(data, mc.trials, mc.seed, kernel)?;
             out.push_str(&fig8::to_figure(&pts).to_csv());
         }
         "fig9a" => out.push_str(&fig9::reproduce_a(data).to_csv()),
@@ -274,9 +284,9 @@ mod tests {
             trials: 2,
             ..Default::default()
         };
-        let text = run_experiment(data, &mc, "E13").unwrap();
+        let text = run_experiment(data, &mc, Kernel::default(), "E13").unwrap();
         assert!(text.contains("paper"), "headline table: {text}");
-        let csv = run_experiment(data, &mc, "E1").unwrap();
+        let csv = run_experiment(data, &mc, Kernel::default(), "E1").unwrap();
         assert!(csv.lines().count() > 2, "fig3 csv: {csv}");
     }
 
@@ -285,8 +295,29 @@ mod tests {
         let data = Datasets::small_cached();
         let mc = MonteCarloConfig::default();
         assert_eq!(
-            run_experiment(data, &mc, "Z99").unwrap_err().code(),
+            run_experiment(data, &mc, Kernel::default(), "Z99")
+                .unwrap_err()
+                .code(),
             "unknown_experiment"
         );
+    }
+
+    #[test]
+    fn sweep_experiments_run_under_both_kernels() {
+        let data = Datasets::small_cached();
+        let mc = MonteCarloConfig {
+            trials: 2,
+            ..Default::default()
+        };
+        // E5 is the Fig. 6 sweep; both kernels must render the same
+        // figure shape (same header and row count).
+        let crn = run_experiment(data, &mc, Kernel::CrnAxis, "E5").unwrap();
+        let per_point = run_experiment(data, &mc, Kernel::PerPoint, "E5").unwrap();
+        assert_eq!(
+            crn.lines().count(),
+            per_point.lines().count(),
+            "kernel changes the sample, not the figure shape"
+        );
+        assert_eq!(crn.lines().next(), per_point.lines().next());
     }
 }

@@ -76,4 +76,5 @@ pub use proto::{Request, RequestBody, Response, WireError};
 pub use server::{Server, ServerConfig};
 pub use spec::{
     AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
+    SweepPointResult,
 };

@@ -35,6 +35,10 @@ pub struct RunManifest {
     pub network: NetworkSel,
     /// Number of Monte Carlo trials requested.
     pub trials: usize,
+    /// Monte Carlo kernel the scenario ran under (`per_point` or
+    /// `crn_axis`); the two draw different RNG streams, so results are
+    /// only comparable within one kernel.
+    pub kernel: String,
     /// Version of `solarstorm-engine` that produced the result.
     pub engine_version: String,
     /// Per-stage wall-time breakdown, in execution order.
@@ -51,6 +55,7 @@ impl RunManifest {
             scale: spec.scale,
             network: spec.network,
             trials: spec.mc.trials,
+            kernel: spec.kernel.name().to_string(),
             engine_version: env!("CARGO_PKG_VERSION").to_string(),
             stages: Vec::new(),
         }
@@ -77,6 +82,7 @@ impl RunManifest {
             && self.scale == other.scale
             && self.network == other.network
             && self.trials == other.trials
+            && self.kernel == other.kernel
             && self.engine_version == other.engine_version
     }
 }
@@ -98,6 +104,20 @@ mod tests {
 
         let c = RunManifest::new(&spec, 0xdef);
         assert!(!a.same_identity(&c));
+    }
+
+    #[test]
+    fn manifests_name_the_kernel() {
+        let crn = ScenarioSpec::default();
+        let per_point = ScenarioSpec {
+            kernel: solarstorm_sim::Kernel::PerPoint,
+            ..Default::default()
+        };
+        let a = RunManifest::new(&crn, 0x1);
+        let b = RunManifest::new(&per_point, 0x1);
+        assert_eq!(a.kernel, "crn_axis");
+        assert_eq!(b.kernel, "per_point");
+        assert!(!a.same_identity(&b), "kernel is part of run identity");
     }
 
     #[test]

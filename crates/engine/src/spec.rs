@@ -7,7 +7,7 @@
 //! band model, paper-default Monte Carlo, aggregate statistics).
 
 use serde::{Deserialize, Serialize};
-use solarstorm_sim::{MonteCarloConfig, TrialOutcome, TrialStats};
+use solarstorm_sim::{Kernel, MonteCarloConfig, TrialOutcome, TrialStats};
 use solarstorm_solar::StormClass;
 
 /// Which dataset bundle a scenario runs against.
@@ -69,7 +69,7 @@ pub enum FailureSpec {
 }
 
 /// Which analysis the engine runs over the selected scenario.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum AnalysisRequest {
     /// Aggregate Monte Carlo statistics (mean/σ of the two paper
@@ -91,6 +91,16 @@ pub enum AnalysisRequest {
     Sleep {
         /// Milliseconds to sleep.
         ms: u64,
+    },
+    /// A uniform failure-probability sweep over the given points,
+    /// evaluated under the spec's `kernel`. The spec's failure-model
+    /// selection is ignored (the sweep prescribes its own uniform
+    /// models); the Monte Carlo parameters apply to every point.
+    SweepAxis {
+        /// Sweep probabilities, each in `[0, 1]`. With the `crn_axis`
+        /// kernel a non-decreasing list runs as one common-random-
+        /// numbers sweep; anything else falls back to per-point.
+        points: Vec<f64>,
     },
 }
 
@@ -114,6 +124,12 @@ pub struct ScenarioSpec {
     /// Requested analysis.
     #[serde(default)]
     pub analysis: AnalysisRequest,
+    /// Which Monte Carlo kernel evaluates sweeps and stats: the
+    /// common-random-numbers axis kernel (default) or the historical
+    /// per-point kernel. The two draw different RNG streams, so the
+    /// kernel is part of the scenario's cache identity.
+    #[serde(default)]
+    pub kernel: Kernel,
 }
 
 /// Per-trial summary returned by [`AnalysisRequest::Outcomes`]: the two
@@ -168,6 +184,21 @@ pub enum ScenarioResult {
         /// Milliseconds slept.
         ms: u64,
     },
+    /// A uniform-probability sweep: one aggregated statistics entry per
+    /// requested point, in request order.
+    Sweep {
+        /// `(probability, stats)` per sweep point.
+        points: Vec<SweepPointResult>,
+    },
+}
+
+/// One point of an [`AnalysisRequest::SweepAxis`] response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointResult {
+    /// Uniform per-repeater failure probability at this point.
+    pub p: f64,
+    /// Aggregated Monte Carlo statistics at this point.
+    pub stats: TrialStats,
 }
 
 #[cfg(test)]
@@ -183,6 +214,24 @@ mod tests {
         assert_eq!(spec.model, FailureSpec::S2);
         assert_eq!(spec.analysis, AnalysisRequest::Stats);
         assert_eq!(spec.mc, MonteCarloConfig::default());
+        assert_eq!(spec.kernel, Kernel::CrnAxis);
+    }
+
+    #[test]
+    fn kernel_and_sweep_axis_parse() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"kernel":"per_point","analysis":{"kind":"sweep_axis","points":[0.01,0.1,1.0]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.kernel, Kernel::PerPoint);
+        assert_eq!(
+            spec.analysis,
+            AnalysisRequest::SweepAxis {
+                points: vec![0.01, 0.1, 1.0]
+            }
+        );
+        let back = serde_json::to_string(&spec.kernel).unwrap();
+        assert_eq!(back, r#""per_point""#);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Monotone sweep axes: per-cable failure CDFs along a one-dimensional
+//! model family.
+//!
+//! The paper's headline figures sweep one scalar knob — the uniform
+//! per-repeater failure probability (Figs. 6–7) or the S2→S1 severity
+//! state (Fig. 8). Along such an axis the per-cable failure probability
+//! `F_c(k)` is nondecreasing in the sweep point `k`, which makes the
+//! family *monotone-couplable*: one uniform threshold `u_c` per cable
+//! decides the cable's fate at **every** point at once (dead at `k` iff
+//! `u_c < F_c(k)`), and the per-trial dead sets are nested along the
+//! axis by construction. The simulation crate's common-random-numbers
+//! axis kernel exploits exactly this structure.
+//!
+//! This module contributes the model-side half: [`MonotoneAxis`]
+//! describes a family of [`FailureModel`]s indexed by sweep point, and
+//! [`AxisFailureCdf`] hoists the family into a flat per-cable CDF matrix
+//! (one [`CableFailureProbabilities`] worth of work per point) with the
+//! threshold→death-point search the kernel runs per trial.
+
+use crate::{
+    CableFailureProbabilities, CableProfile, FailureModel, GicError, LatitudeBandFailure,
+    UniformFailure,
+};
+
+/// A one-dimensional family of failure models, ordered along a sweep
+/// axis (point `0` is the mildest, point `points() - 1` the harshest
+/// when the family is monotone).
+///
+/// Implementations only enumerate the family; whether the hoisted
+/// per-cable CDFs are actually nondecreasing is verified numerically by
+/// [`AxisFailureCdf::hoist`], so a non-monotone family is detected (and
+/// routed to the per-point kernel) rather than silently miscomputed.
+pub trait MonotoneAxis: Send + Sync {
+    /// Number of sweep points along the axis.
+    fn points(&self) -> usize;
+
+    /// The failure model at sweep point `point` (`0 <= point < points()`).
+    fn model_at(&self, point: usize) -> &dyn FailureModel;
+
+    /// Human-readable axis name for reports.
+    fn name(&self) -> String;
+}
+
+/// Hoisted per-cable failure CDFs along a [`MonotoneAxis`]: the matrix
+/// `F[cable][point]` = probability that the cable fails at that sweep
+/// point, stored cable-major so a per-trial threshold search touches one
+/// contiguous row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisFailureCdf {
+    cables: usize,
+    points: usize,
+    /// `cdf[c * points + k]` = failure probability of cable `c` at
+    /// sweep point `k`.
+    cdf: Vec<f64>,
+    monotone: bool,
+}
+
+impl AxisFailureCdf {
+    /// Hoists the axis into the flat CDF matrix: one
+    /// [`CableFailureProbabilities`] hoist per sweep point, transposed
+    /// to cable-major order. Also checks numerically whether every
+    /// cable's CDF is nondecreasing along the axis (the property the
+    /// threshold kernel needs).
+    pub fn hoist(axis: &dyn MonotoneAxis, profiles: &[CableProfile], spacing_km: f64) -> Self {
+        let cables = profiles.len();
+        let points = axis.points();
+        let mut cdf = vec![0.0; cables * points];
+        for k in 0..points {
+            let hoisted = CableFailureProbabilities::hoist(axis.model_at(k), profiles, spacing_km);
+            for c in 0..cables {
+                cdf[c * points + k] = hoisted.failure_of(c).clamp(0.0, 1.0);
+            }
+        }
+        let monotone = (0..cables).all(|c| {
+            cdf[c * points..(c + 1) * points]
+                .windows(2)
+                .all(|w| w[0] <= w[1])
+        });
+        AxisFailureCdf {
+            cables,
+            points,
+            cdf,
+            monotone,
+        }
+    }
+
+    /// Number of cables covered.
+    pub fn cables(&self) -> usize {
+        self.cables
+    }
+
+    /// Number of sweep points along the axis.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// True when every cable's failure CDF is nondecreasing along the
+    /// axis — the precondition for threshold (common-random-numbers)
+    /// sampling. A trivial axis (zero points or zero cables) is monotone.
+    pub fn is_monotone(&self) -> bool {
+        self.monotone
+    }
+
+    /// Failure probability of `cable` at sweep point `point`.
+    pub fn failure_at(&self, cable: usize, point: usize) -> f64 {
+        assert!(cable < self.cables && point < self.points);
+        self.cdf[cable * self.points + point]
+    }
+
+    /// One cable's failure CDF along the axis.
+    pub fn row(&self, cable: usize) -> &[f64] {
+        &self.cdf[cable * self.points..(cable + 1) * self.points]
+    }
+
+    /// The first sweep point at which a cable with uniform threshold `u`
+    /// is dead (`u < F_c(k)`), or `points()` when the cable survives the
+    /// whole axis. Binary search over the cable's CDF row; only
+    /// meaningful when [`AxisFailureCdf::is_monotone`] holds.
+    pub fn death_point(&self, cable: usize, u: f64) -> usize {
+        self.row(cable).partition_point(|&f| f <= u)
+    }
+}
+
+/// The uniform-probability axis behind Figs. 6–7: one
+/// [`UniformFailure`] model per swept probability.
+#[derive(Debug, Clone)]
+pub struct UniformAxis {
+    probs: Vec<f64>,
+    models: Vec<UniformFailure>,
+}
+
+impl UniformAxis {
+    /// Builds the axis from the swept probabilities (in sweep order;
+    /// nondecreasing order yields a monotone axis).
+    pub fn new(probs: Vec<f64>) -> Result<Self, GicError> {
+        let models = probs
+            .iter()
+            .map(|&p| UniformFailure::new(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(UniformAxis { probs, models })
+    }
+
+    /// The swept probabilities, in axis order.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+impl MonotoneAxis for UniformAxis {
+    fn points(&self) -> usize {
+        self.models.len()
+    }
+
+    fn model_at(&self, point: usize) -> &dyn FailureModel {
+        &self.models[point]
+    }
+
+    fn name(&self) -> String {
+        format!("uniform axis ({} points)", self.models.len())
+    }
+}
+
+/// A latitude-band severity axis: one [`LatitudeBandFailure`] state per
+/// point, mildest first (the Fig. 8 sweep is `[S2, S1]`).
+#[derive(Debug, Clone)]
+pub struct BandAxis {
+    models: Vec<LatitudeBandFailure>,
+}
+
+impl BandAxis {
+    /// Builds the axis from band states in sweep order.
+    pub fn new(models: Vec<LatitudeBandFailure>) -> Self {
+        BandAxis { models }
+    }
+
+    /// The paper's severity axis, S2 (low failure) then S1 (high).
+    pub fn s2_to_s1() -> Self {
+        BandAxis::new(vec![LatitudeBandFailure::s2(), LatitudeBandFailure::s1()])
+    }
+}
+
+impl MonotoneAxis for BandAxis {
+    fn points(&self) -> usize {
+        self.models.len()
+    }
+
+    fn model_at(&self, point: usize) -> &dyn FailureModel {
+        &self.models[point]
+    }
+
+    fn name(&self) -> String {
+        format!("band axis ({} states)", self.models.len())
+    }
+}
+
+/// A degenerate single-point axis wrapping any failure model — lets
+/// single-scenario workloads (e.g. the augmentation planner's candidate
+/// scoring) run through the axis kernel, where common random numbers
+/// align the per-cable thresholds across scenarios sharing a seed.
+pub struct SingleModelAxis<'a> {
+    model: &'a dyn FailureModel,
+}
+
+impl<'a> SingleModelAxis<'a> {
+    /// Wraps one model as a one-point axis.
+    pub fn new(model: &'a dyn FailureModel) -> Self {
+        SingleModelAxis { model }
+    }
+}
+
+impl MonotoneAxis for SingleModelAxis<'_> {
+    fn points(&self) -> usize {
+        1
+    }
+
+    fn model_at(&self, _point: usize) -> &dyn FailureModel {
+        self.model
+    }
+
+    fn name(&self) -> String {
+        self.model.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cable(length_km: f64, lat: f64) -> CableProfile {
+        CableProfile {
+            length_km,
+            max_abs_lat_deg: lat,
+            submarine: true,
+        }
+    }
+
+    fn profiles() -> Vec<CableProfile> {
+        vec![
+            cable(100.0, 70.0), // no repeaters: immortal
+            cable(5000.0, 65.0),
+            cable(5000.0, 50.0),
+            cable(9000.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn hoist_matches_per_point_probabilities() {
+        let axis = UniformAxis::new(vec![0.001, 0.01, 0.1, 1.0]).unwrap();
+        let profiles = profiles();
+        let cdf = AxisFailureCdf::hoist(&axis, &profiles, 150.0);
+        assert_eq!(cdf.cables(), 4);
+        assert_eq!(cdf.points(), 4);
+        assert!(cdf.is_monotone());
+        for k in 0..4 {
+            let hoisted = CableFailureProbabilities::hoist(axis.model_at(k), &profiles, 150.0);
+            for c in 0..4 {
+                assert_eq!(cdf.failure_at(c, k), hoisted.failure_of(c), "c={c} k={k}");
+            }
+        }
+        // The repeater-free cable never fails anywhere on the axis.
+        assert!(cdf.row(0).iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn death_point_is_the_threshold_crossing() {
+        let axis = UniformAxis::new(vec![0.001, 0.01, 0.1, 1.0]).unwrap();
+        let profiles = profiles();
+        let cdf = AxisFailureCdf::hoist(&axis, &profiles, 150.0);
+        for c in 0..cdf.cables() {
+            for &u in &[0.0, 1e-6, 0.01, 0.3, 0.70, 0.97, 0.9999999] {
+                let d = cdf.death_point(c, u);
+                // Dead at every point >= d, alive before.
+                for k in 0..cdf.points() {
+                    let dead = u < cdf.failure_at(c, k);
+                    assert_eq!(dead, k >= d, "c={c} u={u} k={k} d={d}");
+                }
+            }
+        }
+        // The immortal cable never dies, even at u = 0.
+        assert_eq!(cdf.death_point(0, 0.0), cdf.points());
+    }
+
+    #[test]
+    fn descending_probabilities_are_flagged_non_monotone() {
+        let axis = UniformAxis::new(vec![0.5, 0.01]).unwrap();
+        let cdf = AxisFailureCdf::hoist(&axis, &profiles(), 150.0);
+        assert!(!cdf.is_monotone());
+        // But with no repeatered cables the family is trivially flat.
+        let flat = AxisFailureCdf::hoist(&axis, &[cable(100.0, 0.0)], 150.0);
+        assert!(flat.is_monotone());
+    }
+
+    #[test]
+    fn band_axis_s2_to_s1_is_monotone() {
+        let axis = BandAxis::s2_to_s1();
+        assert_eq!(axis.points(), 2);
+        let cdf = AxisFailureCdf::hoist(&axis, &profiles(), 150.0);
+        assert!(cdf.is_monotone());
+        // S1 dominates S2 for every cable.
+        for c in 0..cdf.cables() {
+            assert!(cdf.failure_at(c, 0) <= cdf.failure_at(c, 1), "cable {c}");
+        }
+    }
+
+    #[test]
+    fn single_model_axis_is_one_point() {
+        let m = UniformFailure::new(0.25).unwrap();
+        let axis = SingleModelAxis::new(&m);
+        assert_eq!(axis.points(), 1);
+        let cdf = AxisFailureCdf::hoist(&axis, &profiles(), 150.0);
+        assert!(cdf.is_monotone());
+        assert_eq!(cdf.points(), 1);
+        assert!(axis.name().contains("0.25"));
+    }
+
+    #[test]
+    fn empty_axis_and_empty_profiles_are_trivially_monotone() {
+        let empty = UniformAxis::new(Vec::new()).unwrap();
+        let cdf = AxisFailureCdf::hoist(&empty, &profiles(), 150.0);
+        assert_eq!(cdf.points(), 0);
+        assert!(cdf.is_monotone());
+        let axis = UniformAxis::new(vec![0.1]).unwrap();
+        let no_cables = AxisFailureCdf::hoist(&axis, &[], 150.0);
+        assert_eq!(no_cables.cables(), 0);
+        assert!(no_cables.is_monotone());
+    }
+
+    #[test]
+    fn uniform_axis_rejects_bad_probabilities() {
+        assert!(UniformAxis::new(vec![0.1, 1.5]).is_err());
+        assert!(UniformAxis::new(vec![f64::NAN]).is_err());
+    }
+}

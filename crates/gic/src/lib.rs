@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod axis;
 mod damage;
 mod electrical;
 mod error;
@@ -35,6 +36,7 @@ mod failure;
 mod field;
 pub mod integration;
 
+pub use axis::{AxisFailureCdf, BandAxis, MonotoneAxis, SingleModelAxis, UniformAxis};
 pub use damage::DamageCurve;
 pub use electrical::PowerFeedSystem;
 pub use error::GicError;

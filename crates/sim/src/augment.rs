@@ -9,10 +9,11 @@
 //! and greedily pick a budget's worth.
 
 use crate::monte_carlo::{run, MonteCarloConfig};
+use crate::sweep::Kernel;
 use crate::{sweep, SimError};
 use serde::{Deserialize, Serialize};
 use solarstorm_geo::haversine_km;
-use solarstorm_gic::FailureModel;
+use solarstorm_gic::{FailureModel, SingleModelAxis};
 use solarstorm_topology::{Network, NodeId, SegmentSpec};
 
 /// A candidate new cable.
@@ -76,7 +77,10 @@ pub fn low_latitude_candidates(
 }
 
 /// Greedily selects up to `budget` candidates, each time picking the one
-/// that most reduces mean nodes-unreachable % under the model.
+/// that most reduces mean nodes-unreachable % under the model. Scores
+/// through the common-random-numbers kernel: every candidate network in
+/// a round shares the same per-cable thresholds positionally, so score
+/// differences reflect topology, not sampling noise.
 pub fn greedy_augment<M: FailureModel>(
     net: &Network,
     model: &M,
@@ -84,13 +88,45 @@ pub fn greedy_augment<M: FailureModel>(
     candidates: &[Candidate],
     budget: usize,
 ) -> Result<Vec<AugmentationStep>, SimError> {
+    greedy_augment_with_kernel(net, model, cfg, candidates, budget, Kernel::CrnAxis)
+}
+
+/// Scores one network under the model through the chosen kernel.
+fn score<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    kernel: Kernel,
+) -> Result<f64, SimError> {
+    match kernel {
+        Kernel::PerPoint => Ok(run(net, model, cfg)?.mean_nodes_unreachable_pct),
+        Kernel::CrnAxis => {
+            let axis = SingleModelAxis::new(model);
+            let stats = sweep::run_axis(sweep::prepare_axis(net, &axis, cfg)?);
+            Ok(stats[0].mean_nodes_unreachable_pct)
+        }
+    }
+}
+
+/// [`greedy_augment`] with an explicit kernel choice. `PerPoint`
+/// reproduces the historical per-candidate RNG streams; `CrnAxis` wraps
+/// the model in a one-point axis per candidate, aligning thresholds
+/// across candidates that share a seed.
+pub fn greedy_augment_with_kernel<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    candidates: &[Candidate],
+    budget: usize,
+    kernel: Kernel,
+) -> Result<Vec<AugmentationStep>, SimError> {
     if budget == 0 {
         return Ok(Vec::new());
     }
     let mut current = net.clone();
     let mut remaining: Vec<Candidate> = candidates.to_vec();
     let mut steps = Vec::new();
-    let mut before = run(&current, model, cfg)?.mean_nodes_unreachable_pct;
+    let mut before = score(&current, model, cfg, kernel)?;
     for round in 0..budget {
         if remaining.is_empty() {
             break;
@@ -98,7 +134,7 @@ pub fn greedy_augment<M: FailureModel>(
         // Score every remaining candidate concurrently: preparation
         // (clone + hoist) happens here so errors surface in order, then
         // the sweep executor runs all points on the shared pool.
-        let mut points = Vec::with_capacity(remaining.len());
+        let mut candidate_nets = Vec::with_capacity(remaining.len());
         for (i, cand) in remaining.iter().enumerate() {
             let mut trial_net = current.clone();
             trial_net
@@ -115,11 +151,33 @@ pub fn greedy_augment<M: FailureModel>(
                     name: "candidates",
                     message: e.to_string(),
                 })?;
-            points.push(sweep::prepare(&trial_net, model, cfg)?);
+            candidate_nets.push(trial_net);
         }
+        let scores: Vec<f64> = match kernel {
+            Kernel::PerPoint => {
+                let points = candidate_nets
+                    .iter()
+                    .map(|n| sweep::prepare(n, model, cfg))
+                    .collect::<Result<Vec<_>, _>>()?;
+                sweep::run_stats(points)
+                    .iter()
+                    .map(|s| s.mean_nodes_unreachable_pct)
+                    .collect()
+            }
+            Kernel::CrnAxis => {
+                let axis = SingleModelAxis::new(model);
+                let axes = candidate_nets
+                    .iter()
+                    .map(|n| sweep::prepare_axis(n, &axis, cfg))
+                    .collect::<Result<Vec<_>, _>>()?;
+                sweep::run_axes(axes)
+                    .iter()
+                    .map(|stats| stats[0].mean_nodes_unreachable_pct)
+                    .collect()
+            }
+        };
         let mut best: Option<(usize, f64)> = None;
-        for (i, stats) in sweep::run_stats(points).iter().enumerate() {
-            let after = stats.mean_nodes_unreachable_pct;
+        for (i, &after) in scores.iter().enumerate() {
             // Strict `<`: the first candidate wins ties, as before.
             if best.map(|(_, b)| after < b).unwrap_or(true) {
                 best = Some((i, after));
@@ -229,6 +287,26 @@ mod tests {
         // Under S1 the polar cables die almost surely: ~100% unreachable
         // before; the direct low-lat cable keeps A and B up (~2500 km,
         // 16 repeaters at p=0.01 → ~85% survival).
+        assert!(
+            steps[0].after_pct < steps[0].before_pct - 20.0,
+            "before {} after {}",
+            steps[0].before_pct,
+            steps[0].after_pct
+        );
+    }
+
+    #[test]
+    fn per_point_kernel_variant_also_improves() {
+        let net = polar_detour();
+        let model = LatitudeBandFailure::s1();
+        let cfg = MonteCarloConfig {
+            trials: 60,
+            ..Default::default()
+        };
+        let cands = low_latitude_candidates(&net, 40.0, 500.0, 10_000.0, 1.15, 10);
+        let steps =
+            greedy_augment_with_kernel(&net, &model, &cfg, &cands, 1, Kernel::PerPoint).unwrap();
+        assert_eq!(steps.len(), 1);
         assert!(
             steps[0].after_pct < steps[0].before_pct - 20.0,
             "before {} after {}",

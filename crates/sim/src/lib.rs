@@ -10,7 +10,9 @@
 //! * [`pool`] — the persistent worker pool the kernel and sweeps share
 //!   (help-first scheduling, safe under nested submission);
 //! * [`sweep`] — sweep-level parallelism: independent Monte Carlo
-//!   points (figure grids, candidate searches) run concurrently;
+//!   points (figure grids, candidate searches) run concurrently, and
+//!   monotone model families run the common-random-numbers axis kernel
+//!   (one trial evaluates every sweep point via incremental union-find);
 //! * [`country`] — country-scale connectivity analysis (§4.3.4): per-
 //!   country disconnection probabilities and pairwise reachability;
 //! * [`mitigation`] — the §5.2 shutdown/lead-time analysis comparing
@@ -55,3 +57,4 @@ pub mod traffic;
 pub use error::SimError;
 pub use monte_carlo::{MonteCarloConfig, TrialOutcome, TrialStats};
 pub use profile::cable_profiles;
+pub use sweep::Kernel;

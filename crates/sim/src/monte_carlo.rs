@@ -70,7 +70,7 @@ impl MonteCarloConfig {
     }
 
     /// Worker threads this batch will actually use.
-    fn threads(&self) -> usize {
+    pub(crate) fn threads(&self) -> usize {
         self.max_threads
             .min(self.trials)
             .min(
@@ -118,9 +118,15 @@ impl TrialStats {
     }
 
     /// Aggregates the two per-trial metric series (same length, trial
-    /// order). Summation order matches [`TrialStats::from_outcomes`]
-    /// exactly, so both paths produce bit-identical statistics.
-    fn from_metrics(cables: &[f64], nodes: &[f64]) -> TrialStats {
+    /// order). This is the shared accumulator behind every stats path —
+    /// [`TrialStats::from_outcomes`], the batched per-point kernel, and
+    /// the common-random-numbers axis kernel all reduce through it, and
+    /// its summation order is the trial order regardless of how trials
+    /// were chunked across workers, so the paths produce bit-identical
+    /// statistics on the same per-trial values. An empty series yields
+    /// zeroed statistics with `trials: 0` (the axis kernel hits this on
+    /// a zero-point axis; never a division by zero).
+    pub(crate) fn from_metrics(cables: &[f64], nodes: &[f64]) -> TrialStats {
         debug_assert_eq!(cables.len(), nodes.len());
         let trials = cables.len();
         if trials == 0 {
@@ -148,7 +154,7 @@ impl TrialStats {
 }
 
 /// Derives the RNG for one trial: independent of thread scheduling.
-fn trial_rng(seed: u64, trial: usize) -> ChaCha12Rng {
+pub(crate) fn trial_rng(seed: u64, trial: usize) -> ChaCha12Rng {
     // SplitMix64 step decorrelates consecutive trial indices.
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -238,7 +244,7 @@ fn sample_dead_words(
 /// The two paper metrics for one sampled trial, with float arithmetic
 /// identical to `Network::percent_cables_dead` /
 /// `Network::percent_nodes_unreachable`.
-fn trial_metrics(conn: &ConnectivityIndex, failed: usize, words: &[u64]) -> (f64, f64) {
+pub(crate) fn trial_metrics(conn: &ConnectivityIndex, failed: usize, words: &[u64]) -> (f64, f64) {
     let cables_failed_pct = if conn.cable_count() == 0 {
         0.0
     } else {

@@ -20,9 +20,32 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The process-wide pool, built on first use by [`WorkerPool::global`].
+static GLOBAL_POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// Requested width for the process-wide pool (`--threads` /
+/// `STORMSIM_THREADS`); `0` means "size to the machine". Read once,
+/// when the pool is first built.
+static REQUESTED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Requests `workers` threads (at least one) for the process-wide pool.
+///
+/// Returns `true` when the setting is in effect — the pool is not built
+/// yet and will come up at that width, or it already has exactly that
+/// width. Returns `false` when the pool was already built at a
+/// different width; the existing pool keeps serving, since live workers
+/// cannot be resized safely mid-run. Call before any simulation work
+/// (the CLI does this while parsing arguments).
+pub fn set_global_workers(workers: usize) -> bool {
+    let workers = workers.max(1);
+    REQUESTED_WORKERS.store(workers, Ordering::Relaxed);
+    WorkerPool::global().workers() == workers
+}
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -71,16 +94,20 @@ impl WorkerPool {
         WorkerPool { shared, handles }
     }
 
-    /// The process-wide pool, created on first use and sized to the
-    /// machine's available parallelism.
+    /// The process-wide pool, created on first use. Sized by
+    /// [`set_global_workers`] when that was called first, otherwise to
+    /// the machine's available parallelism.
     pub fn global() -> &'static WorkerPool {
-        static POOL: OnceLock<WorkerPool> = OnceLock::new();
-        POOL.get_or_init(|| {
-            WorkerPool::new(
+        GLOBAL_POOL.get_or_init(|| {
+            let requested = REQUESTED_WORKERS.load(Ordering::Relaxed);
+            let workers = if requested > 0 {
+                requested
+            } else {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
-                    .unwrap_or(1),
-            )
+                    .unwrap_or(1)
+            };
+            WorkerPool::new(workers)
         })
     }
 

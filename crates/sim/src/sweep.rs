@@ -1,5 +1,7 @@
 //! Sweep-level parallelism: run many independent Monte Carlo points
-//! concurrently on the persistent worker pool.
+//! concurrently on the persistent worker pool, and — for monotone model
+//! families — evaluate an entire sweep axis per trial through the
+//! common-random-numbers (CRN) kernel.
 //!
 //! The figure workloads (Figs. 6–8) and the augmentation planner's
 //! candidate search evaluate dozens of *independent* `(network, model,
@@ -10,12 +12,67 @@
 //! runs points concurrently. Per-point results are unchanged — every
 //! trial still derives its RNG from `(seed, trial)` alone, so a point
 //! computes the same statistics whether it runs alone or in a batch.
+//!
+//! # The common-random-numbers axis kernel
+//!
+//! The per-point path re-runs the full kernel at every sweep point,
+//! `O(points × trials × (cables + nodes))` total, even though within a
+//! trial the dead-cable set at probability `p` is nested inside the set
+//! at `p' > p`. The CRN kernel ([`prepare_axis`] / [`run_axis`])
+//! exploits that monotone structure: per trial it samples **one**
+//! uniform threshold `u_c` per cable, declares cable `c` dead at sweep
+//! point `k` iff `u_c < F_c(k)` (the hoisted per-cable failure CDF,
+//! [`solarstorm_gic::AxisFailureCdf`]), bucket-sorts cables by the point
+//! at which they die, and replays edges into an incremental union-find
+//! ([`solarstorm_topology::EdgeReplay`]) from the harshest point toward
+//! the mildest, reading off both paper metrics at each point boundary.
+//! One trial therefore evaluates *every* point of the axis in
+//! `O(cables log points + edges α + points)` — the whole sweep costs
+//! `O(trials × (cables log points + points))` instead of
+//! `O(points × trials × (cables + nodes))` — and each per-trial curve is
+//! monotone by construction, which also removes between-point sampling
+//! noise from the figures (the classic CRN variance reduction).
+//!
+//! CRN draws the per-cable thresholds from the trial's RNG stream in a
+//! different order than the per-point kernel draws its per-point fates,
+//! so axis results are **not** comparable seed-for-seed with per-point
+//! results; they are statistically equivalent and each deterministic.
+//! Non-monotone axes (detected numerically at hoist time) fall back to
+//! the per-point kernel transparently.
 
-use crate::monte_carlo::{run_stats_sequential, KernelInputs, MonteCarloConfig, TrialStats};
+use crate::monte_carlo::{
+    run_stats_sequential, trial_rng, KernelInputs, MonteCarloConfig, TrialStats,
+};
 use crate::pool::WorkerPool;
-use crate::SimError;
-use solarstorm_gic::FailureModel;
-use solarstorm_topology::Network;
+use crate::{cable_profiles, SimError};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use solarstorm_gic::{AxisFailureCdf, FailureModel, MonotoneAxis};
+use solarstorm_topology::{ConnectivityIndex, EdgeReplay, Network};
+use std::sync::Arc;
+
+/// Selects which Monte Carlo kernel evaluates a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Kernel {
+    /// Independent RNG streams at every sweep point — the reference
+    /// path, bit-compatible with historical per-point results.
+    PerPoint,
+    /// Common-random-numbers axis kernel: one threshold per cable per
+    /// trial decides the cable's fate at every point of a monotone axis.
+    #[default]
+    CrnAxis,
+}
+
+impl Kernel {
+    /// Stable identifier used in manifests, cache keys, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::PerPoint => "per_point",
+            Kernel::CrnAxis => "crn_axis",
+        }
+    }
+}
 
 /// One prepared sweep point: hoisted kernel inputs plus the trial count.
 /// Owns everything it needs (via `Arc`s), so the pool job outlives the
@@ -64,12 +121,339 @@ pub fn run_stats(points: Vec<SweepPoint>) -> Vec<TrialStats> {
     WorkerPool::global().run_batch(jobs)
 }
 
+/// One prepared sweep axis: the hoisted per-cable failure CDFs plus the
+/// connectivity index, or — when the axis turned out non-monotone — the
+/// prepared per-point fallback. Owns everything via `Arc`s so pool jobs
+/// outlive the caller's borrows.
+pub struct AxisSweep {
+    conn: Arc<ConnectivityIndex>,
+    cdf: Arc<AxisFailureCdf>,
+    seed: u64,
+    trials: usize,
+    spacing_km: f64,
+    /// Trial-chunk fan-out for the CRN path (from `cfg.threads()`).
+    chunks: usize,
+    /// Per-point fallback, populated only for non-monotone axes.
+    fallback: Option<Vec<SweepPoint>>,
+}
+
+impl AxisSweep {
+    /// Number of sweep points along the axis.
+    pub fn points(&self) -> usize {
+        self.cdf.points()
+    }
+
+    /// True when the CRN kernel will run; false when the axis was
+    /// non-monotone and the per-point fallback is prepared instead.
+    pub fn is_crn(&self) -> bool {
+        self.fallback.is_none()
+    }
+}
+
+/// Validates the configuration and hoists the whole axis: the per-cable
+/// failure CDF matrix and the connectivity index. When the hoisted CDFs
+/// are not monotone along the axis, prepares the per-point kernel for
+/// every point instead (same configuration, hence the same per-point
+/// seed derivation as [`prepare`]).
+pub fn prepare_axis(
+    net: &Network,
+    axis: &dyn MonotoneAxis,
+    cfg: &MonteCarloConfig,
+) -> Result<AxisSweep, SimError> {
+    cfg.validate()?;
+    let profiles = cable_profiles(net);
+    let cdf = AxisFailureCdf::hoist(axis, &profiles, cfg.spacing_km);
+    let fallback = if cdf.is_monotone() {
+        None
+    } else {
+        Some(
+            (0..axis.points())
+                .map(|k| prepare(net, axis.model_at(k), cfg))
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    };
+    Ok(AxisSweep {
+        conn: net.connectivity(),
+        cdf: Arc::new(cdf),
+        seed: cfg.seed,
+        trials: cfg.trials,
+        spacing_km: cfg.spacing_km,
+        chunks: cfg.threads(),
+        fallback,
+    })
+}
+
+/// Draws the trial's per-cable uniform thresholds, in cable order, from
+/// the same counter-derived stream family the per-point kernel uses
+/// (`trial_rng(seed, trial)`), so results are independent of chunking
+/// and thread count.
+pub(crate) fn sample_thresholds(seed: u64, trial: usize, cables: usize, out: &mut Vec<f64>) {
+    let mut rng = trial_rng(seed, trial);
+    out.clear();
+    out.reserve(cables);
+    for _ in 0..cables {
+        out.push(rng.random_range(0.0..1.0));
+    }
+}
+
+/// Worker-local scratch for the CRN kernel, reused across trials: the
+/// threshold vector, the counting-sort buckets, and the incremental
+/// replay. After the first trial the hot loop performs no heap
+/// allocation. The replay maintains only the unreachable count — the
+/// axis kernel never reads component counts, so union-find work is
+/// skipped entirely.
+struct AxisScratch {
+    /// Per cable: the death point from this trial's threshold, so the
+    /// CDF binary search runs once per cable, not twice.
+    deaths: Vec<u32>,
+    /// Bucket boundaries by death point: `starts[d]..starts[d + 1]`
+    /// indexes `sorted` for the cables dying first at point `d`.
+    starts: Vec<u32>,
+    cursor: Vec<u32>,
+    /// Cable ids counting-sorted by death point.
+    sorted: Vec<u32>,
+    replay: EdgeReplay,
+}
+
+impl Default for AxisScratch {
+    fn default() -> Self {
+        AxisScratch {
+            deaths: Vec::new(),
+            starts: Vec::new(),
+            cursor: Vec::new(),
+            sorted: Vec::new(),
+            replay: EdgeReplay::unreachable_only(),
+        }
+    }
+}
+
+/// Runs trials `[start, end)` through the CRN kernel, pushing the two
+/// paper metrics per `(trial, point)` — trial-major, points from the
+/// harshest (`points - 1`) down to `0`, the order the replay visits
+/// them. Float arithmetic matches the per-point kernel's
+/// `trial_metrics` exactly.
+fn axis_metrics_chunk(
+    conn: &ConnectivityIndex,
+    cdf: &AxisFailureCdf,
+    seed: u64,
+    start: usize,
+    end: usize,
+    scratch: &mut AxisScratch,
+    out: &mut Vec<(f64, f64)>,
+) {
+    let cables = cdf.cables();
+    let points = cdf.points();
+    let nodes = conn.node_count();
+    for trial in start..end {
+        // Draw thresholds and classify in one pass: the draws come from
+        // the same stream, in the same order, as [`sample_thresholds`]
+        // (which the tests use to recompute trials from scratch).
+        let mut rng = trial_rng(seed, trial);
+        // Counting-sort cables into buckets by death point (the first
+        // point at which the threshold is crossed; `points` = immortal).
+        scratch.starts.clear();
+        scratch.starts.resize(points + 2, 0);
+        scratch.deaths.clear();
+        scratch.deaths.reserve(cables);
+        for c in 0..cables {
+            let d = cdf.death_point(c, rng.random_range(0.0..1.0));
+            scratch.deaths.push(d as u32);
+            scratch.starts[d + 1] += 1;
+        }
+        for d in 0..=points {
+            scratch.starts[d + 1] += scratch.starts[d];
+        }
+        scratch.cursor.clear();
+        scratch.cursor.extend_from_slice(&scratch.starts);
+        scratch.sorted.clear();
+        scratch.sorted.resize(cables, 0);
+        for (c, &d) in scratch.deaths.iter().enumerate() {
+            scratch.sorted[scratch.cursor[d as usize] as usize] = c as u32;
+            scratch.cursor[d as usize] += 1;
+        }
+        // Replay from the harshest point toward the mildest: entering
+        // point `k` revives exactly the cables that die first at `k+1`.
+        scratch.replay.reset(conn);
+        let mut alive = 0usize;
+        for k in (0..points).rev() {
+            let lo = scratch.starts[k + 1] as usize;
+            let hi = scratch.starts[k + 2] as usize;
+            for &c in &scratch.sorted[lo..hi] {
+                scratch.replay.revive(conn, c as usize);
+            }
+            alive += hi - lo;
+            let failed = cables - alive;
+            let cables_failed_pct = if cables == 0 {
+                0.0
+            } else {
+                100.0 * failed as f64 / cables as f64
+            };
+            let nodes_unreachable_pct = if nodes == 0 {
+                0.0
+            } else {
+                100.0 * scratch.replay.unreachable_count() as f64 / nodes as f64
+            };
+            out.push((cables_failed_pct, nodes_unreachable_pct));
+        }
+    }
+}
+
+/// One pool job's worth of axis work.
+enum AxisPart {
+    /// CRN trial chunk: metrics for trials `[start, start + n)`,
+    /// trial-major, points in descending order within each trial.
+    Chunk {
+        axis: usize,
+        start: usize,
+        metrics: Vec<(f64, f64)>,
+    },
+    /// One per-point fallback job's statistics.
+    Point {
+        axis: usize,
+        point: usize,
+        stats: TrialStats,
+    },
+}
+
+/// Runs every prepared axis as one mixed pool batch and returns, per
+/// axis, the per-point statistics in axis order. CRN axes fan their
+/// trials out in contiguous chunks; fallback axes run one job per point
+/// — all jobs share the same batch, so a figure grid of several axes
+/// saturates the pool.
+pub fn run_axes(axes: Vec<AxisSweep>) -> Vec<Vec<TrialStats>> {
+    // (points, trials, is_crn) per axis, for reassembly.
+    let mut shapes: Vec<(usize, usize, bool)> = Vec::with_capacity(axes.len());
+    let mut jobs: Vec<Box<dyn FnOnce() -> AxisPart + Send>> = Vec::new();
+    for (i, axis) in axes.into_iter().enumerate() {
+        let points = axis.cdf.points();
+        match axis.fallback {
+            Some(fallback) => {
+                shapes.push((points, axis.trials, false));
+                for (k, point) in fallback.into_iter().enumerate() {
+                    jobs.push(Box::new(move || {
+                        let _span = solarstorm_obs::span!(
+                            "monte_carlo",
+                            trials = point.trials,
+                            threads = 1usize,
+                            spacing_km = point.spacing_km,
+                            seed = point.inputs.seed
+                        );
+                        AxisPart::Point {
+                            axis: i,
+                            point: k,
+                            stats: run_stats_sequential(&point.inputs, point.trials),
+                        }
+                    }));
+                }
+            }
+            None => {
+                shapes.push((points, axis.trials, true));
+                if points == 0 {
+                    continue;
+                }
+                let chunks = axis.chunks.min(axis.trials).max(1);
+                let chunk = axis.trials.div_ceil(chunks);
+                for t in 0..axis.trials.div_ceil(chunk) {
+                    let start = t * chunk;
+                    let end = (start + chunk).min(axis.trials);
+                    let conn = Arc::clone(&axis.conn);
+                    let cdf = Arc::clone(&axis.cdf);
+                    let (seed, spacing_km) = (axis.seed, axis.spacing_km);
+                    jobs.push(Box::new(move || {
+                        let _span = solarstorm_obs::span!(
+                            "monte_carlo",
+                            trials = end - start,
+                            threads = 1usize,
+                            spacing_km = spacing_km,
+                            seed = seed
+                        );
+                        let mut scratch = AxisScratch::default();
+                        let mut metrics = Vec::with_capacity((end - start) * cdf.points());
+                        axis_metrics_chunk(
+                            &conn,
+                            &cdf,
+                            seed,
+                            start,
+                            end,
+                            &mut scratch,
+                            &mut metrics,
+                        );
+                        AxisPart::Chunk {
+                            axis: i,
+                            start,
+                            metrics,
+                        }
+                    }));
+                }
+            }
+        }
+    }
+    let parts = WorkerPool::global().run_batch(jobs);
+    // Reassemble in trial order per point, so the accumulator sums in
+    // the same order regardless of chunking.
+    let mut crn: Vec<(Vec<Vec<f64>>, Vec<Vec<f64>>)> = Vec::with_capacity(shapes.len());
+    let mut fallback: Vec<Vec<Option<TrialStats>>> = Vec::with_capacity(shapes.len());
+    for &(points, trials, is_crn) in &shapes {
+        if is_crn {
+            crn.push((
+                vec![vec![0.0; trials]; points],
+                vec![vec![0.0; trials]; points],
+            ));
+            fallback.push(Vec::new());
+        } else {
+            crn.push((Vec::new(), Vec::new()));
+            fallback.push(vec![None; points]);
+        }
+    }
+    for part in parts {
+        match part {
+            AxisPart::Chunk {
+                axis,
+                start,
+                metrics,
+            } => {
+                let points = shapes[axis].0;
+                let (cab, nod) = &mut crn[axis];
+                for (idx, &(c, n)) in metrics.iter().enumerate() {
+                    let t = start + idx / points;
+                    let k = points - 1 - (idx % points);
+                    cab[k][t] = c;
+                    nod[k][t] = n;
+                }
+            }
+            AxisPart::Point { axis, point, stats } => fallback[axis][point] = Some(stats),
+        }
+    }
+    shapes
+        .iter()
+        .zip(crn.into_iter().zip(fallback))
+        .map(|(&(points, _, is_crn), ((cab, nod), fb))| {
+            if is_crn {
+                (0..points)
+                    .map(|k| TrialStats::from_metrics(&cab[k], &nod[k]))
+                    .collect()
+            } else {
+                fb.into_iter()
+                    .map(|s| s.expect("every fallback point computed"))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+/// Runs one prepared axis and returns its per-point statistics in axis
+/// order (empty for a zero-point axis).
+pub fn run_axis(axis: AxisSweep) -> Vec<TrialStats> {
+    run_axes(vec![axis]).into_iter().next().unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::monte_carlo::run;
+    use crate::monte_carlo::{run, trial_metrics, TrialOutcome};
+    use proptest::prelude::*;
     use solarstorm_geo::GeoPoint;
-    use solarstorm_gic::UniformFailure;
+    use solarstorm_gic::{SingleModelAxis, UniformAxis, UniformFailure};
     use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
 
     fn chain_net(cables: usize) -> Network {
@@ -100,6 +484,21 @@ mod tests {
             prev = next;
         }
         net
+    }
+
+    /// Dead-mask words at one axis point under the threshold rule, plus
+    /// the failed-cable count.
+    fn mask_at_point(cdf: &AxisFailureCdf, thresholds: &[f64], point: usize) -> (Vec<u64>, usize) {
+        let cables = cdf.cables();
+        let mut words = vec![0u64; cables.div_ceil(64)];
+        let mut failed = 0;
+        for (c, &u) in thresholds.iter().enumerate() {
+            if u < cdf.failure_at(c, point) {
+                words[c >> 6] |= 1 << (c & 63);
+                failed += 1;
+            }
+        }
+        (words, failed)
     }
 
     #[test]
@@ -149,10 +548,266 @@ mod tests {
             ..Default::default()
         };
         assert!(prepare(&net, &m, &bad).is_err());
+        let axis = UniformAxis::new(vec![0.1]).unwrap();
+        assert!(prepare_axis(&net, &axis, &bad).is_err());
     }
 
     #[test]
     fn empty_sweep_is_empty() {
         assert!(run_stats(Vec::new()).is_empty());
+        assert!(run_axes(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(Kernel::PerPoint.name(), "per_point");
+        assert_eq!(Kernel::CrnAxis.name(), "crn_axis");
+        assert_eq!(Kernel::default(), Kernel::CrnAxis);
+    }
+
+    #[test]
+    fn axis_kernel_matches_mask_recomputation_at_every_point() {
+        // The incremental replay must report exactly what a from-scratch
+        // mask evaluation reports at each point, for every trial.
+        let net = chain_net(12);
+        let conn = net.connectivity();
+        let axis = UniformAxis::new(vec![0.001, 0.01, 0.1, 0.5, 1.0]).unwrap();
+        let cdf = AxisFailureCdf::hoist(&axis, &cable_profiles(&net), 150.0);
+        assert!(cdf.is_monotone());
+        let points = cdf.points();
+        let (seed, trials) = (99u64, 16usize);
+        let mut scratch = AxisScratch::default();
+        let mut metrics = Vec::new();
+        axis_metrics_chunk(&conn, &cdf, seed, 0, trials, &mut scratch, &mut metrics);
+        assert_eq!(metrics.len(), trials * points);
+        let mut thresholds = Vec::new();
+        for trial in 0..trials {
+            sample_thresholds(seed, trial, cdf.cables(), &mut thresholds);
+            for j in 0..points {
+                let k = points - 1 - j; // chunk order: harshest first
+                let (words, failed) = mask_at_point(&cdf, &thresholds, k);
+                let expected = trial_metrics(&conn, failed, &words);
+                assert_eq!(metrics[trial * points + j], expected, "trial {trial} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_trial_dead_sets_are_nested_along_axis() {
+        let net = chain_net(15);
+        let axis = UniformAxis::new(vec![0.001, 0.02, 0.1, 0.3, 1.0]).unwrap();
+        let cdf = AxisFailureCdf::hoist(&axis, &cable_profiles(&net), 100.0);
+        let mut thresholds = Vec::new();
+        for trial in 0..50 {
+            sample_thresholds(5150, trial, cdf.cables(), &mut thresholds);
+            for k in 0..cdf.points() - 1 {
+                for (c, &u) in thresholds.iter().enumerate() {
+                    let dead_now = u < cdf.failure_at(c, k);
+                    let dead_next = u < cdf.failure_at(c, k + 1);
+                    assert!(
+                        !dead_now || dead_next,
+                        "trial {trial}: cable {c} dead at {k} but alive at {}",
+                        k + 1
+                    );
+                }
+            }
+        }
+        // And the kernel's per-trial curves are monotone by construction.
+        let conn = net.connectivity();
+        let mut scratch = AxisScratch::default();
+        let mut metrics = Vec::new();
+        axis_metrics_chunk(&conn, &cdf, 5150, 0, 50, &mut scratch, &mut metrics);
+        let points = cdf.points();
+        for trial in 0..50 {
+            // Chunk order is harshest→mildest, so within a trial both
+            // metrics must be non-increasing.
+            for j in 0..points - 1 {
+                let (c0, n0) = metrics[trial * points + j];
+                let (c1, n1) = metrics[trial * points + j + 1];
+                assert!(c1 <= c0 && n1 <= n0, "trial {trial} step {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn crn_results_identical_across_chunk_counts() {
+        let net = chain_net(10);
+        let axis = UniformAxis::new(vec![0.01, 0.1, 1.0]).unwrap();
+        let mk = |max_threads| MonteCarloConfig {
+            trials: 25,
+            seed: 11,
+            max_threads,
+            ..Default::default()
+        };
+        let one = run_axis(prepare_axis(&net, &axis, &mk(1)).unwrap());
+        let eight = run_axis(prepare_axis(&net, &axis, &mk(8)).unwrap());
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn axis_point_stats_depend_only_on_that_point() {
+        // Restricting a CRN axis to one of its points yields exactly the
+        // stats the full axis reports there: thresholds depend only on
+        // (seed, trial, cable), never on the axis shape.
+        let net = chain_net(12);
+        let probs = [0.01, 0.2, 1.0];
+        let cfg = MonteCarloConfig {
+            trials: 20,
+            seed: 3,
+            ..Default::default()
+        };
+        let full =
+            run_axis(prepare_axis(&net, &UniformAxis::new(probs.to_vec()).unwrap(), &cfg).unwrap());
+        for (k, &p) in probs.iter().enumerate() {
+            let single =
+                run_axis(prepare_axis(&net, &UniformAxis::new(vec![p]).unwrap(), &cfg).unwrap());
+            assert_eq!(single, vec![full[k].clone()], "point {k}");
+        }
+    }
+
+    #[test]
+    fn non_monotone_axis_falls_back_to_per_point() {
+        let net = chain_net(8);
+        let axis = UniformAxis::new(vec![0.5, 0.01]).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 12,
+            seed: 77,
+            ..Default::default()
+        };
+        let sweep = prepare_axis(&net, &axis, &cfg).unwrap();
+        assert!(!sweep.is_crn());
+        assert_eq!(sweep.points(), 2);
+        let stats = run_axis(sweep);
+        // The fallback is the per-point kernel with the same config.
+        let expected: Vec<TrialStats> = [0.5, 0.01]
+            .iter()
+            .map(|&p| {
+                run(
+                    &net,
+                    &UniformFailure::new(p).unwrap(),
+                    &MonteCarloConfig {
+                        max_threads: 1,
+                        ..cfg
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(stats, expected);
+    }
+
+    #[test]
+    fn mixed_crn_and_fallback_axes_share_one_batch() {
+        let net = chain_net(9);
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            seed: 4,
+            ..Default::default()
+        };
+        let crn = prepare_axis(&net, &UniformAxis::new(vec![0.05, 0.5]).unwrap(), &cfg).unwrap();
+        let fb = prepare_axis(&net, &UniformAxis::new(vec![0.5, 0.05]).unwrap(), &cfg).unwrap();
+        assert!(crn.is_crn() && !fb.is_crn());
+        let results = run_axes(vec![crn, fb]);
+        assert_eq!(results.len(), 2);
+        let crn_alone = run_axis(
+            prepare_axis(&net, &UniformAxis::new(vec![0.05, 0.5]).unwrap(), &cfg).unwrap(),
+        );
+        let fb_alone = run_axis(
+            prepare_axis(&net, &UniformAxis::new(vec![0.5, 0.05]).unwrap(), &cfg).unwrap(),
+        );
+        assert_eq!(results[0], crn_alone);
+        assert_eq!(results[1], fb_alone);
+    }
+
+    #[test]
+    fn axis_accumulator_agrees_with_from_outcomes() {
+        // The axis path reduces through `TrialStats::from_metrics`; on
+        // the same per-trial values, `from_outcomes` must agree bit for
+        // bit.
+        let net = chain_net(11);
+        let conn = net.connectivity();
+        let axis = UniformAxis::new(vec![0.05, 0.3]).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 17,
+            seed: 23,
+            ..Default::default()
+        };
+        let stats = run_axis(prepare_axis(&net, &axis, &cfg).unwrap());
+        let cdf = AxisFailureCdf::hoist(&axis, &cable_profiles(&net), cfg.spacing_km);
+        let mut thresholds = Vec::new();
+        for k in 0..cdf.points() {
+            let outcomes: Vec<TrialOutcome> = (0..cfg.trials)
+                .map(|trial| {
+                    sample_thresholds(cfg.seed, trial, cdf.cables(), &mut thresholds);
+                    let (words, failed) = mask_at_point(&cdf, &thresholds, k);
+                    let (cables_failed_pct, nodes_unreachable_pct) =
+                        trial_metrics(&conn, failed, &words);
+                    TrialOutcome {
+                        cables_failed_pct,
+                        nodes_unreachable_pct,
+                        dead: Vec::new(),
+                    }
+                })
+                .collect();
+            assert_eq!(stats[k], TrialStats::from_outcomes(&outcomes), "point {k}");
+        }
+    }
+
+    #[test]
+    fn empty_axis_yields_no_stats() {
+        // 0 sweep points: the kernel runs nothing and aggregates nothing
+        // (the 0-trial/0-point edge never divides by zero).
+        let net = chain_net(4);
+        let axis = UniformAxis::new(Vec::new()).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 5,
+            ..Default::default()
+        };
+        let sweep = prepare_axis(&net, &axis, &cfg).unwrap();
+        assert!(sweep.is_crn());
+        assert_eq!(sweep.points(), 0);
+        assert!(run_axis(sweep).is_empty());
+        assert_eq!(TrialStats::from_outcomes(&[]).trials, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn single_point_axis_bit_identical_to_masked_kernel(
+            seed in any::<u64>(),
+            p in 0.0f64..1.0,
+            trials in 1usize..12,
+            spacing_idx in 0usize..3,
+        ) {
+            let spacing = [50.0, 100.0, 150.0][spacing_idx];
+            // Fed the same per-cable draws, `run_axis` restricted to a
+            // single point must match the per-point batched kernel's
+            // metric pipeline (`trial_metrics` + `from_metrics`) bit for
+            // bit.
+            let net = chain_net(10);
+            let conn = net.connectivity();
+            let model = UniformFailure::new(p).unwrap();
+            let axis = SingleModelAxis::new(&model);
+            let cfg = MonteCarloConfig {
+                trials,
+                seed,
+                spacing_km: spacing,
+                ..Default::default()
+            };
+            let stats = run_axis(prepare_axis(&net, &axis, &cfg).unwrap());
+            prop_assert_eq!(stats.len(), 1);
+            let cdf = AxisFailureCdf::hoist(&axis, &cable_profiles(&net), spacing);
+            let mut thresholds = Vec::new();
+            let mut cables = Vec::with_capacity(trials);
+            let mut nodes = Vec::with_capacity(trials);
+            for trial in 0..trials {
+                sample_thresholds(seed, trial, cdf.cables(), &mut thresholds);
+                let (words, failed) = mask_at_point(&cdf, &thresholds, 0);
+                let (c, n) = trial_metrics(&conn, failed, &words);
+                cables.push(c);
+                nodes.push(n);
+            }
+            let expected = TrialStats::from_metrics(&cables, &nodes);
+            prop_assert_eq!(&stats[0], &expected);
+        }
     }
 }

@@ -1,0 +1,27 @@
+//! `pool::set_global_workers` must size the process-wide pool — the
+//! backing for the CLI's `--threads` / `STORMSIM_THREADS` setting. This
+//! lives in its own integration binary (hence its own process) so no
+//! other test has already built the global pool at machine width.
+
+use solarstorm_sim::pool::{self, WorkerPool};
+
+#[test]
+fn global_pool_width_matches_setting() {
+    // Requested before first use: the pool comes up at that width.
+    assert!(pool::set_global_workers(3));
+    assert_eq!(WorkerPool::global().workers(), 3);
+    // Re-requesting the same width is a no-op success.
+    assert!(pool::set_global_workers(3));
+    // The pool is already built: a different width is refused and the
+    // existing pool keeps serving.
+    assert!(!pool::set_global_workers(5));
+    assert_eq!(WorkerPool::global().workers(), 3);
+    // Zero is clamped to one worker, which differs from 3: refused too.
+    assert!(!pool::set_global_workers(0));
+    // The sized pool still runs batches.
+    let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+        .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+        .collect();
+    let out = WorkerPool::global().run_batch(jobs);
+    assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+}

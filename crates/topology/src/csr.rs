@@ -21,6 +21,9 @@ use crate::{Network, UnionFind};
 pub struct ConnectivityIndex {
     node_count: usize,
     cable_count: usize,
+    /// Nodes with at least one incident segment — the unreachable count
+    /// of the all-dead scenario, hoisted so per-trial resets are O(1).
+    non_isolated_count: usize,
     /// CSR offsets into `incident_cable`, length `node_count + 1`.
     offsets: Vec<u32>,
     /// Owning cable of each incident segment, grouped by node.
@@ -31,6 +34,10 @@ pub struct ConnectivityIndex {
     edge_b: Vec<u32>,
     /// Per graph edge: owning cable.
     edge_cable: Vec<u32>,
+    /// CSR offsets into `cable_edges`, length `cable_count + 1`.
+    cable_edge_offsets: Vec<u32>,
+    /// Graph-edge ids grouped by owning cable (inverse of `edge_cable`).
+    cable_edges: Vec<u32>,
 }
 
 /// True when cable `c` is dead under a boolean mask. Cables beyond the
@@ -73,14 +80,35 @@ impl ConnectivityIndex {
             edge_b.push(b.0 as u32);
             edge_cable.push(seg.cable.0 as u32);
         }
+        // Counting-sort the edges by owning cable into a second CSR, the
+        // inverse of `edge_cable`, so reviving one cable touches only its
+        // own segments.
+        let cable_count = net.cable_count();
+        let mut cable_edge_offsets = vec![0u32; cable_count + 1];
+        for &c in &edge_cable {
+            cable_edge_offsets[c as usize + 1] += 1;
+        }
+        for i in 0..cable_count {
+            cable_edge_offsets[i + 1] += cable_edge_offsets[i];
+        }
+        let mut cable_edges = vec![0u32; edge_cable.len()];
+        let mut cursor = cable_edge_offsets.clone();
+        for (e, &c) in edge_cable.iter().enumerate() {
+            cable_edges[cursor[c as usize] as usize] = e as u32;
+            cursor[c as usize] += 1;
+        }
+        let non_isolated_count = offsets.windows(2).filter(|w| w[0] != w[1]).count();
         ConnectivityIndex {
             node_count: n,
-            cable_count: net.cable_count(),
+            cable_count,
+            non_isolated_count,
             offsets,
             incident_cable,
             edge_a,
             edge_b,
             edge_cable,
+            cable_edge_offsets,
+            cable_edges,
         }
     }
 
@@ -104,11 +132,29 @@ impl ConnectivityIndex {
         self.cable_count.div_ceil(64)
     }
 
+    /// Nodes with at least one incident segment — exactly the nodes the
+    /// all-dead scenario reports unreachable. Hoisted at build time.
+    pub fn non_isolated_count(&self) -> usize {
+        self.non_isolated_count
+    }
+
     /// Incident-cable ids of one node (with segment multiplicity).
     pub fn incident_cables(&self, node: usize) -> &[u32] {
         let lo = self.offsets[node] as usize;
         let hi = self.offsets[node + 1] as usize;
         &self.incident_cable[lo..hi]
+    }
+
+    /// Graph-edge ids belonging to one cable (its segments).
+    pub fn cable_edges(&self, cable: usize) -> &[u32] {
+        let lo = self.cable_edge_offsets[cable] as usize;
+        let hi = self.cable_edge_offsets[cable + 1] as usize;
+        &self.cable_edges[lo..hi]
+    }
+
+    /// Endpoint node ids of one graph edge.
+    pub fn edge_endpoints(&self, edge: usize) -> (u32, u32) {
+        (self.edge_a[edge], self.edge_b[edge])
     }
 
     /// Nodes left unreachable under a dead-cable mask, per the paper's
@@ -244,6 +290,17 @@ mod tests {
         assert_eq!(conn.incident_cables(1), &[0, 1]);
         assert_eq!(conn.incident_cables(2), &[1, 1]);
         assert!(conn.incident_cables(4).is_empty());
+    }
+
+    #[test]
+    fn cable_edges_invert_edge_cable() {
+        let net = net();
+        let conn = net.connectivity();
+        assert_eq!(conn.cable_edges(0), &[0]);
+        assert_eq!(conn.cable_edges(1), &[1, 2]);
+        assert_eq!(conn.edge_endpoints(0), (0, 1));
+        assert_eq!(conn.edge_endpoints(1), (1, 2));
+        assert_eq!(conn.edge_endpoints(2), (2, 3));
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod csr;
 mod error;
 mod graph;
 mod network;
+mod replay;
 mod unionfind;
 
 pub use csr::ConnectivityIndex;
@@ -32,4 +33,5 @@ pub use graph::{EdgeId, Graph, NodeId};
 pub use network::{
     Cable, CableId, Network, NetworkKind, NodeInfo, NodeRole, SegmentInfo, SegmentSpec,
 };
+pub use replay::EdgeReplay;
 pub use unionfind::UnionFind;

@@ -1,0 +1,268 @@
+//! Incremental edge replay over [`UnionFind`] + [`ConnectivityIndex`].
+//!
+//! The common-random-numbers sweep kernel walks a probability axis from
+//! its harshest point (everything dead) toward its mildest, reviving
+//! cables as their thresholds are crossed. Recomputing connectivity from
+//! scratch at each point would cost `O(points × (edges + nodes))` per
+//! trial; this layer instead maintains the two connectivity metrics
+//! *incrementally* under cable revival:
+//!
+//! * component count — delegated to [`UnionFind`], which already tracks
+//!   it across unions in O(1);
+//! * unreachable-node count — maintained by per-node alive-incidence
+//!   counters: a node with incident segments is unreachable while all of
+//!   them are dead, so the count only changes on a counter's 0→1 edge.
+//!
+//! Reviving a cable touches only its own segments (via
+//! [`ConnectivityIndex::cable_edges`]), so replaying a whole axis costs
+//! one union-find pass over the edges total, independent of the number
+//! of sweep points.
+
+use crate::{ConnectivityIndex, UnionFind};
+
+/// Reusable state for replaying cable revivals over a network.
+///
+/// [`EdgeReplay::reset`] starts from the all-dead scenario (every node
+/// with incident segments unreachable, every node a singleton
+/// component); [`EdgeReplay::revive`] brings one cable back. Each cable
+/// must be revived at most once between resets — the metrics assume
+/// revivals are distinct.
+#[derive(Debug, Clone)]
+pub struct EdgeReplay {
+    uf: UnionFind,
+    /// Per node: number of currently-alive incident segment endpoints.
+    alive_incident: Vec<u32>,
+    unreachable: usize,
+    /// When false, union-find maintenance is skipped entirely: revivals
+    /// only update the alive-incidence counters, and
+    /// [`EdgeReplay::component_count`] must not be called. The sweep
+    /// kernel's hot loop reads only the unreachable count, and skipping
+    /// the unions roughly halves its per-edge cost.
+    track_components: bool,
+}
+
+impl Default for EdgeReplay {
+    fn default() -> Self {
+        EdgeReplay::new()
+    }
+}
+
+impl EdgeReplay {
+    /// Creates an empty replay tracking both metrics; call
+    /// [`EdgeReplay::reset`] before use.
+    pub fn new() -> Self {
+        EdgeReplay {
+            uf: UnionFind::default(),
+            alive_incident: Vec::new(),
+            unreachable: 0,
+            track_components: true,
+        }
+    }
+
+    /// Creates a replay that maintains only the unreachable-node count,
+    /// skipping all union-find work. [`EdgeReplay::component_count`]
+    /// panics on such a replay.
+    pub fn unreachable_only() -> Self {
+        EdgeReplay {
+            track_components: false,
+            ..EdgeReplay::new()
+        }
+    }
+
+    /// Re-initialises for `conn`'s network with every cable dead,
+    /// reusing existing allocations. O(nodes).
+    pub fn reset(&mut self, conn: &ConnectivityIndex) {
+        let n = conn.node_count();
+        if self.track_components {
+            self.uf.reset(n);
+        }
+        self.alive_incident.clear();
+        self.alive_incident.resize(n, 0);
+        // All cables dead: exactly the non-isolated nodes are unreachable.
+        self.unreachable = conn.non_isolated_count();
+    }
+
+    /// Revives one cable: unions its segments' endpoints and credits
+    /// each endpoint with an alive incident segment. O(cable segments).
+    pub fn revive(&mut self, conn: &ConnectivityIndex, cable: usize) {
+        for &e in conn.cable_edges(cable) {
+            let (a, b) = conn.edge_endpoints(e as usize);
+            if self.track_components {
+                self.uf.union(a, b);
+            }
+            self.mark_alive(a);
+            self.mark_alive(b);
+        }
+    }
+
+    #[inline]
+    fn mark_alive(&mut self, node: u32) {
+        let slot = &mut self.alive_incident[node as usize];
+        if *slot == 0 {
+            self.unreachable -= 1;
+        }
+        *slot += 1;
+    }
+
+    /// Nodes currently unreachable (all incident cables dead; isolated
+    /// nodes count as reachable), matching
+    /// [`ConnectivityIndex::unreachable_count`] on the same dead set.
+    pub fn unreachable_count(&self) -> usize {
+        self.unreachable
+    }
+
+    /// Connected components of the current surviving subgraph (isolated
+    /// and fully-dead nodes count as singletons), matching
+    /// [`ConnectivityIndex::component_count`] on the same dead set.
+    ///
+    /// # Panics
+    ///
+    /// On a replay built with [`EdgeReplay::unreachable_only`], which
+    /// does not maintain the union-find this reads.
+    pub fn component_count(&self) -> usize {
+        assert!(
+            self.track_components,
+            "component_count on an unreachable_only EdgeReplay"
+        );
+        self.uf.component_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+    use solarstorm_geo::GeoPoint;
+
+    fn node(name: &str, lat: f64, lon: f64) -> NodeInfo {
+        NodeInfo {
+            name: name.into(),
+            location: GeoPoint::new(lat, lon).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::LandingPoint,
+        }
+    }
+
+    /// 5 nodes: cable 0 = A-B, cable 1 = B-C + C-D, isolated E.
+    fn net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let a = net.add_node(node("A", 0.0, 0.0));
+        let b = net.add_node(node("B", 0.0, 10.0));
+        let c = net.add_node(node("C", 0.0, 20.0));
+        let d = net.add_node(node("D", 0.0, 30.0));
+        net.add_node(node("E", 0.0, 40.0));
+        net.add_cable(
+            "ab",
+            vec![SegmentSpec {
+                a,
+                b,
+                route: None,
+                length_km: Some(1000.0),
+            }],
+        )
+        .unwrap();
+        net.add_cable(
+            "bcd",
+            vec![
+                SegmentSpec {
+                    a: b,
+                    b: c,
+                    route: None,
+                    length_km: Some(1000.0),
+                },
+                SegmentSpec {
+                    a: c,
+                    b: d,
+                    route: None,
+                    length_km: Some(1000.0),
+                },
+            ],
+        )
+        .unwrap();
+        net
+    }
+
+    #[test]
+    fn reset_is_the_all_dead_scenario() {
+        let net = net();
+        let conn = net.connectivity();
+        let mut replay = EdgeReplay::new();
+        replay.reset(&conn);
+        assert_eq!(
+            replay.unreachable_count(),
+            conn.unreachable_count(&[true, true])
+        );
+        let mut uf = UnionFind::new();
+        assert_eq!(
+            replay.component_count(),
+            conn.component_count(&[true, true], &mut uf)
+        );
+    }
+
+    #[test]
+    fn revivals_match_full_recomputation() {
+        let net = net();
+        let conn = net.connectivity();
+        let mut uf = UnionFind::new();
+        // Every revival order over the two cables.
+        for order in [[0usize, 1], [1, 0]] {
+            let mut replay = EdgeReplay::new();
+            replay.reset(&conn);
+            let mut dead = [true, true];
+            for &cable in &order {
+                replay.revive(&conn, cable);
+                dead[cable] = false;
+                assert_eq!(
+                    replay.unreachable_count(),
+                    conn.unreachable_count(&dead),
+                    "order {order:?}, dead {dead:?}"
+                );
+                assert_eq!(
+                    replay.component_count(),
+                    conn.component_count(&dead, &mut uf),
+                    "order {order:?}, dead {dead:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_only_matches_tracking_replay() {
+        let net = net();
+        let conn = net.connectivity();
+        let mut full = EdgeReplay::new();
+        let mut light = EdgeReplay::unreachable_only();
+        full.reset(&conn);
+        light.reset(&conn);
+        assert_eq!(light.unreachable_count(), full.unreachable_count());
+        for cable in [1usize, 0] {
+            full.revive(&conn, cable);
+            light.revive(&conn, cable);
+            assert_eq!(light.unreachable_count(), full.unreachable_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable_only")]
+    fn component_count_panics_without_tracking() {
+        let net = net();
+        let conn = net.connectivity();
+        let mut light = EdgeReplay::unreachable_only();
+        light.reset(&conn);
+        let _ = light.component_count();
+    }
+
+    #[test]
+    fn reset_reuses_storage_between_networks() {
+        let net = net();
+        let conn = net.connectivity();
+        let mut replay = EdgeReplay::new();
+        replay.reset(&conn);
+        replay.revive(&conn, 0);
+        replay.revive(&conn, 1);
+        assert_eq!(replay.unreachable_count(), 0);
+        replay.reset(&conn);
+        assert_eq!(replay.unreachable_count(), 4);
+        assert_eq!(replay.component_count(), 5);
+    }
+}
