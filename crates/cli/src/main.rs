@@ -9,7 +9,9 @@ use solarstorm::analysis::{
     as_impact, economics, headline, maps, partition_report, risk, traffic_report,
 };
 use solarstorm::data::io;
-use solarstorm::engine::{proto, Engine, EngineConfig, MetricsServer, Scale, Server, ServerConfig};
+use solarstorm::engine::{
+    serve_stream, Engine, EngineConfig, MetricsServer, Scale, Server, ServerConfig,
+};
 use solarstorm::obs;
 use solarstorm::sim::cascade::{self, GridFailureModel};
 use solarstorm::sim::isolation::{self, CouplingModel};
@@ -79,6 +81,8 @@ SERVICE OPTIONS (serve | batch)
   --log-level L     structured-log verbosity (see above)
   --metrics-addr HOST:PORT
                     also serve Prometheus text metrics over HTTP (serve only)
+  --deadline-ms MS  default per-request deadline for scenario requests that
+                    do not set their own deadline_ms (default: none)
 ";
 
 /// Every accepted command, checked before datasets are built so a typo
@@ -176,10 +180,18 @@ fn resolve_threads(flag: Option<usize>) -> Result<Option<usize>, String> {
 }
 
 /// Applies the resolved pool width before any simulation work builds the
-/// process-wide pool.
+/// process-wide pool. A refused resize (the pool already exists at a
+/// different width) is not an error — the run proceeds — but it is
+/// warned about, because silently ignoring `--threads` is worse.
 fn setup_pool(flag: Option<usize>) -> Result<(), String> {
     if let Some(n) = resolve_threads(flag)? {
-        solarstorm::sim::pool::set_global_workers(n);
+        if !solarstorm::sim::pool::set_global_workers(n) {
+            eprintln!(
+                "warning: --threads {n} ignored: simulation pool already \
+                 running with {} workers",
+                solarstorm::sim::pool::WorkerPool::global().workers()
+            );
+        }
     }
     Ok(())
 }
@@ -239,6 +251,7 @@ struct ServiceOpts {
     log_level: Option<obs::Level>,
     metrics_addr: Option<String>,
     threads: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
@@ -252,6 +265,7 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
         log_level: None,
         metrics_addr: None,
         threads: None,
+        deadline_ms: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -264,6 +278,17 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
             }
             "--metrics-addr" => {
                 opts.metrics_addr = Some(it.next().ok_or("--metrics-addr needs a value")?.clone());
+            }
+            "--deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--deadline-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms: must be at least 1".to_string());
+                }
+                opts.deadline_ms = Some(ms);
             }
             "--workers" => {
                 opts.workers = it
@@ -298,6 +323,8 @@ fn engine_config(opts: &ServiceOpts) -> EngineConfig {
         queue_cap: opts.queue,
         cache_cap: opts.cache,
         prewarm: Some(if opts.full { Scale::Paper } else { Scale::Test }),
+        default_deadline_ms: opts.deadline_ms,
+        ..Default::default()
     }
 }
 
@@ -341,8 +368,11 @@ fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
 
 /// `stormsim batch`: one NDJSON request per stdin line, one response
 /// per stdout line; a metrics snapshot goes to stderr at EOF.
+///
+/// Runs the same hardened protocol loop as the TCP server, so hostile
+/// stdin — invalid UTF-8, NUL bytes, overlong lines — gets one
+/// well-formed JSON error response instead of killing the run.
 fn run_batch(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
-    use std::io::{BufRead, Write};
     eprintln!(
         "prewarming {} datasets…",
         if opts.full {
@@ -354,16 +384,12 @@ fn run_batch(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::new(engine_config(opts));
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        writeln!(out, "{}", proto::handle_line(&engine, trimmed).to_line())?;
-    }
-    out.flush()?;
+    serve_stream(
+        &engine,
+        stdin.lock(),
+        stdout.lock(),
+        &ServerConfig::default(),
+    );
     engine.shutdown();
     obs::flush();
     eprintln!("{}", serde_json::to_string_pretty(&engine.metrics())?);
@@ -846,6 +872,21 @@ mod tests {
 
         std::env::remove_var("STORMSIM_THREADS");
         assert_eq!(resolve_threads(None).unwrap(), None);
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_rejects_zero() {
+        let s = parse_service_opts(&args(&["--deadline-ms", "2500"])).unwrap();
+        assert_eq!(s.deadline_ms, Some(2500));
+        assert_eq!(engine_config(&s).default_deadline_ms, Some(2500));
+
+        let s = parse_service_opts(&[]).unwrap();
+        assert!(s.deadline_ms.is_none());
+        assert!(engine_config(&s).default_deadline_ms.is_none());
+
+        assert!(parse_service_opts(&args(&["--deadline-ms"])).is_err());
+        assert!(parse_service_opts(&args(&["--deadline-ms", "0"])).is_err());
+        assert!(parse_service_opts(&args(&["--deadline-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -36,7 +36,9 @@ fn write_canonical(v: &serde_json::Value, out: &mut String) {
                 if i > 0 {
                     out.push(',');
                 }
-                // serde_json string serialization cannot fail.
+                // serde_json string serialization cannot fail: a
+                // `String` key has no map ordering or NaN hazards.
+                #[allow(clippy::expect_used)]
                 out.push_str(&serde_json::to_string(k).expect("string serializes"));
                 out.push(':');
                 write_canonical(&map[*k], out);
@@ -53,6 +55,9 @@ fn write_canonical(v: &serde_json::Value, out: &mut String) {
             }
             out.push(']');
         }
+        // Null/bool/number/string serialization cannot fail (serde_json
+        // numbers are finite by construction).
+        #[allow(clippy::expect_used)]
         scalar => out.push_str(&serde_json::to_string(scalar).expect("scalar serializes")),
     }
 }
@@ -121,6 +126,15 @@ mod tests {
         assert_ne!(hash_a, hash_b);
         assert!(canon_a.contains(r#""kernel":"crn_axis""#), "{canon_a}");
         assert!(canon_b.contains(r#""kernel":"per_point""#), "{canon_b}");
+    }
+
+    #[test]
+    fn unset_deadline_keeps_legacy_hashes_stable() {
+        // `deadline_ms` is skipped when unset, so specs from before the
+        // field existed keep their canonical form and content address.
+        let spec: ScenarioSpec = serde_json::from_str("{}").unwrap();
+        let (canon, _) = content_hash(&spec).unwrap();
+        assert!(!canon.contains("deadline_ms"), "{canon}");
     }
 
     #[test]

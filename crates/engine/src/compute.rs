@@ -11,7 +11,8 @@ use solarstorm_analysis::Datasets;
 use solarstorm_gic::{
     LatitudeBandFailure, PhysicsFailure, SingleModelAxis, UniformAxis, UniformFailure,
 };
-use solarstorm_sim::monte_carlo::{run, run_outcomes};
+use solarstorm_sim::cancel::CancelToken;
+use solarstorm_sim::monte_carlo::{run_outcomes_with_cancel, run_with_cancel};
 use solarstorm_sim::{sweep, Kernel};
 use solarstorm_topology::Network;
 
@@ -82,12 +83,10 @@ pub(crate) fn validate(spec: &ScenarioSpec) -> Result<(), EngineError> {
         )));
     }
     match &spec.analysis {
-        AnalysisRequest::Sleep { ms } => {
-            if *ms > MAX_SLEEP_MS {
-                return Err(EngineError::InvalidSpec(format!(
-                    "sleep ms {ms} exceeds the service limit of {MAX_SLEEP_MS}"
-                )));
-            }
+        AnalysisRequest::Sleep { ms } if *ms > MAX_SLEEP_MS => {
+            return Err(EngineError::InvalidSpec(format!(
+                "sleep ms {ms} exceeds the service limit of {MAX_SLEEP_MS}"
+            )));
         }
         AnalysisRequest::SweepAxis { points } => {
             if points.len() > MAX_AXIS_POINTS {
@@ -110,26 +109,67 @@ pub(crate) fn validate(spec: &ScenarioSpec) -> Result<(), EngineError> {
     Ok(())
 }
 
+/// Sleeps `ms` milliseconds in slices, abandoning the rest once the
+/// token fires, so a deadlined synthetic workload cancels promptly
+/// instead of pinning a worker for the full duration.
+fn cancellable_sleep(ms: u64, cancel: &CancelToken) -> Result<(), EngineError> {
+    const SLICE_MS: u64 = 10;
+    let mut remaining = ms;
+    while remaining > 0 {
+        if cancel.is_cancelled() {
+            return Err(EngineError::DeadlineExceeded { stage: "compute" });
+        }
+        let slice = remaining.min(SLICE_MS);
+        std::thread::sleep(std::time::Duration::from_millis(slice));
+        remaining -= slice;
+    }
+    Ok(())
+}
+
 /// Evaluates one scenario. Deterministic: the same spec always yields
 /// the same result, which is what makes the result cache sound.
-pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineError> {
+/// Cancellation is checked cooperatively (between trials, between
+/// sleep slices); a cancelled evaluation returns
+/// [`EngineError::DeadlineExceeded`] and never partial data.
+pub(crate) fn evaluate(
+    spec: &ScenarioSpec,
+    cancel: &CancelToken,
+) -> Result<ScenarioResult, EngineError> {
+    // Named fault point: a panic here exercises the worker's panic
+    // isolation, a stall pushes the run past its deadline, an error
+    // exercises typed compute-failure responses.
+    #[cfg(feature = "chaos")]
+    if solarstorm_obs::chaos::inject("compute.evaluate") {
+        return Err(EngineError::Compute(
+            "chaos: injected error at compute.evaluate".into(),
+        ));
+    }
     validate(spec)?;
+    if cancel.is_cancelled() {
+        return Err(EngineError::DeadlineExceeded { stage: "compute" });
+    }
     match &spec.analysis {
         AnalysisRequest::Sleep { ms } => {
-            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            cancellable_sleep(*ms, cancel)?;
             Ok(ScenarioResult::Slept { ms: *ms })
         }
         AnalysisRequest::Stats => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
             let stats = match spec.kernel {
-                Kernel::PerPoint => with_model!(spec, |m| run(net, &m, &spec.mc))?,
+                Kernel::PerPoint => {
+                    with_model!(spec, |m| run_with_cancel(net, &m, &spec.mc, cancel))?
+                }
                 Kernel::CrnAxis => with_model!(spec, |m| {
                     let axis = SingleModelAxis::new(&m);
-                    sweep::run_axis(sweep::prepare_axis(net, &axis, &spec.mc)?)
+                    sweep::run_axis_with_cancel(sweep::prepare_axis(net, &axis, &spec.mc)?, cancel)?
                         .pop()
-                        .expect("single-point axis yields one stats entry")
-                }),
+                        .ok_or_else(|| {
+                            EngineError::Compute(
+                                "axis kernel returned no stats for a single-point axis".into(),
+                            )
+                        })
+                })?,
             };
             Ok(ScenarioResult::Stats { stats })
         }
@@ -139,7 +179,7 @@ pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineErro
             let stats = match spec.kernel {
                 Kernel::CrnAxis => {
                     let axis = UniformAxis::new(points.clone())?;
-                    sweep::run_axis(sweep::prepare_axis(net, &axis, &spec.mc)?)
+                    sweep::run_axis_with_cancel(sweep::prepare_axis(net, &axis, &spec.mc)?, cancel)?
                 }
                 Kernel::PerPoint => {
                     // Independent per-point streams: salt the seed per
@@ -155,7 +195,7 @@ pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineErro
                             Ok(sweep::prepare(net, &model, &cfg)?)
                         })
                         .collect::<Result<Vec<_>, EngineError>>()?;
-                    sweep::run_stats(prepared)
+                    sweep::run_stats_with_cancel(prepared, cancel)?
                 }
             };
             Ok(ScenarioResult::Sweep {
@@ -169,7 +209,9 @@ pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineErro
         AnalysisRequest::Outcomes => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
-            let outcomes = with_model!(spec, |m| run_outcomes(net, &m, &spec.mc))?;
+            let outcomes = with_model!(spec, |m| run_outcomes_with_cancel(
+                net, &m, &spec.mc, cancel
+            ))?;
             Ok(ScenarioResult::Outcomes {
                 outcomes: outcomes
                     .iter()
@@ -180,7 +222,13 @@ pub(crate) fn evaluate(spec: &ScenarioSpec) -> Result<ScenarioResult, EngineErro
         }
         AnalysisRequest::Experiment { id } => {
             let data = datasets(spec.scale);
+            // Registry experiments run uninstrumented pipelines, so the
+            // token is checked only at the boundary: before (above) and
+            // after, discarding a too-late report.
             let text = experiments::run_experiment(data, &spec.mc, spec.kernel, id)?;
+            if cancel.is_cancelled() {
+                return Err(EngineError::DeadlineExceeded { stage: "compute" });
+            }
             Ok(ScenarioResult::Report {
                 id: id.clone(),
                 text,
@@ -222,7 +270,41 @@ mod tests {
             analysis: AnalysisRequest::Sleep { ms: 1 },
             ..Default::default()
         };
-        assert_eq!(evaluate(&spec).unwrap(), ScenarioResult::Slept { ms: 1 });
+        assert_eq!(
+            evaluate(&spec, &CancelToken::none()).unwrap(),
+            ScenarioResult::Slept { ms: 1 }
+        );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_and_during_compute() {
+        let fired = CancelToken::new();
+        fired.cancel();
+        let spec = ScenarioSpec {
+            analysis: AnalysisRequest::Sleep { ms: 100 },
+            ..Default::default()
+        };
+        assert_eq!(
+            evaluate(&spec, &fired).unwrap_err(),
+            EngineError::DeadlineExceeded { stage: "compute" }
+        );
+        // A deadline firing mid-sleep abandons the remaining slices:
+        // a 5000 ms sleep under a 30 ms deadline returns promptly.
+        let spec = ScenarioSpec {
+            analysis: AnalysisRequest::Sleep { ms: 5_000 },
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let err = evaluate(
+            &spec,
+            &CancelToken::with_deadline(std::time::Duration::from_millis(30)),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "deadline");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(1_000),
+            "cancellable sleep must not run to completion"
+        );
     }
 
     #[test]
@@ -239,7 +321,7 @@ mod tests {
             ..Default::default()
         };
         for kernel in [Kernel::CrnAxis, Kernel::PerPoint] {
-            match evaluate(&mk(kernel)).unwrap() {
+            match evaluate(&mk(kernel), &CancelToken::none()).unwrap() {
                 ScenarioResult::Sweep { points } => {
                     assert_eq!(points.len(), 3, "{kernel:?}");
                     assert_eq!(points[0].p, 0.01);
@@ -269,6 +351,9 @@ mod tests {
             },
             ..Default::default()
         };
-        assert_eq!(evaluate(&spec).unwrap_err().code(), "invalid_spec");
+        assert_eq!(
+            evaluate(&spec, &CancelToken::none()).unwrap_err().code(),
+            "invalid_spec"
+        );
     }
 }

@@ -1,6 +1,29 @@
 //! The engine proper: a fixed worker pool fed by a bounded queue, with
 //! content-addressed caching, single-flight dedup, explicit
 //! backpressure, and graceful drain-then-stop shutdown.
+//!
+//! # Fault tolerance
+//!
+//! The engine assumes requests misbehave and computations fail, and
+//! degrades instead of falling over:
+//!
+//! * **Deadlines** — a request may carry `deadline_ms` (or inherit
+//!   [`EngineConfig::default_deadline_ms`]); a [`CancelToken`] threaded
+//!   from admission through the queue into the simulation trial loops
+//!   cancels the run cooperatively once it expires. Cancelled runs
+//!   answer with a typed `deadline` error, record the stage they died
+//!   in on their manifest, and never leave partial results in the
+//!   cache.
+//! * **Panic isolation** — worker threads wrap each evaluation in
+//!   `catch_unwind`; a panicking computation becomes a typed `panic`
+//!   error response (counted in [`crate::EngineMetrics::panics`]) and
+//!   the worker survives to take the next job.
+//! * **Load shedding** — a full queue rejects with `busy` plus a
+//!   `retry_after_ms` hint scaled to the queue depth. When the queue
+//!   has been saturated for [`EngineConfig::degraded_after_ms`], the
+//!   engine enters cache-only *degraded mode*: hits are served (marked
+//!   [`Evaluation::degraded`]), misses are shed immediately without
+//!   queueing, until the queue fully drains.
 
 use crate::cache::ResultCache;
 use crate::canon;
@@ -12,6 +35,8 @@ use crate::metrics::{stage_summaries, EngineMetrics, Registry};
 use crate::spec::{Scale, ScenarioResult, ScenarioSpec};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use solarstorm_sim::cancel::CancelToken;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,6 +60,15 @@ pub struct EngineConfig {
     /// Dataset bundle to pre-build at startup, so the first request
     /// doesn't pay generation latency. `None` builds lazily.
     pub prewarm: Option<Scale>,
+    /// Deadline applied to requests that don't set their own
+    /// `deadline_ms`. `None` (the default) leaves such requests
+    /// un-deadlined.
+    pub default_deadline_ms: Option<u64>,
+    /// How long the queue must stay saturated (every submission
+    /// rejected) before the engine enters cache-only degraded mode.
+    /// `None` (the default) disables degraded mode; backpressure is
+    /// then per-request `busy` rejections only.
+    pub degraded_after_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +81,8 @@ impl Default for EngineConfig {
             queue_cap: 64,
             cache_cap: 256,
             prewarm: None,
+            default_deadline_ms: None,
+            degraded_after_ms: None,
         }
     }
 }
@@ -58,16 +94,44 @@ pub struct Evaluation {
     pub result: Arc<ScenarioResult>,
     /// Whether the answer came straight from the result cache.
     pub cached: bool,
+    /// Whether the answer was served while the engine was in
+    /// cache-only degraded mode (always a cache hit when set).
+    pub degraded: bool,
     /// The scenario's FNV-1a content hash.
     pub hash: u64,
     /// Provenance: spec identity plus per-stage wall-time breakdown.
     pub manifest: RunManifest,
 }
 
+/// One failed request: the typed error plus the run manifest as far as
+/// it got. For deadline failures the manifest records
+/// [`RunManifest::cancelled_at_stage`], so a client can tell *where*
+/// the run died and that its partial work was discarded.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The typed failure.
+    pub error: EngineError,
+    /// Provenance up to the failure point. `None` only when the spec
+    /// failed validation or hashing — before a manifest existed.
+    pub manifest: Option<RunManifest>,
+}
+
+impl From<EngineError> for FailureReport {
+    fn from(error: EngineError) -> Self {
+        FailureReport {
+            error,
+            manifest: None,
+        }
+    }
+}
+
 struct Job {
     canon: String,
     hash: u64,
     spec: ScenarioSpec,
+    /// The request's deadline token; workers check it before starting
+    /// and the compute layer polls it between trials.
+    cancel: CancelToken,
     /// When the job entered the bounded queue; the picking worker turns
     /// this into the `queue_wait` stage.
     enqueued: Instant,
@@ -78,6 +142,9 @@ struct Shared {
     cache: ResultCache,
     flights: FlightTable,
     metrics: Registry,
+    /// When the queue first rejected a submission of the current
+    /// saturation episode; cleared on any successful submission.
+    saturated_since: Mutex<Option<Instant>>,
 }
 
 /// The concurrent scenario-evaluation service.
@@ -89,6 +156,8 @@ pub struct Engine {
     tx: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     accepting: AtomicBool,
+    default_deadline_ms: Option<u64>,
+    degraded_after: Option<Duration>,
 }
 
 impl Engine {
@@ -101,16 +170,22 @@ impl Engine {
             cache: ResultCache::new(cfg.cache_cap),
             flights: FlightTable::default(),
             metrics: Registry::default(),
+            saturated_since: Mutex::new(None),
         });
         let (tx, rx) = bounded::<Job>(cfg.queue_cap.max(1));
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let rx: Receiver<Job> = rx.clone();
-                std::thread::Builder::new()
+                // Startup-time spawn failure leaves no service to run;
+                // failing fast here beats limping up with zero workers
+                // and deadlocking the first request.
+                #[allow(clippy::expect_used)]
+                let handle = std::thread::Builder::new()
                     .name(format!("storm-worker-{i}"))
                     .spawn(move || worker_loop(&shared, &rx))
-                    .expect("spawn worker thread")
+                    .expect("spawn worker thread");
+                handle
             })
             .collect();
         Engine {
@@ -118,6 +193,8 @@ impl Engine {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
             accepting: AtomicBool::new(true),
+            default_deadline_ms: cfg.default_deadline_ms,
+            degraded_after: cfg.degraded_after_ms.map(Duration::from_millis),
         }
     }
 
@@ -125,8 +202,20 @@ impl Engine {
     ///
     /// Identical concurrent requests share a single computation
     /// (single-flight); repeated requests are served from the cache; a
-    /// full queue fails fast with [`EngineError::Busy`].
+    /// full queue fails fast with [`EngineError::Busy`]. See
+    /// [`Engine::evaluate_full`] for the variant that also returns the
+    /// failure manifest.
     pub fn evaluate(&self, spec: &ScenarioSpec) -> Result<Evaluation, EngineError> {
+        self.evaluate_full(spec).map_err(|f| f.error)
+    }
+
+    /// Like [`Engine::evaluate`], but failures carry a
+    /// [`FailureReport`] with the run manifest as far as it got —
+    /// including `cancelled_at_stage` for deadline failures.
+    // FailureReport inlines the manifest. Failures are the rare path and
+    // requests block on simulations; boxing would buy nothing.
+    #[allow(clippy::result_large_err)]
+    pub fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
         let t0 = Instant::now();
         let m = &self.shared.metrics;
         m.requests.fetch_add(1, Ordering::Relaxed);
@@ -137,25 +226,96 @@ impl Engine {
             Ok(_) => {
                 m.completed.fetch_add(1, Ordering::Relaxed);
             }
-            Err(EngineError::Busy) => {} // counted at the rejection site
-            Err(_) => {
+            // Backpressure is counted at the rejection/shed site.
+            Err(f) if matches!(f.error, EngineError::Busy { .. }) => {}
+            Err(f) => {
                 m.errors.fetch_add(1, Ordering::Relaxed);
+                if matches!(f.error, EngineError::DeadlineExceeded { .. }) {
+                    m.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         out
     }
 
-    fn evaluate_inner(&self, spec: &ScenarioSpec) -> Result<Evaluation, EngineError> {
+    /// Jobs currently sitting in the bounded queue.
+    fn queue_len(&self) -> usize {
+        self.tx.lock().as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Client backoff hint: ~100 ms per queued job ahead of the caller,
+    /// clamped to `[100, 5000]` ms.
+    fn retry_hint_ms(&self) -> u64 {
+        (100 * (1 + self.queue_len() as u64)).clamp(100, 5_000)
+    }
+
+    /// Records one rejected submission. Once rejections have been
+    /// continuous for the configured window, flips the engine into
+    /// cache-only degraded mode.
+    fn note_queue_full(&self) {
+        let Some(window) = self.degraded_after else {
+            return;
+        };
+        let mut since = self.shared.saturated_since.lock();
+        let start = *since.get_or_insert_with(Instant::now);
+        if start.elapsed() >= window && self.shared.metrics.degraded.swap(1, Ordering::Relaxed) == 0
+        {
+            solarstorm_obs::event!(
+                solarstorm_obs::Level::Warn,
+                "degraded_enter",
+                saturated_ms = start.elapsed().as_millis() as u64
+            );
+        }
+    }
+
+    /// Records one accepted submission, ending any saturation episode.
+    fn note_queue_ok(&self) {
+        if self.degraded_after.is_some() {
+            *self.shared.saturated_since.lock() = None;
+        }
+    }
+
+    /// In degraded mode returns the `retry_after_ms` hint the shed
+    /// response should carry; exits degraded mode (returning `None`)
+    /// once the queue has fully drained.
+    fn shed_if_degraded(&self) -> Option<u64> {
+        let m = &self.shared.metrics;
+        if m.degraded.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        if self.queue_len() == 0 {
+            m.degraded.store(0, Ordering::Relaxed);
+            *self.shared.saturated_since.lock() = None;
+            solarstorm_obs::event!(solarstorm_obs::Level::Info, "degraded_exit");
+            return None;
+        }
+        Some(self.retry_hint_ms())
+    }
+
+    /// Whether the engine is currently in cache-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.metrics.degraded.load(Ordering::Relaxed) != 0
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn evaluate_inner(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
         if !self.accepting.load(Ordering::Acquire) {
-            return Err(EngineError::ShuttingDown);
+            return Err(EngineError::ShuttingDown.into());
         }
         let t = Instant::now();
-        compute::validate(spec)?;
+        compute::validate(spec).map_err(FailureReport::from)?;
         let validate_ns = dur_ns(t.elapsed());
         solarstorm_obs::record_stage("validate", validate_ns);
 
+        // The deadline is not part of the scenario's identity: hash
+        // with it cleared, so deadlined and un-deadlined requests for
+        // the same work share a cache entry and a flight.
         let t = Instant::now();
-        let (canon, hash) = canon::content_hash(spec)
+        let hash_spec = ScenarioSpec {
+            deadline_ms: None,
+            ..spec.clone()
+        };
+        let (canon, hash) = canon::content_hash(&hash_spec)
             .map_err(|e| EngineError::InvalidSpec(format!("unserializable spec: {e}")))?;
         let hash_ns = dur_ns(t.elapsed());
         solarstorm_obs::record_stage("hash", hash_ns);
@@ -164,6 +324,12 @@ impl Engine {
         manifest.push_stage("validate", validate_ns);
         manifest.push_stage("hash", hash_ns);
         let m = &self.shared.metrics;
+
+        // The deadline clock starts at admission: queue wait counts.
+        let cancel = match spec.deadline_ms.or(self.default_deadline_ms) {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::none(),
+        };
 
         let t = Instant::now();
         let first_lookup = self.shared.cache.get(hash, &canon);
@@ -180,6 +346,7 @@ impl Engine {
             return Ok(Evaluation {
                 result,
                 cached: true,
+                degraded: self.is_degraded(),
                 hash,
                 manifest,
             });
@@ -200,10 +367,14 @@ impl Engine {
                     hash = manifest.spec_hash.clone()
                 );
                 let t = Instant::now();
-                let out = flight.wait()?;
+                let out = flight.wait_with_cancel(&cancel);
                 let wait_ns = dur_ns(t.elapsed());
                 solarstorm_obs::record_stage("dedup_wait", wait_ns);
                 manifest.push_stage("dedup_wait", wait_ns);
+                let out = match out {
+                    Ok(out) => out,
+                    Err(e) => return Err(fail(e, manifest)),
+                };
                 // A follower shares the leader's computation, so its
                 // manifest reports the leader's queue/compute cost.
                 manifest.push_stage("queue_wait", out.queue_wait_ns);
@@ -211,6 +382,7 @@ impl Engine {
                 Ok(Evaluation {
                     result: out.result,
                     cached: false,
+                    degraded: false,
                     hash,
                     manifest,
                 })
@@ -231,14 +403,29 @@ impl Engine {
                     return Ok(Evaluation {
                         result,
                         cached: true,
+                        degraded: self.is_degraded(),
                         hash,
                         manifest,
                     });
+                }
+                // Degraded mode: this is a confirmed miss, so shed it
+                // before it can occupy a queue slot.
+                if let Some(retry_after_ms) = self.shed_if_degraded() {
+                    m.load_shed.fetch_add(1, Ordering::Relaxed);
+                    solarstorm_obs::event!(
+                        solarstorm_obs::Level::Warn,
+                        "load_shed",
+                        hash = manifest.spec_hash.clone()
+                    );
+                    let err = EngineError::Busy { retry_after_ms };
+                    self.shared.flights.complete(&canon, Err(err.clone()));
+                    return Err(fail(err, manifest));
                 }
                 let job = Job {
                     canon: canon.clone(),
                     hash,
                     spec: spec.clone(),
+                    cancel,
                     enqueued: Instant::now(),
                 };
                 let sender = self.tx.lock().clone();
@@ -246,36 +433,47 @@ impl Engine {
                     self.shared
                         .flights
                         .complete(&canon, Err(EngineError::ShuttingDown));
-                    return Err(EngineError::ShuttingDown);
+                    return Err(fail(EngineError::ShuttingDown, manifest));
                 };
                 m.queue_depth.fetch_add(1, Ordering::Relaxed);
                 match sender.try_send(job) {
-                    Ok(()) => {}
+                    Ok(()) => self.note_queue_ok(),
                     Err(TrySendError::Full(_)) => {
                         m.dec_queue_depth();
                         m.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        self.note_queue_full();
                         solarstorm_obs::event!(
                             solarstorm_obs::Level::Warn,
                             "rejected_busy",
                             hash = manifest.spec_hash.clone()
                         );
-                        self.shared.flights.complete(&canon, Err(EngineError::Busy));
-                        return Err(EngineError::Busy);
+                        let err = EngineError::Busy {
+                            retry_after_ms: self.retry_hint_ms(),
+                        };
+                        self.shared.flights.complete(&canon, Err(err.clone()));
+                        return Err(fail(err, manifest));
                     }
                     Err(TrySendError::Disconnected(_)) => {
                         m.dec_queue_depth();
                         self.shared
                             .flights
                             .complete(&canon, Err(EngineError::ShuttingDown));
-                        return Err(EngineError::ShuttingDown);
+                        return Err(fail(EngineError::ShuttingDown, manifest));
                     }
                 }
-                let out = flight.wait()?;
+                // The worker always completes the flight — on a
+                // deadline it completes it with the deadline error —
+                // so the leader waits without its own timeout.
+                let out = match flight.wait() {
+                    Ok(out) => out,
+                    Err(e) => return Err(fail(e, manifest)),
+                };
                 manifest.push_stage("queue_wait", out.queue_wait_ns);
                 manifest.push_stage("compute", out.compute_ns);
                 Ok(Evaluation {
                     result: out.result,
                     cached: false,
+                    degraded: false,
                     hash,
                     manifest,
                 })
@@ -311,24 +509,82 @@ impl Drop for Engine {
     }
 }
 
+/// Builds a [`FailureReport`], marking the manifest's cancellation
+/// stage for deadline errors.
+fn fail(error: EngineError, mut manifest: RunManifest) -> FailureReport {
+    if let EngineError::DeadlineExceeded { stage } = &error {
+        manifest.mark_cancelled(stage);
+    }
+    FailureReport {
+        error,
+        manifest: Some(manifest),
+    }
+}
+
+/// Renders a caught panic payload for the typed `panic` error response.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     // recv drains remaining queued jobs after the sender drops, then
     // errors out — exactly the drain-then-stop semantics we want.
     while let Ok(job) = rx.recv() {
         shared.metrics.dec_queue_depth();
-        shared.metrics.computations.fetch_add(1, Ordering::Relaxed);
         let queue_wait_ns = dur_ns(job.enqueued.elapsed());
         solarstorm_obs::record_stage("queue_wait", queue_wait_ns);
+        // A deadline that expired while the job sat in the queue:
+        // don't start work whose answer nobody can use.
+        if job.cancel.is_cancelled() {
+            shared.flights.complete(
+                &job.canon,
+                Err(EngineError::DeadlineExceeded {
+                    stage: "queue_wait",
+                }),
+            );
+            continue;
+        }
+        shared.metrics.computations.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
-        let result = {
+        // Panic isolation: a panicking evaluation must cost exactly one
+        // response, not a worker thread. AssertUnwindSafe is sound here
+        // because the closure only touches the job (consumed with the
+        // panic) and `compute`'s shared dataset caches, which are
+        // initialize-once (`OnceLock`) and never left half-written.
+        let result = catch_unwind(AssertUnwindSafe(|| {
             let _span = solarstorm_obs::span!(
                 "engine_compute",
                 hash = format!("{:016x}", job.hash),
                 queue_wait_us = queue_wait_ns / 1_000
             );
-            compute::evaluate(&job.spec).map(Arc::new)
-        };
+            #[cfg(feature = "chaos")]
+            if solarstorm_obs::chaos::inject("engine.worker") {
+                return Err(EngineError::Compute(
+                    "chaos: injected error at engine.worker".into(),
+                ));
+            }
+            compute::evaluate(&job.spec, &job.cancel).map(Arc::new)
+        }))
+        .unwrap_or_else(|payload| {
+            shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            let message = panic_message(payload.as_ref());
+            solarstorm_obs::event!(
+                solarstorm_obs::Level::Error,
+                "worker_panicked",
+                hash = format!("{:016x}", job.hash),
+                message = message.clone()
+            );
+            Err(EngineError::Panicked { message })
+        });
         let compute_ns = dur_ns(t.elapsed());
+        // Only completed computations reach the cache: cancelled or
+        // panicked runs are errors here and are never inserted.
         if let Ok(value) = &result {
             shared
                 .cache
@@ -357,6 +613,24 @@ mod tests {
         }
     }
 
+    fn deadlined_sleep(ms: u64, deadline_ms: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            deadline_ms: Some(deadline_ms),
+            ..sleep_spec(ms)
+        }
+    }
+
+    /// Polls until `cond` holds or ~2 s pass.
+    fn wait_for(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..400 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
     #[test]
     fn evaluate_then_cache_hit() {
         let engine = Engine::new(EngineConfig {
@@ -366,6 +640,7 @@ mod tests {
         let spec = sleep_spec(5);
         let cold = engine.evaluate(&spec).unwrap();
         assert!(!cold.cached);
+        assert!(!cold.degraded);
         let warm = engine.evaluate(&spec).unwrap();
         assert!(warm.cached);
         assert_eq!(cold.hash, warm.hash);
@@ -374,6 +649,8 @@ mod tests {
         assert_eq!(m.computations, 1);
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.panics, 0);
+        assert_eq!(m.deadline_exceeded, 0);
     }
 
     #[test]
@@ -417,5 +694,144 @@ mod tests {
         let err = engine.evaluate(&sleep_spec(60_000)).unwrap_err();
         assert_eq!(err.code(), "invalid_spec");
         assert_eq!(engine.metrics().computations, 0);
+    }
+
+    #[test]
+    fn deadline_is_excluded_from_the_cache_identity() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let cold = engine.evaluate(&sleep_spec(5)).unwrap();
+        // Same work, generous deadline: must be the same cache entry.
+        let warm = engine.evaluate(&deadlined_sleep(5, 60_000)).unwrap();
+        assert!(warm.cached, "deadline must not change the content hash");
+        assert_eq!(cold.hash, warm.hash);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_and_caches_nothing() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let t0 = Instant::now();
+        let report = engine
+            .evaluate_full(&deadlined_sleep(2_000, 30))
+            .unwrap_err();
+        assert_eq!(report.error.code(), "deadline");
+        assert!(
+            t0.elapsed() < Duration::from_millis(1_500),
+            "cancellation must abandon the sleep early"
+        );
+        let manifest = report.manifest.expect("post-hash failures carry manifests");
+        assert!(
+            manifest.cancelled_at_stage.is_some(),
+            "the manifest must record where the run died"
+        );
+        assert_eq!(engine.metrics().deadline_exceeded, 1);
+        // The cancelled run must not have poisoned the cache: the same
+        // work without a deadline computes fresh and succeeds.
+        let clean = engine.evaluate(&sleep_spec(2_000)).unwrap();
+        assert!(!clean.cached, "a cancelled run must never be cached");
+    }
+
+    #[test]
+    fn engine_default_deadline_applies_to_bare_specs() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            default_deadline_ms: Some(30),
+            ..Default::default()
+        });
+        let err = engine.evaluate(&sleep_spec(2_000)).unwrap_err();
+        assert_eq!(err.code(), "deadline");
+        // A per-spec deadline overrides the engine default.
+        let ok = engine.evaluate(&deadlined_sleep(50, 60_000)).unwrap();
+        assert_eq!(*ok.result, ScenarioResult::Slept { ms: 50 });
+    }
+
+    #[test]
+    fn busy_rejections_carry_a_retry_hint() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..Default::default()
+        });
+        let engine = Arc::new(engine);
+        // Occupy the worker and then the single queue slot.
+        let mut held = Vec::new();
+        for ms in [300, 301] {
+            let engine = Arc::clone(&engine);
+            held.push(std::thread::spawn(move || engine.evaluate(&sleep_spec(ms))));
+        }
+        assert!(
+            wait_for(|| engine.metrics().queue_depth >= 1),
+            "the queue slot must fill"
+        );
+        let err = engine.evaluate(&sleep_spec(302)).unwrap_err();
+        match err {
+            EngineError::Busy { retry_after_ms } => {
+                assert!((100..=5_000).contains(&retry_after_ms), "{retry_after_ms}");
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        assert_eq!(err.code(), "busy");
+        for h in held {
+            h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn sustained_saturation_enters_and_drains_exit_degraded_mode() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            queue_cap: 1,
+            // Zero window: the first rejected submission already counts
+            // as "sustained", which makes the test deterministic.
+            degraded_after_ms: Some(0),
+            ..Default::default()
+        }));
+        // Seed the cache while healthy.
+        let seeded = engine.evaluate(&sleep_spec(5)).unwrap();
+        assert!(!seeded.degraded);
+
+        // Saturate: one job on the worker, one in the queue.
+        let mut held = Vec::new();
+        for ms in [400, 401] {
+            let engine = Arc::clone(&engine);
+            held.push(std::thread::spawn(move || engine.evaluate(&sleep_spec(ms))));
+        }
+        assert!(
+            wait_for(|| engine.metrics().queue_depth >= 1),
+            "the queue slot must fill"
+        );
+        // A rejected submission starts (and, with a zero window,
+        // completes) the saturation episode.
+        assert_eq!(
+            engine.evaluate(&sleep_spec(402)).unwrap_err().code(),
+            "busy"
+        );
+        assert!(engine.is_degraded());
+        assert!(engine.metrics().degraded);
+
+        // Degraded: misses shed without queueing, hits still answer.
+        let shed = engine.evaluate(&sleep_spec(403)).unwrap_err();
+        assert_eq!(shed.code(), "busy");
+        assert!(shed.retry_after_ms().is_some());
+        let hit = engine.evaluate(&sleep_spec(5)).unwrap();
+        assert!(hit.cached);
+        assert!(hit.degraded, "degraded cache hits must say so");
+        let m = engine.metrics();
+        assert!(m.load_shed >= 1, "shed misses must be counted");
+
+        // Drain, then the next miss exits degraded mode and computes.
+        for h in held {
+            h.join().unwrap().unwrap();
+        }
+        assert!(wait_for(|| engine.metrics().queue_depth == 0));
+        let fresh = engine.evaluate(&sleep_spec(404)).unwrap();
+        assert!(!fresh.cached && !fresh.degraded);
+        assert!(!engine.is_degraded());
+        assert!(!engine.metrics().degraded);
     }
 }

@@ -12,10 +12,33 @@ pub enum EngineError {
     InvalidSpec(String),
     /// The requested experiment id is not in the registry.
     UnknownExperiment(String),
-    /// The work queue is full; the caller should back off and retry.
-    Busy,
+    /// The work queue is full (or the engine is in cache-only degraded
+    /// mode); the caller should back off and retry after the hinted
+    /// delay.
+    Busy {
+        /// Suggested client backoff, milliseconds, scaled to the
+        /// current queue depth.
+        retry_after_ms: u64,
+    },
+    /// The server is at its connection cap or could not spawn a
+    /// handler thread; the caller should reconnect later.
+    Overloaded,
     /// The engine is draining and accepts no new work.
     ShuttingDown,
+    /// The request's deadline expired before the result was ready; any
+    /// partial work was discarded (never cached).
+    DeadlineExceeded {
+        /// Pipeline stage where the expired deadline was observed
+        /// (`queue_wait`, `compute`, `dedup_wait`).
+        stage: &'static str,
+    },
+    /// A worker panicked while evaluating the scenario. The worker
+    /// survived (the panic was caught at the job boundary) and nothing
+    /// was cached.
+    Panicked {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
     /// The computation itself failed.
     Compute(String),
 }
@@ -26,9 +49,20 @@ impl EngineError {
         match self {
             EngineError::InvalidSpec(_) => "invalid_spec",
             EngineError::UnknownExperiment(_) => "unknown_experiment",
-            EngineError::Busy => "busy",
+            EngineError::Busy { .. } => "busy",
+            EngineError::Overloaded => "overloaded",
             EngineError::ShuttingDown => "shutting_down",
+            EngineError::DeadlineExceeded { .. } => "deadline",
+            EngineError::Panicked { .. } => "panic",
             EngineError::Compute(_) => "compute",
+        }
+    }
+
+    /// The client backoff hint carried by backpressure errors, if any.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            EngineError::Busy { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 }
@@ -40,8 +74,22 @@ impl fmt::Display for EngineError {
             EngineError::UnknownExperiment(id) => {
                 write!(f, "unknown experiment id {id} (see `stormsim index`)")
             }
-            EngineError::Busy => write!(f, "engine queue full, retry later"),
+            EngineError::Busy { retry_after_ms } => {
+                write!(f, "engine queue full, retry in {retry_after_ms} ms")
+            }
+            EngineError::Overloaded => {
+                write!(f, "server at its connection limit, reconnect later")
+            }
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::DeadlineExceeded { stage } => {
+                write!(
+                    f,
+                    "deadline exceeded during {stage}; partial work discarded"
+                )
+            }
+            EngineError::Panicked { message } => {
+                write!(f, "worker panicked evaluating the scenario: {message}")
+            }
             EngineError::Compute(m) => write!(f, "scenario computation failed: {m}"),
         }
     }
@@ -54,6 +102,9 @@ impl From<solarstorm_sim::SimError> for EngineError {
         match e {
             solarstorm_sim::SimError::InvalidConfig { .. } => {
                 EngineError::InvalidSpec(e.to_string())
+            }
+            solarstorm_sim::SimError::Cancelled => {
+                EngineError::DeadlineExceeded { stage: "compute" }
             }
             other => EngineError::Compute(other.to_string()),
         }
@@ -90,14 +141,52 @@ mod tests {
 
     #[test]
     fn codes_are_stable() {
-        assert_eq!(EngineError::Busy.code(), "busy");
+        assert_eq!(
+            EngineError::Busy {
+                retry_after_ms: 100
+            }
+            .code(),
+            "busy"
+        );
+        assert_eq!(EngineError::Overloaded.code(), "overloaded");
         assert_eq!(EngineError::ShuttingDown.code(), "shutting_down");
         assert_eq!(EngineError::InvalidSpec("x".into()).code(), "invalid_spec");
         assert_eq!(
             EngineError::UnknownExperiment("Z9".into()).code(),
             "unknown_experiment"
         );
+        assert_eq!(
+            EngineError::DeadlineExceeded { stage: "compute" }.code(),
+            "deadline"
+        );
+        assert_eq!(
+            EngineError::Panicked {
+                message: "x".into()
+            }
+            .code(),
+            "panic"
+        );
         assert_eq!(EngineError::Compute("x".into()).code(), "compute");
+    }
+
+    #[test]
+    fn only_busy_carries_a_retry_hint() {
+        assert_eq!(
+            EngineError::Busy {
+                retry_after_ms: 250
+            }
+            .retry_after_ms(),
+            Some(250)
+        );
+        assert_eq!(EngineError::Overloaded.retry_after_ms(), None);
+        assert_eq!(EngineError::ShuttingDown.retry_after_ms(), None);
+    }
+
+    #[test]
+    fn sim_cancellation_maps_to_deadline() {
+        let e: EngineError = solarstorm_sim::SimError::Cancelled.into();
+        assert_eq!(e.code(), "deadline");
+        assert_eq!(e, EngineError::DeadlineExceeded { stage: "compute" });
     }
 
     #[test]

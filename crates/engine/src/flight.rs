@@ -42,10 +42,37 @@ impl Flight {
     /// Blocks until the computation completes and returns its output.
     pub fn wait(&self) -> Result<FlightOutput, EngineError> {
         let mut g = self.slot.lock();
-        while g.is_none() {
+        loop {
+            if let Some(r) = g.as_ref() {
+                return r.clone();
+            }
             self.cv.wait(&mut g);
         }
-        g.as_ref().expect("slot filled").clone()
+    }
+
+    /// Like [`Flight::wait`], but gives up once `cancel` fires. Only
+    /// this caller's wait is abandoned — the shared computation keeps
+    /// running for everyone else on the flight.
+    pub fn wait_with_cancel(
+        &self,
+        cancel: &solarstorm_sim::cancel::CancelToken,
+    ) -> Result<FlightOutput, EngineError> {
+        let mut g = self.slot.lock();
+        loop {
+            if let Some(r) = g.as_ref() {
+                return r.clone();
+            }
+            if cancel.is_cancelled() {
+                return Err(EngineError::DeadlineExceeded {
+                    stage: "dedup_wait",
+                });
+            }
+            // Bounded wait: the token has no waker, so poll it at a
+            // resolution far below any plausible deadline.
+            let _ = self
+                .cv
+                .wait_for(&mut g, std::time::Duration::from_millis(5));
+        }
     }
 
     fn fill(&self, r: Result<FlightOutput, EngineError>) {
@@ -143,7 +170,41 @@ mod tests {
         let Role::Join(f) = table.join_or_lead("k") else {
             panic!("join");
         };
-        table.complete("k", Err(EngineError::Busy));
-        assert_eq!(f.wait().unwrap_err(), EngineError::Busy);
+        table.complete("k", Err(EngineError::Busy { retry_after_ms: 7 }));
+        assert_eq!(
+            f.wait().unwrap_err(),
+            EngineError::Busy { retry_after_ms: 7 }
+        );
+    }
+
+    #[test]
+    fn cancelled_follower_abandons_the_wait_alone() {
+        use solarstorm_sim::cancel::CancelToken;
+        let table = FlightTable::default();
+        let Role::Lead(_) = table.join_or_lead("k") else {
+            panic!("lead");
+        };
+        let Role::Join(f) = table.join_or_lead("k") else {
+            panic!("join");
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            f.wait_with_cancel(&token).unwrap_err(),
+            EngineError::DeadlineExceeded {
+                stage: "dedup_wait"
+            }
+        );
+        // The flight itself is untouched: a later completion still
+        // reaches followers that kept waiting.
+        table.complete(
+            "k",
+            Ok(FlightOutput {
+                result: Arc::new(ScenarioResult::Slept { ms: 1 }),
+                queue_wait_ns: 1,
+                compute_ns: 1,
+            }),
+        );
+        assert!(f.wait_with_cancel(&CancelToken::none()).is_ok());
     }
 }

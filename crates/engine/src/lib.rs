@@ -26,6 +26,31 @@
 //!   response: spec content hash, RNG seed, dataset scale, engine
 //!   version, and a per-stage wall-time breakdown.
 //!
+//! # Fault tolerance
+//!
+//! The service is built to keep answering when individual requests go
+//! wrong:
+//!
+//! * **Deadlines** — [`ScenarioSpec::deadline_ms`] (or the engine-wide
+//!   [`EngineConfig::default_deadline_ms`]) bounds a request from
+//!   admission, queue wait included. Expiry cancels the running
+//!   simulation cooperatively, answers with the typed `deadline` error,
+//!   records the stage it died in on the [`RunManifest`], and caches
+//!   nothing.
+//! * **Panic isolation** — a panic inside one evaluation is caught at
+//!   the worker boundary and becomes the typed `panic` error for that
+//!   request alone; the worker survives, the panic is counted in
+//!   [`EngineMetrics::panics`], and the simulation thread pool respawns
+//!   any worker a panic kills.
+//! * **Load shedding** — a full queue answers [`EngineError::Busy`]
+//!   with a `retry_after_ms` backoff hint; sustained saturation flips
+//!   the engine into cache-only degraded mode (cache hits still served,
+//!   marked `degraded`; misses shed) until the queue drains.
+//! * **Chaos harness** — the `chaos` feature compiles in deterministic
+//!   fault injection at named points (worker, compute entry, sim pool,
+//!   server write path) driving an integration suite that asserts the
+//!   service keeps answering under every fault.
+//!
 //! Frontends: [`Server`] speaks newline-delimited JSON over
 //! `std::net::TcpListener` (`stormsim serve`), and the same
 //! [`proto`] handlers back `stormsim batch` for offline NDJSON bulk
@@ -52,6 +77,10 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+// The service must degrade into typed errors, never abort: unwrap/expect
+// are banned from non-test engine code (narrow `#[allow]`s mark the few
+// provably-infallible sites). Unit tests (cfg(test)) assert freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cache;
 pub mod canon;
@@ -67,13 +96,13 @@ pub mod proto;
 mod server;
 mod spec;
 
-pub use engine::{Engine, EngineConfig, Evaluation};
+pub use engine::{Engine, EngineConfig, Evaluation, FailureReport};
 pub use error::EngineError;
 pub use manifest::{RunManifest, StageTiming};
 pub use metrics::{EngineMetrics, LatencySummary, StageSummary};
 pub use metrics_http::MetricsServer;
 pub use proto::{Request, RequestBody, Response, WireError};
-pub use server::{Server, ServerConfig};
+pub use server::{serve_stream, Server, ServerConfig};
 pub use spec::{
     AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
     SweepPointResult,

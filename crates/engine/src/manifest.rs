@@ -41,6 +41,13 @@ pub struct RunManifest {
     pub kernel: String,
     /// Version of `solarstorm-engine` that produced the result.
     pub engine_version: String,
+    /// Pipeline stage at which the run was cancelled by its deadline,
+    /// when it was (`queue_wait`, `compute`, `dedup_wait`). `None` for
+    /// runs that completed. A manifest with this set describes a run
+    /// whose partial work was discarded — its trials are **not**
+    /// comparable to any completed run's.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cancelled_at_stage: Option<String>,
     /// Per-stage wall-time breakdown, in execution order.
     pub stages: Vec<StageTiming>,
 }
@@ -57,8 +64,15 @@ impl RunManifest {
             trials: spec.mc.trials,
             kernel: spec.kernel.name().to_string(),
             engine_version: env!("CARGO_PKG_VERSION").to_string(),
+            cancelled_at_stage: None,
             stages: Vec::new(),
         }
+    }
+
+    /// Marks the run as cancelled at `stage` (first mark wins).
+    pub fn mark_cancelled(&mut self, stage: &'static str) {
+        self.cancelled_at_stage
+            .get_or_insert_with(|| stage.to_string());
     }
 
     /// Appends one stage duration (nanoseconds, clamped to ≥ 1).
@@ -75,7 +89,9 @@ impl RunManifest {
     }
 
     /// Whether two manifests describe the same run identity — every
-    /// field except the volatile stage timings.
+    /// field except the volatile outcome (stage timings and the
+    /// cancellation marker): a run cancelled by its deadline still has
+    /// the same identity as a completed run of the same spec.
     pub fn same_identity(&self, other: &RunManifest) -> bool {
         self.spec_hash == other.spec_hash
             && self.seed == other.seed
@@ -118,6 +134,27 @@ mod tests {
         assert_eq!(a.kernel, "crn_axis");
         assert_eq!(b.kernel, "per_point");
         assert!(!a.same_identity(&b), "kernel is part of run identity");
+    }
+
+    #[test]
+    fn cancellation_marker_round_trips_and_keeps_identity() {
+        let spec = ScenarioSpec::default();
+        let mut cancelled = RunManifest::new(&spec, 0x1);
+        cancelled.mark_cancelled("compute");
+        cancelled.mark_cancelled("dedup_wait"); // first mark wins
+        assert_eq!(cancelled.cancelled_at_stage.as_deref(), Some("compute"));
+
+        let completed = RunManifest::new(&spec, 0x1);
+        assert!(cancelled.same_identity(&completed));
+
+        let s = serde_json::to_string(&cancelled).unwrap();
+        assert!(s.contains(r#""cancelled_at_stage":"compute""#), "{s}");
+        let back: RunManifest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, cancelled);
+        // Completed runs don't carry the field on the wire at all, so
+        // pre-deadline manifests still deserialize (serde default).
+        let s = serde_json::to_string(&completed).unwrap();
+        assert!(!s.contains("cancelled_at_stage"), "{s}");
     }
 
     #[test]

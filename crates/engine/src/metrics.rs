@@ -16,6 +16,11 @@ pub(crate) struct Registry {
     pub completed: AtomicU64,
     pub errors: AtomicU64,
     pub rejected_busy: AtomicU64,
+    pub panics: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub load_shed: AtomicU64,
+    /// 1 while the engine is in cache-only degraded mode, else 0.
+    pub degraded: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     pub dedup_joins: AtomicU64,
@@ -34,6 +39,10 @@ impl Default for Registry {
             completed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            load_shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             dedup_joins: AtomicU64::new(0),
@@ -102,6 +111,10 @@ impl Registry {
             completed: self.completed.load(Relaxed),
             errors: self.errors.load(Relaxed),
             rejected_busy: self.rejected_busy.load(Relaxed),
+            panics: self.panics.load(Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Relaxed),
+            load_shed: self.load_shed.load(Relaxed),
+            degraded: self.degraded.load(Relaxed) != 0,
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
             dedup_joins: self.dedup_joins.load(Relaxed),
@@ -110,11 +123,11 @@ impl Registry {
             cache_entries: cache_entries as u64,
             latency: LatencySummary {
                 count,
-                mean_us: if count == 0 {
-                    0
-                } else {
-                    self.latency_sum_us.load(Relaxed) / count
-                },
+                mean_us: self
+                    .latency_sum_us
+                    .load(Relaxed)
+                    .checked_div(count)
+                    .unwrap_or(0),
                 p50_us: self.percentile_us(&counts, count, 0.50),
                 p99_us: self.percentile_us(&counts, count, 0.99),
                 max_us: self.latency_max_us.load(Relaxed),
@@ -180,6 +193,19 @@ pub struct EngineMetrics {
     pub errors: u64,
     /// Requests rejected because the queue was full.
     pub rejected_busy: u64,
+    /// Worker panics caught at the job boundary (the worker survived).
+    /// Missing in snapshots from older engines, hence the default.
+    #[serde(default)]
+    pub panics: u64,
+    /// Requests whose deadline expired before completion.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Cache misses shed without queueing while degraded.
+    #[serde(default)]
+    pub load_shed: u64,
+    /// Whether the engine is currently in cache-only degraded mode.
+    #[serde(default)]
+    pub degraded: bool,
     /// Requests answered straight from the result cache.
     pub cache_hits: u64,
     /// Requests that missed the cache.
@@ -234,6 +260,21 @@ impl EngineMetrics {
                 self.rejected_busy,
             ),
             (
+                "stormsim_panics_total",
+                "Worker panics caught at the job boundary.",
+                self.panics,
+            ),
+            (
+                "stormsim_deadline_exceeded_total",
+                "Requests whose deadline expired before completion.",
+                self.deadline_exceeded,
+            ),
+            (
+                "stormsim_load_shed_total",
+                "Cache misses shed without queueing while degraded.",
+                self.load_shed,
+            ),
+            (
                 "stormsim_cache_hits_total",
                 "Requests answered straight from the result cache.",
                 self.cache_hits,
@@ -266,6 +307,11 @@ impl EngineMetrics {
                 "stormsim_cache_entries",
                 "Entries currently in the result cache.",
                 self.cache_entries,
+            ),
+            (
+                "stormsim_degraded",
+                "1 while the engine is in cache-only degraded mode.",
+                u64::from(self.degraded),
             ),
         ] {
             prom_scalar(&mut out, name, "gauge", help, v);
@@ -432,6 +478,29 @@ mod tests {
         });
         let m: EngineMetrics = serde_json::from_value(legacy).unwrap();
         assert!(m.stages.is_empty());
+        // The fault-tolerance counters postdate stages; they default too.
+        assert_eq!(m.panics, 0);
+        assert_eq!(m.deadline_exceeded, 0);
+        assert_eq!(m.load_shed, 0);
+        assert!(!m.degraded);
+    }
+
+    #[test]
+    fn fault_counters_reach_prometheus() {
+        let r = Registry::default();
+        r.panics.fetch_add(2, Relaxed);
+        r.deadline_exceeded.fetch_add(3, Relaxed);
+        r.load_shed.fetch_add(4, Relaxed);
+        r.degraded.store(1, Relaxed);
+        let text = snap(&r).to_prometheus();
+        assert!(text.contains("\nstormsim_panics_total 2\n"), "{text}");
+        assert!(
+            text.contains("\nstormsim_deadline_exceeded_total 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("\nstormsim_load_shed_total 4\n"), "{text}");
+        assert!(text.contains("# TYPE stormsim_degraded gauge\n"), "{text}");
+        assert!(text.contains("\nstormsim_degraded 1\n"), "{text}");
     }
 
     #[test]

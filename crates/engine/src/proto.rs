@@ -51,10 +51,20 @@ pub struct Request {
 /// Machine-readable error payload.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireError {
-    /// Stable error code (`busy`, `invalid_spec`, `parse`, …).
+    /// Stable error code (`busy`, `overloaded`, `deadline`, `panic`,
+    /// `invalid_spec`, `parse`, …).
     pub code: String,
     /// Human-readable message.
     pub message: String,
+    /// Suggested client backoff in milliseconds, on `busy` responses.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retry_after_ms: Option<u64>,
+}
+
+/// `skip_serializing_if` helper: keeps `degraded` off the wire in the
+/// common (healthy) case.
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 /// One response line. Identical requests produce byte-identical
@@ -77,6 +87,10 @@ pub struct Response {
     /// The error payload on failure.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<WireError>,
+    /// Whether the answer was served from cache while the engine was
+    /// in cache-only degraded mode. Omitted (false) when healthy.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub degraded: bool,
     /// Run provenance (scenario requests only): spec hash, seed, scale,
     /// engine version, and per-stage wall-time breakdown.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -92,13 +106,23 @@ impl Response {
             hash: hash.map(|h| format!("{h:016x}")),
             result: Some(result),
             error: None,
+            degraded: false,
             manifest: None,
         }
     }
 
-    /// Attaches a run manifest to a (success) response.
+    /// Attaches a run manifest to a response (success responses always
+    /// carry one; failure responses carry it when the run got far
+    /// enough to have provenance — e.g. a deadline records the stage it
+    /// died in).
     pub fn with_manifest(mut self, manifest: RunManifest) -> Self {
         self.manifest = Some(manifest);
+        self
+    }
+
+    /// Marks the response as served under cache-only degraded mode.
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
         self
     }
 
@@ -112,14 +136,36 @@ impl Response {
             error: Some(WireError {
                 code: code.to_string(),
                 message,
+                retry_after_ms: None,
             }),
             manifest: None,
+            degraded: false,
         }
     }
 
+    /// A failure response for a typed engine error, carrying its
+    /// backoff hint when it has one.
+    pub fn from_error(id: Option<String>, e: &EngineError) -> Self {
+        let mut resp = Response::failure(id, e.code(), e.to_string());
+        if let Some(err) = resp.error.as_mut() {
+            err.retry_after_ms = e.retry_after_ms();
+        }
+        resp
+    }
+
     /// Serializes to one NDJSON line (without the trailing newline).
+    ///
+    /// Serialization of a response built from engine values cannot
+    /// fail; if it ever does, the client still receives one well-formed
+    /// error line rather than a dropped connection or a panic.
     pub fn to_line(&self) -> String {
-        serde_json::to_string(self).expect("response serializes")
+        serde_json::to_string(self).unwrap_or_else(|_| {
+            concat!(
+                r#"{"ok":false,"error":{"code":"internal","#,
+                r#""message":"response serialization failed"}}"#
+            )
+            .to_string()
+        })
     }
 }
 
@@ -147,7 +193,7 @@ pub fn handle_request(engine: &Engine, req: Request) -> Response {
             Ok(v) => Response::success(req.id, None, v),
             Err(e) => Response::failure(req.id, "internal", e.to_string()),
         },
-        RequestBody::Scenario { spec } => match engine.evaluate(&spec) {
+        RequestBody::Scenario { spec } => match engine.evaluate_full(&spec) {
             Ok(eval) => {
                 let t = std::time::Instant::now();
                 let serialized = serde_json::to_value(&*eval.result);
@@ -157,12 +203,22 @@ pub fn handle_request(engine: &Engine, req: Request) -> Response {
                     Ok(v) => {
                         let mut manifest = eval.manifest;
                         manifest.push_stage("serialize", serialize_ns);
-                        Response::success(req.id, Some(eval.hash), v).with_manifest(manifest)
+                        Response::success(req.id, Some(eval.hash), v)
+                            .with_degraded(eval.degraded)
+                            .with_manifest(manifest)
                     }
                     Err(e) => Response::failure(req.id, "internal", e.to_string()),
                 }
             }
-            Err(e) => Response::failure(req.id, e.code(), e.to_string()),
+            Err(report) => {
+                let resp = Response::from_error(req.id, &report.error);
+                match report.manifest {
+                    // Deadline/compute failures keep their provenance —
+                    // the manifest says which stage the run died in.
+                    Some(manifest) => resp.with_manifest(manifest),
+                    None => resp,
+                }
+            }
         },
     }
 }
@@ -178,7 +234,7 @@ pub fn handle_line(engine: &Engine, line: &str) -> Response {
 /// Maps an [`EngineError`] to its wire code — re-exported for frontends
 /// that answer without going through [`handle_request`].
 pub fn error_response(id: Option<String>, e: &EngineError) -> Response {
-    Response::failure(id, e.code(), e.to_string())
+    Response::from_error(id, e)
 }
 
 #[cfg(test)]
@@ -225,6 +281,38 @@ mod tests {
         assert!(!line.contains("result"), "{line}");
         let back: Response = serde_json::from_str(&line).unwrap();
         assert_eq!(back, err);
+    }
+
+    #[test]
+    fn busy_responses_carry_the_retry_hint() {
+        let busy = Response::from_error(
+            Some("q".into()),
+            &EngineError::Busy {
+                retry_after_ms: 250,
+            },
+        );
+        let line = busy.to_line();
+        assert!(line.contains(r#""retry_after_ms":250"#), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, busy);
+        // Non-backpressure errors never carry the hint.
+        let other = Response::from_error(None, &EngineError::ShuttingDown);
+        assert!(!other.to_line().contains("retry_after_ms"));
+    }
+
+    #[test]
+    fn degraded_flag_is_omitted_when_healthy() {
+        let healthy = Response::success(None, None, serde_json::json!("pong"));
+        assert!(
+            !healthy.to_line().contains("degraded"),
+            "{}",
+            healthy.to_line()
+        );
+        let degraded = healthy.clone().with_degraded(true);
+        let line = degraded.to_line();
+        assert!(line.contains(r#""degraded":true"#), "{line}");
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.degraded);
     }
 
     #[test]

@@ -3,13 +3,19 @@
 //!
 //! Built on `std::net::TcpListener` only. Connections get a read
 //! timeout so an idle or half-dead client cannot pin a thread forever;
-//! malformed lines are answered with a JSON error, never a panic or a
-//! dropped connection.
+//! malformed lines — including invalid UTF-8 — are answered with a
+//! JSON error, never a panic or a silently dropped connection.
+//! Connection count is capped: past [`ServerConfig::max_connections`]
+//! (or if a handler thread cannot be spawned) the client receives one
+//! `overloaded` error line and the connection is closed, instead of
+//! being accepted and then ignored.
 
 use crate::engine::Engine;
+use crate::error::EngineError;
 use crate::proto;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,6 +28,9 @@ pub struct ServerConfig {
     /// Longest accepted request line in bytes; longer lines are
     /// answered with a parse error and the connection is closed.
     pub max_line_bytes: usize,
+    /// Concurrent-connection cap; connections beyond it are answered
+    /// with one `overloaded` error line and closed.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -29,6 +38,7 @@ impl Default for ServerConfig {
         ServerConfig {
             read_timeout: Duration::from_secs(60),
             max_line_bytes: 1 << 20,
+            max_connections: 256,
         }
     }
 }
@@ -38,6 +48,51 @@ pub struct Server {
     listener: TcpListener,
     engine: Arc<Engine>,
     cfg: ServerConfig,
+}
+
+/// RAII share of the connection budget: decrements the live-connection
+/// count when the handler finishes, however it finishes.
+struct ConnGuard {
+    live: Arc<AtomicUsize>,
+}
+
+impl ConnGuard {
+    /// Claims a connection slot, or returns `None` at the cap.
+    fn try_acquire(live: &Arc<AtomicUsize>, cap: usize) -> Option<ConnGuard> {
+        let mut current = live.load(Ordering::Relaxed);
+        loop {
+            if current >= cap {
+                return None;
+            }
+            match live.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(ConnGuard {
+                        live: Arc::clone(live),
+                    })
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Writes one `overloaded` error line to a connection that is being
+/// turned away, then lets the stream drop.
+fn refuse_overloaded(mut stream: TcpStream) {
+    let resp = proto::error_response(None, &EngineError::Overloaded);
+    let _ = writeln!(stream, "{}", resp.to_line());
+    let _ = stream.flush();
 }
 
 impl Server {
@@ -57,21 +112,39 @@ impl Server {
     }
 
     /// Accept loop: serves forever, one spawned thread per connection.
-    /// Accept errors on a single connection are logged and survived.
+    /// Accept errors on a single connection are logged and survived;
+    /// connections past the cap — and connections whose handler thread
+    /// cannot be spawned — are answered with an `overloaded` error
+    /// line, never silently dropped.
     pub fn run(self) -> std::io::Result<()> {
+        let live = Arc::new(AtomicUsize::new(0));
         for conn in self.listener.incoming() {
             match conn {
                 Ok(stream) => {
+                    let Some(guard) =
+                        ConnGuard::try_acquire(&live, self.cfg.max_connections.max(1))
+                    else {
+                        refuse_overloaded(stream);
+                        continue;
+                    };
                     let engine = Arc::clone(&self.engine);
                     let cfg = self.cfg.clone();
                     let peer = stream
                         .peer_addr()
                         .map(|a| a.to_string())
                         .unwrap_or_else(|_| "?".into());
-                    std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name(format!("storm-conn-{peer}"))
-                        .spawn(move || handle_connection(&engine, stream, &cfg))
-                        .ok();
+                        .spawn(move || {
+                            let _guard = guard;
+                            handle_connection(&engine, stream, &cfg);
+                        });
+                    if let Err(e) = spawned {
+                        // The stream moved into the failed spawn and is
+                        // gone; all we can do is record the refusal.
+                        // (The guard moved too, so the count self-heals.)
+                        eprintln!("connection from {peer} refused: spawn failed: {e}");
+                    }
                 }
                 Err(e) => eprintln!("accept error: {e}"),
             }
@@ -83,23 +156,43 @@ impl Server {
 /// Serves one connection until EOF, timeout, or I/O error.
 fn handle_connection(engine: &Engine, stream: TcpStream, cfg: &ServerConfig) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let mut writer = match stream.try_clone() {
+    let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    serve_stream(engine, BufReader::new(stream), writer, cfg);
+}
+
+/// Serves NDJSON request lines from `reader`, writing one response line
+/// per request to `writer`, until EOF, timeout, or a write error.
+///
+/// This is the whole protocol loop behind the TCP frontend, generic
+/// over the transport so harnesses (and the protocol fuzz tests) can
+/// drive it over in-memory buffers. Invariant: every non-empty request
+/// line — valid, malformed, binary garbage, or overlong — is answered
+/// with exactly one well-formed JSON response line before the
+/// connection is (at worst) closed.
+pub fn serve_stream<R: BufRead, W: Write>(
+    engine: &Engine,
+    mut reader: R,
+    mut writer: W,
+    cfg: &ServerConfig,
+) {
+    let mut buf = Vec::new();
     loop {
-        line.clear();
-        // take() bounds the line length; a giant line errors instead of
-        // buffering without limit.
+        buf.clear();
+        // read_until (not read_line) so invalid UTF-8 is data to answer
+        // with a parse error, not an I/O error that kills the
+        // connection without a response. take() bounds the line length;
+        // a giant line errors instead of buffering without limit.
         let mut limited = (&mut reader).take(cfg.max_line_bytes as u64);
-        match limited.read_line(&mut line) {
+        match limited.read_until(b'\n', &mut buf) {
             Ok(0) => return, // EOF
-            Ok(_) if line.ends_with('\n') || line.len() < cfg.max_line_bytes => {}
+            Ok(_) if buf.ends_with(b"\n") || buf.len() < cfg.max_line_bytes => {}
             Ok(_) => {
                 let resp = proto::Response::failure(None, "parse", "request line too long".into());
                 let _ = writeln!(writer, "{}", resp.to_line());
+                let _ = writer.flush();
                 return;
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
@@ -107,11 +200,21 @@ fn handle_connection(engine: &Engine, stream: TcpStream, cfg: &ServerConfig) {
             }
             Err(_) => return,
         }
+        let line = String::from_utf8_lossy(&buf);
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
         let resp = proto::handle_line(engine, trimmed);
+        #[cfg(feature = "chaos")]
+        let resp = if solarstorm_obs::chaos::inject("server.write") {
+            // An injected write fault: drop this connection the way a
+            // broken pipe would. The accept loop — and every other
+            // connection — keeps serving.
+            return;
+        } else {
+            resp
+        };
         if writeln!(writer, "{}", resp.to_line()).is_err() || writer.flush().is_err() {
             return;
         }
@@ -123,16 +226,19 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
 
-    fn spawn_server() -> (SocketAddr, Arc<Engine>) {
+    fn spawn_server_with(cfg: ServerConfig) -> (SocketAddr, Arc<Engine>) {
         let engine = Arc::new(Engine::new(EngineConfig {
             workers: 2,
             ..Default::default()
         }));
-        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
-            .expect("bind");
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), cfg).expect("bind");
         let addr = server.local_addr().unwrap();
         std::thread::spawn(move || server.run());
         (addr, engine)
+    }
+
+    fn spawn_server() -> (SocketAddr, Arc<Engine>) {
+        spawn_server_with(ServerConfig::default())
     }
 
     fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
@@ -187,5 +293,87 @@ mod tests {
         let mut resp = String::new();
         reader.read_line(&mut resp).unwrap();
         assert!(resp.contains("pong"), "{resp}");
+    }
+
+    #[test]
+    fn invalid_utf8_gets_a_parse_error_not_a_dropped_connection() {
+        let (addr, _engine) = spawn_server();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"\xff\xfe not utf8 \x00\n").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains(r#""code":"parse""#), "{resp}");
+        // The connection is still alive and answering.
+        writeln!(writer, r#"{{"type":"ping"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("pong"), "{resp}");
+    }
+
+    #[test]
+    fn connections_past_the_cap_get_an_overloaded_line() {
+        let (addr, _engine) = spawn_server_with(ServerConfig {
+            max_connections: 1,
+            ..Default::default()
+        });
+        // First connection claims the only slot (and proves liveness).
+        let first = TcpStream::connect(addr).unwrap();
+        let mut w = first.try_clone().unwrap();
+        let mut r = BufReader::new(first);
+        writeln!(w, r#"{{"type":"ping"}}"#).unwrap();
+        w.flush().unwrap();
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        assert!(resp.contains("pong"), "{resp}");
+
+        // Second connection is refused with one well-formed line.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut r2 = BufReader::new(second);
+        let mut refusal = String::new();
+        r2.read_line(&mut refusal).unwrap();
+        assert!(refusal.contains(r#""code":"overloaded""#), "{refusal}");
+
+        // Releasing the first slot re-opens the server.
+        drop(w);
+        drop(r);
+        let ok = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            let Ok(s) = TcpStream::connect(addr) else {
+                return false;
+            };
+            let mut w = s.try_clone().unwrap();
+            let mut r = BufReader::new(s);
+            if writeln!(w, r#"{{"type":"ping"}}"#).is_err() {
+                return false;
+            }
+            let mut resp = String::new();
+            r.read_line(&mut resp).is_ok() && resp.contains("pong")
+        });
+        assert!(ok, "slot must be released after the connection closes");
+    }
+
+    #[test]
+    fn serve_stream_answers_in_memory_transports() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let input = b"{\"type\":\"ping\"}\nnot json\n".to_vec();
+        let mut output = Vec::new();
+        serve_stream(
+            &engine,
+            std::io::Cursor::new(input),
+            &mut output,
+            &ServerConfig::default(),
+        );
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("pong"), "{text}");
+        assert!(lines[1].contains(r#""code":"parse""#), "{text}");
     }
 }

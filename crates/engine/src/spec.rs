@@ -130,6 +130,19 @@ pub struct ScenarioSpec {
     /// kernel is part of the scenario's cache identity.
     #[serde(default)]
     pub kernel: Kernel,
+    /// Optional per-request deadline, in milliseconds from admission
+    /// (queue wait counts against it). A run still going when it
+    /// expires is cancelled cooperatively and answered with a
+    /// `deadline` error; its partial work is discarded, never cached.
+    /// Unset, the engine-wide default
+    /// ([`crate::EngineConfig::default_deadline_ms`]) applies.
+    ///
+    /// The deadline is *not* part of the scenario's identity: two specs
+    /// differing only here share one cache entry and one in-flight
+    /// computation (the engine hashes the spec with this field
+    /// cleared).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
 }
 
 /// Per-trial summary returned by [`AnalysisRequest::Outcomes`]: the two
@@ -246,6 +259,17 @@ mod tests {
     #[test]
     fn unknown_fields_are_rejected() {
         assert!(serde_json::from_str::<ScenarioSpec>(r#"{"bogus": 1}"#).is_err());
+    }
+
+    #[test]
+    fn deadline_parses_and_stays_off_the_wire_when_unset() {
+        let spec: ScenarioSpec = serde_json::from_str(r#"{"deadline_ms": 250}"#).unwrap();
+        assert_eq!(spec.deadline_ms, Some(250));
+        let bare = serde_json::to_string(&ScenarioSpec::default()).unwrap();
+        assert!(
+            !bare.contains("deadline_ms"),
+            "an unset deadline must not appear in serialized specs: {bare}"
+        );
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Chaos-injection suite: with deterministic faults armed at every
+//! named point, the service keeps answering well-formed typed
+//! responses — no dropped requests, no poisoned cache, no narrowed
+//! simulation pool.
+//!
+//! Compiled only with `--features chaos`. The fault registry is
+//! process-global, so every test holds [`chaos_lock`] and disarms the
+//! registry on entry and exit.
+
+#![cfg(feature = "chaos")]
+
+use solarstorm_engine::{
+    AnalysisRequest, Engine, EngineConfig, FailureSpec, ScenarioSpec, Server, ServerConfig,
+};
+use solarstorm_obs::chaos::{self, Fault};
+use solarstorm_sim::pool::WorkerPool;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Serializes chaos tests: the fault registry is process-global, and a
+/// fault armed by one test must never fire inside another.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        // A previous test panicked while holding the lock; the registry
+        // itself is not poisoned, so continue.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    chaos::reset();
+    guard
+}
+
+fn engine(workers: usize) -> Engine {
+    Engine::new(EngineConfig {
+        workers,
+        ..Default::default()
+    })
+}
+
+fn sleep_spec(ms: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        analysis: AnalysisRequest::Sleep { ms },
+        ..Default::default()
+    }
+}
+
+fn stats_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        model: FailureSpec::S2,
+        analysis: AnalysisRequest::Stats,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_compute_panic_becomes_a_typed_error_and_caches_nothing() {
+    let _guard = chaos_lock();
+    let engine = engine(1);
+    chaos::arm("compute.evaluate", Fault::Panic, 1);
+
+    let spec = sleep_spec(3);
+    let report = engine.evaluate_full(&spec).unwrap_err();
+    assert_eq!(report.error.code(), "panic");
+    assert!(
+        report.error.to_string().contains("compute.evaluate"),
+        "panic error must carry the panic message: {}",
+        report.error
+    );
+    assert_eq!(chaos::fired_count("compute.evaluate"), 1);
+
+    let m = engine.metrics();
+    assert_eq!(m.panics, 1);
+    assert_eq!(m.errors, 1);
+    assert_eq!(m.cache_entries, 0, "a panicked run must cache nothing");
+
+    // The fault is spent: the same request now succeeds, computed fresh
+    // (nothing was cached by the failure), and the worker survived the
+    // panic — no new engine was needed.
+    let ok = engine.evaluate(&spec).expect("worker survived the panic");
+    assert!(!ok.cached);
+    let warm = engine.evaluate(&spec).unwrap();
+    assert!(warm.cached);
+    chaos::reset();
+}
+
+#[test]
+fn injected_stall_pushes_a_deadlined_run_past_its_deadline() {
+    let _guard = chaos_lock();
+    let engine = engine(1);
+    chaos::arm(
+        "compute.evaluate",
+        Fault::Stall(Duration::from_millis(150)),
+        1,
+    );
+
+    let spec = ScenarioSpec {
+        deadline_ms: Some(40),
+        ..sleep_spec(5)
+    };
+    let t0 = Instant::now();
+    let report = engine.evaluate_full(&spec).unwrap_err();
+    assert_eq!(report.error.code(), "deadline");
+    let manifest = report.manifest.expect("deadline failures keep provenance");
+    assert!(
+        manifest.cancelled_at_stage.is_some(),
+        "manifest must record the stage the run died in: {manifest:?}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(2));
+    assert_eq!(engine.metrics().deadline_exceeded, 1);
+    assert_eq!(engine.metrics().cache_entries, 0);
+
+    // Same work without the stall (fault spent) completes fine.
+    assert!(engine.evaluate_full(&spec).is_ok());
+    chaos::reset();
+}
+
+#[test]
+fn injected_worker_error_is_answered_and_not_cached() {
+    let _guard = chaos_lock();
+    let engine = engine(1);
+    chaos::arm("engine.worker", Fault::Error, 1);
+
+    let spec = sleep_spec(4);
+    let report = engine.evaluate_full(&spec).unwrap_err();
+    assert_eq!(report.error.code(), "compute");
+    assert!(
+        report.error.to_string().contains("engine.worker"),
+        "{}",
+        report.error
+    );
+    assert_eq!(engine.metrics().cache_entries, 0);
+    assert_eq!(engine.metrics().errors, 1);
+
+    let ok = engine.evaluate(&spec).expect("next request succeeds");
+    assert!(!ok.cached);
+    chaos::reset();
+}
+
+#[test]
+fn sim_pool_worker_panic_respawns_and_the_request_still_answers() {
+    let _guard = chaos_lock();
+    let pool = WorkerPool::global();
+    let width = pool.workers();
+    let respawns_before = pool.respawn_count();
+    chaos::arm("sim.pool.worker", Fault::Panic, 1);
+
+    // A stats request fans its Monte Carlo trials across the global sim
+    // pool; the injected panic kills one pool worker *between* jobs, so
+    // the request itself must still complete.
+    let engine = engine(2);
+    let out = engine
+        .evaluate(&stats_spec())
+        .expect("request survives a sim-pool worker panic");
+    assert!(!out.cached);
+
+    // The pool self-heals back to its configured width.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while pool.live_workers() < width && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        pool.live_workers(),
+        width,
+        "pool width must be restored after a worker panic"
+    );
+    if chaos::fired_count("sim.pool.worker") > 0 {
+        assert!(
+            pool.respawn_count() > respawns_before,
+            "a fired pool panic must be visible as a respawn"
+        );
+    }
+    chaos::reset();
+}
+
+#[test]
+fn seeded_fault_storm_answers_every_request() {
+    let _guard = chaos_lock();
+    // Probabilistic error injection at the compute boundary: every
+    // request still gets exactly one typed answer, and failures never
+    // pollute the cache.
+    chaos::arm_seeded("compute.evaluate", Fault::Error, 0.5, 42);
+    let engine = engine(2);
+    let mut failures = 0;
+    for ms in 0..20u64 {
+        match engine.evaluate_full(&sleep_spec(500 + ms)) {
+            Ok(out) => assert!(!out.cached, "first evaluation cannot be a hit"),
+            Err(report) => {
+                assert_eq!(report.error.code(), "compute");
+                failures += 1;
+            }
+        }
+    }
+    assert_eq!(failures, chaos::fired_count("compute.evaluate"));
+    let m = engine.metrics();
+    assert_eq!(m.requests, 20);
+    assert_eq!(m.completed + m.errors, 20, "every request was answered");
+    assert_eq!(
+        m.cache_entries,
+        20 - failures as u64,
+        "only successes are cached"
+    );
+    chaos::reset();
+}
+
+#[test]
+fn server_write_fault_drops_one_connection_not_the_service() {
+    let _guard = chaos_lock();
+    let engine = Arc::new(engine(2));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    chaos::arm("server.write", Fault::Error, 1);
+
+    // Victim connection: its response write is chaos-killed, so it sees
+    // EOF instead of an answer.
+    let victim = TcpStream::connect(addr).unwrap();
+    let mut vw = victim.try_clone().unwrap();
+    let mut vr = BufReader::new(victim);
+    writeln!(vw, r#"{{"type":"ping"}}"#).unwrap();
+    vw.flush().unwrap();
+    let mut resp = String::new();
+    let n = vr.read_line(&mut resp).unwrap();
+    assert_eq!(n, 0, "chaos-killed write must close the connection: {resp}");
+    assert_eq!(chaos::fired_count("server.write"), 1);
+
+    // The accept loop and every later connection are unaffected.
+    let next = TcpStream::connect(addr).unwrap();
+    let mut nw = next.try_clone().unwrap();
+    let mut nr = BufReader::new(next);
+    writeln!(nw, r#"{{"type":"ping"}}"#).unwrap();
+    nw.flush().unwrap();
+    let mut resp = String::new();
+    nr.read_line(&mut resp).unwrap();
+    assert!(resp.contains("pong"), "service must keep serving: {resp}");
+    chaos::reset();
+}

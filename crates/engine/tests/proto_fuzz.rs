@@ -1,0 +1,164 @@
+//! Protocol robustness properties: whatever bytes arrive on the wire —
+//! malformed JSON, binary garbage with NUL bytes, truncated prefixes of
+//! valid requests, overlong lines — every non-blank request line is
+//! answered with exactly one well-formed JSON response line, and the
+//! connection is never dropped without an answer.
+//!
+//! These run [`serve_stream`] over in-memory buffers, so they exercise
+//! the same protocol loop as the TCP frontend without sockets.
+
+use proptest::prelude::*;
+use solarstorm_engine::{serve_stream, Engine, EngineConfig, ServerConfig};
+use std::io::Cursor;
+use std::sync::OnceLock;
+
+/// One shared engine across all cases: the properties are about the
+/// wire loop, not engine startup, and proptest runs hundreds of cases.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        })
+    })
+}
+
+/// Feeds raw bytes through the protocol loop, returning response lines.
+fn serve(input: Vec<u8>, cfg: &ServerConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    serve_stream(engine(), Cursor::new(input), &mut out, cfg);
+    let text = String::from_utf8(out).expect("responses are always UTF-8");
+    text.lines().map(str::to_string).collect()
+}
+
+/// A request line counts as blank — skipped, not answered — when its
+/// lossy UTF-8 decoding trims to nothing; this mirrors the server.
+fn is_blank(line: &[u8]) -> bool {
+    String::from_utf8_lossy(line).trim().is_empty()
+}
+
+/// Every response must parse as a JSON object with a boolean `ok`.
+fn assert_well_formed(resp: &str) {
+    let v: serde_json::Value =
+        serde_json::from_str(resp).unwrap_or_else(|e| panic!("unparseable response {resp:?}: {e}"));
+    assert!(v["ok"].is_boolean(), "response without ok flag: {resp}");
+    if v["ok"] == serde_json::Value::Bool(false) {
+        assert!(v["error"]["code"].is_string(), "error without code: {resp}");
+    }
+}
+
+/// A line strategy: arbitrary bytes (NUL included) with the newline
+/// delimiter stripped so each vec is exactly one wire line.
+fn garbage_line() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..200)
+        .prop_map(|bytes| bytes.into_iter().filter(|&b| b != b'\n').collect())
+}
+
+/// Valid request lines a truncation property can take prefixes of.
+const VALID_LINES: &[&str] = &[
+    r#"{"type":"ping","id":"fuzz"}"#,
+    r#"{"type":"metrics"}"#,
+    r#"{"type":"scenario","spec":{"analysis":{"kind":"sleep","ms":1}}}"#,
+    r#"{"analysis":{"kind":"sleep","ms":1}}"#,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn garbage_lines_each_get_exactly_one_json_response(
+        lines in proptest::collection::vec(garbage_line(), 0..12),
+    ) {
+        let mut input = Vec::new();
+        for l in &lines {
+            input.extend_from_slice(l);
+            input.push(b'\n');
+        }
+        let responses = serve(input, &ServerConfig::default());
+        let expected = lines.iter().filter(|l| !is_blank(l)).count();
+        prop_assert_eq!(
+            responses.len(),
+            expected,
+            "one response per non-blank line: {:?}",
+            lines
+        );
+        for resp in &responses {
+            assert_well_formed(resp);
+        }
+    }
+
+    #[test]
+    fn truncated_valid_requests_never_kill_the_connection(
+        which in 0..4usize,
+        cut in 0..200usize,
+    ) {
+        let full = VALID_LINES[which % VALID_LINES.len()];
+        let prefix = &full[..cut.min(full.len())];
+        prop_assume!(!prefix.trim().is_empty());
+        // The truncated line, then a ping proving the connection lives.
+        let input = format!("{prefix}\n{{\"type\":\"ping\"}}\n").into_bytes();
+        let responses = serve(input, &ServerConfig::default());
+        prop_assert_eq!(responses.len(), 2, "{:?} -> {:?}", prefix, responses);
+        assert_well_formed(&responses[0]);
+        assert_well_formed(&responses[1]);
+        prop_assert!(
+            responses[1].contains("pong"),
+            "connection died after {:?}: {:?}",
+            prefix,
+            responses
+        );
+    }
+
+    #[test]
+    fn overlong_lines_get_one_error_then_a_clean_close(
+        extra in 0..2048usize,
+        byte in 0x20u8..0x7f,
+    ) {
+        let cfg = ServerConfig {
+            max_line_bytes: 512,
+            ..Default::default()
+        };
+        // A line at or past the cap, followed by a request that must NOT
+        // be answered: an overlong line closes the connection after one
+        // well-formed error line.
+        let mut input = vec![byte; cfg.max_line_bytes + extra];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"type\":\"ping\"}\n");
+        let responses = serve(input, &cfg);
+        prop_assert_eq!(responses.len(), 1, "{:?}", responses);
+        assert_well_formed(&responses[0]);
+        prop_assert!(
+            responses[0].contains("too long"),
+            "expected the line-length error: {:?}",
+            responses
+        );
+    }
+
+    #[test]
+    fn nul_riddled_lines_are_answered_not_fatal(
+        nuls in 1..64usize,
+    ) {
+        let mut input = vec![0u8; nuls];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"type\":\"ping\"}\n");
+        let responses = serve(input, &ServerConfig::default());
+        prop_assert_eq!(responses.len(), 2, "{:?}", responses);
+        assert_well_formed(&responses[0]);
+        prop_assert!(responses[0].contains(r#""ok":false"#), "{:?}", responses);
+        prop_assert!(responses[1].contains("pong"), "{:?}", responses);
+    }
+}
+
+/// Deterministic spot-check (not property-based) that valid requests
+/// interleaved with garbage are answered in order, on the same
+/// connection, with the right outcomes.
+#[test]
+fn interleaved_garbage_and_pings_answer_in_order() {
+    let input = b"{\"type\":\"ping\"}\n\xff\xfe\x00garbage\n{\"type\":\"ping\"}\n".to_vec();
+    let responses = serve(input, &ServerConfig::default());
+    assert_eq!(responses.len(), 3, "{responses:?}");
+    assert!(responses[0].contains("pong"), "{responses:?}");
+    assert!(responses[1].contains(r#""ok":false"#), "{responses:?}");
+    assert!(responses[2].contains("pong"), "{responses:?}");
+}

@@ -1,0 +1,218 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! Compiled only with the `chaos` feature (and re-exported through the
+//! dependent crates' own `chaos` features), this module lets a test arm
+//! *named fault points* — panics, stage stalls, or injected errors —
+//! that production code triggers by calling [`inject`] at the matching
+//! point. With the feature off, no fault-point call sites exist and the
+//! service carries zero chaos overhead; with it on but nothing armed,
+//! [`inject`] is one mutex lock and a hash lookup.
+//!
+//! Faults fire deterministically: either an exact number of times
+//! ([`arm`]), or per-hit from a seeded SplitMix64 stream ([`arm_seeded`])
+//! so a chaos run is exactly reproducible from its seed. The registry is
+//! process-global — chaos tests that arm overlapping points must
+//! serialize themselves (the engine's chaos suite holds a test mutex).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// What an armed fault point does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic with a `chaos: injected panic at <point>` message.
+    Panic,
+    /// Sleep in place for the given duration, then continue normally —
+    /// simulates a stalled stage (e.g. to push a run past its deadline).
+    Stall(Duration),
+    /// Ask the call site to fail its own way: [`inject`] returns `true`
+    /// and the site maps that to its local error type (an I/O error, a
+    /// compute error, …).
+    Error,
+}
+
+/// When an armed fault fires.
+#[derive(Debug)]
+enum Trigger {
+    /// Fire on the next `remaining` hits, then disarm.
+    Count { remaining: usize },
+    /// Fire per-hit with probability `p`, decided by a SplitMix64 draw
+    /// over `(seed, hit_counter)` — reproducible from the seed alone.
+    Seeded { p: f64, seed: u64, hits: u64 },
+}
+
+#[derive(Debug)]
+struct Armed {
+    fault: Fault,
+    trigger: Trigger,
+    fired: usize,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<HashMap<String, Armed>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// SplitMix64: the same mixer the simulation uses to derive trial RNGs.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Arms `point` to fire `fault` on its next `times` hits, then disarm.
+/// Re-arming a point replaces its previous configuration.
+pub fn arm(point: &str, fault: Fault, times: usize) {
+    registry().lock().insert(
+        point.to_string(),
+        Armed {
+            fault,
+            trigger: Trigger::Count { remaining: times },
+            fired: 0,
+        },
+    );
+}
+
+/// Arms `point` to fire `fault` on each hit independently with
+/// probability `p` (clamped to `[0, 1]`), decided by a deterministic
+/// seeded stream: the same seed always yields the same fire pattern.
+pub fn arm_seeded(point: &str, fault: Fault, p: f64, seed: u64) {
+    registry().lock().insert(
+        point.to_string(),
+        Armed {
+            fault,
+            trigger: Trigger::Seeded {
+                p: p.clamp(0.0, 1.0),
+                seed,
+                hits: 0,
+            },
+            fired: 0,
+        },
+    );
+}
+
+/// Disarms every fault point. Chaos tests call this between cases.
+pub fn reset() {
+    registry().lock().clear();
+}
+
+/// Times `point` has actually fired since it was (re-)armed.
+pub fn fired_count(point: &str) -> usize {
+    registry().lock().get(point).map_or(0, |a| a.fired)
+}
+
+/// The fault-point hook production code calls at a named site.
+///
+/// Decides whether the point fires, then executes the fault: a
+/// [`Fault::Panic`] panics right here (the site's panic isolation is
+/// what's under test), a [`Fault::Stall`] sleeps in place and returns
+/// `false`, and a [`Fault::Error`] returns `true` so the call site can
+/// fail with its own error type. Unarmed points return `false`.
+pub fn inject(point: &str) -> bool {
+    let fired = {
+        let mut reg = registry().lock();
+        let Some(armed) = reg.get_mut(point) else {
+            return false;
+        };
+        let fire = match &mut armed.trigger {
+            Trigger::Count { remaining } => {
+                if *remaining == 0 {
+                    false
+                } else {
+                    *remaining -= 1;
+                    true
+                }
+            }
+            Trigger::Seeded { p, seed, hits } => {
+                let draw = splitmix64(*seed ^ *hits);
+                *hits += 1;
+                // Top 53 bits → uniform in [0, 1).
+                ((draw >> 11) as f64) / ((1u64 << 53) as f64) < *p
+            }
+        };
+        if !fire {
+            return false;
+        }
+        armed.fired += 1;
+        armed.fault
+        // Lock released here: the panic below must not poison or hold
+        // the registry while the stack unwinds through it.
+    };
+    match fired {
+        Fault::Panic => panic!("chaos: injected panic at {point}"),
+        Fault::Stall(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        Fault::Error => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and obs unit tests run in one
+    // process; each test uses its own point names to stay independent.
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        assert!(!inject("chaos.test.unarmed"));
+        assert_eq!(fired_count("chaos.test.unarmed"), 0);
+    }
+
+    #[test]
+    fn counted_fault_fires_exactly_n_times() {
+        arm("chaos.test.count", Fault::Error, 2);
+        assert!(inject("chaos.test.count"));
+        assert!(inject("chaos.test.count"));
+        assert!(!inject("chaos.test.count"));
+        assert_eq!(fired_count("chaos.test.count"), 2);
+    }
+
+    #[test]
+    fn panic_fault_panics_with_point_name() {
+        arm("chaos.test.panic", Fault::Panic, 1);
+        let err = std::panic::catch_unwind(|| inject("chaos.test.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("chaos.test.panic"), "{msg}");
+        // Armed once: the next hit passes through.
+        assert!(!inject("chaos.test.panic"));
+    }
+
+    #[test]
+    fn stall_fault_delays_then_continues() {
+        arm(
+            "chaos.test.stall",
+            Fault::Stall(Duration::from_millis(30)),
+            1,
+        );
+        let t0 = std::time::Instant::now();
+        assert!(!inject("chaos.test.stall"));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn seeded_fault_is_reproducible() {
+        let pattern = |seed: u64| -> Vec<bool> {
+            arm_seeded("chaos.test.seeded", Fault::Error, 0.5, seed);
+            (0..64).map(|_| inject("chaos.test.seeded")).collect()
+        };
+        let a = pattern(7);
+        let b = pattern(7);
+        assert_eq!(a, b, "same seed, same fire pattern");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+        assert_ne!(a, pattern(8), "different seed diverges (p=0.5, 64 draws)");
+    }
+
+    #[test]
+    fn reset_disarms_everything() {
+        arm("chaos.test.reset", Fault::Error, 100);
+        assert!(inject("chaos.test.reset"));
+        reset();
+        assert!(!inject("chaos.test.reset"));
+    }
+}

@@ -41,6 +41,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod collector;
 mod event;
 mod level;

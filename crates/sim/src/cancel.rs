@@ -1,0 +1,131 @@
+//! Cooperative cancellation for long-running simulation work.
+//!
+//! A [`CancelToken`] is threaded from the service layer (the engine's
+//! per-request deadline) down into the Monte Carlo trial loops, which
+//! poll it between trials and abandon the batch once it fires. The
+//! token is *cooperative*: nothing is interrupted mid-trial, so a
+//! cancelled run costs at most one extra trial of latency, and workers
+//! are never killed — they simply stop early and return to the pool.
+//!
+//! Cancellation is all-or-nothing at the result level: callers that
+//! observe [`SimError::Cancelled`](crate::SimError::Cancelled) must
+//! discard any partial per-trial data (the cancellable entry points in
+//! [`crate::monte_carlo`] and [`crate::sweep`] already do), because a
+//! subset of trials is not a smaller version of the same experiment —
+//! it is a different, non-reproducible one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared flag + optional deadline. Held behind an `Arc` so one token
+/// observes the same state from every worker thread it was cloned to.
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheaply clonable cancellation signal with an optional deadline.
+///
+/// The default token ([`CancelToken::none`]) never fires and its checks
+/// compile down to a branch on a `None`, so unconditional polling in
+/// hot trial loops is free for un-deadlined work.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels. Checks are near-free.
+    pub fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A token with no deadline that fires only via [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that fires `timeout` from now (or earlier, via
+    /// [`CancelToken::cancel`]). The clock starts immediately: queue
+    /// wait counts against the deadline, not just compute time.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+            })),
+        }
+    }
+
+    /// Fires the token. Idempotent; a deadline-less token only ever
+    /// cancels through this call.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// True once the token has been cancelled or its deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Time left before the deadline fires: `None` when the token has
+    /// no deadline, `Some(ZERO)` once it has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        let deadline = self.inner.as_ref()?.deadline?;
+        Some(deadline.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_token_never_fires() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        t.cancel(); // no-op, must not panic
+        assert!(!t.is_cancelled());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn manual_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_after_timeout() {
+        let t = CancelToken::with_deadline(Duration::from_millis(20));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn zero_deadline_fires_immediately() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+    }
+}

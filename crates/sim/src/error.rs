@@ -12,6 +12,10 @@ pub enum SimError {
     },
     /// A referenced country has no nodes in the network.
     UnknownCountry(String),
+    /// The run was cancelled before completing — its deadline passed or
+    /// the caller fired the [`crate::cancel::CancelToken`]. Any partial
+    /// per-trial data has been discarded.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -22,6 +26,12 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownCountry(c) => {
                 write!(f, "country {c} has no nodes in this network")
+            }
+            SimError::Cancelled => {
+                write!(
+                    f,
+                    "run cancelled before completion (deadline or caller request)"
+                )
             }
         }
     }

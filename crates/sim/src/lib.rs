@@ -7,6 +7,8 @@
 //! * [`monte_carlo`] — seeded, parallel trials measuring the percentage
 //!   of cables failed and nodes unreachable under any failure model
 //!   (Figs. 6–8), batched through a hoisted-probability kernel;
+//! * [`cancel`] — cooperative cancellation: the service layer's
+//!   deadlines reach the trial loops through a [`CancelToken`];
 //! * [`pool`] — the persistent worker pool the kernel and sweeps share
 //!   (help-first scheduling, safe under nested submission);
 //! * [`sweep`] — sweep-level parallelism: independent Monte Carlo
@@ -40,6 +42,7 @@
 #![deny(missing_docs)]
 
 pub mod augment;
+pub mod cancel;
 pub mod cascade;
 pub mod country;
 mod error;
@@ -54,6 +57,7 @@ pub mod sweep;
 pub mod timeline;
 pub mod traffic;
 
+pub use cancel::CancelToken;
 pub use error::SimError;
 pub use monte_carlo::{MonteCarloConfig, TrialOutcome, TrialStats};
 pub use profile::cable_profiles;

@@ -15,6 +15,7 @@
 //! ([`run_trial`]), so outcomes are bit-identical to the pre-kernel
 //! implementation for the same seed, and identical across thread counts.
 
+use crate::cancel::CancelToken;
 use crate::pool::WorkerPool;
 use crate::{cable_profiles, SimError};
 use rand::SeedableRng;
@@ -260,14 +261,20 @@ pub(crate) fn trial_metrics(conn: &ConnectivityIndex, failed: usize, words: &[u6
 
 /// Runs trials `[start, end)` through the kernel, pushing `(cables %,
 /// nodes %)` per trial. Zero heap allocation past scratch warm-up.
+/// Polls `cancel` between trials and stops early once it fires; the
+/// caller is responsible for discarding the partial output.
 fn metrics_chunk(
     inputs: &KernelInputs,
+    cancel: &CancelToken,
     start: usize,
     end: usize,
     scratch: &mut TrialScratch,
     out: &mut Vec<(f64, f64)>,
 ) {
     for trial in start..end {
+        if cancel.is_cancelled() {
+            return;
+        }
         let mut rng = trial_rng(inputs.seed, trial);
         let failed = sample_dead_words(&inputs.probs, &mut rng, &mut scratch.dead_words);
         out.push(trial_metrics(&inputs.conn, failed, &scratch.dead_words));
@@ -278,12 +285,16 @@ fn metrics_chunk(
 /// unpacked dead mask downstream analyses consume).
 fn outcomes_chunk(
     inputs: &KernelInputs,
+    cancel: &CancelToken,
     start: usize,
     end: usize,
     scratch: &mut TrialScratch,
     out: &mut Vec<TrialOutcome>,
 ) {
     for trial in start..end {
+        if cancel.is_cancelled() {
+            return;
+        }
         let mut rng = trial_rng(inputs.seed, trial);
         let failed = sample_dead_words(&inputs.probs, &mut rng, &mut scratch.dead_words);
         let (cables_failed_pct, nodes_unreachable_pct) =
@@ -300,11 +311,20 @@ fn outcomes_chunk(
 }
 
 /// Fans `trials` out over the pool in `threads` contiguous chunks and
-/// concatenates the per-chunk results in trial order.
-fn run_chunked<T, F>(inputs: &KernelInputs, trials: usize, threads: usize, chunk_fn: F) -> Vec<T>
+/// concatenates the per-chunk results in trial order. When `cancel`
+/// fires mid-run the chunks stop early and the (partial, meaningless)
+/// concatenation is still returned — callers must check the token and
+/// discard it.
+fn run_chunked<T, F>(
+    inputs: &KernelInputs,
+    cancel: &CancelToken,
+    trials: usize,
+    threads: usize,
+    chunk_fn: F,
+) -> Vec<T>
 where
     T: Send + 'static,
-    F: Fn(&KernelInputs, usize, usize, &mut TrialScratch, &mut Vec<T>)
+    F: Fn(&KernelInputs, &CancelToken, usize, usize, &mut TrialScratch, &mut Vec<T>)
         + Send
         + Sync
         + Clone
@@ -313,13 +333,14 @@ where
     if threads <= 1 {
         let mut scratch = TrialScratch::default();
         let mut out = Vec::with_capacity(trials);
-        chunk_fn(inputs, 0, trials, &mut scratch, &mut out);
+        chunk_fn(inputs, cancel, 0, trials, &mut scratch, &mut out);
         return out;
     }
     let chunk = trials.div_ceil(threads);
     let jobs: Vec<Box<dyn FnOnce() -> Vec<T> + Send>> = (0..trials.div_ceil(chunk))
         .map(|t| {
             let inputs = inputs.clone();
+            let cancel = cancel.clone();
             let chunk_fn = chunk_fn.clone();
             let start = t * chunk;
             let end = (start + chunk).min(trials);
@@ -332,7 +353,7 @@ where
                 );
                 let mut scratch = TrialScratch::default();
                 let mut out = Vec::with_capacity(end - start);
-                chunk_fn(&inputs, start, end, &mut scratch, &mut out);
+                chunk_fn(&inputs, &cancel, start, end, &mut scratch, &mut out);
                 out
             }) as Box<dyn FnOnce() -> Vec<T> + Send>
         })
@@ -346,9 +367,14 @@ where
 
 /// Runs the sequential kernel for `trials` trials and aggregates stats —
 /// the path sweep-level parallelism uses for each point (one job per
-/// point; no nested fan-out).
-pub(crate) fn run_stats_sequential(inputs: &KernelInputs, trials: usize) -> TrialStats {
-    let metrics = run_chunked(inputs, trials, 1, metrics_chunk);
+/// point; no nested fan-out). Stops early (returning partial-data stats
+/// the caller must discard) once `cancel` fires.
+pub(crate) fn run_stats_sequential(
+    inputs: &KernelInputs,
+    cancel: &CancelToken,
+    trials: usize,
+) -> TrialStats {
+    let metrics = run_chunked(inputs, cancel, trials, 1, metrics_chunk);
     let cables: Vec<f64> = metrics.iter().map(|m| m.0).collect();
     let nodes: Vec<f64> = metrics.iter().map(|m| m.1).collect();
     TrialStats::from_metrics(&cables, &nodes)
@@ -361,6 +387,18 @@ pub fn run_outcomes<M: FailureModel>(
     model: &M,
     cfg: &MonteCarloConfig,
 ) -> Result<Vec<TrialOutcome>, SimError> {
+    run_outcomes_with_cancel(net, model, cfg, &CancelToken::none())
+}
+
+/// [`run_outcomes`] with cooperative cancellation: polls `cancel`
+/// between trials and returns [`SimError::Cancelled`] — never a partial
+/// outcome vector — once it fires.
+pub fn run_outcomes_with_cancel<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    cancel: &CancelToken,
+) -> Result<Vec<TrialOutcome>, SimError> {
     cfg.validate()?;
     let inputs = KernelInputs::prepare(net, model, cfg);
     let threads = cfg.threads();
@@ -371,7 +409,11 @@ pub fn run_outcomes<M: FailureModel>(
         spacing_km = cfg.spacing_km,
         seed = cfg.seed
     );
-    Ok(run_chunked(&inputs, cfg.trials, threads, outcomes_chunk))
+    let outcomes = run_chunked(&inputs, cancel, cfg.trials, threads, outcomes_chunk);
+    if cancel.is_cancelled() {
+        return Err(SimError::Cancelled);
+    }
+    Ok(outcomes)
 }
 
 /// Runs a trial batch and aggregates the two paper metrics. This path
@@ -381,6 +423,18 @@ pub fn run<M: FailureModel>(
     net: &Network,
     model: &M,
     cfg: &MonteCarloConfig,
+) -> Result<TrialStats, SimError> {
+    run_with_cancel(net, model, cfg, &CancelToken::none())
+}
+
+/// [`run`] with cooperative cancellation: polls `cancel` between trials
+/// and returns [`SimError::Cancelled`] — never statistics over a trial
+/// subset — once it fires.
+pub fn run_with_cancel<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    cancel: &CancelToken,
 ) -> Result<TrialStats, SimError> {
     cfg.validate()?;
     let inputs = KernelInputs::prepare(net, model, cfg);
@@ -392,7 +446,10 @@ pub fn run<M: FailureModel>(
         spacing_km = cfg.spacing_km,
         seed = cfg.seed
     );
-    let metrics = run_chunked(&inputs, cfg.trials, threads, metrics_chunk);
+    let metrics = run_chunked(&inputs, cancel, cfg.trials, threads, metrics_chunk);
+    if cancel.is_cancelled() {
+        return Err(SimError::Cancelled);
+    }
     let cables: Vec<f64> = metrics.iter().map(|m| m.0).collect();
     let nodes: Vec<f64> = metrics.iter().map(|m| m.1).collect();
     Ok(TrialStats::from_metrics(&cables, &nodes))
@@ -620,6 +677,32 @@ mod tests {
             (stats.mean_cables_failed_pct - expected).abs() < 1.5,
             "measured {} expected {expected}",
             stats.mean_cables_failed_pct
+        );
+    }
+
+    #[test]
+    fn cancelled_run_yields_error_not_partial_results() {
+        let net = test_net();
+        let model = UniformFailure::new(0.01).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = MonteCarloConfig {
+            trials: 16,
+            ..Default::default()
+        };
+        assert_eq!(
+            run_with_cancel(&net, &model, &cfg, &token).unwrap_err(),
+            SimError::Cancelled
+        );
+        assert_eq!(
+            run_outcomes_with_cancel(&net, &model, &cfg, &token).unwrap_err(),
+            SimError::Cancelled
+        );
+        // An un-fired token changes nothing.
+        let live = CancelToken::new();
+        assert_eq!(
+            run_with_cancel(&net, &model, &cfg, &live).unwrap(),
+            run(&net, &model, &cfg).unwrap()
         );
     }
 

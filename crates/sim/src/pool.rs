@@ -14,6 +14,14 @@
 //! if no other worker is free) and lets the caller's core contribute
 //! instead of idling.
 //!
+//! The pool is *self-healing*: every worker thread carries a sentinel
+//! whose `Drop` runs during panic unwinding and spawns a replacement
+//! worker, so the pool's width is invariant across job panics.
+//! [`WorkerPool::run_batch`] jobs are individually `catch_unwind`-
+//! wrapped (their panics resume on the submitter, never unwinding a
+//! worker); the sentinel covers raw [`WorkerPool::execute`] jobs and
+//! anything else that unwinds the worker loop itself.
+//!
 //! Determinism is unaffected by scheduling: jobs write into indexed
 //! result slots, and every Monte Carlo trial derives its RNG from
 //! `(seed, trial)` alone.
@@ -35,12 +43,19 @@ static REQUESTED_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// Requests `workers` threads (at least one) for the process-wide pool.
 ///
+/// # Contract: the global pool cannot be resized
+///
+/// The width is read exactly once, when the pool is first built; live
+/// workers are never added or removed afterwards (only replaced
+/// one-for-one after a panic, which keeps the width invariant).
 /// Returns `true` when the setting is in effect — the pool is not built
 /// yet and will come up at that width, or it already has exactly that
 /// width. Returns `false` when the pool was already built at a
-/// different width; the existing pool keeps serving, since live workers
-/// cannot be resized safely mid-run. Call before any simulation work
-/// (the CLI does this while parsing arguments).
+/// different width: the call is a **no-op** and the existing pool keeps
+/// serving at its original width. Callers that surface this knob to
+/// users (the CLI's `--threads` / `STORMSIM_THREADS`) should warn on
+/// `false` rather than appear to succeed. Call before any simulation
+/// work — the CLI does this while parsing arguments.
 pub fn set_global_workers(workers: usize) -> bool {
     let workers = workers.max(1);
     REQUESTED_WORKERS.store(workers, Ordering::Relaxed);
@@ -58,12 +73,22 @@ struct Shared {
     state: Mutex<State>,
     /// Signalled when a job is queued or shutdown begins.
     available: Condvar,
+    /// Worker threads currently alive.
+    live: AtomicUsize,
+    /// Workers respawned after a panicked predecessor, ever.
+    respawned: AtomicUsize,
+    /// Join handles for every spawned worker, respawns included.
+    /// Lock order: `state` before `handles` (the sentinel respawn path
+    /// holds both).
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
-/// A fixed-size pool of persistent worker threads executing boxed jobs.
+/// A fixed-width pool of persistent worker threads executing boxed
+/// jobs. Width is invariant: a worker lost to a panic is replaced (see
+/// [`WorkerPool::respawn_count`]).
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    workers: usize,
 }
 
 /// Per-batch result collection: indexed slots plus a completion count.
@@ -72,26 +97,46 @@ struct Batch<T> {
     done: Condvar,
 }
 
+/// Spawns one worker thread and registers its join handle. `generation`
+/// only names the thread (respawns reuse the slot index with a bumped
+/// generation, so thread names stay unique).
+fn spawn_worker(shared: &Arc<Shared>, idx: usize, generation: usize) -> std::io::Result<()> {
+    let for_worker = Arc::clone(shared);
+    let name = if generation == 0 {
+        format!("stormsim-pool-{idx}")
+    } else {
+        format!("stormsim-pool-{idx}.{generation}")
+    };
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&for_worker, idx, generation))?;
+    shared.live.fetch_add(1, Ordering::SeqCst);
+    shared
+        .handles
+        .lock()
+        .expect("pool handles lock")
+        .push(handle);
+    Ok(())
+}
+
 impl WorkerPool {
     /// Creates a pool with `workers` threads (at least one).
     pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
+            live: AtomicUsize::new(0),
+            respawned: AtomicUsize::new(0),
+            handles: Mutex::new(Vec::with_capacity(workers)),
         });
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("stormsim-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        WorkerPool { shared, handles }
+        for i in 0..workers {
+            spawn_worker(&shared, i, 0).expect("spawn pool worker");
+        }
+        WorkerPool { shared, workers }
     }
 
     /// The process-wide pool, created on first use. Sized by
@@ -111,9 +156,34 @@ impl WorkerPool {
         })
     }
 
-    /// Number of worker threads.
+    /// The pool's width: the worker count it maintains. Invariant for
+    /// the pool's lifetime — a panicked worker is replaced, not lost.
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.workers
+    }
+
+    /// Worker threads alive right now. Momentarily below
+    /// [`WorkerPool::workers`] between a worker's panic and its
+    /// replacement coming up.
+    pub fn live_workers(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// Workers respawned after a panic over the pool's lifetime.
+    pub fn respawn_count(&self) -> usize {
+        self.shared.respawned.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a fire-and-forget job: no result, no completion signal,
+    /// and — unlike [`WorkerPool::run_batch`] — no panic capture. A
+    /// panicking `execute` job kills its worker thread; the pool
+    /// replaces the worker (width is invariant) but the panic itself is
+    /// reported nowhere, so jobs that can fail should catch their own
+    /// errors.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        state.jobs.push_back(Box::new(job));
+        self.shared.available.notify_one();
     }
 
     /// Runs every job and returns their results in submission order.
@@ -165,7 +235,12 @@ impl WorkerPool {
                 .jobs
                 .pop_front();
             if let Some(job) = next {
-                job();
+                // Batch jobs capture their own panics into their result
+                // slot; this outer guard only swallows panics from raw
+                // `execute` jobs we helped with, which must not unwind
+                // an unrelated submitter (their panics are unreported
+                // by contract).
+                let _ = catch_unwind(AssertUnwindSafe(job));
                 continue;
             }
             let slots = batch.slots.lock().expect("batch lock");
@@ -196,8 +271,66 @@ fn unwrap_slot<T>(result: std::thread::Result<T>) -> T {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Guards one worker thread: dropped during panic unwinding, it spawns
+/// a one-for-one replacement (unless the pool is shutting down), so the
+/// pool's width survives panicking jobs.
+struct Sentinel {
+    shared: Arc<Shared>,
+    idx: usize,
+    generation: usize,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        self.shared.live.fetch_sub(1, Ordering::SeqCst);
+        if !std::thread::panicking() {
+            return; // normal shutdown exit
+        }
+        // Respawn under the state lock: WorkerPool::drop flips
+        // `shutdown` under the same lock, so either we see shutdown and
+        // stand down, or our replacement's handle is registered before
+        // drop starts joining.
+        let state = self.shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return;
+        }
+        match spawn_worker(&self.shared, self.idx, self.generation + 1) {
+            Ok(()) => {
+                self.shared.respawned.fetch_add(1, Ordering::SeqCst);
+                solarstorm_obs::event!(
+                    solarstorm_obs::Level::Warn,
+                    "pool_worker_respawned",
+                    worker = self.idx,
+                    generation = self.generation + 1
+                );
+            }
+            Err(_) => {
+                // Spawn failure while unwinding: nothing safe to do but
+                // record it. The pool runs narrower until the process
+                // recovers enough to spawn threads again.
+                solarstorm_obs::event!(
+                    solarstorm_obs::Level::Error,
+                    "pool_worker_respawn_failed",
+                    worker = self.idx
+                );
+            }
+        }
+        drop(state);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, idx: usize, generation: usize) {
+    let _sentinel = Sentinel {
+        shared: Arc::clone(shared),
+        idx,
+        generation,
+    };
     loop {
+        // Chaos fires *between* jobs, never with a popped job in hand:
+        // an injected panic must kill only the worker, not strand a
+        // batch job whose result slot would then never fill.
+        #[cfg(feature = "chaos")]
+        solarstorm_obs::chaos::inject("sim.pool.worker");
         let job = {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
@@ -221,8 +354,20 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.state.lock().expect("pool lock").shutdown = true;
         self.shared.available.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        // Join until no handles remain: a sentinel that won the race
+        // against shutdown may have registered one more replacement
+        // (which sees `shutdown` and exits immediately).
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut handles = self.shared.handles.lock().expect("pool handles lock");
+                handles.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -234,6 +379,17 @@ mod tests {
 
     fn boxed<T, F: FnOnce() -> T + Send + 'static>(f: F) -> Box<dyn FnOnce() -> T + Send> {
         Box::new(f)
+    }
+
+    /// Polls until `cond` holds or ~2 s pass.
+    fn wait_for(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..400 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
     }
 
     #[test]
@@ -302,6 +458,39 @@ mod tests {
             })
             .collect();
         let _: Vec<usize> = pool.run_batch(jobs);
+    }
+
+    #[test]
+    fn execute_runs_fire_and_forget_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(wait_for(|| counter.load(Ordering::SeqCst) == 10));
+    }
+
+    #[test]
+    fn width_is_restored_after_an_execute_job_panics() {
+        let pool = WorkerPool::new(2);
+        assert!(wait_for(|| pool.live_workers() == 2));
+        // A raw execute job panics: its worker dies, the sentinel
+        // respawns a replacement, and batches keep completing.
+        pool.execute(|| panic!("poisoned fire-and-forget job"));
+        assert!(
+            wait_for(|| pool.respawn_count() == 1 && pool.live_workers() == 2),
+            "respawns {} live {}",
+            pool.respawn_count(),
+            pool.live_workers()
+        );
+        assert_eq!(pool.workers(), 2);
+        let jobs = (0..16).map(|i| boxed(move || i + 1)).collect();
+        let got: Vec<usize> = pool.run_batch(jobs);
+        assert_eq!(got, (1..=16).collect::<Vec<_>>());
+        drop(pool); // joins the replacement too; must not hang
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! Non-monotone axes (detected numerically at hoist time) fall back to
 //! the per-point kernel transparently.
 
+use crate::cancel::CancelToken;
 use crate::monte_carlo::{
     run_stats_sequential, trial_rng, KernelInputs, MonteCarloConfig, TrialStats,
 };
@@ -103,9 +104,28 @@ pub fn prepare<M: FailureModel + ?Sized>(
 /// Runs every prepared point on the pool and returns their statistics in
 /// submission order.
 pub fn run_stats(points: Vec<SweepPoint>) -> Vec<TrialStats> {
+    run_stats_inner(points, &CancelToken::none())
+}
+
+/// [`run_stats`] with cooperative cancellation: point jobs poll `cancel`
+/// between trials and the call returns [`SimError::Cancelled`] — never
+/// partially computed statistics — once it fires.
+pub fn run_stats_with_cancel(
+    points: Vec<SweepPoint>,
+    cancel: &CancelToken,
+) -> Result<Vec<TrialStats>, SimError> {
+    let stats = run_stats_inner(points, cancel);
+    if cancel.is_cancelled() {
+        return Err(SimError::Cancelled);
+    }
+    Ok(stats)
+}
+
+fn run_stats_inner(points: Vec<SweepPoint>, cancel: &CancelToken) -> Vec<TrialStats> {
     let jobs: Vec<Box<dyn FnOnce() -> TrialStats + Send>> = points
         .into_iter()
         .map(|point| {
+            let cancel = cancel.clone();
             Box::new(move || {
                 let _span = solarstorm_obs::span!(
                     "monte_carlo",
@@ -114,7 +134,7 @@ pub fn run_stats(points: Vec<SweepPoint>) -> Vec<TrialStats> {
                     spacing_km = point.spacing_km,
                     seed = point.inputs.seed
                 );
-                run_stats_sequential(&point.inputs, point.trials)
+                run_stats_sequential(&point.inputs, &cancel, point.trials)
             }) as Box<dyn FnOnce() -> TrialStats + Send>
         })
         .collect();
@@ -231,10 +251,13 @@ impl Default for AxisScratch {
 /// paper metrics per `(trial, point)` — trial-major, points from the
 /// harshest (`points - 1`) down to `0`, the order the replay visits
 /// them. Float arithmetic matches the per-point kernel's
-/// `trial_metrics` exactly.
+/// `trial_metrics` exactly. Polls `cancel` between trials and stops
+/// early once it fires; the caller must discard the partial output.
+#[allow(clippy::too_many_arguments)]
 fn axis_metrics_chunk(
     conn: &ConnectivityIndex,
     cdf: &AxisFailureCdf,
+    cancel: &CancelToken,
     seed: u64,
     start: usize,
     end: usize,
@@ -245,6 +268,9 @@ fn axis_metrics_chunk(
     let points = cdf.points();
     let nodes = conn.node_count();
     for trial in start..end {
+        if cancel.is_cancelled() {
+            return;
+        }
         // Draw thresholds and classify in one pass: the draws come from
         // the same stream, in the same order, as [`sample_thresholds`]
         // (which the tests use to recompute trials from scratch).
@@ -321,6 +347,24 @@ enum AxisPart {
 /// — all jobs share the same batch, so a figure grid of several axes
 /// saturates the pool.
 pub fn run_axes(axes: Vec<AxisSweep>) -> Vec<Vec<TrialStats>> {
+    run_axes_inner(axes, &CancelToken::none())
+}
+
+/// [`run_axes`] with cooperative cancellation: trial chunks poll
+/// `cancel` and the call returns [`SimError::Cancelled`] — never
+/// partially computed statistics — once it fires.
+pub fn run_axes_with_cancel(
+    axes: Vec<AxisSweep>,
+    cancel: &CancelToken,
+) -> Result<Vec<Vec<TrialStats>>, SimError> {
+    let stats = run_axes_inner(axes, cancel);
+    if cancel.is_cancelled() {
+        return Err(SimError::Cancelled);
+    }
+    Ok(stats)
+}
+
+fn run_axes_inner(axes: Vec<AxisSweep>, cancel: &CancelToken) -> Vec<Vec<TrialStats>> {
     // (points, trials, is_crn) per axis, for reassembly.
     let mut shapes: Vec<(usize, usize, bool)> = Vec::with_capacity(axes.len());
     let mut jobs: Vec<Box<dyn FnOnce() -> AxisPart + Send>> = Vec::new();
@@ -330,6 +374,7 @@ pub fn run_axes(axes: Vec<AxisSweep>) -> Vec<Vec<TrialStats>> {
             Some(fallback) => {
                 shapes.push((points, axis.trials, false));
                 for (k, point) in fallback.into_iter().enumerate() {
+                    let cancel = cancel.clone();
                     jobs.push(Box::new(move || {
                         let _span = solarstorm_obs::span!(
                             "monte_carlo",
@@ -341,7 +386,7 @@ pub fn run_axes(axes: Vec<AxisSweep>) -> Vec<Vec<TrialStats>> {
                         AxisPart::Point {
                             axis: i,
                             point: k,
-                            stats: run_stats_sequential(&point.inputs, point.trials),
+                            stats: run_stats_sequential(&point.inputs, &cancel, point.trials),
                         }
                     }));
                 }
@@ -358,6 +403,7 @@ pub fn run_axes(axes: Vec<AxisSweep>) -> Vec<Vec<TrialStats>> {
                     let end = (start + chunk).min(axis.trials);
                     let conn = Arc::clone(&axis.conn);
                     let cdf = Arc::clone(&axis.cdf);
+                    let cancel = cancel.clone();
                     let (seed, spacing_km) = (axis.seed, axis.spacing_km);
                     jobs.push(Box::new(move || {
                         let _span = solarstorm_obs::span!(
@@ -372,6 +418,7 @@ pub fn run_axes(axes: Vec<AxisSweep>) -> Vec<Vec<TrialStats>> {
                         axis_metrics_chunk(
                             &conn,
                             &cdf,
+                            &cancel,
                             seed,
                             start,
                             end,
@@ -445,6 +492,18 @@ pub fn run_axes(axes: Vec<AxisSweep>) -> Vec<Vec<TrialStats>> {
 /// order (empty for a zero-point axis).
 pub fn run_axis(axis: AxisSweep) -> Vec<TrialStats> {
     run_axes(vec![axis]).into_iter().next().unwrap_or_default()
+}
+
+/// [`run_axis`] with cooperative cancellation (see
+/// [`run_axes_with_cancel`]).
+pub fn run_axis_with_cancel(
+    axis: AxisSweep,
+    cancel: &CancelToken,
+) -> Result<Vec<TrialStats>, SimError> {
+    Ok(run_axes_with_cancel(vec![axis], cancel)?
+        .into_iter()
+        .next()
+        .unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -559,6 +618,34 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_sweeps_yield_error_not_partial_stats() {
+        let net = chain_net(6);
+        let cfg = MonteCarloConfig {
+            trials: 8,
+            ..Default::default()
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let m = UniformFailure::new(0.1).unwrap();
+        let points = vec![prepare(&net, &m, &cfg).unwrap()];
+        assert_eq!(
+            run_stats_with_cancel(points, &token).unwrap_err(),
+            SimError::Cancelled
+        );
+        let axis = UniformAxis::new(vec![0.01, 0.5]).unwrap();
+        let sweep = prepare_axis(&net, &axis, &cfg).unwrap();
+        assert_eq!(
+            run_axis_with_cancel(sweep, &token).unwrap_err(),
+            SimError::Cancelled
+        );
+        // An un-fired token matches the plain path exactly.
+        let live = CancelToken::new();
+        let sweep = prepare_axis(&net, &axis, &cfg).unwrap();
+        let plain = run_axis(prepare_axis(&net, &axis, &cfg).unwrap());
+        assert_eq!(run_axis_with_cancel(sweep, &live).unwrap(), plain);
+    }
+
+    #[test]
     fn kernel_names_are_stable() {
         assert_eq!(Kernel::PerPoint.name(), "per_point");
         assert_eq!(Kernel::CrnAxis.name(), "crn_axis");
@@ -578,7 +665,16 @@ mod tests {
         let (seed, trials) = (99u64, 16usize);
         let mut scratch = AxisScratch::default();
         let mut metrics = Vec::new();
-        axis_metrics_chunk(&conn, &cdf, seed, 0, trials, &mut scratch, &mut metrics);
+        axis_metrics_chunk(
+            &conn,
+            &cdf,
+            &CancelToken::none(),
+            seed,
+            0,
+            trials,
+            &mut scratch,
+            &mut metrics,
+        );
         assert_eq!(metrics.len(), trials * points);
         let mut thresholds = Vec::new();
         for trial in 0..trials {
@@ -616,7 +712,16 @@ mod tests {
         let conn = net.connectivity();
         let mut scratch = AxisScratch::default();
         let mut metrics = Vec::new();
-        axis_metrics_chunk(&conn, &cdf, 5150, 0, 50, &mut scratch, &mut metrics);
+        axis_metrics_chunk(
+            &conn,
+            &cdf,
+            &CancelToken::none(),
+            5150,
+            0,
+            50,
+            &mut scratch,
+            &mut metrics,
+        );
         let points = cdf.points();
         for trial in 0..50 {
             // Chunk order is harshest→mildest, so within a trial both
