@@ -1,0 +1,318 @@
+//! Machine-readable serving-plane benchmark for the sharded runtime.
+//!
+//! Drives the real NDJSON TCP frontend with concurrent clients against
+//! a 1-shard and an N-shard [`ShardedEngine`] and writes
+//! `BENCH_service.json` with requests/sec, p50/p99 latency, and
+//! cache/hedge hit ratios, so CI and the README can track the serving
+//! tier's scalability over time.
+//!
+//! The workload is deliberately *serving-plane-heavy*: `sleep 0`
+//! scenarios with unique seeds compute in microseconds, so the measured
+//! cost is the part sharding parallelizes — cache locks and LRU
+//! eviction scans, single-flight tables, queue handoff — not the Monte
+//! Carlo kernel (which runs on the process-wide simulation pool either
+//! way). Three phases per shard count:
+//!
+//! 1. **miss** — every request is a fresh spec: full write path.
+//! 2. **hot**  — the same specs again: shard-local cache-hit read path.
+//! 3. **hedge** (N > 1 only) — results seeded on a *sibling* shard,
+//!    then requested through the front door: the home shard misses
+//!    locally and adopts the sibling's result.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p solarstorm-bench --bin serve_bench            # full
+//! cargo run --release -p solarstorm-bench --bin serve_bench -- --quick # CI smoke
+//! cargo run --release -p solarstorm-bench --bin serve_bench -- --out path.json
+//! ```
+
+use solarstorm::engine::{EngineConfig, Server, ServerConfig};
+use solarstorm::shard::{ShardConfig, ShardedEngine};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One phase's client-side measurements.
+struct PhaseStats {
+    requests: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// One shard count's full report.
+struct ShardReport {
+    shards: usize,
+    miss: PhaseStats,
+    hot: PhaseStats,
+    cache_hit_ratio: f64,
+    hedge_requests: usize,
+    hedge_hit_ratio: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn sleep_line(seed: u64) -> String {
+    format!(
+        r#"{{"type":"scenario","spec":{{"analysis":{{"kind":"sleep","ms":0}},"mc":{{"seed":{seed}}}}}}}"#
+    )
+}
+
+/// Sends `lines` over one connection, one request in flight at a time,
+/// and returns per-request latencies in microseconds. Panics on a
+/// malformed or unsuccessful response: a benchmark that silently
+/// measures error responses is worse than one that dies.
+fn drive(addr: SocketAddr, lines: &[String]) -> Vec<u64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(lines.len());
+    let mut resp = String::new();
+    for line in lines {
+        let t = Instant::now();
+        writeln!(writer, "{line}").expect("write request");
+        writer.flush().expect("flush request");
+        resp.clear();
+        reader.read_line(&mut resp).expect("read response");
+        latencies.push(t.elapsed().as_micros() as u64);
+        assert!(
+            resp.contains(r#""ok":true"#),
+            "request failed mid-benchmark: {resp}"
+        );
+    }
+    latencies
+}
+
+/// Runs `clients` concurrent connections, each sending its own slice of
+/// `per_client` request lines built by `make_line(client, i)`.
+fn run_phase(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    make_line: impl Fn(usize, usize) -> String,
+) -> PhaseStats {
+    let batches: Vec<Vec<String>> = (0..clients)
+        .map(|c| (0..per_client).map(|i| make_line(c, i)).collect())
+        .collect();
+    let t = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .iter()
+            .map(|lines| s.spawn(move || drive(addr, lines)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    latencies.sort_unstable();
+    let requests = clients * per_client;
+    PhaseStats {
+        requests,
+        wall_ms,
+        requests_per_sec: requests as f64 / (wall_ms / 1_000.0).max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+/// Benchmarks one shard count end to end and returns its report.
+///
+/// `seed_base` keeps the spec universes of different shard counts
+/// disjoint, so nothing is ever pre-cached by an earlier run.
+fn bench_shards(
+    shards: usize,
+    clients: usize,
+    per_client: usize,
+    hedge_requests: usize,
+    seed_base: u64,
+) -> ShardReport {
+    let runtime = Arc::new(ShardedEngine::new(ShardConfig {
+        shards,
+        engine: EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2),
+            queue_cap: (clients * 4).max(64),
+            cache_cap: (clients * per_client + hedge_requests) * 2,
+            prewarm: None,
+            ..Default::default()
+        },
+        ..Default::default()
+    }));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime), ServerConfig::default())
+        .expect("bind bench server");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+
+    // Warm up the connection path without touching the measured specs.
+    run_phase(addr, clients, 4, |c, i| {
+        sleep_line(seed_base + 900_000 + (c * 1_000 + i) as u64)
+    });
+
+    // Phase 1 (miss): every request a fresh spec — the full write path.
+    let spec_seed = move |c: usize, i: usize| seed_base + (c * per_client + i) as u64;
+    let miss = run_phase(addr, clients, per_client, |c, i| {
+        sleep_line(spec_seed(c, i))
+    });
+
+    // Phase 2 (hot): the same specs again — shard-local cache hits.
+    let before_hot = runtime.metrics().total;
+    let hot = run_phase(addr, clients, per_client, |c, i| {
+        sleep_line(spec_seed(c, i))
+    });
+    let after_hot = runtime.metrics().total;
+    let hot_hits = after_hot.cache_hits - before_hot.cache_hits;
+    let cache_hit_ratio = hot_hits as f64 / hot.requests as f64;
+
+    // Phase 3 (hedge): seed each result on a shard that is NOT the
+    // spec's home, then request it through the front door.
+    let mut hedge_hit_ratio = 0.0;
+    if shards > 1 && hedge_requests > 0 {
+        let lines: Vec<String> = (0..hedge_requests)
+            .map(|i| {
+                let seed = seed_base + 500_000 + i as u64;
+                let spec = solarstorm::ScenarioSpec {
+                    analysis: solarstorm::AnalysisRequest::Sleep { ms: 0 },
+                    mc: solarstorm::MonteCarloConfig {
+                        seed,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let (home, _) = runtime.router().route_spec(&spec).expect("route");
+                let sibling = (home + 1) % runtime.shard_count();
+                runtime.shard_engines()[sibling]
+                    .evaluate(&spec)
+                    .expect("seed sibling cache");
+                sleep_line(seed)
+            })
+            .collect();
+        let before = runtime.metrics().total;
+        drive(addr, &lines);
+        let after = runtime.metrics().total;
+        hedge_hit_ratio =
+            (after.hedge_hits - before.hedge_hits) as f64 / hedge_requests as f64;
+    }
+
+    runtime.shutdown();
+    ShardReport {
+        shards,
+        miss,
+        hot,
+        cache_hit_ratio,
+        hedge_requests,
+        hedge_hit_ratio,
+    }
+}
+
+fn phase_json(p: &PhaseStats, indent: &str) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "{i}  \"requests\": {req},\n",
+            "{i}  \"wall_ms\": {wall:.3},\n",
+            "{i}  \"requests_per_sec\": {rps:.1},\n",
+            "{i}  \"p50_us\": {p50},\n",
+            "{i}  \"p99_us\": {p99}\n",
+            "{i}}}"
+        ),
+        i = indent,
+        req = p.requests,
+        wall = p.wall_ms,
+        rps = p.requests_per_sec,
+        p50 = p.p50_us,
+        p99 = p.p99_us,
+    )
+}
+
+fn shard_json(r: &ShardReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"shards\": {shards},\n",
+            "    \"miss\": {miss},\n",
+            "    \"hot\": {hot},\n",
+            "    \"cache_hit_ratio\": {chr:.3},\n",
+            "    \"hedge_requests\": {hreq},\n",
+            "    \"hedge_hit_ratio\": {hhr:.3}\n",
+            "  }}"
+        ),
+        shards = r.shards,
+        miss = phase_json(&r.miss, "    "),
+        hot = phase_json(&r.hot, "    "),
+        chr = r.cache_hit_ratio,
+        hreq = r.hedge_requests,
+        hhr = r.hedge_hit_ratio,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let multi = cores.max(2);
+    let (mode, clients, per_client, hedge_requests) = if quick {
+        ("quick", 4usize, 50usize, 32usize)
+    } else {
+        ("full", multi.max(8), 250, 128)
+    };
+    eprintln!(
+        "serve_bench: mode={mode}, cores={cores}, {clients} clients × {per_client} requests, \
+         shard counts [1, {multi}]"
+    );
+
+    let single = bench_shards(1, clients, per_client, hedge_requests, 1_000_000);
+    let sharded = bench_shards(multi, clients, per_client, hedge_requests, 2_000_000);
+    let miss_speedup = sharded.miss.requests_per_sec / single.miss.requests_per_sec.max(1e-9);
+    let hot_speedup = sharded.hot.requests_per_sec / single.hot.requests_per_sec.max(1e-9);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"service\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"cores\": {cores},\n",
+            "  \"clients\": {clients},\n",
+            "  \"requests_per_client\": {per_client},\n",
+            "  \"single_shard\": {single},\n",
+            "  \"multi_shard\": {multi_shard},\n",
+            "  \"miss_speedup\": {mspd:.2},\n",
+            "  \"hot_speedup\": {hspd:.2}\n",
+            "}}\n"
+        ),
+        mode = mode,
+        cores = cores,
+        clients = clients,
+        per_client = per_client,
+        single = shard_json(&single),
+        multi_shard = shard_json(&sharded),
+        mspd = miss_speedup,
+        hspd = hot_speedup,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_service.json");
+    println!("{json}");
+    eprintln!(
+        "serve_bench: wrote {out_path} (miss speedup {miss_speedup:.2}x at {multi} shards \
+         on {cores} cores)"
+    );
+}

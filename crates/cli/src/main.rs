@@ -9,10 +9,9 @@ use solarstorm::analysis::{
     as_impact, economics, headline, maps, partition_report, risk, traffic_report,
 };
 use solarstorm::data::io;
-use solarstorm::engine::{
-    serve_stream, Engine, EngineConfig, MetricsServer, Scale, Server, ServerConfig,
-};
+use solarstorm::engine::{serve_stream, EngineConfig, MetricsServer, Scale, Server, ServerConfig};
 use solarstorm::obs;
+use solarstorm::shard::{ShardConfig, ShardedEngine};
 use solarstorm::sim::cascade::{self, GridFailureModel};
 use solarstorm::sim::isolation::{self, CouplingModel};
 use solarstorm::sim::mitigation;
@@ -73,9 +72,16 @@ OPTIONS
 
 SERVICE OPTIONS (serve | batch)
   --addr HOST:PORT  listen address for serve (default 127.0.0.1:7070)
-  --workers N       worker threads (default: CPU cores, capped at 8)
-  --queue N         bounded work-queue capacity (default 64)
-  --cache N         result-cache entry cap, 0 disables (default 256)
+  --shards N        engine shards behind the consistent-hash router
+                    (default: CPU cores; overrides STORMSIM_SHARDS).
+                    Each shard owns its own cache partition, flight
+                    table, and slice of the worker/queue/cache budget.
+  --workers N       worker threads, divided across shards
+                    (default: CPU cores, capped at 8)
+  --queue N         bounded work-queue capacity, divided across shards
+                    (default 64)
+  --cache N         result-cache entry cap, divided across shards;
+                    0 disables (default 256)
   --full            paper-scale datasets (default: scaled test datasets)
   --threads N       simulation worker-pool threads (see above)
   --log-level L     structured-log verbosity (see above)
@@ -157,6 +163,42 @@ fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, String>
         return Err("--threads: must be at least 1".to_string());
     }
     Ok(n)
+}
+
+/// Parses `--shards N`: a positive integer sizing the sharded serving
+/// runtime. Zero and garbage are rejected so a typo fails fast with
+/// usage (exit 2) instead of silently serving unsharded.
+fn parse_shards(it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+    let n: usize = it
+        .next()
+        .ok_or("--shards needs a value")?
+        .parse()
+        .map_err(|e| format!("--shards: {e}"))?;
+    if n == 0 {
+        return Err("--shards: must be at least 1".to_string());
+    }
+    Ok(n)
+}
+
+/// The requested shard count: the `--shards` flag wins over the
+/// `STORMSIM_SHARDS` environment variable; `None` means "one shard per
+/// CPU core". Both sources reject zero and non-integers, exactly like
+/// `--threads`/`STORMSIM_THREADS`.
+fn resolve_shards(flag: Option<usize>) -> Result<Option<usize>, String> {
+    if flag.is_some() {
+        return Ok(flag);
+    }
+    let Ok(raw) = std::env::var("STORMSIM_SHARDS") else {
+        return Ok(None);
+    };
+    let n: usize = raw
+        .trim()
+        .parse()
+        .map_err(|e| format!("STORMSIM_SHARDS={raw}: {e}"))?;
+    if n == 0 {
+        return Err(format!("STORMSIM_SHARDS={raw}: must be at least 1"));
+    }
+    Ok(Some(n))
 }
 
 /// The requested simulation pool width: the `--threads` flag wins over
@@ -252,6 +294,7 @@ struct ServiceOpts {
     metrics_addr: Option<String>,
     threads: Option<usize>,
     deadline_ms: Option<u64>,
+    shards: Option<usize>,
 }
 
 fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
@@ -266,6 +309,7 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
         metrics_addr: None,
         threads: None,
         deadline_ms: None,
+        shards: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -273,6 +317,7 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
             "--full" => opts.full = true,
             "--log-level" => opts.log_level = Some(parse_log_level(&mut it)?),
             "--threads" => opts.threads = Some(parse_threads(&mut it)?),
+            "--shards" => opts.shards = Some(parse_shards(&mut it)?),
             "--addr" => {
                 opts.addr = it.next().ok_or("--addr needs a value")?.clone();
             }
@@ -328,6 +373,21 @@ fn engine_config(opts: &ServiceOpts) -> EngineConfig {
     }
 }
 
+/// The sharded-runtime config: the total engine budget from the service
+/// flags, divided across the resolved shard count (`--shards` over
+/// `STORMSIM_SHARDS`, already folded into `opts.shards` by `main`;
+/// `None` means one shard per CPU core).
+fn shard_runtime_config(opts: &ServiceOpts) -> ShardConfig {
+    let mut cfg = ShardConfig {
+        engine: engine_config(opts),
+        ..Default::default()
+    };
+    if let Some(n) = opts.shards {
+        cfg.shards = n;
+    }
+    cfg
+}
+
 /// `stormsim serve`: NDJSON scenario service over TCP, thread per
 /// connection, until killed.
 fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
@@ -339,14 +399,19 @@ fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
             "test-scale"
         }
     );
-    let engine = std::sync::Arc::new(Engine::new(engine_config(opts)));
+    let runtime = std::sync::Arc::new(ShardedEngine::new(shard_runtime_config(opts)));
+    obs::event!(
+        obs::Level::Info,
+        "serve_start",
+        shards = runtime.shard_count()
+    );
     let server = Server::bind(
         &opts.addr,
-        std::sync::Arc::clone(&engine),
+        std::sync::Arc::clone(&runtime),
         ServerConfig::default(),
     )?;
     if let Some(metrics_addr) = &opts.metrics_addr {
-        let metrics = MetricsServer::bind(metrics_addr, std::sync::Arc::clone(&engine))?;
+        let metrics = MetricsServer::bind(metrics_addr, std::sync::Arc::clone(&runtime))?;
         eprintln!(
             "stormsim metrics (Prometheus text) on http://{}/metrics",
             metrics.local_addr()?
@@ -356,8 +421,9 @@ fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
             .spawn(move || metrics.run())?;
     }
     eprintln!(
-        "stormsim serve listening on {} ({} workers, queue {}, cache {})",
+        "stormsim serve listening on {} ({} shards, {} workers, queue {}, cache {})",
         server.local_addr()?,
+        runtime.shard_count(),
         opts.workers,
         opts.queue,
         opts.cache
@@ -381,18 +447,26 @@ fn run_batch(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
             "test-scale"
         }
     );
-    let engine = Engine::new(engine_config(opts));
+    let runtime = ShardedEngine::new(shard_runtime_config(opts));
+    obs::event!(
+        obs::Level::Info,
+        "batch_start",
+        shards = runtime.shard_count()
+    );
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     serve_stream(
-        &engine,
+        &runtime,
         stdin.lock(),
         stdout.lock(),
         &ServerConfig::default(),
     );
-    engine.shutdown();
+    runtime.shutdown();
     obs::flush();
-    eprintln!("{}", serde_json::to_string_pretty(&engine.metrics())?);
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&runtime.metrics().to_value()?)?
+    );
     Ok(())
 }
 
@@ -427,7 +501,7 @@ fn main() {
         std::process::exit(2);
     }
     if command == "serve" || command == "batch" {
-        let sopts = match parse_service_opts(&args[1..]) {
+        let mut sopts = match parse_service_opts(&args[1..]) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("error: {e}\n");
@@ -444,6 +518,16 @@ fn main() {
             eprintln!("error: {e}\n");
             eprint!("{USAGE}");
             std::process::exit(2);
+        }
+        // Fold STORMSIM_SHARDS into the flag slot, rejecting garbage and
+        // zero with usage exactly like --threads/STORMSIM_THREADS.
+        match resolve_shards(sopts.shards) {
+            Ok(resolved) => sopts.shards = resolved,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
         }
         let out = if command == "serve" {
             run_serve(&sopts)
@@ -887,6 +971,65 @@ mod tests {
         assert!(parse_service_opts(&args(&["--deadline-ms"])).is_err());
         assert!(parse_service_opts(&args(&["--deadline-ms", "0"])).is_err());
         assert!(parse_service_opts(&args(&["--deadline-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn shards_parse_and_reject_garbage() {
+        let s = parse_service_opts(&args(&["--shards", "4"])).unwrap();
+        assert_eq!(s.shards, Some(4));
+        assert!(parse_service_opts(&[]).unwrap().shards.is_none());
+
+        for bad in [
+            &["--shards"][..],
+            &["--shards", "0"],
+            &["--shards", "abc"],
+            &["--shards", "-2"],
+            &["--shards", "2.5"],
+        ] {
+            let err = parse_service_opts(&args(bad)).unwrap_err();
+            assert!(err.contains("--shards"), "{err}");
+        }
+    }
+
+    #[test]
+    fn shards_env_var_is_validated_and_flag_wins() {
+        // The flag short-circuits: the environment is not even read.
+        std::env::set_var("STORMSIM_SHARDS", "junk");
+        assert_eq!(resolve_shards(Some(2)).unwrap(), Some(2));
+        let err = resolve_shards(None).unwrap_err();
+        assert!(err.contains("STORMSIM_SHARDS"), "{err}");
+
+        std::env::set_var("STORMSIM_SHARDS", "0");
+        let err = resolve_shards(None).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+
+        std::env::set_var("STORMSIM_SHARDS", "3");
+        assert_eq!(resolve_shards(None).unwrap(), Some(3));
+
+        std::env::remove_var("STORMSIM_SHARDS");
+        assert_eq!(resolve_shards(None).unwrap(), None);
+    }
+
+    #[test]
+    fn shard_runtime_config_carries_the_count_and_total_budget() {
+        let s = parse_service_opts(&args(&[
+            "--shards", "3", "--workers", "6", "--queue", "9", "--cache", "12",
+        ]))
+        .unwrap();
+        let cfg = shard_runtime_config(&s);
+        assert_eq!(cfg.shards, 3);
+        // The *total* budget goes in; ShardedEngine divides it.
+        assert_eq!(cfg.engine.workers, 6);
+        assert_eq!(cfg.engine.queue_cap, 9);
+        assert_eq!(cfg.engine.cache_cap, 12);
+
+        // Without --shards the count defaults to the core count.
+        let s = parse_service_opts(&[]).unwrap();
+        let cfg = shard_runtime_config(&s);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(cfg.shards, cores);
     }
 
     #[test]

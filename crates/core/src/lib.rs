@@ -49,6 +49,9 @@
 //! * [`engine`] — the concurrent scenario-evaluation service behind
 //!   `stormsim serve`/`batch`: content-addressed result cache,
 //!   single-flight dedup, bounded worker pool, NDJSON protocol;
+//! * [`shard`] — the sharded serving runtime: consistent-hash routing
+//!   across N engine shards with per-shard caches, hedged sibling-cache
+//!   reads, and busy spillover (`stormsim serve --shards`);
 //! * [`obs`] — structured tracing spans, per-stage timing aggregates
 //!   and sinks behind `STORMSIM_LOG`/`STORMSIM_LOG_FILE`.
 
@@ -62,6 +65,7 @@ pub use solarstorm_geo as geo;
 pub use solarstorm_gic as gic;
 pub use solarstorm_obs as obs;
 pub use solarstorm_sat as sat;
+pub use solarstorm_shard as shard;
 pub use solarstorm_sim as sim;
 pub use solarstorm_solar as solar;
 pub use solarstorm_topology as topology;

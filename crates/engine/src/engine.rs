@@ -125,6 +125,20 @@ impl From<EngineError> for FailureReport {
     }
 }
 
+/// A read-only view over *other* caches, consulted on a confirmed
+/// local cache miss before paying for compute. A sharded runtime passes
+/// one that probes sibling shards; a standalone engine never sees it.
+///
+/// The probe runs on the request path of a miss, so implementations
+/// must be cheap — a bounded number of lock-and-lookup operations, no
+/// compute, no blocking on in-flight work.
+pub trait HedgeProbe: Sync {
+    /// Returns the cached result for `(hash, canon)` if any sibling
+    /// holds it. `canon` is the canonical spec serialization; a correct
+    /// implementation must verify it (hash collisions are misses).
+    fn probe(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>>;
+}
+
 struct Job {
     canon: String,
     hash: u64,
@@ -216,10 +230,44 @@ impl Engine {
     // requests block on simulations; boxing would buy nothing.
     #[allow(clippy::result_large_err)]
     pub fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+        self.evaluate_counted(spec, None, None)
+    }
+
+    /// Like [`Engine::evaluate_full`], for an engine running as shard
+    /// `shard` of a sharded runtime: the manifest records the shard id,
+    /// and on a confirmed local cache miss the `probe` (sibling shards'
+    /// caches, read-only) is consulted before the job is queued for
+    /// compute. A hedge hit is adopted into the local cache, counted in
+    /// [`crate::EngineMetrics::hedge_hits`], and marked
+    /// `hedge_hit: true` on the manifest.
+    #[allow(clippy::result_large_err)]
+    pub fn evaluate_full_hedged(
+        &self,
+        spec: &ScenarioSpec,
+        shard: u32,
+        probe: Option<&dyn HedgeProbe>,
+    ) -> Result<Evaluation, FailureReport> {
+        self.evaluate_counted(spec, Some(shard), probe)
+    }
+
+    /// Reads the result cache without scheduling any work: the hedge
+    /// probe's view of this engine when it runs as a shard. Verifies
+    /// `canon` like every cache read (a hash collision is a miss).
+    pub fn peek_cache(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>> {
+        self.shared.cache.get(hash, canon)
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn evaluate_counted(
+        &self,
+        spec: &ScenarioSpec,
+        shard: Option<u32>,
+        probe: Option<&dyn HedgeProbe>,
+    ) -> Result<Evaluation, FailureReport> {
         let t0 = Instant::now();
         let m = &self.shared.metrics;
         m.requests.fetch_add(1, Ordering::Relaxed);
-        let out = self.evaluate_inner(spec);
+        let out = self.evaluate_inner(spec, shard, probe);
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         m.record_latency(us);
         match &out {
@@ -298,7 +346,12 @@ impl Engine {
     }
 
     #[allow(clippy::result_large_err)]
-    fn evaluate_inner(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+    fn evaluate_inner(
+        &self,
+        spec: &ScenarioSpec,
+        shard: Option<u32>,
+        probe: Option<&dyn HedgeProbe>,
+    ) -> Result<Evaluation, FailureReport> {
         if !self.accepting.load(Ordering::Acquire) {
             return Err(EngineError::ShuttingDown.into());
         }
@@ -321,6 +374,7 @@ impl Engine {
         solarstorm_obs::record_stage("hash", hash_ns);
 
         let mut manifest = RunManifest::new(spec, hash);
+        manifest.shard = shard;
         manifest.push_stage("validate", validate_ns);
         manifest.push_stage("hash", hash_ns);
         let m = &self.shared.metrics;
@@ -407,6 +461,46 @@ impl Engine {
                         hash,
                         manifest,
                     });
+                }
+                // Hedged read: a confirmed local miss probes sibling
+                // shards' caches (read-only) before paying for compute.
+                // A hit is adopted locally and completes the flight, so
+                // followers share it too.
+                if let Some(probe) = probe {
+                    let t = Instant::now();
+                    let hedged = probe.probe(hash, &canon);
+                    let probe_ns = dur_ns(t.elapsed());
+                    solarstorm_obs::record_stage("hedge_probe", probe_ns);
+                    manifest.push_stage("hedge_probe", probe_ns);
+                    if let Some(result) = hedged {
+                        m.hedge_hits.fetch_add(1, Ordering::Relaxed);
+                        solarstorm_obs::event!(
+                            solarstorm_obs::Level::Debug,
+                            "hedge_hit",
+                            hash = manifest.spec_hash.clone()
+                        );
+                        manifest.hedge_hit = Some(true);
+                        self.shared
+                            .cache
+                            .insert(hash, canon.clone(), Arc::clone(&result));
+                        self.shared.flights.complete(
+                            &canon,
+                            Ok(FlightOutput {
+                                result: Arc::clone(&result),
+                                queue_wait_ns: 0,
+                                compute_ns: 0,
+                            }),
+                        );
+                        return Ok(Evaluation {
+                            result,
+                            cached: true,
+                            degraded: self.is_degraded(),
+                            hash,
+                            manifest,
+                        });
+                    }
+                    m.hedge_misses.fetch_add(1, Ordering::Relaxed);
+                    manifest.hedge_hit = Some(false);
                 }
                 // Degraded mode: this is a confirmed miss, so shed it
                 // before it can occupy a queue slot.
@@ -779,6 +873,57 @@ mod tests {
         for h in held {
             h.join().unwrap().unwrap();
         }
+    }
+
+    struct EngineProbe<'a>(&'a Engine);
+
+    impl HedgeProbe for EngineProbe<'_> {
+        fn probe(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>> {
+            self.0.peek_cache(hash, canon)
+        }
+    }
+
+    #[test]
+    fn hedge_probe_adopts_a_sibling_result() {
+        let a = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let b = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let spec = sleep_spec(1);
+        let computed = b.evaluate(&spec).unwrap();
+        let probe = EngineProbe(&b);
+
+        // a has never computed the spec: the hedge finds b's answer.
+        let hedged = a.evaluate_full_hedged(&spec, 3, Some(&probe)).unwrap();
+        assert!(hedged.cached);
+        assert_eq!(hedged.manifest.shard, Some(3));
+        assert_eq!(hedged.manifest.hedge_hit, Some(true));
+        assert_eq!(*hedged.result, *computed.result);
+        let m = a.metrics();
+        assert_eq!(m.hedge_hits, 1);
+        assert_eq!(m.computations, 0, "a hedge hit must not compute");
+
+        // The hedge hit was adopted locally: the next request is a
+        // plain cache hit, no probe outcome on its manifest.
+        let warm = a.evaluate_full_hedged(&spec, 3, Some(&probe)).unwrap();
+        assert!(warm.cached);
+        assert!(warm.manifest.hedge_hit.is_none());
+
+        // A probe miss computes locally and says so.
+        let fresh = a
+            .evaluate_full_hedged(&sleep_spec(2), 3, Some(&probe))
+            .unwrap();
+        assert!(!fresh.cached);
+        assert_eq!(fresh.manifest.hedge_hit, Some(false));
+        assert_eq!(a.metrics().hedge_misses, 1);
+        // The unsharded path never probes and never marks manifests.
+        let plain = b.evaluate_full(&spec).unwrap();
+        assert!(plain.manifest.shard.is_none());
+        assert!(plain.manifest.hedge_hit.is_none());
     }
 
     #[test]

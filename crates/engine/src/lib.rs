@@ -94,15 +94,17 @@ mod metrics;
 mod metrics_http;
 pub mod proto;
 mod server;
+mod service;
 mod spec;
 
-pub use engine::{Engine, EngineConfig, Evaluation, FailureReport};
+pub use engine::{Engine, EngineConfig, Evaluation, FailureReport, HedgeProbe};
 pub use error::EngineError;
 pub use manifest::{RunManifest, StageTiming};
 pub use metrics::{EngineMetrics, LatencySummary, StageSummary};
 pub use metrics_http::MetricsServer;
 pub use proto::{Request, RequestBody, Response, WireError};
-pub use server::{serve_stream, Server, ServerConfig};
+pub use server::{serve_stream, serve_stream_bounded, Server, ServerConfig};
+pub use service::ScenarioService;
 pub use spec::{
     AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
     SweepPointResult,

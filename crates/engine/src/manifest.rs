@@ -48,6 +48,19 @@ pub struct RunManifest {
     /// comparable to any completed run's.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cancelled_at_stage: Option<String>,
+    /// Engine shard that served the request. `None` outside a sharded
+    /// runtime. Like the stage timings, this is routing provenance, not
+    /// identity: the same spec answered by different shards (e.g. after
+    /// a busy spillover) is still the same run.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<u32>,
+    /// Outcome of the hedged sibling-cache probe a sharded runtime runs
+    /// on a shard-local cache miss: `Some(true)` — the answer came from
+    /// a sibling shard's cache without recomputing; `Some(false)` — the
+    /// probe missed and the shard computed locally. `None` — no probe
+    /// ran (local cache hit, dedup join, or unsharded engine).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hedge_hit: Option<bool>,
     /// Per-stage wall-time breakdown, in execution order.
     pub stages: Vec<StageTiming>,
 }
@@ -65,6 +78,8 @@ impl RunManifest {
             kernel: spec.kernel.name().to_string(),
             engine_version: env!("CARGO_PKG_VERSION").to_string(),
             cancelled_at_stage: None,
+            shard: None,
+            hedge_hit: None,
             stages: Vec::new(),
         }
     }
@@ -89,9 +104,10 @@ impl RunManifest {
     }
 
     /// Whether two manifests describe the same run identity — every
-    /// field except the volatile outcome (stage timings and the
-    /// cancellation marker): a run cancelled by its deadline still has
-    /// the same identity as a completed run of the same spec.
+    /// field except the volatile outcome (stage timings, the
+    /// cancellation marker, and the shard/hedge routing provenance): a
+    /// run cancelled by its deadline, or answered by a different shard,
+    /// still has the same identity as a completed run of the same spec.
     pub fn same_identity(&self, other: &RunManifest) -> bool {
         self.spec_hash == other.spec_hash
             && self.seed == other.seed
@@ -155,6 +171,25 @@ mod tests {
         // pre-deadline manifests still deserialize (serde default).
         let s = serde_json::to_string(&completed).unwrap();
         assert!(!s.contains("cancelled_at_stage"), "{s}");
+    }
+
+    #[test]
+    fn shard_and_hedge_are_provenance_not_identity() {
+        let spec = ScenarioSpec::default();
+        let plain = RunManifest::new(&spec, 0x1);
+        let mut routed = RunManifest::new(&spec, 0x1);
+        routed.shard = Some(3);
+        routed.hedge_hit = Some(true);
+        assert!(plain.same_identity(&routed));
+
+        // Off the wire entirely when unset; round-trips when set.
+        let s = serde_json::to_string(&plain).unwrap();
+        assert!(!s.contains("shard") && !s.contains("hedge_hit"), "{s}");
+        let s = serde_json::to_string(&routed).unwrap();
+        assert!(s.contains(r#""shard":3"#), "{s}");
+        assert!(s.contains(r#""hedge_hit":true"#), "{s}");
+        let back: RunManifest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, routed);
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub(crate) struct Registry {
     pub dedup_joins: AtomicU64,
     pub computations: AtomicU64,
     pub queue_depth: AtomicU64,
+    pub hedge_hits: AtomicU64,
+    pub hedge_misses: AtomicU64,
     latency_count: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_max_us: AtomicU64,
@@ -48,6 +50,8 @@ impl Default for Registry {
             dedup_joins: AtomicU64::new(0),
             computations: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            hedge_hits: AtomicU64::new(0),
+            hedge_misses: AtomicU64::new(0),
             latency_count: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
             latency_max_us: AtomicU64::new(0),
@@ -120,6 +124,8 @@ impl Registry {
             dedup_joins: self.dedup_joins.load(Relaxed),
             computations: self.computations.load(Relaxed),
             queue_depth: self.queue_depth.load(Relaxed),
+            hedge_hits: self.hedge_hits.load(Relaxed),
+            hedge_misses: self.hedge_misses.load(Relaxed),
             cache_entries: cache_entries as u64,
             latency: LatencySummary {
                 count,
@@ -216,6 +222,14 @@ pub struct EngineMetrics {
     pub computations: u64,
     /// Jobs currently queued (not yet picked up by a worker).
     pub queue_depth: u64,
+    /// Shard-local cache misses answered from a sibling shard's cache
+    /// by the hedged read path. Zero outside a sharded runtime.
+    #[serde(default)]
+    pub hedge_hits: u64,
+    /// Hedged sibling-cache probes that found nothing (the shard paid
+    /// for compute). Zero outside a sharded runtime.
+    #[serde(default)]
+    pub hedge_misses: u64,
     /// Entries currently in the result cache.
     pub cache_entries: u64,
     /// Request-latency distribution.
@@ -233,6 +247,77 @@ fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: u64)
 }
 
 impl EngineMetrics {
+    /// Merges per-shard snapshots into one process-wide view: counters
+    /// and gauges sum, `degraded` is true if any shard is degraded, and
+    /// the latency summary combines conservatively (counts and sums
+    /// add; mean is the weighted mean; p50/p99/max take the worst shard
+    /// — without the raw histograms a true merged percentile isn't
+    /// recoverable, so the merged value is an upper bound). The
+    /// per-stage aggregates are process-global (every shard snapshots
+    /// the same `solarstorm-obs` table), so the first shard's are kept
+    /// as-is rather than summed `N` times.
+    pub fn merged<'a>(shards: impl IntoIterator<Item = &'a EngineMetrics>) -> EngineMetrics {
+        let mut it = shards.into_iter();
+        let mut out = match it.next() {
+            Some(first) => first.clone(),
+            None => {
+                return EngineMetrics {
+                    requests: 0,
+                    completed: 0,
+                    errors: 0,
+                    rejected_busy: 0,
+                    panics: 0,
+                    deadline_exceeded: 0,
+                    load_shed: 0,
+                    degraded: false,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    dedup_joins: 0,
+                    computations: 0,
+                    queue_depth: 0,
+                    hedge_hits: 0,
+                    hedge_misses: 0,
+                    cache_entries: 0,
+                    latency: LatencySummary {
+                        count: 0,
+                        mean_us: 0,
+                        p50_us: 0,
+                        p99_us: 0,
+                        max_us: 0,
+                    },
+                    stages: Vec::new(),
+                }
+            }
+        };
+        let mut weighted_sum_us = out.latency.count.saturating_mul(out.latency.mean_us);
+        for m in it {
+            out.requests += m.requests;
+            out.completed += m.completed;
+            out.errors += m.errors;
+            out.rejected_busy += m.rejected_busy;
+            out.panics += m.panics;
+            out.deadline_exceeded += m.deadline_exceeded;
+            out.load_shed += m.load_shed;
+            out.degraded |= m.degraded;
+            out.cache_hits += m.cache_hits;
+            out.cache_misses += m.cache_misses;
+            out.dedup_joins += m.dedup_joins;
+            out.computations += m.computations;
+            out.queue_depth += m.queue_depth;
+            out.hedge_hits += m.hedge_hits;
+            out.hedge_misses += m.hedge_misses;
+            out.cache_entries += m.cache_entries;
+            out.latency.count += m.latency.count;
+            weighted_sum_us =
+                weighted_sum_us.saturating_add(m.latency.count.saturating_mul(m.latency.mean_us));
+            out.latency.p50_us = out.latency.p50_us.max(m.latency.p50_us);
+            out.latency.p99_us = out.latency.p99_us.max(m.latency.p99_us);
+            out.latency.max_us = out.latency.max_us.max(m.latency.max_us);
+        }
+        out.latency.mean_us = weighted_sum_us.checked_div(out.latency.count).unwrap_or(0);
+        out
+    }
+
     /// Renders the snapshot in the Prometheus text exposition format
     /// (version 0.0.4): `# HELP`/`# TYPE` comment pairs followed by
     /// `name[{labels}] value` sample lines.
@@ -293,6 +378,16 @@ impl EngineMetrics {
                 "stormsim_computations_total",
                 "Scenario computations actually executed by workers.",
                 self.computations,
+            ),
+            (
+                "stormsim_hedge_hits_total",
+                "Shard-local cache misses answered from a sibling shard's cache.",
+                self.hedge_hits,
+            ),
+            (
+                "stormsim_hedge_misses_total",
+                "Hedged sibling-cache probes that found nothing.",
+                self.hedge_misses,
             ),
         ] {
             prom_scalar(&mut out, name, "counter", help, v);
@@ -501,6 +596,61 @@ mod tests {
         assert!(text.contains("\nstormsim_load_shed_total 4\n"), "{text}");
         assert!(text.contains("# TYPE stormsim_degraded gauge\n"), "{text}");
         assert!(text.contains("\nstormsim_degraded 1\n"), "{text}");
+    }
+
+    #[test]
+    fn merged_sums_counters_and_takes_worst_percentiles() {
+        let a = Registry::default();
+        a.requests.fetch_add(10, Relaxed);
+        a.cache_hits.fetch_add(4, Relaxed);
+        a.hedge_hits.fetch_add(2, Relaxed);
+        a.record_latency(100);
+        a.record_latency(100);
+        let b = Registry::default();
+        b.requests.fetch_add(5, Relaxed);
+        b.degraded.store(1, Relaxed);
+        b.hedge_misses.fetch_add(3, Relaxed);
+        b.record_latency(4000);
+        let (ma, mb) = (a.snapshot(3, Vec::new()), b.snapshot(1, Vec::new()));
+        let m = EngineMetrics::merged([&ma, &mb]);
+        assert_eq!(m.requests, 15);
+        assert_eq!(m.cache_hits, 4);
+        assert_eq!(m.hedge_hits, 2);
+        assert_eq!(m.hedge_misses, 3);
+        assert_eq!(m.cache_entries, 4);
+        assert!(m.degraded);
+        assert_eq!(m.latency.count, 3);
+        // Weighted mean of {100, 100, 4000} (bucketed means are exact
+        // here because each registry saw uniform values).
+        assert_eq!(m.latency.mean_us, 1400);
+        assert_eq!(m.latency.max_us, 4000);
+        assert!(m.latency.p99_us >= mb.latency.p99_us);
+
+        let empty = EngineMetrics::merged([]);
+        assert_eq!(empty.requests, 0);
+        assert_eq!(empty.latency.count, 0);
+        let one = EngineMetrics::merged([&ma]);
+        assert_eq!(one, ma, "merging a single snapshot is the identity");
+    }
+
+    #[test]
+    fn hedge_counters_reach_prometheus_and_survive_legacy_snapshots() {
+        let r = Registry::default();
+        r.hedge_hits.fetch_add(6, Relaxed);
+        r.hedge_misses.fetch_add(1, Relaxed);
+        let text = snap(&r).to_prometheus();
+        assert!(text.contains("\nstormsim_hedge_hits_total 6\n"), "{text}");
+        assert!(text.contains("\nstormsim_hedge_misses_total 1\n"), "{text}");
+        // Pre-sharding snapshots lack the fields; serde defaults apply.
+        let legacy = serde_json::json!({
+            "requests": 1, "completed": 1, "errors": 0, "rejected_busy": 0,
+            "cache_hits": 0, "cache_misses": 1, "dedup_joins": 0,
+            "computations": 1, "queue_depth": 0, "cache_entries": 1,
+            "latency": {"count": 1, "mean_us": 5, "p50_us": 8, "p99_us": 8, "max_us": 5}
+        });
+        let m: EngineMetrics = serde_json::from_value(legacy).unwrap();
+        assert_eq!(m.hedge_hits, 0);
+        assert_eq!(m.hedge_misses, 0);
     }
 
     #[test]

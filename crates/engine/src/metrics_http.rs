@@ -1,14 +1,14 @@
-//! Minimal HTTP/1.1 endpoint serving [`EngineMetrics`] in the
-//! Prometheus text exposition format.
+//! Minimal HTTP/1.1 endpoint serving metrics in the Prometheus text
+//! exposition format.
 //!
 //! Deliberately tiny: every request — whatever its path — gets a fresh
-//! snapshot rendered by [`EngineMetrics::to_prometheus`] with
-//! `Connection: close`, which is all a Prometheus scraper (or `curl`)
-//! needs. Runs alongside the NDJSON [`crate::Server`] as
-//! `stormsim serve --metrics-addr`.
+//! snapshot rendered by [`crate::ScenarioService::prometheus_text`]
+//! with `Connection: close`, which is all a Prometheus scraper (or
+//! `curl`) needs. Runs alongside the NDJSON [`crate::Server`] as
+//! `stormsim serve --metrics-addr`; behind a sharded runtime the text
+//! carries per-shard `shard`-labelled series too.
 
-use crate::engine::Engine;
-use crate::metrics::EngineMetrics;
+use crate::service::ScenarioService;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -17,16 +17,16 @@ use std::time::Duration;
 /// The metrics scrape endpoint.
 pub struct MetricsServer {
     listener: TcpListener,
-    engine: Arc<Engine>,
+    service: Arc<dyn ScenarioService>,
 }
 
 impl MetricsServer {
     /// Binds the scrape endpoint (e.g. `"127.0.0.1:9184"`; port 0 picks
-    /// a free port).
-    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<MetricsServer> {
+    /// a free port). An `Arc<Engine>` coerces directly.
+    pub fn bind(addr: &str, service: Arc<dyn ScenarioService>) -> std::io::Result<MetricsServer> {
         Ok(MetricsServer {
             listener: TcpListener::bind(addr)?,
-            engine,
+            service,
         })
     }
 
@@ -41,10 +41,10 @@ impl MetricsServer {
         for conn in self.listener.incoming() {
             match conn {
                 Ok(stream) => {
-                    let engine = Arc::clone(&self.engine);
+                    let service = Arc::clone(&self.service);
                     let _ = std::thread::Builder::new()
                         .name("storm-metrics".into())
-                        .spawn(move || serve_scrape(&engine.metrics(), stream));
+                        .spawn(move || serve_scrape(&service.prometheus_text(), stream));
                 }
                 Err(e) => eprintln!("stormsim: metrics accept error: {e}"),
             }
@@ -54,7 +54,7 @@ impl MetricsServer {
 }
 
 /// Answers one scrape: drain the request head, write one response.
-fn serve_scrape(metrics: &EngineMetrics, stream: TcpStream) {
+fn serve_scrape(body: &str, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -69,7 +69,6 @@ fn serve_scrape(metrics: &EngineMetrics, stream: TcpStream) {
             Ok(_) => continue,
         }
     }
-    let body = metrics.to_prometheus();
     let mut stream = stream;
     let _ = write!(
         stream,
@@ -86,7 +85,7 @@ fn serve_scrape(metrics: &EngineMetrics, stream: TcpStream) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{Engine, EngineConfig};
     use std::io::Read;
 
     fn scrape(addr: SocketAddr) -> String {

@@ -16,9 +16,9 @@
 //! treated as an id-less scenario request, which keeps `stormsim batch`
 //! pipelines terse.
 
-use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::manifest::RunManifest;
+use crate::service::ScenarioService;
 use crate::spec::ScenarioSpec;
 use serde::{Deserialize, Serialize};
 
@@ -184,16 +184,17 @@ pub fn parse_line(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Handles one parsed request against an engine. Never panics; every
-/// failure becomes an error response.
-pub fn handle_request(engine: &Engine, req: Request) -> Response {
+/// Handles one parsed request against a scenario service (a single
+/// [`crate::Engine`] or a sharded runtime). Never panics; every failure
+/// becomes an error response.
+pub fn handle_request(service: &dyn ScenarioService, req: Request) -> Response {
     match req.body {
         RequestBody::Ping => Response::success(req.id, None, serde_json::json!("pong")),
-        RequestBody::Metrics => match serde_json::to_value(engine.metrics()) {
+        RequestBody::Metrics => match service.metrics_value() {
             Ok(v) => Response::success(req.id, None, v),
-            Err(e) => Response::failure(req.id, "internal", e.to_string()),
+            Err(e) => Response::failure(req.id, "internal", e),
         },
-        RequestBody::Scenario { spec } => match engine.evaluate_full(&spec) {
+        RequestBody::Scenario { spec } => match service.evaluate_full(&spec) {
             Ok(eval) => {
                 let t = std::time::Instant::now();
                 let serialized = serde_json::to_value(&*eval.result);
@@ -224,9 +225,9 @@ pub fn handle_request(engine: &Engine, req: Request) -> Response {
 }
 
 /// Convenience: parse + handle one raw line.
-pub fn handle_line(engine: &Engine, line: &str) -> Response {
+pub fn handle_line(service: &dyn ScenarioService, line: &str) -> Response {
     match parse_line(line) {
-        Ok(req) => handle_request(engine, req),
+        Ok(req) => handle_request(service, req),
         Err(msg) => Response::failure(None, "parse", msg),
     }
 }

@@ -10,9 +10,9 @@
 //! `overloaded` error line and the connection is closed, instead of
 //! being accepted and then ignored.
 
-use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::proto;
+use crate::service::ScenarioService;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,6 +31,12 @@ pub struct ServerConfig {
     /// Concurrent-connection cap; connections beyond it are answered
     /// with one `overloaded` error line and closed.
     pub max_connections: usize,
+    /// Fallback request budget for a connection whose read timeout
+    /// could not be armed (`set_read_timeout` failed): rather than
+    /// pretending the timeout exists, the server answers at most this
+    /// many request lines and then closes the connection, so an idle
+    /// client still cannot pin the thread forever.
+    pub unarmed_line_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -39,14 +45,16 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(60),
             max_line_bytes: 1 << 20,
             max_connections: 256,
+            unarmed_line_cap: 1024,
         }
     }
 }
 
-/// A bound NDJSON scenario server.
+/// A bound NDJSON scenario server, generic over what answers the
+/// requests: a single [`crate::Engine`] or a sharded runtime.
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<Engine>,
+    service: Arc<dyn ScenarioService>,
     cfg: ServerConfig,
 }
 
@@ -97,11 +105,16 @@ fn refuse_overloaded(mut stream: TcpStream) {
 
 impl Server {
     /// Binds to `addr` (e.g. `127.0.0.1:7070`; port 0 picks a free
-    /// port).
-    pub fn bind(addr: &str, engine: Arc<Engine>, cfg: ServerConfig) -> std::io::Result<Server> {
+    /// port). `service` is whatever answers the requests — an
+    /// `Arc<Engine>` coerces directly.
+    pub fn bind(
+        addr: &str,
+        service: Arc<dyn ScenarioService>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            engine,
+            service,
             cfg,
         })
     }
@@ -127,7 +140,7 @@ impl Server {
                         refuse_overloaded(stream);
                         continue;
                     };
-                    let engine = Arc::clone(&self.engine);
+                    let service = Arc::clone(&self.service);
                     let cfg = self.cfg.clone();
                     let peer = stream
                         .peer_addr()
@@ -137,7 +150,7 @@ impl Server {
                         .name(format!("storm-conn-{peer}"))
                         .spawn(move || {
                             let _guard = guard;
-                            handle_connection(&engine, stream, &cfg);
+                            handle_connection(&*service, stream, &cfg);
                         });
                     if let Err(e) = spawned {
                         // The stream moved into the failed spawn and is
@@ -153,14 +166,27 @@ impl Server {
     }
 }
 
-/// Serves one connection until EOF, timeout, or I/O error.
-fn handle_connection(engine: &Engine, stream: TcpStream, cfg: &ServerConfig) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+/// Serves one connection until EOF, timeout, or I/O error. If the read
+/// timeout cannot be armed, the connection is served with a bounded
+/// request budget instead of an unprotected infinite loop.
+fn handle_connection(service: &dyn ScenarioService, stream: TcpStream, cfg: &ServerConfig) {
+    let line_cap = match stream.set_read_timeout(Some(cfg.read_timeout)) {
+        Ok(()) => None,
+        Err(e) => {
+            solarstorm_obs::event!(
+                solarstorm_obs::Level::Warn,
+                "read_timeout_unarmed",
+                error = e.to_string(),
+                line_cap = cfg.unarmed_line_cap as u64
+            );
+            Some(cfg.unarmed_line_cap)
+        }
+    };
     let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    serve_stream(engine, BufReader::new(stream), writer, cfg);
+    serve_stream_bounded(service, BufReader::new(stream), writer, cfg, line_cap);
 }
 
 /// Serves NDJSON request lines from `reader`, writing one response line
@@ -173,13 +199,31 @@ fn handle_connection(engine: &Engine, stream: TcpStream, cfg: &ServerConfig) {
 /// with exactly one well-formed JSON response line before the
 /// connection is (at worst) closed.
 pub fn serve_stream<R: BufRead, W: Write>(
-    engine: &Engine,
+    service: &dyn ScenarioService,
+    reader: R,
+    writer: W,
+    cfg: &ServerConfig,
+) {
+    serve_stream_bounded(service, reader, writer, cfg, None);
+}
+
+/// [`serve_stream`] with an optional request budget: with
+/// `line_cap: Some(n)` the connection is closed after answering `n`
+/// request lines. The TCP frontend uses this as the fallback when a
+/// connection's read timeout cannot be armed.
+pub fn serve_stream_bounded<R: BufRead, W: Write>(
+    service: &dyn ScenarioService,
     mut reader: R,
     mut writer: W,
     cfg: &ServerConfig,
+    line_cap: Option<usize>,
 ) {
+    let mut budget = line_cap;
     let mut buf = Vec::new();
     loop {
+        if budget == Some(0) {
+            return;
+        }
         buf.clear();
         // read_until (not read_line) so invalid UTF-8 is data to answer
         // with a parse error, not an I/O error that kills the
@@ -205,7 +249,10 @@ pub fn serve_stream<R: BufRead, W: Write>(
         if trimmed.is_empty() {
             continue;
         }
-        let resp = proto::handle_line(engine, trimmed);
+        if let Some(n) = budget.as_mut() {
+            *n -= 1;
+        }
+        let resp = proto::handle_line(service, trimmed);
         #[cfg(feature = "chaos")]
         let resp = if solarstorm_obs::chaos::inject("server.write") {
             // An injected write fault: drop this connection the way a
@@ -224,7 +271,7 @@ pub fn serve_stream<R: BufRead, W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{Engine, EngineConfig};
 
     fn spawn_server_with(cfg: ServerConfig) -> (SocketAddr, Arc<Engine>) {
         let engine = Arc::new(Engine::new(EngineConfig {
@@ -354,6 +401,39 @@ mod tests {
             r.read_line(&mut resp).is_ok() && resp.contains("pong")
         });
         assert!(ok, "slot must be released after the connection closes");
+    }
+
+    #[test]
+    fn bounded_serving_stops_at_the_request_budget() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        // Five requests (plus empty lines, which must not consume the
+        // budget), a cap of two: exactly two answers, then close.
+        let input = b"\n{\"type\":\"ping\"}\n\n{\"type\":\"ping\"}\n{\"type\":\"ping\"}\n{\"type\":\"ping\"}\n{\"type\":\"ping\"}\n".to_vec();
+        let mut output = Vec::new();
+        serve_stream_bounded(
+            &engine,
+            std::io::Cursor::new(input.clone()),
+            &mut output,
+            &ServerConfig::default(),
+            Some(2),
+        );
+        let text = String::from_utf8(output).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(text.lines().all(|l| l.contains("pong")), "{text}");
+
+        // A zero budget answers nothing.
+        let mut output = Vec::new();
+        serve_stream_bounded(
+            &engine,
+            std::io::Cursor::new(input),
+            &mut output,
+            &ServerConfig::default(),
+            Some(0),
+        );
+        assert!(output.is_empty());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The [`ScenarioService`] abstraction the protocol frontends serve.
+//!
+//! [`crate::proto`], [`crate::Server`], and [`crate::MetricsServer`]
+//! are written against this trait rather than [`Engine`] directly, so a
+//! single engine and a sharded runtime (`solarstorm-shard`'s
+//! `ShardedEngine`) are interchangeable behind the same NDJSON and
+//! Prometheus endpoints. The trait is deliberately small — evaluate one
+//! scenario, snapshot metrics — because that is the whole surface the
+//! wire protocol needs.
+
+use crate::engine::{Engine, Evaluation, FailureReport};
+use crate::spec::ScenarioSpec;
+
+/// Anything that can answer scenario requests and report metrics: a
+/// single [`Engine`] or a sharded runtime composed of several.
+// FailureReport inlines the manifest; see Engine::evaluate_full.
+#[allow(clippy::result_large_err)]
+pub trait ScenarioService: Send + Sync {
+    /// Evaluates one scenario, blocking until the answer (or typed
+    /// failure with provenance) is available.
+    fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport>;
+
+    /// A point-in-time metrics snapshot as the JSON value the NDJSON
+    /// `metrics` request answers with. Sharded runtimes return their
+    /// merged totals plus a `shards` array; a single engine returns its
+    /// [`crate::EngineMetrics`] object unchanged.
+    fn metrics_value(&self) -> Result<serde_json::Value, String>;
+
+    /// The same snapshot rendered in the Prometheus text exposition
+    /// format (unlabelled totals; sharded runtimes append
+    /// `shard`-labelled per-shard series).
+    fn prometheus_text(&self) -> String;
+}
+
+impl ScenarioService for Engine {
+    fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+        Engine::evaluate_full(self, spec)
+    }
+
+    fn metrics_value(&self) -> Result<serde_json::Value, String> {
+        serde_json::to_value(self.metrics()).map_err(|e| e.to_string())
+    }
+
+    fn prometheus_text(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::spec::AnalysisRequest;
+
+    #[test]
+    fn an_engine_serves_through_the_trait_object() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let svc: &dyn ScenarioService = &engine;
+        let spec = ScenarioSpec {
+            analysis: AnalysisRequest::Sleep { ms: 1 },
+            ..Default::default()
+        };
+        let eval = svc.evaluate_full(&spec).unwrap();
+        assert!(!eval.cached);
+        let v = svc.metrics_value().unwrap();
+        assert_eq!(v["requests"], 1);
+        assert!(v.get("shards").is_none(), "single engines have no shards");
+        let text = svc.prometheus_text();
+        assert!(text.contains("stormsim_requests_total 1"), "{text}");
+    }
+}

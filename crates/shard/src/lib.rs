@@ -1,0 +1,75 @@
+//! `solarstorm-shard` — the sharded serving runtime over
+//! `solarstorm-engine`.
+//!
+//! One engine process owns a single global result cache, single-flight
+//! table, and job queue; every connection thread contends on the same
+//! few locks, and the cache's LRU eviction scan serializes the write
+//! path. This crate removes that ceiling by running **N engine shards**
+//! behind a consistent-hash [`Router`]:
+//!
+//! * **Content-hash routing** — a scenario routes by the same FNV-1a
+//!   content hash that keys the result cache, so every spec has a
+//!   stable *home shard* where its cached result lives. The
+//!   [`HashRing`] uses virtual nodes; growing N → N+1 shards remaps
+//!   only ~1/(N+1) of keys (property-tested), and only onto the new
+//!   shard.
+//! * **Shared-nothing writes** — each shard owns its own cache
+//!   partition, flight table, bounded queue, and worker slice; shards
+//!   never take each other's locks on the write path.
+//! * **Hedged reads** — a home-shard cache miss probes sibling caches
+//!   read-only before paying for compute, so a result computed
+//!   elsewhere (after a busy spillover, or by direct shard access) is
+//!   adopted instead of recomputed.
+//! * **Busy spillover** — a `busy` rejection retries once on the ring
+//!   successor before the client sees it.
+//!
+//! [`ShardedEngine`] implements `solarstorm_engine::ScenarioService`,
+//! so the NDJSON TCP server, `stormsim batch`, and the Prometheus
+//! scrape endpoint serve it exactly as they serve a single engine —
+//! deadlines, panic isolation, load shedding, and chaos injection all
+//! keep working per shard. Results are bit-identical to a single
+//! engine's (routing decides *where* a deterministic computation runs,
+//! never *what* it computes); run manifests carry the serving shard and
+//! the hedge outcome, and metrics merge into unlabelled totals plus
+//! `shard`-labelled series.
+//!
+//! The TCP accept loop is still blocking, thread-per-connection; the
+//! [`Router`] is a pure hash → shard function precisely so a
+//! readiness-driven reactor can replace that loop later without
+//! touching the routing or shard layers.
+//!
+//! # Example
+//!
+//! ```
+//! use solarstorm_engine::{AnalysisRequest, EngineConfig, ScenarioSpec};
+//! use solarstorm_shard::{ShardConfig, ShardedEngine};
+//!
+//! let sharded = ShardedEngine::new(ShardConfig {
+//!     shards: 2,
+//!     engine: EngineConfig { workers: 2, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! let spec = ScenarioSpec {
+//!     analysis: AnalysisRequest::Sleep { ms: 1 },
+//!     ..Default::default()
+//! };
+//! let cold = sharded.evaluate(&spec).unwrap();
+//! let warm = sharded.evaluate(&spec).unwrap();
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(cold.manifest.shard, warm.manifest.shard);
+//! sharded.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+// Same discipline as the engine: the runtime must degrade into typed
+// errors, never abort. Tests assert freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod ring;
+mod router;
+mod sharded;
+
+pub use ring::HashRing;
+pub use router::{Router, DEFAULT_REPLICAS};
+pub use sharded::{ShardConfig, ShardedEngine, ShardedMetrics};

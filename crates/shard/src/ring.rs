@@ -1,0 +1,138 @@
+//! A stable consistent-hash ring with virtual nodes.
+//!
+//! Each shard contributes a fixed number of *replica points* on a
+//! `u64` ring; a key routes to the shard owning the first point at or
+//! clockwise-after the key's remixed hash. Because growing the ring
+//! from `N` to `N + 1` shards only *adds* points, a key either keeps
+//! its shard or moves to the new one — never between existing shards —
+//! so ~`K / (N + 1)` of `K` keys remap, not all of them. That property
+//! is what makes shard-local caches survive resizes.
+
+/// The splitmix64 finisher: a cheap, well-distributed `u64 → u64`
+/// mixer. Spec content hashes are FNV-1a, whose low bits correlate for
+/// similar specs; remixing spreads ring placements uniformly.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The ring: sorted `(point, shard)` pairs, `replicas` points per
+/// shard. Construction is deterministic — the same `(shards,
+/// replicas)` always yields the same ring, on every host.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring points sorted ascending; ties (astronomically unlikely)
+    /// break by shard id, keeping lookups deterministic.
+    points: Vec<(u64, u32)>,
+    shards: u32,
+}
+
+impl HashRing {
+    /// Builds a ring of `shards` shards (clamped to ≥ 1) with
+    /// `replicas` virtual nodes each (clamped to ≥ 1).
+    pub fn new(shards: usize, replicas: usize) -> HashRing {
+        let shards = shards.clamp(1, u32::MAX as usize) as u32;
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(shards as usize * replicas);
+        for shard in 0..shards {
+            for replica in 0..replicas as u64 {
+                // (shard, replica) packs uniquely below 2^64; the mixer
+                // scatters the packed id across the whole ring.
+                let point = mix64((u64::from(shard) << 32) | replica);
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Routes a key (a spec content hash) to its owning shard: the
+    /// shard of the first ring point at or after `mix64(key)`, wrapping
+    /// to the first point past the top of the ring.
+    pub fn route(&self, key: u64) -> u32 {
+        let h = mix64(key);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let i = if i == self.points.len() { 0 } else { i };
+        self.points[i].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = HashRing::new(5, 64);
+        assert_eq!(ring.shards(), 5);
+        let again = HashRing::new(5, 64);
+        for key in 0..10_000u64 {
+            let s = ring.route(key);
+            assert!(s < 5);
+            assert_eq!(s, again.route(key), "same ring, same routing");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let ring = HashRing::new(0, 0);
+        assert_eq!(ring.shards(), 1);
+        assert_eq!(ring.route(0xdead_beef), 0);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let n = 8usize;
+        let ring = HashRing::new(n, 64);
+        let keys = 40_000u64;
+        let mut counts = vec![0u64; n];
+        for key in 0..keys {
+            counts[ring.route(key) as usize] += 1;
+        }
+        let ideal = keys / n as u64;
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c > ideal / 3 && c < ideal * 3,
+                "shard {shard} holds {c} of {keys} keys (ideal {ideal}): ring too lumpy"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_keys_to_the_new_shard() {
+        for n in 1..=8usize {
+            let before = HashRing::new(n, 64);
+            let after = HashRing::new(n + 1, 64);
+            let keys = 10_000u64;
+            let mut moved = 0u64;
+            for key in 0..keys {
+                let (a, b) = (before.route(key), after.route(key));
+                if a != b {
+                    assert_eq!(
+                        b, n as u32,
+                        "key {key} moved between existing shards ({a} → {b}) growing {n} → {}",
+                        n + 1
+                    );
+                    moved += 1;
+                }
+            }
+            // Expected K/(N+1); allow generous slack for vnode variance.
+            let expected = keys / (n as u64 + 1);
+            assert!(
+                moved <= expected * 2,
+                "growing {n} → {} remapped {moved} of {keys} keys (expected ~{expected})",
+                n + 1
+            );
+            if n >= 1 {
+                assert!(moved > 0, "a new shard must take some keys");
+            }
+        }
+    }
+}

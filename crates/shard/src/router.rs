@@ -1,0 +1,99 @@
+//! Routing scenario requests to shards.
+//!
+//! The [`Router`] is a pure function from spec content hashes to shard
+//! indices — no locks, no I/O, no blocking — deliberately, so the same
+//! value can later sit inside a readiness-driven reactor (route on
+//! accept, dispatch to a shard's queue) without the blocking TCP
+//! frontend's thread-per-connection shape leaking into it.
+
+use crate::ring::HashRing;
+use solarstorm_engine::{canon, EngineError, ScenarioSpec};
+
+/// Virtual nodes per shard. 64 keeps the per-shard load within a few
+/// percent of ideal while the ring stays small enough that a route is
+/// one binary search over `64 × shards` points.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// Maps spec content hashes to shard indices over a stable
+/// [`HashRing`].
+#[derive(Debug, Clone)]
+pub struct Router {
+    ring: HashRing,
+}
+
+impl Router {
+    /// A router over `shards` shards with [`DEFAULT_REPLICAS`] virtual
+    /// nodes each.
+    pub fn new(shards: usize) -> Router {
+        Router::with_replicas(shards, DEFAULT_REPLICAS)
+    }
+
+    /// A router with an explicit virtual-node count (clamped to ≥ 1).
+    pub fn with_replicas(shards: usize, replicas: usize) -> Router {
+        Router {
+            ring: HashRing::new(shards, replicas),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.ring.shards()
+    }
+
+    /// The shard owning a spec content hash.
+    pub fn route(&self, spec_hash: u64) -> usize {
+        self.ring.route(spec_hash) as usize
+    }
+
+    /// The next shard clockwise — the busy-spillover target: adjacent
+    /// on the ring, so a hot shard's overflow lands on one neighbor
+    /// instead of splattering across the fleet.
+    pub fn successor(&self, shard: usize) -> usize {
+        (shard + 1) % self.shards()
+    }
+
+    /// Routes a full spec: hashes it exactly as the engine does
+    /// (deadline cleared — the deadline is not part of a scenario's
+    /// identity) and returns the owning shard with the hash.
+    ///
+    /// Errors only if the spec cannot be serialized, which the engine
+    /// would reject as invalid anyway.
+    pub fn route_spec(&self, spec: &ScenarioSpec) -> Result<(usize, u64), EngineError> {
+        let hash_spec = ScenarioSpec {
+            deadline_ms: None,
+            ..spec.clone()
+        };
+        let (_canon, hash) = canon::content_hash(&hash_spec)
+            .map_err(|e| EngineError::InvalidSpec(format!("unserializable spec: {e}")))?;
+        Ok((self.route(hash), hash))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_spec_ignores_the_deadline() {
+        let router = Router::new(4);
+        let bare = ScenarioSpec::default();
+        let deadlined = ScenarioSpec {
+            deadline_ms: Some(250),
+            ..Default::default()
+        };
+        let (shard_a, hash_a) = router.route_spec(&bare).unwrap();
+        let (shard_b, hash_b) = router.route_spec(&deadlined).unwrap();
+        assert_eq!(hash_a, hash_b, "deadline must not change the content hash");
+        assert_eq!(shard_a, shard_b);
+        assert!(shard_a < 4);
+    }
+
+    #[test]
+    fn successor_wraps() {
+        let router = Router::new(3);
+        assert_eq!(router.successor(0), 1);
+        assert_eq!(router.successor(2), 0);
+        let single = Router::new(1);
+        assert_eq!(single.successor(0), 0);
+    }
+}

@@ -1,0 +1,520 @@
+//! The sharded runtime: N engines, one router, hedged reads, busy
+//! spillover.
+
+use crate::router::{Router, DEFAULT_REPLICAS};
+use solarstorm_engine::{
+    Engine, EngineConfig, EngineError, EngineMetrics, Evaluation, FailureReport, HedgeProbe,
+    ScenarioResult, ScenarioService, ScenarioSpec,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Sharded-runtime sizing: how many shards, and the *total* engine
+/// budget they divide between them.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of engine shards (clamped to ≥ 1). The default is the
+    /// core count, matching the CLI's `--shards` default.
+    pub shards: usize,
+    /// Total engine budget: `workers`, `queue_cap`, and `cache_cap`
+    /// are divided (ceiling) across the shards; deadline and
+    /// degraded-mode settings apply to every shard unchanged;
+    /// `prewarm` runs once (datasets are process-global).
+    pub engine: EngineConfig,
+    /// Probe sibling shards' caches (read-only) on a shard-local cache
+    /// miss before paying for compute. On by default.
+    pub hedged_reads: bool,
+    /// Retry a `busy` rejection once on the ring-successor shard
+    /// before surfacing it to the client. On by default.
+    pub spill_on_busy: bool,
+    /// Virtual nodes per shard on the hash ring.
+    pub replicas: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ShardConfig {
+            shards: cores.max(1),
+            engine: EngineConfig::default(),
+            hedged_reads: true,
+            spill_on_busy: true,
+            replicas: DEFAULT_REPLICAS,
+        }
+    }
+}
+
+/// Divides the total engine budget into shard `index`'s slice.
+fn shard_engine_config(total: &EngineConfig, shards: usize, index: usize) -> EngineConfig {
+    EngineConfig {
+        workers: total.workers.div_ceil(shards).max(1),
+        queue_cap: total.queue_cap.div_ceil(shards).max(1),
+        // Ceiling division preserves 0 (caching disabled) as 0.
+        cache_cap: total.cache_cap.div_ceil(shards),
+        // Datasets are process-global; one prewarm warms every shard.
+        prewarm: if index == 0 { total.prewarm } else { None },
+        ..total.clone()
+    }
+}
+
+/// The hedge: a read-only view over every shard's cache except the
+/// probing shard's own (it already missed).
+struct SiblingProbe<'a> {
+    shards: &'a [Arc<Engine>],
+    home: usize,
+}
+
+impl HedgeProbe for SiblingProbe<'_> {
+    fn probe(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.home)
+            .find_map(|(_, engine)| engine.peek_cache(hash, canon))
+    }
+}
+
+/// N engine shards behind one consistent-hash router.
+///
+/// Each shard owns its own result cache, single-flight table, queue,
+/// and worker slice — shared-nothing on the write path, so shards never
+/// contend on each other's locks. Requests route by spec content hash
+/// (the same hash the cache uses), which gives every scenario a *home
+/// shard*: repeats of a spec always land where its cached result lives.
+/// Two read-side escape hatches soften the partitioning:
+///
+/// * **Hedged reads** — a home-shard cache miss probes the sibling
+///   caches read-only before paying for compute, so results computed
+///   elsewhere (e.g. after a spillover) are adopted, not recomputed.
+/// * **Busy spillover** — a `busy` rejection from the home shard is
+///   retried once on the ring-successor shard before the client sees
+///   the error.
+///
+/// Results are bit-identical to a single [`Engine`]'s: routing decides
+/// only *where* a deterministic computation runs. Deadlines, panic
+/// isolation, load shedding, and chaos injection all operate per shard
+/// unchanged.
+pub struct ShardedEngine {
+    shards: Vec<Arc<Engine>>,
+    router: Router,
+    hedged_reads: bool,
+    spill_on_busy: bool,
+}
+
+impl ShardedEngine {
+    /// Builds the shards (each starting its own worker pool) and the
+    /// router.
+    pub fn new(cfg: ShardConfig) -> ShardedEngine {
+        let n = cfg.shards.max(1);
+        let shards = (0..n)
+            .map(|i| Arc::new(Engine::new(shard_engine_config(&cfg.engine, n, i))))
+            .collect();
+        ShardedEngine {
+            shards,
+            router: Router::with_replicas(n, cfg.replicas),
+            hedged_reads: cfg.hedged_reads,
+            spill_on_busy: cfg.spill_on_busy,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router (exposed for frontends and benchmarks that need to
+    /// know a spec's home shard).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The shard engines, indexed as the router numbers them. Intended
+    /// for tests and benchmarks; production traffic goes through
+    /// [`ShardedEngine::evaluate_full`].
+    pub fn shard_engines(&self) -> &[Arc<Engine>] {
+        &self.shards
+    }
+
+    /// Evaluates one scenario on its home shard, blocking until the
+    /// answer is available. See [`ShardedEngine::evaluate_full`] for
+    /// the variant that keeps the failure manifest.
+    pub fn evaluate(&self, spec: &ScenarioSpec) -> Result<Evaluation, EngineError> {
+        self.evaluate_full(spec).map_err(|f| f.error)
+    }
+
+    /// Routes the spec to its home shard and evaluates it there; on a
+    /// `busy` rejection (queue full or degraded-mode shed) retries once
+    /// on the ring-successor shard if spillover is enabled.
+    // FailureReport inlines the manifest; see Engine::evaluate_full.
+    #[allow(clippy::result_large_err)]
+    pub fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+        let (home, _hash) = self.router.route_spec(spec).map_err(FailureReport::from)?;
+        let first = self.eval_on(home, spec);
+        match first {
+            Err(report)
+                if self.spill_on_busy
+                    && self.shards.len() > 1
+                    && matches!(report.error, EngineError::Busy { .. }) =>
+            {
+                let next = self.router.successor(home);
+                solarstorm_obs::event!(
+                    solarstorm_obs::Level::Debug,
+                    "shard_spill",
+                    from = home,
+                    to = next
+                );
+                self.eval_on(next, spec)
+            }
+            other => other,
+        }
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn eval_on(&self, shard: usize, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+        let engine = &self.shards[shard];
+        if self.hedged_reads && self.shards.len() > 1 {
+            let probe = SiblingProbe {
+                shards: &self.shards,
+                home: shard,
+            };
+            engine.evaluate_full_hedged(spec, shard as u32, Some(&probe))
+        } else {
+            engine.evaluate_full_hedged(spec, shard as u32, None)
+        }
+    }
+
+    /// Whether any shard is currently in cache-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.shards.iter().any(|s| s.is_degraded())
+    }
+
+    /// Per-shard metrics snapshots plus their merged totals.
+    pub fn metrics(&self) -> ShardedMetrics {
+        let shards: Vec<EngineMetrics> = self.shards.iter().map(|s| s.metrics()).collect();
+        let total = EngineMetrics::merged(shards.iter());
+        ShardedMetrics { total, shards }
+    }
+
+    /// Gracefully shuts down every shard (drain, then stop).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.shutdown();
+        }
+    }
+}
+
+impl ScenarioService for ShardedEngine {
+    fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+        ShardedEngine::evaluate_full(self, spec)
+    }
+
+    fn metrics_value(&self) -> Result<serde_json::Value, String> {
+        self.metrics().to_value()
+    }
+
+    fn prometheus_text(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+}
+
+/// A point-in-time view of a sharded runtime: merged totals (the same
+/// shape a single engine reports, so dashboards keep working) plus one
+/// [`EngineMetrics`] per shard.
+#[derive(Debug, Clone)]
+pub struct ShardedMetrics {
+    /// Merged totals across shards (see [`EngineMetrics::merged`] for
+    /// how latency percentiles combine).
+    pub total: EngineMetrics,
+    /// Per-shard snapshots, indexed as the router numbers shards.
+    pub shards: Vec<EngineMetrics>,
+}
+
+impl ShardedMetrics {
+    /// The NDJSON `metrics` payload: the merged totals object with a
+    /// `shards` array added. Existing clients that read the unlabelled
+    /// totals keep working; shard-aware clients index the array. The
+    /// per-shard entries omit `stages` (the stage table is
+    /// process-global — repeating it per shard would misread as
+    /// per-shard attribution).
+    pub fn to_value(&self) -> Result<serde_json::Value, String> {
+        let mut v = serde_json::to_value(&self.total).map_err(|e| e.to_string())?;
+        let mut shard_values = Vec::with_capacity(self.shards.len());
+        for (i, m) in self.shards.iter().enumerate() {
+            let mut sv = serde_json::to_value(m).map_err(|e| e.to_string())?;
+            if let Some(obj) = sv.as_object_mut() {
+                obj.insert("shard".into(), serde_json::json!(i));
+                obj.remove("stages");
+            }
+            shard_values.push(sv);
+        }
+        if let Some(obj) = v.as_object_mut() {
+            obj.insert("shards".into(), serde_json::Value::Array(shard_values));
+        }
+        Ok(v)
+    }
+
+    /// Prometheus text: the merged totals rendered exactly as a single
+    /// engine would (unlabelled — sums, so existing dashboards don't
+    /// break), followed by `shard`-labelled per-shard series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = self.total.to_prometheus();
+        let counters: [(&str, &str, fn(&EngineMetrics) -> u64); 8] = [
+            (
+                "stormsim_shard_requests_total",
+                "Requests routed to each shard.",
+                |m| m.requests,
+            ),
+            (
+                "stormsim_shard_completed_total",
+                "Requests each shard answered successfully.",
+                |m| m.completed,
+            ),
+            (
+                "stormsim_shard_cache_hits_total",
+                "Shard-local result-cache hits.",
+                |m| m.cache_hits,
+            ),
+            (
+                "stormsim_shard_cache_misses_total",
+                "Shard-local result-cache misses.",
+                |m| m.cache_misses,
+            ),
+            (
+                "stormsim_shard_hedge_hits_total",
+                "Local misses answered from a sibling shard's cache.",
+                |m| m.hedge_hits,
+            ),
+            (
+                "stormsim_shard_hedge_misses_total",
+                "Hedged sibling-cache probes that found nothing.",
+                |m| m.hedge_misses,
+            ),
+            (
+                "stormsim_shard_rejected_busy_total",
+                "Submissions each shard rejected with a full queue.",
+                |m| m.rejected_busy,
+            ),
+            (
+                "stormsim_shard_load_shed_total",
+                "Cache misses each shard shed while degraded.",
+                |m| m.load_shed,
+            ),
+        ];
+        for (name, help, get) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (i, m) in self.shards.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", get(m));
+            }
+        }
+        let gauges: [(&str, &str, fn(&EngineMetrics) -> u64); 3] = [
+            (
+                "stormsim_shard_queue_depth",
+                "Jobs currently queued on each shard.",
+                |m| m.queue_depth,
+            ),
+            (
+                "stormsim_shard_cache_entries",
+                "Entries in each shard's result cache.",
+                |m| m.cache_entries,
+            ),
+            (
+                "stormsim_shard_degraded",
+                "1 while a shard is in cache-only degraded mode.",
+                |m| u64::from(m.degraded),
+            ),
+        ];
+        for (name, help, get) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for (i, m) in self.shards.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", get(m));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solarstorm_engine::AnalysisRequest;
+
+    fn sleep_spec(ms: u64, seed: u64) -> ScenarioSpec {
+        let mut spec = ScenarioSpec {
+            analysis: AnalysisRequest::Sleep { ms },
+            ..Default::default()
+        };
+        spec.mc.seed = seed;
+        spec
+    }
+
+    fn small(shards: usize) -> ShardedEngine {
+        ShardedEngine::new(ShardConfig {
+            shards,
+            engine: EngineConfig {
+                workers: shards.max(1),
+                queue_cap: shards.max(1) * 4,
+                cache_cap: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn budget_division_covers_every_shard() {
+        let total = EngineConfig {
+            workers: 5,
+            queue_cap: 10,
+            cache_cap: 0,
+            ..Default::default()
+        };
+        let a = shard_engine_config(&total, 4, 0);
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.queue_cap, 3);
+        assert_eq!(a.cache_cap, 0, "disabled caching stays disabled");
+        let b = shard_engine_config(&total, 8, 7);
+        assert_eq!(b.workers, 1, "every shard gets at least one worker");
+        assert_eq!(b.queue_cap, 2);
+        assert!(b.prewarm.is_none(), "only shard 0 prewarms");
+    }
+
+    #[test]
+    fn routes_stick_and_results_cache_on_the_home_shard() {
+        let sharded = small(4);
+        let spec = sleep_spec(1, 7);
+        let (home, _) = sharded.router().route_spec(&spec).unwrap();
+        let cold = sharded.evaluate(&spec).unwrap();
+        assert!(!cold.cached);
+        assert_eq!(cold.manifest.shard, Some(home as u32));
+        let warm = sharded.evaluate(&spec).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.manifest.shard, Some(home as u32));
+        let m = sharded.metrics();
+        assert_eq!(m.total.requests, 2);
+        assert_eq!(m.total.computations, 1);
+        assert_eq!(m.shards[home].computations, 1, "work stays on the home shard");
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn hedged_read_adopts_a_result_computed_elsewhere() {
+        let sharded = small(4);
+        let spec = sleep_spec(1, 11);
+        let (home, _) = sharded.router().route_spec(&spec).unwrap();
+        let elsewhere = (home + 1) % sharded.shard_count();
+        // Seed a *sibling* shard's cache directly, as a busy spillover
+        // would have.
+        sharded.shard_engines()[elsewhere].evaluate(&spec).unwrap();
+        // Routed through the front door, the home shard misses locally,
+        // hedges, and adopts the sibling's result without recomputing.
+        let eval = sharded.evaluate(&spec).unwrap();
+        assert!(eval.cached);
+        assert_eq!(eval.manifest.shard, Some(home as u32));
+        assert_eq!(eval.manifest.hedge_hit, Some(true));
+        let m = sharded.metrics();
+        assert_eq!(m.total.computations, 1, "one compute total, not two");
+        assert_eq!(m.shards[home].hedge_hits, 1);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn busy_home_shard_spills_to_its_ring_successor() {
+        // Tiny home shards: 1 worker, 1 queue slot each.
+        let sharded = ShardedEngine::new(ShardConfig {
+            shards: 2,
+            engine: EngineConfig {
+                workers: 2,
+                queue_cap: 2,
+                cache_cap: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        // Find specs that all route to shard 0.
+        let mut on_zero = Vec::new();
+        let mut seed = 0u64;
+        while on_zero.len() < 4 {
+            let spec = sleep_spec(300, 1_000 + seed);
+            if sharded.router().route_spec(&spec).unwrap().0 == 0 {
+                on_zero.push(spec);
+            }
+            seed += 1;
+        }
+        // Occupy shard 0's worker and queue slot.
+        let sharded = std::sync::Arc::new(sharded);
+        let mut held = Vec::new();
+        for spec in on_zero.iter().take(2).cloned() {
+            let sharded = std::sync::Arc::clone(&sharded);
+            held.push(std::thread::spawn(move || sharded.evaluate(&spec)));
+        }
+        let saturated = (0..400).any(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            sharded.metrics().shards[0].queue_depth >= 1
+        });
+        assert!(saturated, "shard 0's queue slot must fill");
+        // The third request would be rejected busy by shard 0; the
+        // spillover answers it on shard 1 instead.
+        let spilled = sharded.evaluate(&on_zero[2]).unwrap();
+        assert_eq!(spilled.manifest.shard, Some(1));
+        let m = sharded.metrics();
+        assert!(m.shards[0].rejected_busy >= 1);
+        assert!(m.shards[1].completed >= 1);
+        for h in held {
+            h.join().unwrap().unwrap();
+        }
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn metrics_expose_totals_and_per_shard_series() {
+        let sharded = small(2);
+        sharded.evaluate(&sleep_spec(1, 21)).unwrap();
+        sharded.evaluate(&sleep_spec(1, 22)).unwrap();
+        let m = sharded.metrics();
+        let v = m.to_value().unwrap();
+        assert_eq!(v["requests"], 2);
+        let shards = v["shards"].as_array().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0]["shard"], 0);
+        assert_eq!(shards[1]["shard"], 1);
+        assert!(shards[0].get("stages").is_none(), "per-shard stages omitted");
+        let req_sum: u64 = shards
+            .iter()
+            .map(|s| s["requests"].as_u64().unwrap())
+            .sum();
+        assert_eq!(req_sum, 2, "per-shard requests sum to the total");
+
+        let text = m.to_prometheus();
+        assert!(text.contains("\nstormsim_requests_total 2\n"), "{text}");
+        assert!(
+            text.contains("stormsim_shard_requests_total{shard=\"0\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stormsim_shard_requests_total{shard=\"1\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE stormsim_shard_queue_depth gauge"),
+            "{text}"
+        );
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn single_shard_is_just_an_engine() {
+        let sharded = small(1);
+        let eval = sharded.evaluate(&sleep_spec(1, 31)).unwrap();
+        assert_eq!(eval.manifest.shard, Some(0));
+        assert!(
+            eval.manifest.hedge_hit.is_none(),
+            "one shard has no siblings to hedge against"
+        );
+        sharded.shutdown();
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based guarantees of the sharded runtime:
+//!
+//! 1. **Bit identity** — for any scenario, a [`ShardedEngine`] at 1, 2,
+//!    or 8 shards returns a result whose serialization is byte-identical
+//!    to a single [`Engine`]'s, along with the same content hash.
+//!    Routing decides *where* a deterministic computation runs, never
+//!    *what* it computes.
+//! 2. **Minimal remap** — growing the hash ring from N to N+1 shards
+//!    moves only a ~1/(N+1) fraction of keys, and every moved key lands
+//!    on the *new* shard (no churn between surviving shards).
+
+use proptest::prelude::*;
+use solarstorm_engine::{
+    AnalysisRequest, Engine, EngineConfig, FailureSpec, ScenarioSpec,
+};
+use solarstorm_shard::{HashRing, ShardConfig, ShardedEngine, DEFAULT_REPLICAS};
+use std::sync::OnceLock;
+
+/// One engine and one sharded runtime per shard count, shared across
+/// proptest cases: the properties are about routing and results, not
+/// startup, and each runtime carries worker threads.
+fn single() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        })
+    })
+}
+
+fn sharded(n: usize) -> &'static ShardedEngine {
+    static SHARDED: OnceLock<Vec<ShardedEngine>> = OnceLock::new();
+    let all = SHARDED.get_or_init(|| {
+        [1usize, 2, 8]
+            .into_iter()
+            .map(|shards| {
+                ShardedEngine::new(ShardConfig {
+                    shards,
+                    engine: EngineConfig {
+                        workers: shards.max(2),
+                        queue_cap: shards * 8,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                })
+            })
+            .collect()
+    });
+    match n {
+        1 => &all[0],
+        2 => &all[1],
+        8 => &all[2],
+        _ => unreachable!("only 1, 2, 8 shards are built"),
+    }
+}
+
+/// Cheap-but-real scenarios: synthetic sleeps (exercise the queue and
+/// cache paths) and genuine Monte Carlo statistics over the test-scale
+/// network (exercise the compute path end to end).
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    let analysis = prop_oneof![
+        (0u64..2).prop_map(|ms| (AnalysisRequest::Sleep { ms }, FailureSpec::S2)),
+        (0.0f64..=1.0).prop_map(|p| (AnalysisRequest::Stats, FailureSpec::Uniform { p })),
+    ];
+    (analysis, 1usize..4, any::<u64>()).prop_map(|((analysis, model), trials, seed)| {
+        let mut spec = ScenarioSpec {
+            analysis,
+            model,
+            ..Default::default()
+        };
+        spec.mc.trials = trials;
+        spec.mc.seed = seed;
+        spec
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_results_are_bit_identical_to_a_single_engine(spec in arb_spec()) {
+        let reference = single().evaluate(&spec).unwrap();
+        let reference_bytes = serde_json::to_string(&*reference.result).unwrap();
+        for shards in [1usize, 2, 8] {
+            let runtime = sharded(shards);
+            let eval = runtime.evaluate(&spec).unwrap();
+            prop_assert_eq!(eval.hash, reference.hash, "{} shards", shards);
+            let bytes = serde_json::to_string(&*eval.result).unwrap();
+            prop_assert_eq!(&bytes, &reference_bytes, "{} shards", shards);
+            // The manifest records the home shard the router picked.
+            let (home, _) = runtime.router().route_spec(&spec).unwrap();
+            prop_assert_eq!(eval.manifest.shard, Some(home as u32));
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_remaps_only_onto_the_new_shard(
+        n in 1u32..9,
+        keys in proptest::collection::vec(any::<u64>(), 256..1024),
+    ) {
+        let before = HashRing::new(n as usize, DEFAULT_REPLICAS);
+        let after = HashRing::new(n as usize + 1, DEFAULT_REPLICAS);
+        let mut moved = 0usize;
+        for &key in &keys {
+            let a = before.route(key);
+            let b = after.route(key);
+            if a != b {
+                prop_assert_eq!(
+                    b, n,
+                    "a remapped key may only move to the new shard (key {:#x}: {} -> {})",
+                    key, a, b
+                );
+                moved += 1;
+            }
+        }
+        // Expect ~K/(N+1) moves; allow generous slack for hash variance
+        // at small sample sizes, but reject wholesale reshuffles.
+        let expected = keys.len() / (n as usize + 1);
+        let bound = expected * 3 + 48;
+        prop_assert!(
+            moved <= bound,
+            "moved {} of {} keys at {} -> {} shards (bound {})",
+            moved, keys.len(), n, n + 1, bound
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range(
+        shards in 1usize..32,
+        key in any::<u64>(),
+    ) {
+        let ring = HashRing::new(shards, DEFAULT_REPLICAS);
+        let first = ring.route(key);
+        prop_assert!(first < shards as u32);
+        prop_assert_eq!(ring.route(key), first);
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests of the sharded runtime behind the real frontends:
+//! the NDJSON TCP server, the batch stream loop, and the Prometheus
+//! scrape endpoint all serve a [`ShardedEngine`] through the same
+//! `ScenarioService` seam they use for a single engine — and the wire
+//! carries the new provenance (serving shard, hedge outcome) and the
+//! per-shard metrics series.
+
+use solarstorm_engine::{
+    proto, serve_stream_bounded, AnalysisRequest, EngineConfig, MetricsServer, Response,
+    ScenarioSpec, Server, ServerConfig,
+};
+use solarstorm_shard::{ShardConfig, ShardedEngine};
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn sharded(shards: usize) -> Arc<ShardedEngine> {
+    Arc::new(ShardedEngine::new(ShardConfig {
+        shards,
+        engine: EngineConfig {
+            workers: shards.max(2),
+            queue_cap: shards * 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    }))
+}
+
+fn sleep_spec(ms: u64, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec {
+        analysis: AnalysisRequest::Sleep { ms },
+        ..Default::default()
+    };
+    spec.mc.seed = seed;
+    spec
+}
+
+fn scenario_line(id: &str, spec: &ScenarioSpec) -> String {
+    format!(
+        r#"{{"id":"{id}","type":"scenario","spec":{}}}"#,
+        serde_json::to_string(spec).unwrap()
+    )
+}
+
+fn roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<Response> {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    lines
+        .iter()
+        .map(|l| {
+            writeln!(writer, "{l}").unwrap();
+            writer.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            serde_json::from_str(&resp).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_frontend_serves_shards_and_reports_the_serving_shard() {
+    let runtime = sharded(4);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime), ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    let spec_a = sleep_spec(1, 101);
+    let spec_b = sleep_spec(1, 102);
+    let responses = roundtrip(
+        addr,
+        &[
+            scenario_line("a", &spec_a),
+            scenario_line("b", &spec_b),
+            scenario_line("a-again", &spec_a),
+            r#"{"id":"m","type":"metrics"}"#.to_string(),
+        ],
+    );
+
+    // Scenario answers carry the shard the router picked, on the wire.
+    for (resp, spec) in responses[..3]
+        .iter()
+        .zip([&spec_a, &spec_b, &spec_a])
+    {
+        assert!(resp.ok, "{resp:?}");
+        let (home, _) = runtime.router().route_spec(spec).unwrap();
+        let manifest = resp.manifest.as_ref().expect("scenario responses carry provenance");
+        assert_eq!(manifest.shard, Some(home as u32));
+    }
+    // Identical requests produce byte-identical results through the
+    // sharded path, exactly as through a single engine.
+    assert_eq!(responses[0].hash, responses[2].hash);
+    assert_eq!(
+        serde_json::to_string(&responses[0].result).unwrap(),
+        serde_json::to_string(&responses[2].result).unwrap()
+    );
+
+    // The metrics answer is the merged totals plus a per-shard array.
+    let metrics = responses[3].result.as_ref().unwrap();
+    assert_eq!(metrics["requests"], 3);
+    let shards = metrics["shards"].as_array().unwrap();
+    assert_eq!(shards.len(), 4);
+    let per_shard_requests: u64 = shards
+        .iter()
+        .map(|s| s["requests"].as_u64().unwrap())
+        .sum();
+    assert_eq!(per_shard_requests, 3, "per-shard series sum to the totals");
+    runtime.shutdown();
+}
+
+#[test]
+fn batch_stream_loop_serves_a_sharded_runtime() {
+    let runtime = sharded(2);
+    let input = format!(
+        "{}\n{}\n",
+        scenario_line("s", &sleep_spec(0, 201)),
+        r#"{"type":"metrics"}"#
+    );
+    let mut out = Vec::new();
+    serve_stream_bounded(
+        &*runtime,
+        Cursor::new(input.into_bytes()),
+        &mut out,
+        &ServerConfig::default(),
+        None,
+    );
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<Response> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].ok && lines[1].ok);
+    assert!(lines[0].manifest.as_ref().unwrap().shard.is_some());
+    assert_eq!(
+        lines[1].result.as_ref().unwrap()["shards"]
+            .as_array()
+            .unwrap()
+            .len(),
+        2
+    );
+    runtime.shutdown();
+}
+
+#[test]
+fn prometheus_scrape_carries_shard_labels_and_unlabelled_totals() {
+    let runtime = sharded(2);
+    // Serve a couple of scenarios first so the counters are non-zero.
+    let resp = proto::handle_line(&*runtime, &scenario_line("x", &sleep_spec(0, 301)));
+    assert!(resp.ok);
+
+    let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&runtime)).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"));
+
+    // Unlabelled totals keep their single-engine names and shapes…
+    assert!(body.contains("# TYPE stormsim_requests_total counter"), "{body}");
+    assert!(body.contains("\nstormsim_requests_total 1\n"), "{body}");
+    // …and every shard gets its own labelled series.
+    for shard in 0..2 {
+        assert!(
+            body.contains(&format!("stormsim_shard_requests_total{{shard=\"{shard}\"}}")),
+            "{body}"
+        );
+        assert!(
+            body.contains(&format!("stormsim_shard_queue_depth{{shard=\"{shard}\"}}")),
+            "{body}"
+        );
+    }
+    runtime.shutdown();
+}
