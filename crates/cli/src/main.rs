@@ -56,6 +56,9 @@ COMMANDS
   export          dump the generated networks as JSON
   serve           NDJSON scenario-evaluation service over TCP
   batch           evaluate NDJSON scenario requests from stdin
+  trace <spec.json>
+                  evaluate one scenario spec with tracing forced on and
+                  print its Chrome trace-event JSON (Perfetto-loadable)
   all             run everything
 
 OPTIONS
@@ -70,7 +73,7 @@ OPTIONS
                     (overrides STORMSIM_LOG; STORMSIM_LOG_FILE=path adds an
                     NDJSON sink)
 
-SERVICE OPTIONS (serve | batch)
+SERVICE OPTIONS (serve | batch | trace)
   --addr HOST:PORT  listen address for serve (default 127.0.0.1:7070)
   --shards N        engine shards behind the consistent-hash router
                     (default: CPU cores; overrides STORMSIM_SHARDS).
@@ -86,9 +89,15 @@ SERVICE OPTIONS (serve | batch)
   --threads N       simulation worker-pool threads (see above)
   --log-level L     structured-log verbosity (see above)
   --metrics-addr HOST:PORT
-                    also serve Prometheus text metrics over HTTP (serve only)
+                    also serve Prometheus text metrics over HTTP (serve only);
+                    the same endpoint serves the flight recorder's Chrome
+                    trace export at /trace
   --deadline-ms MS  default per-request deadline for scenario requests that
                     do not set their own deadline_ms (default: none)
+  --trace-slow-ms MS
+                    always retain traces of requests slower than MS in the
+                    flight recorder (default 250; 0 keeps only sampled,
+                    errored, and explicitly traced requests)
 ";
 
 /// Every accepted command, checked before datasets are built so a typo
@@ -100,6 +109,7 @@ const KNOWN_COMMANDS: &[&str] = &[
     "index",
     "serve",
     "batch",
+    "trace",
     "fig3",
     "fig4a",
     "fig4b",
@@ -295,6 +305,7 @@ struct ServiceOpts {
     threads: Option<usize>,
     deadline_ms: Option<u64>,
     shards: Option<usize>,
+    trace_slow_ms: Option<u64>,
 }
 
 fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
@@ -310,6 +321,7 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
         threads: None,
         deadline_ms: None,
         shards: None,
+        trace_slow_ms: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -334,6 +346,16 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
                     return Err("--deadline-ms: must be at least 1".to_string());
                 }
                 opts.deadline_ms = Some(ms);
+            }
+            "--trace-slow-ms" => {
+                // 0 is meaningful here (disable the slow-always-retain
+                // rule), unlike --deadline-ms.
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--trace-slow-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--trace-slow-ms: {e}"))?;
+                opts.trace_slow_ms = Some(ms);
             }
             "--workers" => {
                 opts.workers = it
@@ -388,9 +410,18 @@ fn shard_runtime_config(opts: &ServiceOpts) -> ShardConfig {
     cfg
 }
 
+/// Applies the flight-recorder flags to the process-global recorder
+/// before any requests run.
+fn apply_recorder_opts(opts: &ServiceOpts) {
+    if let Some(ms) = opts.trace_slow_ms {
+        obs::recorder().set_slow_threshold_ms(ms);
+    }
+}
+
 /// `stormsim serve`: NDJSON scenario service over TCP, thread per
 /// connection, until killed.
 fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    apply_recorder_opts(opts);
     eprintln!(
         "prewarming {} datasets…",
         if opts.full {
@@ -439,6 +470,7 @@ fn run_serve(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
 /// stdin — invalid UTF-8, NUL bytes, overlong lines — gets one
 /// well-formed JSON error response instead of killing the run.
 fn run_batch(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    apply_recorder_opts(opts);
     eprintln!(
         "prewarming {} datasets…",
         if opts.full {
@@ -468,6 +500,52 @@ fn run_batch(opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
         serde_json::to_string_pretty(&runtime.metrics().to_value()?)?
     );
     Ok(())
+}
+
+/// `stormsim trace <spec.json>`: evaluates one scenario spec with
+/// tracing forced on and prints the request's span tree as Chrome
+/// trace-event JSON on stdout — pipe it to a file and load it in
+/// Perfetto or `chrome://tracing`. A one-line summary goes to stderr.
+fn run_trace(path: &str, opts: &ServiceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    apply_recorder_opts(opts);
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut spec: solarstorm::engine::ScenarioSpec =
+        serde_json::from_str(&raw).map_err(|e| format!("{path}: {e}"))?;
+    spec.trace = true;
+    eprintln!(
+        "prewarming {} datasets…",
+        if opts.full {
+            "paper-scale"
+        } else {
+            "test-scale"
+        }
+    );
+    let runtime = ShardedEngine::new(shard_runtime_config(opts));
+    let handle = obs::TraceHandle::begin("request", None);
+    let out = runtime.evaluate_full(&spec);
+    let done = handle.finish(out.as_ref().err().map(|f| f.error.code().to_string()));
+    runtime.shutdown();
+    obs::flush();
+    let trace_id = done.trace_id_hex();
+    let dur_ms = done.dur_ns as f64 / 1e6;
+    let span_count = done.spans.len();
+    println!("{}", obs::chrome_trace_json(&[std::sync::Arc::new(done)]));
+    match &out {
+        Ok(eval) => eprintln!(
+            "trace {trace_id}: ok in {dur_ms:.2} ms, {span_count} spans, \
+             shard {}, cached {}",
+            eval.manifest
+                .shard
+                .map_or("none".to_string(), |s| s.to_string()),
+            eval.cached
+        ),
+        Err(report) => eprintln!(
+            "trace {trace_id}: {} in {dur_ms:.2} ms, {span_count} spans",
+            report.error.code()
+        ),
+    }
+    out.map(|_| ())
+        .map_err(|report| report.error.to_string().into())
 }
 
 /// Initializes structured logging. The `--log-level` flag wins over the
@@ -500,8 +578,26 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(2);
     }
-    if command == "serve" || command == "batch" {
-        let mut sopts = match parse_service_opts(&args[1..]) {
+    if command == "serve" || command == "batch" || command == "trace" {
+        // `trace` takes its scenario spec file as the first positional
+        // argument; the remaining flags parse as service options.
+        let mut spec_path = None;
+        let rest = if command == "trace" {
+            match args.get(1) {
+                Some(p) if !p.starts_with("--") => {
+                    spec_path = Some(p.clone());
+                    &args[2..]
+                }
+                _ => {
+                    eprintln!("error: trace needs a scenario spec file\n");
+                    eprint!("{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            &args[1..]
+        };
+        let mut sopts = match parse_service_opts(rest) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("error: {e}\n");
@@ -529,10 +625,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        let out = if command == "serve" {
-            run_serve(&sopts)
-        } else {
-            run_batch(&sopts)
+        let out = match command.as_str() {
+            "serve" => run_serve(&sopts),
+            "batch" => run_batch(&sopts),
+            _ => run_trace(spec_path.as_deref().unwrap_or_default(), &sopts),
         };
         if let Err(e) = out {
             eprintln!("error: {e}");
@@ -1013,7 +1109,14 @@ mod tests {
     #[test]
     fn shard_runtime_config_carries_the_count_and_total_budget() {
         let s = parse_service_opts(&args(&[
-            "--shards", "3", "--workers", "6", "--queue", "9", "--cache", "12",
+            "--shards",
+            "3",
+            "--workers",
+            "6",
+            "--queue",
+            "9",
+            "--cache",
+            "12",
         ]))
         .unwrap();
         let cfg = shard_runtime_config(&s);
@@ -1030,6 +1133,18 @@ mod tests {
             .map(|n| n.get())
             .unwrap_or(1);
         assert_eq!(cfg.shards, cores);
+    }
+
+    #[test]
+    fn trace_slow_ms_parses_and_zero_disables() {
+        let s = parse_service_opts(&args(&["--trace-slow-ms", "100"])).unwrap();
+        assert_eq!(s.trace_slow_ms, Some(100));
+        // 0 is accepted: it disables the slow-always-retain rule.
+        let s = parse_service_opts(&args(&["--trace-slow-ms", "0"])).unwrap();
+        assert_eq!(s.trace_slow_ms, Some(0));
+        assert!(parse_service_opts(&[]).unwrap().trace_slow_ms.is_none());
+        assert!(parse_service_opts(&args(&["--trace-slow-ms"])).is_err());
+        assert!(parse_service_opts(&args(&["--trace-slow-ms", "fast"])).is_err());
     }
 
     #[test]

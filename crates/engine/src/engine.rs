@@ -133,10 +133,11 @@ impl From<EngineError> for FailureReport {
 /// must be cheap — a bounded number of lock-and-lookup operations, no
 /// compute, no blocking on in-flight work.
 pub trait HedgeProbe: Sync {
-    /// Returns the cached result for `(hash, canon)` if any sibling
-    /// holds it. `canon` is the canonical spec serialization; a correct
-    /// implementation must verify it (hash collisions are misses).
-    fn probe(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>>;
+    /// Returns the cached result for `(hash, canon)` — and the id of
+    /// the shard that held it — if any sibling does. `canon` is the
+    /// canonical spec serialization; a correct implementation must
+    /// verify it (hash collisions are misses).
+    fn probe(&self, hash: u64, canon: &str) -> Option<(u32, Arc<ScenarioResult>)>;
 }
 
 struct Job {
@@ -149,6 +150,9 @@ struct Job {
     /// When the job entered the bounded queue; the picking worker turns
     /// this into the `queue_wait` stage.
     enqueued: Instant,
+    /// The submitting request's trace context, if it is being traced:
+    /// the worker installs it so compute spans join the request's tree.
+    trace: Option<solarstorm_obs::SpanCtx>,
 }
 
 /// State shared between the public handle and the worker threads.
@@ -267,7 +271,43 @@ impl Engine {
         let t0 = Instant::now();
         let m = &self.shared.metrics;
         m.requests.fetch_add(1, Ordering::Relaxed);
+        // When the request is traced, everything below — stage spans on
+        // this thread, worker compute spans, hedge probes — nests under
+        // this per-engine span (a no-op otherwise).
+        let mut tspan = solarstorm_obs::trace::span(
+            if shard.is_some() {
+                "shard_eval"
+            } else {
+                "engine_eval"
+            },
+            match shard {
+                Some(s) => vec![("shard", solarstorm_obs::FieldValue::from(s))],
+                None => Vec::new(),
+            },
+        );
         let out = self.evaluate_inner(spec, shard, probe);
+        match &out {
+            Ok(ev) => {
+                tspan.record("cache", solarstorm_obs::FieldValue::from(ev.cached));
+                if let Some(hit) = ev.manifest.hedge_hit {
+                    tspan.record("hedge_hit", solarstorm_obs::FieldValue::from(hit));
+                }
+            }
+            Err(f) => {
+                tspan.record("error", solarstorm_obs::FieldValue::from(f.error.code()));
+                if let Some(stage) = f
+                    .manifest
+                    .as_ref()
+                    .and_then(|mf| mf.cancelled_at_stage.clone())
+                {
+                    tspan.record(
+                        "cancelled_at_stage",
+                        solarstorm_obs::FieldValue::from(stage),
+                    );
+                }
+            }
+        }
+        drop(tspan);
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         m.record_latency(us);
         match &out {
@@ -359,19 +399,23 @@ impl Engine {
         compute::validate(spec).map_err(FailureReport::from)?;
         let validate_ns = dur_ns(t.elapsed());
         solarstorm_obs::record_stage("validate", validate_ns);
+        solarstorm_obs::trace::record_rel("validate", validate_ns, Vec::new());
 
-        // The deadline is not part of the scenario's identity: hash
-        // with it cleared, so deadlined and un-deadlined requests for
-        // the same work share a cache entry and a flight.
+        // Neither the deadline nor the trace flag is part of the
+        // scenario's identity: hash with both cleared, so deadlined,
+        // traced, and bare requests for the same work share a cache
+        // entry and a flight.
         let t = Instant::now();
         let hash_spec = ScenarioSpec {
             deadline_ms: None,
+            trace: false,
             ..spec.clone()
         };
         let (canon, hash) = canon::content_hash(&hash_spec)
             .map_err(|e| EngineError::InvalidSpec(format!("unserializable spec: {e}")))?;
         let hash_ns = dur_ns(t.elapsed());
         solarstorm_obs::record_stage("hash", hash_ns);
+        solarstorm_obs::trace::record_rel("hash", hash_ns, Vec::new());
 
         let mut manifest = RunManifest::new(spec, hash);
         manifest.shard = shard;
@@ -389,6 +433,14 @@ impl Engine {
         let first_lookup = self.shared.cache.get(hash, &canon);
         let lookup_ns = dur_ns(t.elapsed());
         solarstorm_obs::record_stage("cache_lookup", lookup_ns);
+        solarstorm_obs::trace::record_rel(
+            "cache_lookup",
+            lookup_ns,
+            vec![(
+                "hit",
+                solarstorm_obs::FieldValue::from(first_lookup.is_some()),
+            )],
+        );
         manifest.push_stage("cache_lookup", lookup_ns);
         if let Some(result) = first_lookup {
             m.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -424,13 +476,25 @@ impl Engine {
                 let out = flight.wait_with_cancel(&cancel);
                 let wait_ns = dur_ns(t.elapsed());
                 solarstorm_obs::record_stage("dedup_wait", wait_ns);
+                solarstorm_obs::trace::record_rel("dedup_wait", wait_ns, Vec::new());
                 manifest.push_stage("dedup_wait", wait_ns);
                 let out = match out {
                     Ok(out) => out,
                     Err(e) => return Err(fail(e, manifest)),
                 };
                 // A follower shares the leader's computation, so its
-                // manifest reports the leader's queue/compute cost.
+                // manifest reports the leader's queue/compute cost —
+                // and its trace inherits the leader's compute span (on
+                // the synthetic shared track, tagged with the leader's
+                // trace id so the two traces correlate).
+                let mut attrs = vec![("shared", solarstorm_obs::FieldValue::from(true))];
+                if out.leader_trace != 0 {
+                    attrs.push((
+                        "leader_trace",
+                        solarstorm_obs::FieldValue::from(format!("{:016x}", out.leader_trace)),
+                    ));
+                }
+                solarstorm_obs::trace::record_shared("compute", out.compute_ns, attrs);
                 manifest.push_stage("queue_wait", out.queue_wait_ns);
                 manifest.push_stage("compute", out.compute_ns);
                 Ok(Evaluation {
@@ -451,6 +515,7 @@ impl Engine {
                             result: Arc::clone(&result),
                             queue_wait_ns: 0,
                             compute_ns: 0,
+                            leader_trace: 0,
                         }),
                     );
                     m.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -471,8 +536,17 @@ impl Engine {
                     let hedged = probe.probe(hash, &canon);
                     let probe_ns = dur_ns(t.elapsed());
                     solarstorm_obs::record_stage("hedge_probe", probe_ns);
+                    let mut probe_attrs =
+                        vec![("hit", solarstorm_obs::FieldValue::from(hedged.is_some()))];
+                    if let Some((src_shard, _)) = &hedged {
+                        // Names the sibling shard whose cache answered:
+                        // the cross-shard edge in the request's trace.
+                        probe_attrs
+                            .push(("src_shard", solarstorm_obs::FieldValue::from(*src_shard)));
+                    }
+                    solarstorm_obs::trace::record_rel("hedge_probe", probe_ns, probe_attrs);
                     manifest.push_stage("hedge_probe", probe_ns);
-                    if let Some(result) = hedged {
+                    if let Some((_, result)) = hedged {
                         m.hedge_hits.fetch_add(1, Ordering::Relaxed);
                         solarstorm_obs::event!(
                             solarstorm_obs::Level::Debug,
@@ -489,6 +563,7 @@ impl Engine {
                                 result: Arc::clone(&result),
                                 queue_wait_ns: 0,
                                 compute_ns: 0,
+                                leader_trace: 0,
                             }),
                         );
                         return Ok(Evaluation {
@@ -521,6 +596,7 @@ impl Engine {
                     spec: spec.clone(),
                     cancel,
                     enqueued: Instant::now(),
+                    trace: solarstorm_obs::trace::current(),
                 };
                 let sender = self.tx.lock().clone();
                 let Some(sender) = sender else {
@@ -633,6 +709,14 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
         shared.metrics.dec_queue_depth();
         let queue_wait_ns = dur_ns(job.enqueued.elapsed());
         solarstorm_obs::record_stage("queue_wait", queue_wait_ns);
+        // Traced jobs carry their request's context across the queue:
+        // install it for this job so compute spans join the tree, and
+        // backfill the time the job spent queued as a span of its own.
+        let _trace = job
+            .trace
+            .as_ref()
+            .map(|ctx| solarstorm_obs::trace::enter_remote(ctx.clone()));
+        solarstorm_obs::trace::record_rel("queue_wait", queue_wait_ns, Vec::new());
         // A deadline that expired while the job sat in the queue:
         // don't start work whose answer nobody can use.
         if job.cancel.is_cancelled() {
@@ -690,6 +774,7 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
                 result,
                 queue_wait_ns,
                 compute_ns,
+                leader_trace: job.trace.as_ref().map_or(0, |c| c.trace_id()),
             }),
         );
     }
@@ -878,8 +963,8 @@ mod tests {
     struct EngineProbe<'a>(&'a Engine);
 
     impl HedgeProbe for EngineProbe<'_> {
-        fn probe(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>> {
-            self.0.peek_cache(hash, canon)
+        fn probe(&self, hash: u64, canon: &str) -> Option<(u32, Arc<ScenarioResult>)> {
+            self.0.peek_cache(hash, canon).map(|r| (9, r))
         }
     }
 
@@ -978,5 +1063,86 @@ mod tests {
         assert!(!fresh.cached && !fresh.degraded);
         assert!(!engine.is_degraded());
         assert!(!engine.metrics().degraded);
+    }
+
+    #[test]
+    fn traced_requests_record_a_span_tree_through_the_worker() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let handle = solarstorm_obs::TraceHandle::begin("request", None);
+        let out = engine.evaluate(&sleep_spec(3)).unwrap();
+        let done = handle.finish(None);
+        assert!(!out.cached);
+        let names: Vec<&str> = done.spans.iter().map(|s| s.name).collect();
+        for expected in [
+            "request",
+            "engine_eval",
+            "validate",
+            "hash",
+            "cache_lookup",
+            "queue_wait",
+            "engine_compute",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        // The worker's compute span crossed threads but still nests
+        // inside this request's tree, under the engine_eval span.
+        let eval = done.spans.iter().find(|s| s.name == "engine_eval").unwrap();
+        let compute = done
+            .spans
+            .iter()
+            .find(|s| s.name == "engine_compute")
+            .unwrap();
+        assert_eq!(eval.parent, 1);
+        assert_eq!(compute.parent, eval.id);
+        assert!(done.spans.iter().all(|s| s.end_ns <= done.dur_ns + 1));
+        // The eval span carries the cache outcome.
+        assert!(eval
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "cache" && matches!(v, solarstorm_obs::FieldValue::Bool(false))));
+    }
+
+    #[test]
+    fn followers_inherit_the_leaders_compute_span() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            queue_cap: 4,
+            ..Default::default()
+        }));
+        // Occupy the worker, then queue the leader so its flight is
+        // registered but unfinished when the traced follower arrives.
+        let mut held = Vec::new();
+        for ms in [300, 301] {
+            let engine = Arc::clone(&engine);
+            held.push(std::thread::spawn(move || engine.evaluate(&sleep_spec(ms))));
+        }
+        assert!(
+            wait_for(|| engine.metrics().queue_depth >= 1),
+            "the leader must be queued with its flight registered"
+        );
+        let handle = solarstorm_obs::TraceHandle::begin("request", None);
+        let joined = engine.evaluate(&sleep_spec(301)).unwrap();
+        let done = handle.finish(None);
+        for h in held {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(*joined.result, ScenarioResult::Slept { ms: 301 });
+        assert_eq!(engine.metrics().dedup_joins, 1);
+        // The follower never computed, but its trace shows the shared
+        // compute time it inherited from the leader, on the synthetic
+        // track (the time was not spent on this request's threads).
+        let compute = done
+            .spans
+            .iter()
+            .find(|s| s.name == "compute" && s.thread == solarstorm_obs::trace::SHARED_THREAD)
+            .expect("follower must inherit the leader's compute span");
+        assert!(compute
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "shared" && matches!(v, solarstorm_obs::FieldValue::Bool(true))));
+        assert!(done.spans.iter().any(|s| s.name == "dedup_wait"));
     }
 }

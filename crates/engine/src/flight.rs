@@ -23,6 +23,10 @@ pub(crate) struct FlightOutput {
     pub queue_wait_ns: u64,
     /// Time the worker spent actually evaluating the scenario.
     pub compute_ns: u64,
+    /// Trace id of the leader's request (0 when the leader was
+    /// untraced). Followers record it on the synthetic compute span
+    /// they inherit, so traces cross single-flight joins.
+    pub leader_trace: u64,
 }
 
 /// The shared completion slot one in-flight computation fills.
@@ -148,6 +152,7 @@ mod tests {
                 result: Arc::new(ScenarioResult::Slept { ms: 7 }),
                 queue_wait_ns: 11,
                 compute_ns: 22,
+                leader_trace: 0,
             }),
         );
         for j in joins {
@@ -203,6 +208,7 @@ mod tests {
                 result: Arc::new(ScenarioResult::Slept { ms: 1 }),
                 queue_wait_ns: 1,
                 compute_ns: 1,
+                leader_trace: 0,
             }),
         );
         assert!(f.wait_with_cancel(&CancelToken::none()).is_ok());

@@ -61,6 +61,12 @@ pub struct RunManifest {
     /// ran (local cache hit, dedup join, or unsharded engine).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub hedge_hit: Option<bool>,
+    /// Trace id (16 hex digits) of the request-scoped trace recorded
+    /// for this run, when the request was traced. Like `shard`, this is
+    /// provenance, not identity — the key to correlate the response
+    /// with the flight recorder's span tree.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace_id: Option<String>,
     /// Per-stage wall-time breakdown, in execution order.
     pub stages: Vec<StageTiming>,
 }
@@ -80,6 +86,7 @@ impl RunManifest {
             cancelled_at_stage: None,
             shard: None,
             hedge_hit: None,
+            trace_id: None,
             stages: Vec::new(),
         }
     }
@@ -180,14 +187,19 @@ mod tests {
         let mut routed = RunManifest::new(&spec, 0x1);
         routed.shard = Some(3);
         routed.hedge_hit = Some(true);
+        routed.trace_id = Some("00000000000000ff".to_string());
         assert!(plain.same_identity(&routed));
 
         // Off the wire entirely when unset; round-trips when set.
         let s = serde_json::to_string(&plain).unwrap();
-        assert!(!s.contains("shard") && !s.contains("hedge_hit"), "{s}");
+        assert!(
+            !s.contains("shard") && !s.contains("hedge_hit") && !s.contains("trace_id"),
+            "{s}"
+        );
         let s = serde_json::to_string(&routed).unwrap();
         assert!(s.contains(r#""shard":3"#), "{s}");
         assert!(s.contains(r#""hedge_hit":true"#), "{s}");
+        assert!(s.contains(r#""trace_id":"00000000000000ff""#), "{s}");
         let back: RunManifest = serde_json::from_str(&s).unwrap();
         assert_eq!(back, routed);
     }

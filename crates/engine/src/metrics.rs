@@ -86,30 +86,16 @@ impl Registry {
             .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(1)));
     }
 
-    fn percentile_us(&self, counts: &[u64; BUCKETS], total: u64, p: f64) -> u64 {
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * p).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Upper bound of bucket i: 2^i µs (bucket 0 is < 1 µs).
-                return 1u64 << i.min(63);
-            }
-        }
-        self.latency_max_us.load(Relaxed)
-    }
-
     /// Takes a consistent-enough snapshot of every counter, attaching
     /// the caller-provided per-stage timing aggregates.
     pub fn snapshot(&self, cache_entries: usize, stages: Vec<StageSummary>) -> EngineMetrics {
-        let mut counts = [0u64; BUCKETS];
+        let mut counts = vec![0u64; BUCKETS];
         for (slot, bucket) in counts.iter_mut().zip(&self.latency_buckets) {
             *slot = bucket.load(Relaxed);
         }
         let count = self.latency_count.load(Relaxed);
+        let sum_us = self.latency_sum_us.load(Relaxed);
+        let max_us = self.latency_max_us.load(Relaxed);
         EngineMetrics {
             requests: self.requests.load(Relaxed),
             completed: self.completed.load(Relaxed),
@@ -129,18 +115,36 @@ impl Registry {
             cache_entries: cache_entries as u64,
             latency: LatencySummary {
                 count,
-                mean_us: self
-                    .latency_sum_us
-                    .load(Relaxed)
-                    .checked_div(count)
-                    .unwrap_or(0),
-                p50_us: self.percentile_us(&counts, count, 0.50),
-                p99_us: self.percentile_us(&counts, count, 0.99),
-                max_us: self.latency_max_us.load(Relaxed),
+                mean_us: sum_us.checked_div(count).unwrap_or(0),
+                sum_us,
+                p50_us: percentile_from_buckets(&counts, count, 0.50, max_us),
+                p99_us: percentile_from_buckets(&counts, count, 0.99, max_us),
+                max_us,
             },
+            latency_buckets: counts,
+            obs_dropped_events: solarstorm_obs::global().dropped(),
+            trace_drops: solarstorm_obs::recorder().dropped(),
             stages,
         }
     }
+}
+
+/// True percentile over power-of-two bucket counts: the upper bound
+/// (2^i µs; bucket 0 is < 1 µs) of the bucket containing the target
+/// rank, or `max_us` when the rank falls past the recorded buckets.
+fn percentile_from_buckets(counts: &[u64], total: u64, p: f64, max_us: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * p).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return 1u64 << i.min(63);
+        }
+    }
+    max_us
 }
 
 /// Reads the process-wide pipeline-stage aggregates maintained by
@@ -166,6 +170,11 @@ pub struct LatencySummary {
     pub count: u64,
     /// Mean latency.
     pub mean_us: u64,
+    /// Total latency across all measured requests (the histogram's
+    /// `_sum`). Missing in snapshots from older engines, hence the
+    /// default.
+    #[serde(default)]
+    pub sum_us: u64,
     /// Median (bucketed upper bound).
     pub p50_us: u64,
     /// 99th percentile (bucketed upper bound).
@@ -234,6 +243,21 @@ pub struct EngineMetrics {
     pub cache_entries: u64,
     /// Request-latency distribution.
     pub latency: LatencySummary,
+    /// Raw power-of-two latency histogram: bucket `i` counts requests
+    /// that finished in `< 2^i` µs (bucket 0 is < 1 µs). This is what
+    /// makes per-shard snapshots mergeable into true process-wide
+    /// percentiles. Missing (empty) in snapshots from older engines.
+    #[serde(default)]
+    pub latency_buckets: Vec<u64>,
+    /// Events the observability ring buffer dropped because it was
+    /// full. Process-global (shared by every shard in this process).
+    #[serde(default)]
+    pub obs_dropped_events: u64,
+    /// Completed traces the flight recorder dropped because its
+    /// staging ring was full. Process-global, like
+    /// `obs_dropped_events`.
+    #[serde(default)]
+    pub trace_drops: u64,
     /// Per-stage timing aggregates, sorted by stage name. Missing in
     /// snapshots from older engines, hence the serde default.
     #[serde(default)]
@@ -249,14 +273,25 @@ fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: u64)
 impl EngineMetrics {
     /// Merges per-shard snapshots into one process-wide view: counters
     /// and gauges sum, `degraded` is true if any shard is degraded, and
-    /// the latency summary combines conservatively (counts and sums
-    /// add; mean is the weighted mean; p50/p99/max take the worst shard
-    /// — without the raw histograms a true merged percentile isn't
-    /// recoverable, so the merged value is an upper bound). The
-    /// per-stage aggregates are process-global (every shard snapshots
-    /// the same `solarstorm-obs` table), so the first shard's are kept
-    /// as-is rather than summed `N` times.
+    /// the latency summary merges exactly — counts and sums add, mean
+    /// is the weighted mean, and p50/p99 are recomputed from the
+    /// elementwise sum of the shards' raw power-of-two histograms
+    /// (`latency_buckets`), so one hot shard cannot masquerade as the
+    /// whole fleet's tail. Only when a shard lacks its histogram (a
+    /// snapshot from an older engine) do the percentiles fall back to
+    /// the worst shard's, an upper bound. Process-global values —
+    /// the per-stage aggregates, `obs_dropped_events`, `trace_drops`
+    /// (every shard snapshots the same process-wide tables) — are kept
+    /// from the first shard rather than summed `N` times.
     pub fn merged<'a>(shards: impl IntoIterator<Item = &'a EngineMetrics>) -> EngineMetrics {
+        // A legacy snapshot carries mean but not sum; reconstruct.
+        fn sum_us_of(l: &LatencySummary) -> u64 {
+            if l.sum_us != 0 {
+                l.sum_us
+            } else {
+                l.count.saturating_mul(l.mean_us)
+            }
+        }
         let mut it = shards.into_iter();
         let mut out = match it.next() {
             Some(first) => first.clone(),
@@ -281,15 +316,21 @@ impl EngineMetrics {
                     latency: LatencySummary {
                         count: 0,
                         mean_us: 0,
+                        sum_us: 0,
                         p50_us: 0,
                         p99_us: 0,
                         max_us: 0,
                     },
+                    latency_buckets: Vec::new(),
+                    obs_dropped_events: 0,
+                    trace_drops: 0,
                     stages: Vec::new(),
                 }
             }
         };
-        let mut weighted_sum_us = out.latency.count.saturating_mul(out.latency.mean_us);
+        let mut sum_us = sum_us_of(&out.latency);
+        let mut buckets = std::mem::take(&mut out.latency_buckets);
+        let mut buckets_complete = !buckets.is_empty();
         for m in it {
             out.requests += m.requests;
             out.completed += m.completed;
@@ -308,13 +349,38 @@ impl EngineMetrics {
             out.hedge_misses += m.hedge_misses;
             out.cache_entries += m.cache_entries;
             out.latency.count += m.latency.count;
-            weighted_sum_us =
-                weighted_sum_us.saturating_add(m.latency.count.saturating_mul(m.latency.mean_us));
+            sum_us = sum_us.saturating_add(sum_us_of(&m.latency));
             out.latency.p50_us = out.latency.p50_us.max(m.latency.p50_us);
             out.latency.p99_us = out.latency.p99_us.max(m.latency.p99_us);
             out.latency.max_us = out.latency.max_us.max(m.latency.max_us);
+            if m.latency_buckets.is_empty() {
+                buckets_complete = false;
+            } else {
+                if buckets.len() < m.latency_buckets.len() {
+                    buckets.resize(m.latency_buckets.len(), 0);
+                }
+                for (slot, c) in buckets.iter_mut().zip(&m.latency_buckets) {
+                    *slot += c;
+                }
+            }
         }
-        out.latency.mean_us = weighted_sum_us.checked_div(out.latency.count).unwrap_or(0);
+        out.latency.mean_us = sum_us.checked_div(out.latency.count).unwrap_or(0);
+        out.latency.sum_us = sum_us;
+        if buckets_complete {
+            let total: u64 = buckets.iter().sum();
+            if total > 0 {
+                out.latency.p50_us =
+                    percentile_from_buckets(&buckets, total, 0.50, out.latency.max_us);
+                out.latency.p99_us =
+                    percentile_from_buckets(&buckets, total, 0.99, out.latency.max_us);
+            }
+            out.latency_buckets = buckets;
+        } else {
+            // A shard without its histogram poisons the merged one;
+            // better to omit it than to publish a partial sum as if it
+            // covered every shard.
+            out.latency_buckets = Vec::new();
+        }
         out
     }
 
@@ -413,11 +479,49 @@ impl EngineMetrics {
         }
         prom_scalar(
             &mut out,
+            "stormsim_obs_dropped_events_total",
+            "counter",
+            "Observability ring-buffer events dropped because the ring was full.",
+            self.obs_dropped_events,
+        );
+        prom_scalar(
+            &mut out,
+            "stormsim_trace_drops_total",
+            "counter",
+            "Completed traces dropped because the flight recorder staging ring was full.",
+            self.trace_drops,
+        );
+        prom_scalar(
+            &mut out,
             "stormsim_request_latency_measurements_total",
             "counter",
             "Request latencies recorded.",
             self.latency.count,
         );
+        if !self.latency_buckets.is_empty() {
+            // Cumulative histogram series. Bucket `i` of the raw
+            // histogram counts latencies < 2^i µs (exclusive); the
+            // `le` label is nominally inclusive, a ≤ 1 µs boundary
+            // approximation accepted for power-of-two buckets.
+            let name = "stormsim_request_latency_us";
+            let _ = writeln!(
+                out,
+                "# HELP {name} Request latency histogram, microseconds (power-of-two buckets)."
+            );
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, c) in self.latency_buckets.iter().enumerate() {
+                cum += c;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", 1u64 << i.min(63));
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"+Inf\"}} {}",
+                cum.max(self.latency.count)
+            );
+            let _ = writeln!(out, "{name}_sum {}", self.latency.sum_us);
+            let _ = writeln!(out, "{name}_count {}", cum.max(self.latency.count));
+        }
         for (name, help, v) in [
             (
                 "stormsim_request_latency_mean_us",
@@ -599,7 +703,7 @@ mod tests {
     }
 
     #[test]
-    fn merged_sums_counters_and_takes_worst_percentiles() {
+    fn merged_sums_counters_and_recomputes_percentiles() {
         let a = Registry::default();
         a.requests.fetch_add(10, Relaxed);
         a.cache_hits.fetch_add(4, Relaxed);
@@ -620,17 +724,99 @@ mod tests {
         assert_eq!(m.cache_entries, 4);
         assert!(m.degraded);
         assert_eq!(m.latency.count, 3);
-        // Weighted mean of {100, 100, 4000} (bucketed means are exact
-        // here because each registry saw uniform values).
+        // Mean of {100, 100, 4000}, exact now that shards carry sums.
         assert_eq!(m.latency.mean_us, 1400);
+        assert_eq!(m.latency.sum_us, 4200);
         assert_eq!(m.latency.max_us, 4000);
-        assert!(m.latency.p99_us >= mb.latency.p99_us);
+        // True merged percentiles from the summed histograms: the
+        // median of {100, 100, 4000} sits in the 100 µs bucket
+        // (< 2^7 = 128), NOT in the slow shard's bucket.
+        assert_eq!(m.latency.p50_us, 128);
+        assert!(m.latency.p99_us >= 4000);
 
         let empty = EngineMetrics::merged([]);
         assert_eq!(empty.requests, 0);
         assert_eq!(empty.latency.count, 0);
         let one = EngineMetrics::merged([&ma]);
         assert_eq!(one, ma, "merging a single snapshot is the identity");
+    }
+
+    #[test]
+    fn merged_percentiles_come_from_summed_histograms_not_the_worst_shard() {
+        // Deliberately skewed shards: one fast and busy, one slow and
+        // nearly idle. The worst-shard rule would report the slow
+        // shard's median for the whole fleet.
+        let a = Registry::default();
+        for _ in 0..98 {
+            a.record_latency(10);
+        }
+        let b = Registry::default();
+        b.record_latency(500_000);
+        b.record_latency(500_000);
+        let (ma, mb) = (a.snapshot(0, Vec::new()), b.snapshot(0, Vec::new()));
+        assert!(mb.latency.p50_us >= 500_000);
+        let m = EngineMetrics::merged([&ma, &mb]);
+        // 98 of 100 requests were fast: the true median is the fast
+        // bucket's upper bound (10 µs < 2^4 = 16).
+        assert_eq!(m.latency.count, 100);
+        assert_eq!(m.latency.p50_us, 16);
+        assert!(m.latency.p99_us >= 500_000);
+        assert_eq!(m.latency.sum_us, 98 * 10 + 2 * 500_000);
+        assert_eq!(m.latency_buckets.iter().sum::<u64>(), 100);
+
+        // A shard without its histogram (legacy snapshot) forces the
+        // conservative worst-shard fallback, and the merged snapshot
+        // drops the (incomplete) histogram rather than publish it.
+        let mut legacy = mb.clone();
+        legacy.latency_buckets = Vec::new();
+        let fallback = EngineMetrics::merged([&ma, &legacy]);
+        assert_eq!(
+            fallback.latency.p50_us,
+            ma.latency.p50_us.max(mb.latency.p50_us)
+        );
+        assert!(fallback.latency_buckets.is_empty());
+    }
+
+    #[test]
+    fn latency_histogram_and_drop_counters_reach_prometheus() {
+        let r = Registry::default();
+        r.record_latency(3); // bucket 2: < 4 µs
+        r.record_latency(100); // bucket 7: < 128 µs
+        r.record_latency(100);
+        let text = snap(&r).to_prometheus();
+        assert!(
+            text.contains("# TYPE stormsim_request_latency_us histogram\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stormsim_request_latency_us_bucket{le=\"4\"} 1\n"),
+            "{text}"
+        );
+        // Cumulative: the 128 µs bucket includes the fast request.
+        assert!(
+            text.contains("stormsim_request_latency_us_bucket{le=\"128\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stormsim_request_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stormsim_request_latency_us_sum 203\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stormsim_request_latency_us_count 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE stormsim_obs_dropped_events_total counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE stormsim_trace_drops_total counter\n"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! Minimal HTTP/1.1 endpoint serving metrics in the Prometheus text
-//! exposition format.
+//! exposition format, plus the flight recorder's Chrome trace export.
 //!
-//! Deliberately tiny: every request — whatever its path — gets a fresh
-//! snapshot rendered by [`crate::ScenarioService::prometheus_text`]
-//! with `Connection: close`, which is all a Prometheus scraper (or
-//! `curl`) needs. Runs alongside the NDJSON [`crate::Server`] as
-//! `stormsim serve --metrics-addr`; behind a sharded runtime the text
-//! carries per-shard `shard`-labelled series too.
+//! Deliberately tiny: two routes, each a fresh snapshot with
+//! `Connection: close`, which is all a Prometheus scraper, Perfetto,
+//! or `curl` needs:
+//!
+//! * any path but `/trace` — the Prometheus text exposition from
+//!   [`crate::ScenarioService::prometheus_text`] (behind a sharded
+//!   runtime the text carries per-shard `shard`-labelled series too);
+//! * `/trace` — the retained traces as Chrome trace-event JSON
+//!   (`{"traceEvents":[…]}`), loadable directly in Perfetto or
+//!   `chrome://tracing`.
+//!
+//! Runs alongside the NDJSON [`crate::Server`] as
+//! `stormsim serve --metrics-addr`.
 
 use crate::service::ScenarioService;
 use std::io::{BufRead, BufReader, Write};
@@ -44,7 +51,7 @@ impl MetricsServer {
                     let service = Arc::clone(&self.service);
                     let _ = std::thread::Builder::new()
                         .name("storm-metrics".into())
-                        .spawn(move || serve_scrape(&service.prometheus_text(), stream));
+                        .spawn(move || serve_scrape(&service, stream));
                 }
                 Err(e) => eprintln!("stormsim: metrics accept error: {e}"),
             }
@@ -53,13 +60,18 @@ impl MetricsServer {
     }
 }
 
-/// Answers one scrape: drain the request head, write one response.
-fn serve_scrape(body: &str, stream: TcpStream) {
+/// Answers one scrape: read the request line, drain the rest of the
+/// head, dispatch on the path, write one response.
+fn serve_scrape(service: &Arc<dyn ScenarioService>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
     let mut line = String::new();
     loop {
         line.clear();
@@ -69,13 +81,33 @@ fn serve_scrape(body: &str, stream: TcpStream) {
             Ok(_) => continue,
         }
     }
+    // `GET /path HTTP/1.1` → `/path` (ignoring any query string).
+    let path = request_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or("/")
+        .split('?')
+        .next()
+        .unwrap_or("/");
+    let (content_type, body) = if path == "/trace" || path.starts_with("/trace/") {
+        (
+            "application/json; charset=utf-8",
+            solarstorm_obs::chrome_trace_json(&solarstorm_obs::recorder().snapshot()),
+        )
+    } else {
+        (
+            "text/plain; version=0.0.4; charset=utf-8",
+            service.prometheus_text(),
+        )
+    };
     let mut stream = stream;
     let _ = write!(
         stream,
         "HTTP/1.1 200 OK\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Type: {}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n{}",
+        content_type,
         body.len(),
         body
     );
@@ -88,9 +120,9 @@ mod tests {
     use crate::engine::{Engine, EngineConfig};
     use std::io::Read;
 
-    fn scrape(addr: SocketAddr) -> String {
+    fn fetch(addr: SocketAddr, path: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();
-        write!(s, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
@@ -106,7 +138,7 @@ mod tests {
         let addr = server.local_addr().unwrap();
         std::thread::spawn(move || server.run());
 
-        let raw = scrape(addr);
+        let raw = fetch(addr, "/metrics");
         let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
         assert!(head.starts_with("HTTP/1.1 200 OK"));
         assert!(head.contains("text/plain; version=0.0.4"));
@@ -120,6 +152,34 @@ mod tests {
             Some(body.len().to_string().as_str()),
             "Content-Length matches the body"
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn trace_path_returns_chrome_trace_json() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        }));
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        // Record at least one trace so the export has content.
+        let h = solarstorm_obs::TraceHandle::begin("request", Some(0x7e57));
+        drop(solarstorm_obs::span!("http_test_stage"));
+        solarstorm_obs::recorder().offer(h.finish(None), true);
+
+        let raw = fetch(addr, "/trace");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("application/json"), "{head}");
+        let v: serde_json::Value = serde_json::from_str(body).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        let begins = events.iter().filter(|e| e["ph"] == "B").count();
+        let ends = events.iter().filter(|e| e["ph"] == "E").count();
+        assert_eq!(begins, ends, "B/E pairs must match");
         engine.shutdown();
     }
 }

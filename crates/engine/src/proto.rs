@@ -35,6 +35,14 @@ pub enum RequestBody {
     Metrics,
     /// Liveness probe; answers `"pong"`.
     Ping,
+    /// Return completed traces from the flight recorder: the one named
+    /// by the envelope's `trace_id`, or the most recent ones.
+    Trace {
+        /// Return at most this many traces, newest last (default: all
+        /// retained).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        last: Option<usize>,
+    },
 }
 
 /// One request line.
@@ -43,6 +51,13 @@ pub struct Request {
     /// Client-chosen correlation id, echoed back verbatim.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub id: Option<String>,
+    /// Client-supplied trace id. On scenario requests, the id the
+    /// request's trace is recorded under (up to 16 hex digits; any
+    /// other string is hashed to an id deterministically). On `trace`
+    /// requests, the id to look up. Absent, scenario traces mint a
+    /// fresh id — see the response manifest's `trace_id`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace_id: Option<String>,
     /// The request body, tagged by `type`.
     #[serde(flatten)]
     pub body: RequestBody,
@@ -95,6 +110,11 @@ pub struct Response {
     /// engine version, and per-stage wall-time breakdown.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub manifest: Option<RunManifest>,
+    /// The request's span tree, embedded when the spec asked for it
+    /// (`"trace": true`). The same tree is retained in the flight
+    /// recorder under the manifest's `trace_id`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<serde_json::Value>,
 }
 
 impl Response {
@@ -108,6 +128,7 @@ impl Response {
             error: None,
             degraded: false,
             manifest: None,
+            trace: None,
         }
     }
 
@@ -140,6 +161,7 @@ impl Response {
             }),
             manifest: None,
             degraded: false,
+            trace: None,
         }
     }
 
@@ -188,39 +210,102 @@ pub fn parse_line(line: &str) -> Result<Request, String> {
 /// [`crate::Engine`] or a sharded runtime). Never panics; every failure
 /// becomes an error response.
 pub fn handle_request(service: &dyn ScenarioService, req: Request) -> Response {
-    match req.body {
-        RequestBody::Ping => Response::success(req.id, None, serde_json::json!("pong")),
+    let Request { id, trace_id, body } = req;
+    match body {
+        RequestBody::Ping => Response::success(id, None, serde_json::json!("pong")),
         RequestBody::Metrics => match service.metrics_value() {
-            Ok(v) => Response::success(req.id, None, v),
-            Err(e) => Response::failure(req.id, "internal", e),
+            Ok(v) => Response::success(id, None, v),
+            Err(e) => Response::failure(id, "internal", e),
         },
-        RequestBody::Scenario { spec } => match service.evaluate_full(&spec) {
-            Ok(eval) => {
-                let t = std::time::Instant::now();
-                let serialized = serde_json::to_value(&*eval.result);
-                let serialize_ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                solarstorm_obs::record_stage("serialize", serialize_ns);
-                match serialized {
-                    Ok(v) => {
-                        let mut manifest = eval.manifest;
-                        manifest.push_stage("serialize", serialize_ns);
-                        Response::success(req.id, Some(eval.hash), v)
-                            .with_degraded(eval.degraded)
-                            .with_manifest(manifest)
+        RequestBody::Trace { last } => {
+            let rec = solarstorm_obs::recorder();
+            let traces = match trace_id.as_deref() {
+                Some(t) => rec
+                    .find(solarstorm_obs::trace::parse_trace_id(t))
+                    .into_iter()
+                    .collect::<Vec<_>>(),
+                None => {
+                    let mut all = rec.snapshot();
+                    if let Some(n) = last {
+                        if all.len() > n {
+                            all.drain(..all.len() - n);
+                        }
                     }
-                    Err(e) => Response::failure(req.id, "internal", e.to_string()),
+                    all
+                }
+            };
+            let items: Vec<serde_json::Value> = traces
+                .iter()
+                .filter_map(|t| serde_json::from_str(&t.to_json()).ok())
+                .collect();
+            Response::success(
+                id,
+                None,
+                serde_json::json!({
+                    "count": items.len(),
+                    "dropped": rec.dropped(),
+                    "retained_bytes": rec.retained_bytes(),
+                    "traces": items,
+                }),
+            )
+        }
+        RequestBody::Scenario { spec } => {
+            // Every scenario request runs under a trace; whether the
+            // finished trace is *retained* is the recorder's decision
+            // (sampling, slow/error always-keep, `trace: true` force).
+            let client = trace_id
+                .as_deref()
+                .map(solarstorm_obs::trace::parse_trace_id);
+            let th = solarstorm_obs::TraceHandle::begin("request", client);
+            let trace_hex = th.trace_id_hex();
+            match service.evaluate_full(&spec) {
+                Ok(eval) => {
+                    let t = std::time::Instant::now();
+                    let serialized = serde_json::to_value(&*eval.result);
+                    let serialize_ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    solarstorm_obs::record_stage("serialize", serialize_ns);
+                    solarstorm_obs::trace::record_rel("serialize", serialize_ns, Vec::new());
+                    let completed = th.finish(None);
+                    let inline = spec
+                        .trace
+                        .then(|| serde_json::from_str(&completed.to_json()).ok())
+                        .flatten();
+                    solarstorm_obs::recorder().offer(completed, spec.trace);
+                    match serialized {
+                        Ok(v) => {
+                            let mut manifest = eval.manifest;
+                            manifest.push_stage("serialize", serialize_ns);
+                            manifest.trace_id = Some(trace_hex);
+                            let mut resp = Response::success(id, Some(eval.hash), v)
+                                .with_degraded(eval.degraded)
+                                .with_manifest(manifest);
+                            resp.trace = inline;
+                            resp
+                        }
+                        Err(e) => Response::failure(id, "internal", e.to_string()),
+                    }
+                }
+                Err(report) => {
+                    let completed = th.finish(Some(report.error.code().to_string()));
+                    let inline = spec
+                        .trace
+                        .then(|| serde_json::from_str(&completed.to_json()).ok())
+                        .flatten();
+                    solarstorm_obs::recorder().offer(completed, spec.trace);
+                    let mut resp = Response::from_error(id, &report.error);
+                    resp.trace = inline;
+                    match report.manifest {
+                        // Deadline/compute failures keep their provenance —
+                        // the manifest says which stage the run died in.
+                        Some(mut manifest) => {
+                            manifest.trace_id = Some(trace_hex);
+                            resp.with_manifest(manifest)
+                        }
+                        None => resp,
+                    }
                 }
             }
-            Err(report) => {
-                let resp = Response::from_error(req.id, &report.error);
-                match report.manifest {
-                    // Deadline/compute failures keep their provenance —
-                    // the manifest says which stage the run died in.
-                    Some(manifest) => resp.with_manifest(manifest),
-                    None => resp,
-                }
-            }
-        },
+        }
     }
 }
 
@@ -314,6 +399,64 @@ mod tests {
         assert!(line.contains(r#""degraded":true"#), "{line}");
         let back: Response = serde_json::from_str(&line).unwrap();
         assert!(back.degraded);
+    }
+
+    #[test]
+    fn trace_requests_parse_with_and_without_filters() {
+        let bare = parse_line(r#"{"type":"trace"}"#).unwrap();
+        assert_eq!(bare.body, RequestBody::Trace { last: None });
+        assert!(bare.trace_id.is_none());
+
+        let filtered = parse_line(r#"{"type":"trace","trace_id":"00ff","last":3}"#).unwrap();
+        assert_eq!(filtered.trace_id.as_deref(), Some("00ff"));
+        assert_eq!(filtered.body, RequestBody::Trace { last: Some(3) });
+    }
+
+    #[test]
+    fn traced_scenario_requests_embed_and_retain_their_span_tree() {
+        let engine = crate::Engine::new(crate::EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let req = parse_line(
+            r#"{"id":"t1","trace_id":"beef","type":"scenario","spec":{"trace":true,"analysis":{"kind":"sleep","ms":1}}}"#,
+        )
+        .unwrap();
+        let resp = handle_request(&engine, req);
+        assert!(resp.ok, "{:?}", resp.error);
+        let manifest = resp.manifest.expect("scenario responses carry manifests");
+        assert_eq!(manifest.trace_id.as_deref(), Some("000000000000beef"));
+        let tree = resp.trace.expect("trace: true must embed the span tree");
+        assert_eq!(tree["trace_id"], "000000000000beef");
+        let names: Vec<&str> = tree["spans"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|s| s["name"].as_str())
+            .collect();
+        for expected in ["request", "engine_eval", "engine_compute", "serialize"] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+
+        // The same tree is queryable afterwards by id.
+        let lookup = parse_line(r#"{"type":"trace","trace_id":"beef"}"#).unwrap();
+        let got = handle_request(&engine, lookup);
+        assert!(got.ok);
+        let result = got.result.unwrap();
+        assert_eq!(result["count"], 1);
+        assert_eq!(result["traces"][0]["trace_id"], "000000000000beef");
+
+        // An untraced request answers without an embedded tree.
+        let plain =
+            parse_line(r#"{"type":"scenario","spec":{"analysis":{"kind":"sleep","ms":1}}}"#)
+                .unwrap();
+        let resp = handle_request(&engine, plain);
+        assert!(resp.ok);
+        assert!(resp.trace.is_none());
+        assert!(
+            resp.manifest.unwrap().trace_id.is_some(),
+            "every scenario run is traced and names its trace id"
+        );
     }
 
     #[test]

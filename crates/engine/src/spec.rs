@@ -143,6 +143,22 @@ pub struct ScenarioSpec {
     /// cleared).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub deadline_ms: Option<u64>,
+    /// Embed the request's span tree inline in the response (`trace`
+    /// field) and force the trace's retention in the flight recorder.
+    ///
+    /// Like `deadline_ms`, this is *not* part of the scenario's cache
+    /// identity: a traced and an untraced request for the same scenario
+    /// share one cache entry and one in-flight computation (the engine
+    /// hashes the spec with this field cleared).
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub trace: bool,
+}
+
+/// `skip_serializing_if` helper: keeps `trace: false` off the wire so
+/// canonical serializations (and spec hashes) are unchanged for
+/// untraced requests.
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 /// Per-trial summary returned by [`AnalysisRequest::Outcomes`]: the two
@@ -269,6 +285,17 @@ mod tests {
         assert!(
             !bare.contains("deadline_ms"),
             "an unset deadline must not appear in serialized specs: {bare}"
+        );
+    }
+
+    #[test]
+    fn trace_flag_parses_and_stays_off_the_wire_when_false() {
+        let spec: ScenarioSpec = serde_json::from_str(r#"{"trace": true}"#).unwrap();
+        assert!(spec.trace);
+        let bare = serde_json::to_string(&ScenarioSpec::default()).unwrap();
+        assert!(
+            !bare.contains("trace"),
+            "trace: false must not appear in serialized specs: {bare}"
         );
     }
 

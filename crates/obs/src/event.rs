@@ -103,7 +103,7 @@ pub struct Event {
 }
 
 /// Escapes `s` into `out` as the body of a JSON string literal.
-fn escape_json_into(s: &str, out: &mut String) {
+pub(crate) fn escape_json_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -119,7 +119,7 @@ fn escape_json_into(s: &str, out: &mut String) {
     }
 }
 
-fn write_value(v: &FieldValue, out: &mut String) {
+pub(crate) fn write_value(v: &FieldValue, out: &mut String) {
     match v {
         FieldValue::U64(n) => {
             let _ = write!(out, "{n}");

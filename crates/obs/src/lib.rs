@@ -46,14 +46,18 @@ pub mod chaos;
 mod collector;
 mod event;
 mod level;
+pub mod recorder;
 mod sink;
 mod stage;
+pub mod trace;
 
 pub use collector::{Collector, DEFAULT_RING_CAPACITY};
 pub use event::{Event, EventKind, FieldValue};
 pub use level::Level;
+pub use recorder::{chrome_trace_json, recorder, FlightRecorder, DEFAULT_TRACE_BUDGET};
 pub use sink::{NdjsonSink, Sink, StderrSink, VecSink};
 pub use stage::{record_stage, stage_snapshot, StageAgg};
+pub use trace::{CompletedTrace, SpanCtx, SpanRecord, TraceHandle};
 
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -152,29 +156,40 @@ pub fn emit_event(name: &'static str, level: Level, fields: Vec<(&'static str, F
 
 /// An RAII span: created by [`span!`], it records its wall-clock
 /// duration into the stage table on drop and — when the level passes
-/// the global filter — emits a span-end event with its fields.
+/// the global filter — emits a span-end event with its fields. When a
+/// request trace is ambient on this thread (see [`trace`]), the span
+/// also becomes a node in that trace's span tree, parented under the
+/// enclosing span.
 pub struct SpanGuard {
     name: &'static str,
     level: Level,
     start: Instant,
     fields: Vec<(&'static str, FieldValue)>,
     emit: bool,
+    slot: Option<trace::SpanSlot>,
 }
 
 impl SpanGuard {
     /// Starts a span. `fields` is only invoked when the level passes
-    /// the filter, so disabled spans never format their fields.
+    /// the filter or a trace is recording, so fully disabled spans
+    /// never format their fields.
     pub fn enter<F>(name: &'static str, level: Level, fields: F) -> SpanGuard
     where
         F: FnOnce() -> Vec<(&'static str, FieldValue)>,
     {
         let emit = enabled(level);
+        let slot = trace::open_slot();
         SpanGuard {
             name,
             level,
             start: Instant::now(),
-            fields: if emit { fields() } else { Vec::new() },
+            fields: if emit || slot.is_some() {
+                fields()
+            } else {
+                Vec::new()
+            },
             emit,
+            slot,
         }
     }
 
@@ -183,9 +198,10 @@ impl SpanGuard {
         self.name
     }
 
-    /// Adds a field after entry (recorded only if the span emits).
+    /// Adds a field after entry (recorded only if the span emits or
+    /// is feeding an active trace).
     pub fn record_field(&mut self, key: &'static str, value: FieldValue) {
-        if self.emit {
+        if self.emit || self.slot.is_some() {
             self.fields.push((key, value));
         }
     }
@@ -195,6 +211,14 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let dur_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         record_stage(self.name, dur_ns);
+        if let Some(slot) = self.slot.take() {
+            let attrs = if self.emit {
+                self.fields.clone()
+            } else {
+                std::mem::take(&mut self.fields)
+            };
+            trace::close_slot(slot, self.name, self.start, attrs);
+        }
         if self.emit {
             let c = global();
             c.record(Event {

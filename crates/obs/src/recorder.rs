@@ -1,0 +1,361 @@
+//! The flight recorder: a bounded, byte-budgeted ring of completed
+//! traces, and the Chrome trace-event exporter.
+//!
+//! Requests offer their [`CompletedTrace`] after the response is
+//! written. Retention is always-on but sampled: every `sample_every`-th
+//! offer is kept, and slow (≥ the `--trace-slow-ms` threshold) or
+//! errored requests are *always* kept, as are explicitly traced ones
+//! (`trace: true`). Producers stage retained traces through a
+//! lock-free `ArrayQueue` and never block on the retention ring; the
+//! ring itself is a `VecDeque` drained under a try-lock (the same
+//! pattern as [`crate::Collector`]) that evicts oldest-first whenever
+//! the approximate retained bytes exceed the budget.
+
+use crate::event::escape_json_into;
+use crate::trace::{CompletedTrace, SpanRecord};
+use crossbeam::queue::ArrayQueue;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default retained-trace byte budget (approximate, 4 MiB).
+pub const DEFAULT_TRACE_BUDGET: usize = 4 << 20;
+/// Default slow-request threshold in milliseconds.
+pub const DEFAULT_SLOW_MS: u64 = 250;
+/// Staging ring capacity (traces buffered between drains).
+const STAGE_CAPACITY: usize = 256;
+
+struct Retained {
+    ring: VecDeque<Arc<CompletedTrace>>,
+    bytes: usize,
+}
+
+/// A bounded ring of completed traces with sampling and slow/error
+/// always-retain rules. Safe to share; inserts are lock-free into the
+/// staging queue.
+pub struct FlightRecorder {
+    staged: ArrayQueue<Arc<CompletedTrace>>,
+    retained: Mutex<Retained>,
+    budget: AtomicUsize,
+    slow_ms: AtomicU64,
+    sample_every: AtomicU64,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with the given approximate byte budget.
+    pub fn new(byte_budget: usize) -> FlightRecorder {
+        FlightRecorder {
+            staged: ArrayQueue::new(STAGE_CAPACITY),
+            retained: Mutex::new(Retained {
+                ring: VecDeque::new(),
+                bytes: 0,
+            }),
+            budget: AtomicUsize::new(byte_budget.max(1)),
+            slow_ms: AtomicU64::new(DEFAULT_SLOW_MS),
+            sample_every: AtomicU64::new(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the byte budget (evictions apply at the next drain).
+    pub fn set_byte_budget(&self, bytes: usize) {
+        self.budget.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Requests at or above this duration are always retained.
+    pub fn set_slow_threshold_ms(&self, ms: u64) {
+        self.slow_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The always-retain slow threshold, milliseconds.
+    pub fn slow_threshold_ms(&self) -> u64 {
+        self.slow_ms.load(Ordering::Relaxed)
+    }
+
+    /// Keep every n-th offered trace (1 = keep all, 0 = sample none —
+    /// slow, errored, and forced traces are still kept).
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n, Ordering::Relaxed);
+    }
+
+    /// Offers a completed trace; returns whether it was retained.
+    /// `force` bypasses sampling (used for `trace: true` requests).
+    pub fn offer(&self, trace: CompletedTrace, force: bool) -> bool {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let every = self.sample_every.load(Ordering::Relaxed);
+        let slow_ms = self.slow_ms.load(Ordering::Relaxed);
+        let slow = slow_ms > 0 && trace.dur_ns >= slow_ms.saturating_mul(1_000_000);
+        let sampled = every > 0 && seq % every == 0;
+        if !(force || slow || sampled || trace.error.is_some()) {
+            return false;
+        }
+        if self.staged.push(Arc::new(trace)).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if let Some(mut r) = self.retained.try_lock() {
+            self.drain_into(&mut r);
+        }
+        true
+    }
+
+    fn drain_into(&self, r: &mut Retained) {
+        while let Some(t) = self.staged.pop() {
+            r.bytes += t.approx_bytes;
+            r.ring.push_back(t);
+        }
+        let budget = self.budget.load(Ordering::Relaxed);
+        while r.bytes > budget {
+            match r.ring.pop_front() {
+                Some(old) => r.bytes -= old.approx_bytes.min(r.bytes),
+                None => {
+                    r.bytes = 0;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// All retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<Arc<CompletedTrace>> {
+        let mut r = self.retained.lock();
+        self.drain_into(&mut r);
+        r.ring.iter().cloned().collect()
+    }
+
+    /// Looks up a retained trace by id (newest match wins).
+    pub fn find(&self, trace_id: u64) -> Option<Arc<CompletedTrace>> {
+        let mut r = self.retained.lock();
+        self.drain_into(&mut r);
+        r.ring
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Approximate bytes currently retained.
+    pub fn retained_bytes(&self) -> usize {
+        let mut r = self.retained.lock();
+        self.drain_into(&mut r);
+        r.bytes
+    }
+
+    /// Traces lost because the staging ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-global flight recorder (created with the default budget
+/// on first use). The engine's request path offers every completed
+/// trace here; the NDJSON `trace` request and the HTTP `/trace`
+/// endpoint read from it.
+pub fn recorder() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| FlightRecorder::new(DEFAULT_TRACE_BUDGET))
+}
+
+/// Serializes traces as Chrome trace-event JSON (the `traceEvents`
+/// array format), loadable in Perfetto or `chrome://tracing`. Spans
+/// become `B`/`E` duration-event pairs on per-thread tracks; thread
+/// names are declared with `M` metadata events. Timestamps are
+/// microseconds on the shared process trace epoch, so several traces
+/// lay out on one timeline.
+pub fn chrome_trace_json(traces: &[Arc<CompletedTrace>]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"traceEvents\":[");
+    out.push_str(r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"stormsim"}}"#);
+    let mut tids: Vec<String> = Vec::new();
+    let mut tid_of = |label: &str, out: &mut String| -> usize {
+        if let Some(i) = tids.iter().position(|t| t == label) {
+            return i + 1;
+        }
+        tids.push(label.to_string());
+        let tid = tids.len();
+        let _ = write!(
+            out,
+            r#",{{"name":"thread_name","ph":"M","pid":1,"tid":{tid},"args":{{"name":""#
+        );
+        escape_json_into(label, out);
+        out.push_str("\"}}");
+        tid
+    };
+    for trace in traces {
+        let hex = trace.trace_id_hex();
+        // Group spans per thread track; `spans` is sorted by
+        // (start asc, end desc), i.e. parents before children.
+        let mut labels: Vec<&str> = Vec::new();
+        for s in &trace.spans {
+            if !labels.contains(&s.thread.as_str()) {
+                labels.push(&s.thread);
+            }
+        }
+        for label in labels {
+            let tid = tid_of(label, &mut out);
+            let group: Vec<&SpanRecord> =
+                trace.spans.iter().filter(|s| s.thread == label).collect();
+            // Stack-walk the sorted spans, clamping children into
+            // their enclosing span so every track's B/E events nest
+            // properly even with clock jitter or sibling overlap.
+            let mut open: Vec<u64> = Vec::new(); // clamped end_ns of open spans
+            for s in group {
+                while let Some(&end) = open.last() {
+                    if s.start_ns >= end {
+                        write_end(&mut out, tid, trace.start_us, end);
+                        open.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let cap = open.last().copied().unwrap_or(u64::MAX);
+                let start = s.start_ns.min(cap);
+                let end = s.end_ns.clamp(start, cap);
+                write_begin(&mut out, s, tid, trace.start_us, start, &hex);
+                open.push(end);
+            }
+            while let Some(end) = open.pop() {
+                write_end(&mut out, tid, trace.start_us, end);
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_begin(
+    out: &mut String,
+    s: &SpanRecord,
+    tid: usize,
+    base_us: u64,
+    start_ns: u64,
+    trace_hex: &str,
+) {
+    let ts = base_us + start_ns / 1_000;
+    let _ = write!(
+        out,
+        r#",{{"name":"{}","cat":"request","ph":"B","ts":{ts},"pid":1,"tid":{tid},"args":{{"trace_id":"{trace_hex}","span":{},"parent":{}"#,
+        s.name, s.id, s.parent
+    );
+    for (k, v) in &s.attrs {
+        out.push_str(",\"");
+        escape_json_into(k, out);
+        out.push_str("\":");
+        crate::event::write_value(v, out);
+    }
+    out.push_str("}}");
+}
+
+fn write_end(out: &mut String, tid: usize, base_us: u64, end_ns: u64) {
+    // Floor division like `write_begin`, so per-track timestamps stay
+    // monotone and begin/end pairs never reorder across a sort by ts.
+    let ts = base_us + end_ns / 1_000;
+    let _ = write!(out, r#",{{"ph":"E","ts":{ts},"pid":1,"tid":{tid}}}"#);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceHandle;
+
+    fn make_trace(id: u64, pad_attrs: usize, error: Option<&str>) -> CompletedTrace {
+        let h = TraceHandle::begin("request", Some(id));
+        for _ in 0..pad_attrs {
+            crate::trace::record_rel("pad_stage", 100, Vec::new());
+        }
+        h.finish(error.map(String::from))
+    }
+
+    #[test]
+    fn ring_stays_within_its_byte_budget_under_sustained_load() {
+        let rec = FlightRecorder::new(8 * 1024);
+        for i in 0..500 {
+            rec.offer(make_trace(i, 8, None), true);
+        }
+        assert!(
+            rec.retained_bytes() <= 8 * 1024,
+            "bytes {}",
+            rec.retained_bytes()
+        );
+        let snap = rec.snapshot();
+        assert!(!snap.is_empty());
+        // Oldest traces were evicted; the newest survives.
+        assert_eq!(snap.last().unwrap().trace_id, 499);
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_but_always_keeps_slow_and_errored() {
+        let rec = FlightRecorder::new(1 << 20);
+        rec.set_sample_every(10);
+        rec.set_slow_threshold_ms(0); // disable slow-retain for this test
+        let mut kept = 0;
+        for i in 0..100 {
+            if rec.offer(make_trace(i, 0, None), false) {
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 10);
+        assert!(rec.offer(make_trace(1000, 0, Some("deadline")), false));
+        let mut slow = make_trace(1001, 0, None);
+        rec.set_slow_threshold_ms(1);
+        slow.dur_ns = 5_000_000; // 5 ms
+        assert!(rec.offer(slow, false));
+        assert!(rec.find(1000).is_some());
+        assert!(rec.find(1001).is_some());
+    }
+
+    #[test]
+    fn find_returns_the_trace_by_id() {
+        let rec = FlightRecorder::new(1 << 20);
+        rec.offer(make_trace(42, 1, None), true);
+        rec.offer(make_trace(43, 1, None), true);
+        assert_eq!(rec.find(42).unwrap().trace_id, 42);
+        assert!(rec.find(44).is_none());
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_matched_begin_end_pairs() {
+        let rec = FlightRecorder::new(1 << 20);
+        for i in 0..3 {
+            let h = TraceHandle::begin("request", Some(i + 1));
+            {
+                let _a = crate::span!("stage_a");
+                let _b = crate::span!("stage_b");
+            }
+            crate::trace::record_shared("compute", 2_000, Vec::new());
+            rec.offer(h.finish(None), true);
+        }
+        let json = chrome_trace_json(&rec.snapshot());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        let begins = events.iter().filter(|e| e["ph"] == "B").count();
+        let ends = events.iter().filter(|e| e["ph"] == "E").count();
+        assert_eq!(begins, ends);
+        assert!(begins >= 3 * 4); // root + a + b + shared compute per trace
+                                  // Per-tid, B/E events form a properly nested stack.
+        let mut depth: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        for e in events {
+            let tid = e["tid"].as_u64().unwrap();
+            match e["ph"].as_str().unwrap() {
+                "B" => *depth.entry(tid).or_default() += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_default();
+                    *d -= 1;
+                    assert!(*d >= 0, "unbalanced E on tid {tid}");
+                }
+                _ => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0));
+        // Thread tracks are named.
+        assert!(events
+            .iter()
+            .any(|e| e["ph"] == "M" && e["name"] == "thread_name"));
+    }
+}

@@ -1,0 +1,613 @@
+//! Request-scoped distributed tracing: trace/span context, an ambient
+//! thread-local, and completed span trees.
+//!
+//! A [`TraceHandle`] mints a `trace_id` (or adopts a client-supplied
+//! one) and installs a [`SpanCtx`] in a thread-local for the duration
+//! of a request. Every [`crate::span!`] guard checks that ambient
+//! context on entry — when a trace is active the guard allocates a
+//! span id, parents itself under the current span, and records a
+//! [`SpanRecord`] (start/end ns relative to the trace root, thread
+//! label, typed attributes) on drop. Work that hops threads — worker
+//! pool jobs, single-flight followers — carries the `SpanCtx` across
+//! explicitly ([`enter_remote`]) or records retroactive spans
+//! ([`record_rel`], [`record_shared`]) from durations measured
+//! elsewhere.
+//!
+//! The disabled path (no active trace) costs one thread-local borrow
+//! per span on top of the existing stage-table write, preserving the
+//! crate's <5% disabled-span overhead budget asserted by
+//! `bench obs_overhead`.
+
+use crate::event::{escape_json_into, write_value, FieldValue};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Thread label used for synthetic spans inherited from another
+/// request (single-flight followers adopting the leader's compute).
+/// Kept distinct so shared spans render on their own track and never
+/// break begin/end nesting on a real thread's track.
+pub const SHARED_THREAD: &str = "(shared)";
+
+/// One completed span inside a trace: a node in the span tree.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span id, unique within the trace (the root is always 1).
+    pub id: u64,
+    /// Parent span id (0 for the root).
+    pub parent: u64,
+    /// Static span name (stage name).
+    pub name: &'static str,
+    /// Start offset in nanoseconds from the trace root's start.
+    pub start_ns: u64,
+    /// End offset in nanoseconds from the trace root's start.
+    pub end_ns: u64,
+    /// Label of the thread the span ran on.
+    pub thread: String,
+    /// Typed key-value attributes, in record order.
+    pub attrs: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanRecord {
+    fn approx_bytes(&self) -> usize {
+        let attrs: usize = self
+            .attrs
+            .iter()
+            .map(|(k, v)| {
+                k.len()
+                    + match v {
+                        FieldValue::Str(s) => s.len() + 16,
+                        _ => 16,
+                    }
+            })
+            .sum();
+        64 + self.name.len() + self.thread.len() + attrs
+    }
+}
+
+/// Shared per-trace state: identity, clock anchor, and the span sink.
+struct TraceInner {
+    trace_id: u64,
+    start: Instant,
+    /// Offset of `start` from the process trace epoch, in microseconds,
+    /// so multiple traces lay out on one timeline in Chrome exports.
+    start_us: u64,
+    next_span: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A cloneable handle on an active trace plus the id of the span that
+/// is "current" wherever this context is installed. Cheap to clone
+/// (one `Arc` bump); carried across threads to parent remote work.
+#[derive(Clone)]
+pub struct SpanCtx {
+    inner: Arc<TraceInner>,
+    span_id: u64,
+}
+
+impl SpanCtx {
+    /// The trace's 64-bit id.
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id
+    }
+
+    /// The id of the span this context points at.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// Nanoseconds elapsed since the trace root started.
+    pub fn now_ns(&self) -> u64 {
+        self.inner
+            .start
+            .elapsed()
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    fn alloc_span(&self) -> u64 {
+        self.inner.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        self.inner.spans.lock().push(rec);
+    }
+
+    /// Records a completed child span from explicit relative offsets.
+    /// Used for retroactive spans (queue wait measured after the fact)
+    /// and synthetic spans (follower inheriting leader compute time).
+    pub fn add_span_ns(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        thread: String,
+        attrs: Vec<(&'static str, FieldValue)>,
+    ) {
+        let id = self.alloc_span();
+        self.push(SpanRecord {
+            id,
+            parent: self.span_id,
+            name,
+            start_ns,
+            end_ns: end_ns.max(start_ns.saturating_add(1)),
+            thread,
+            attrs,
+        });
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<SpanCtx>> = const { RefCell::new(None) };
+}
+
+/// The ambient trace context on this thread, if a trace is active.
+pub fn current() -> Option<SpanCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<SpanCtx>) -> Option<SpanCtx> {
+    CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), ctx))
+}
+
+/// Restores the previous ambient context when dropped. Returned by
+/// [`enter_remote`]; hold it for the duration of the traced work.
+pub struct AmbientGuard {
+    prev: Option<SpanCtx>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        set_current(self.prev.take());
+    }
+}
+
+/// Installs `ctx` as the ambient trace context on this thread —
+/// the cross-thread handoff used when a worker picks up a traced job.
+/// Spans opened while the guard lives are parented under `ctx`.
+pub fn enter_remote(ctx: SpanCtx) -> AmbientGuard {
+    AmbientGuard {
+        prev: set_current(Some(ctx)),
+    }
+}
+
+/// Open-span bookkeeping threaded through [`crate::SpanGuard`]: the
+/// child context made current on entry, and the ambient value to
+/// restore on drop.
+pub(crate) struct SpanSlot {
+    ctx: SpanCtx,
+    parent: u64,
+    prev: Option<SpanCtx>,
+}
+
+/// Called by `SpanGuard::enter`: when a trace is ambient, allocates a
+/// child span id and makes it current so nested spans parent properly.
+pub(crate) fn open_slot() -> Option<SpanSlot> {
+    let prev = current()?;
+    let id = prev.alloc_span();
+    let child = SpanCtx {
+        inner: Arc::clone(&prev.inner),
+        span_id: id,
+    };
+    let parent = prev.span_id;
+    let replaced = set_current(Some(child.clone()));
+    Some(SpanSlot {
+        ctx: child,
+        parent,
+        prev: replaced,
+    })
+}
+
+/// Called by `SpanGuard::drop`: records the span and restores the
+/// previous ambient context.
+pub(crate) fn close_slot(
+    slot: SpanSlot,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, FieldValue)>,
+) {
+    let start_ns = start
+        .checked_duration_since(slot.ctx.inner.start)
+        .map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0);
+    let end_ns = slot.ctx.now_ns().max(start_ns + 1);
+    slot.ctx.push(SpanRecord {
+        id: slot.ctx.span_id,
+        parent: slot.parent,
+        name,
+        start_ns,
+        end_ns,
+        thread: crate::thread_label(),
+        attrs,
+    });
+    set_current(slot.prev);
+}
+
+/// A trace-only RAII span: records into the active trace (if any) but
+/// never touches the stage table or the event ring. Use for spans that
+/// exist purely to structure the trace tree (`shard_eval`, `route`).
+pub struct TraceSpan {
+    slot: Option<SpanSlot>,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, FieldValue)>,
+}
+
+/// Opens a [`TraceSpan`]. A no-op (one thread-local borrow) when no
+/// trace is ambient.
+pub fn span(name: &'static str, attrs: Vec<(&'static str, FieldValue)>) -> TraceSpan {
+    TraceSpan {
+        slot: open_slot(),
+        name,
+        start: Instant::now(),
+        attrs,
+    }
+}
+
+impl TraceSpan {
+    /// Whether this span is actually recording into a trace.
+    pub fn active(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// Adds an attribute after entry (kept only when recording).
+    pub fn record(&mut self, key: &'static str, value: FieldValue) {
+        if self.slot.is_some() {
+            self.attrs.push((key, value));
+        }
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            close_slot(slot, self.name, self.start, std::mem::take(&mut self.attrs));
+        }
+    }
+}
+
+/// Records a retroactive child span on the ambient trace covering the
+/// last `dur_ns` nanoseconds (ending now), on the current thread's
+/// track. No-op without an active trace.
+pub fn record_rel(name: &'static str, dur_ns: u64, attrs: Vec<(&'static str, FieldValue)>) {
+    if let Some(ctx) = current() {
+        let end = ctx.now_ns();
+        ctx.add_span_ns(
+            name,
+            end.saturating_sub(dur_ns),
+            end,
+            crate::thread_label(),
+            attrs,
+        );
+    }
+}
+
+/// Like [`record_rel`] but on the synthetic [`SHARED_THREAD`] track:
+/// the span's time was spent in *another* request (a single-flight
+/// leader's compute inherited by a follower), so it must not be nested
+/// into this thread's real span stack.
+pub fn record_shared(name: &'static str, dur_ns: u64, attrs: Vec<(&'static str, FieldValue)>) {
+    if let Some(ctx) = current() {
+        let end = ctx.now_ns();
+        ctx.add_span_ns(
+            name,
+            end.saturating_sub(dur_ns),
+            end,
+            SHARED_THREAD.to_string(),
+            attrs,
+        );
+    }
+}
+
+/// Microsecond clock anchored at the first trace of the process, so
+/// Chrome exports of several traces share one timeline.
+fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn mint_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let wall = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    splitmix64(wall ^ (n << 32) ^ n) | 1
+}
+
+/// Parses a client-supplied trace id: up to 16 hex digits, or — so any
+/// externally chosen correlation string is accepted — the FNV-1a hash
+/// of the raw bytes when it is not hex. Never zero.
+pub fn parse_trace_id(s: &str) -> u64 {
+    let t = s.trim().trim_start_matches("0x");
+    if !t.is_empty() && t.len() <= 16 && t.bytes().all(|b| b.is_ascii_hexdigit()) {
+        if let Ok(v) = u64::from_str_radix(t, 16) {
+            if v != 0 {
+                return v;
+            }
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h | 1
+}
+
+/// A live trace rooted at one request. Created by [`TraceHandle::begin`]
+/// (which installs the root context in this thread's ambient slot) and
+/// consumed by [`TraceHandle::finish`], which restores the ambient
+/// state and yields the [`CompletedTrace`].
+pub struct TraceHandle {
+    ctx: SpanCtx,
+    prev: Option<SpanCtx>,
+    name: &'static str,
+    root_attrs: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceHandle {
+    /// Starts a trace named `name` (the root span's name), minting a
+    /// trace id unless the caller supplies one.
+    pub fn begin(name: &'static str, trace_id: Option<u64>) -> TraceHandle {
+        let epoch = trace_epoch();
+        let start = Instant::now();
+        let start_us = start
+            .checked_duration_since(epoch)
+            .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        let inner = Arc::new(TraceInner {
+            trace_id: trace_id.unwrap_or_else(mint_trace_id),
+            start,
+            start_us,
+            next_span: AtomicU64::new(2), // 1 is the root
+            spans: Mutex::new(Vec::new()),
+        });
+        let ctx = SpanCtx { inner, span_id: 1 };
+        let prev = set_current(Some(ctx.clone()));
+        TraceHandle {
+            ctx,
+            prev,
+            name,
+            root_attrs: Vec::new(),
+        }
+    }
+
+    /// The trace's 64-bit id.
+    pub fn trace_id(&self) -> u64 {
+        self.ctx.trace_id()
+    }
+
+    /// The trace id as 16 lowercase hex digits (the wire form).
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:016x}", self.ctx.trace_id())
+    }
+
+    /// The root span context, for explicit cross-thread handoff.
+    pub fn ctx(&self) -> SpanCtx {
+        self.ctx.clone()
+    }
+
+    /// Adds an attribute to the root span.
+    pub fn record(&mut self, key: &'static str, value: FieldValue) {
+        self.root_attrs.push((key, value));
+    }
+
+    /// Ends the trace: restores the ambient context, closes the root
+    /// span, and returns the completed span tree (sorted by start).
+    pub fn finish(mut self, error: Option<String>) -> CompletedTrace {
+        set_current(self.prev.take());
+        let dur_ns = self.ctx.now_ns().max(1);
+        let mut spans = std::mem::take(&mut *self.ctx.inner.spans.lock());
+        spans.push(SpanRecord {
+            id: 1,
+            parent: 0,
+            name: self.name,
+            start_ns: 0,
+            end_ns: dur_ns,
+            thread: crate::thread_label(),
+            attrs: std::mem::take(&mut self.root_attrs),
+        });
+        spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
+        let approx_bytes = 96 + spans.iter().map(SpanRecord::approx_bytes).sum::<usize>();
+        CompletedTrace {
+            trace_id: self.ctx.trace_id(),
+            name: self.name,
+            start_us: self.ctx.inner.start_us,
+            dur_ns,
+            error,
+            spans,
+            approx_bytes,
+        }
+    }
+}
+
+/// A finished trace: the immutable span tree of one request, as stored
+/// in the flight recorder and embedded in traced responses.
+#[derive(Debug, Clone)]
+pub struct CompletedTrace {
+    /// The trace's 64-bit id.
+    pub trace_id: u64,
+    /// Root span name.
+    pub name: &'static str,
+    /// Start offset from the process trace epoch, microseconds.
+    pub start_us: u64,
+    /// Total wall time of the root span, nanoseconds.
+    pub dur_ns: u64,
+    /// Wire error code when the request failed, if any.
+    pub error: Option<String>,
+    /// All spans, sorted by `(start_ns asc, end_ns desc)` — parents
+    /// before their children.
+    pub spans: Vec<SpanRecord>,
+    /// Approximate retained size, for the recorder's byte budget.
+    pub approx_bytes: usize,
+}
+
+impl CompletedTrace {
+    /// The trace id as 16 lowercase hex digits.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Serializes the span tree as one JSON object (hand-rolled; this
+    /// crate deliberately has no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        let _ = write!(
+            out,
+            r#"{{"trace_id":"{}","name":"{}","start_us":{},"dur_ns":{}"#,
+            self.trace_id_hex(),
+            self.name,
+            self.start_us,
+            self.dur_ns
+        );
+        if let Some(e) = &self.error {
+            out.push_str(",\"error\":\"");
+            escape_json_into(e, &mut out);
+            out.push('"');
+        }
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                r#"{{"id":{},"parent":{},"name":"{}","start_ns":{},"end_ns":{},"thread":""#,
+                s.id, s.parent, s.name, s.start_ns, s.end_ns
+            );
+            escape_json_into(&s.thread, &mut out);
+            out.push('"');
+            if !s.attrs.is_empty() {
+                out.push_str(",\"attrs\":{");
+                for (j, (k, v)) in s.attrs.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json_into(k, &mut out);
+                    out.push_str("\":");
+                    write_value(v, &mut out);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_under_the_ambient_trace() {
+        let h = TraceHandle::begin("request", Some(0xabcd));
+        {
+            let _outer = crate::span!("outer_stage", n = 1usize);
+            let _inner = crate::span!("inner_stage");
+        }
+        record_rel("retro", 1_000, vec![("k", FieldValue::from(7u64))]);
+        let t = h.finish(None);
+        assert_eq!(t.trace_id, 0xabcd);
+        assert_eq!(t.trace_id_hex(), "000000000000abcd");
+        let root = t.spans.iter().find(|s| s.id == 1).unwrap();
+        assert_eq!(root.parent, 0);
+        let outer = t.spans.iter().find(|s| s.name == "outer_stage").unwrap();
+        let inner = t.spans.iter().find(|s| s.name == "inner_stage").unwrap();
+        let retro = t.spans.iter().find(|s| s.name == "retro").unwrap();
+        assert_eq!(outer.parent, 1);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(retro.parent, 1);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= t.dur_ns);
+        // Sorted parents-before-children.
+        let pos = |id: u64| t.spans.iter().position(|s| s.id == id).unwrap();
+        assert!(pos(1) < pos(outer.id));
+        assert!(pos(outer.id) < pos(inner.id));
+    }
+
+    #[test]
+    fn no_ambient_trace_records_nothing() {
+        assert!(current().is_none());
+        {
+            let _s = crate::span!("untraced_stage");
+            let _t = span("untraced_trace_only", Vec::new());
+        }
+        record_rel("untraced_retro", 10, Vec::new());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn remote_handoff_parents_worker_spans() {
+        let h = TraceHandle::begin("request", None);
+        let ctx = h.ctx();
+        let worker = std::thread::spawn(move || {
+            let _amb = enter_remote(ctx);
+            let _s = crate::span!("worker_stage");
+        });
+        worker.join().unwrap();
+        let t = h.finish(None);
+        let w = t.spans.iter().find(|s| s.name == "worker_stage").unwrap();
+        assert_eq!(w.parent, 1);
+    }
+
+    #[test]
+    fn finish_restores_previous_ambient() {
+        let outer = TraceHandle::begin("outer", Some(1));
+        let inner = TraceHandle::begin("inner", Some(2));
+        assert_eq!(current().unwrap().trace_id(), 2);
+        let _ = inner.finish(None);
+        assert_eq!(current().unwrap().trace_id(), 1);
+        let _ = outer.finish(None);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn trace_ids_parse_hex_and_fall_back_to_hash() {
+        assert_eq!(parse_trace_id("00ff"), 0xff);
+        assert_eq!(parse_trace_id("0xCAFE"), 0xcafe);
+        let a = parse_trace_id("not hex at all");
+        let b = parse_trace_id("not hex at all");
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+        assert_ne!(parse_trace_id(""), 0);
+        assert_ne!(parse_trace_id("0"), 0);
+    }
+
+    #[test]
+    fn to_json_is_parseable_and_escapes() {
+        let h = TraceHandle::begin("request", Some(7));
+        record_rel("stage", 100, vec![("msg", FieldValue::from("a\"b\\c\n"))]);
+        let t = h.finish(Some("deadline".into()));
+        let v: serde_json::Value = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(v["trace_id"], "0000000000000007");
+        assert_eq!(v["error"], "deadline");
+        let spans = v["spans"].as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+        let stage = spans.iter().find(|s| s["name"] == "stage").unwrap();
+        assert_eq!(stage["attrs"]["msg"], "a\"b\\c\n");
+    }
+
+    #[test]
+    fn shared_spans_land_on_their_own_track() {
+        let h = TraceHandle::begin("request", None);
+        record_shared("compute", 5_000, Vec::new());
+        let t = h.finish(None);
+        let s = t.spans.iter().find(|s| s.name == "compute").unwrap();
+        assert_eq!(s.thread, SHARED_THREAD);
+    }
+}

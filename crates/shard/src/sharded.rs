@@ -67,12 +67,12 @@ struct SiblingProbe<'a> {
 }
 
 impl HedgeProbe for SiblingProbe<'_> {
-    fn probe(&self, hash: u64, canon: &str) -> Option<Arc<ScenarioResult>> {
+    fn probe(&self, hash: u64, canon: &str) -> Option<(u32, Arc<ScenarioResult>)> {
         self.shards
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != self.home)
-            .find_map(|(_, engine)| engine.peek_cache(hash, canon))
+            .find_map(|(i, engine)| engine.peek_cache(hash, canon).map(|r| (i as u32, r)))
     }
 }
 
@@ -150,7 +150,17 @@ impl ShardedEngine {
     // FailureReport inlines the manifest; see Engine::evaluate_full.
     #[allow(clippy::result_large_err)]
     pub fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+        let t = std::time::Instant::now();
         let (home, _hash) = self.router.route_spec(spec).map_err(FailureReport::from)?;
+        // Traced requests record the routing decision as a span of its
+        // own, directly under the request: the per-shard `shard_eval`
+        // spans that follow hang off the same parent, so the trace
+        // shows route → home shard (→ spill shard).
+        solarstorm_obs::trace::record_rel(
+            "route",
+            t.elapsed().as_nanos() as u64,
+            vec![("home", solarstorm_obs::FieldValue::from(home))],
+        );
         let first = self.eval_on(home, spec);
         match first {
             Err(report)
@@ -164,6 +174,16 @@ impl ShardedEngine {
                     "shard_spill",
                     from = home,
                     to = next
+                );
+                // An instant marker in the trace: the home shard turned
+                // the request away busy and the ring successor takes it.
+                solarstorm_obs::trace::record_rel(
+                    "shard_spill",
+                    0,
+                    vec![
+                        ("from", solarstorm_obs::FieldValue::from(home)),
+                        ("to", solarstorm_obs::FieldValue::from(next)),
+                    ],
                 );
                 self.eval_on(next, spec)
             }
@@ -397,7 +417,10 @@ mod tests {
         let m = sharded.metrics();
         assert_eq!(m.total.requests, 2);
         assert_eq!(m.total.computations, 1);
-        assert_eq!(m.shards[home].computations, 1, "work stays on the home shard");
+        assert_eq!(
+            m.shards[home].computations, 1,
+            "work stays on the home shard"
+        );
         sharded.shutdown();
     }
 
@@ -482,11 +505,11 @@ mod tests {
         assert_eq!(shards.len(), 2);
         assert_eq!(shards[0]["shard"], 0);
         assert_eq!(shards[1]["shard"], 1);
-        assert!(shards[0].get("stages").is_none(), "per-shard stages omitted");
-        let req_sum: u64 = shards
-            .iter()
-            .map(|s| s["requests"].as_u64().unwrap())
-            .sum();
+        assert!(
+            shards[0].get("stages").is_none(),
+            "per-shard stages omitted"
+        );
+        let req_sum: u64 = shards.iter().map(|s| s["requests"].as_u64().unwrap()).sum();
         assert_eq!(req_sum, 2, "per-shard requests sum to the total");
 
         let text = m.to_prometheus();
@@ -503,6 +526,48 @@ mod tests {
             text.contains("# TYPE stormsim_shard_queue_depth gauge"),
             "{text}"
         );
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn traced_hedged_requests_cross_the_shard_boundary_in_one_trace() {
+        let sharded = small(4);
+        let spec = sleep_spec(1, 41);
+        let (home, _) = sharded.router().route_spec(&spec).unwrap();
+        let elsewhere = (home + 1) % sharded.shard_count();
+        // Seed a sibling's cache so the traced front-door request hits
+        // via the hedge, crossing the shard boundary inside one trace.
+        sharded.shard_engines()[elsewhere].evaluate(&spec).unwrap();
+
+        let handle = solarstorm_obs::TraceHandle::begin("request", None);
+        let eval = sharded.evaluate(&spec).unwrap();
+        let done = handle.finish(None);
+        assert!(eval.cached);
+        assert_eq!(eval.manifest.hedge_hit, Some(true));
+
+        // The routing decision is a span directly under the request.
+        let route = done.spans.iter().find(|s| s.name == "route").unwrap();
+        assert_eq!(route.parent, 1);
+        assert!(route.attrs.iter().any(|(k, v)| *k == "home"
+            && matches!(v, solarstorm_obs::FieldValue::U64(n) if *n == home as u64)));
+
+        // The home shard's eval span names shard A...
+        let eval_span = done.spans.iter().find(|s| s.name == "shard_eval").unwrap();
+        assert!(eval_span.attrs.iter().any(|(k, v)| *k == "shard"
+            && matches!(v, solarstorm_obs::FieldValue::U64(n) if *n == home as u64)));
+
+        // ...and its hedge-probe child names shard B as the source.
+        let probe = done.spans.iter().find(|s| s.name == "hedge_probe").unwrap();
+        assert_eq!(
+            probe.parent, eval_span.id,
+            "probe nests under the shard eval"
+        );
+        assert!(probe
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "hit" && matches!(v, solarstorm_obs::FieldValue::Bool(true))));
+        assert!(probe.attrs.iter().any(|(k, v)| *k == "src_shard"
+            && matches!(v, solarstorm_obs::FieldValue::U64(n) if *n == elsewhere as u64)));
         sharded.shutdown();
     }
 
