@@ -34,6 +34,7 @@ fn prepare_network(
     spacing_km: f64,
     trials: usize,
     seed: u64,
+    block: bool,
 ) -> Result<Vec<sweep::SweepPoint>, SimError> {
     probabilities()
         .into_iter()
@@ -48,7 +49,11 @@ fn prepare_network(
                 seed: seed ^ (p.to_bits().rotate_left(17)),
                 ..Default::default()
             };
-            sweep::prepare(net, &model, &cfg)
+            if block {
+                sweep::prepare_bitpar(net, &model, &cfg)
+            } else {
+                sweep::prepare(net, &model, &cfg)
+            }
         })
         .collect()
 }
@@ -77,7 +82,8 @@ fn prepare_network_axis(
 
 /// Runs the uniform-failure sweep for one network under the chosen
 /// kernel: the CRN axis kernel evaluates all ten points per trial;
-/// per-point runs the ten points concurrently on the shared pool.
+/// per-point and bitpar64 run the ten points concurrently on the shared
+/// pool (bitpar64 packing 64 trials per lane word within each point).
 pub fn sweep_network_with(
     net: &Network,
     spacing_km: f64,
@@ -86,7 +92,10 @@ pub fn sweep_network_with(
     kernel: Kernel,
 ) -> Result<SweepResult, SimError> {
     let stats = match kernel {
-        Kernel::PerPoint => sweep::run_stats(prepare_network(net, spacing_km, trials, seed)?),
+        Kernel::PerPoint | Kernel::Bitpar64 => {
+            let block = kernel == Kernel::Bitpar64;
+            sweep::run_stats(prepare_network(net, spacing_km, trials, seed, block)?)
+        }
         Kernel::CrnAxis => sweep::run_axis(prepare_network_axis(net, spacing_km, trials, seed)?),
     };
     Ok(SweepResult {
@@ -117,10 +126,11 @@ pub fn sweep_all_with(
 ) -> Result<Vec<SweepResult>, SimError> {
     let nets = [&data.submarine, &data.intertubes, &data.itu];
     let per_net: Vec<Vec<TrialStats>> = match kernel {
-        Kernel::PerPoint => {
+        Kernel::PerPoint | Kernel::Bitpar64 => {
+            let block = kernel == Kernel::Bitpar64;
             let mut points = Vec::new();
             for net in nets {
-                points.extend(prepare_network(net, spacing_km, trials, seed)?);
+                points.extend(prepare_network(net, spacing_km, trials, seed, block)?);
             }
             let mut stats = sweep::run_stats(points).into_iter();
             nets.iter()
@@ -279,6 +289,21 @@ mod tests {
             let first = r.points[0].1.mean_cables_failed_pct;
             let last = r.points.last().unwrap().1.mean_cables_failed_pct;
             assert!(last >= first, "{}: {first}% → {last}%", r.network);
+        }
+    }
+
+    #[test]
+    fn bitpar_kernel_sweeps_the_same_grid() {
+        let data = Datasets::small_cached();
+        let results = sweep_all_with(&data, 150.0, 70, 7, Kernel::Bitpar64).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.points.len(), probabilities().len());
+            let first = r.points[0].1.mean_cables_failed_pct;
+            let last = r.points.last().unwrap().1.mean_cables_failed_pct;
+            assert!(last >= first, "{}: {first}% → {last}%", r.network);
+            // p = 1 kills every repeatered cable regardless of kernel.
+            assert!(last > 0.0, "{}: p=1 point must fail cables", r.network);
         }
     }
 

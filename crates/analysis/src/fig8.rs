@@ -39,7 +39,8 @@ pub fn reproduce_points_with(
 ) -> Result<Vec<Fig8Point>, SimError> {
     let nets: [&Network; 2] = [&data.submarine, &data.intertubes];
     match kernel {
-        Kernel::PerPoint => {
+        Kernel::PerPoint | Kernel::Bitpar64 => {
+            let block = kernel == Kernel::Bitpar64;
             let states: [(&'static str, LatitudeBandFailure); 2] = [
                 ("S1", LatitudeBandFailure::s1()),
                 ("S2", LatitudeBandFailure::s2()),
@@ -58,7 +59,11 @@ pub fn reproduce_points_with(
                             ..Default::default()
                         };
                         labels.push((*state, spacing, net.kind().label()));
-                        points.push(sweep::prepare(net, model, &cfg)?);
+                        points.push(if block {
+                            sweep::prepare_bitpar(net, model, &cfg)?
+                        } else {
+                            sweep::prepare(net, model, &cfg)?
+                        });
                     }
                 }
             }
@@ -232,14 +237,20 @@ mod tests {
         let data = Datasets::small_cached();
         let per_point = reproduce_points_with(&data, 3, 11, Kernel::PerPoint).unwrap();
         let crn = reproduce_points(&data, 3, 11).unwrap();
+        let bitpar = reproduce_points_with(&data, 3, 11, Kernel::Bitpar64).unwrap();
         assert_eq!(per_point.len(), 12);
         assert_eq!(crn.len(), 12);
+        assert_eq!(bitpar.len(), 12);
         // Same (state, spacing, network) labels in the same order,
         // whichever kernel produced the stats.
-        for (a, b) in per_point.iter().zip(&crn) {
+        for ((a, b), c) in per_point.iter().zip(&crn).zip(&bitpar) {
             assert_eq!(
                 (a.state, a.spacing_km, a.network),
                 (b.state, b.spacing_km, b.network)
+            );
+            assert_eq!(
+                (a.state, a.spacing_km, a.network),
+                (c.state, c.spacing_km, c.network)
             );
         }
     }

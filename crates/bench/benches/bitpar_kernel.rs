@@ -1,0 +1,46 @@
+//! Kernel comparison: scalar per-trial Monte Carlo vs the bit-parallel
+//! block kernel (`bitpar64`) at equal trial counts on the headline
+//! Fig. 6 point (uniform p = 0.01, 150 km spacing, submarine network).
+//!
+//! Both targets evaluate the identical workload — same network, model,
+//! spacing, and trial count — so the timing ratio is the bit-parallel
+//! kernel's speedup. The kernels draw different RNG streams (equivalent
+//! in distribution, not bit-identical), which is exactly the trade the
+//! `bitpar64` kernel makes for packing 64 trials per `u64` lane word.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::sim::monte_carlo::{run, run_bitpar, MonteCarloConfig};
+use solarstorm::UniformFailure;
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = study().datasets();
+    let model = UniformFailure::new(0.01).expect("probability");
+    let mut group = c.benchmark_group("bitpar_kernel");
+    for trials in [256usize, 2048] {
+        let cfg = MonteCarloConfig {
+            spacing_km: 150.0,
+            trials,
+            seed: 42,
+            ..Default::default()
+        };
+        group.bench_function(format!("scalar/{trials}"), |b| {
+            b.iter(|| black_box(run(&data.submarine, &model, &cfg).expect("trials")))
+        });
+        group.bench_function(format!("bitpar64/{trials}"), |b| {
+            b.iter(|| black_box(run_bitpar(&data.submarine, &model, &cfg).expect("trials")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

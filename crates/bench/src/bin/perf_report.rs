@@ -1,6 +1,7 @@
 //! Machine-readable Monte Carlo performance report.
 //!
-//! Writes `BENCH_monte_carlo.json` with kernel throughput (trials/sec),
+//! Writes `BENCH_monte_carlo.json` with per-kernel throughput
+//! (trials/sec for the `scalar`, `crn_axis`, and `bitpar64` kernels),
 //! per-figure sweep wall time, and a per-point vs CRN-axis kernel
 //! comparison on the full Fig. 6 sweep, so CI and the README can track
 //! the simulation engine's performance over time.
@@ -13,11 +14,19 @@
 //! cargo run --release -p solarstorm-bench --bin perf_report -- \
 //!     --quick --guard BENCH_monte_carlo.json   # fail if >20% slower than baseline
 //! ```
+//!
+//! The `--guard` comparison is like-for-like: each kernel section in the
+//! current report is compared only against the same kernel's section in
+//! the baseline, and baseline sections that are absent or unmeasured
+//! (`trials_per_sec` ≤ 0) are skipped. A legacy baseline (single
+//! `"kernel"` block from before the per-kernel format) guards the
+//! `scalar` section.
 
 use solarstorm::analysis::{fig6, fig7, fig8, Datasets};
-use solarstorm::sim::monte_carlo::{run, MonteCarloConfig};
+use solarstorm::gic::SingleModelAxis;
+use solarstorm::sim::monte_carlo::{run, run_bitpar, MonteCarloConfig};
 use solarstorm::sim::pool::WorkerPool;
-use solarstorm::sim::Kernel;
+use solarstorm::sim::{sweep, Kernel};
 use solarstorm::UniformFailure;
 use std::time::Instant;
 
@@ -25,12 +34,21 @@ use std::time::Instant;
 /// report exits non-zero (CI noise tolerance).
 const GUARD_TOLERANCE: f64 = 0.8;
 
+/// Throughput of one Monte Carlo kernel on the headline workload.
+struct KernelSection {
+    /// Stable section name: `scalar`, `crn_axis`, or `bitpar64`.
+    name: &'static str,
+    trials: usize,
+    wall_ms: f64,
+    trials_per_sec: f64,
+    /// Only on `bitpar64`: throughput ratio against `scalar`.
+    speedup_vs_scalar: Option<f64>,
+}
+
 struct Report {
     mode: &'static str,
     threads: usize,
-    kernel_trials: usize,
-    kernel_wall_ms: f64,
-    kernel_trials_per_sec: f64,
+    kernels: Vec<KernelSection>,
     fig6_wall_ms: f64,
     fig7_wall_ms: f64,
     fig8_wall_ms: f64,
@@ -43,45 +61,59 @@ struct Report {
 
 impl Report {
     fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\n",
-                "  \"benchmark\": \"monte_carlo\",\n",
-                "  \"mode\": \"{mode}\",\n",
-                "  \"threads\": {threads},\n",
-                "  \"kernel\": {{\n",
-                "    \"trials\": {ktrials},\n",
-                "    \"wall_ms\": {kms:.3},\n",
-                "    \"trials_per_sec\": {ktps:.1}\n",
-                "  }},\n",
-                "  \"sweeps\": {{\n",
-                "    \"trials_per_point\": {stp},\n",
-                "    \"fig6_wall_ms\": {f6:.3},\n",
-                "    \"fig7_wall_ms\": {f7:.3},\n",
-                "    \"fig8_wall_ms\": {f8:.3}\n",
-                "  }},\n",
-                "  \"axis\": {{\n",
-                "    \"trials\": {atrials},\n",
-                "    \"per_point_wall_ms\": {app:.3},\n",
-                "    \"crn_axis_wall_ms\": {acrn:.3},\n",
-                "    \"speedup\": {aspd:.2}\n",
-                "  }}\n",
-                "}}\n",
-            ),
-            mode = self.mode,
-            threads = self.threads,
-            ktrials = self.kernel_trials,
-            kms = self.kernel_wall_ms,
-            ktps = self.kernel_trials_per_sec,
-            stp = self.sweep_trials_per_point,
-            f6 = self.fig6_wall_ms,
-            f7 = self.fig7_wall_ms,
-            f8 = self.fig8_wall_ms,
-            atrials = self.axis_trials,
-            app = self.axis_per_point_wall_ms,
-            acrn = self.axis_crn_wall_ms,
-            aspd = self.axis_speedup,
-        )
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"monte_carlo\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"kernels\": {\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", k.name));
+            out.push_str(&format!("      \"trials\": {},\n", k.trials));
+            out.push_str(&format!("      \"wall_ms\": {:.3},\n", k.wall_ms));
+            match k.speedup_vs_scalar {
+                Some(s) => {
+                    out.push_str(&format!(
+                        "      \"trials_per_sec\": {:.1},\n",
+                        k.trials_per_sec
+                    ));
+                    out.push_str(&format!("      \"speedup_vs_scalar\": {s:.2}\n"));
+                }
+                None => out.push_str(&format!(
+                    "      \"trials_per_sec\": {:.1}\n",
+                    k.trials_per_sec
+                )),
+            }
+            out.push_str(if i + 1 < self.kernels.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"sweeps\": {\n");
+        out.push_str(&format!(
+            "    \"trials_per_point\": {},\n",
+            self.sweep_trials_per_point
+        ));
+        out.push_str(&format!("    \"fig6_wall_ms\": {:.3},\n", self.fig6_wall_ms));
+        out.push_str(&format!("    \"fig7_wall_ms\": {:.3},\n", self.fig7_wall_ms));
+        out.push_str(&format!("    \"fig8_wall_ms\": {:.3}\n", self.fig8_wall_ms));
+        out.push_str("  },\n");
+        out.push_str("  \"axis\": {\n");
+        out.push_str(&format!("    \"trials\": {},\n", self.axis_trials));
+        out.push_str(&format!(
+            "    \"per_point_wall_ms\": {:.3},\n",
+            self.axis_per_point_wall_ms
+        ));
+        out.push_str(&format!(
+            "    \"crn_axis_wall_ms\": {:.3},\n",
+            self.axis_crn_wall_ms
+        ));
+        out.push_str(&format!("    \"speedup\": {:.2}\n", self.axis_speedup));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -98,25 +130,58 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Compares this run's kernel throughput against a committed baseline
-/// report; a drop past [`GUARD_TOLERANCE`] is a regression.
+/// The baseline's `trials_per_sec` for one named kernel section, if that
+/// section exists. The section name appears exactly once in our report
+/// format, so "first `trials_per_sec` after the section key" is correct.
+fn section_tps(text: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = text.find(&needle)? + needle.len();
+    json_number(&text[at..], "trials_per_sec")
+}
+
+/// Compares this run's kernel throughputs against a committed baseline
+/// report, like-for-like per kernel section; a drop past
+/// [`GUARD_TOLERANCE`] on any measured section is a regression.
 fn guard(report: &Report, baseline_path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("guard: cannot read {baseline_path}: {e}"))?;
-    let baseline_tps = json_number(&text, "trials_per_sec")
-        .ok_or_else(|| format!("guard: no trials_per_sec in {baseline_path}"))?;
-    let floor = baseline_tps * GUARD_TOLERANCE;
-    if report.kernel_trials_per_sec < floor {
-        return Err(format!(
-            "guard: kernel throughput regressed: {:.1} trials/sec < {floor:.1} \
-             ({GUARD_TOLERANCE}x of baseline {baseline_tps:.1})",
-            report.kernel_trials_per_sec
+    let legacy = !text.contains("\"kernels\"");
+    let mut checked = Vec::new();
+    for k in &report.kernels {
+        let baseline_tps = if legacy {
+            // Pre-per-kernel baselines had one scalar "kernel" block.
+            if k.name != "scalar" {
+                continue;
+            }
+            json_number(&text, "trials_per_sec")
+        } else {
+            section_tps(&text, k.name)
+        };
+        let Some(baseline_tps) = baseline_tps else {
+            continue; // section not in the baseline yet
+        };
+        if baseline_tps <= 0.0 {
+            continue; // unmeasured placeholder in the baseline
+        }
+        let floor = baseline_tps * GUARD_TOLERANCE;
+        if k.trials_per_sec < floor {
+            return Err(format!(
+                "guard: {} throughput regressed: {:.1} trials/sec < {floor:.1} \
+                 ({GUARD_TOLERANCE}x of baseline {baseline_tps:.1})",
+                k.name, k.trials_per_sec
+            ));
+        }
+        checked.push(format!(
+            "{} {:.1} vs baseline {baseline_tps:.1}",
+            k.name, k.trials_per_sec
         ));
     }
-    Ok(format!(
-        "guard: ok — {:.1} trials/sec vs baseline {baseline_tps:.1} (floor {floor:.1})",
-        report.kernel_trials_per_sec
-    ))
+    if checked.is_empty() {
+        return Err(format!(
+            "guard: no comparable kernel sections in {baseline_path}"
+        ));
+    }
+    Ok(format!("guard: ok — {}", checked.join("; ")))
 }
 
 fn ms(start: Instant) -> f64 {
@@ -146,7 +211,9 @@ fn main() {
     eprintln!("perf_report: mode={mode}, building report…");
 
     // Kernel throughput: the fig6 headline point (p=0.01, 150 km) on the
-    // submarine network, scaled up to a measurable trial count.
+    // submarine network, scaled up to a measurable trial count. The
+    // bit-parallel kernel evaluates 64 trials per lane word, so it gets
+    // 64x the trial budget for a comparable wall time.
     let model = UniformFailure::new(0.01).expect("probability");
     let cfg = MonteCarloConfig {
         spacing_km: 150.0,
@@ -158,7 +225,26 @@ fn main() {
     run(&data.submarine, &model, &cfg).expect("warm-up trials");
     let t = Instant::now();
     run(&data.submarine, &model, &cfg).expect("timed trials");
-    let kernel_wall_ms = ms(t);
+    let scalar_wall_ms = ms(t);
+    let scalar_tps = kernel_trials as f64 / (scalar_wall_ms / 1_000.0);
+
+    let axis = SingleModelAxis::new(&model);
+    sweep::run_axis(sweep::prepare_axis(&data.submarine, &axis, &cfg).expect("axis prepare"));
+    let t = Instant::now();
+    sweep::run_axis(sweep::prepare_axis(&data.submarine, &axis, &cfg).expect("axis prepare"));
+    let crn_wall_ms = ms(t);
+    let crn_tps = kernel_trials as f64 / (crn_wall_ms / 1_000.0);
+
+    let bitpar_trials = kernel_trials * 64;
+    let bitpar_cfg = MonteCarloConfig {
+        trials: bitpar_trials,
+        ..cfg
+    };
+    run_bitpar(&data.submarine, &model, &bitpar_cfg).expect("bitpar warm-up");
+    let t = Instant::now();
+    run_bitpar(&data.submarine, &model, &bitpar_cfg).expect("bitpar trials");
+    let bitpar_wall_ms = ms(t);
+    let bitpar_tps = bitpar_trials as f64 / (bitpar_wall_ms / 1_000.0);
 
     let t = Instant::now();
     fig6::sweep_all(data, 150.0, sweep_trials, 42).expect("fig6 sweep");
@@ -191,9 +277,29 @@ fn main() {
     let report = Report {
         mode,
         threads: WorkerPool::global().workers(),
-        kernel_trials,
-        kernel_wall_ms,
-        kernel_trials_per_sec: kernel_trials as f64 / (kernel_wall_ms / 1_000.0),
+        kernels: vec![
+            KernelSection {
+                name: "scalar",
+                trials: kernel_trials,
+                wall_ms: scalar_wall_ms,
+                trials_per_sec: scalar_tps,
+                speedup_vs_scalar: None,
+            },
+            KernelSection {
+                name: "crn_axis",
+                trials: kernel_trials,
+                wall_ms: crn_wall_ms,
+                trials_per_sec: crn_tps,
+                speedup_vs_scalar: None,
+            },
+            KernelSection {
+                name: "bitpar64",
+                trials: bitpar_trials,
+                wall_ms: bitpar_wall_ms,
+                trials_per_sec: bitpar_tps,
+                speedup_vs_scalar: Some(bitpar_tps / scalar_tps.max(1e-9)),
+            },
+        ],
         fig6_wall_ms,
         fig7_wall_ms,
         fig8_wall_ms,

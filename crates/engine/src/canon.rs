@@ -101,11 +101,14 @@ mod tests {
 
     #[test]
     fn omitted_defaults_hash_like_explicit_defaults() {
+        // `kernel` is omitted in both: unset it stays off the wire (the
+        // engine resolves it per analysis), so spelling it out would be
+        // a different — explicitly pinned — scenario.
         let implicit: ScenarioSpec = serde_json::from_str("{}").unwrap();
         let explicit: ScenarioSpec = serde_json::from_str(
             r#"{"scale":"test","network":"submarine","model":{"kind":"s2"},
                 "mc":{"spacing_km":150.0,"trials":10,"seed":42,"max_threads":8},
-                "analysis":{"kind":"stats"},"kernel":"crn_axis"}"#,
+                "analysis":{"kind":"stats"}}"#,
         )
         .unwrap();
         assert_eq!(
@@ -116,16 +119,26 @@ mod tests {
 
     #[test]
     fn kernel_variants_address_different_cache_entries() {
-        // Two otherwise-identical specs under different kernels draw
+        // Otherwise-identical specs under different kernels draw
         // different RNG streams, so they must hash to different content
-        // addresses.
+        // addresses — and all differ from the unset-kernel spec, which
+        // keeps its legacy canonical form.
+        let unset: ScenarioSpec = serde_json::from_str("{}").unwrap();
         let crn: ScenarioSpec = serde_json::from_str(r#"{"kernel":"crn_axis"}"#).unwrap();
         let per_point: ScenarioSpec = serde_json::from_str(r#"{"kernel":"per_point"}"#).unwrap();
+        let bitpar: ScenarioSpec = serde_json::from_str(r#"{"kernel":"bitpar64"}"#).unwrap();
         let (canon_a, hash_a) = content_hash(&crn).unwrap();
         let (canon_b, hash_b) = content_hash(&per_point).unwrap();
+        let (canon_c, hash_c) = content_hash(&bitpar).unwrap();
+        let (canon_u, hash_u) = content_hash(&unset).unwrap();
         assert_ne!(hash_a, hash_b);
+        assert_ne!(hash_a, hash_c);
+        assert_ne!(hash_b, hash_c);
+        assert!(![hash_a, hash_b, hash_c].contains(&hash_u));
         assert!(canon_a.contains(r#""kernel":"crn_axis""#), "{canon_a}");
         assert!(canon_b.contains(r#""kernel":"per_point""#), "{canon_b}");
+        assert!(canon_c.contains(r#""kernel":"bitpar64""#), "{canon_c}");
+        assert!(!canon_u.contains("kernel"), "{canon_u}");
     }
 
     #[test]

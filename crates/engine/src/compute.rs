@@ -12,7 +12,10 @@ use solarstorm_gic::{
     LatitudeBandFailure, PhysicsFailure, SingleModelAxis, UniformAxis, UniformFailure,
 };
 use solarstorm_sim::cancel::CancelToken;
-use solarstorm_sim::monte_carlo::{run_outcomes_with_cancel, run_with_cancel};
+use solarstorm_sim::monte_carlo::{
+    run_bitpar_with_cancel, run_outcomes_bitpar_with_cancel, run_outcomes_with_cancel,
+    run_with_cancel,
+};
 use solarstorm_sim::{sweep, Kernel};
 use solarstorm_topology::Network;
 
@@ -156,9 +159,12 @@ pub(crate) fn evaluate(
         AnalysisRequest::Stats => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
-            let stats = match spec.kernel {
+            let stats = match spec.effective_kernel() {
                 Kernel::PerPoint => {
                     with_model!(spec, |m| run_with_cancel(net, &m, &spec.mc, cancel))?
+                }
+                Kernel::Bitpar64 => {
+                    with_model!(spec, |m| run_bitpar_with_cancel(net, &m, &spec.mc, cancel))?
                 }
                 Kernel::CrnAxis => with_model!(spec, |m| {
                     let axis = SingleModelAxis::new(&m);
@@ -176,14 +182,16 @@ pub(crate) fn evaluate(
         AnalysisRequest::SweepAxis { points } => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
-            let stats = match spec.kernel {
+            let stats = match spec.effective_kernel() {
                 Kernel::CrnAxis => {
                     let axis = UniformAxis::new(points.clone())?;
                     sweep::run_axis_with_cancel(sweep::prepare_axis(net, &axis, &spec.mc)?, cancel)?
                 }
-                Kernel::PerPoint => {
+                kernel => {
                     // Independent per-point streams: salt the seed per
                     // probability, matching the Fig. 6 sweep protocol.
+                    // `bitpar64` shares the grid layout but evaluates each
+                    // point through the bit-parallel block kernel.
                     let prepared = points
                         .iter()
                         .map(|p| {
@@ -192,7 +200,11 @@ pub(crate) fn evaluate(
                                 seed: spec.mc.seed ^ (p.to_bits().rotate_left(17)),
                                 ..spec.mc
                             };
-                            Ok(sweep::prepare(net, &model, &cfg)?)
+                            Ok(if kernel == Kernel::Bitpar64 {
+                                sweep::prepare_bitpar(net, &model, &cfg)?
+                            } else {
+                                sweep::prepare(net, &model, &cfg)?
+                            })
                         })
                         .collect::<Result<Vec<_>, EngineError>>()?;
                     sweep::run_stats_with_cancel(prepared, cancel)?
@@ -209,9 +221,17 @@ pub(crate) fn evaluate(
         AnalysisRequest::Outcomes => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
-            let outcomes = with_model!(spec, |m| run_outcomes_with_cancel(
-                net, &m, &spec.mc, cancel
-            ))?;
+            // Per-trial outcomes stay on the reference scalar stream
+            // unless the bit-parallel kernel is requested explicitly.
+            let outcomes = if spec.effective_kernel() == Kernel::Bitpar64 {
+                with_model!(spec, |m| run_outcomes_bitpar_with_cancel(
+                    net, &m, &spec.mc, cancel
+                ))?
+            } else {
+                with_model!(spec, |m| run_outcomes_with_cancel(
+                    net, &m, &spec.mc, cancel
+                ))?
+            };
             Ok(ScenarioResult::Outcomes {
                 outcomes: outcomes
                     .iter()
@@ -225,7 +245,7 @@ pub(crate) fn evaluate(
             // Registry experiments run uninstrumented pipelines, so the
             // token is checked only at the boundary: before (above) and
             // after, discarding a too-late report.
-            let text = experiments::run_experiment(data, &spec.mc, spec.kernel, id)?;
+            let text = experiments::run_experiment(data, &spec.mc, spec.effective_kernel(), id)?;
             if cancel.is_cancelled() {
                 return Err(EngineError::DeadlineExceeded { stage: "compute" });
             }
@@ -317,10 +337,10 @@ mod tests {
                 trials: 3,
                 ..Default::default()
             },
-            kernel,
+            kernel: Some(kernel),
             ..Default::default()
         };
-        for kernel in [Kernel::CrnAxis, Kernel::PerPoint] {
+        for kernel in [Kernel::CrnAxis, Kernel::PerPoint, Kernel::Bitpar64] {
             match evaluate(&mk(kernel), &CancelToken::none()).unwrap() {
                 ScenarioResult::Sweep { points } => {
                     assert_eq!(points.len(), 3, "{kernel:?}");
@@ -339,6 +359,35 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(validate(&bad).unwrap_err().code(), "invalid_spec");
+    }
+
+    #[test]
+    fn default_stats_run_under_the_bitpar_kernel() {
+        let spec = ScenarioSpec {
+            mc: solarstorm_sim::MonteCarloConfig {
+                trials: 70, // tail block exercises the partial lane mask
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(spec.effective_kernel(), Kernel::Bitpar64);
+        match evaluate(&spec, &CancelToken::none()).unwrap() {
+            ScenarioResult::Stats { stats } => {
+                assert!(stats.mean_cables_failed_pct >= 0.0);
+                assert!(stats.mean_cables_failed_pct <= 100.0);
+            }
+            other => panic!("expected stats result, got {other:?}"),
+        }
+        // Explicit bitpar64 outcomes aggregate to the same statistics.
+        let outcomes_spec = ScenarioSpec {
+            analysis: AnalysisRequest::Outcomes,
+            kernel: Some(Kernel::Bitpar64),
+            ..spec.clone()
+        };
+        match evaluate(&outcomes_spec, &CancelToken::none()).unwrap() {
+            ScenarioResult::Outcomes { outcomes } => assert_eq!(outcomes.len(), 70),
+            other => panic!("expected outcomes result, got {other:?}"),
+        }
     }
 
     #[test]

@@ -309,15 +309,18 @@ mod tests {
             trials: 2,
             ..Default::default()
         };
-        // E5 is the Fig. 6 sweep; both kernels must render the same
+        // E5 is the Fig. 6 sweep; every kernel must render the same
         // figure shape (same header and row count).
         let crn = run_experiment(data, &mc, Kernel::CrnAxis, "E5").unwrap();
         let per_point = run_experiment(data, &mc, Kernel::PerPoint, "E5").unwrap();
+        let bitpar = run_experiment(data, &mc, Kernel::Bitpar64, "E5").unwrap();
         assert_eq!(
             crn.lines().count(),
             per_point.lines().count(),
             "kernel changes the sample, not the figure shape"
         );
+        assert_eq!(crn.lines().count(), bitpar.lines().count());
         assert_eq!(crn.lines().next(), per_point.lines().next());
+        assert_eq!(crn.lines().next(), bitpar.lines().next());
     }
 }

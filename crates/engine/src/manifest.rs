@@ -35,9 +35,10 @@ pub struct RunManifest {
     pub network: NetworkSel,
     /// Number of Monte Carlo trials requested.
     pub trials: usize,
-    /// Monte Carlo kernel the scenario ran under (`per_point` or
-    /// `crn_axis`); the two draw different RNG streams, so results are
-    /// only comparable within one kernel.
+    /// Monte Carlo kernel the scenario ran under (`per_point`,
+    /// `crn_axis`, or `bitpar64`) — the *resolved* kernel, even when the
+    /// spec left the choice to the engine. The kernels draw different
+    /// RNG streams, so results are only comparable within one kernel.
     pub kernel: String,
     /// Version of `solarstorm-engine` that produced the result.
     pub engine_version: String,
@@ -81,7 +82,7 @@ impl RunManifest {
             scale: spec.scale,
             network: spec.network,
             trials: spec.mc.trials,
-            kernel: spec.kernel.name().to_string(),
+            kernel: spec.effective_kernel().name().to_string(),
             engine_version: env!("CARGO_PKG_VERSION").to_string(),
             cancelled_at_stage: None,
             shard: None,
@@ -147,15 +148,23 @@ mod tests {
 
     #[test]
     fn manifests_name_the_kernel() {
-        let crn = ScenarioSpec::default();
+        // The manifest records the *resolved* kernel: a default (Stats)
+        // spec leaves the choice to the engine, which picks bitpar64.
+        let default_stats = ScenarioSpec::default();
         let per_point = ScenarioSpec {
-            kernel: solarstorm_sim::Kernel::PerPoint,
+            kernel: Some(solarstorm_sim::Kernel::PerPoint),
             ..Default::default()
         };
-        let a = RunManifest::new(&crn, 0x1);
+        let crn = ScenarioSpec {
+            kernel: Some(solarstorm_sim::Kernel::CrnAxis),
+            ..Default::default()
+        };
+        let a = RunManifest::new(&default_stats, 0x1);
         let b = RunManifest::new(&per_point, 0x1);
-        assert_eq!(a.kernel, "crn_axis");
+        let c = RunManifest::new(&crn, 0x1);
+        assert_eq!(a.kernel, "bitpar64");
         assert_eq!(b.kernel, "per_point");
+        assert_eq!(c.kernel, "crn_axis");
         assert!(!a.same_identity(&b), "kernel is part of run identity");
     }
 

@@ -125,11 +125,14 @@ pub struct ScenarioSpec {
     #[serde(default)]
     pub analysis: AnalysisRequest,
     /// Which Monte Carlo kernel evaluates sweeps and stats: the
-    /// common-random-numbers axis kernel (default) or the historical
-    /// per-point kernel. The two draw different RNG streams, so the
-    /// kernel is part of the scenario's cache identity.
-    #[serde(default)]
-    pub kernel: Kernel,
+    /// bit-parallel block kernel (`bitpar64`), the common-random-numbers
+    /// axis kernel (`crn_axis`), or the historical per-point kernel
+    /// (`per_point`). The kernels draw different RNG streams, so the
+    /// resolved kernel is part of the scenario's cache identity. Unset,
+    /// the engine picks per analysis (see
+    /// [`ScenarioSpec::effective_kernel`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kernel: Option<Kernel>,
     /// Optional per-request deadline, in milliseconds from admission
     /// (queue wait counts against it). A run still going when it
     /// expires is cancelled cooperatively and answered with a
@@ -159,6 +162,28 @@ pub struct ScenarioSpec {
 /// untraced requests.
 fn is_false(b: &bool) -> bool {
     !*b
+}
+
+impl ScenarioSpec {
+    /// The kernel this scenario actually runs under. An explicit choice
+    /// wins; otherwise the engine picks per analysis: plain `Stats`
+    /// defaults to the bit-parallel `bitpar64` kernel (statistically
+    /// equivalent, ~an order of magnitude faster), `Outcomes` defaults
+    /// to the reference `per_point` stream (per-trial results are the
+    /// product, so stay bit-compatible with historical outputs), and
+    /// everything else — sweeps and experiments, where cross-point
+    /// contrasts matter — defaults to the common-random-numbers
+    /// `crn_axis` kernel.
+    pub fn effective_kernel(&self) -> Kernel {
+        if let Some(kernel) = self.kernel {
+            return kernel;
+        }
+        match self.analysis {
+            AnalysisRequest::Stats => Kernel::Bitpar64,
+            AnalysisRequest::Outcomes => Kernel::PerPoint,
+            _ => Kernel::CrnAxis,
+        }
+    }
 }
 
 /// Per-trial summary returned by [`AnalysisRequest::Outcomes`]: the two
@@ -243,7 +268,33 @@ mod tests {
         assert_eq!(spec.model, FailureSpec::S2);
         assert_eq!(spec.analysis, AnalysisRequest::Stats);
         assert_eq!(spec.mc, MonteCarloConfig::default());
-        assert_eq!(spec.kernel, Kernel::CrnAxis);
+        assert_eq!(spec.kernel, None);
+        // Default Stats analysis resolves to the bit-parallel kernel.
+        assert_eq!(spec.effective_kernel(), Kernel::Bitpar64);
+    }
+
+    #[test]
+    fn effective_kernel_resolves_per_analysis() {
+        let mut spec = ScenarioSpec::default();
+        assert_eq!(spec.effective_kernel(), Kernel::Bitpar64);
+        spec.analysis = AnalysisRequest::Outcomes;
+        assert_eq!(spec.effective_kernel(), Kernel::PerPoint);
+        spec.analysis = AnalysisRequest::SweepAxis {
+            points: vec![0.1, 0.5],
+        };
+        assert_eq!(spec.effective_kernel(), Kernel::CrnAxis);
+        // An explicit kernel always wins.
+        spec.kernel = Some(Kernel::Bitpar64);
+        assert_eq!(spec.effective_kernel(), Kernel::Bitpar64);
+        spec.analysis = AnalysisRequest::Stats;
+        spec.kernel = Some(Kernel::PerPoint);
+        assert_eq!(spec.effective_kernel(), Kernel::PerPoint);
+        // An unset kernel stays off the wire.
+        let bare = serde_json::to_string(&ScenarioSpec::default()).unwrap();
+        assert!(
+            !bare.contains("kernel"),
+            "an unset kernel must not appear in serialized specs: {bare}"
+        );
     }
 
     #[test]
@@ -252,7 +303,8 @@ mod tests {
             r#"{"kernel":"per_point","analysis":{"kind":"sweep_axis","points":[0.01,0.1,1.0]}}"#,
         )
         .unwrap();
-        assert_eq!(spec.kernel, Kernel::PerPoint);
+        assert_eq!(spec.kernel, Some(Kernel::PerPoint));
+        assert_eq!(spec.effective_kernel(), Kernel::PerPoint);
         assert_eq!(
             spec.analysis,
             AnalysisRequest::SweepAxis {
@@ -261,6 +313,8 @@ mod tests {
         );
         let back = serde_json::to_string(&spec.kernel).unwrap();
         assert_eq!(back, r#""per_point""#);
+        let bitpar: ScenarioSpec = serde_json::from_str(r#"{"kernel":"bitpar64"}"#).unwrap();
+        assert_eq!(bitpar.kernel, Some(Kernel::Bitpar64));
     }
 
     #[test]

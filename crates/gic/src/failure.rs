@@ -153,6 +153,114 @@ impl CableFailureProbabilities {
     pub fn sample_cable_failure<R: Rng + ?Sized>(&self, cable: usize, rng: &mut R) -> bool {
         !rng.random_bool(self.survival[cable].clamp(0.0, 1.0))
     }
+
+    /// The per-cable failure probabilities as 64-lane sampling
+    /// thresholds, one per cable, for the bit-parallel kernel.
+    pub fn lane_thresholds(&self) -> Vec<LaneThreshold> {
+        self.survival
+            .iter()
+            .map(|s| LaneThreshold::from_failure_probability(1.0 - s))
+            .collect()
+    }
+}
+
+/// A cable-failure probability compiled to an exact fixed-point
+/// threshold for drawing 64 Bernoulli outcomes at once.
+///
+/// [`LaneThreshold::sample_lanes`] returns one `u64` whose bit `l` is
+/// the outcome of lane (trial) `l`: each lane conceptually compares an
+/// independent 64-bit uniform integer `u` against the threshold `t` and
+/// fails iff `u < t`, so the failure probability is exactly `t / 2^64`.
+/// The comparison runs bit-sliced across all 64 lanes — most-significant
+/// bit first, one random word per bit position — rather than drawing 64
+/// separate uniforms, so a call consumes on the order of seven random
+/// words in expectation instead of 64.
+///
+/// The edge probabilities are exact by construction, not by rounding:
+/// `p <= 0` (and NaN) compile to [`LaneThreshold::Never`] (all-zero
+/// lanes), `p >= 1` to [`LaneThreshold::Always`] (all-one lanes). This
+/// sidesteps the `f64`→`u64` saturating cast that would otherwise make
+/// probabilities near 1.0 indistinguishable from certainty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneThreshold {
+    /// `p <= 0` (or NaN): no lane ever fails.
+    Never,
+    /// `p >= 1`: every lane always fails.
+    Always,
+    /// `0 < p < 1`: a lane fails iff its uniform draw is below this
+    /// fixed-point threshold `t = floor(p * 2^64)`, i.e. with
+    /// probability exactly `t / 2^64`.
+    Below(u64),
+}
+
+impl LaneThreshold {
+    /// Compiles a failure probability to its lane threshold.
+    pub fn from_failure_probability(p: f64) -> LaneThreshold {
+        if !(p > 0.0) {
+            // Catches p <= 0 and NaN alike.
+            return LaneThreshold::Never;
+        }
+        if p >= 1.0 {
+            return LaneThreshold::Always;
+        }
+        // p * 2^64, truncated. The product is exact for every f64 in
+        // (0, 1) — scaling by a power of two only shifts the exponent —
+        // and tops out at 2^64 - 2^11 for p = 1 - 2^-53, so the cast
+        // never saturates. Subnormal p underflows to Below(0) == Never
+        // in effect: such probabilities are below 2^-64 anyway.
+        LaneThreshold::Below((p * 18_446_744_073_709_551_616.0) as u64)
+    }
+
+    /// The exact failure probability this threshold encodes.
+    pub fn failure_fraction(&self) -> f64 {
+        match self {
+            LaneThreshold::Never => 0.0,
+            LaneThreshold::Always => 1.0,
+            LaneThreshold::Below(t) => *t as f64 / 18_446_744_073_709_551_616.0,
+        }
+    }
+
+    /// Draws 64 independent Bernoulli outcomes: bit `l` of the result is
+    /// 1 iff lane `l` fails.
+    ///
+    /// Bit-sliced uniform-vs-threshold comparison, most-significant bit
+    /// first: after processing bit `b`, a lane is *decided dead* when its
+    /// uniform draw is already strictly below the threshold prefix,
+    /// *decided alive* when it is strictly above, and stays undecided on
+    /// a tie. Processing stops early once every lane is decided, or at
+    /// the threshold's lowest set bit (ties there mean `u >= t`: alive).
+    pub fn sample_lanes<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let t = match self {
+            LaneThreshold::Never => return 0,
+            LaneThreshold::Always => return !0,
+            LaneThreshold::Below(t) => *t,
+        };
+        if t == 0 {
+            return 0;
+        }
+        let mut dead = 0u64;
+        let mut undecided = !0u64;
+        // Below the threshold's lowest set bit every remaining tie
+        // resolves alive, so there is nothing left to sample there.
+        let stop = t.trailing_zeros();
+        let mut bit = 63u32;
+        loop {
+            let r = rng.next_u64();
+            if (t >> bit) & 1 == 1 {
+                // Threshold bit 1: lanes drawing 0 here are below the
+                // prefix — dead; lanes drawing 1 remain tied.
+                dead |= undecided & !r;
+                undecided &= r;
+            } else {
+                // Threshold bit 0: lanes drawing 1 are above — alive.
+                undecided &= !r;
+            }
+            if undecided == 0 || bit == stop {
+                return dead;
+            }
+            bit -= 1;
+        }
+    }
 }
 
 /// Uniform per-repeater failure probability — the model behind Figs. 6–7.
@@ -590,5 +698,122 @@ mod tests {
         let hoisted = CableFailureProbabilities::hoist(&m, &[], 150.0);
         assert!(hoisted.is_empty());
         assert_eq!(hoisted.len(), 0);
+    }
+
+    #[test]
+    fn lane_threshold_edges_are_exact() {
+        // p = 0 and p = 1 must compile to the closed-form variants, not
+        // to rounded thresholds: all-zero / all-one lanes exactly.
+        assert_eq!(
+            LaneThreshold::from_failure_probability(0.0),
+            LaneThreshold::Never
+        );
+        assert_eq!(
+            LaneThreshold::from_failure_probability(-0.5),
+            LaneThreshold::Never
+        );
+        assert_eq!(
+            LaneThreshold::from_failure_probability(f64::NAN),
+            LaneThreshold::Never
+        );
+        assert_eq!(
+            LaneThreshold::from_failure_probability(1.0),
+            LaneThreshold::Always
+        );
+        assert_eq!(
+            LaneThreshold::from_failure_probability(1.5),
+            LaneThreshold::Always
+        );
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(LaneThreshold::Never.sample_lanes(&mut rng), 0);
+            assert_eq!(LaneThreshold::Always.sample_lanes(&mut rng), !0u64);
+        }
+    }
+
+    #[test]
+    fn lane_threshold_subnormal_adjacent_values() {
+        // The smallest positive f64 (subnormal) underflows the 2^64
+        // scale: Below(0), which never fires — correct to within 2^-64.
+        let tiny = LaneThreshold::from_failure_probability(5e-324);
+        assert_eq!(tiny, LaneThreshold::Below(0));
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..64 {
+            assert_eq!(tiny.sample_lanes(&mut rng), 0);
+        }
+        // The largest f64 below 1.0 must NOT collapse to Always: the
+        // scaled product stays representable and under 2^64.
+        let near_one = LaneThreshold::from_failure_probability(1.0 - f64::EPSILON / 2.0);
+        assert_eq!(near_one, LaneThreshold::Below(u64::MAX - (1 << 11) + 1));
+        // The smallest normal-scale probabilities round to their exact
+        // fixed-point value: 2^-64 is the first nonzero threshold.
+        assert_eq!(
+            LaneThreshold::from_failure_probability((-64.0f64).exp2()),
+            LaneThreshold::Below(1)
+        );
+        assert_eq!(
+            LaneThreshold::from_failure_probability(0.5),
+            LaneThreshold::Below(1 << 63)
+        );
+    }
+
+    #[test]
+    fn lane_sampling_matches_probability() {
+        // Frequency over many blocks tracks the encoded probability.
+        for (p, seed) in [(0.03, 11u64), (0.5, 12), (0.97, 13)] {
+            let t = LaneThreshold::from_failure_probability(p);
+            assert!((t.failure_fraction() - p).abs() < 1e-12);
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let blocks = 4000;
+            let dead: u32 = (0..blocks).map(|_| t.sample_lanes(&mut rng).count_ones()).sum();
+            let measured = dead as f64 / (64.0 * blocks as f64);
+            assert!(
+                (measured - p).abs() < 0.01,
+                "p {p}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_bits_are_independent_across_lanes() {
+        // Every lane position individually tracks p — no bit-position
+        // bias from the bit-sliced comparison.
+        let t = LaneThreshold::from_failure_probability(0.25);
+        let mut rng = ChaCha12Rng::seed_from_u64(21);
+        let blocks = 8000;
+        let mut per_lane = [0u32; 64];
+        for _ in 0..blocks {
+            let mut w = t.sample_lanes(&mut rng);
+            while w != 0 {
+                per_lane[w.trailing_zeros() as usize] += 1;
+                w &= w - 1;
+            }
+        }
+        for (lane, &hits) in per_lane.iter().enumerate() {
+            let f = hits as f64 / blocks as f64;
+            assert!((f - 0.25).abs() < 0.03, "lane {lane}: frequency {f}");
+        }
+    }
+
+    #[test]
+    fn hoisted_lane_thresholds_cover_every_cable() {
+        let cables = [
+            cable(100.0, 70.0, true), // no repeaters: survives => Never
+            cable(5000.0, 65.0, true),
+            cable(5000.0, 10.0, true),
+        ];
+        let m = LatitudeBandFailure::s1();
+        let hoisted = CableFailureProbabilities::hoist(&m, &cables, 150.0);
+        let lanes = hoisted.lane_thresholds();
+        assert_eq!(lanes.len(), cables.len());
+        assert_eq!(lanes[0], LaneThreshold::Never);
+        // Polar cable under S1 (p = 1 per repeater) dies with certainty.
+        assert_eq!(lanes[1], LaneThreshold::Always);
+        for (i, t) in lanes.iter().enumerate() {
+            assert!(
+                (t.failure_fraction() - hoisted.failure_of(i)).abs() < 1e-12,
+                "cable {i}"
+            );
+        }
     }
 }

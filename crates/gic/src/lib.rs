@@ -41,7 +41,7 @@ pub use damage::DamageCurve;
 pub use electrical::PowerFeedSystem;
 pub use error::GicError;
 pub use failure::{
-    CableFailureProbabilities, CableProfile, FailureModel, LatitudeBandFailure, PhysicsFailure,
-    UniformFailure, S1_PROBS, S2_PROBS,
+    CableFailureProbabilities, CableProfile, FailureModel, LaneThreshold, LatitudeBandFailure,
+    PhysicsFailure, UniformFailure, S1_PROBS, S2_PROBS,
 };
 pub use field::GeoelectricField;

@@ -100,6 +100,9 @@ fn score<M: FailureModel>(
 ) -> Result<f64, SimError> {
     match kernel {
         Kernel::PerPoint => Ok(run(net, model, cfg)?.mean_nodes_unreachable_pct),
+        Kernel::Bitpar64 => {
+            Ok(crate::monte_carlo::run_bitpar(net, model, cfg)?.mean_nodes_unreachable_pct)
+        }
         Kernel::CrnAxis => {
             let axis = SingleModelAxis::new(model);
             let stats = sweep::run_axis(sweep::prepare_axis(net, &axis, cfg)?);
@@ -154,10 +157,16 @@ pub fn greedy_augment_with_kernel<M: FailureModel>(
             candidate_nets.push(trial_net);
         }
         let scores: Vec<f64> = match kernel {
-            Kernel::PerPoint => {
+            Kernel::PerPoint | Kernel::Bitpar64 => {
                 let points = candidate_nets
                     .iter()
-                    .map(|n| sweep::prepare(n, model, cfg))
+                    .map(|n| {
+                        if kernel == Kernel::Bitpar64 {
+                            sweep::prepare_bitpar(n, model, cfg)
+                        } else {
+                            sweep::prepare(n, model, cfg)
+                        }
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 sweep::run_stats(points)
                     .iter()
@@ -306,6 +315,26 @@ mod tests {
         let cands = low_latitude_candidates(&net, 40.0, 500.0, 10_000.0, 1.15, 10);
         let steps =
             greedy_augment_with_kernel(&net, &model, &cfg, &cands, 1, Kernel::PerPoint).unwrap();
+        assert_eq!(steps.len(), 1);
+        assert!(
+            steps[0].after_pct < steps[0].before_pct - 20.0,
+            "before {} after {}",
+            steps[0].before_pct,
+            steps[0].after_pct
+        );
+    }
+
+    #[test]
+    fn bitpar_kernel_variant_also_improves() {
+        let net = polar_detour();
+        let model = LatitudeBandFailure::s1();
+        let cfg = MonteCarloConfig {
+            trials: 60,
+            ..Default::default()
+        };
+        let cands = low_latitude_candidates(&net, 40.0, 500.0, 10_000.0, 1.15, 10);
+        let steps =
+            greedy_augment_with_kernel(&net, &model, &cfg, &cands, 1, Kernel::Bitpar64).unwrap();
         assert_eq!(steps.len(), 1);
         assert!(
             steps[0].after_pct < steps[0].before_pct - 20.0,

@@ -21,7 +21,7 @@ use crate::{cable_profiles, SimError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
-use solarstorm_gic::{CableFailureProbabilities, FailureModel};
+use solarstorm_gic::{CableFailureProbabilities, FailureModel, LaneThreshold};
 use solarstorm_topology::{ConnectivityIndex, Network};
 use std::sync::Arc;
 
@@ -163,6 +163,19 @@ pub(crate) fn trial_rng(seed: u64, trial: usize) -> ChaCha12Rng {
     ChaCha12Rng::seed_from_u64(z ^ (z >> 31))
 }
 
+/// Seed-domain salt separating the bit-parallel kernel's block streams
+/// from the scalar kernel's per-trial streams: block `b` draws from
+/// `trial_rng(seed ^ BITPAR_SALT, b)`, so no block stream aliases a
+/// scalar trial stream of the same batch seed. The two kernels are
+/// statistically equivalent but deliberately not bit-comparable.
+pub(crate) const BITPAR_SALT: u64 = 0x9D3C_5A6F_B17A_6401;
+
+/// Derives the RNG for one 64-trial block of the bit-parallel kernel:
+/// independent of thread scheduling, like [`trial_rng`].
+pub(crate) fn block_rng(seed: u64, block: usize) -> ChaCha12Rng {
+    trial_rng(seed ^ BITPAR_SALT, block)
+}
+
 /// Runs one trial the reference way: samples every cable's fate through
 /// the model and measures the two paper metrics. The batched kernel is
 /// tested bit-identical against this path.
@@ -192,6 +205,9 @@ pub fn run_trial<M: FailureModel>(
 pub(crate) struct KernelInputs {
     pub(crate) conn: Arc<ConnectivityIndex>,
     pub(crate) probs: Arc<CableFailureProbabilities>,
+    /// The failure probabilities compiled to 64-lane sampling
+    /// thresholds, for the bit-parallel kernel.
+    pub(crate) lanes: Arc<Vec<LaneThreshold>>,
     pub(crate) seed: u64,
 }
 
@@ -203,23 +219,37 @@ impl KernelInputs {
         cfg: &MonteCarloConfig,
     ) -> KernelInputs {
         let profiles = cable_profiles(net);
+        let probs = CableFailureProbabilities::hoist(model, &profiles, cfg.spacing_km);
+        let lanes = Arc::new(probs.lane_thresholds());
         KernelInputs {
             conn: net.connectivity(),
-            probs: Arc::new(CableFailureProbabilities::hoist(
-                model,
-                &profiles,
-                cfg.spacing_km,
-            )),
+            probs: Arc::new(probs),
+            lanes,
             seed: cfg.seed,
         }
     }
 }
 
 /// Worker-local scratch reused across trials: the packed dead-cable
-/// mask. After the first trial the hot loop performs no heap allocation.
-#[derive(Default)]
+/// mask of the scalar kernel, plus the cable-major lane words and
+/// per-lane counters of the bit-parallel kernel. After the first
+/// trial/block the hot loops perform no heap allocation.
 pub(crate) struct TrialScratch {
     dead_words: Vec<u64>,
+    /// bitpar64: `lane_words[c]` = cable `c`'s dead bit per lane.
+    lane_words: Vec<u64>,
+    /// bitpar64: per-lane unreachable-node counts of the current block.
+    lane_unreachable: [u32; 64],
+}
+
+impl Default for TrialScratch {
+    fn default() -> Self {
+        TrialScratch {
+            dead_words: Vec::new(),
+            lane_words: Vec::new(),
+            lane_unreachable: [0; 64],
+        }
+    }
 }
 
 /// Samples every cable's fate into the packed scratch mask, in cable
@@ -257,6 +287,144 @@ pub(crate) fn trial_metrics(conn: &ConnectivityIndex, failed: usize, words: &[u6
         100.0 * conn.unreachable_count_words(words) as f64 / conn.node_count() as f64
     };
     (cables_failed_pct, nodes_unreachable_pct)
+}
+
+/// Draws one 64-trial block: one cable-major dead-mask word per cable
+/// (bit `l` = cable dead in lane `l`), in cable order.
+fn sample_lane_words(lanes: &[LaneThreshold], rng: &mut ChaCha12Rng, words: &mut Vec<u64>) {
+    words.clear();
+    words.extend(lanes.iter().map(|t| t.sample_lanes(rng)));
+}
+
+/// Per-lane paper metrics for one sampled block, pushed in lane order:
+/// failed-cable counts come from popcounting the cable-major lane
+/// words, unreachable counts from the index's one-pass block-wise AND
+/// ([`ConnectivityIndex::unreachable_lanes`]). The float arithmetic is
+/// identical to [`trial_metrics`], so feeding both kernels the same
+/// dead masks yields bit-identical metrics (and [`TrialStats`]).
+pub(crate) fn block_metrics(
+    conn: &ConnectivityIndex,
+    lane_words: &[u64],
+    lane_mask: u64,
+    lane_unreachable: &mut [u32; 64],
+    out: &mut Vec<(f64, f64)>,
+) {
+    let lanes = lane_mask.count_ones() as usize;
+    let mut failed = [0u32; 64];
+    // Cables dead in every active lane — the whole block at thresholds
+    // near certainty — bump one shared counter instead of 64.
+    let mut failed_everywhere = 0u32;
+    for &w in lane_words {
+        let mut m = w & lane_mask;
+        if m == lane_mask {
+            failed_everywhere += 1;
+            continue;
+        }
+        while m != 0 {
+            failed[m.trailing_zeros() as usize] += 1;
+            m &= m - 1;
+        }
+    }
+    conn.unreachable_lanes(lane_words, lane_mask, lane_unreachable);
+    let cables = conn.cable_count();
+    let nodes = conn.node_count();
+    for l in 0..lanes {
+        let f = (failed_everywhere + failed[l]) as usize;
+        let cables_failed_pct = if cables == 0 {
+            0.0
+        } else {
+            100.0 * f as f64 / cables as f64
+        };
+        let nodes_unreachable_pct = if nodes == 0 {
+            0.0
+        } else {
+            100.0 * lane_unreachable[l] as f64 / nodes as f64
+        };
+        out.push((cables_failed_pct, nodes_unreachable_pct));
+    }
+}
+
+/// The lane mask of block `block` in a batch of `trials` trials: all 64
+/// bits for full blocks, the low remainder bits for the tail block.
+#[inline]
+fn block_lane_mask(block: usize, trials: usize) -> u64 {
+    let lanes = (trials - block * 64).min(64);
+    if lanes == 64 {
+        !0
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Runs blocks `[start_block, end_block)` of the bit-parallel kernel,
+/// pushing `(cables %, nodes %)` per trial in trial order. Polls
+/// `cancel` between blocks (block-granular cancellation) and stops
+/// early once it fires; the caller discards the partial output.
+fn bitpar_metrics_chunk(
+    inputs: &KernelInputs,
+    cancel: &CancelToken,
+    start_block: usize,
+    end_block: usize,
+    trials: usize,
+    scratch: &mut TrialScratch,
+    out: &mut Vec<(f64, f64)>,
+) {
+    for block in start_block..end_block {
+        if cancel.is_cancelled() {
+            return;
+        }
+        let mut rng = block_rng(inputs.seed, block);
+        sample_lane_words(&inputs.lanes, &mut rng, &mut scratch.lane_words);
+        block_metrics(
+            &inputs.conn,
+            &scratch.lane_words,
+            block_lane_mask(block, trials),
+            &mut scratch.lane_unreachable,
+            out,
+        );
+    }
+}
+
+/// Runs blocks `[start_block, end_block)` of the bit-parallel kernel
+/// and materializes full outcomes (with the unpacked dead masks
+/// downstream analyses consume), in trial order.
+fn bitpar_outcomes_chunk(
+    inputs: &KernelInputs,
+    cancel: &CancelToken,
+    start_block: usize,
+    end_block: usize,
+    trials: usize,
+    scratch: &mut TrialScratch,
+    out: &mut Vec<TrialOutcome>,
+) {
+    for block in start_block..end_block {
+        if cancel.is_cancelled() {
+            return;
+        }
+        let mut rng = block_rng(inputs.seed, block);
+        sample_lane_words(&inputs.lanes, &mut rng, &mut scratch.lane_words);
+        let lane_mask = block_lane_mask(block, trials);
+        let mut metrics = Vec::with_capacity(lane_mask.count_ones() as usize);
+        block_metrics(
+            &inputs.conn,
+            &scratch.lane_words,
+            lane_mask,
+            &mut scratch.lane_unreachable,
+            &mut metrics,
+        );
+        for (l, (cables_failed_pct, nodes_unreachable_pct)) in metrics.into_iter().enumerate() {
+            let dead = scratch
+                .lane_words
+                .iter()
+                .map(|&w| (w >> l) & 1 == 1)
+                .collect();
+            out.push(TrialOutcome {
+                cables_failed_pct,
+                nodes_unreachable_pct,
+                dead,
+            });
+        }
+    }
 }
 
 /// Runs trials `[start, end)` through the kernel, pushing `(cables %,
@@ -380,6 +548,31 @@ pub(crate) fn run_stats_sequential(
     TrialStats::from_metrics(&cables, &nodes)
 }
 
+/// [`run_stats_sequential`]'s bit-parallel twin: runs `trials` trials
+/// through the bitpar64 block kernel on the calling thread and
+/// aggregates stats — the path sweep-level parallelism uses per point
+/// under [`crate::sweep::Kernel::Bitpar64`]. Stops early (returning
+/// partial-data stats the caller must discard) once `cancel` fires.
+pub(crate) fn run_stats_bitpar_sequential(
+    inputs: &KernelInputs,
+    cancel: &CancelToken,
+    trials: usize,
+) -> TrialStats {
+    let blocks = trials.div_ceil(64);
+    let chunk_fn = move |inputs: &KernelInputs,
+                         cancel: &CancelToken,
+                         start: usize,
+                         end: usize,
+                         scratch: &mut TrialScratch,
+                         out: &mut Vec<(f64, f64)>| {
+        bitpar_metrics_chunk(inputs, cancel, start, end, trials, scratch, out)
+    };
+    let metrics = run_chunked(inputs, cancel, blocks, 1, chunk_fn);
+    let cables: Vec<f64> = metrics.iter().map(|m| m.0).collect();
+    let nodes: Vec<f64> = metrics.iter().map(|m| m.1).collect();
+    TrialStats::from_metrics(&cables, &nodes)
+}
+
 /// Runs a full trial batch, in parallel, and returns every outcome
 /// (deterministic order: trial index).
 pub fn run_outcomes<M: FailureModel>(
@@ -453,6 +646,118 @@ pub fn run_with_cancel<M: FailureModel>(
     let cables: Vec<f64> = metrics.iter().map(|m| m.0).collect();
     let nodes: Vec<f64> = metrics.iter().map(|m| m.1).collect();
     Ok(TrialStats::from_metrics(&cables, &nodes))
+}
+
+/// Runs a trial batch through the bit-parallel `bitpar64` kernel and
+/// aggregates the two paper metrics.
+///
+/// The kernel packs 64 trials per `u64` lane: every cable draws its 64
+/// Bernoulli outcomes at once against its compiled
+/// [`LaneThreshold`], and the connectivity pass ANDs whole trial-blocks
+/// through the cached CSR index, so per-trial work collapses to a few
+/// word operations. Statistics accumulate from popcounts — no per-trial
+/// [`TrialOutcome`] is ever materialized.
+///
+/// Statistically equivalent to [`run`] (identical per-cable failure
+/// probabilities, independent RNG streams) but **not** bit-comparable:
+/// blocks draw from a salted seed domain ([`BITPAR_SALT`]). Use the
+/// scalar kernel where bit-identity to the reference stream matters.
+pub fn run_bitpar<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<TrialStats, SimError> {
+    run_bitpar_with_cancel(net, model, cfg, &CancelToken::none())
+}
+
+/// [`run_bitpar`] with cooperative cancellation: polls `cancel` between
+/// 64-trial blocks and returns [`SimError::Cancelled`] — never
+/// statistics over a trial subset — once it fires.
+pub fn run_bitpar_with_cancel<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    cancel: &CancelToken,
+) -> Result<TrialStats, SimError> {
+    cfg.validate()?;
+    let inputs = KernelInputs::prepare(net, model, cfg);
+    let trials = cfg.trials;
+    let blocks = trials.div_ceil(64);
+    // Work fans out block-granular: a worker never gets less than one
+    // 64-trial block.
+    let threads = cfg.threads().min(blocks);
+    let _span = solarstorm_obs::span!(
+        "monte_carlo",
+        trials = cfg.trials,
+        threads = threads,
+        spacing_km = cfg.spacing_km,
+        seed = cfg.seed
+    );
+    let chunk_fn = move |inputs: &KernelInputs,
+                         cancel: &CancelToken,
+                         start: usize,
+                         end: usize,
+                         scratch: &mut TrialScratch,
+                         out: &mut Vec<(f64, f64)>| {
+        bitpar_metrics_chunk(inputs, cancel, start, end, trials, scratch, out)
+    };
+    let metrics = run_chunked(&inputs, cancel, blocks, threads, chunk_fn);
+    if cancel.is_cancelled() {
+        return Err(SimError::Cancelled);
+    }
+    let cables: Vec<f64> = metrics.iter().map(|m| m.0).collect();
+    let nodes: Vec<f64> = metrics.iter().map(|m| m.1).collect();
+    Ok(TrialStats::from_metrics(&cables, &nodes))
+}
+
+/// Runs a full trial batch through the `bitpar64` kernel and returns
+/// every outcome (deterministic order: trial index). The outcomes carry
+/// the same unpacked dead masks as [`run_outcomes`] but come from the
+/// kernel's own salted RNG streams — statistically equivalent, not
+/// bit-comparable.
+pub fn run_outcomes_bitpar<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<Vec<TrialOutcome>, SimError> {
+    run_outcomes_bitpar_with_cancel(net, model, cfg, &CancelToken::none())
+}
+
+/// [`run_outcomes_bitpar`] with cooperative cancellation: polls
+/// `cancel` between 64-trial blocks and returns
+/// [`SimError::Cancelled`] — never a partial outcome vector — once it
+/// fires.
+pub fn run_outcomes_bitpar_with_cancel<M: FailureModel>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    cancel: &CancelToken,
+) -> Result<Vec<TrialOutcome>, SimError> {
+    cfg.validate()?;
+    let inputs = KernelInputs::prepare(net, model, cfg);
+    let trials = cfg.trials;
+    let blocks = trials.div_ceil(64);
+    let threads = cfg.threads().min(blocks);
+    let _span = solarstorm_obs::span!(
+        "monte_carlo",
+        trials = cfg.trials,
+        threads = threads,
+        spacing_km = cfg.spacing_km,
+        seed = cfg.seed
+    );
+    let chunk_fn = move |inputs: &KernelInputs,
+                         cancel: &CancelToken,
+                         start: usize,
+                         end: usize,
+                         scratch: &mut TrialScratch,
+                         out: &mut Vec<TrialOutcome>| {
+        bitpar_outcomes_chunk(inputs, cancel, start, end, trials, scratch, out)
+    };
+    let outcomes = run_chunked(&inputs, cancel, blocks, threads, chunk_fn);
+    if cancel.is_cancelled() {
+        return Err(SimError::Cancelled);
+    }
+    Ok(outcomes)
 }
 
 #[cfg(test)]
@@ -720,5 +1025,202 @@ mod tests {
             ..Default::default()
         };
         assert!(run(&net, &model, &cfg).is_err());
+        assert!(run_bitpar(&net, &model, &cfg).is_err());
+    }
+
+    #[test]
+    fn bitpar_zero_probability_is_exactly_zero() {
+        // p = 0 compiles to LaneThreshold::Never: all-zero lanes, so
+        // the block kernel reports exactly zero failures — not "almost
+        // never" via a rounded threshold.
+        let net = test_net();
+        let model = UniformFailure::new(0.0).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 130, // two full blocks + a 2-lane tail
+            ..Default::default()
+        };
+        let stats = run_bitpar(&net, &model, &cfg).unwrap();
+        assert_eq!(stats.trials, 130);
+        assert_eq!(stats.mean_cables_failed_pct, 0.0);
+        assert_eq!(stats.mean_nodes_unreachable_pct, 0.0);
+        assert_eq!(stats.std_cables_failed_pct, 0.0);
+    }
+
+    #[test]
+    fn bitpar_certain_probability_kills_all_repeatered_cables() {
+        // p = 1 compiles to LaneThreshold::Always: all-one lanes, so
+        // every repeatered cable dies in every trial of every block.
+        let net = test_net();
+        let model = UniformFailure::new(1.0).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 130,
+            ..Default::default()
+        };
+        let stats = run_bitpar(&net, &model, &cfg).unwrap();
+        assert_eq!(stats.mean_cables_failed_pct, 50.0);
+        assert_eq!(stats.mean_nodes_unreachable_pct, 50.0);
+        assert_eq!(stats.std_cables_failed_pct, 0.0);
+    }
+
+    #[test]
+    fn bitpar_deterministic_across_runs_and_thread_counts() {
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let base = MonteCarloConfig {
+            trials: 70, // tail block of 6 lanes
+            max_threads: 1,
+            ..Default::default()
+        };
+        let a = run_outcomes_bitpar(&net, &model, &base).unwrap();
+        assert_eq!(a.len(), 70);
+        for max_threads in [2, 8] {
+            let cfg = MonteCarloConfig {
+                max_threads,
+                ..base
+            };
+            let b = run_outcomes_bitpar(&net, &model, &cfg).unwrap();
+            assert_eq!(
+                a, b,
+                "parallelism ({max_threads} threads) must not change results"
+            );
+        }
+        let c = run_outcomes_bitpar(&net, &model, &base).unwrap();
+        assert_eq!(a, c, "repeat runs must be identical");
+    }
+
+    #[test]
+    fn bitpar_stats_path_matches_outcome_aggregation() {
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 200,
+            max_threads: 4,
+            ..Default::default()
+        };
+        let stats = run_bitpar(&net, &model, &cfg).unwrap();
+        let from_outcomes =
+            TrialStats::from_outcomes(&run_outcomes_bitpar(&net, &model, &cfg).unwrap());
+        assert_eq!(stats, from_outcomes);
+    }
+
+    #[test]
+    fn bitpar_is_statistically_equivalent_to_scalar() {
+        // Independent RNG streams, same per-cable probabilities: the
+        // two kernels' means must agree within Monte Carlo error, and
+        // both must track the closed form. 4096 trials put ~5 standard
+        // errors inside the 1.5 pct tolerance; fixed seed, no flake.
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 4096,
+            max_threads: 4,
+            ..Default::default()
+        };
+        let scalar = run(&net, &model, &cfg).unwrap();
+        let bitpar = run_bitpar(&net, &model, &cfg).unwrap();
+        assert_eq!(bitpar.trials, 4096);
+        // Closed form: long cables have 33 repeaters at 150 km.
+        let expected = 50.0 * (1.0 - 0.98f64.powi(33));
+        for (name, stats) in [("scalar", &scalar), ("bitpar64", &bitpar)] {
+            assert!(
+                (stats.mean_cables_failed_pct - expected).abs() < 1.5,
+                "{name}: measured {} expected {expected}",
+                stats.mean_cables_failed_pct
+            );
+        }
+        assert!(
+            (scalar.mean_cables_failed_pct - bitpar.mean_cables_failed_pct).abs() < 1.5,
+            "kernels disagree: scalar {} bitpar {}",
+            scalar.mean_cables_failed_pct,
+            bitpar.mean_cables_failed_pct
+        );
+        assert!(
+            (scalar.mean_nodes_unreachable_pct - bitpar.mean_nodes_unreachable_pct).abs() < 1.5,
+            "kernels disagree: scalar {} bitpar {}",
+            scalar.mean_nodes_unreachable_pct,
+            bitpar.mean_nodes_unreachable_pct
+        );
+    }
+
+    #[test]
+    fn bitpar_cancelled_run_yields_error_not_partial_results() {
+        let net = test_net();
+        let model = UniformFailure::new(0.01).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = MonteCarloConfig {
+            trials: 256,
+            ..Default::default()
+        };
+        assert_eq!(
+            run_bitpar_with_cancel(&net, &model, &cfg, &token).unwrap_err(),
+            SimError::Cancelled
+        );
+        assert_eq!(
+            run_outcomes_bitpar_with_cancel(&net, &model, &cfg, &token).unwrap_err(),
+            SimError::Cancelled
+        );
+        let live = CancelToken::new();
+        assert_eq!(
+            run_bitpar_with_cancel(&net, &model, &cfg, &live).unwrap(),
+            run_bitpar(&net, &model, &cfg).unwrap()
+        );
+    }
+
+    mod bitpar_mask_agreement {
+        //! Fed identical per-lane dead masks, the block accumulator and
+        //! the scalar per-trial path must agree **exactly** — same
+        //! metrics bit for bit, same [`TrialStats`].
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Scalar reference: lane `l`'s metrics via the packed-bitset
+        /// path ([`trial_metrics`]), extracting the lane's column.
+        fn scalar_lane_metrics(
+            conn: &ConnectivityIndex,
+            lane_words: &[u64],
+            lane: usize,
+        ) -> (f64, f64) {
+            let mut words = vec![0u64; conn.dead_mask_words()];
+            let mut failed = 0usize;
+            for (c, &w) in lane_words.iter().enumerate() {
+                if (w >> lane) & 1 == 1 {
+                    words[c >> 6] |= 1 << (c & 63);
+                    failed += 1;
+                }
+            }
+            trial_metrics(conn, failed, &words)
+        }
+
+        proptest! {
+            #[test]
+            fn block_metrics_match_scalar_per_lane(
+                words in proptest::collection::vec(any::<u64>(), 20),
+                lanes in 1usize..=64,
+            ) {
+                let net = test_net();
+                let conn = net.connectivity();
+                let lane_mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+                let mut scratch = [0u32; 64];
+                let mut block = Vec::new();
+                block_metrics(&conn, &words, lane_mask, &mut scratch, &mut block);
+                prop_assert_eq!(block.len(), lanes);
+                let scalar: Vec<(f64, f64)> = (0..lanes)
+                    .map(|l| scalar_lane_metrics(&conn, &words, l))
+                    .collect();
+                // Exact equality, not approximate: same dead masks must
+                // produce bit-identical metrics and stats.
+                prop_assert_eq!(&block, &scalar);
+                let stats_block = TrialStats::from_metrics(
+                    &block.iter().map(|m| m.0).collect::<Vec<_>>(),
+                    &block.iter().map(|m| m.1).collect::<Vec<_>>(),
+                );
+                let stats_scalar = TrialStats::from_metrics(
+                    &scalar.iter().map(|m| m.0).collect::<Vec<_>>(),
+                    &scalar.iter().map(|m| m.1).collect::<Vec<_>>(),
+                );
+                prop_assert_eq!(stats_block, stats_scalar);
+            }
+        }
     }
 }

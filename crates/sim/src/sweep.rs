@@ -42,7 +42,8 @@
 
 use crate::cancel::CancelToken;
 use crate::monte_carlo::{
-    run_stats_sequential, trial_rng, KernelInputs, MonteCarloConfig, TrialStats,
+    run_stats_bitpar_sequential, run_stats_sequential, trial_rng, KernelInputs, MonteCarloConfig,
+    TrialStats,
 };
 use crate::pool::WorkerPool;
 use crate::{cable_profiles, SimError};
@@ -63,6 +64,12 @@ pub enum Kernel {
     /// trial decides the cable's fate at every point of a monotone axis.
     #[default]
     CrnAxis,
+    /// Bit-parallel block kernel: 64 trials per `u64` lane word, with a
+    /// block-wise connectivity pass and lane deduplication. Statistically
+    /// equivalent to the scalar kernels but draws a distinct RNG stream,
+    /// so results are not bit-comparable (and not CRN-pairable) with
+    /// `per_point` or `crn_axis` runs at the same seed.
+    Bitpar64,
 }
 
 impl Kernel {
@@ -71,6 +78,7 @@ impl Kernel {
         match self {
             Kernel::PerPoint => "per_point",
             Kernel::CrnAxis => "crn_axis",
+            Kernel::Bitpar64 => "bitpar64",
         }
     }
 }
@@ -82,6 +90,9 @@ pub struct SweepPoint {
     inputs: KernelInputs,
     trials: usize,
     spacing_km: f64,
+    /// Evaluate with the bit-parallel block kernel instead of the scalar
+    /// per-trial loop (see [`prepare_bitpar`]).
+    block: bool,
 }
 
 /// Validates the configuration and hoists the batch invariants for one
@@ -98,7 +109,23 @@ pub fn prepare<M: FailureModel + ?Sized>(
         inputs: KernelInputs::prepare(net, model, cfg),
         trials: cfg.trials,
         spacing_km: cfg.spacing_km,
+        block: false,
     })
+}
+
+/// [`prepare`], but the point runs under the bit-parallel block kernel
+/// ([`Kernel::Bitpar64`]): 64 trials per `u64` lane word through the
+/// connectivity pass. Statistically equivalent to the scalar point but
+/// drawn from a distinct RNG stream, so per-trial results are not
+/// bit-comparable with [`prepare`] at the same seed.
+pub fn prepare_bitpar<M: FailureModel + ?Sized>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+) -> Result<SweepPoint, SimError> {
+    let mut point = prepare(net, model, cfg)?;
+    point.block = true;
+    Ok(point)
 }
 
 /// Runs every prepared point on the pool and returns their statistics in
@@ -134,7 +161,11 @@ fn run_stats_inner(points: Vec<SweepPoint>, cancel: &CancelToken) -> Vec<TrialSt
                     spacing_km = point.spacing_km,
                     seed = point.inputs.seed
                 );
-                run_stats_sequential(&point.inputs, &cancel, point.trials)
+                if point.block {
+                    run_stats_bitpar_sequential(&point.inputs, &cancel, point.trials)
+                } else {
+                    run_stats_sequential(&point.inputs, &cancel, point.trials)
+                }
             }) as Box<dyn FnOnce() -> TrialStats + Send>
         })
         .collect();
@@ -649,7 +680,59 @@ mod tests {
     fn kernel_names_are_stable() {
         assert_eq!(Kernel::PerPoint.name(), "per_point");
         assert_eq!(Kernel::CrnAxis.name(), "crn_axis");
+        assert_eq!(Kernel::Bitpar64.name(), "bitpar64");
         assert_eq!(Kernel::default(), Kernel::CrnAxis);
+        let json = serde_json::to_string(&Kernel::Bitpar64).unwrap();
+        assert_eq!(json, "\"bitpar64\"");
+        assert_eq!(serde_json::from_str::<Kernel>(&json).unwrap(), Kernel::Bitpar64);
+    }
+
+    #[test]
+    fn bitpar_sweep_points_match_direct_bitpar_runs() {
+        let net = chain_net(12);
+        let configs: Vec<MonteCarloConfig> = (0..6)
+            .map(|i| MonteCarloConfig {
+                trials: 70, // tail block exercises the partial lane mask
+                seed: 2000 + i,
+                spacing_km: [50.0, 100.0, 150.0][i as usize % 3],
+                ..Default::default()
+            })
+            .collect();
+        let models: Vec<UniformFailure> = (1..=6)
+            .map(|i| UniformFailure::new(i as f64 / 20.0).unwrap())
+            .collect();
+        let points = configs
+            .iter()
+            .zip(&models)
+            .map(|(cfg, m)| prepare_bitpar(&net, m, cfg).unwrap())
+            .collect();
+        let parallel = run_stats(points);
+        let direct: Vec<TrialStats> = configs
+            .iter()
+            .zip(&models)
+            .map(|(cfg, m)| {
+                crate::monte_carlo::run_bitpar(
+                    &net,
+                    m,
+                    &MonteCarloConfig {
+                        max_threads: 1,
+                        ..*cfg
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(parallel, direct);
+        // The block kernel draws a distinct stream: same seeds, different
+        // per-trial outcomes than the scalar sweep path.
+        let scalar = run_stats(
+            configs
+                .iter()
+                .zip(&models)
+                .map(|(cfg, m)| prepare(&net, m, cfg).unwrap())
+                .collect(),
+        );
+        assert_ne!(parallel, scalar);
     }
 
     #[test]

@@ -185,6 +185,38 @@ impl ConnectivityIndex {
         unreachable
     }
 
+    /// Per-lane unreachable-node counts for one bit-parallel trial
+    /// block. `lane_words[c]` is cable `c`'s dead mask across the
+    /// block's 64 lanes (bit `l` set = dead in lane `l`); cables beyond
+    /// the slice count as dead in every lane, matching the boolean and
+    /// packed mask semantics. `out[l]` receives the number of
+    /// unreachable nodes in lane `l`; lanes outside `lane_mask` stay 0.
+    ///
+    /// One pass over the incidence CSR prices all 64 lanes at once: a
+    /// node is unreachable in exactly the lanes where the AND of its
+    /// incident cables' dead words is still set.
+    pub fn unreachable_lanes(&self, lane_words: &[u64], lane_mask: u64, out: &mut [u32; 64]) {
+        out.fill(0);
+        for node in 0..self.node_count {
+            let lo = self.offsets[node] as usize;
+            let hi = self.offsets[node + 1] as usize;
+            if lo == hi {
+                continue; // isolated nodes are reported reachable
+            }
+            let mut m = lane_mask;
+            for &c in &self.incident_cable[lo..hi] {
+                m &= lane_words.get(c as usize).copied().unwrap_or(!0);
+                if m == 0 {
+                    break;
+                }
+            }
+            while m != 0 {
+                out[m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
+            }
+        }
+    }
+
     /// Number of connected components of the surviving subgraph,
     /// computed by union-find over the flat edge list. `uf` is reset and
     /// reused; nothing is allocated once its storage is warm.
@@ -327,6 +359,51 @@ mod tests {
         // Empty mask: every cable dead, so A..D unreachable, E spared.
         assert_eq!(conn.unreachable_count(&[]), 4);
         assert_eq!(conn.unreachable_count_words(&[]), 4);
+    }
+
+    #[test]
+    fn unreachable_lanes_match_per_lane_scalar_counts() {
+        let net = net();
+        let conn = net.connectivity();
+        // Four lanes covering every dead-set of the 2-cable network,
+        // packed cable-major: bit l of lane_words[c] = cable c in lane l.
+        let scenarios = [[false, false], [true, false], [false, true], [true, true]];
+        let mut lane_words = vec![0u64; 2];
+        for (l, dead) in scenarios.iter().enumerate() {
+            for (c, &d) in dead.iter().enumerate() {
+                if d {
+                    lane_words[c] |= 1 << l;
+                }
+            }
+        }
+        let mut out = [0u32; 64];
+        conn.unreachable_lanes(&lane_words, 0xF, &mut out);
+        for (l, dead) in scenarios.iter().enumerate() {
+            assert_eq!(
+                out[l] as usize,
+                conn.unreachable_count(dead),
+                "lane {l} mask {dead:?}"
+            );
+        }
+        assert!(out[4..].iter().all(|&c| c == 0), "masked lanes stay zero");
+        // A lane mask excluding some lanes suppresses their counts.
+        conn.unreachable_lanes(&lane_words, 0b1000, &mut out);
+        assert_eq!(out[3] as usize, conn.unreachable_count(&[true, true]));
+        assert!(out[..3].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn unreachable_lanes_treat_missing_cables_as_dead() {
+        let net = net();
+        let conn = net.connectivity();
+        let mut out = [0u32; 64];
+        // No lane words at all: every cable dead in every lane.
+        conn.unreachable_lanes(&[], 0b11, &mut out);
+        assert_eq!(out[0], 4);
+        assert_eq!(out[1], 4);
+        // Only cable 0 described (alive everywhere); cable 1 missing.
+        conn.unreachable_lanes(&[0u64], 0b1, &mut out);
+        assert_eq!(out[0] as usize, conn.unreachable_count(&[false, true]));
     }
 
     #[test]

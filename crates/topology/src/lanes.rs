@@ -1,0 +1,280 @@
+//! Lane deduplication for bit-parallel trial blocks.
+//!
+//! The bit-parallel Monte Carlo kernel evaluates 64 trials at once,
+//! cable-major: `lane_words[c]` holds cable `c`'s dead bit for each of
+//! the block's 64 lanes. The cheap per-lane metrics (failed-cable
+//! popcounts, the AND-pass unreachable counts) never need to know which
+//! lanes coincide — but anything priced by scalar union-find does.
+//! At low failure probabilities most lanes share the all-alive dead-set,
+//! and near certainty they share the all-dead one, so deduplicating
+//! identical dead-set lanes first collapses most of a block to a handful
+//! of distinct scenarios.
+//!
+//! [`LaneClasses`] computes that partition by refinement: start from one
+//! class holding every active lane and split it by each cable word that
+//! distinguishes lanes. [`ConnectivityIndex::component_count_lanes`]
+//! then runs the scalar union-find once per *distinct* dead-set and
+//! broadcasts each count to the lanes of its class.
+
+use crate::csr::ConnectivityIndex;
+use crate::UnionFind;
+
+/// Partition of a 64-lane trial block into groups of lanes with
+/// identical dead-cable sets, each group a bitmask over lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneClasses {
+    /// Disjoint, non-empty lane masks whose union is the active mask.
+    classes: Vec<u64>,
+}
+
+impl LaneClasses {
+    /// Refines the active lanes (`lane_mask`) into equivalence classes
+    /// under "identical dead bit on every cable". O(cables × classes)
+    /// worst case, with an early exit once every class is a singleton;
+    /// cable words that are all-alive or all-dead across the active
+    /// lanes — the common case away from p ≈ 0.5 — refine nothing and
+    /// cost O(1).
+    pub fn partition(lane_words: &[u64], lane_mask: u64) -> LaneClasses {
+        let mut classes = Vec::new();
+        if lane_mask == 0 {
+            return LaneClasses { classes };
+        }
+        classes.push(lane_mask);
+        let singletons = lane_mask.count_ones() as usize;
+        for &w in lane_words {
+            if classes.len() == singletons {
+                break; // fully refined: every lane distinct
+            }
+            let wm = w & lane_mask;
+            if wm == 0 || wm == lane_mask {
+                continue; // cable agrees across all active lanes
+            }
+            for i in 0..classes.len() {
+                let dead = classes[i] & wm;
+                let alive = classes[i] & !wm;
+                if dead != 0 && alive != 0 {
+                    classes[i] = dead;
+                    classes.push(alive);
+                }
+            }
+        }
+        LaneClasses { classes }
+    }
+
+    /// The class masks: disjoint, non-empty, union = the active mask.
+    pub fn classes(&self) -> &[u64] {
+        &self.classes
+    }
+
+    /// Number of distinct dead-sets in the block.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when no lanes were active.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+impl ConnectivityIndex {
+    /// Per-lane surviving-component counts for one bit-parallel trial
+    /// block, deduplicated: the scalar union-find runs once per
+    /// *distinct* dead-set among the active lanes, and its count is
+    /// broadcast to every lane of that class. `lane_words` is
+    /// cable-major as in [`ConnectivityIndex::unreachable_lanes`];
+    /// cables beyond the slice count as dead in every lane. Lanes
+    /// outside `lane_mask` are left 0. Returns the number of distinct
+    /// dead-sets solved.
+    pub fn component_count_lanes(
+        &self,
+        lane_words: &[u64],
+        lane_mask: u64,
+        uf: &mut UnionFind,
+        out: &mut [usize; 64],
+    ) -> usize {
+        out.fill(0);
+        let classes = LaneClasses::partition(lane_words, lane_mask);
+        let mut dead_words = vec![0u64; self.dead_mask_words()];
+        for &class in classes.classes() {
+            let rep = class.trailing_zeros();
+            // Gather the representative lane's dead-set as a packed
+            // cable bitset; undescribed cables are dead everywhere.
+            dead_words.fill(0);
+            for (c, &lw) in lane_words.iter().enumerate().take(self.cable_count()) {
+                if (lw >> rep) & 1 == 1 {
+                    dead_words[c >> 6] |= 1 << (c & 63);
+                }
+            }
+            for c in lane_words.len()..self.cable_count() {
+                dead_words[c >> 6] |= 1 << (c & 63);
+            }
+            let count = self.component_count_words(&dead_words, uf);
+            let mut m = class;
+            while m != 0 {
+                out[m.trailing_zeros() as usize] = count;
+                m &= m - 1;
+            }
+        }
+        classes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+    use proptest::prelude::*;
+    use solarstorm_geo::GeoPoint;
+
+    /// Brute-force partition: group active lanes by their full dead-set
+    /// column, in first-lane order.
+    fn brute_partition(lane_words: &[u64], lane_mask: u64) -> Vec<u64> {
+        let mut groups: Vec<(Vec<bool>, u64)> = Vec::new();
+        for l in 0..64 {
+            if (lane_mask >> l) & 1 == 0 {
+                continue;
+            }
+            let column: Vec<bool> = lane_words.iter().map(|&w| (w >> l) & 1 == 1).collect();
+            match groups.iter_mut().find(|(sig, _)| *sig == column) {
+                Some((_, mask)) => *mask |= 1 << l,
+                None => groups.push((column, 1 << l)),
+            }
+        }
+        groups.into_iter().map(|(_, mask)| mask).collect()
+    }
+
+    fn assert_same_partition(classes: &LaneClasses, brute: &[u64], ctx: &str) {
+        let mut a: Vec<u64> = classes.classes().to_vec();
+        let mut b: Vec<u64> = brute.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "{ctx}");
+    }
+
+    #[test]
+    fn partition_edge_cases() {
+        assert!(LaneClasses::partition(&[], 0).is_empty());
+        // No cables: every lane shares the empty dead-set.
+        let all = LaneClasses::partition(&[], !0);
+        assert_eq!(all.classes(), &[!0u64]);
+        // One cable splitting the block in half.
+        let half = LaneClasses::partition(&[0x0000_0000_FFFF_FFFF], !0);
+        assert_eq!(half.len(), 2);
+        assert_same_partition(
+            &half,
+            &brute_partition(&[0x0000_0000_FFFF_FFFF], !0),
+            "half split",
+        );
+        // All-dead and all-alive cables refine nothing.
+        let none = LaneClasses::partition(&[0, !0, 0, !0], !0);
+        assert_eq!(none.classes(), &[!0u64]);
+    }
+
+    #[test]
+    fn partition_matches_brute_force_on_fixed_patterns() {
+        let words = [
+            0xDEAD_BEEF_0123_4567u64,
+            0x0000_FFFF_0000_FFFF,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x0000_0000_0000_0001,
+        ];
+        for mask in [!0u64, 0xFFFF, 0x8000_0000_0000_0001, 0b1010101] {
+            let classes = LaneClasses::partition(&words, mask);
+            assert_same_partition(&classes, &brute_partition(&words, mask), "mask {mask:#x}");
+            // Disjointness + coverage.
+            let mut seen = 0u64;
+            for &c in classes.classes() {
+                assert_ne!(c, 0);
+                assert_eq!(seen & c, 0, "classes overlap");
+                seen |= c;
+            }
+            assert_eq!(seen, mask, "classes cover the active mask");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn partition_matches_brute_force(
+            words in proptest::collection::vec(any::<u64>(), 0..12),
+            mask in any::<u64>(),
+        ) {
+            let classes = LaneClasses::partition(&words, mask);
+            assert_same_partition(&classes, &brute_partition(&words, mask), "proptest");
+        }
+    }
+
+    fn node(name: &str, lon: f64) -> NodeInfo {
+        NodeInfo {
+            name: name.into(),
+            location: GeoPoint::new(0.0, lon).unwrap(),
+            country: "AA".into(),
+            role: NodeRole::LandingPoint,
+        }
+    }
+
+    /// A 5-node path A-B-C-D-E over four single-segment cables.
+    fn path_net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        let ids: Vec<_> = (0..5)
+            .map(|i| net.add_node(node(&format!("N{i}"), i as f64)))
+            .collect();
+        for w in ids.windows(2) {
+            net.add_cable(
+                &format!("c{}", w[0].0),
+                vec![SegmentSpec {
+                    a: w[0],
+                    b: w[1],
+                    route: None,
+                    length_km: Some(1000.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn component_count_lanes_matches_scalar_union_find() {
+        let net = path_net();
+        let conn = net.connectivity();
+        let mut uf = UnionFind::new();
+        // 16 lanes enumerating every dead-set of the 4-cable path.
+        let mut lane_words = vec![0u64; 4];
+        for lane in 0..16u64 {
+            for (c, word) in lane_words.iter_mut().enumerate() {
+                if (lane >> c) & 1 == 1 {
+                    *word |= 1 << lane;
+                }
+            }
+        }
+        let mut out = [0usize; 64];
+        let distinct = conn.component_count_lanes(&lane_words, 0xFFFF, &mut uf, &mut out);
+        assert_eq!(distinct, 16, "all 16 dead-sets are distinct");
+        for lane in 0..16 {
+            let dead: Vec<bool> = (0..4).map(|c| (lane >> c) & 1 == 1).collect();
+            assert_eq!(
+                out[lane],
+                conn.component_count(&dead, &mut uf),
+                "lane {lane} dead {dead:?}"
+            );
+        }
+        assert!(out[16..].iter().all(|&c| c == 0), "masked lanes stay zero");
+    }
+
+    #[test]
+    fn component_count_lanes_deduplicates() {
+        let net = path_net();
+        let conn = net.connectivity();
+        let mut uf = UnionFind::new();
+        let mut out = [0usize; 64];
+        // Every lane alive: one distinct class, one union-find run.
+        let distinct = conn.component_count_lanes(&[0, 0, 0, 0], !0, &mut uf, &mut out);
+        assert_eq!(distinct, 1);
+        assert!(out.iter().all(|&c| c == conn.component_count(&[false; 4], &mut uf)));
+        // Missing cable words count as dead in every lane.
+        let distinct = conn.component_count_lanes(&[], 0b1, &mut uf, &mut out);
+        assert_eq!(distinct, 1);
+        assert_eq!(out[0], conn.component_count(&[true; 4], &mut uf));
+    }
+}

@@ -23,11 +23,13 @@ pub mod algo;
 mod csr;
 mod error;
 mod graph;
+mod lanes;
 mod network;
 mod replay;
 mod unionfind;
 
 pub use csr::ConnectivityIndex;
+pub use lanes::LaneClasses;
 pub use error::TopologyError;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use network::{
