@@ -8,8 +8,9 @@
 
 use crate::{Datasets, Figure, Series};
 use solarstorm_gic::{BandAxis, LatitudeBandFailure};
+use solarstorm_sim::cancel::CancelToken;
 use solarstorm_sim::monte_carlo::MonteCarloConfig;
-use solarstorm_sim::{sweep, Kernel, SimError, TrialStats};
+use solarstorm_sim::{sweep, Kernel, Precision, SimError, TrialStats};
 use solarstorm_topology::Network;
 
 /// One bar of the figure.
@@ -121,6 +122,75 @@ pub fn reproduce_points(
     seed: u64,
 ) -> Result<Vec<Fig8Point>, SimError> {
     reproduce_points_with(data, trials, seed, Kernel::default())
+}
+
+/// One bar of the figure plus the stopping-rule outcome behind it.
+#[derive(Debug, Clone)]
+pub struct Fig8AdaptivePoint {
+    /// The rendered bar.
+    pub point: Fig8Point,
+    /// Trials the stopping rule actually spent on this bar.
+    pub trials_used: usize,
+    /// Realized CI half-width on percent nodes unreachable.
+    pub achieved_half_width: f64,
+    /// Whether the target half-width was met within the budget.
+    pub met: bool,
+}
+
+/// Runs the full Fig. 8 grid under the adaptive stopping rule: each of
+/// the twelve (state × spacing × network) points draws bit-parallel
+/// trial blocks until its own confidence interval on percent nodes
+/// unreachable narrows to `precision.half_width`, up to
+/// `precision.max_trials` per point. Low-variance bars (e.g. the US
+/// land network under S2) retire after the opening round while the
+/// submarine bars keep drawing, which is where the budget savings over
+/// a fixed-trials run come from.
+///
+/// Sampling identity matches [`reproduce_points_with`] under
+/// [`Kernel::Bitpar64`] at `trials = precision.max_trials`: each
+/// adaptive point's trial stream is a prefix of that fixed run's.
+pub fn reproduce_points_adaptive(
+    data: &Datasets,
+    precision: &Precision,
+    seed: u64,
+) -> Result<Vec<Fig8AdaptivePoint>, SimError> {
+    let nets: [&Network; 2] = [&data.submarine, &data.intertubes];
+    let states: [(&'static str, LatitudeBandFailure); 2] = [
+        ("S1", LatitudeBandFailure::s1()),
+        ("S2", LatitudeBandFailure::s2()),
+    ];
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
+    for (state, model) in &states {
+        for spacing in [50.0, 100.0, 150.0] {
+            for net in nets {
+                let cfg = MonteCarloConfig {
+                    spacing_km: spacing,
+                    trials: precision.max_trials,
+                    seed: seed ^ spacing as u64 ^ ((state.len() as u64) << 32),
+                    ..Default::default()
+                };
+                labels.push((*state, spacing, net.kind().label()));
+                points.push(sweep::prepare_bitpar(net, model, &cfg)?);
+            }
+        }
+    }
+    let outcomes = sweep::run_adaptive_points(points, precision, &CancelToken::none())?;
+    Ok(labels
+        .into_iter()
+        .zip(outcomes)
+        .map(|((state, spacing_km, network), outcome)| Fig8AdaptivePoint {
+            point: Fig8Point {
+                state,
+                spacing_km,
+                network,
+                stats: outcome.stats,
+            },
+            trials_used: outcome.trials_used,
+            achieved_half_width: outcome.achieved_half_width,
+            met: outcome.met,
+        })
+        .collect())
 }
 
 /// Renders the grid as a grouped figure: x = spacing, one series per
@@ -253,6 +323,36 @@ mod tests {
                 (c.state, c.spacing_km, c.network)
             );
         }
+    }
+
+    #[test]
+    fn adaptive_grid_meets_target_under_budget() {
+        let data = Datasets::small_cached();
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 5.0,
+            max_trials: 2048,
+        };
+        let adaptive = reproduce_points_adaptive(&data, &precision, 11).unwrap();
+        let fixed = reproduce_points_with(&data, 2048, 11, Kernel::Bitpar64).unwrap();
+        assert_eq!(adaptive.len(), 12);
+        let mut total = 0usize;
+        for (a, f) in adaptive.iter().zip(&fixed) {
+            // Same grid order as the fixed-budget bitpar run.
+            assert_eq!(
+                (a.point.state, a.point.spacing_km, a.point.network),
+                (f.state, f.spacing_km, f.network)
+            );
+            assert!(a.met, "{} {} {}", a.point.state, a.point.spacing_km, a.point.network);
+            assert!(a.achieved_half_width <= 5.0);
+            assert!(a.trials_used <= 2048);
+            assert_eq!(a.trials_used % 64, 0, "block-granular stopping");
+            assert_eq!(a.point.stats.trials, a.trials_used);
+            total += a.trials_used;
+        }
+        // A percent metric's half-width at 2048 trials is far below 5.0,
+        // so the stopping rule must come in under the fixed budget.
+        assert!(total < 12 * 2048, "adaptive spent {total} of {}", 12 * 2048);
     }
 
     #[test]

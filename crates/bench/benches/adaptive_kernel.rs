@@ -1,0 +1,60 @@
+//! Sequential stopping vs a fixed budget: the adaptive kernel
+//! (`run_adaptive`) against the bit-parallel kernel spending the full
+//! `max_trials` budget, on the headline Fig. 6 point (uniform p = 0.01,
+//! 150 km spacing, submarine network).
+//!
+//! Both targets draw the identical bit-parallel trial stream — the
+//! adaptive run's trials are a prefix of the fixed run's — so the
+//! timing ratio is pure stopping-rule savings plus its (small)
+//! per-round bookkeeping. At a loose half-width the adaptive kernel
+//! retires after a couple of rounds; at a tight one it converges on the
+//! fixed budget and the ratio shows the rule's overhead instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solarstorm::sim::adaptive::run_adaptive;
+use solarstorm::sim::monte_carlo::{run_bitpar, MonteCarloConfig};
+use solarstorm::sim::Precision;
+use solarstorm::UniformFailure;
+use solarstorm_bench::study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = study().datasets();
+    let model = UniformFailure::new(0.01).expect("probability");
+    let max_trials = 16_384usize;
+    let cfg = MonteCarloConfig {
+        spacing_km: 150.0,
+        trials: max_trials,
+        seed: 42,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("adaptive_kernel");
+    group.bench_function(format!("fixed/{max_trials}"), |b| {
+        b.iter(|| black_box(run_bitpar(&data.submarine, &model, &cfg).expect("trials")))
+    });
+    for (label, half_width) in [("loose_hw2", 2.0), ("tight_hw0.1", 0.1)] {
+        let precision = Precision {
+            ci: 0.95,
+            half_width,
+            max_trials,
+        };
+        group.bench_function(format!("adaptive/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_adaptive(&data.submarine, &model, &cfg, &precision).expect("trials"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -72,14 +72,14 @@ pub use solarstorm_topology as topology;
 
 pub use solarstorm_analysis::{Datasets, DatasetsConfig, Figure, Series};
 pub use solarstorm_engine::{
-    AnalysisRequest, Engine, EngineConfig, EngineMetrics, FailureSpec, MetricsServer, RunManifest,
-    ScenarioResult, ScenarioSpec,
+    AnalysisRequest, Engine, EngineConfig, EngineMetrics, FailureSpec, MetricsServer,
+    PrecisionReport, RunManifest, ScenarioResult, ScenarioSpec,
 };
 pub use solarstorm_gic::{
     CableProfile, DamageCurve, FailureModel, GeoelectricField, LatitudeBandFailure, PhysicsFailure,
     PowerFeedSystem, UniformFailure,
 };
-pub use solarstorm_sim::{MonteCarloConfig, TrialStats};
+pub use solarstorm_sim::{MonteCarloConfig, Precision, TrialStats};
 pub use solarstorm_solar::{ArrivalModel, Cme, SolarCycleModel, StormClass};
 pub use solarstorm_topology::{Network, NetworkKind};
 

@@ -4,19 +4,20 @@
 use crate::error::EngineError;
 use crate::experiments;
 use crate::spec::{
-    AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
-    SweepPointResult,
+    AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, PrecisionReport, Scale,
+    ScenarioResult, ScenarioSpec, SweepPointResult,
 };
 use solarstorm_analysis::Datasets;
 use solarstorm_gic::{
     LatitudeBandFailure, PhysicsFailure, SingleModelAxis, UniformAxis, UniformFailure,
 };
+use solarstorm_sim::adaptive::run_adaptive_with_cancel;
 use solarstorm_sim::cancel::CancelToken;
 use solarstorm_sim::monte_carlo::{
     run_bitpar_with_cancel, run_outcomes_bitpar_with_cancel, run_outcomes_with_cancel,
     run_with_cancel,
 };
-use solarstorm_sim::{sweep, Kernel};
+use solarstorm_sim::{sweep, Kernel, Precision};
 use solarstorm_topology::Network;
 
 /// Upper bound on trials accepted over the wire: a scenario above this
@@ -85,6 +86,31 @@ pub(crate) fn validate(spec: &ScenarioSpec) -> Result<(), EngineError> {
             spec.mc.trials
         )));
     }
+    if let Some(precision) = &spec.precision {
+        precision.validate()?;
+        if precision.max_trials > MAX_TRIALS {
+            return Err(EngineError::InvalidSpec(format!(
+                "precision.max_trials {} exceeds the service limit of {MAX_TRIALS}",
+                precision.max_trials
+            )));
+        }
+        match &spec.analysis {
+            AnalysisRequest::Stats | AnalysisRequest::SweepAxis { .. } => {
+                if spec.effective_kernel() == Kernel::PerPoint {
+                    return Err(EngineError::InvalidSpec(
+                        "adaptive precision needs a block kernel (bitpar64 or crn_axis), \
+                         not per_point"
+                            .into(),
+                    ));
+                }
+            }
+            _ => {
+                return Err(EngineError::InvalidSpec(
+                    "precision applies only to stats and sweep_axis analyses".into(),
+                ));
+            }
+        }
+    }
     match &spec.analysis {
         AnalysisRequest::Sleep { ms } if *ms > MAX_SLEEP_MS => {
             return Err(EngineError::InvalidSpec(format!(
@@ -129,6 +155,84 @@ fn cancellable_sleep(ms: u64, cancel: &CancelToken) -> Result<(), EngineError> {
     Ok(())
 }
 
+/// Adaptive-precision `Stats`: sequential stopping under the block
+/// kernel, or — when the spec pins `crn_axis` — the single-point axis
+/// allocator (same stopping rule on the axis trial stream).
+fn adaptive_stats(
+    spec: &ScenarioSpec,
+    net: &Network,
+    precision: &Precision,
+    cancel: &CancelToken,
+) -> Result<ScenarioResult, EngineError> {
+    let outcome = match spec.effective_kernel() {
+        Kernel::CrnAxis => with_model!(spec, |m| {
+            let axis = SingleModelAxis::new(&m);
+            sweep::run_adaptive_axis(sweep::prepare_axis(net, &axis, &spec.mc)?, precision, cancel)?
+                .pop()
+                .ok_or_else(|| {
+                    EngineError::Compute(
+                        "adaptive axis returned no outcome for a single-point axis".into(),
+                    )
+                })
+        })?,
+        _ => with_model!(spec, |m| run_adaptive_with_cancel(
+            net, &m, &spec.mc, precision, cancel
+        ))?,
+    };
+    let report = PrecisionReport::new(precision, &outcome);
+    Ok(ScenarioResult::Stats {
+        stats: outcome.stats,
+        precision: Some(report),
+    })
+}
+
+/// Adaptive-precision `SweepAxis`: the CRN axis allocator spends one
+/// common trial budget where the intervals are widest; the `bitpar64`
+/// kernel instead runs an independent per-point stopping rule on the
+/// same seed-salted streams as the fixed-budget grid.
+fn adaptive_sweep(
+    spec: &ScenarioSpec,
+    net: &Network,
+    points: &[f64],
+    precision: &Precision,
+    cancel: &CancelToken,
+) -> Result<ScenarioResult, EngineError> {
+    let outcomes = match spec.effective_kernel() {
+        Kernel::CrnAxis => {
+            let axis = UniformAxis::new(points.to_vec())?;
+            sweep::run_adaptive_axis(sweep::prepare_axis(net, &axis, &spec.mc)?, precision, cancel)?
+        }
+        _ => {
+            let prepared = points
+                .iter()
+                .map(|p| {
+                    let model = UniformFailure::new(*p)?;
+                    let cfg = solarstorm_sim::MonteCarloConfig {
+                        seed: spec.mc.seed ^ (p.to_bits().rotate_left(17)),
+                        ..spec.mc
+                    };
+                    Ok(sweep::prepare_bitpar(net, &model, &cfg)?)
+                })
+                .collect::<Result<Vec<_>, EngineError>>()?;
+            sweep::run_adaptive_points(prepared, precision, cancel)?
+        }
+    };
+    Ok(ScenarioResult::Sweep {
+        points: points
+            .iter()
+            .zip(outcomes)
+            .map(|(p, outcome)| {
+                let report = PrecisionReport::new(precision, &outcome);
+                SweepPointResult {
+                    p: *p,
+                    stats: outcome.stats,
+                    precision: Some(report),
+                }
+            })
+            .collect(),
+    })
+}
+
 /// Evaluates one scenario. Deterministic: the same spec always yields
 /// the same result, which is what makes the result cache sound.
 /// Cancellation is checked cooperatively (between trials, between
@@ -159,6 +263,9 @@ pub(crate) fn evaluate(
         AnalysisRequest::Stats => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
+            if let Some(precision) = &spec.precision {
+                return adaptive_stats(spec, net, precision, cancel);
+            }
             let stats = match spec.effective_kernel() {
                 Kernel::PerPoint => {
                     with_model!(spec, |m| run_with_cancel(net, &m, &spec.mc, cancel))?
@@ -177,11 +284,17 @@ pub(crate) fn evaluate(
                         })
                 })?,
             };
-            Ok(ScenarioResult::Stats { stats })
+            Ok(ScenarioResult::Stats {
+                stats,
+                precision: None,
+            })
         }
         AnalysisRequest::SweepAxis { points } => {
             let data = datasets(spec.scale);
             let net = network(data, spec.network);
+            if let Some(precision) = &spec.precision {
+                return adaptive_sweep(spec, net, points, precision, cancel);
+            }
             let stats = match spec.effective_kernel() {
                 Kernel::CrnAxis => {
                     let axis = UniformAxis::new(points.clone())?;
@@ -214,7 +327,11 @@ pub(crate) fn evaluate(
                 points: points
                     .iter()
                     .zip(stats)
-                    .map(|(p, stats)| SweepPointResult { p: *p, stats })
+                    .map(|(p, stats)| SweepPointResult {
+                        p: *p,
+                        stats,
+                        precision: None,
+                    })
                     .collect(),
             })
         }
@@ -372,7 +489,7 @@ mod tests {
         };
         assert_eq!(spec.effective_kernel(), Kernel::Bitpar64);
         match evaluate(&spec, &CancelToken::none()).unwrap() {
-            ScenarioResult::Stats { stats } => {
+            ScenarioResult::Stats { stats, .. } => {
                 assert!(stats.mean_cables_failed_pct >= 0.0);
                 assert!(stats.mean_cables_failed_pct <= 100.0);
             }
@@ -387,6 +504,119 @@ mod tests {
         match evaluate(&outcomes_spec, &CancelToken::none()).unwrap() {
             ScenarioResult::Outcomes { outcomes } => assert_eq!(outcomes.len(), 70),
             other => panic!("expected outcomes result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precision_is_validated_and_gated_per_analysis() {
+        let good = Precision {
+            ci: 0.95,
+            half_width: 0.5,
+            max_trials: 1024,
+        };
+        // Over-budget and malformed precisions are rejected.
+        let mut spec = ScenarioSpec {
+            precision: Some(Precision {
+                max_trials: MAX_TRIALS + 1,
+                ..good
+            }),
+            ..Default::default()
+        };
+        assert_eq!(validate(&spec).unwrap_err().code(), "invalid_spec");
+        spec.precision = Some(Precision { ci: 2.0, ..good });
+        assert_eq!(validate(&spec).unwrap_err().code(), "invalid_spec");
+        // The scalar per-point kernel has no block stream to stop on.
+        spec.precision = Some(good);
+        spec.kernel = Some(Kernel::PerPoint);
+        assert_eq!(validate(&spec).unwrap_err().code(), "invalid_spec");
+        // Analyses without an adaptive path reject precision outright.
+        spec.kernel = None;
+        for analysis in [
+            AnalysisRequest::Outcomes,
+            AnalysisRequest::Sleep { ms: 1 },
+            AnalysisRequest::Experiment { id: "E0".into() },
+        ] {
+            spec.analysis = analysis;
+            assert_eq!(validate(&spec).unwrap_err().code(), "invalid_spec");
+        }
+        // Stats and sweeps under the block kernels pass validation.
+        spec.analysis = AnalysisRequest::Stats;
+        assert!(validate(&spec).is_ok());
+        spec.analysis = AnalysisRequest::SweepAxis {
+            points: vec![0.1, 0.5],
+        };
+        assert!(validate(&spec).is_ok());
+        spec.kernel = Some(Kernel::Bitpar64);
+        assert!(validate(&spec).is_ok());
+    }
+
+    #[test]
+    fn adaptive_stats_meet_the_target_and_report_precision() {
+        let spec = ScenarioSpec {
+            precision: Some(Precision {
+                ci: 0.95,
+                half_width: 5.0,
+                max_trials: 4096,
+            }),
+            ..Default::default()
+        };
+        assert_eq!(spec.effective_kernel(), Kernel::Bitpar64);
+        match evaluate(&spec, &CancelToken::none()).unwrap() {
+            ScenarioResult::Stats { stats, precision } => {
+                let report = precision.expect("adaptive runs report precision");
+                assert!(report.met);
+                assert!(!report.best_effort);
+                assert!(report.achieved_half_width <= 5.0);
+                assert!(report.trials_used <= 4096);
+                assert_eq!(report.trials_used % 64, 0, "block-granular stopping");
+                assert_eq!(stats.trials, report.trials_used);
+            }
+            other => panic!("expected stats result, got {other:?}"),
+        }
+        // The axis kernel applies the same stopping rule to its own
+        // (trial-granular) stream.
+        let crn = ScenarioSpec {
+            kernel: Some(Kernel::CrnAxis),
+            ..spec
+        };
+        match evaluate(&crn, &CancelToken::none()).unwrap() {
+            ScenarioResult::Stats { precision, .. } => {
+                let report = precision.expect("adaptive runs report precision");
+                assert!(report.met);
+                assert!(report.trials_used <= 4096);
+            }
+            other => panic!("expected stats result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_sweeps_report_per_point_precision() {
+        let mk = |kernel: Option<Kernel>| ScenarioSpec {
+            analysis: AnalysisRequest::SweepAxis {
+                points: vec![0.01, 0.3],
+            },
+            precision: Some(Precision {
+                ci: 0.9,
+                half_width: 5.0,
+                max_trials: 4096,
+            }),
+            kernel,
+            ..Default::default()
+        };
+        for kernel in [None, Some(Kernel::Bitpar64)] {
+            match evaluate(&mk(kernel), &CancelToken::none()).unwrap() {
+                ScenarioResult::Sweep { points } => {
+                    assert_eq!(points.len(), 2, "{kernel:?}");
+                    for pt in &points {
+                        let report = pt.precision.expect("adaptive sweep points report");
+                        assert!(report.met, "{kernel:?} p={}", pt.p);
+                        assert!(report.trials_used <= 4096, "{kernel:?} p={}", pt.p);
+                        assert_eq!(report.target_half_width, 5.0);
+                        assert_eq!(pt.stats.trials, report.trials_used);
+                    }
+                }
+                other => panic!("expected sweep result, got {other:?}"),
+            }
         }
     }
 

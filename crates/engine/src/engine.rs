@@ -285,7 +285,12 @@ impl Engine {
                 None => Vec::new(),
             },
         );
-        let out = self.evaluate_inner(spec, shard, probe);
+        let mut out = self.evaluate_inner(spec, shard, probe);
+        if let Ok(ev) = &mut out {
+            // Adaptive runs report realized precision wherever the
+            // answer came from — fresh compute, cache, dedup, or hedge.
+            ev.manifest.note_precision(&ev.result);
+        }
         match &out {
             Ok(ev) => {
                 tspan.record("cache", solarstorm_obs::FieldValue::from(ev.cached));
@@ -762,11 +767,28 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
         });
         let compute_ns = dur_ns(t.elapsed());
         // Only completed computations reach the cache: cancelled or
-        // panicked runs are errors here and are never inserted.
-        if let Ok(value) = &result {
-            shared
-                .cache
-                .insert(job.hash, job.canon.clone(), Arc::clone(value));
+        // panicked runs are errors here and are never inserted — and
+        // neither are deadline-cut best-effort adaptive results, which
+        // answer the request that paid for them but would short-change
+        // every later request for the same scenario.
+        match &result {
+            Ok(value) if value.best_effort() => {
+                shared
+                    .metrics
+                    .best_effort_results
+                    .fetch_add(1, Ordering::Relaxed);
+                solarstorm_obs::event!(
+                    solarstorm_obs::Level::Debug,
+                    "best_effort_result",
+                    hash = format!("{:016x}", job.hash)
+                );
+            }
+            Ok(value) => {
+                shared
+                    .cache
+                    .insert(job.hash, job.canon.clone(), Arc::clone(value));
+            }
+            Err(_) => {}
         }
         shared.flights.complete(
             &job.canon,
@@ -957,6 +979,96 @@ mod tests {
         assert_eq!(err.code(), "busy");
         for h in held {
             h.join().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn precision_is_part_of_the_cache_identity_and_the_manifest() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let fixed = ScenarioSpec::default();
+        let adaptive = ScenarioSpec {
+            precision: Some(solarstorm_sim::Precision {
+                ci: 0.95,
+                half_width: 5.0,
+                max_trials: 1024,
+            }),
+            ..Default::default()
+        };
+        let a = engine.evaluate(&fixed).unwrap();
+        let b = engine.evaluate(&adaptive).unwrap();
+        assert_ne!(
+            a.hash, b.hash,
+            "precision must enter the scenario's cache identity"
+        );
+        assert!(!b.cached);
+        assert!(a.manifest.trials_used.is_none());
+        let used = b
+            .manifest
+            .trials_used
+            .expect("adaptive manifests record trials_used");
+        assert!((1..=1024).contains(&used));
+        assert!(b.manifest.achieved_half_width.expect("recorded") <= 5.0);
+        assert_eq!(b.manifest.precision_met, Some(true));
+        assert_eq!(b.manifest.best_effort, Some(false));
+        // A met adaptive result is cacheable — and the cache hit still
+        // reports the realized precision on its manifest.
+        let warm = engine.evaluate(&adaptive).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.manifest.trials_used, b.manifest.trials_used);
+        assert_eq!(engine.metrics().best_effort_results, 0);
+    }
+
+    #[test]
+    fn deadlined_adaptive_runs_answer_best_effort_and_skip_the_cache() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        // An unreachable target under a tight deadline: the run is cut
+        // short mid-budget. The timing race is inherent, so each branch
+        // asserts its own invariants instead of assuming one outcome.
+        let spec = ScenarioSpec {
+            precision: Some(solarstorm_sim::Precision {
+                ci: 0.999,
+                half_width: 1e-9,
+                max_trials: 100_000,
+            }),
+            deadline_ms: Some(25),
+            ..Default::default()
+        };
+        match engine.evaluate_full(&spec) {
+            Ok(ev) => {
+                let report = match &*ev.result {
+                    ScenarioResult::Stats { precision, .. } => {
+                        precision.expect("adaptive stats report precision")
+                    }
+                    other => panic!("expected stats result, got {other:?}"),
+                };
+                if report.best_effort {
+                    // At least one trial round completed before the
+                    // deadline: the engine answers with the precision
+                    // it achieved instead of a deadline error, and
+                    // caches nothing.
+                    assert!(!report.met);
+                    assert!(report.trials_used < 100_000);
+                    assert_eq!(ev.manifest.best_effort, Some(true));
+                    assert_eq!(engine.metrics().best_effort_results, 1);
+                    assert_eq!(engine.metrics().cache_entries, 0);
+                } else {
+                    // The whole budget fit inside the deadline: an
+                    // exhausted-budget run is complete and cacheable.
+                    assert_eq!(report.trials_used, 100_000);
+                    assert_eq!(engine.metrics().cache_entries, 1);
+                }
+            }
+            Err(report) => {
+                // The deadline fired before the first trial round.
+                assert_eq!(report.error.code(), "deadline");
+                assert_eq!(engine.metrics().cache_entries, 0);
+            }
         }
     }
 

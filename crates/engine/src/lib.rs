@@ -106,6 +106,6 @@ pub use proto::{Request, RequestBody, Response, WireError};
 pub use server::{serve_stream, serve_stream_bounded, Server, ServerConfig};
 pub use service::ScenarioService;
 pub use spec::{
-    AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, Scale, ScenarioResult, ScenarioSpec,
-    SweepPointResult,
+    AnalysisRequest, FailureSpec, NetworkSel, OutcomeSummary, PrecisionReport, Scale,
+    ScenarioResult, ScenarioSpec, SweepPointResult,
 };

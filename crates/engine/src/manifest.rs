@@ -7,7 +7,7 @@
 //! modulo the stage timings (and which stages ran — a cache hit skips
 //! the compute stages).
 
-use crate::spec::{NetworkSel, Scale, ScenarioSpec};
+use crate::spec::{NetworkSel, Scale, ScenarioResult, ScenarioSpec};
 use serde::{Deserialize, Serialize};
 
 /// Wall time spent in one named pipeline stage.
@@ -22,7 +22,7 @@ pub struct StageTiming {
 }
 
 /// Provenance record for one evaluated scenario.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
     /// FNV-1a content hash of the canonical spec, as 16 hex digits —
     /// the same value as the response's `hash` field.
@@ -68,6 +68,25 @@ pub struct RunManifest {
     /// with the flight recorder's span tree.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub trace_id: Option<String>,
+    /// Trials an adaptive-precision run actually drew (summed across
+    /// sweep points). `None` for fixed-budget runs. Like the stage
+    /// timings this is outcome, not identity: `trials` above records
+    /// what was *requested*, this what the stopping rule *spent*.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trials_used: Option<u64>,
+    /// Realized confidence-interval half-width of an adaptive run (the
+    /// widest point, for sweeps). `None` for fixed-budget runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub achieved_half_width: Option<f64>,
+    /// Whether an adaptive run met its precision target everywhere
+    /// within its trial budget. `None` for fixed-budget runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub precision_met: Option<bool>,
+    /// Whether an adaptive run was cut short by its deadline and
+    /// reports best-effort precision. Best-effort answers are never
+    /// cached. `None` for fixed-budget runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub best_effort: Option<bool>,
     /// Per-stage wall-time breakdown, in execution order.
     pub stages: Vec<StageTiming>,
 }
@@ -88,7 +107,22 @@ impl RunManifest {
             shard: None,
             hedge_hit: None,
             trace_id: None,
+            trials_used: None,
+            achieved_half_width: None,
+            precision_met: None,
+            best_effort: None,
             stages: Vec::new(),
+        }
+    }
+
+    /// Stamps adaptive-precision provenance from the result the run
+    /// produced; a no-op for fixed-budget results.
+    pub fn note_precision(&mut self, result: &ScenarioResult) {
+        if let Some(p) = result.precision_summary() {
+            self.trials_used = Some(p.trials_used as u64);
+            self.achieved_half_width = Some(p.achieved_half_width);
+            self.precision_met = Some(p.met);
+            self.best_effort = Some(p.best_effort);
         }
     }
 
@@ -211,6 +245,49 @@ mod tests {
         assert!(s.contains(r#""trace_id":"00000000000000ff""#), "{s}");
         let back: RunManifest = serde_json::from_str(&s).unwrap();
         assert_eq!(back, routed);
+    }
+
+    #[test]
+    fn adaptive_provenance_is_outcome_not_identity() {
+        let spec = ScenarioSpec::default();
+        let plain = RunManifest::new(&spec, 0x1);
+        let mut adaptive = RunManifest::new(&spec, 0x1);
+        adaptive.note_precision(&ScenarioResult::Stats {
+            stats: solarstorm_sim::TrialStats::from_metrics(&[1.0, 2.0], &[3.0, 4.0]),
+            precision: Some(crate::spec::PrecisionReport {
+                ci: 0.95,
+                target_half_width: 0.5,
+                trials_used: 4096,
+                achieved_half_width: 0.41,
+                met: true,
+                best_effort: false,
+            }),
+        });
+        assert_eq!(adaptive.trials_used, Some(4096));
+        assert_eq!(adaptive.achieved_half_width, Some(0.41));
+        assert_eq!(adaptive.precision_met, Some(true));
+        assert_eq!(adaptive.best_effort, Some(false));
+        assert!(
+            plain.same_identity(&adaptive),
+            "realized precision is outcome, not identity"
+        );
+
+        // Off the wire entirely for fixed-budget runs; round-trips.
+        let s = serde_json::to_string(&plain).unwrap();
+        assert!(
+            !s.contains("trials_used") && !s.contains("achieved_half_width"),
+            "{s}"
+        );
+        let s = serde_json::to_string(&adaptive).unwrap();
+        assert!(s.contains(r#""trials_used":4096"#), "{s}");
+        assert!(s.contains(r#""precision_met":true"#), "{s}");
+        let back: RunManifest = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, adaptive);
+
+        // A fixed-budget result leaves the manifest untouched.
+        let mut untouched = RunManifest::new(&spec, 0x1);
+        untouched.note_precision(&ScenarioResult::Slept { ms: 1 });
+        assert_eq!(untouched, plain);
     }
 
     #[test]

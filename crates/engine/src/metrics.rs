@@ -19,6 +19,9 @@ pub(crate) struct Registry {
     pub panics: AtomicU64,
     pub deadline_exceeded: AtomicU64,
     pub load_shed: AtomicU64,
+    /// Adaptive runs cut short by their deadline that answered with
+    /// best-effort precision (and were not cached).
+    pub best_effort_results: AtomicU64,
     /// 1 while the engine is in cache-only degraded mode, else 0.
     pub degraded: AtomicU64,
     pub cache_hits: AtomicU64,
@@ -44,6 +47,7 @@ impl Default for Registry {
             panics: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             load_shed: AtomicU64::new(0),
+            best_effort_results: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -104,6 +108,7 @@ impl Registry {
             panics: self.panics.load(Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Relaxed),
             load_shed: self.load_shed.load(Relaxed),
+            best_effort_results: self.best_effort_results.load(Relaxed),
             degraded: self.degraded.load(Relaxed) != 0,
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
@@ -218,6 +223,11 @@ pub struct EngineMetrics {
     /// Cache misses shed without queueing while degraded.
     #[serde(default)]
     pub load_shed: u64,
+    /// Adaptive runs cut short by their deadline that answered with
+    /// best-effort precision (never cached). Zero unless specs request
+    /// adaptive precision under deadlines.
+    #[serde(default)]
+    pub best_effort_results: u64,
     /// Whether the engine is currently in cache-only degraded mode.
     #[serde(default)]
     pub degraded: bool,
@@ -304,6 +314,7 @@ impl EngineMetrics {
                     panics: 0,
                     deadline_exceeded: 0,
                     load_shed: 0,
+                    best_effort_results: 0,
                     degraded: false,
                     cache_hits: 0,
                     cache_misses: 0,
@@ -339,6 +350,7 @@ impl EngineMetrics {
             out.panics += m.panics;
             out.deadline_exceeded += m.deadline_exceeded;
             out.load_shed += m.load_shed;
+            out.best_effort_results += m.best_effort_results;
             out.degraded |= m.degraded;
             out.cache_hits += m.cache_hits;
             out.cache_misses += m.cache_misses;
@@ -424,6 +436,11 @@ impl EngineMetrics {
                 "stormsim_load_shed_total",
                 "Cache misses shed without queueing while degraded.",
                 self.load_shed,
+            ),
+            (
+                "stormsim_best_effort_results_total",
+                "Deadline-cut adaptive runs answered with best-effort precision.",
+                self.best_effort_results,
             ),
             (
                 "stormsim_cache_hits_total",
@@ -681,6 +698,7 @@ mod tests {
         assert_eq!(m.panics, 0);
         assert_eq!(m.deadline_exceeded, 0);
         assert_eq!(m.load_shed, 0);
+        assert_eq!(m.best_effort_results, 0);
         assert!(!m.degraded);
     }
 
@@ -690,9 +708,14 @@ mod tests {
         r.panics.fetch_add(2, Relaxed);
         r.deadline_exceeded.fetch_add(3, Relaxed);
         r.load_shed.fetch_add(4, Relaxed);
+        r.best_effort_results.fetch_add(5, Relaxed);
         r.degraded.store(1, Relaxed);
         let text = snap(&r).to_prometheus();
         assert!(text.contains("\nstormsim_panics_total 2\n"), "{text}");
+        assert!(
+            text.contains("\nstormsim_best_effort_results_total 5\n"),
+            "{text}"
+        );
         assert!(
             text.contains("\nstormsim_deadline_exceeded_total 3\n"),
             "{text}"

@@ -7,7 +7,9 @@
 //! band model, paper-default Monte Carlo, aggregate statistics).
 
 use serde::{Deserialize, Serialize};
-use solarstorm_sim::{Kernel, MonteCarloConfig, TrialOutcome, TrialStats};
+use solarstorm_sim::{
+    AdaptiveOutcome, Kernel, MonteCarloConfig, Precision, TrialOutcome, TrialStats,
+};
 use solarstorm_solar::StormClass;
 
 /// Which dataset bundle a scenario runs against.
@@ -133,10 +135,25 @@ pub struct ScenarioSpec {
     /// [`ScenarioSpec::effective_kernel`]).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub kernel: Option<Kernel>,
+    /// Adaptive-precision Monte Carlo: run trials in 64-trial blocks
+    /// until the `ci`-level confidence-interval half-width on percent
+    /// nodes unreachable is at most `half_width`, capped at
+    /// `max_trials` per point. Applies to `Stats` and `SweepAxis`
+    /// analyses under the block kernels (`bitpar64`, `crn_axis`); the
+    /// spec's `mc.trials` is ignored for adaptive runs. Unlike
+    /// `deadline_ms`, this **is** part of the scenario's cache
+    /// identity: adaptive and fixed-budget runs draw different trial
+    /// counts and must never share a cache entry.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub precision: Option<Precision>,
     /// Optional per-request deadline, in milliseconds from admission
     /// (queue wait counts against it). A run still going when it
     /// expires is cancelled cooperatively and answered with a
     /// `deadline` error; its partial work is discarded, never cached.
+    /// Exception: an adaptive run (`precision` set) that has completed
+    /// at least one trial round answers with the statistics and
+    /// best-effort precision it achieved instead of failing — the
+    /// result says so (`best_effort`) and is never cached.
     /// Unset, the engine-wide default
     /// ([`crate::EngineConfig::default_deadline_ms`]) applies.
     ///
@@ -212,6 +229,39 @@ impl OutcomeSummary {
     }
 }
 
+/// Realized precision of one adaptive Monte Carlo estimate, reported
+/// next to the statistics it qualifies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionReport {
+    /// Requested confidence level.
+    pub ci: f64,
+    /// Requested half-width on percent nodes unreachable.
+    pub target_half_width: f64,
+    /// Trials actually drawn.
+    pub trials_used: usize,
+    /// Realized half-width at the requested confidence level.
+    pub achieved_half_width: f64,
+    /// Whether the target was met within the trial budget.
+    pub met: bool,
+    /// Whether the run was cut short by its deadline and reports the
+    /// best-effort precision it achieved instead of a `deadline` error.
+    pub best_effort: bool,
+}
+
+impl PrecisionReport {
+    /// Pairs a request with the outcome the stopping rule realized.
+    pub fn new(precision: &Precision, outcome: &AdaptiveOutcome) -> Self {
+        PrecisionReport {
+            ci: precision.ci,
+            target_half_width: precision.half_width,
+            trials_used: outcome.trials_used,
+            achieved_half_width: outcome.achieved_half_width,
+            met: outcome.met,
+            best_effort: outcome.best_effort,
+        }
+    }
+}
+
 /// The result of evaluating one [`ScenarioSpec`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
@@ -220,6 +270,10 @@ pub enum ScenarioResult {
     Stats {
         /// The aggregated batch statistics.
         stats: TrialStats,
+        /// Realized adaptive precision; present only when the spec
+        /// requested it.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        precision: Option<PrecisionReport>,
     },
     /// Per-trial summaries.
     Outcomes {
@@ -246,6 +300,37 @@ pub enum ScenarioResult {
     },
 }
 
+impl ScenarioResult {
+    /// Aggregate adaptive-precision provenance across the result:
+    /// total trials drawn, the widest realized half-width, `met` only
+    /// when every point met its target, `best_effort` when any point
+    /// was cut short. `None` for fixed-budget results.
+    pub fn precision_summary(&self) -> Option<PrecisionReport> {
+        match self {
+            ScenarioResult::Stats { precision, .. } => *precision,
+            ScenarioResult::Sweep { points } => {
+                let mut reports = points.iter().filter_map(|pt| pt.precision);
+                let mut agg = reports.next()?;
+                for r in reports {
+                    agg.trials_used += r.trials_used;
+                    agg.achieved_half_width = agg.achieved_half_width.max(r.achieved_half_width);
+                    agg.met &= r.met;
+                    agg.best_effort |= r.best_effort;
+                }
+                Some(agg)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the result reports deadline-cut best-effort precision.
+    /// Best-effort results answer the request that paid for them but
+    /// are never cached — a later request deserves the full budget.
+    pub fn best_effort(&self) -> bool {
+        self.precision_summary().is_some_and(|p| p.best_effort)
+    }
+}
+
 /// One point of an [`AnalysisRequest::SweepAxis`] response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPointResult {
@@ -253,6 +338,10 @@ pub struct SweepPointResult {
     pub p: f64,
     /// Aggregated Monte Carlo statistics at this point.
     pub stats: TrialStats,
+    /// Realized adaptive precision at this point; present only when
+    /// the spec requested it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub precision: Option<PrecisionReport>,
 }
 
 #[cfg(test)]
@@ -351,6 +440,85 @@ mod tests {
             !bare.contains("trace"),
             "trace: false must not appear in serialized specs: {bare}"
         );
+    }
+
+    #[test]
+    fn precision_parses_and_stays_off_the_wire_when_unset() {
+        let spec: ScenarioSpec =
+            serde_json::from_str(r#"{"precision": {"half_width": 0.5, "max_trials": 65536}}"#)
+                .unwrap();
+        let precision = spec.precision.expect("precision parses");
+        assert_eq!(precision.half_width, 0.5);
+        assert_eq!(precision.max_trials, 65536);
+        // Unspecified sub-fields take the adaptive defaults.
+        assert_eq!(precision.ci, Precision::default().ci);
+        let bare = serde_json::to_string(&ScenarioSpec::default()).unwrap();
+        assert!(
+            !bare.contains("precision"),
+            "an unset precision must not appear in serialized specs: {bare}"
+        );
+        // Round-trips when set, so it participates in the canonical
+        // serialization (and therefore the cache identity).
+        let s = serde_json::to_string(&spec).unwrap();
+        assert!(s.contains("precision"), "{s}");
+        let back: ScenarioSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn precision_summary_aggregates_across_sweep_points() {
+        let stats = TrialStats::from_metrics(&[1.0, 2.0], &[3.0, 4.0]);
+        let report = |trials_used, achieved, met, best_effort| PrecisionReport {
+            ci: 0.95,
+            target_half_width: 0.5,
+            trials_used,
+            achieved_half_width: achieved,
+            met,
+            best_effort,
+        };
+        let sweep = ScenarioResult::Sweep {
+            points: vec![
+                SweepPointResult {
+                    p: 0.1,
+                    stats: stats.clone(),
+                    precision: Some(report(128, 0.2, true, false)),
+                },
+                SweepPointResult {
+                    p: 0.5,
+                    stats: stats.clone(),
+                    precision: Some(report(4096, 0.7, false, true)),
+                },
+            ],
+        };
+        let agg = sweep.precision_summary().expect("adaptive sweep");
+        assert_eq!(agg.trials_used, 128 + 4096);
+        assert_eq!(agg.achieved_half_width, 0.7);
+        assert!(!agg.met, "one unmet point spoils the aggregate");
+        assert!(agg.best_effort);
+        assert!(sweep.best_effort());
+
+        let fixed = ScenarioResult::Sweep {
+            points: vec![SweepPointResult {
+                p: 0.1,
+                stats: stats.clone(),
+                precision: None,
+            }],
+        };
+        assert!(fixed.precision_summary().is_none());
+        assert!(!fixed.best_effort());
+        let adaptive_stats = ScenarioResult::Stats {
+            stats,
+            precision: Some(report(256, 0.3, true, false)),
+        };
+        assert!(!adaptive_stats.best_effort());
+        assert_eq!(
+            adaptive_stats.precision_summary().unwrap().trials_used,
+            256
+        );
+        // Fixed-budget results stay byte-identical on the wire: no
+        // precision key appears when the option is unset.
+        let s = serde_json::to_string(&fixed).unwrap();
+        assert!(!s.contains("precision"), "{s}");
     }
 
     #[test]

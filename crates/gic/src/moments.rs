@@ -1,0 +1,326 @@
+//! Running (online) moment accumulators for adaptive-precision
+//! sampling.
+//!
+//! The sequential-stopping Monte Carlo loop needs the running mean and
+//! variance of `percent_unreachable` after every block of trials, and
+//! re-walking the outcome buffers per block would turn an O(n) kernel
+//! into O(n²). [`RunningMoments`] is the standard Welford accumulator
+//! (numerically stable single-pass mean/M2) with Chan's parallel merge
+//! so per-chunk accumulators can be combined in deterministic block
+//! order; [`z_value`] converts a two-sided confidence level into the
+//! normal quantile the half-width test multiplies by.
+
+/// Single-pass mean/variance accumulator (Welford's algorithm) with a
+/// parallel merge (Chan et al.).
+///
+/// Determinism contract: pushing the same values in the same order, or
+/// merging the same sub-accumulators in the same order, yields
+/// bit-identical state. The adaptive kernel merges per-block
+/// accumulators in block order, so the achieved precision and trial
+/// counts it reports are independent of thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (Chan's pairwise
+    /// update). Merging `b` into `a` is *not* bit-identical to pushing
+    /// `b`'s observations onto `a` one by one, but merging the same
+    /// parts in the same order is deterministic — which is the contract
+    /// the block kernel relies on.
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.count += other.count;
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (divisor `n − 1`; `0.0` when fewer than
+    /// two observations). This is the estimator the confidence-interval
+    /// half-width uses.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        (self.m2 / (self.count as f64 - 1.0)).max(0.0)
+    }
+
+    /// Population variance (divisor `n`; `0.0` when empty) — matches
+    /// the two-pass convention `TrialStats` reports.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.m2 / self.count as f64).max(0.0)
+    }
+
+    /// Population standard deviation (`0.0` when empty).
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Half-width of the two-sided normal-approximation confidence
+    /// interval on the mean at normal quantile `z`:
+    /// `z · s / √n` with `s` the sample standard deviation. Returns
+    /// `f64::INFINITY` with fewer than two observations (no variance
+    /// estimate exists yet, so no precision can be claimed).
+    pub fn half_width(&self, z: f64) -> f64 {
+        if self.count < 2 {
+            return f64::INFINITY;
+        }
+        z * (self.sample_variance() / self.count as f64).sqrt()
+    }
+}
+
+/// The two-sided normal quantile for confidence level `ci` (e.g.
+/// `z_value(0.95) ≈ 1.96`): `Φ⁻¹((1 + ci) / 2)` via Acklam's rational
+/// approximation (|relative error| < 1.15e-9 — far below Monte Carlo
+/// noise). `ci` must lie in `(0, 1)`; out-of-range input is the
+/// caller's validation bug and panics.
+pub fn z_value(ci: f64) -> f64 {
+    assert!(
+        ci.is_finite() && ci > 0.0 && ci < 1.0,
+        "confidence level must lie in (0, 1), got {ci}"
+    );
+    inverse_normal_cdf((1.0 + ci) / 2.0)
+}
+
+/// Acklam's rational approximation to the standard normal quantile
+/// function on `p ∈ (0, 1)`.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Two-pass reference: exact mean, then sum of squared deviations.
+    fn two_pass(values: &[f64]) -> (f64, f64, f64) {
+        if values.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let sample = if values.len() < 2 { 0.0 } else { ss / (n - 1.0) };
+        (mean, sample, ss / n)
+    }
+
+    fn assert_close(a: f64, b: f64, scale: f64, what: &str) {
+        let tol = 1e-9 * scale.max(1.0);
+        assert!((a - b).abs() <= tol, "{what}: {a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn empty_and_singleton_are_degenerate() {
+        let mut m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert!(m.half_width(1.96).is_infinite());
+        m.push(42.0);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert!(m.half_width(1.96).is_infinite());
+    }
+
+    #[test]
+    fn matches_two_pass_on_a_known_set() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = RunningMoments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        assert_eq!(m.count(), 8);
+        assert_close(m.mean(), 5.0, 10.0, "mean");
+        assert_close(m.population_variance(), 4.0, 10.0, "pop var");
+        assert_close(m.sample_variance(), 32.0 / 7.0, 10.0, "sample var");
+    }
+
+    #[test]
+    fn merge_in_fixed_order_is_deterministic() {
+        let chunks: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![10.0, 20.0],
+            vec![-5.0],
+            vec![0.25, 0.5, 0.75, 1.0],
+        ];
+        let fold = |chunks: &[Vec<f64>]| {
+            let mut total = RunningMoments::new();
+            for chunk in chunks {
+                let mut part = RunningMoments::new();
+                for &v in chunk {
+                    part.push(v);
+                }
+                total.merge(&part);
+            }
+            total
+        };
+        let a = fold(&chunks);
+        let b = fold(&chunks);
+        // Bit-identical, not just approximately equal.
+        assert_eq!(a, b);
+        let (mean, sample, _) = two_pass(&chunks.concat());
+        assert_close(a.mean(), mean, 20.0, "merged mean");
+        assert_close(a.sample_variance(), sample, 100.0, "merged sample var");
+    }
+
+    #[test]
+    fn z_values_match_the_standard_table() {
+        for (ci, z) in [(0.90, 1.6449), (0.95, 1.9600), (0.99, 2.5758)] {
+            assert!(
+                (z_value(ci) - z).abs() < 5e-4,
+                "z({ci}) = {} want ≈ {z}",
+                z_value(ci)
+            );
+        }
+        // Tail branch of the approximation.
+        assert!((z_value(0.9999) - 3.8906).abs() < 5e-4);
+        assert!((z_value(0.01) - 0.01253).abs() < 5e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn z_value_rejects_out_of_range() {
+        z_value(1.0);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_root_n() {
+        let mut m = RunningMoments::new();
+        for i in 0..100 {
+            m.push(if i % 2 == 0 { 0.0 } else { 1.0 });
+        }
+        let hw100 = m.half_width(1.96);
+        for i in 0..300 {
+            m.push(if i % 2 == 0 { 0.0 } else { 1.0 });
+        }
+        let hw400 = m.half_width(1.96);
+        // 4x the samples ⇒ half the width (same underlying variance).
+        assert!((hw400 - hw100 / 2.0).abs() < 0.01, "{hw100} vs {hw400}");
+    }
+
+    proptest! {
+        /// Satellite: Welford (push) agrees with the two-pass reference.
+        #[test]
+        fn welford_matches_two_pass(values in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let mut m = RunningMoments::new();
+            for &v in &values {
+                m.push(v);
+            }
+            let (mean, sample, pop) = two_pass(&values);
+            let scale = values.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+            prop_assert_eq!(m.count() as usize, values.len());
+            prop_assert!((m.mean() - mean).abs() <= 1e-7 * scale.max(1.0));
+            prop_assert!((m.sample_variance() - sample).abs() <= 1e-5 * (scale * scale).max(1.0));
+            prop_assert!((m.population_variance() - pop).abs() <= 1e-5 * (scale * scale).max(1.0));
+        }
+
+        /// Chan's merge over arbitrary chunkings agrees with one pass
+        /// over the concatenation.
+        #[test]
+        fn merge_matches_two_pass(
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(-1e4f64..1e4, 0..50), 0..8)
+        ) {
+            let mut merged = RunningMoments::new();
+            for chunk in &chunks {
+                let mut part = RunningMoments::new();
+                for &v in chunk {
+                    part.push(v);
+                }
+                merged.merge(&part);
+            }
+            let all: Vec<f64> = chunks.concat();
+            let (mean, sample, _) = two_pass(&all);
+            let scale = all.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+            prop_assert_eq!(merged.count() as usize, all.len());
+            prop_assert!((merged.mean() - mean).abs() <= 1e-7 * scale.max(1.0));
+            prop_assert!((merged.sample_variance() - sample).abs() <= 1e-4 * (scale * scale).max(1.0));
+        }
+    }
+}

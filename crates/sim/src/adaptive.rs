@@ -1,0 +1,693 @@
+//! Adaptive-precision Monte Carlo: sequential stopping on the
+//! percent-unreachable confidence interval.
+//!
+//! Fixed trial counts either waste work in easy regimes (a p = 0 sweep
+//! point converges after one block) or under-resolve the tails the
+//! paper's figures care about. This module runs the bit-parallel kernel
+//! in *rounds* of 64-trial blocks and stops as soon as the requested
+//! normal-approximation confidence interval on
+//! `percent_nodes_unreachable` is narrower than the target half-width,
+//! or the trial budget runs out — whichever comes first.
+//!
+//! The stopping decision is made only at round boundaries, and every
+//! round's metrics fold into the streaming accumulators
+//! ([`solarstorm_gic::RunningMoments`]) in trial order from the ordered
+//! chunk concatenation, so for a given `(seed, precision)` the number of
+//! trials used — and the resulting statistics — are identical across
+//! thread counts, exactly like the fixed-budget kernels.
+//!
+//! Cancellation is best-effort by design: when the token fires mid-run,
+//! the partial round is discarded and the statistics accumulated over
+//! the *completed* rounds are returned with `best_effort: true`. Only a
+//! run cancelled before its first round completes returns
+//! [`SimError::Cancelled`]. The service layer uses this to answer
+//! deadline-bounded requests with the precision actually achieved
+//! instead of a bare deadline error.
+
+use crate::cancel::CancelToken;
+use crate::monte_carlo::{
+    bitpar_metrics_chunk, run_chunked, KernelInputs, MonteCarloConfig, TrialScratch, TrialStats,
+};
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use solarstorm_gic::{z_value, FailureModel, RunningMoments};
+use solarstorm_topology::Network;
+
+/// Minimum trials before a stop is allowed (two full blocks): a lucky
+/// low-variance first block must not end the run before the variance
+/// estimate means anything. Budgets below the floor stop at the budget.
+const MIN_STOP_TRIALS: usize = 128;
+
+/// A requested precision target: stop once the `ci`-level confidence
+/// interval on mean `percent_nodes_unreachable` has half-width at most
+/// `half_width` (percentage points), or after `max_trials` trials.
+///
+/// Deserializes with per-field defaults so wire requests may override
+/// any subset; the defaults ask for ±0.5 pct at 95% confidence within
+/// 10,000 trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default, deny_unknown_fields)]
+pub struct Precision {
+    /// Confidence level of the interval, in (0, 1).
+    pub ci: f64,
+    /// Target half-width, in percentage points of nodes unreachable.
+    pub half_width: f64,
+    /// Hard trial budget; the run never exceeds it.
+    pub max_trials: usize,
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Precision {
+            ci: 0.95,
+            half_width: 0.5,
+            max_trials: 10_000,
+        }
+    }
+}
+
+impl Precision {
+    /// Validates the target. Rejected values surface as
+    /// [`SimError::InvalidConfig`] before any trial runs.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.ci.is_finite() || self.ci <= 0.0 || self.ci >= 1.0 {
+            return Err(SimError::InvalidConfig {
+                name: "ci",
+                message: format!("{} must lie in (0, 1)", self.ci),
+            });
+        }
+        if !self.half_width.is_finite() || self.half_width <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                name: "half_width",
+                message: format!("{} must be finite and > 0", self.half_width),
+            });
+        }
+        if self.max_trials < 2 {
+            return Err(SimError::InvalidConfig {
+                name: "max_trials",
+                message: format!("{} must be at least 2", self.max_trials),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The result of one adaptive run: the usual aggregate statistics plus
+/// how much work the stopping rule actually spent and what precision it
+/// reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOutcome {
+    /// Aggregate statistics over the trials that ran.
+    pub stats: TrialStats,
+    /// Trials actually evaluated (`≤ max_trials`).
+    pub trials_used: usize,
+    /// Realized half-width of the `ci`-level interval on mean percent
+    /// nodes unreachable; `f64::INFINITY` below two trials.
+    pub achieved_half_width: f64,
+    /// Whether the target half-width was met within the budget.
+    pub met: bool,
+    /// True when cancellation cut the run short and the statistics
+    /// cover only the rounds completed before the token fired. Best-
+    /// effort results must not enter result caches.
+    pub best_effort: bool,
+}
+
+/// Streaming stopping-rule state: the two metric accumulators plus the
+/// compiled target. Shared by the single-point kernel here and the
+/// sweep-level allocators in [`crate::sweep`].
+pub(crate) struct StopState {
+    cables: RunningMoments,
+    nodes: RunningMoments,
+    z: f64,
+    target: f64,
+    max_trials: usize,
+}
+
+impl StopState {
+    pub(crate) fn new(precision: &Precision) -> StopState {
+        StopState {
+            cables: RunningMoments::new(),
+            nodes: RunningMoments::new(),
+            z: z_value(precision.ci),
+            target: precision.half_width,
+            max_trials: precision.max_trials,
+        }
+    }
+
+    /// Folds one metric pair in trial order.
+    pub(crate) fn push(&mut self, cables_pct: f64, nodes_pct: f64) {
+        self.cables.push(cables_pct);
+        self.nodes.push(nodes_pct);
+    }
+
+    /// Folds a round's `(cables %, nodes %)` series in trial order.
+    pub(crate) fn fold(&mut self, metrics: &[(f64, f64)]) {
+        for &(c, n) in metrics {
+            self.push(c, n);
+        }
+    }
+
+    pub(crate) fn trials(&self) -> usize {
+        self.nodes.count() as usize
+    }
+
+    /// Realized half-width on the stopping metric (nodes unreachable).
+    pub(crate) fn achieved_half_width(&self) -> f64 {
+        self.nodes.half_width(self.z)
+    }
+
+    /// Trials below which stopping is never allowed.
+    fn min_stop_trials(&self) -> usize {
+        MIN_STOP_TRIALS.min(self.max_trials)
+    }
+
+    /// Whether the target is met — only meaningful at round boundaries.
+    pub(crate) fn met(&self) -> bool {
+        self.trials() >= self.min_stop_trials() && self.achieved_half_width() <= self.target
+    }
+
+    /// Total trials the current variance estimate projects are needed to
+    /// meet the target (uncapped; callers clamp to the budget). Saturates
+    /// rather than overflowing when the target is far out of reach.
+    pub(crate) fn projected_trials(&self) -> usize {
+        let n = self.nodes.count();
+        if n < 2 {
+            return self.min_stop_trials();
+        }
+        let s2 = self.nodes.sample_variance();
+        if s2 <= 0.0 {
+            return n as usize;
+        }
+        // n* solves z·sqrt(s² / n*) = target.
+        ((self.z * self.z * s2) / (self.target * self.target)).ceil() as usize
+    }
+
+    /// Sizes the next round, in 64-trial blocks, after `blocks_done`
+    /// blocks: enough blocks to close the projected gap, floored at a
+    /// quarter and capped at four times the work so far. The floor keeps
+    /// the round count logarithmic when the variance estimate
+    /// undershoots; the cap bounds how much work one round can commit,
+    /// so a deadline that fires mid-round discards at most ~80% of the
+    /// trials run so far. Always capped at the remaining budget; zero
+    /// means stop.
+    pub(crate) fn next_round_blocks(&self, blocks_done: usize) -> usize {
+        let max_blocks = self.max_trials.div_ceil(64);
+        let remaining = max_blocks.saturating_sub(blocks_done);
+        if remaining == 0 || self.met() {
+            return 0;
+        }
+        let needed = self
+            .projected_trials()
+            .min(self.max_trials)
+            .saturating_sub(self.trials());
+        let want = needed.div_ceil(64).max(1);
+        let floor = (blocks_done / 4).max(1);
+        let cap = (blocks_done * 4).max(1);
+        want.clamp(floor, cap).min(remaining)
+    }
+
+    /// Builds the outcome for the trials folded so far.
+    pub(crate) fn outcome(&self, best_effort: bool) -> AdaptiveOutcome {
+        AdaptiveOutcome {
+            stats: TrialStats::from_moments(&self.cables, &self.nodes),
+            trials_used: self.trials(),
+            achieved_half_width: self.achieved_half_width(),
+            met: self.met(),
+            best_effort,
+        }
+    }
+}
+
+/// The round loop over prepared kernel inputs: runs rounds of 64-trial
+/// blocks through [`bitpar_metrics_chunk`] until the stopping rule
+/// fires or the budget is exhausted. Blocks are addressed absolutely
+/// (block `b` always draws `block_rng(seed, b)`), so the trial stream is
+/// a prefix of the fixed-budget `bitpar64` stream at `max_trials`.
+pub(crate) fn run_adaptive_blocks(
+    inputs: &KernelInputs,
+    threads: usize,
+    precision: &Precision,
+    cancel: &CancelToken,
+) -> Result<AdaptiveOutcome, SimError> {
+    let max_trials = precision.max_trials;
+    let max_blocks = max_trials.div_ceil(64);
+    let mut state = StopState::new(precision);
+    let mut next_block = 0usize;
+    loop {
+        let round = if next_block == 0 {
+            // Two blocks before the first decision: the variance
+            // estimate needs more than one block behind it.
+            2.min(max_blocks)
+        } else {
+            state.next_round_blocks(next_block)
+        };
+        if round == 0 {
+            break;
+        }
+        let base = next_block;
+        let chunk_fn = move |inputs: &KernelInputs,
+                             cancel: &CancelToken,
+                             start: usize,
+                             end: usize,
+                             scratch: &mut TrialScratch,
+                             out: &mut Vec<(f64, f64)>| {
+            bitpar_metrics_chunk(
+                inputs,
+                cancel,
+                base + start,
+                base + end,
+                max_trials,
+                scratch,
+                out,
+            )
+        };
+        let metrics = run_chunked(inputs, cancel, round, threads.min(round).max(1), chunk_fn);
+        if cancel.is_cancelled() {
+            // The interrupted round is discarded whole; completed
+            // rounds answer best-effort.
+            if next_block == 0 {
+                return Err(SimError::Cancelled);
+            }
+            return Ok(state.outcome(true));
+        }
+        state.fold(&metrics);
+        next_block += round;
+    }
+    Ok(state.outcome(false))
+}
+
+/// Runs the adaptive bit-parallel kernel to the requested precision.
+///
+/// `cfg.trials` is ignored: the stopping rule and `precision.max_trials`
+/// govern how many trials run. Everything else (`seed`, `spacing_km`,
+/// `max_threads`) applies as in [`crate::monte_carlo::run_bitpar`], and
+/// the RNG streams are the same salted block streams, so an adaptive run
+/// that uses `n` trials reproduces the first `n` trials of the
+/// fixed-budget kernel at `trials = max_trials`.
+pub fn run_adaptive<M: FailureModel + ?Sized>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    precision: &Precision,
+) -> Result<AdaptiveOutcome, SimError> {
+    run_adaptive_with_cancel(net, model, cfg, precision, &CancelToken::none())
+}
+
+/// [`run_adaptive`] with cooperative cancellation. Unlike the
+/// fixed-budget kernels, cancellation here is *best-effort*: once at
+/// least one round has completed, a fired token yields `Ok` with
+/// `best_effort: true` covering the completed rounds; only a run
+/// cancelled before any round completes returns
+/// [`SimError::Cancelled`].
+pub fn run_adaptive_with_cancel<M: FailureModel + ?Sized>(
+    net: &Network,
+    model: &M,
+    cfg: &MonteCarloConfig,
+    precision: &Precision,
+    cancel: &CancelToken,
+) -> Result<AdaptiveOutcome, SimError> {
+    cfg.validate()?;
+    precision.validate()?;
+    let inputs = KernelInputs::prepare(net, model, cfg);
+    let max_blocks = precision.max_trials.div_ceil(64);
+    let threads = cfg
+        .max_threads
+        .min(max_blocks)
+        .min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .max(1);
+    let _span = solarstorm_obs::span!(
+        "mc_adaptive",
+        max_trials = precision.max_trials,
+        half_width = precision.half_width,
+        ci = precision.ci,
+        threads = threads,
+        spacing_km = cfg.spacing_km,
+        seed = cfg.seed
+    );
+    let outcome = run_adaptive_blocks(&inputs, threads, precision, cancel)?;
+    solarstorm_obs::event!(
+        solarstorm_obs::Level::Debug,
+        "mc_adaptive_done",
+        trials_used = outcome.trials_used,
+        achieved_half_width = outcome.achieved_half_width,
+        met = outcome.met,
+        best_effort = outcome.best_effort
+    );
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::run_bitpar;
+    use proptest::prelude::*;
+    use solarstorm_geo::GeoPoint;
+    use solarstorm_gic::UniformFailure;
+    use solarstorm_topology::{NetworkKind, NodeInfo, NodeRole, SegmentSpec};
+
+    /// Network with 10 identical long polar cables and 10 short ones —
+    /// every cable is an isolated pair, so percent nodes unreachable
+    /// equals percent cables dead exactly and the true mean has a
+    /// closed form.
+    fn test_net() -> Network {
+        let mut net = Network::new(NetworkKind::Submarine);
+        for i in 0..10 {
+            let a = net.add_node(NodeInfo {
+                name: format!("P{i}a"),
+                location: GeoPoint::new(62.0, i as f64).unwrap(),
+                country: "NO".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("P{i}b"),
+                location: GeoPoint::new(62.0, i as f64 + 40.0).unwrap(),
+                country: "CA".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("long{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(5000.0),
+                }],
+            )
+            .unwrap();
+        }
+        for i in 0..10 {
+            let a = net.add_node(NodeInfo {
+                name: format!("S{i}a"),
+                location: GeoPoint::new(5.0, i as f64).unwrap(),
+                country: "SG".into(),
+                role: NodeRole::LandingPoint,
+            });
+            let b = net.add_node(NodeInfo {
+                name: format!("S{i}b"),
+                location: GeoPoint::new(5.5, i as f64).unwrap(),
+                country: "SG".into(),
+                role: NodeRole::LandingPoint,
+            });
+            net.add_cable(
+                format!("short{i}"),
+                vec![SegmentSpec {
+                    a,
+                    b,
+                    route: None,
+                    length_km: Some(100.0),
+                }],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn precision_validation_rejects_bad_targets() {
+        let ok = Precision::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            Precision { ci: 0.0, ..ok },
+            Precision { ci: 1.0, ..ok },
+            Precision {
+                ci: f64::NAN,
+                ..ok
+            },
+            Precision {
+                half_width: 0.0,
+                ..ok
+            },
+            Precision {
+                half_width: -1.0,
+                ..ok
+            },
+            Precision {
+                half_width: f64::INFINITY,
+                ..ok
+            },
+            Precision {
+                max_trials: 1,
+                ..ok
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        let net = test_net();
+        let model = UniformFailure::new(0.1).unwrap();
+        assert!(run_adaptive(
+            &net,
+            &model,
+            &MonteCarloConfig::default(),
+            &Precision { ci: 2.0, ..ok }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn precision_serde_round_trips_with_field_defaults() {
+        let p = Precision {
+            ci: 0.9,
+            half_width: 1.25,
+            max_trials: 4096,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Precision>(&json).unwrap(), p);
+        // Partial wire specs fill the remaining fields from the default.
+        let partial: Precision = serde_json::from_str(r#"{"half_width": 2.0}"#).unwrap();
+        assert_eq!(
+            partial,
+            Precision {
+                half_width: 2.0,
+                ..Precision::default()
+            }
+        );
+        assert!(serde_json::from_str::<Precision>(r#"{"halfwidth": 2.0}"#).is_err());
+    }
+
+    #[test]
+    fn zero_variance_points_stop_at_the_floor() {
+        let net = test_net();
+        let precision = Precision {
+            max_trials: 10_000,
+            ..Precision::default()
+        };
+        // p = 0: every trial reports exactly 0% — and p = 1: exactly 50%
+        // — so the interval collapses as soon as stopping is allowed.
+        for p in [0.0, 1.0] {
+            let model = UniformFailure::new(p).unwrap();
+            let out =
+                run_adaptive(&net, &model, &MonteCarloConfig::default(), &precision).unwrap();
+            assert_eq!(out.trials_used, MIN_STOP_TRIALS, "p = {p}");
+            assert_eq!(out.stats.trials, MIN_STOP_TRIALS);
+            assert_eq!(out.achieved_half_width, 0.0);
+            assert!(out.met);
+            assert!(!out.best_effort);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 1.0,
+            max_trials: 8192,
+        };
+        let mk = |max_threads| MonteCarloConfig {
+            max_threads,
+            ..Default::default()
+        };
+        let one = run_adaptive(&net, &model, &mk(1), &precision).unwrap();
+        for threads in [2, 8] {
+            let many = run_adaptive(&net, &model, &mk(threads), &precision).unwrap();
+            assert_eq!(one, many, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn adaptive_prefix_matches_fixed_budget_stream() {
+        // An adaptive run that stops after n trials must report exactly
+        // the statistics of the first n trials of the fixed bitpar64
+        // stream at trials = max_trials (same absolute block indices,
+        // same tail mask).
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 1.0,
+            max_trials: 8192,
+        };
+        let cfg = MonteCarloConfig::default();
+        let out = run_adaptive(&net, &model, &cfg, &precision).unwrap();
+        assert!(out.met);
+        assert!(out.trials_used < precision.max_trials, "must save trials");
+        assert_eq!(out.trials_used % 64, 0, "stops at block boundaries");
+        let fixed = run_bitpar(
+            &net,
+            &model,
+            &MonteCarloConfig {
+                trials: out.trials_used,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stats.trials, fixed.trials);
+        for (got, want) in [
+            (out.stats.mean_cables_failed_pct, fixed.mean_cables_failed_pct),
+            (out.stats.std_cables_failed_pct, fixed.std_cables_failed_pct),
+            (
+                out.stats.mean_nodes_unreachable_pct,
+                fixed.mean_nodes_unreachable_pct,
+            ),
+            (
+                out.stats.std_nodes_unreachable_pct,
+                fixed.std_nodes_unreachable_pct,
+            ),
+        ] {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "streaming {got} vs two-pass {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_ci_covers_the_true_parameter() {
+        // Closed form on the fixture: long cables have floor(5000/150) =
+        // 33 repeaters, each failing w.p. 0.02, so a long cable dies
+        // w.p. 1 - 0.98^33; short cables have no repeaters and never
+        // die. Every cable is an isolated pair, so the true mean of
+        // percent nodes unreachable is 50 · (1 - 0.98^33).
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let truth = 50.0 * (1.0 - 0.98f64.powi(33));
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 2.0,
+            max_trials: 4096,
+        };
+        let runs = 60;
+        let mut covered = 0;
+        for seed in 0..runs {
+            let cfg = MonteCarloConfig {
+                seed: 0xC0FFEE + seed,
+                ..Default::default()
+            };
+            let out = run_adaptive(&net, &model, &cfg, &precision).unwrap();
+            assert!(out.met, "seed {seed}: generous target must be met");
+            assert!(out.trials_used <= precision.max_trials);
+            if (out.stats.mean_nodes_unreachable_pct - truth).abs() <= out.achieved_half_width {
+                covered += 1;
+            }
+        }
+        // Fixed seeds make this deterministic; the margin below the
+        // nominal 95% absorbs the normal approximation and the finite
+        // sample of runs (at true coverage 95%, 60 runs dip below 52
+        // with probability ~1e-3).
+        assert!(
+            covered >= 52,
+            "coverage {covered}/{runs} below the requested rate"
+        );
+    }
+
+    #[test]
+    fn deadline_mid_run_returns_best_effort_not_error() {
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        // An unreachable target over a huge budget guarantees the run is
+        // still going when the deadline fires; the budget is far too
+        // large to finish in the window on any machine.
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 1e-3,
+            max_trials: 1_000_000_000,
+        };
+        let cancel = CancelToken::with_deadline(std::time::Duration::from_millis(20));
+        let out = run_adaptive_with_cancel(
+            &net,
+            &model,
+            &MonteCarloConfig::default(),
+            &precision,
+            &cancel,
+        )
+        .unwrap();
+        assert!(out.best_effort);
+        assert!(!out.met);
+        assert!(out.trials_used >= MIN_STOP_TRIALS, "first round completed");
+        assert!(out.trials_used < precision.max_trials);
+        assert!(out.achieved_half_width.is_finite());
+        assert_eq!(out.stats.trials, out.trials_used);
+    }
+
+    #[test]
+    fn pre_cancelled_token_is_an_error() {
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            run_adaptive_with_cancel(
+                &net,
+                &model,
+                &MonteCarloConfig::default(),
+                &Precision::default(),
+                &token,
+            )
+            .unwrap_err(),
+            SimError::Cancelled
+        );
+    }
+
+    #[test]
+    fn tiny_budgets_stop_at_the_budget() {
+        let net = test_net();
+        let model = UniformFailure::new(0.02).unwrap();
+        // max_trials below the stop floor: the whole budget runs, the
+        // tail block is masked to the remainder, and `met` reflects the
+        // realized interval.
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 1e-6,
+            max_trials: 100,
+        };
+        let out = run_adaptive(&net, &model, &MonteCarloConfig::default(), &precision).unwrap();
+        assert_eq!(out.trials_used, 100);
+        assert!(!out.met);
+        assert!(!out.best_effort);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn stopping_rule_never_exceeds_the_budget(
+            p in 0.0f64..=1.0,
+            seed in any::<u64>(),
+            max_trials in 2usize..1024,
+            half_width in 0.05f64..5.0,
+            ci in 0.5f64..0.999,
+        ) {
+            let net = test_net();
+            let model = UniformFailure::new(p).unwrap();
+            let cfg = MonteCarloConfig { seed, max_threads: 2, ..Default::default() };
+            let precision = Precision { ci, half_width, max_trials };
+            let out = run_adaptive(&net, &model, &cfg, &precision).unwrap();
+            prop_assert!(out.trials_used <= max_trials);
+            prop_assert!(out.trials_used > 0);
+            prop_assert_eq!(out.stats.trials, out.trials_used);
+            prop_assert!(!out.best_effort);
+            // Below the budget the run stopped because it met the
+            // target (block-rounded); at the budget `met` may go either
+            // way.
+            if out.trials_used < max_trials {
+                prop_assert!(out.met, "early stop without meeting the target");
+                prop_assert!(out.achieved_half_width <= half_width);
+                prop_assert_eq!(out.trials_used % 64, 0);
+            }
+        }
+    }
+}

@@ -7,6 +7,10 @@
 //! * [`monte_carlo`] — seeded, parallel trials measuring the percentage
 //!   of cables failed and nodes unreachable under any failure model
 //!   (Figs. 6–8), batched through a hoisted-probability kernel;
+//! * [`adaptive`] — adaptive-precision Monte Carlo: sequential stopping
+//!   in 64-trial blocks until a requested confidence-interval half-width
+//!   on percent-unreachable is met, with best-effort results under
+//!   deadlines;
 //! * [`cancel`] — cooperative cancellation: the service layer's
 //!   deadlines reach the trial loops through a [`CancelToken`];
 //! * [`pool`] — the persistent worker pool the kernel and sweeps share
@@ -41,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod augment;
 pub mod cancel;
 pub mod cascade;
@@ -57,6 +62,7 @@ pub mod sweep;
 pub mod timeline;
 pub mod traffic;
 
+pub use adaptive::{AdaptiveOutcome, Precision};
 pub use cancel::CancelToken;
 pub use error::SimError;
 pub use monte_carlo::{MonteCarloConfig, TrialOutcome, TrialStats};

@@ -21,7 +21,7 @@ use crate::{cable_profiles, SimError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
-use solarstorm_gic::{CableFailureProbabilities, FailureModel, LaneThreshold};
+use solarstorm_gic::{CableFailureProbabilities, FailureModel, LaneThreshold, RunningMoments};
 use solarstorm_topology::{ConnectivityIndex, Network};
 use std::sync::Arc;
 
@@ -150,6 +150,24 @@ impl TrialStats {
             mean_nodes_unreachable_pct: mn,
             std_nodes_unreachable_pct: var(nodes, mn).sqrt(),
             trials,
+        }
+    }
+
+    /// Aggregates from a pair of streaming accumulators (cables and
+    /// nodes series) without re-walking any metric buffer. The adaptive
+    /// kernel folds each block's metrics into [`RunningMoments`] as it
+    /// lands and converts here once at the end; the population-variance
+    /// convention matches [`TrialStats::from_metrics`], so for the same
+    /// per-trial values both paths report the same statistics (up to
+    /// the accumulators' summation order).
+    pub fn from_moments(cables: &RunningMoments, nodes: &RunningMoments) -> TrialStats {
+        debug_assert_eq!(cables.count(), nodes.count());
+        TrialStats {
+            mean_cables_failed_pct: cables.mean(),
+            std_cables_failed_pct: cables.population_std(),
+            mean_nodes_unreachable_pct: nodes.mean(),
+            std_nodes_unreachable_pct: nodes.population_std(),
+            trials: cables.count() as usize,
         }
     }
 }
@@ -291,7 +309,11 @@ pub(crate) fn trial_metrics(conn: &ConnectivityIndex, failed: usize, words: &[u6
 
 /// Draws one 64-trial block: one cable-major dead-mask word per cable
 /// (bit `l` = cable dead in lane `l`), in cable order.
-fn sample_lane_words(lanes: &[LaneThreshold], rng: &mut ChaCha12Rng, words: &mut Vec<u64>) {
+pub(crate) fn sample_lane_words(
+    lanes: &[LaneThreshold],
+    rng: &mut ChaCha12Rng,
+    words: &mut Vec<u64>,
+) {
     words.clear();
     words.extend(lanes.iter().map(|t| t.sample_lanes(rng)));
 }
@@ -347,7 +369,7 @@ pub(crate) fn block_metrics(
 /// The lane mask of block `block` in a batch of `trials` trials: all 64
 /// bits for full blocks, the low remainder bits for the tail block.
 #[inline]
-fn block_lane_mask(block: usize, trials: usize) -> u64 {
+pub(crate) fn block_lane_mask(block: usize, trials: usize) -> u64 {
     let lanes = (trials - block * 64).min(64);
     if lanes == 64 {
         !0
@@ -360,7 +382,7 @@ fn block_lane_mask(block: usize, trials: usize) -> u64 {
 /// pushing `(cables %, nodes %)` per trial in trial order. Polls
 /// `cancel` between blocks (block-granular cancellation) and stops
 /// early once it fires; the caller discards the partial output.
-fn bitpar_metrics_chunk(
+pub(crate) fn bitpar_metrics_chunk(
     inputs: &KernelInputs,
     cancel: &CancelToken,
     start_block: usize,
@@ -483,7 +505,7 @@ fn outcomes_chunk(
 /// fires mid-run the chunks stop early and the (partial, meaningless)
 /// concatenation is still returned — callers must check the token and
 /// discard it.
-fn run_chunked<T, F>(
+pub(crate) fn run_chunked<T, F>(
     inputs: &KernelInputs,
     cancel: &CancelToken,
     trials: usize,
@@ -907,6 +929,44 @@ mod tests {
         let stats = run(&net, &model, &cfg).unwrap();
         let from_outcomes = TrialStats::from_outcomes(&run_outcomes(&net, &model, &cfg).unwrap());
         assert_eq!(stats, from_outcomes);
+    }
+
+    #[test]
+    fn from_moments_agrees_with_two_pass_from_metrics() {
+        let cables = [0.0, 5.0, 10.0, 50.0, 100.0];
+        let nodes = [0.0, 2.5, 5.0, 25.0, 50.0];
+        let mut mc = RunningMoments::new();
+        let mut mn = RunningMoments::new();
+        for (&c, &n) in cables.iter().zip(&nodes) {
+            mc.push(c);
+            mn.push(n);
+        }
+        let streaming = TrialStats::from_moments(&mc, &mn);
+        let two_pass = TrialStats::from_metrics(&cables, &nodes);
+        assert_eq!(streaming.trials, two_pass.trials);
+        for (got, want) in [
+            (
+                streaming.mean_cables_failed_pct,
+                two_pass.mean_cables_failed_pct,
+            ),
+            (
+                streaming.std_cables_failed_pct,
+                two_pass.std_cables_failed_pct,
+            ),
+            (
+                streaming.mean_nodes_unreachable_pct,
+                two_pass.mean_nodes_unreachable_pct,
+            ),
+            (
+                streaming.std_nodes_unreachable_pct,
+                two_pass.std_nodes_unreachable_pct,
+            ),
+        ] {
+            assert!((got - want).abs() < 1e-10, "streaming {got} two-pass {want}");
+        }
+        // Empty accumulators mirror the empty-slice convention.
+        let empty = TrialStats::from_moments(&RunningMoments::new(), &RunningMoments::new());
+        assert_eq!(empty, TrialStats::from_metrics(&[], &[]));
     }
 
     #[test]

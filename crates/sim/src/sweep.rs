@@ -40,16 +40,17 @@
 //! Non-monotone axes (detected numerically at hoist time) fall back to
 //! the per-point kernel transparently.
 
+use crate::adaptive::{AdaptiveOutcome, Precision, StopState};
 use crate::cancel::CancelToken;
 use crate::monte_carlo::{
-    run_stats_bitpar_sequential, run_stats_sequential, trial_rng, KernelInputs, MonteCarloConfig,
-    TrialStats,
+    bitpar_metrics_chunk, run_stats_bitpar_sequential, run_stats_sequential, trial_rng,
+    KernelInputs, MonteCarloConfig, TrialScratch, TrialStats,
 };
 use crate::pool::WorkerPool;
 use crate::{cable_profiles, SimError};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use solarstorm_gic::{AxisFailureCdf, FailureModel, MonotoneAxis};
+use solarstorm_gic::{z_value, AxisFailureCdf, FailureModel, MonotoneAxis};
 use solarstorm_topology::{ConnectivityIndex, EdgeReplay, Network};
 use std::sync::Arc;
 
@@ -537,6 +538,228 @@ pub fn run_axis_with_cancel(
         .unwrap_or_default())
 }
 
+/// Runs every prepared point under the adaptive stopping rule, spending
+/// trials only where the interval is still wide: each round dispatches
+/// one pool job per *unmet* point, sized by that point's own variance
+/// projection ([`StopState::next_round_blocks`]), so easy points retire
+/// after the first round while hard points keep drawing from the
+/// remaining budget. Points always evaluate through the bit-parallel
+/// block kernel (the block is the stopping rule's natural unit),
+/// regardless of how they were prepared; `SweepPoint::trials` is
+/// ignored — `precision.max_trials` is the per-point budget.
+///
+/// Cancellation is best-effort like [`crate::adaptive::run_adaptive`]:
+/// a token firing after the first round yields `Ok` with every outcome
+/// marked `best_effort`, covering only completed rounds; a token firing
+/// before any round completes returns [`SimError::Cancelled`].
+pub fn run_adaptive_points(
+    points: Vec<SweepPoint>,
+    precision: &Precision,
+    cancel: &CancelToken,
+) -> Result<Vec<AdaptiveOutcome>, SimError> {
+    precision.validate()?;
+    let max_trials = precision.max_trials;
+    let max_blocks = max_trials.div_ceil(64);
+    let mut states: Vec<StopState> = points.iter().map(|_| StopState::new(precision)).collect();
+    let mut done = vec![0usize; points.len()];
+    loop {
+        // (point, start block, blocks) for every point still short of
+        // its target. The first round is always two blocks, like the
+        // single-point kernel.
+        let plan: Vec<(usize, usize, usize)> = states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, state)| {
+                let round = if done[i] == 0 {
+                    2.min(max_blocks)
+                } else {
+                    state.next_round_blocks(done[i])
+                };
+                (round > 0).then_some((i, done[i], round))
+            })
+            .collect();
+        if plan.is_empty() {
+            break;
+        }
+        let jobs: Vec<Box<dyn FnOnce() -> Vec<(f64, f64)> + Send>> = plan
+            .iter()
+            .map(|&(i, start, round)| {
+                let inputs = points[i].inputs.clone();
+                let cancel = cancel.clone();
+                let spacing_km = points[i].spacing_km;
+                Box::new(move || {
+                    let _span = solarstorm_obs::span!(
+                        "mc_adaptive",
+                        trials = round * 64,
+                        threads = 1usize,
+                        spacing_km = spacing_km,
+                        seed = inputs.seed
+                    );
+                    let mut scratch = TrialScratch::default();
+                    let mut out = Vec::with_capacity(round * 64);
+                    bitpar_metrics_chunk(
+                        &inputs,
+                        &cancel,
+                        start,
+                        start + round,
+                        max_trials,
+                        &mut scratch,
+                        &mut out,
+                    );
+                    out
+                }) as Box<dyn FnOnce() -> Vec<(f64, f64)> + Send>
+            })
+            .collect();
+        let parts = WorkerPool::global().run_batch(jobs);
+        if cancel.is_cancelled() {
+            // The interrupted round is discarded whole (even parts that
+            // finished); completed rounds answer best-effort.
+            if done.iter().all(|&b| b == 0) {
+                return Err(SimError::Cancelled);
+            }
+            return Ok(states.iter().map(|s| s.outcome(true)).collect());
+        }
+        for (&(i, _, round), metrics) in plan.iter().zip(parts) {
+            states[i].fold(&metrics);
+            done[i] += round;
+        }
+    }
+    Ok(states.iter().map(|s| s.outcome(false)).collect())
+}
+
+/// Runs one prepared axis under the adaptive stopping rule over the
+/// common-random-numbers trial stream: all points share each trial's
+/// per-cable thresholds, rounds grow until every point's interval meets
+/// the target, and a point that meets it *freezes* at that round
+/// boundary — later trials no longer fold into it, so its
+/// `trials_used` records the budget it actually consumed while the
+/// still-wide points keep drawing (the adaptive reallocation the
+/// fixed-budget CRN kernel cannot do).
+///
+/// The first round is sized Neyman-style from the hoisted
+/// [`AxisFailureCdf`]: the per-cable Bernoulli variances
+/// ([`AxisFailureCdf::prior_variance`]) bound the percent-metric
+/// variance at each point, so the opening round targets the worst
+/// point's projected need instead of a blind minimum.
+///
+/// Frozen points stop at different realized trial counts, so adaptive
+/// CRN results are pairable across runs only at equal realized counts
+/// (see EXPERIMENTS.md). Non-monotone axes route their prepared
+/// per-point fallback through [`run_adaptive_points`]. Cancellation is
+/// best-effort as in [`run_adaptive_points`].
+pub fn run_adaptive_axis(
+    axis: AxisSweep,
+    precision: &Precision,
+    cancel: &CancelToken,
+) -> Result<Vec<AdaptiveOutcome>, SimError> {
+    precision.validate()?;
+    if let Some(fallback) = axis.fallback {
+        return run_adaptive_points(fallback, precision, cancel);
+    }
+    let points = axis.cdf.points();
+    if points == 0 {
+        return Ok(Vec::new());
+    }
+    let max_trials = precision.max_trials;
+    let z = z_value(precision.ci);
+    let mut states: Vec<StopState> = (0..points).map(|_| StopState::new(precision)).collect();
+    let mut frozen = vec![false; points];
+    let mut next_trial = 0usize;
+    // Neyman-seeded first round: percent-of-cables variance at point k
+    // is (100² / cables) · prior_variance(k) under independent cable
+    // fates, a usable proxy for the node metric too.
+    let floor0 = 128.min(max_trials);
+    let cables = axis.cdf.cables().max(1);
+    let prior_max = (0..points)
+        .map(|k| axis.cdf.prior_variance(k))
+        .fold(0.0f64, f64::max);
+    let sigma0 = 100.0 * (prior_max / cables as f64).sqrt();
+    let n0 = ((z * sigma0 / precision.half_width).powi(2)).ceil() as usize;
+    let round0 = n0.clamp(floor0, (max_trials / 4).max(floor0)).min(max_trials);
+    while next_trial < max_trials && frozen.iter().any(|&f| !f) {
+        let round = if next_trial == 0 {
+            round0
+        } else {
+            // The widest unfrozen point governs the projection; growth
+            // bounds as in [`StopState::next_round_blocks`].
+            let remaining = max_trials - next_trial;
+            let needed = states
+                .iter()
+                .zip(&frozen)
+                .filter(|&(_, &f)| !f)
+                .map(|(s, _)| s.projected_trials())
+                .max()
+                .unwrap_or(max_trials)
+                .min(max_trials)
+                .saturating_sub(next_trial);
+            let floor = (next_trial / 4).max(1);
+            let cap = (next_trial * 4).max(1);
+            needed.max(1).clamp(floor, cap).min(remaining)
+        };
+        let chunks = axis.chunks.min(round).max(1);
+        let chunk = round.div_ceil(chunks);
+        let jobs: Vec<Box<dyn FnOnce() -> Vec<(f64, f64)> + Send>> = (0..round.div_ceil(chunk))
+            .map(|t| {
+                let start = next_trial + t * chunk;
+                let end = (next_trial + round).min(start + chunk);
+                let conn = Arc::clone(&axis.conn);
+                let cdf = Arc::clone(&axis.cdf);
+                let cancel = cancel.clone();
+                let (seed, spacing_km) = (axis.seed, axis.spacing_km);
+                Box::new(move || {
+                    let _span = solarstorm_obs::span!(
+                        "mc_adaptive",
+                        trials = end - start,
+                        threads = 1usize,
+                        spacing_km = spacing_km,
+                        seed = seed
+                    );
+                    let mut scratch = AxisScratch::default();
+                    let mut metrics = Vec::with_capacity((end - start) * cdf.points());
+                    axis_metrics_chunk(
+                        &conn,
+                        &cdf,
+                        &cancel,
+                        seed,
+                        start,
+                        end,
+                        &mut scratch,
+                        &mut metrics,
+                    );
+                    metrics
+                }) as Box<dyn FnOnce() -> Vec<(f64, f64)> + Send>
+            })
+            .collect();
+        let parts = WorkerPool::global().run_batch(jobs);
+        if cancel.is_cancelled() {
+            if next_trial == 0 {
+                return Err(SimError::Cancelled);
+            }
+            return Ok(states.iter().map(|s| s.outcome(true)).collect());
+        }
+        // Ordered fold: chunks come back in submission order, so the
+        // concatenation is trial-major (points descending within each
+        // trial) and every unfrozen accumulator sums in trial order
+        // regardless of the chunk count.
+        for metrics in parts {
+            for (idx, &(c, n)) in metrics.iter().enumerate() {
+                let k = points - 1 - (idx % points);
+                if !frozen[k] {
+                    states[k].push(c, n);
+                }
+            }
+        }
+        next_trial += round;
+        // Freeze decisions only at round boundaries, for determinism.
+        for (k, state) in states.iter().enumerate() {
+            if !frozen[k] && state.met() {
+                frozen[k] = true;
+            }
+        }
+    }
+    Ok(states.iter().map(|s| s.outcome(false)).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -956,6 +1179,226 @@ mod tests {
         assert_eq!(sweep.points(), 0);
         assert!(run_axis(sweep).is_empty());
         assert_eq!(TrialStats::from_outcomes(&[]).trials, 0);
+    }
+
+    #[test]
+    fn adaptive_axis_meets_target_and_saves_trials() {
+        let net = chain_net(12);
+        let axis = UniformAxis::new(vec![0.01, 0.1, 0.5]).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            seed: 9,
+            ..Default::default()
+        };
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 2.0,
+            max_trials: 8192,
+        };
+        let sweep = prepare_axis(&net, &axis, &cfg).unwrap();
+        assert!(sweep.is_crn());
+        let out = run_adaptive_axis(sweep, &precision, &CancelToken::none()).unwrap();
+        assert_eq!(out.len(), 3);
+        for (k, o) in out.iter().enumerate() {
+            assert!(o.met, "point {k}");
+            assert!(o.achieved_half_width <= 2.0, "point {k}");
+            assert!(o.trials_used <= precision.max_trials, "point {k}");
+            assert!(!o.best_effort, "point {k}");
+        }
+        // Percent metrics live in [0, 100], so the worst-case need at
+        // half_width 2.0 is ≈ 2420 trials — the rule must beat the flat
+        // budget at every point.
+        assert!(
+            out.iter().map(|o| o.trials_used).max().unwrap() < precision.max_trials,
+            "stopping rule never fired"
+        );
+    }
+
+    #[test]
+    fn adaptive_axis_deterministic_across_chunk_counts() {
+        let net = chain_net(10);
+        let axis = UniformAxis::new(vec![0.02, 0.3]).unwrap();
+        let precision = Precision {
+            ci: 0.9,
+            half_width: 3.0,
+            max_trials: 4096,
+        };
+        let mk = |max_threads| MonteCarloConfig {
+            trials: 10,
+            seed: 31,
+            max_threads,
+            ..Default::default()
+        };
+        let one = run_adaptive_axis(
+            prepare_axis(&net, &axis, &mk(1)).unwrap(),
+            &precision,
+            &CancelToken::none(),
+        )
+        .unwrap();
+        let eight = run_adaptive_axis(
+            prepare_axis(&net, &axis, &mk(8)).unwrap(),
+            &precision,
+            &CancelToken::none(),
+        )
+        .unwrap();
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn adaptive_axis_frozen_points_match_prefix_recomputation() {
+        // A point frozen after n trials must report exactly the
+        // statistics of trials 0..n at that point, recomputed from
+        // scratch via the threshold rule — frozen accumulators must not
+        // see later trials.
+        let net = chain_net(12);
+        let conn = net.connectivity();
+        let axis = UniformAxis::new(vec![0.01, 0.4]).unwrap();
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            seed: 17,
+            ..Default::default()
+        };
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 1.0,
+            max_trials: 16384,
+        };
+        let out = run_adaptive_axis(
+            prepare_axis(&net, &axis, &cfg).unwrap(),
+            &precision,
+            &CancelToken::none(),
+        )
+        .unwrap();
+        let cdf = AxisFailureCdf::hoist(&axis, &cable_profiles(&net), cfg.spacing_km);
+        let mut thresholds = Vec::new();
+        for (k, o) in out.iter().enumerate() {
+            let mut cables = Vec::with_capacity(o.trials_used);
+            let mut nodes = Vec::with_capacity(o.trials_used);
+            for trial in 0..o.trials_used {
+                sample_thresholds(cfg.seed, trial, cdf.cables(), &mut thresholds);
+                let (words, failed) = mask_at_point(&cdf, &thresholds, k);
+                let (c, n) = trial_metrics(&conn, failed, &words);
+                cables.push(c);
+                nodes.push(n);
+            }
+            let reference = TrialStats::from_metrics(&cables, &nodes);
+            assert_eq!(o.stats.trials, reference.trials, "point {k}");
+            for (got, want) in [
+                (
+                    o.stats.mean_cables_failed_pct,
+                    reference.mean_cables_failed_pct,
+                ),
+                (
+                    o.stats.std_cables_failed_pct,
+                    reference.std_cables_failed_pct,
+                ),
+                (
+                    o.stats.mean_nodes_unreachable_pct,
+                    reference.mean_nodes_unreachable_pct,
+                ),
+                (
+                    o.stats.std_nodes_unreachable_pct,
+                    reference.std_nodes_unreachable_pct,
+                ),
+            ] {
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "point {k}: streaming {got} reference {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_points_meet_target_through_block_kernel() {
+        let net = chain_net(12);
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            seed: 5,
+            ..Default::default()
+        };
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 2.0,
+            max_trials: 8192,
+        };
+        let points: Vec<SweepPoint> = [0.0, 0.05, 0.3]
+            .iter()
+            .map(|&p| prepare_bitpar(&net, &UniformFailure::new(p).unwrap(), &cfg).unwrap())
+            .collect();
+        let out = run_adaptive_points(points, &precision, &CancelToken::none()).unwrap();
+        assert_eq!(out.len(), 3);
+        for (i, o) in out.iter().enumerate() {
+            assert!(o.met, "point {i}");
+            assert!(o.trials_used <= precision.max_trials, "point {i}");
+            assert_eq!(o.trials_used % 64, 0, "block-granular: point {i}");
+            assert!(!o.best_effort, "point {i}");
+        }
+        // p = 0 has zero variance: it retires at the 128-trial floor
+        // while harder points keep drawing from the budget.
+        assert_eq!(out[0].trials_used, 128);
+        assert!(out[2].trials_used >= out[0].trials_used);
+        // Per-point allocation applies the same rule to the same stream
+        // as the single-point adaptive kernel: identical outcomes.
+        let solo = crate::adaptive::run_adaptive(
+            &net,
+            &UniformFailure::new(0.3).unwrap(),
+            &MonteCarloConfig {
+                max_threads: 1,
+                ..cfg
+            },
+            &precision,
+        )
+        .unwrap();
+        assert_eq!(out[2], solo);
+    }
+
+    #[test]
+    fn adaptive_axis_non_monotone_falls_back_to_per_point_blocks() {
+        let net = chain_net(8);
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            seed: 77,
+            ..Default::default()
+        };
+        let axis = UniformAxis::new(vec![0.5, 0.01]).unwrap();
+        let sweep = prepare_axis(&net, &axis, &cfg).unwrap();
+        assert!(!sweep.is_crn());
+        let precision = Precision {
+            ci: 0.95,
+            half_width: 2.0,
+            max_trials: 4096,
+        };
+        let out = run_adaptive_axis(sweep, &precision, &CancelToken::none()).unwrap();
+        assert_eq!(out.len(), 2);
+        for (k, o) in out.iter().enumerate() {
+            assert!(o.met, "point {k}");
+            assert_eq!(o.trials_used % 64, 0, "point {k}");
+        }
+    }
+
+    #[test]
+    fn adaptive_pre_cancelled_tokens_are_errors() {
+        let net = chain_net(8);
+        let cfg = MonteCarloConfig {
+            trials: 10,
+            seed: 2,
+            ..Default::default()
+        };
+        let precision = Precision::default();
+        let token = CancelToken::new();
+        token.cancel();
+        let points = vec![prepare_bitpar(&net, &UniformFailure::new(0.1).unwrap(), &cfg).unwrap()];
+        assert_eq!(
+            run_adaptive_points(points, &precision, &token).unwrap_err(),
+            SimError::Cancelled
+        );
+        let axis = UniformAxis::new(vec![0.01, 0.5]).unwrap();
+        let sweep = prepare_axis(&net, &axis, &cfg).unwrap();
+        assert_eq!(
+            run_adaptive_axis(sweep, &precision, &token).unwrap_err(),
+            SimError::Cancelled
+        );
     }
 
     proptest! {
