@@ -98,6 +98,18 @@ SERVICE OPTIONS (serve | batch | trace)
                     always retain traces of requests slower than MS in the
                     flight recorder (default 250; 0 keeps only sampled,
                     errored, and explicitly traced requests)
+  --breaker-window N
+                    shard supervision: sliding window of per-shard request
+                    outcomes fed to the circuit breaker (default 32;
+                    overrides STORMSIM_BREAKER_WINDOW)
+  --breaker-threshold N
+                    failures within the window that quarantine a shard
+                    (default 8, clamped to the window; overrides
+                    STORMSIM_BREAKER_THRESHOLD)
+  --quarantine-probes N
+                    successful half-open probes required to re-admit a
+                    respawned shard (default 4; overrides
+                    STORMSIM_QUARANTINE_PROBES)
 ";
 
 /// Every accepted command, checked before datasets are built so a typo
@@ -211,6 +223,43 @@ fn resolve_shards(flag: Option<usize>) -> Result<Option<usize>, String> {
     Ok(Some(n))
 }
 
+/// Parses one of the shard-supervision tuning flags (`--breaker-window`,
+/// `--breaker-threshold`, `--quarantine-probes`): a positive integer.
+/// Zero and garbage are rejected so a typo fails fast with usage
+/// (exit 2) instead of silently disabling supervision.
+fn parse_supervision(flag: &str, it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+    let n: usize = it
+        .next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag}: must be at least 1"));
+    }
+    Ok(n)
+}
+
+/// Resolves one shard-supervision knob: the flag wins over its
+/// `STORMSIM_*` environment variable, exactly like `--threads` /
+/// `STORMSIM_THREADS`. Both sources reject zero and non-integers;
+/// `None` keeps the breaker's built-in default.
+fn resolve_supervision(flag: Option<usize>, env: &str) -> Result<Option<usize>, String> {
+    if flag.is_some() {
+        return Ok(flag);
+    }
+    let Ok(raw) = std::env::var(env) else {
+        return Ok(None);
+    };
+    let n: usize = raw
+        .trim()
+        .parse()
+        .map_err(|e| format!("{env}={raw}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{env}={raw}: must be at least 1"));
+    }
+    Ok(Some(n))
+}
+
 /// The requested simulation pool width: the `--threads` flag wins over
 /// the `STORMSIM_THREADS` environment variable; `None` means "size to
 /// the machine". Both sources reject zero and non-integers.
@@ -306,6 +355,9 @@ struct ServiceOpts {
     deadline_ms: Option<u64>,
     shards: Option<usize>,
     trace_slow_ms: Option<u64>,
+    breaker_window: Option<usize>,
+    breaker_threshold: Option<usize>,
+    quarantine_probes: Option<usize>,
 }
 
 fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
@@ -322,6 +374,9 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
         deadline_ms: None,
         shards: None,
         trace_slow_ms: None,
+        breaker_window: None,
+        breaker_threshold: None,
+        quarantine_probes: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -330,6 +385,15 @@ fn parse_service_opts(args: &[String]) -> Result<ServiceOpts, String> {
             "--log-level" => opts.log_level = Some(parse_log_level(&mut it)?),
             "--threads" => opts.threads = Some(parse_threads(&mut it)?),
             "--shards" => opts.shards = Some(parse_shards(&mut it)?),
+            "--breaker-window" => {
+                opts.breaker_window = Some(parse_supervision("--breaker-window", &mut it)?);
+            }
+            "--breaker-threshold" => {
+                opts.breaker_threshold = Some(parse_supervision("--breaker-threshold", &mut it)?);
+            }
+            "--quarantine-probes" => {
+                opts.quarantine_probes = Some(parse_supervision("--quarantine-probes", &mut it)?);
+            }
             "--addr" => {
                 opts.addr = it.next().ok_or("--addr needs a value")?.clone();
             }
@@ -406,6 +470,15 @@ fn shard_runtime_config(opts: &ServiceOpts) -> ShardConfig {
     };
     if let Some(n) = opts.shards {
         cfg.shards = n;
+    }
+    if let Some(w) = opts.breaker_window {
+        cfg.breaker.window = w;
+    }
+    if let Some(t) = opts.breaker_threshold {
+        cfg.breaker.threshold = t;
+    }
+    if let Some(p) = opts.quarantine_probes {
+        cfg.breaker.probes = u32::try_from(p).unwrap_or(u32::MAX);
     }
     cfg
 }
@@ -623,6 +696,22 @@ fn main() {
                 eprintln!("error: {e}\n");
                 eprint!("{USAGE}");
                 std::process::exit(2);
+            }
+        }
+        // Same folding for the supervision knobs.
+        let supervision = [
+            (&mut sopts.breaker_window, "STORMSIM_BREAKER_WINDOW"),
+            (&mut sopts.breaker_threshold, "STORMSIM_BREAKER_THRESHOLD"),
+            (&mut sopts.quarantine_probes, "STORMSIM_QUARANTINE_PROBES"),
+        ];
+        for (slot, env) in supervision {
+            match resolve_supervision(*slot, env) {
+                Ok(resolved) => *slot = resolved,
+                Err(e) => {
+                    eprintln!("error: {e}\n");
+                    eprint!("{USAGE}");
+                    std::process::exit(2);
+                }
             }
         }
         let out = match command.as_str() {
@@ -1104,6 +1193,91 @@ mod tests {
 
         std::env::remove_var("STORMSIM_SHARDS");
         assert_eq!(resolve_shards(None).unwrap(), None);
+    }
+
+    #[test]
+    fn supervision_flags_parse_and_reject_garbage() {
+        let s = parse_service_opts(&args(&[
+            "--breaker-window",
+            "16",
+            "--breaker-threshold",
+            "5",
+            "--quarantine-probes",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(s.breaker_window, Some(16));
+        assert_eq!(s.breaker_threshold, Some(5));
+        assert_eq!(s.quarantine_probes, Some(2));
+
+        let s = parse_service_opts(&[]).unwrap();
+        assert!(s.breaker_window.is_none());
+        assert!(s.breaker_threshold.is_none());
+        assert!(s.quarantine_probes.is_none());
+
+        for flag in [
+            "--breaker-window",
+            "--breaker-threshold",
+            "--quarantine-probes",
+        ] {
+            for bad in [&[flag][..], &[flag, "0"], &[flag, "abc"], &[flag, "-2"]] {
+                let err = parse_service_opts(&args(bad)).unwrap_err();
+                assert!(err.contains(flag), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn supervision_env_vars_are_validated_and_flags_win() {
+        // The flag short-circuits: the environment is not even read.
+        std::env::set_var("STORMSIM_BREAKER_WINDOW", "junk");
+        assert_eq!(
+            resolve_supervision(Some(9), "STORMSIM_BREAKER_WINDOW").unwrap(),
+            Some(9)
+        );
+        let err = resolve_supervision(None, "STORMSIM_BREAKER_WINDOW").unwrap_err();
+        assert!(err.contains("STORMSIM_BREAKER_WINDOW"), "{err}");
+
+        std::env::set_var("STORMSIM_BREAKER_WINDOW", "0");
+        let err = resolve_supervision(None, "STORMSIM_BREAKER_WINDOW").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+
+        std::env::set_var("STORMSIM_BREAKER_WINDOW", "48");
+        assert_eq!(
+            resolve_supervision(None, "STORMSIM_BREAKER_WINDOW").unwrap(),
+            Some(48)
+        );
+
+        std::env::remove_var("STORMSIM_BREAKER_WINDOW");
+        assert_eq!(
+            resolve_supervision(None, "STORMSIM_BREAKER_WINDOW").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn shard_runtime_config_carries_breaker_tuning() {
+        let s = parse_service_opts(&args(&[
+            "--breaker-window",
+            "16",
+            "--breaker-threshold",
+            "5",
+            "--quarantine-probes",
+            "2",
+        ]))
+        .unwrap();
+        let cfg = shard_runtime_config(&s);
+        assert_eq!(cfg.breaker.window, 16);
+        assert_eq!(cfg.breaker.threshold, 5);
+        assert_eq!(cfg.breaker.probes, 2);
+
+        // Unset flags keep the breaker defaults.
+        let s = parse_service_opts(&[]).unwrap();
+        let cfg = shard_runtime_config(&s);
+        let defaults = solarstorm::shard::BreakerConfig::default();
+        assert_eq!(cfg.breaker.window, defaults.window);
+        assert_eq!(cfg.breaker.threshold, defaults.threshold);
+        assert_eq!(cfg.breaker.probes, defaults.probes);
     }
 
     #[test]

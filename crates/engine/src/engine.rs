@@ -156,10 +156,17 @@ struct Job {
 }
 
 /// State shared between the public handle and the worker threads.
+///
+/// The cache and metrics registry sit behind their own `Arc`s so a
+/// supervised respawn ([`Engine::respawn_from`]) can hand them to a
+/// replacement engine: the fresh worker pool starts with the previous
+/// incarnation's warm cache partition and monotonic counters, while the
+/// flight table and saturation episode — state tied to the old pool's
+/// in-flight work — start fresh.
 struct Shared {
-    cache: ResultCache,
+    cache: Arc<ResultCache>,
     flights: FlightTable,
-    metrics: Registry,
+    metrics: Arc<Registry>,
     /// When the queue first rejected a submission of the current
     /// saturation episode; cleared on any successful submission.
     saturated_since: Mutex<Option<Instant>>,
@@ -181,13 +188,36 @@ pub struct Engine {
 impl Engine {
     /// Builds the engine and starts its worker pool.
     pub fn new(cfg: EngineConfig) -> Self {
+        let cache = Arc::new(ResultCache::new(cfg.cache_cap));
+        Engine::build(cfg, cache, Arc::new(Registry::default()))
+    }
+
+    /// Builds a replacement for `prev` — a supervised respawn. The new
+    /// engine starts a fresh worker pool, queue, and flight table, but
+    /// adopts `prev`'s result cache (so recovery is warm: the work the
+    /// old incarnation already paid for still answers from cache) and
+    /// its metrics registry (counters stay monotonic across the
+    /// respawn, as a scrape expects). Any degraded-mode flag the old
+    /// incarnation left set is cleared. `prev` itself is untouched —
+    /// callers typically [`Engine::abandon`] it first.
+    ///
+    /// The adopted cache keeps its original capacity; `cfg.cache_cap`
+    /// is ignored on this path.
+    pub fn respawn_from(prev: &Engine, cfg: EngineConfig) -> Engine {
+        let cache = Arc::clone(&prev.shared.cache);
+        let metrics = Arc::clone(&prev.shared.metrics);
+        metrics.degraded.store(0, Ordering::Relaxed);
+        Engine::build(cfg, cache, metrics)
+    }
+
+    fn build(cfg: EngineConfig, cache: Arc<ResultCache>, metrics: Arc<Registry>) -> Self {
         if let Some(scale) = cfg.prewarm {
             let _ = compute::datasets(scale);
         }
         let shared = Arc::new(Shared {
-            cache: ResultCache::new(cfg.cache_cap),
+            cache,
             flights: FlightTable::default(),
-            metrics: Registry::default(),
+            metrics,
             saturated_since: Mutex::new(None),
         });
         let (tx, rx) = bounded::<Job>(cfg.queue_cap.max(1));
@@ -675,6 +705,21 @@ impl Engine {
         for h in handles {
             let _ = h.join();
         }
+    }
+
+    /// Shutdown for a wedged engine: stop accepting and close the
+    /// queue like [`Engine::shutdown`], but *detach* the worker threads
+    /// instead of joining them. A supervisor quarantining a shard whose
+    /// workers are stalled (or livelocked) must not block behind them;
+    /// abandoned workers that are still responsive drain the remaining
+    /// queue — completing their callers' flights — and then exit on
+    /// their own, while truly wedged ones are left behind harmlessly.
+    /// Idempotent, and safe to follow with [`Engine::respawn_from`].
+    pub fn abandon(&self) {
+        self.accepting.store(false, Ordering::Release);
+        drop(self.tx.lock().take());
+        // JoinHandle's drop detaches the thread.
+        drop(std::mem::take(&mut *self.workers.lock()));
     }
 }
 
@@ -1175,6 +1220,69 @@ mod tests {
         assert!(!fresh.cached && !fresh.degraded);
         assert!(!engine.is_degraded());
         assert!(!engine.metrics().degraded);
+    }
+
+    #[test]
+    fn respawn_adopts_the_cache_and_keeps_counters_monotonic() {
+        let old = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let cold = old.evaluate(&sleep_spec(1)).unwrap();
+        assert!(!cold.cached);
+        old.abandon();
+        assert_eq!(
+            old.evaluate(&sleep_spec(1)).unwrap_err(),
+            EngineError::ShuttingDown,
+            "an abandoned engine accepts nothing"
+        );
+        let fresh = Engine::respawn_from(
+            &old,
+            EngineConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        // The respawned engine answers the old incarnation's work from
+        // its adopted (warm) cache without recomputing…
+        let warm = fresh.evaluate(&sleep_spec(1)).unwrap();
+        assert!(warm.cached, "respawn must preserve the cache partition");
+        assert_eq!(*warm.result, *cold.result);
+        // …and the shared registry keeps counting across the respawn.
+        let m = fresh.metrics();
+        assert_eq!(m.computations, 1, "only the old incarnation computed");
+        assert!(m.cache_hits >= 1);
+        // The fresh pool computes new work normally.
+        assert!(!fresh.evaluate(&sleep_spec(2)).unwrap().cached);
+        old.shutdown(); // still idempotent after abandon
+    }
+
+    #[test]
+    fn abandoned_workers_still_drain_their_queue() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            queue_cap: 4,
+            ..Default::default()
+        }));
+        // One job on the worker, one queued behind it.
+        let mut held = Vec::new();
+        for ms in [120, 121] {
+            let engine = Arc::clone(&engine);
+            held.push(std::thread::spawn(move || engine.evaluate(&sleep_spec(ms))));
+        }
+        assert!(
+            wait_for(|| engine.metrics().queue_depth >= 1),
+            "the second job must be queued"
+        );
+        // Abandon returns immediately — it must not block on the busy
+        // worker — and the detached worker still answers both callers.
+        let t0 = Instant::now();
+        engine.abandon();
+        assert!(t0.elapsed() < Duration::from_millis(100), "abandon blocked");
+        for h in held {
+            h.join().unwrap().unwrap();
+        }
+        assert!(wait_for(|| engine.metrics().queue_depth == 0));
     }
 
     #[test]

@@ -62,6 +62,21 @@ pub struct RunManifest {
     /// ran (local cache hit, dedup join, or unsharded engine).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub hedge_hit: Option<bool>,
+    /// Pure-hash home shard a supervised sharded runtime diverted this
+    /// request away from — because the home was quarantined (or on
+    /// probation and the probe ration was exhausted), or because a
+    /// first attempt there failed and the retry on the ring successor
+    /// answered. `None` when the request ran on its hash home. Routing
+    /// provenance, not identity: rerouting changes *where* the
+    /// deterministic computation ran, never its result.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rerouted_from: Option<u32>,
+    /// Supervision health state of the shard that served the request
+    /// (`healthy`, `suspect`, `quarantined`, `probation`) at admission,
+    /// recorded only when the request was rerouted or served by a
+    /// not-plain-healthy shard. Provenance, not identity.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub health_state: Option<String>,
     /// Trace id (16 hex digits) of the request-scoped trace recorded
     /// for this run, when the request was traced. Like `shard`, this is
     /// provenance, not identity — the key to correlate the response
@@ -106,6 +121,8 @@ impl RunManifest {
             cancelled_at_stage: None,
             shard: None,
             hedge_hit: None,
+            rerouted_from: None,
+            health_state: None,
             trace_id: None,
             trials_used: None,
             achieved_half_width: None,
@@ -230,18 +247,26 @@ mod tests {
         let mut routed = RunManifest::new(&spec, 0x1);
         routed.shard = Some(3);
         routed.hedge_hit = Some(true);
+        routed.rerouted_from = Some(1);
+        routed.health_state = Some("quarantined".to_string());
         routed.trace_id = Some("00000000000000ff".to_string());
         assert!(plain.same_identity(&routed));
 
         // Off the wire entirely when unset; round-trips when set.
         let s = serde_json::to_string(&plain).unwrap();
         assert!(
-            !s.contains("shard") && !s.contains("hedge_hit") && !s.contains("trace_id"),
+            !s.contains("shard")
+                && !s.contains("hedge_hit")
+                && !s.contains("trace_id")
+                && !s.contains("rerouted_from")
+                && !s.contains("health_state"),
             "{s}"
         );
         let s = serde_json::to_string(&routed).unwrap();
         assert!(s.contains(r#""shard":3"#), "{s}");
         assert!(s.contains(r#""hedge_hit":true"#), "{s}");
+        assert!(s.contains(r#""rerouted_from":1"#), "{s}");
+        assert!(s.contains(r#""health_state":"quarantined""#), "{s}");
         assert!(s.contains(r#""trace_id":"00000000000000ff""#), "{s}");
         let back: RunManifest = serde_json::from_str(&s).unwrap();
         assert_eq!(back, routed);

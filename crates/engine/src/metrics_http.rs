@@ -1,16 +1,21 @@
 //! Minimal HTTP/1.1 endpoint serving metrics in the Prometheus text
 //! exposition format, plus the flight recorder's Chrome trace export.
 //!
-//! Deliberately tiny: two routes, each a fresh snapshot with
+//! Deliberately tiny: three routes, each a fresh snapshot with
 //! `Connection: close`, which is all a Prometheus scraper, Perfetto,
 //! or `curl` needs:
 //!
-//! * any path but `/trace` — the Prometheus text exposition from
-//!   [`crate::ScenarioService::prometheus_text`] (behind a sharded
-//!   runtime the text carries per-shard `shard`-labelled series too);
+//! * any path but `/trace` and `/health` — the Prometheus text
+//!   exposition from [`crate::ScenarioService::prometheus_text`]
+//!   (behind a sharded runtime the text carries per-shard
+//!   `shard`-labelled series too);
 //! * `/trace` — the retained traces as Chrome trace-event JSON
 //!   (`{"traceEvents":[…]}`), loadable directly in Perfetto or
-//!   `chrome://tracing`.
+//!   `chrome://tracing`;
+//! * `/health` — shard supervision state as JSON from
+//!   [`crate::ScenarioService::health_value`] (per-shard health state,
+//!   breaker window stats, reroute counts; trivially healthy behind a
+//!   single engine).
 //!
 //! Runs alongside the NDJSON [`crate::Server`] as
 //! `stormsim serve --metrics-addr`.
@@ -93,6 +98,11 @@ fn serve_scrape(service: &Arc<dyn ScenarioService>, stream: TcpStream) {
         (
             "application/json; charset=utf-8",
             solarstorm_obs::chrome_trace_json(&solarstorm_obs::recorder().snapshot()),
+        )
+    } else if path == "/health" {
+        (
+            "application/json; charset=utf-8",
+            service.health_value().to_string(),
         )
     } else {
         (
@@ -180,6 +190,26 @@ mod tests {
         let begins = events.iter().filter(|e| e["ph"] == "B").count();
         let ends = events.iter().filter(|e| e["ph"] == "E").count();
         assert_eq!(begins, ends, "B/E pairs must match");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn health_path_returns_supervision_json() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        }));
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let raw = fetch(addr, "/health");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("application/json"), "{head}");
+        let v: serde_json::Value = serde_json::from_str(body).unwrap();
+        assert_eq!(v["healthy"], true, "{v}");
+        assert_eq!(v["shards"][0]["state"], "healthy", "{v}");
         engine.shutdown();
     }
 }

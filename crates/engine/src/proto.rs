@@ -8,6 +8,8 @@
 //! ← {"id":"q1","ok":true,"hash":"…","result":{"kind":"stats","stats":{…}}}
 //! → {"type":"metrics"}
 //! ← {"ok":true,"result":{"requests":2,…}}
+//! → {"type":"health"}
+//! ← {"ok":true,"result":{"healthy":true,"shards":[{"shard":0,…}]}}
 //! → not json
 //! ← {"ok":false,"error":{"code":"parse","message":"…"}}
 //! ```
@@ -35,6 +37,11 @@ pub enum RequestBody {
     Metrics,
     /// Liveness probe; answers `"pong"`.
     Ping,
+    /// Return per-shard supervision health: state machine position,
+    /// breaker window stats, reroute counts. A single engine answers a
+    /// trivially-healthy one-shard shape — see
+    /// [`ScenarioService::health_value`].
+    Health,
     /// Return completed traces from the flight recorder: the one named
     /// by the envelope's `trace_id`, or the most recent ones.
     Trace {
@@ -213,6 +220,7 @@ pub fn handle_request(service: &dyn ScenarioService, req: Request) -> Response {
     let Request { id, trace_id, body } = req;
     match body {
         RequestBody::Ping => Response::success(id, None, serde_json::json!("pong")),
+        RequestBody::Health => Response::success(id, None, service.health_value()),
         RequestBody::Metrics => match service.metrics_value() {
             Ok(v) => Response::success(id, None, v),
             Err(e) => Response::failure(id, "internal", e),
@@ -351,6 +359,25 @@ mod tests {
             parse_line(r#"{"type":"metrics"}"#).unwrap().body,
             RequestBody::Metrics
         );
+    }
+
+    #[test]
+    fn health_requests_parse_and_answer_for_a_single_engine() {
+        assert_eq!(
+            parse_line(r#"{"type":"health"}"#).unwrap().body,
+            RequestBody::Health
+        );
+        let engine = crate::Engine::new(crate::EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let req = parse_line(r#"{"id":"h1","type":"health"}"#).unwrap();
+        let resp = handle_request(&engine, req);
+        assert!(resp.ok);
+        assert_eq!(resp.id.as_deref(), Some("h1"));
+        let result = resp.result.unwrap();
+        assert_eq!(result["healthy"], true, "{result}");
+        assert_eq!(result["shards"][0]["state"], "healthy", "{result}");
     }
 
     #[test]

@@ -30,6 +30,19 @@ pub trait ScenarioService: Send + Sync {
     /// format (unlabelled totals; sharded runtimes append
     /// `shard`-labelled per-shard series).
     fn prometheus_text(&self) -> String;
+
+    /// Shard-supervision health as the JSON value the NDJSON `health`
+    /// request and the `/health` HTTP route answer with. Sharded
+    /// runtimes report per-shard state machines, breaker window stats,
+    /// and reroute counts; the default keeps a single engine on the
+    /// same wire shape with one trivially-healthy shard, so clients
+    /// need not care which runtime is behind the socket.
+    fn health_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "healthy": true,
+            "shards": [{ "shard": 0, "state": "healthy", "live": true }],
+        })
+    }
 }
 
 impl ScenarioService for Engine {
@@ -70,5 +83,20 @@ mod tests {
         assert!(v.get("shards").is_none(), "single engines have no shards");
         let text = svc.prometheus_text();
         assert!(text.contains("stormsim_requests_total 1"), "{text}");
+    }
+
+    #[test]
+    fn a_single_engine_reports_trivially_healthy() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let svc: &dyn ScenarioService = &engine;
+        let h = svc.health_value();
+        assert_eq!(h["healthy"], true, "{h}");
+        let shards = h["shards"].as_array().unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0]["state"], "healthy", "{h}");
+        assert_eq!(shards[0]["live"], true, "{h}");
     }
 }

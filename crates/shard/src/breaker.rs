@@ -1,0 +1,213 @@
+//! Sliding-window circuit breaker: the trip decision behind shard
+//! quarantine.
+//!
+//! Each shard owns one [`Breaker`]: a fixed ring buffer over the last
+//! `window` request outcomes observed on that shard. Every admitted
+//! request records one outcome — success, or a typed failure signal
+//! (panic, deadline overrun, busy/degraded shed, compute error). When
+//! the window holds at least `threshold` failures the breaker *trips*
+//! and the supervision layer quarantines the shard (ejects it from the
+//! live routing mask). The window is outcome-counted, not time-based,
+//! so the decision is deterministic under test replay: the same
+//! sequence of outcomes always trips at the same request.
+
+/// Supervision tuning: the breaker window, its trip threshold, and the
+/// probation ration. Shared by every shard of a runtime; exposed on the
+/// CLI as `--breaker-window`, `--breaker-threshold`, and
+/// `--quarantine-probes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Outcomes the sliding window holds (clamped to ≥ 1).
+    pub window: usize,
+    /// Failures within the window that trip the breaker (clamped to
+    /// `1..=window`). Half this count already marks the shard
+    /// *suspect* — observably degraded, still routed to.
+    pub threshold: usize,
+    /// Successful half-open probation probes a respawned shard must
+    /// answer before it is re-admitted to routing (clamped to ≥ 1).
+    pub probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            threshold: 8,
+            probes: 4,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Clamps the knobs into their valid ranges (see the field docs).
+    pub(crate) fn normalized(self) -> BreakerConfig {
+        let window = self.window.max(1);
+        BreakerConfig {
+            window,
+            threshold: self.threshold.clamp(1, window),
+            probes: self.probes.max(1),
+        }
+    }
+}
+
+/// The sliding window itself. Not thread-safe — the owning
+/// `ShardHealth` wraps it in a mutex.
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    window: usize,
+    threshold: usize,
+    /// Ring buffer of outcomes, `true` = failure.
+    outcomes: Vec<bool>,
+    /// Next slot to write (the oldest outcome once the window is full).
+    head: usize,
+    /// Outcomes recorded so far, saturating at `window`.
+    occupancy: usize,
+    /// Failures currently inside the window.
+    failures: usize,
+}
+
+impl Breaker {
+    pub(crate) fn new(cfg: BreakerConfig) -> Breaker {
+        let cfg = cfg.normalized();
+        Breaker {
+            window: cfg.window,
+            threshold: cfg.threshold,
+            outcomes: vec![false; cfg.window],
+            head: 0,
+            occupancy: 0,
+            failures: 0,
+        }
+    }
+
+    /// Records one outcome, evicting the oldest once the window is
+    /// full. Returns `true` when the window now holds at least
+    /// `threshold` failures — the trip condition.
+    pub(crate) fn record(&mut self, failure: bool) -> bool {
+        if self.occupancy == self.window {
+            if self.outcomes[self.head] {
+                self.failures -= 1;
+            }
+        } else {
+            self.occupancy += 1;
+        }
+        self.outcomes[self.head] = failure;
+        self.head = (self.head + 1) % self.window;
+        if failure {
+            self.failures += 1;
+        }
+        self.failures >= self.threshold
+    }
+
+    /// Whether the window holds at least half the trip threshold of
+    /// failures — the *suspect* condition.
+    pub(crate) fn suspicious(&self) -> bool {
+        self.failures > 0 && self.failures * 2 >= self.threshold
+    }
+
+    /// Failures currently inside the window.
+    pub(crate) fn failures(&self) -> usize {
+        self.failures
+    }
+
+    /// Outcomes currently inside the window (≤ `window`).
+    pub(crate) fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// The window size.
+    pub(crate) fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The trip threshold.
+    pub(crate) fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Empties the window — a respawned shard starts probation with a
+    /// clean slate.
+    pub(crate) fn reset(&mut self) {
+        self.outcomes.fill(false);
+        self.head = 0;
+        self.occupancy = 0;
+        self.failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(window: usize, threshold: usize) -> Breaker {
+        Breaker::new(BreakerConfig {
+            window,
+            threshold,
+            probes: 1,
+        })
+    }
+
+    #[test]
+    fn trips_at_the_threshold_and_not_before() {
+        let mut b = breaker(8, 3);
+        assert!(!b.record(true));
+        assert!(!b.record(true));
+        assert!(!b.record(false));
+        assert!(b.record(true), "third failure in the window trips");
+        assert_eq!(b.failures(), 3);
+    }
+
+    #[test]
+    fn old_outcomes_slide_out_of_the_window() {
+        let mut b = breaker(4, 3);
+        b.record(true);
+        b.record(true);
+        // Four successes push both failures out of the 4-wide window.
+        for _ in 0..4 {
+            assert!(!b.record(false));
+        }
+        assert_eq!(b.failures(), 0);
+        assert!(!b.record(true));
+        assert!(!b.record(true));
+        assert!(b.record(true));
+    }
+
+    #[test]
+    fn suspect_at_half_threshold() {
+        let mut b = breaker(8, 4);
+        assert!(!b.suspicious());
+        b.record(true);
+        assert!(!b.suspicious());
+        b.record(true);
+        assert!(b.suspicious(), "2 of threshold 4 marks suspect");
+        b.reset();
+        assert!(!b.suspicious());
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn config_clamps_into_valid_ranges() {
+        let cfg = BreakerConfig {
+            window: 0,
+            threshold: 99,
+            probes: 0,
+        }
+        .normalized();
+        assert_eq!(cfg.window, 1);
+        assert_eq!(cfg.threshold, 1, "threshold clamps to the window");
+        assert_eq!(cfg.probes, 1);
+        let b = Breaker::new(cfg);
+        assert_eq!(b.window(), 1);
+        assert_eq!(b.threshold(), 1);
+        // A 1-wide, 1-threshold breaker trips on any failure.
+        let mut b = b;
+        assert!(b.record(true));
+        assert!(!b.record(false));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let d = BreakerConfig::default();
+        assert_eq!(d.normalized(), d, "defaults are already in range");
+        assert!(d.threshold <= d.window);
+    }
+}

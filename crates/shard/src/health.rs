@@ -1,0 +1,409 @@
+//! Per-shard health: the supervision state machine and its counters.
+//!
+//! Every shard of a [`crate::ShardedEngine`] owns one [`ShardHealth`]
+//! that walks a four-state machine driven by the sliding-window
+//! [`crate::breaker::Breaker`]:
+//!
+//! ```text
+//! healthy ──(window half-full of failures)──▶ suspect
+//! healthy/suspect ──(breaker trips)──▶ quarantined   (ejected from routing)
+//! quarantined ──(supervisor respawns the engine)──▶ probation
+//! probation ──(ration of real probes all succeed)──▶ healthy (re-admitted)
+//! probation ──(any probe fails)──▶ quarantined       (breaker re-trips)
+//! ```
+//!
+//! `suspect` is observability, not policy: the shard keeps serving, the
+//! state shows up in metrics and manifests so operators see degradation
+//! before the trip. `quarantined` clears the shard's bit in the
+//! router's live mask, so the pure consistent-hash route remaps to the
+//! ring successor. `probation` is half-open: the shard stays out of the
+//! mask, but a small ration of the requests whose hash home it is run
+//! on it for real, and their outcomes decide re-admission.
+
+use crate::breaker::{Breaker, BreakerConfig};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// One in every `PROBE_RATION` requests homed at a probation shard is
+/// admitted to it as a half-open probe; the rest reroute to the live
+/// successor as during quarantine. The first request after respawn is
+/// always a probe (ticket 0), which keeps recovery tests deterministic.
+pub(crate) const PROBE_RATION: u64 = 4;
+
+/// Supervision state of one shard. See the module docs for the
+/// transition diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving normally; in the router's live mask.
+    Healthy,
+    /// Failure window half-way to the trip threshold. Still live —
+    /// this state exists to be observed, not to change routing.
+    Suspect,
+    /// Breaker tripped: ejected from the live mask, awaiting respawn.
+    Quarantined,
+    /// Respawned, half-open: out of the mask, admitting only the probe
+    /// ration of its home traffic.
+    Probation,
+}
+
+impl HealthState {
+    /// Wire/metric label (`healthy`, `suspect`, `quarantined`,
+    /// `probation`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Probation => "probation",
+        }
+    }
+
+    /// Gauge encoding for `stormsim_shard_health_state` (0 healthy,
+    /// 1 suspect, 2 quarantined, 3 probation).
+    pub fn code(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Suspect => 1,
+            HealthState::Quarantined => 2,
+            HealthState::Probation => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> HealthState {
+        match code {
+            1 => HealthState::Suspect,
+            2 => HealthState::Quarantined,
+            3 => HealthState::Probation,
+            _ => HealthState::Healthy,
+        }
+    }
+}
+
+/// Point-in-time view of one shard's supervision state, served by the
+/// NDJSON `health` request, the `/health` HTTP route, and (in part) the
+/// Prometheus exposition.
+#[derive(Debug, Clone, Serialize)]
+pub struct HealthSnapshot {
+    /// Shard index.
+    pub shard: u32,
+    /// State label: `healthy`, `suspect`, `quarantined`, `probation`.
+    pub state: String,
+    /// Whether the shard's bit is set in the router's live mask.
+    pub live: bool,
+    /// Breaker window size (outcomes).
+    pub window: usize,
+    /// Outcomes currently held in the window.
+    pub occupancy: usize,
+    /// Failures currently inside the window.
+    pub failures_in_window: usize,
+    /// Failures that trip the breaker.
+    pub threshold: usize,
+    /// Times the breaker tripped (quarantine entries).
+    pub trips: u64,
+    /// Times the shard was re-admitted after probation.
+    pub resets: u64,
+    /// Requests homed here but served elsewhere (eject remaps, busy
+    /// spillover, and failure retries all count).
+    pub reroutes: u64,
+    /// Engine respawns the supervisor performed for this shard.
+    pub respawns: u64,
+    /// Successful probes in the current probation round.
+    pub probes_done: u64,
+    /// Successful probes required to re-admit.
+    pub probes_required: u32,
+}
+
+/// Supervision bookkeeping for one shard: state, breaker, counters.
+/// All methods take `&self`; cross-thread coordination is atomics plus
+/// one short-lived mutex around the breaker window.
+#[derive(Debug)]
+pub(crate) struct ShardHealth {
+    state: AtomicU8,
+    breaker: Mutex<Breaker>,
+    /// Breaker trips (entries into quarantine).
+    pub(crate) trips: AtomicU64,
+    /// Breaker resets (re-admissions after probation).
+    pub(crate) resets: AtomicU64,
+    /// Requests homed here that another shard answered.
+    pub(crate) reroutes: AtomicU64,
+    /// Engine respawns performed for this shard.
+    pub(crate) respawns: AtomicU64,
+    /// Successful probes in the current probation round.
+    probe_successes: AtomicU64,
+    /// Monotonic ticket for the probation ration.
+    probe_ticket: AtomicU64,
+    /// Set on quarantine when the supervisor should respawn the engine;
+    /// consumed by the sweep.
+    needs_respawn: AtomicBool,
+}
+
+impl ShardHealth {
+    pub(crate) fn new(cfg: BreakerConfig) -> ShardHealth {
+        ShardHealth {
+            state: AtomicU8::new(HealthState::Healthy.code()),
+            breaker: Mutex::new(Breaker::new(cfg)),
+            trips: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
+            reroutes: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            probe_successes: AtomicU64::new(0),
+            probe_ticket: AtomicU64::new(0),
+            needs_respawn: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn state(&self) -> HealthState {
+        HealthState::from_code(self.state.load(Ordering::Acquire))
+    }
+
+    fn set_state(&self, state: HealthState) {
+        self.state.store(state.code(), Ordering::Release);
+    }
+
+    /// Feeds one admitted request's outcome into the window, walking
+    /// the healthy ⇄ suspect edge as the failure density crosses half
+    /// the threshold. Returns `true` when this outcome tripped the
+    /// breaker while the shard was admitting traffic — the caller then
+    /// tries to quarantine (the router's live mask is the arbiter, so
+    /// concurrent trips elect exactly one winner).
+    pub(crate) fn record_outcome(&self, failure: bool) -> bool {
+        let (tripped, suspicious) = {
+            let mut breaker = lock(&self.breaker);
+            let tripped = breaker.record(failure);
+            (tripped, breaker.suspicious())
+        };
+        match self.state() {
+            HealthState::Healthy if suspicious => self.set_state(HealthState::Suspect),
+            HealthState::Suspect if !suspicious => self.set_state(HealthState::Healthy),
+            _ => {}
+        }
+        failure && tripped && matches!(self.state(), HealthState::Healthy | HealthState::Suspect)
+    }
+
+    /// → quarantined. Returns `true` for the transition winner (the
+    /// caller that should bump `trips` and emit events); `false` when
+    /// the shard was already quarantined. `respawn` requests a
+    /// supervisor respawn — manual quarantine passes `false` so the
+    /// shard stays ejected until explicitly re-admitted.
+    pub(crate) fn enter_quarantine(&self, respawn: bool) -> bool {
+        let prev = self
+            .state
+            .swap(HealthState::Quarantined.code(), Ordering::AcqRel);
+        if prev == HealthState::Quarantined.code() {
+            return false;
+        }
+        if respawn {
+            self.needs_respawn.store(true, Ordering::Release);
+        }
+        true
+    }
+
+    /// Consumes the pending respawn request, if any (supervisor sweep).
+    pub(crate) fn take_respawn_request(&self) -> bool {
+        self.needs_respawn.swap(false, Ordering::AcqRel)
+    }
+
+    /// → probation with a clean window and a fresh probe round
+    /// (supervisor, after swapping in the respawned engine).
+    pub(crate) fn enter_probation(&self) {
+        lock(&self.breaker).reset();
+        self.probe_successes.store(0, Ordering::Release);
+        self.probe_ticket.store(0, Ordering::Release);
+        self.set_state(HealthState::Probation);
+    }
+
+    /// Probation gate: draws a ticket and admits every
+    /// [`PROBE_RATION`]-th home request as a half-open probe.
+    pub(crate) fn admit_probe(&self) -> bool {
+        self.state() == HealthState::Probation
+            && self.probe_ticket.fetch_add(1, Ordering::AcqRel) % PROBE_RATION == 0
+    }
+
+    /// Counts one successful probe; `true` once the round has enough
+    /// to re-admit.
+    pub(crate) fn note_probe_success(&self, required: u32) -> bool {
+        self.probe_successes.fetch_add(1, Ordering::AcqRel) + 1 >= u64::from(required)
+    }
+
+    /// → healthy, breaker reset. Compare-and-swap from probation so
+    /// concurrent probes elect one re-admission winner; `false` if the
+    /// state moved elsewhere first (e.g. a probe failure re-tripped).
+    pub(crate) fn readmit(&self) -> bool {
+        let won = self
+            .state
+            .compare_exchange(
+                HealthState::Probation.code(),
+                HealthState::Healthy.code(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if won {
+            lock(&self.breaker).reset();
+        }
+        won
+    }
+
+    /// Unconditional reset to healthy (manual re-admission): clears the
+    /// window, the probe round, and any pending respawn request.
+    pub(crate) fn force_healthy(&self) {
+        lock(&self.breaker).reset();
+        self.probe_successes.store(0, Ordering::Release);
+        self.probe_ticket.store(0, Ordering::Release);
+        self.needs_respawn.store(false, Ordering::Release);
+        self.set_state(HealthState::Healthy);
+    }
+
+    /// Point-in-time snapshot for the health endpoints.
+    pub(crate) fn snapshot(&self, shard: u32, live: bool, probes_required: u32) -> HealthSnapshot {
+        let (window, occupancy, failures, threshold) = {
+            let breaker = lock(&self.breaker);
+            (
+                breaker.window(),
+                breaker.occupancy(),
+                breaker.failures(),
+                breaker.threshold(),
+            )
+        };
+        HealthSnapshot {
+            shard,
+            state: self.state().as_str().to_string(),
+            live,
+            window,
+            occupancy,
+            failures_in_window: failures,
+            threshold,
+            trips: self.trips.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+            reroutes: self.reroutes.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            probes_done: self.probe_successes.load(Ordering::Relaxed),
+            probes_required,
+        }
+    }
+}
+
+/// Breaker mutex guard; a poisoned lock still yields the data (the
+/// breaker holds plain counters, every partial update is still sane).
+fn lock(breaker: &Mutex<Breaker>) -> std::sync::MutexGuard<'_, Breaker> {
+    match breaker.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health(window: usize, threshold: usize) -> ShardHealth {
+        ShardHealth::new(BreakerConfig {
+            window,
+            threshold,
+            probes: 2,
+        })
+    }
+
+    #[test]
+    fn failures_walk_healthy_suspect_and_trip() {
+        let h = health(8, 4);
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(!h.record_outcome(true));
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(!h.record_outcome(true));
+        assert_eq!(h.state(), HealthState::Suspect, "half threshold");
+        assert!(!h.record_outcome(true));
+        assert!(h.record_outcome(true), "fourth failure trips");
+        // The caller quarantines on trip.
+        assert!(h.enter_quarantine(true));
+        assert_eq!(h.state(), HealthState::Quarantined);
+        assert!(!h.enter_quarantine(true), "second entry loses the race");
+        assert!(h.take_respawn_request());
+        assert!(!h.take_respawn_request(), "request is consumed once");
+    }
+
+    #[test]
+    fn successes_clear_the_suspect_flag() {
+        let h = health(4, 4);
+        h.record_outcome(true);
+        h.record_outcome(true);
+        assert_eq!(h.state(), HealthState::Suspect);
+        h.record_outcome(false);
+        h.record_outcome(false);
+        // Window now [t, t, f, f] → still suspicious (2*2 >= 4)…
+        assert_eq!(h.state(), HealthState::Suspect);
+        h.record_outcome(false);
+        // …until a failure slides out.
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn probation_admits_the_ration_and_readmits_after_enough_successes() {
+        let h = health(8, 2);
+        h.enter_quarantine(true);
+        h.enter_probation();
+        assert_eq!(h.state(), HealthState::Probation);
+        // Ticket 0 is a probe; the next PROBE_RATION-1 are not.
+        assert!(h.admit_probe(), "first home request probes");
+        for _ in 1..PROBE_RATION {
+            assert!(!h.admit_probe());
+        }
+        assert!(h.admit_probe(), "ration wraps");
+        assert!(!h.note_probe_success(2));
+        assert!(h.note_probe_success(2), "second success completes");
+        assert!(h.readmit());
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(!h.readmit(), "readmit is a one-shot CAS");
+        assert!(!h.admit_probe(), "healthy shards never probe");
+    }
+
+    #[test]
+    fn a_probe_failure_retrips_from_probation() {
+        let h = health(8, 2);
+        h.enter_quarantine(true);
+        assert!(h.take_respawn_request());
+        h.enter_probation();
+        assert!(h.enter_quarantine(true), "probe failure re-trips");
+        assert_eq!(h.state(), HealthState::Quarantined);
+        assert!(h.take_respawn_request(), "re-trip requests a respawn");
+        assert!(!h.readmit(), "readmit only works from probation");
+    }
+
+    #[test]
+    fn snapshots_carry_window_stats_and_counters() {
+        let h = health(8, 4);
+        h.record_outcome(true);
+        h.record_outcome(false);
+        h.trips.fetch_add(2, Ordering::Relaxed);
+        h.reroutes.fetch_add(5, Ordering::Relaxed);
+        let s = h.snapshot(3, false, 4);
+        assert_eq!(s.shard, 3);
+        assert!(!s.live);
+        assert_eq!(s.state, "healthy");
+        assert_eq!(s.window, 8);
+        assert_eq!(s.occupancy, 2);
+        assert_eq!(s.failures_in_window, 1);
+        assert_eq!(s.threshold, 4);
+        assert_eq!(s.trips, 2);
+        assert_eq!(s.reroutes, 5);
+        assert_eq!(s.probes_required, 4);
+        let json = serde_json::to_value(&s).unwrap();
+        assert_eq!(json["state"], "healthy");
+        assert_eq!(json["failures_in_window"], 1);
+    }
+
+    #[test]
+    fn force_healthy_resets_everything() {
+        let h = health(4, 2);
+        h.record_outcome(true);
+        h.record_outcome(true);
+        h.enter_quarantine(true);
+        h.force_healthy();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(!h.take_respawn_request());
+        let s = h.snapshot(0, true, 1);
+        assert_eq!(s.failures_in_window, 0);
+        assert_eq!(s.occupancy, 0);
+    }
+}

@@ -19,19 +19,31 @@
 //! * **Hedged reads** — a home-shard cache miss probes sibling caches
 //!   read-only before paying for compute, so a result computed
 //!   elsewhere (after a busy spillover, or by direct shard access) is
-//!   adopted instead of recomputed.
-//! * **Busy spillover** — a `busy` rejection retries once on the ring
-//!   successor before the client sees it.
+//!   adopted instead of recomputed. Quarantined siblings are skipped.
+//! * **Busy spillover** — a `busy` rejection walks up to two live ring
+//!   hops before surfacing the most optimistic `retry_after_ms` of the
+//!   shards consulted.
+//! * **Supervision** — every shard sits behind a sliding-window circuit
+//!   breaker feeding a health state machine (`healthy → suspect →
+//!   quarantined → probation → healthy`). A tripped shard is ejected
+//!   from routing through the [`Router`]'s atomic live mask (its keys
+//!   remap to the ring successor — growth run in reverse, nothing else
+//!   moves), its failed requests retry once on the live successor with
+//!   deterministic jittered backoff, and a supervisor thread respawns
+//!   its engine on the preserved cache partition before half-open
+//!   probation probes re-admit it. Manifests carry `rerouted_from` /
+//!   `health_state` provenance for every diverted request.
 //!
 //! [`ShardedEngine`] implements `solarstorm_engine::ScenarioService`,
 //! so the NDJSON TCP server, `stormsim batch`, and the Prometheus
 //! scrape endpoint serve it exactly as they serve a single engine —
 //! deadlines, panic isolation, load shedding, and chaos injection all
 //! keep working per shard. Results are bit-identical to a single
-//! engine's (routing decides *where* a deterministic computation runs,
-//! never *what* it computes); run manifests carry the serving shard and
-//! the hedge outcome, and metrics merge into unlabelled totals plus
-//! `shard`-labelled series.
+//! engine's (routing, spillover, retries, and quarantine decide *where*
+//! a deterministic computation runs, never *what* it computes); run
+//! manifests carry the serving shard and the hedge outcome, and metrics
+//! merge into unlabelled totals plus `shard`-labelled series and
+//! per-shard supervision gauges/counters.
 //!
 //! The TCP accept loop is still blocking, thread-per-connection; the
 //! [`Router`] is a pure hash → shard function precisely so a
@@ -66,10 +78,15 @@
 // errors, never abort. Tests assert freely.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod breaker;
+mod health;
 mod ring;
 mod router;
 mod sharded;
+mod supervisor;
 
+pub use breaker::BreakerConfig;
+pub use health::{HealthSnapshot, HealthState};
 pub use ring::HashRing;
 pub use router::{Router, DEFAULT_REPLICAS};
 pub use sharded::{ShardConfig, ShardedEngine, ShardedMetrics};

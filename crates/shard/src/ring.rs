@@ -62,6 +62,36 @@ impl HashRing {
         let i = if i == self.points.len() { 0 } else { i };
         self.points[i].1
     }
+
+    /// Routes a key honouring a liveness bitmask: bit `s` of `live`
+    /// marks shard `s` live, and shards ≥ 64 are always treated as live
+    /// (supervision quarantine only covers the first 64 shards). The
+    /// walk starts at the key's pure ring position and takes the first
+    /// clockwise point owned by a live shard.
+    ///
+    /// Skipping a dead shard's points is exactly ring growth run in
+    /// reverse: the ring of `N + 1` shards with shard `N` masked out
+    /// contains the same live points as the ring of `N` shards, so it
+    /// routes every key identically to `HashRing::new(N, replicas)` —
+    /// keys homed on the masked shard remap to their ring successor and
+    /// nothing else moves. With a full mask this is `route`.
+    ///
+    /// Falls back to the pure route if the mask would leave the ring
+    /// empty (callers never eject the last live shard, so this is a
+    /// defensive path, not a policy).
+    pub fn route_masked(&self, key: u64, live: u64) -> u32 {
+        let h = mix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        for off in 0..n {
+            let idx = start + off;
+            let shard = self.points[if idx >= n { idx - n } else { idx }].1;
+            if shard >= 64 || live & (1u64 << shard) != 0 {
+                return shard;
+            }
+        }
+        self.route(key)
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +136,59 @@ mod tests {
     }
 
     #[test]
+    fn a_full_mask_routes_identically_to_the_pure_ring() {
+        let ring = HashRing::new(6, 64);
+        let full = (1u64 << 6) - 1;
+        for key in 0..10_000u64 {
+            assert_eq!(ring.route(key), ring.route_masked(key, full));
+            assert_eq!(ring.route(key), ring.route_masked(key, u64::MAX));
+        }
+    }
+
+    #[test]
+    fn masking_the_last_shard_is_ring_growth_in_reverse() {
+        for n in 1..=8usize {
+            let grown = HashRing::new(n + 1, 64);
+            let original = HashRing::new(n, 64);
+            let mask = (1u64 << n) - 1; // shard n dead, 0..n live
+            for key in 0..10_000u64 {
+                assert_eq!(
+                    grown.route_masked(key, mask),
+                    original.route(key),
+                    "masking shard {n} of an {}-ring must reproduce the {n}-ring",
+                    n + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masking_moves_only_the_dead_shards_keys() {
+        let ring = HashRing::new(5, 64);
+        let dead = 2u32;
+        let mask = ((1u64 << 5) - 1) & !(1u64 << dead);
+        let mut moved = 0u64;
+        for key in 0..10_000u64 {
+            let pure = ring.route(key);
+            let masked = ring.route_masked(key, mask);
+            assert_ne!(masked, dead, "dead shard must receive nothing");
+            if pure != masked {
+                assert_eq!(pure, dead, "only the dead shard's keys remap");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the dead shard owned some keys");
+    }
+
+    #[test]
+    fn an_empty_mask_falls_back_to_the_pure_route() {
+        let ring = HashRing::new(4, 64);
+        for key in 0..100u64 {
+            assert_eq!(ring.route_masked(key, 0), ring.route(key));
+        }
+    }
+
+    #[test]
     fn growing_the_ring_only_moves_keys_to_the_new_shard() {
         for n in 1..=8usize {
             let before = HashRing::new(n, 64);
@@ -116,7 +199,8 @@ mod tests {
                 let (a, b) = (before.route(key), after.route(key));
                 if a != b {
                     assert_eq!(
-                        b, n as u32,
+                        b,
+                        n as u32,
                         "key {key} moved between existing shards ({a} → {b}) growing {n} → {}",
                         n + 1
                     );

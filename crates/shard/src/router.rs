@@ -5,9 +5,19 @@
 //! value can later sit inside a readiness-driven reactor (route on
 //! accept, dispatch to a shard's queue) without the blocking TCP
 //! frontend's thread-per-connection shape leaking into it.
+//!
+//! The one concession to dynamism is the *live mask*: a single atomic
+//! bitmask the supervision layer flips when it quarantines or re-admits
+//! a shard. The pure hash route is computed first, exactly as before;
+//! the mask is consulted only to skip dead shards' ring points, which
+//! remaps a quarantined shard's keys to their ring successor — ring
+//! growth run in reverse (see [`HashRing::route_masked`]) — and moves
+//! nothing else. Routing stays deterministic given a mask value, and a
+//! full mask routes bit-identically to the maskless ring.
 
 use crate::ring::HashRing;
 use solarstorm_engine::{canon, EngineError, ScenarioSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Virtual nodes per shard. 64 keeps the per-shard load within a few
 /// percent of ideal while the ring stays small enough that a route is
@@ -15,23 +25,42 @@ use solarstorm_engine::{canon, EngineError, ScenarioSpec};
 pub const DEFAULT_REPLICAS: usize = 64;
 
 /// Maps spec content hashes to shard indices over a stable
-/// [`HashRing`].
-#[derive(Debug, Clone)]
+/// [`HashRing`], filtered through the dynamic live mask.
+#[derive(Debug)]
 pub struct Router {
     ring: HashRing,
+    /// Bit `s` set ⇒ shard `s` is live (in routing). Only the first 64
+    /// shards are maskable; shards ≥ 64 are always live — supervision
+    /// covers fleets far smaller than that, and the limit keeps the
+    /// mask one lock-free word.
+    live: AtomicU64,
+}
+
+impl Clone for Router {
+    fn clone(&self) -> Router {
+        Router {
+            ring: self.ring.clone(),
+            live: AtomicU64::new(self.live.load(Ordering::Acquire)),
+        }
+    }
 }
 
 impl Router {
     /// A router over `shards` shards with [`DEFAULT_REPLICAS`] virtual
-    /// nodes each.
+    /// nodes each; every shard starts live.
     pub fn new(shards: usize) -> Router {
         Router::with_replicas(shards, DEFAULT_REPLICAS)
     }
 
-    /// A router with an explicit virtual-node count (clamped to ≥ 1).
+    /// A router with an explicit virtual-node count (clamped to ≥ 1);
+    /// every shard starts live.
     pub fn with_replicas(shards: usize, replicas: usize) -> Router {
+        let ring = HashRing::new(shards, replicas);
+        let n = ring.shards();
+        let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
         Router {
-            ring: HashRing::new(shards, replicas),
+            ring,
+            live: AtomicU64::new(mask),
         }
     }
 
@@ -40,9 +69,71 @@ impl Router {
         self.ring.shards()
     }
 
-    /// The shard owning a spec content hash.
+    /// The current live mask (bit `s` ⇒ shard `s` live; bits at or
+    /// above the shard count are meaningless).
+    pub fn live_mask(&self) -> u64 {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Whether a shard is currently live (shards ≥ 64 always are).
+    pub fn is_live(&self, shard: usize) -> bool {
+        shard >= 64 || self.live_mask() & (1u64 << shard) != 0
+    }
+
+    /// How many of the routable shards are live.
+    pub fn live_count(&self) -> usize {
+        let n = self.shards();
+        let maskable = n.min(64);
+        let masked = self.live_mask() & mask_of(maskable);
+        masked.count_ones() as usize + n.saturating_sub(64)
+    }
+
+    /// Atomically clears a shard's live bit — ejecting it from routing
+    /// — unless it is the last live shard (or is already ejected, or
+    /// cannot be ejected because it is ≥ 64). Returns whether the bit
+    /// was cleared; this is the linearization point for quarantine, so
+    /// concurrent breaker trips elect exactly one winner.
+    pub fn try_eject(&self, shard: usize) -> bool {
+        if shard >= 64 || shard >= self.shards() {
+            return false;
+        }
+        let bit = 1u64 << shard;
+        let routable = mask_of(self.shards().min(64));
+        let unmaskable_shards = self.shards() > 64;
+        self.live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |mask| {
+                let live = mask & routable;
+                if live & bit == 0 {
+                    return None; // already ejected
+                }
+                if live == bit && !unmaskable_shards {
+                    return None; // never eject the last live shard
+                }
+                Some(mask & !bit)
+            })
+            .is_ok()
+    }
+
+    /// Sets a shard's live bit (re-admission after probation). No-op
+    /// for shards ≥ 64, which are always live.
+    pub fn set_live(&self, shard: usize) {
+        if shard < 64 && shard < self.shards() {
+            self.live.fetch_or(1u64 << shard, Ordering::AcqRel);
+        }
+    }
+
+    /// The shard owning a spec content hash, ignoring liveness — the
+    /// *pure home*, stable across quarantine and recovery.
     pub fn route(&self, spec_hash: u64) -> usize {
         self.ring.route(spec_hash) as usize
+    }
+
+    /// The shard that should serve a spec content hash right now: the
+    /// pure home when it is live, otherwise the first live shard
+    /// clockwise on the ring (minimal remap — only dead shards' keys
+    /// move; see [`HashRing::route_masked`]).
+    pub fn route_live(&self, spec_hash: u64) -> usize {
+        self.ring.route_masked(spec_hash, self.live_mask()) as usize
     }
 
     /// The next shard clockwise — the busy-spillover target: adjacent
@@ -52,15 +143,33 @@ impl Router {
         (shard + 1) % self.shards()
     }
 
+    /// The next *live* shard clockwise after `shard`, skipping
+    /// quarantined shards. Returns `shard` itself when no other shard
+    /// is live (the caller then has nowhere to spill or retry).
+    pub fn successor_live(&self, shard: usize) -> usize {
+        let n = self.shards();
+        let mask = self.live_mask();
+        for off in 1..n {
+            let candidate = (shard + off) % n;
+            if candidate >= 64 || mask & (1u64 << candidate) != 0 {
+                return candidate;
+            }
+        }
+        shard
+    }
+
     /// Routes a full spec: hashes it exactly as the engine does
-    /// (deadline cleared — the deadline is not part of a scenario's
-    /// identity) and returns the owning shard with the hash.
+    /// (deadline and trace flag cleared — neither is part of a
+    /// scenario's identity) and returns the *pure home* shard with the
+    /// hash. Callers that honour quarantine pass the hash on to
+    /// [`Router::route_live`].
     ///
     /// Errors only if the spec cannot be serialized, which the engine
     /// would reject as invalid anyway.
     pub fn route_spec(&self, spec: &ScenarioSpec) -> Result<(usize, u64), EngineError> {
         let hash_spec = ScenarioSpec {
             deadline_ms: None,
+            trace: false,
             ..spec.clone()
         };
         let (_canon, hash) = canon::content_hash(&hash_spec)
@@ -69,22 +178,41 @@ impl Router {
     }
 }
 
+/// A mask with the low `n` bits set (`n ≤ 64`).
+fn mask_of(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn route_spec_ignores_the_deadline() {
+    fn route_spec_ignores_the_deadline_and_trace_flag() {
         let router = Router::new(4);
         let bare = ScenarioSpec::default();
         let deadlined = ScenarioSpec {
             deadline_ms: Some(250),
             ..Default::default()
         };
+        let traced = ScenarioSpec {
+            trace: true,
+            ..Default::default()
+        };
         let (shard_a, hash_a) = router.route_spec(&bare).unwrap();
         let (shard_b, hash_b) = router.route_spec(&deadlined).unwrap();
+        let (shard_c, hash_c) = router.route_spec(&traced).unwrap();
         assert_eq!(hash_a, hash_b, "deadline must not change the content hash");
+        assert_eq!(
+            hash_a, hash_c,
+            "trace flag must not change the content hash"
+        );
         assert_eq!(shard_a, shard_b);
+        assert_eq!(shard_a, shard_c);
         assert!(shard_a < 4);
     }
 
@@ -95,5 +223,77 @@ mod tests {
         assert_eq!(router.successor(2), 0);
         let single = Router::new(1);
         assert_eq!(single.successor(0), 0);
+    }
+
+    #[test]
+    fn all_shards_start_live() {
+        let router = Router::new(3);
+        assert_eq!(router.live_mask(), 0b111);
+        assert_eq!(router.live_count(), 3);
+        for s in 0..3 {
+            assert!(router.is_live(s));
+        }
+    }
+
+    #[test]
+    fn eject_remaps_to_the_ring_successor_and_readmit_restores() {
+        let router = Router::new(3);
+        // Find a hash homed on shard 1.
+        let hash = (0..10_000u64)
+            .find(|&h| router.route(h) == 1)
+            .expect("shard 1 owns some keys");
+        assert_eq!(router.route_live(hash), 1);
+
+        assert!(router.try_eject(1));
+        assert!(!router.is_live(1));
+        assert_eq!(router.live_count(), 2);
+        let diverted = router.route_live(hash);
+        assert_ne!(diverted, 1, "ejected shard receives nothing");
+        assert_eq!(router.route(hash), 1, "the pure home never changes");
+
+        router.set_live(1);
+        assert!(router.is_live(1));
+        assert_eq!(router.route_live(hash), 1, "re-admission restores routing");
+    }
+
+    #[test]
+    fn eject_is_single_winner_and_never_takes_the_last_shard() {
+        let router = Router::new(2);
+        assert!(router.try_eject(0));
+        assert!(!router.try_eject(0), "second eject of the same shard loses");
+        assert!(
+            !router.try_eject(1),
+            "the last live shard cannot be ejected"
+        );
+        assert!(router.is_live(1));
+        let single = Router::new(1);
+        assert!(!single.try_eject(0));
+    }
+
+    #[test]
+    fn successor_live_skips_ejected_shards() {
+        let router = Router::new(4);
+        assert_eq!(router.successor_live(0), 1);
+        router.try_eject(1);
+        assert_eq!(router.successor_live(0), 2, "dead successor is skipped");
+        router.try_eject(2);
+        assert_eq!(router.successor_live(0), 3);
+        router.try_eject(3);
+        assert_eq!(
+            router.successor_live(0),
+            0,
+            "no live successor folds back to the shard itself"
+        );
+    }
+
+    #[test]
+    fn clones_carry_the_mask_value_but_not_the_atomic() {
+        let router = Router::new(3);
+        router.try_eject(2);
+        let copy = router.clone();
+        assert_eq!(copy.live_mask(), router.live_mask());
+        copy.set_live(2);
+        assert!(copy.is_live(2));
+        assert!(!router.is_live(2), "clones have independent masks");
     }
 }

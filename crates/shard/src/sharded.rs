@@ -1,16 +1,38 @@
 //! The sharded runtime: N engines, one router, hedged reads, busy
-//! spillover.
+//! spillover — under supervision.
+//!
+//! Each shard is wrapped in a health state machine ([`crate::health`])
+//! fed by a sliding-window circuit breaker ([`crate::breaker`]). When a
+//! shard's breaker trips, the shard is *quarantined*: its bit clears in
+//! the router's live mask and its keys remap to the ring successor
+//! (ring growth in reverse — nothing else moves). A background
+//! supervisor thread ([`crate::supervisor`]) respawns the quarantined
+//! engine — fresh worker pool on the preserved cache partition, so
+//! recovery is warm — and walks it through half-open *probation*: a
+//! small ration of real home-keyed requests probe it, and enough
+//! successes re-admit it to routing. Requests that fail on a wedged
+//! shard retry once on the live ring successor after a deterministic
+//! jittered backoff; every diverted request carries `rerouted_from` /
+//! `health_state` provenance in its manifest. None of this changes
+//! results: supervision decides *where* a deterministic computation
+//! runs, never what it returns.
 
+use crate::breaker::BreakerConfig;
+use crate::health::{HealthSnapshot, HealthState, ShardHealth};
 use crate::router::{Router, DEFAULT_REPLICAS};
+use crate::supervisor::Supervisor;
+use parking_lot::RwLock;
 use solarstorm_engine::{
     Engine, EngineConfig, EngineError, EngineMetrics, Evaluation, FailureReport, HedgeProbe,
-    ScenarioResult, ScenarioService, ScenarioSpec,
+    RunManifest, ScenarioResult, ScenarioService, ScenarioSpec,
 };
 use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Sharded-runtime sizing: how many shards, and the *total* engine
-/// budget they divide between them.
+/// Sharded-runtime sizing: how many shards, the *total* engine budget
+/// they divide between them, and the supervision tuning.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
     /// Number of engine shards (clamped to ≥ 1). The default is the
@@ -22,13 +44,27 @@ pub struct ShardConfig {
     /// `prewarm` runs once (datasets are process-global).
     pub engine: EngineConfig,
     /// Probe sibling shards' caches (read-only) on a shard-local cache
-    /// miss before paying for compute. On by default.
+    /// miss before paying for compute. On by default. Quarantined
+    /// siblings are never probed.
     pub hedged_reads: bool,
-    /// Retry a `busy` rejection once on the ring-successor shard
-    /// before surfacing it to the client. On by default.
+    /// Retry a `busy` rejection on the ring-successor shard (and, if
+    /// that is busy too, one more ring hop) before surfacing it to the
+    /// client. On by default.
     pub spill_on_busy: bool,
     /// Virtual nodes per shard on the hash ring.
     pub replicas: usize,
+    /// Circuit-breaker window/threshold and the probation probe count,
+    /// shared by every shard.
+    pub breaker: BreakerConfig,
+    /// Run the supervision sweep thread, which respawns quarantined
+    /// shards and walks them through probation. On by default;
+    /// single-shard runtimes never supervise (there is nowhere to
+    /// reroute). Off, quarantined shards stay ejected until
+    /// [`ShardedEngine::readmit`].
+    pub supervise: bool,
+    /// Pause between supervision sweeps, milliseconds (clamped ≥ 1).
+    /// Recovery latency is at most one sweep interval plus the respawn.
+    pub supervisor_interval_ms: u64,
 }
 
 impl Default for ShardConfig {
@@ -42,6 +78,9 @@ impl Default for ShardConfig {
             hedged_reads: true,
             spill_on_busy: true,
             replicas: DEFAULT_REPLICAS,
+            breaker: BreakerConfig::default(),
+            supervise: true,
+            supervisor_interval_ms: 20,
         }
     }
 }
@@ -59,82 +98,362 @@ fn shard_engine_config(total: &EngineConfig, shards: usize, index: usize) -> Eng
     }
 }
 
+/// Deterministic retry jitter: 1–4 ms derived from the spec's content
+/// hash and the shard the attempt failed on. Replays reproduce the
+/// same backoff, while different specs failing at once spread their
+/// retries instead of stampeding the successor.
+fn jittered_backoff_ms(hash: u64, failed_shard: usize) -> u64 {
+    1 + crate::ring::mix64(hash ^ (failed_shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 4
+}
+
+/// Whether an error says something about the *shard's* health (feeds
+/// the breaker window): infrastructure failures and shed load do;
+/// client mistakes (`invalid_spec`, `unknown_experiment`) and the
+/// drain handshake (`shutting_down`) do not.
+fn health_signal(error: &EngineError) -> bool {
+    matches!(
+        error,
+        EngineError::Busy { .. }
+            | EngineError::DeadlineExceeded { .. }
+            | EngineError::Panicked { .. }
+            | EngineError::Compute(_)
+    )
+}
+
+/// Whether a failed attempt is worth one retry on the ring successor:
+/// infrastructure failures are (another shard computes the same
+/// deterministic answer), and `shutting_down` is (it can be the
+/// transient window while the supervisor swaps a respawned engine in).
+/// Deadline failures are not — the request already spent its time
+/// budget, and a fresh attempt would double the client's worst-case
+/// wait. Client errors are deterministic and never retried.
+fn retryable(error: &EngineError) -> bool {
+    matches!(
+        error,
+        EngineError::Panicked { .. } | EngineError::Compute(_) | EngineError::ShuttingDown
+    )
+}
+
+/// Chaos fault points for the shard layer, compiled in only with the
+/// `chaos` feature. Two named points per shard, checked on every
+/// attempt before the engine is touched:
+///
+/// * `shard_wedge.{i}` — arm with [`solarstorm_obs::chaos::Fault::Error`]
+///   to make shard `i` fail attempts with a typed `compute` error (a
+///   wedged shard as the router sees it), or `Fault::Stall` to slow it.
+/// * `shard_panic_storm.{i}` — arm with `Fault::Panic`; the panic is
+///   caught here, at the same kind of boundary the engine's workers
+///   use, and surfaces as the typed `panic` error.
+#[cfg(feature = "chaos")]
+fn chaos_shard_fault(shard: usize) -> Option<EngineError> {
+    let wedge = format!("shard_wedge.{shard}");
+    if solarstorm_obs::chaos::inject(&wedge) {
+        return Some(EngineError::Compute(format!(
+            "chaos: injected wedge at {wedge}"
+        )));
+    }
+    let storm = format!("shard_panic_storm.{shard}");
+    match std::panic::catch_unwind(|| solarstorm_obs::chaos::inject(&storm)) {
+        Ok(true) => Some(EngineError::Compute(format!(
+            "chaos: injected error at {storm}"
+        ))),
+        Ok(false) => None,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| format!("chaos: injected panic at {storm}"));
+            Some(EngineError::Panicked { message })
+        }
+    }
+}
+
 /// The hedge: a read-only view over every shard's cache except the
-/// probing shard's own (it already missed).
+/// probing shard's own (it already missed). Quarantined siblings are
+/// skipped — their cache partition is intact (the respawn preserves
+/// it), but a wedged shard must not be touched synchronously on the
+/// request path.
 struct SiblingProbe<'a> {
-    shards: &'a [Arc<Engine>],
+    core: &'a Core,
     home: usize,
 }
 
 impl HedgeProbe for SiblingProbe<'_> {
     fn probe(&self, hash: u64, canon: &str) -> Option<(u32, Arc<ScenarioResult>)> {
-        self.shards
+        self.core
+            .shards
             .iter()
             .enumerate()
-            .filter(|(i, _)| *i != self.home)
-            .find_map(|(i, engine)| engine.peek_cache(hash, canon).map(|r| (i as u32, r)))
+            .filter(|(i, _)| {
+                *i != self.home && self.core.supervision[*i].state() != HealthState::Quarantined
+            })
+            .find_map(|(i, slot)| slot.read().peek_cache(hash, canon).map(|r| (i as u32, r)))
     }
 }
 
-/// N engine shards behind one consistent-hash router.
+/// Everything the request path and the supervisor share: the engine
+/// slots, the router with its live mask, and the per-shard health
+/// records. Engine slots are `RwLock<Arc<Engine>>` so the supervisor
+/// can swap a respawned engine in while requests keep cloning the
+/// current one out (readers never block readers; the write lock is
+/// held only for the pointer swap).
+pub(crate) struct Core {
+    shards: Vec<RwLock<Arc<Engine>>>,
+    router: Router,
+    supervision: Vec<ShardHealth>,
+    breaker: BreakerConfig,
+    engine_total: EngineConfig,
+    hedged_reads: bool,
+    spill_on_busy: bool,
+}
+
+impl Core {
+    /// Health-aware admission: where should a request homed at
+    /// `pure_home` actually run, and is it a probation probe? Healthy
+    /// and suspect homes serve normally. A probation home admits its
+    /// probe ration and reroutes the rest. A quarantined home is
+    /// ejected: the live-masked route lands on the ring successor.
+    fn admit(&self, pure_home: usize, hash: u64) -> (usize, bool) {
+        let health = &self.supervision[pure_home];
+        match health.state() {
+            HealthState::Healthy | HealthState::Suspect => (pure_home, false),
+            HealthState::Probation if health.admit_probe() => (pure_home, true),
+            _ => (self.router.route_live(hash), false),
+        }
+    }
+
+    /// One evaluation attempt on one shard (chaos faults first, then
+    /// the shard's current engine, hedging against live siblings).
+    // FailureReport inlines the manifest; see Engine::evaluate_full.
+    #[allow(clippy::result_large_err)]
+    fn eval_on(&self, shard: usize, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
+        #[cfg(feature = "chaos")]
+        if let Some(error) = chaos_shard_fault(shard) {
+            return Err(FailureReport::from(error));
+        }
+        let engine = {
+            let guard = self.shards[shard].read();
+            Arc::clone(&guard)
+        };
+        if self.hedged_reads && self.shards.len() > 1 {
+            let probe = SiblingProbe {
+                core: self,
+                home: shard,
+            };
+            engine.evaluate_full_hedged(spec, shard as u32, Some(&probe))
+        } else {
+            engine.evaluate_full_hedged(spec, shard as u32, None)
+        }
+    }
+
+    /// Feeds one attempt's outcome into the serving shard's health
+    /// machine and performs any transition it triggers: breaker trip →
+    /// quarantine (never the last live shard — the router's `try_eject`
+    /// is the single-winner arbiter), probe failure → re-trip, enough
+    /// probe successes → re-admission.
+    pub(crate) fn observe_outcome(&self, shard: usize, failure: bool, probe: bool) {
+        let health = &self.supervision[shard];
+        match health.state() {
+            HealthState::Probation => {
+                if !probe {
+                    return; // stale admission from before the state changed
+                }
+                if failure {
+                    if health.enter_quarantine(true) {
+                        health.trips.fetch_add(1, Ordering::Relaxed);
+                        solarstorm_obs::event!(
+                            solarstorm_obs::Level::Warn,
+                            "shard_probe_failed",
+                            shard = shard
+                        );
+                    }
+                } else if health.note_probe_success(self.breaker.probes) && health.readmit() {
+                    self.router.set_live(shard);
+                    health.resets.fetch_add(1, Ordering::Relaxed);
+                    solarstorm_obs::event!(
+                        solarstorm_obs::Level::Info,
+                        "shard_readmitted",
+                        shard = shard
+                    );
+                }
+            }
+            HealthState::Quarantined => {}
+            HealthState::Healthy | HealthState::Suspect => {
+                if health.record_outcome(failure) && self.router.try_eject(shard) {
+                    health.enter_quarantine(true);
+                    health.trips.fetch_add(1, Ordering::Relaxed);
+                    solarstorm_obs::event!(
+                        solarstorm_obs::Level::Warn,
+                        "shard_quarantined",
+                        shard = shard
+                    );
+                    solarstorm_obs::trace::record_rel(
+                        "shard_quarantine",
+                        0,
+                        vec![("shard", solarstorm_obs::FieldValue::from(shard))],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stamps routing/health provenance into a manifest: requests not
+    /// served by their pure hash home carry `rerouted_from` (and count
+    /// on the home's reroute counter); requests served by a
+    /// not-plain-healthy shard carry its state.
+    fn stamp(&self, manifest: &mut RunManifest, pure_home: usize, serving: usize) {
+        if serving != pure_home {
+            manifest.rerouted_from = Some(pure_home as u32);
+            manifest.health_state = Some(self.supervision[pure_home].state().as_str().to_string());
+            self.supervision[pure_home]
+                .reroutes
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            let state = self.supervision[serving].state();
+            if state != HealthState::Healthy {
+                manifest.health_state = Some(state.as_str().to_string());
+            }
+        }
+    }
+
+    /// One supervisor sweep: respawn every quarantined shard that
+    /// requested it, then move it into half-open probation. The old
+    /// engine is *abandoned*, not joined — wedged workers must not
+    /// block recovery; responsive ones drain their queue harmlessly
+    /// against the shared cache and metrics. The replacement inherits
+    /// the shard's cache partition, so recovery is warm.
+    pub(crate) fn sweep_respawns(&self) {
+        for (i, health) in self.supervision.iter().enumerate() {
+            if health.state() != HealthState::Quarantined || !health.take_respawn_request() {
+                continue;
+            }
+            let old = {
+                let guard = self.shards[i].read();
+                Arc::clone(&guard)
+            };
+            old.abandon();
+            let fresh = Arc::new(Engine::respawn_from(&old, self.slice_cfg(i)));
+            *self.shards[i].write() = fresh;
+            health.respawns.fetch_add(1, Ordering::Relaxed);
+            // Probation starts only after the swap, so every probe
+            // reaches the fresh engine.
+            health.enter_probation();
+            solarstorm_obs::event!(solarstorm_obs::Level::Info, "shard_respawned", shard = i);
+        }
+    }
+
+    /// Shard `index`'s slice of the total engine budget, without a
+    /// prewarm (datasets are already resident by respawn time).
+    fn slice_cfg(&self, index: usize) -> EngineConfig {
+        EngineConfig {
+            prewarm: None,
+            ..shard_engine_config(&self.engine_total, self.shards.len(), index)
+        }
+    }
+
+    /// Per-shard health snapshots for the health endpoints and metrics.
+    fn health_snapshots(&self) -> Vec<HealthSnapshot> {
+        self.supervision
+            .iter()
+            .enumerate()
+            .map(|(i, h)| h.snapshot(i as u32, self.router.is_live(i), self.breaker.probes))
+            .collect()
+    }
+}
+
+/// N engine shards behind one consistent-hash router, supervised.
 ///
 /// Each shard owns its own result cache, single-flight table, queue,
 /// and worker slice — shared-nothing on the write path, so shards never
 /// contend on each other's locks. Requests route by spec content hash
 /// (the same hash the cache uses), which gives every scenario a *home
 /// shard*: repeats of a spec always land where its cached result lives.
-/// Two read-side escape hatches soften the partitioning:
+/// Three escape hatches soften the partitioning:
 ///
-/// * **Hedged reads** — a home-shard cache miss probes the sibling
-///   caches read-only before paying for compute, so results computed
-///   elsewhere (e.g. after a spillover) are adopted, not recomputed.
-/// * **Busy spillover** — a `busy` rejection from the home shard is
-///   retried once on the ring-successor shard before the client sees
-///   the error.
+/// * **Hedged reads** — a home-shard cache miss probes the live
+///   siblings' caches read-only before paying for compute, so results
+///   computed elsewhere (e.g. after a spillover) are adopted, not
+///   recomputed.
+/// * **Busy spillover** — a `busy` rejection walks up to two live ring
+///   hops (home → successor → its successor) before surfacing the
+///   most optimistic `retry_after_ms` observed.
+/// * **Supervision** — per-shard circuit breakers quarantine failing
+///   shards (ejecting them from routing via the live mask), a
+///   supervisor thread respawns them on their preserved cache
+///   partition, and half-open probation re-admits them; see the
+///   module docs.
 ///
-/// Results are bit-identical to a single [`Engine`]'s: routing decides
-/// only *where* a deterministic computation runs. Deadlines, panic
-/// isolation, load shedding, and chaos injection all operate per shard
-/// unchanged.
+/// Results are bit-identical to a single [`Engine`]'s: routing,
+/// spillover, retries, and quarantine decide only *where* a
+/// deterministic computation runs. Deadlines, panic isolation, load
+/// shedding, and chaos injection all operate per shard unchanged.
 pub struct ShardedEngine {
-    shards: Vec<Arc<Engine>>,
-    router: Router,
-    hedged_reads: bool,
-    spill_on_busy: bool,
+    core: Arc<Core>,
+    supervisor: Supervisor,
 }
 
 impl ShardedEngine {
-    /// Builds the shards (each starting its own worker pool) and the
-    /// router.
+    /// Builds the shards (each starting its own worker pool), the
+    /// router, the health records, and — for supervised multi-shard
+    /// runtimes — the supervisor thread.
     pub fn new(cfg: ShardConfig) -> ShardedEngine {
         let n = cfg.shards.max(1);
+        let breaker = cfg.breaker.normalized();
         let shards = (0..n)
-            .map(|i| Arc::new(Engine::new(shard_engine_config(&cfg.engine, n, i))))
+            .map(|i| {
+                RwLock::new(Arc::new(Engine::new(shard_engine_config(
+                    &cfg.engine,
+                    n,
+                    i,
+                ))))
+            })
             .collect();
-        ShardedEngine {
+        let supervision = (0..n).map(|_| ShardHealth::new(breaker)).collect();
+        let core = Arc::new(Core {
             shards,
             router: Router::with_replicas(n, cfg.replicas),
+            supervision,
+            breaker,
+            engine_total: cfg.engine,
             hedged_reads: cfg.hedged_reads,
             spill_on_busy: cfg.spill_on_busy,
-        }
+        });
+        let supervisor = if cfg.supervise && n > 1 {
+            Supervisor::spawn(
+                Arc::clone(&core),
+                Duration::from_millis(cfg.supervisor_interval_ms.max(1)),
+            )
+        } else {
+            Supervisor::disabled()
+        };
+        ShardedEngine { core, supervisor }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// The router (exposed for frontends and benchmarks that need to
-    /// know a spec's home shard).
+    /// know a spec's home shard or the current live mask).
     pub fn router(&self) -> &Router {
-        &self.router
+        &self.core.router
     }
 
-    /// The shard engines, indexed as the router numbers them. Intended
-    /// for tests and benchmarks; production traffic goes through
-    /// [`ShardedEngine::evaluate_full`].
-    pub fn shard_engines(&self) -> &[Arc<Engine>] {
-        &self.shards
+    /// A snapshot of the shard engines, indexed as the router numbers
+    /// them (each entry is the slot's *current* engine; the supervisor
+    /// may swap in replacements). Intended for tests and benchmarks;
+    /// production traffic goes through [`ShardedEngine::evaluate_full`].
+    pub fn shard_engines(&self) -> Vec<Arc<Engine>> {
+        self.core
+            .shards
+            .iter()
+            .map(|slot| {
+                let guard = slot.read();
+                Arc::clone(&guard)
+            })
+            .collect()
     }
 
     /// Evaluates one scenario on its home shard, blocking until the
@@ -144,85 +463,254 @@ impl ShardedEngine {
         self.evaluate_full(spec).map_err(|f| f.error)
     }
 
-    /// Routes the spec to its home shard and evaluates it there; on a
-    /// `busy` rejection (queue full or degraded-mode shed) retries once
-    /// on the ring-successor shard if spillover is enabled.
+    /// Routes the spec to its home shard (honouring quarantine — see
+    /// [`Core::admit`]) and evaluates it there. `busy` rejections walk
+    /// up to two more live ring hops, surfacing the most optimistic
+    /// backoff hint when everyone is busy; infrastructure failures
+    /// (panic, compute, drain) retry once on the live ring successor
+    /// after a deterministic jittered backoff. Every diverted request
+    /// carries `rerouted_from`/`health_state` provenance.
     // FailureReport inlines the manifest; see Engine::evaluate_full.
     #[allow(clippy::result_large_err)]
     pub fn evaluate_full(&self, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
         let t = std::time::Instant::now();
-        let (home, _hash) = self.router.route_spec(spec).map_err(FailureReport::from)?;
+        let core = &*self.core;
+        let (pure_home, hash) = core.router.route_spec(spec).map_err(FailureReport::from)?;
+        let (home, probe) = core.admit(pure_home, hash);
         // Traced requests record the routing decision as a span of its
         // own, directly under the request: the per-shard `shard_eval`
         // spans that follow hang off the same parent, so the trace
-        // shows route → home shard (→ spill shard).
+        // shows route → serving shard (→ spill/retry shard).
         solarstorm_obs::trace::record_rel(
             "route",
             t.elapsed().as_nanos() as u64,
-            vec![("home", solarstorm_obs::FieldValue::from(home))],
+            vec![
+                ("home", solarstorm_obs::FieldValue::from(pure_home)),
+                ("serving", solarstorm_obs::FieldValue::from(home)),
+            ],
         );
-        let first = self.eval_on(home, spec);
-        match first {
-            Err(report)
-                if self.spill_on_busy
-                    && self.shards.len() > 1
-                    && matches!(report.error, EngineError::Busy { .. }) =>
-            {
-                let next = self.router.successor(home);
-                solarstorm_obs::event!(
-                    solarstorm_obs::Level::Debug,
-                    "shard_spill",
-                    from = home,
-                    to = next
-                );
-                // An instant marker in the trace: the home shard turned
-                // the request away busy and the ring successor takes it.
-                solarstorm_obs::trace::record_rel(
-                    "shard_spill",
-                    0,
-                    vec![
-                        ("from", solarstorm_obs::FieldValue::from(home)),
-                        ("to", solarstorm_obs::FieldValue::from(next)),
-                    ],
-                );
-                self.eval_on(next, spec)
+        if home != pure_home {
+            let state = core.supervision[pure_home].state();
+            solarstorm_obs::event!(
+                solarstorm_obs::Level::Debug,
+                "shard_reroute",
+                from = pure_home,
+                to = home,
+                state = state.as_str()
+            );
+            // An instant marker in the trace: the home shard is out of
+            // routing and the live-masked route diverts the request.
+            solarstorm_obs::trace::record_rel(
+                "shard_reroute",
+                0,
+                vec![
+                    ("from", solarstorm_obs::FieldValue::from(pure_home)),
+                    ("to", solarstorm_obs::FieldValue::from(home)),
+                    ("state", solarstorm_obs::FieldValue::from(state.as_str())),
+                ],
+            );
+        } else if probe {
+            solarstorm_obs::trace::record_rel(
+                "probation_probe",
+                0,
+                vec![("shard", solarstorm_obs::FieldValue::from(home))],
+            );
+        }
+
+        let n = core.shards.len();
+        let mut serving = home;
+        // Shards consulted on the busy-spillover walk: home plus at
+        // most two more live ring hops.
+        let mut consulted = [home, usize::MAX, usize::MAX];
+        let mut hops = 1usize;
+        let mut best_hint: Option<u64> = None;
+        let mut retried = false;
+        loop {
+            let attempt = core.eval_on(serving, spec);
+            let is_probe = probe && serving == pure_home;
+            match attempt {
+                Ok(mut eval) => {
+                    core.observe_outcome(serving, false, is_probe);
+                    core.stamp(&mut eval.manifest, pure_home, serving);
+                    return Ok(eval);
+                }
+                Err(mut report) => {
+                    if health_signal(&report.error) {
+                        core.observe_outcome(serving, true, is_probe);
+                    }
+                    match report.error {
+                        EngineError::Busy { retry_after_ms } if core.spill_on_busy && n > 1 => {
+                            best_hint =
+                                Some(best_hint.map_or(retry_after_ms, |b| b.min(retry_after_ms)));
+                            if hops < consulted.len() {
+                                let next = core.router.successor_live(serving);
+                                if next != serving && !consulted[..hops].contains(&next) {
+                                    solarstorm_obs::event!(
+                                        solarstorm_obs::Level::Debug,
+                                        "shard_spill",
+                                        from = serving,
+                                        to = next
+                                    );
+                                    // An instant marker in the trace:
+                                    // the busy shard turned the request
+                                    // away and the next live ring hop
+                                    // takes it.
+                                    solarstorm_obs::trace::record_rel(
+                                        "shard_spill",
+                                        0,
+                                        vec![
+                                            ("from", solarstorm_obs::FieldValue::from(serving)),
+                                            ("to", solarstorm_obs::FieldValue::from(next)),
+                                        ],
+                                    );
+                                    consulted[hops] = next;
+                                    hops += 1;
+                                    serving = next;
+                                    continue;
+                                }
+                            }
+                            // Everyone consulted is busy: surface the
+                            // most optimistic backoff of the walk.
+                            if let Some(best) = best_hint {
+                                report.error = EngineError::Busy {
+                                    retry_after_ms: best,
+                                };
+                            }
+                            if let Some(m) = report.manifest.as_mut() {
+                                core.stamp(m, pure_home, serving);
+                            }
+                            return Err(report);
+                        }
+                        ref error if retryable(error) && !retried && n > 1 => {
+                            let next = core.router.successor_live(serving);
+                            if next != serving {
+                                retried = true;
+                                let backoff_ms = jittered_backoff_ms(hash, serving);
+                                solarstorm_obs::event!(
+                                    solarstorm_obs::Level::Warn,
+                                    "shard_retry",
+                                    from = serving,
+                                    to = next,
+                                    backoff_ms = backoff_ms,
+                                    code = report.error.code()
+                                );
+                                solarstorm_obs::trace::record_rel(
+                                    "shard_retry",
+                                    0,
+                                    vec![
+                                        ("from", solarstorm_obs::FieldValue::from(serving)),
+                                        ("to", solarstorm_obs::FieldValue::from(next)),
+                                        (
+                                            "backoff_ms",
+                                            solarstorm_obs::FieldValue::from(backoff_ms),
+                                        ),
+                                    ],
+                                );
+                                std::thread::sleep(Duration::from_millis(backoff_ms));
+                                serving = next;
+                                continue;
+                            }
+                            if let Some(m) = report.manifest.as_mut() {
+                                core.stamp(m, pure_home, serving);
+                            }
+                            return Err(report);
+                        }
+                        _ => {
+                            if let Some(m) = report.manifest.as_mut() {
+                                core.stamp(m, pure_home, serving);
+                            }
+                            return Err(report);
+                        }
+                    }
+                }
             }
-            other => other,
         }
     }
 
-    #[allow(clippy::result_large_err)]
-    fn eval_on(&self, shard: usize, spec: &ScenarioSpec) -> Result<Evaluation, FailureReport> {
-        let engine = &self.shards[shard];
-        if self.hedged_reads && self.shards.len() > 1 {
-            let probe = SiblingProbe {
-                shards: &self.shards,
-                home: shard,
-            };
-            engine.evaluate_full_hedged(spec, shard as u32, Some(&probe))
-        } else {
-            engine.evaluate_full_hedged(spec, shard as u32, None)
+    /// Manually quarantines a shard (maintenance eject): clears its
+    /// live bit and marks it quarantined *without* requesting a
+    /// respawn, so it stays out of routing until
+    /// [`ShardedEngine::readmit`]. Returns `false` if the shard is
+    /// unknown, already quarantined, or the last live shard.
+    pub fn quarantine(&self, shard: usize) -> bool {
+        if shard >= self.core.shards.len() || !self.core.router.try_eject(shard) {
+            return false;
         }
+        self.core.supervision[shard].enter_quarantine(false);
+        solarstorm_obs::event!(
+            solarstorm_obs::Level::Warn,
+            "shard_quarantined",
+            shard = shard,
+            manual = true
+        );
+        true
+    }
+
+    /// Manually re-admits a quarantined or probation shard: resets its
+    /// breaker window and probe round, marks it healthy, and restores
+    /// its live bit. Returns `false` unless the shard was actually
+    /// ejected.
+    pub fn readmit(&self, shard: usize) -> bool {
+        if shard >= self.core.shards.len() {
+            return false;
+        }
+        let health = &self.core.supervision[shard];
+        match health.state() {
+            HealthState::Quarantined | HealthState::Probation => {
+                health.force_healthy();
+                self.core.router.set_live(shard);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Per-shard supervision snapshots (state, breaker window stats,
+    /// trip/reset/reroute/respawn counters).
+    pub fn health(&self) -> Vec<HealthSnapshot> {
+        self.core.health_snapshots()
     }
 
     /// Whether any shard is currently in cache-only degraded mode.
     pub fn is_degraded(&self) -> bool {
-        self.shards.iter().any(|s| s.is_degraded())
+        self.core
+            .shards
+            .iter()
+            .any(|slot| slot.read().is_degraded())
     }
 
-    /// Per-shard metrics snapshots plus their merged totals.
+    /// Per-shard metrics snapshots plus their merged totals and the
+    /// supervision snapshots.
     pub fn metrics(&self) -> ShardedMetrics {
-        let shards: Vec<EngineMetrics> = self.shards.iter().map(|s| s.metrics()).collect();
+        let shards: Vec<EngineMetrics> = self
+            .core
+            .shards
+            .iter()
+            .map(|slot| slot.read().metrics())
+            .collect();
         let total = EngineMetrics::merged(shards.iter());
-        ShardedMetrics { total, shards }
+        ShardedMetrics {
+            total,
+            shards,
+            health: self.health(),
+        }
     }
 
-    /// Gracefully shuts down every shard (drain, then stop).
-    /// Idempotent.
+    /// Gracefully shuts down the supervisor and every shard (drain,
+    /// then stop). Idempotent.
     pub fn shutdown(&self) {
-        for shard in &self.shards {
-            shard.shutdown();
+        self.supervisor.stop();
+        for slot in &self.core.shards {
+            slot.read().shutdown();
         }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Engines shut themselves down when the core's Arcs release;
+        // the supervisor thread must be stopped explicitly.
+        self.supervisor.stop();
     }
 }
 
@@ -238,11 +726,28 @@ impl ScenarioService for ShardedEngine {
     fn prometheus_text(&self) -> String {
         self.metrics().to_prometheus()
     }
+
+    fn health_value(&self) -> serde_json::Value {
+        let shards = self.health();
+        let healthy = shards.iter().all(|s| s.state == "healthy");
+        serde_json::json!({ "healthy": healthy, "shards": shards })
+    }
+}
+
+/// Gauge encoding of a snapshot's state label (see
+/// [`HealthState::code`]).
+fn health_state_code(state: &str) -> u8 {
+    match state {
+        "suspect" => 1,
+        "quarantined" => 2,
+        "probation" => 3,
+        _ => 0,
+    }
 }
 
 /// A point-in-time view of a sharded runtime: merged totals (the same
-/// shape a single engine reports, so dashboards keep working) plus one
-/// [`EngineMetrics`] per shard.
+/// shape a single engine reports, so dashboards keep working), one
+/// [`EngineMetrics`] per shard, and the supervision snapshots.
 #[derive(Debug, Clone)]
 pub struct ShardedMetrics {
     /// Merged totals across shards (see [`EngineMetrics::merged`] for
@@ -250,15 +755,17 @@ pub struct ShardedMetrics {
     pub total: EngineMetrics,
     /// Per-shard snapshots, indexed as the router numbers shards.
     pub shards: Vec<EngineMetrics>,
+    /// Per-shard supervision snapshots, same indexing.
+    pub health: Vec<HealthSnapshot>,
 }
 
 impl ShardedMetrics {
-    /// The NDJSON `metrics` payload: the merged totals object with a
-    /// `shards` array added. Existing clients that read the unlabelled
-    /// totals keep working; shard-aware clients index the array. The
-    /// per-shard entries omit `stages` (the stage table is
-    /// process-global — repeating it per shard would misread as
-    /// per-shard attribution).
+    /// The NDJSON `metrics` payload: the merged totals object with
+    /// `shards` and `health` arrays added. Existing clients that read
+    /// the unlabelled totals keep working; shard-aware clients index
+    /// the arrays. The per-shard entries omit `stages` (the stage
+    /// table is process-global — repeating it per shard would misread
+    /// as per-shard attribution).
     pub fn to_value(&self) -> Result<serde_json::Value, String> {
         let mut v = serde_json::to_value(&self.total).map_err(|e| e.to_string())?;
         let mut shard_values = Vec::with_capacity(self.shards.len());
@@ -272,13 +779,18 @@ impl ShardedMetrics {
         }
         if let Some(obj) = v.as_object_mut() {
             obj.insert("shards".into(), serde_json::Value::Array(shard_values));
+            obj.insert(
+                "health".into(),
+                serde_json::to_value(&self.health).map_err(|e| e.to_string())?,
+            );
         }
         Ok(v)
     }
 
     /// Prometheus text: the merged totals rendered exactly as a single
     /// engine would (unlabelled — sums, so existing dashboards don't
-    /// break), followed by `shard`-labelled per-shard series.
+    /// break), followed by `shard`-labelled per-shard series, then the
+    /// supervision series.
     pub fn to_prometheus(&self) -> String {
         let mut out = self.total.to_prometheus();
         let counters: [(&str, &str, fn(&EngineMetrics) -> u64); 8] = [
@@ -354,6 +866,62 @@ impl ShardedMetrics {
                 let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", get(m));
             }
         }
+        let _ = writeln!(
+            out,
+            "# HELP stormsim_shard_health_state Supervision state per shard \
+             (0 healthy, 1 suspect, 2 quarantined, 3 probation)."
+        );
+        let _ = writeln!(out, "# TYPE stormsim_shard_health_state gauge");
+        for h in &self.health {
+            let _ = writeln!(
+                out,
+                "stormsim_shard_health_state{{shard=\"{}\"}} {}",
+                h.shard,
+                health_state_code(&h.state)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP stormsim_shard_live 1 while the shard is in the router's live mask."
+        );
+        let _ = writeln!(out, "# TYPE stormsim_shard_live gauge");
+        for h in &self.health {
+            let _ = writeln!(
+                out,
+                "stormsim_shard_live{{shard=\"{}\"}} {}",
+                h.shard,
+                u64::from(h.live)
+            );
+        }
+        let supervision_counters: [(&str, &str, fn(&HealthSnapshot) -> u64); 4] = [
+            (
+                "stormsim_shard_breaker_trips_total",
+                "Circuit-breaker trips (entries into quarantine) per shard.",
+                |h| h.trips,
+            ),
+            (
+                "stormsim_shard_breaker_resets_total",
+                "Breaker resets (re-admissions after probation) per shard.",
+                |h| h.resets,
+            ),
+            (
+                "stormsim_shard_reroutes_total",
+                "Requests homed on the shard that another shard answered.",
+                |h| h.reroutes,
+            ),
+            (
+                "stormsim_shard_respawns_total",
+                "Engine respawns the supervisor performed per shard.",
+                |h| h.respawns,
+            ),
+        ];
+        for (name, help, get) in supervision_counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for h in &self.health {
+                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", h.shard, get(h));
+            }
+        }
         out
     }
 }
@@ -385,6 +953,18 @@ mod tests {
         })
     }
 
+    /// A spec homed on `shard` (search over seeds).
+    fn spec_homed_at(sharded: &ShardedEngine, shard: usize, ms: u64) -> ScenarioSpec {
+        let mut seed = 0u64;
+        loop {
+            let spec = sleep_spec(ms, 50_000 + seed);
+            if sharded.router().route_spec(&spec).unwrap().0 == shard {
+                return spec;
+            }
+            seed += 1;
+        }
+    }
+
     #[test]
     fn budget_division_covers_every_shard() {
         let total = EngineConfig {
@@ -411,6 +991,8 @@ mod tests {
         let cold = sharded.evaluate(&spec).unwrap();
         assert!(!cold.cached);
         assert_eq!(cold.manifest.shard, Some(home as u32));
+        assert!(cold.manifest.rerouted_from.is_none());
+        assert!(cold.manifest.health_state.is_none());
         let warm = sharded.evaluate(&spec).unwrap();
         assert!(warm.cached);
         assert_eq!(warm.manifest.shard, Some(home as u32));
@@ -481,14 +1063,336 @@ mod tests {
         });
         assert!(saturated, "shard 0's queue slot must fill");
         // The third request would be rejected busy by shard 0; the
-        // spillover answers it on shard 1 instead.
-        let spilled = sharded.evaluate(&on_zero[2]).unwrap();
+        // spillover answers it on shard 1 instead, with provenance.
+        let spilled = sharded.evaluate_full(&on_zero[2]).unwrap();
         assert_eq!(spilled.manifest.shard, Some(1));
+        assert_eq!(spilled.manifest.rerouted_from, Some(0));
         let m = sharded.metrics();
         assert!(m.shards[0].rejected_busy >= 1);
         assert!(m.shards[1].completed >= 1);
+        assert!(m.health[0].reroutes >= 1, "the spill counts as a reroute");
         for h in held {
             h.join().unwrap().unwrap();
+        }
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn double_busy_walks_two_hops_and_propagates_a_hint() {
+        // Both shards tiny: 1 worker + 1 queue slot each; saturate both
+        // so the walk exhausts every live hop.
+        let sharded = ShardedEngine::new(ShardConfig {
+            shards: 2,
+            engine: EngineConfig {
+                workers: 2,
+                queue_cap: 2,
+                cache_cap: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let sharded = std::sync::Arc::new(sharded);
+        // Two distinct long-running specs per shard (distinct seeds, so
+        // single-flight dedup cannot collapse them).
+        let mut pinned_specs = Vec::new();
+        let mut per_shard = [0usize; 2];
+        let mut seed = 0u64;
+        while pinned_specs.len() < 4 {
+            let spec = sleep_spec(400, 70_000 + seed);
+            let home = sharded.router().route_spec(&spec).unwrap().0;
+            if per_shard[home] < 2 {
+                per_shard[home] += 1;
+                pinned_specs.push(spec);
+            }
+            seed += 1;
+        }
+        let mut pinned = Vec::new();
+        for spec in pinned_specs {
+            let sharded = std::sync::Arc::clone(&sharded);
+            pinned.push(std::thread::spawn(move || sharded.evaluate(&spec)));
+        }
+        let saturated = (0..400).any(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let m = sharded.metrics();
+            m.shards[0].queue_depth >= 1 && m.shards[1].queue_depth >= 1
+        });
+        assert!(saturated, "both shards' queue slots must fill");
+        // A fresh request finds its home busy, spills to the successor,
+        // finds it busy too, and surfaces `busy` with the most
+        // optimistic hint of the shards consulted.
+        let probe = spec_homed_at(&sharded, 0, 1);
+        let err = sharded.evaluate(&probe).unwrap_err();
+        match err {
+            EngineError::Busy { retry_after_ms } => {
+                assert!(retry_after_ms > 0, "hint must be a real backoff");
+            }
+            other => panic!("expected busy after the double-busy walk, got {other:?}"),
+        }
+        let m = sharded.metrics();
+        assert!(m.shards[0].rejected_busy >= 1, "home consulted");
+        assert!(m.shards[1].rejected_busy >= 1, "successor consulted");
+        for h in pinned {
+            h.join().unwrap().unwrap();
+        }
+        sharded.shutdown();
+    }
+
+    /// Re-seeds `base` until it still homes on `shard` (the seed xor in
+    /// the double-busy test can move it).
+    fn spec_homed_at_like(
+        sharded: &ShardedEngine,
+        shard: usize,
+        base: ScenarioSpec,
+    ) -> ScenarioSpec {
+        let mut spec = base;
+        while sharded.router().route_spec(&spec).unwrap().0 != shard {
+            spec.mc.seed = spec.mc.seed.wrapping_add(1);
+        }
+        spec
+    }
+
+    #[test]
+    fn quarantine_ejects_readmit_restores_and_provenance_is_stamped() {
+        let sharded = small(3);
+        let spec = spec_homed_at(&sharded, 1, 1);
+        let healthy = sharded.evaluate(&spec).unwrap();
+        assert_eq!(healthy.manifest.shard, Some(1));
+
+        assert!(sharded.quarantine(1), "manual eject");
+        assert!(!sharded.router().is_live(1));
+        assert_eq!(sharded.health()[1].state, "quarantined");
+
+        // The home is ejected: the request serves elsewhere — adopted
+        // via the hedge or recomputed — with identical results and
+        // full provenance.
+        let diverted = sharded.evaluate_full(&spec).unwrap();
+        let served = diverted.manifest.shard.unwrap();
+        assert_ne!(served, 1, "quarantined shard receives nothing");
+        assert_eq!(diverted.manifest.rerouted_from, Some(1));
+        assert_eq!(
+            diverted.manifest.health_state.as_deref(),
+            Some("quarantined")
+        );
+        assert_eq!(
+            healthy.result.as_ref(),
+            diverted.result.as_ref(),
+            "rerouting never changes results"
+        );
+        assert!(sharded.health()[1].reroutes >= 1);
+
+        // A quarantined shard keeps answering nothing even though its
+        // cache partition still holds the result (hedges skip it).
+        assert!(sharded.readmit(1), "manual re-admission");
+        assert!(sharded.router().is_live(1));
+        assert_eq!(sharded.health()[1].state, "healthy");
+        let back = sharded.evaluate(&spec).unwrap();
+        assert_eq!(back.manifest.shard, Some(1), "routing is restored");
+        assert!(back.cached, "the preserved cache partition answers warm");
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn hedge_probes_skip_quarantined_siblings() {
+        let sharded = small(3);
+        let spec = sleep_spec(1, 13);
+        let (home, _) = sharded.router().route_spec(&spec).unwrap();
+        let elsewhere = (home + 1) % sharded.shard_count();
+        // Seed the sibling's cache, then quarantine it: the hedge must
+        // not touch the wedged shard synchronously, even though its
+        // (preserved) cache holds the answer.
+        sharded.shard_engines()[elsewhere].evaluate(&spec).unwrap();
+        assert!(sharded.quarantine(elsewhere));
+        let eval = sharded.evaluate(&spec).unwrap();
+        assert!(!eval.cached, "the quarantined sibling's hit is not adopted");
+        assert_eq!(eval.manifest.shard, Some(home as u32));
+        assert_eq!(eval.manifest.hedge_hit, Some(false));
+        let m = sharded.metrics();
+        assert_eq!(m.total.computations, 2, "recomputed rather than adopted");
+        // Once re-admitted, the same sibling's cache is probed again.
+        assert!(sharded.readmit(elsewhere));
+        let spec2 = sleep_spec(1, 14);
+        let (home2, _) = sharded.router().route_spec(&spec2).unwrap();
+        let other2 = (home2 + 1) % sharded.shard_count();
+        sharded.shard_engines()[other2].evaluate(&spec2).unwrap();
+        let adopted = sharded.evaluate(&spec2).unwrap();
+        assert_eq!(adopted.manifest.hedge_hit, Some(true));
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn busy_spill_skips_a_quarantined_successor() {
+        // 3 shards, 1 worker + 1 queue slot each; shard 1 quarantined,
+        // shard 0 saturated: the spill from 0 must land on 2.
+        let sharded = ShardedEngine::new(ShardConfig {
+            shards: 3,
+            engine: EngineConfig {
+                workers: 3,
+                queue_cap: 3,
+                cache_cap: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert!(sharded.quarantine(1));
+        let sharded = std::sync::Arc::new(sharded);
+        let mut held = Vec::new();
+        for i in 0..2 {
+            let spec = spec_homed_at(&sharded, 0, 300 + i);
+            let sharded = std::sync::Arc::clone(&sharded);
+            held.push(std::thread::spawn(move || sharded.evaluate(&spec)));
+        }
+        let saturated = (0..400).any(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            sharded.metrics().shards[0].queue_depth >= 1
+        });
+        assert!(saturated, "shard 0's queue slot must fill");
+        let spilled = sharded
+            .evaluate_full(&spec_homed_at(&sharded, 0, 1))
+            .unwrap();
+        assert_eq!(
+            spilled.manifest.shard,
+            Some(2),
+            "the spill walks past the quarantined successor"
+        );
+        for h in held {
+            h.join().unwrap().unwrap();
+        }
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_quarantine_and_probation_readmits() {
+        // Supervision driven by hand: no sweep thread, tiny breaker.
+        let sharded = ShardedEngine::new(ShardConfig {
+            shards: 3,
+            engine: EngineConfig {
+                workers: 3,
+                queue_cap: 12,
+                cache_cap: 64,
+                ..Default::default()
+            },
+            breaker: BreakerConfig {
+                window: 4,
+                threshold: 2,
+                probes: 2,
+            },
+            supervise: false,
+            ..Default::default()
+        });
+        let core = &sharded.core;
+
+        // Two failures trip the breaker and quarantine shard 1.
+        core.observe_outcome(1, true, false);
+        assert_eq!(sharded.health()[1].state, "suspect", "half threshold");
+        core.observe_outcome(1, true, false);
+        assert_eq!(sharded.health()[1].state, "quarantined");
+        assert!(!sharded.router().is_live(1));
+        assert_eq!(sharded.health()[1].trips, 1);
+
+        // The sweep respawns the engine and opens probation.
+        core.sweep_respawns();
+        let h = &sharded.health()[1];
+        assert_eq!(h.state, "probation");
+        assert_eq!(h.respawns, 1);
+        assert!(!h.live, "probation shards stay out of the mask");
+        assert_eq!(h.failures_in_window, 0, "probation starts clean");
+
+        // Probe outcomes: one success is not enough; the second
+        // re-admits and restores the live bit.
+        core.observe_outcome(1, false, true);
+        assert_eq!(sharded.health()[1].state, "probation");
+        core.observe_outcome(1, false, true);
+        let h = &sharded.health()[1];
+        assert_eq!(h.state, "healthy");
+        assert!(h.live);
+        assert_eq!(h.resets, 1);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn a_probe_failure_retrips_and_the_last_live_shard_never_ejects() {
+        let sharded = ShardedEngine::new(ShardConfig {
+            shards: 2,
+            engine: EngineConfig {
+                workers: 2,
+                queue_cap: 8,
+                cache_cap: 16,
+                ..Default::default()
+            },
+            breaker: BreakerConfig {
+                window: 4,
+                threshold: 2,
+                probes: 1,
+            },
+            supervise: false,
+            ..Default::default()
+        });
+        let core = &sharded.core;
+        core.observe_outcome(0, true, false);
+        core.observe_outcome(0, true, false);
+        assert_eq!(sharded.health()[0].state, "quarantined");
+        core.sweep_respawns();
+        assert_eq!(sharded.health()[0].state, "probation");
+        // The probe fails: straight back to quarantine, another trip.
+        core.observe_outcome(0, true, true);
+        let h = &sharded.health()[0];
+        assert_eq!(h.state, "quarantined");
+        assert_eq!(h.trips, 2);
+
+        // Meanwhile shard 1 is the last live shard: its breaker may
+        // trip but it can never be ejected.
+        core.observe_outcome(1, true, false);
+        core.observe_outcome(1, true, false);
+        core.observe_outcome(1, true, false);
+        assert!(sharded.router().is_live(1), "last live shard stays");
+        assert_ne!(sharded.health()[1].state, "quarantined");
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn probation_gates_admit_the_probe_ration_and_reroute_the_rest() {
+        let sharded = ShardedEngine::new(ShardConfig {
+            shards: 3,
+            engine: EngineConfig {
+                workers: 3,
+                queue_cap: 12,
+                cache_cap: 64,
+                ..Default::default()
+            },
+            breaker: BreakerConfig {
+                window: 4,
+                threshold: 2,
+                probes: 4,
+            },
+            supervise: false,
+            ..Default::default()
+        });
+        let core = &sharded.core;
+        core.observe_outcome(1, true, false);
+        core.observe_outcome(1, true, false);
+        core.sweep_respawns();
+        assert_eq!(sharded.health()[1].state, "probation");
+
+        // First home request after respawn is a probe (ticket 0), the
+        // next three reroute.
+        let spec = spec_homed_at(&sharded, 1, 1);
+        let first = sharded.evaluate_full(&spec).unwrap();
+        assert_eq!(first.manifest.shard, Some(1), "ticket 0 probes");
+        assert_eq!(
+            first.manifest.health_state.as_deref(),
+            Some("probation"),
+            "probes carry the serving shard's state"
+        );
+        for i in 0..3 {
+            let other = sharded
+                .evaluate_full(&spec_homed_at_like(&sharded, 1, sleep_spec(1, 90_000 + i)))
+                .unwrap();
+            assert_ne!(
+                other.manifest.shard,
+                Some(1),
+                "off-ration home requests reroute"
+            );
+            assert_eq!(other.manifest.rerouted_from, Some(1));
         }
         sharded.shutdown();
     }
@@ -511,6 +1415,10 @@ mod tests {
         );
         let req_sum: u64 = shards.iter().map(|s| s["requests"].as_u64().unwrap()).sum();
         assert_eq!(req_sum, 2, "per-shard requests sum to the total");
+        let health = v["health"].as_array().unwrap();
+        assert_eq!(health.len(), 2);
+        assert_eq!(health[0]["state"], "healthy");
+        assert_eq!(health[0]["live"], true);
 
         let text = m.to_prometheus();
         assert!(text.contains("\nstormsim_requests_total 2\n"), "{text}");
@@ -526,6 +1434,35 @@ mod tests {
             text.contains("# TYPE stormsim_shard_queue_depth gauge"),
             "{text}"
         );
+        assert!(
+            text.contains("stormsim_shard_health_state{shard=\"0\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stormsim_shard_breaker_trips_total{shard=\"1\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stormsim_shard_reroutes_total{shard=\"0\"} 0"),
+            "{text}"
+        );
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn health_value_reflects_quarantine() {
+        let sharded = small(2);
+        let svc: &dyn ScenarioService = &sharded;
+        let v = svc.health_value();
+        assert_eq!(v["healthy"], true, "{v}");
+        assert_eq!(v["shards"].as_array().unwrap().len(), 2);
+
+        assert!(sharded.quarantine(1));
+        let v = svc.health_value();
+        assert_eq!(v["healthy"], false, "{v}");
+        assert_eq!(v["shards"][1]["state"], "quarantined", "{v}");
+        assert_eq!(v["shards"][1]["live"], false, "{v}");
+        assert_eq!(v["shards"][0]["state"], "healthy", "{v}");
         sharded.shutdown();
     }
 
@@ -580,6 +1517,8 @@ mod tests {
             eval.manifest.hedge_hit.is_none(),
             "one shard has no siblings to hedge against"
         );
+        assert_eq!(sharded.health().len(), 1);
+        assert_eq!(sharded.health()[0].state, "healthy");
         sharded.shutdown();
     }
 }

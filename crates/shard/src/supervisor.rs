@@ -1,0 +1,80 @@
+//! The supervision thread: periodic sweeps that respawn quarantined
+//! shards.
+//!
+//! Request threads make the *fast* decisions (record outcomes, trip
+//! breakers, eject from the live mask — all lock-free or near).
+//! Respawning an engine is the slow part — abandon the wedged worker
+//! pool, build a fresh one on the preserved cache partition — so it is
+//! deferred to this one background thread: each sweep scans every
+//! shard's health record, performs any requested respawns, and moves
+//! the respawned shards into half-open probation. The thread owns no
+//! policy; the state machine lives in [`crate::health`], the sweep body
+//! in `Core::sweep_respawns`.
+
+use crate::sharded::Core;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle on the supervision thread. Dropping the owning
+/// `ShardedEngine` stops it; `stop` is idempotent.
+#[derive(Debug)]
+pub(crate) struct Supervisor {
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Supervisor {
+    /// A supervisor that never runs (single-shard runtimes, or
+    /// `supervise: false`). Quarantined shards then stay quarantined
+    /// until manually re-admitted.
+    pub(crate) fn disabled() -> Supervisor {
+        Supervisor {
+            stop: Arc::new(AtomicBool::new(true)),
+            handle: Mutex::new(None),
+        }
+    }
+
+    /// Spawns the sweep thread. `interval` is the pause between
+    /// sweeps; recovery latency is at most one interval plus the
+    /// respawn itself.
+    pub(crate) fn spawn(core: Arc<Core>, interval: Duration) -> Supervisor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let spawned = std::thread::Builder::new()
+            .name("storm-supervisor".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    core.sweep_respawns();
+                    std::thread::park_timeout(interval);
+                }
+            });
+        match spawned {
+            Ok(handle) => Supervisor {
+                stop,
+                handle: Mutex::new(Some(handle)),
+            },
+            Err(e) => {
+                // No thread: supervision degrades to "quarantine only",
+                // the service itself keeps answering.
+                eprintln!("stormsim: failed to spawn supervisor thread: {e}");
+                Supervisor::disabled()
+            }
+        }
+    }
+
+    /// Signals the sweep loop to exit and joins it. Idempotent; called
+    /// from `ShardedEngine::shutdown` and `Drop`.
+    pub(crate) fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let handle = match self.handle.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(handle) = handle {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}

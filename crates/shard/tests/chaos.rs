@@ -1,0 +1,272 @@
+//! Chaos suite for shard supervision: with deterministic faults wedging
+//! or panicking individual shards, the sharded service keeps answering
+//! every request — bit-identical to a healthy single engine — while the
+//! wedged shard walks the full kill → quarantine → respawn → probation
+//! → re-admission cycle.
+//!
+//! Compiled only with `--features chaos`. The fault registry is
+//! process-global, so every test holds [`chaos_lock`] and disarms the
+//! registry on entry and exit.
+
+#![cfg(feature = "chaos")]
+
+use solarstorm_engine::{
+    AnalysisRequest, Engine, EngineConfig, MetricsServer, ScenarioSpec, Server, ServerConfig,
+};
+use solarstorm_obs::chaos::{self, Fault};
+use solarstorm_shard::{BreakerConfig, ShardConfig, ShardedEngine};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Serializes chaos tests: the fault registry is process-global, and a
+/// fault armed by one test must never fire inside another.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        // A previous test panicked while holding the lock; the registry
+        // itself is not poisoned, so continue.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    chaos::reset();
+    guard
+}
+
+/// A supervised runtime with a fast sweep so recovery fits in test time.
+fn supervised(shards: usize, breaker: BreakerConfig) -> ShardedEngine {
+    ShardedEngine::new(ShardConfig {
+        shards,
+        engine: EngineConfig {
+            workers: shards.max(2),
+            queue_cap: shards * 32,
+            ..Default::default()
+        },
+        breaker,
+        supervisor_interval_ms: 5,
+        ..Default::default()
+    })
+}
+
+fn sleep_spec(seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec {
+        analysis: AnalysisRequest::Sleep { ms: 0 },
+        ..Default::default()
+    };
+    spec.mc.seed = seed;
+    spec
+}
+
+/// The first spec at or after `from_seed` whose pure hash home is
+/// `shard` — deterministic, so replays pin the same shard.
+fn spec_homed_at(runtime: &ShardedEngine, shard: usize, from_seed: u64) -> ScenarioSpec {
+    (from_seed..from_seed + 100_000)
+        .map(sleep_spec)
+        .find(|s| runtime.router().route_spec(s).unwrap().0 == shard)
+        .expect("some seed homes at the shard")
+}
+
+/// The acceptance gauntlet: one of three shards is wedged (every
+/// attempt on it fails with a typed compute error), a 200-request
+/// replay is answered in full with results bit-identical to a healthy
+/// single engine, and once the fault lifts, the supervisor walks the
+/// shard through respawn and probation until the ring routes to all
+/// three shards again.
+#[test]
+fn a_wedged_shard_is_quarantined_served_around_and_recovers() {
+    let _guard = chaos_lock();
+    let runtime = supervised(
+        3,
+        BreakerConfig {
+            window: 8,
+            threshold: 4,
+            probes: 2,
+        },
+    );
+    let reference = Engine::new(EngineConfig {
+        workers: 2,
+        ..Default::default()
+    });
+
+    chaos::arm("shard_wedge.1", Fault::Error, 1_000_000);
+
+    for seed in 0..200u64 {
+        let spec = sleep_spec(seed);
+        let eval = runtime
+            .evaluate_full(&spec)
+            .map_err(|f| f.error.to_string())
+            .unwrap_or_else(|e| panic!("request {seed} must be answered: {e}"));
+        let want = reference.evaluate(&spec).unwrap();
+        assert_eq!(eval.hash, want.hash, "request {seed}");
+        assert_eq!(
+            serde_json::to_string(&*eval.result).unwrap(),
+            serde_json::to_string(&*want.result).unwrap(),
+            "request {seed}: rerouting must never change results"
+        );
+    }
+
+    let health = runtime.health();
+    assert!(
+        health[1].trips >= 1,
+        "the breaker must have tripped: {health:?}"
+    );
+    assert!(health[1].reroutes > 0, "{health:?}");
+    assert_ne!(health[1].state, "healthy", "{health:?}");
+    assert_eq!(health[0].state, "healthy", "{health:?}");
+    assert_eq!(health[2].state, "healthy", "{health:?}");
+    assert!(chaos::fired_count("shard_wedge.1") > 0);
+
+    // Fault lifted: home-keyed traffic drives probation until the
+    // supervisor re-admits the shard.
+    chaos::reset();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut seed = 1_000_000u64;
+    while runtime.health()[1].state != "healthy" {
+        assert!(
+            Instant::now() < deadline,
+            "shard 1 must recover: {:?}",
+            runtime.health()
+        );
+        let spec = spec_homed_at(&runtime, 1, seed);
+        seed += 1;
+        runtime
+            .evaluate(&spec)
+            .expect("requests keep answering during recovery");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let health = runtime.health();
+    assert!(health[1].respawns >= 1, "{health:?}");
+    assert!(health[1].live, "{health:?}");
+    assert_eq!(
+        runtime.router().live_mask() & 0b111,
+        0b111,
+        "the ring must route to all three shards again"
+    );
+    // …and the recovered shard actually serves its home keys.
+    let spec = spec_homed_at(&runtime, 1, 2_000_000);
+    let eval = runtime.evaluate(&spec).unwrap();
+    assert_eq!(eval.manifest.shard, Some(1));
+    assert!(eval.manifest.rerouted_from.is_none());
+    runtime.shutdown();
+    chaos::reset();
+}
+
+/// A panic at the shard boundary surfaces as the typed `panic` error,
+/// feeds the breaker, and the request retries once on the live ring
+/// successor — stamped with reroute provenance.
+#[test]
+fn a_shard_panic_is_caught_typed_and_retried_on_the_successor() {
+    let _guard = chaos_lock();
+    let runtime = ShardedEngine::new(ShardConfig {
+        shards: 2,
+        engine: EngineConfig {
+            workers: 2,
+            queue_cap: 16,
+            ..Default::default()
+        },
+        supervise: false,
+        ..Default::default()
+    });
+    chaos::arm("shard_panic_storm.0", Fault::Panic, 1);
+
+    let spec = spec_homed_at(&runtime, 0, 0);
+    let eval = runtime
+        .evaluate_full(&spec)
+        .map_err(|f| f.error.to_string())
+        .expect("the retry on the sibling answers");
+    assert_eq!(eval.manifest.shard, Some(1), "served by the successor");
+    assert_eq!(eval.manifest.rerouted_from, Some(0));
+    assert_eq!(chaos::fired_count("shard_panic_storm.0"), 1);
+
+    let health = runtime.health();
+    assert_eq!(health[0].failures_in_window, 1, "{health:?}");
+    assert_eq!(health[0].reroutes, 1, "{health:?}");
+    runtime.shutdown();
+    chaos::reset();
+}
+
+/// The CI smoke, end to end over TCP: a three-shard service with shard
+/// 1 wedged answers every request on the wire, reports the reroutes in
+/// both the `/health` JSON and the Prometheus text, and leaves the
+/// health snapshot on disk for the CI artifact upload.
+#[test]
+fn tcp_shard_kill_smoke_answers_everything_and_reports_reroutes() {
+    let _guard = chaos_lock();
+    let runtime = Arc::new(supervised(
+        3,
+        BreakerConfig {
+            window: 4,
+            threshold: 2,
+            probes: 2,
+        },
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime), ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+    let metrics = MetricsServer::bind("127.0.0.1:0", Arc::clone(&runtime)).unwrap();
+    let maddr = metrics.local_addr().unwrap();
+    std::thread::spawn(move || metrics.run());
+
+    chaos::arm("shard_wedge.1", Fault::Error, 1_000_000);
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut ok = 0usize;
+    for seed in 0..40u64 {
+        let spec = sleep_spec(seed);
+        writeln!(
+            writer,
+            r#"{{"id":"{seed}","type":"scenario","spec":{}}}"#,
+            serde_json::to_string(&spec).unwrap()
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "connection must stay open at request {seed}");
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_ne!(v["error"]["code"], "panic", "{line}");
+        if v["ok"] == true {
+            ok += 1;
+        }
+    }
+
+    // Snapshot the health endpoint to disk first, so a failing assert
+    // below still leaves the artifact for CI to upload.
+    let mut s = TcpStream::connect(maddr).unwrap();
+    write!(s, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let (_head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let artifact =
+        std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("shard_health_smoke.json");
+    std::fs::write(&artifact, body).unwrap();
+
+    assert_eq!(ok, 40, "every request must be answered successfully");
+    let v: serde_json::Value = serde_json::from_str(body).unwrap();
+    assert_eq!(v["healthy"], false, "{v}");
+    assert!(
+        v["shards"][1]["reroutes"].as_u64().unwrap() > 0,
+        "the wedged shard's keys must have been rerouted: {v}"
+    );
+
+    // The same reroutes show on the Prometheus scrape.
+    let mut s = TcpStream::connect(maddr).unwrap();
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let reroutes: u64 = raw
+        .lines()
+        .find_map(|l| l.strip_prefix("stormsim_shard_reroutes_total{shard=\"1\"} "))
+        .expect("reroutes series present")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(reroutes > 0);
+    runtime.shutdown();
+    chaos::reset();
+}

@@ -8,11 +8,13 @@
 //! 2. **Minimal remap** — growing the hash ring from N to N+1 shards
 //!    moves only a ~1/(N+1) fraction of keys, and every moved key lands
 //!    on the *new* shard (no churn between surviving shards).
+//! 3. **Live-mask routing** — masking a shard out of routing (the
+//!    quarantine eject) is ring growth run in reverse: deterministic
+//!    given a mask, only the dead shard's keys move, and they land on
+//!    live shards. Bit identity holds under an *active* quarantine too.
 
 use proptest::prelude::*;
-use solarstorm_engine::{
-    AnalysisRequest, Engine, EngineConfig, FailureSpec, ScenarioSpec,
-};
+use solarstorm_engine::{AnalysisRequest, Engine, EngineConfig, FailureSpec, ScenarioSpec};
 use solarstorm_shard::{HashRing, ShardConfig, ShardedEngine, DEFAULT_REPLICAS};
 use std::sync::OnceLock;
 
@@ -53,6 +55,28 @@ fn sharded(n: usize) -> &'static ShardedEngine {
         8 => &all[2],
         _ => unreachable!("only 1, 2, 8 shards are built"),
     }
+}
+
+/// A runtime with one shard manually quarantined and no supervisor to
+/// re-admit it, shared across cases: an active quarantine reroutes the
+/// dead shard's keys but must never change a result.
+fn quarantined() -> &'static ShardedEngine {
+    const DEAD: usize = 1;
+    static QUARANTINED: OnceLock<ShardedEngine> = OnceLock::new();
+    QUARANTINED.get_or_init(|| {
+        let runtime = ShardedEngine::new(ShardConfig {
+            shards: 3,
+            supervise: false,
+            engine: EngineConfig {
+                workers: 3,
+                queue_cap: 24,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert!(runtime.quarantine(DEAD));
+        runtime
+    })
 }
 
 /// Cheap-but-real scenarios: synthetic sleeps (exercise the queue and
@@ -134,5 +158,86 @@ proptest! {
         let first = ring.route(key);
         prop_assert!(first < shards as u32);
         prop_assert_eq!(ring.route(key), first);
+    }
+
+    #[test]
+    fn results_stay_bit_identical_under_active_quarantine(spec in arb_spec()) {
+        let dead = 1u32;
+        let runtime = quarantined();
+        let reference = single().evaluate(&spec).unwrap();
+        let eval = runtime.evaluate(&spec).unwrap();
+        prop_assert_eq!(eval.hash, reference.hash);
+        prop_assert_eq!(
+            serde_json::to_string(&*eval.result).unwrap(),
+            serde_json::to_string(&*reference.result).unwrap()
+        );
+        prop_assert_ne!(
+            eval.manifest.shard, Some(dead),
+            "a quarantined shard must serve nothing"
+        );
+        let (home, _) = runtime.router().route_spec(&spec).unwrap();
+        if home == dead as usize {
+            prop_assert_eq!(eval.manifest.rerouted_from, Some(dead));
+            prop_assert_eq!(eval.manifest.health_state.as_deref(), Some("quarantined"));
+        } else {
+            prop_assert_eq!(eval.manifest.shard, Some(home as u32));
+        }
+    }
+
+    #[test]
+    fn masked_routing_is_deterministic_and_lands_on_live_shards(
+        shards in 2usize..16,
+        dead_raw in 0usize..16,
+        key in any::<u64>(),
+    ) {
+        let dead = dead_raw % shards;
+        let ring = HashRing::new(shards, DEFAULT_REPLICAS);
+        let full = (1u64 << shards) - 1;
+        let mask = full & !(1u64 << dead);
+        let routed = ring.route_masked(key, mask);
+        prop_assert!(routed < shards as u32);
+        prop_assert_ne!(routed, dead as u32, "the masked shard receives nothing");
+        prop_assert_eq!(
+            ring.route_masked(key, mask), routed,
+            "routing is deterministic given a fixed mask"
+        );
+        prop_assert_eq!(
+            ring.route_masked(key, full), ring.route(key),
+            "a full mask is the pure ring"
+        );
+    }
+
+    #[test]
+    fn masking_a_shard_moves_only_its_own_keys(
+        shards in 2usize..10,
+        dead_raw in 0usize..10,
+        keys in proptest::collection::vec(any::<u64>(), 128..512),
+    ) {
+        let dead = dead_raw % shards;
+        let ring = HashRing::new(shards, DEFAULT_REPLICAS);
+        let mask = ((1u64 << shards) - 1) & !(1u64 << dead);
+        for &key in &keys {
+            let pure = ring.route(key);
+            let masked = ring.route_masked(key, mask);
+            if pure == dead as u32 {
+                prop_assert_ne!(masked, dead as u32);
+            } else {
+                prop_assert_eq!(
+                    masked, pure,
+                    "only the dead shard's keys may move (key {:#x})", key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masking_the_newest_shard_is_ring_growth_in_reverse(
+        n in 1usize..9,
+        key in any::<u64>(),
+    ) {
+        let original = HashRing::new(n, DEFAULT_REPLICAS);
+        let grown = HashRing::new(n + 1, DEFAULT_REPLICAS);
+        let live = (1u64 << n) - 1; // the newest shard masked out
+        prop_assert_eq!(grown.route_masked(key, live), original.route(key));
     }
 }

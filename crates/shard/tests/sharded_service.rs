@@ -2,8 +2,9 @@
 //! the NDJSON TCP server, the batch stream loop, and the Prometheus
 //! scrape endpoint all serve a [`ShardedEngine`] through the same
 //! `ScenarioService` seam they use for a single engine — and the wire
-//! carries the new provenance (serving shard, hedge outcome) and the
-//! per-shard metrics series.
+//! carries the new provenance (serving shard, hedge outcome), the
+//! per-shard metrics series, and the supervision health snapshots
+//! (NDJSON `{"type":"health"}` and the HTTP `/health` route).
 
 use solarstorm_engine::{
     proto, serve_stream_bounded, AnalysisRequest, EngineConfig, MetricsServer, Response,
@@ -61,7 +62,8 @@ fn roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<Response> {
 #[test]
 fn tcp_frontend_serves_shards_and_reports_the_serving_shard() {
     let runtime = sharded(4);
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime), ServerConfig::default()).unwrap();
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&runtime), ServerConfig::default()).unwrap();
     let addr = server.local_addr().unwrap();
     std::thread::spawn(move || server.run());
 
@@ -78,13 +80,13 @@ fn tcp_frontend_serves_shards_and_reports_the_serving_shard() {
     );
 
     // Scenario answers carry the shard the router picked, on the wire.
-    for (resp, spec) in responses[..3]
-        .iter()
-        .zip([&spec_a, &spec_b, &spec_a])
-    {
+    for (resp, spec) in responses[..3].iter().zip([&spec_a, &spec_b, &spec_a]) {
         assert!(resp.ok, "{resp:?}");
         let (home, _) = runtime.router().route_spec(spec).unwrap();
-        let manifest = resp.manifest.as_ref().expect("scenario responses carry provenance");
+        let manifest = resp
+            .manifest
+            .as_ref()
+            .expect("scenario responses carry provenance");
         assert_eq!(manifest.shard, Some(home as u32));
     }
     // Identical requests produce byte-identical results through the
@@ -100,10 +102,7 @@ fn tcp_frontend_serves_shards_and_reports_the_serving_shard() {
     assert_eq!(metrics["requests"], 3);
     let shards = metrics["shards"].as_array().unwrap();
     assert_eq!(shards.len(), 4);
-    let per_shard_requests: u64 = shards
-        .iter()
-        .map(|s| s["requests"].as_u64().unwrap())
-        .sum();
+    let per_shard_requests: u64 = shards.iter().map(|s| s["requests"].as_u64().unwrap()).sum();
     assert_eq!(per_shard_requests, 3, "per-shard series sum to the totals");
     runtime.shutdown();
 }
@@ -143,6 +142,54 @@ fn batch_stream_loop_serves_a_sharded_runtime() {
 }
 
 #[test]
+fn health_requests_answer_over_ndjson_and_reflect_quarantine() {
+    let runtime = sharded(3);
+    let resp = proto::handle_line(&*runtime, r#"{"id":"h","type":"health"}"#);
+    assert!(resp.ok);
+    assert_eq!(resp.id.as_deref(), Some("h"));
+    let result = resp.result.as_ref().unwrap();
+    assert_eq!(result["healthy"], true, "{result}");
+    let shards = result["shards"].as_array().unwrap();
+    assert_eq!(shards.len(), 3);
+    assert_eq!(shards[0]["state"], "healthy");
+    assert_eq!(shards[0]["live"], true);
+
+    // A manual quarantine shows up on the same wire shape.
+    assert!(runtime.quarantine(2));
+    let resp = proto::handle_line(&*runtime, r#"{"type":"health"}"#);
+    let result = resp.result.as_ref().unwrap();
+    assert_eq!(result["healthy"], false, "{result}");
+    assert_eq!(result["shards"][2]["state"], "quarantined", "{result}");
+    assert_eq!(result["shards"][2]["live"], false, "{result}");
+    assert!(runtime.readmit(2));
+    runtime.shutdown();
+}
+
+#[test]
+fn health_http_route_serves_the_sharded_snapshot() {
+    let runtime = sharded(2);
+    let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&runtime)).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"));
+    assert!(head.contains("application/json"), "{head}");
+    let v: serde_json::Value = serde_json::from_str(body).unwrap();
+    assert_eq!(v["healthy"], true, "{v}");
+    let shards = v["shards"].as_array().unwrap();
+    assert_eq!(shards.len(), 2);
+    // Breaker window stats ride along for dashboards.
+    assert!(shards[0]["window"].as_u64().unwrap() >= 1, "{v}");
+    assert_eq!(shards[0]["failures_in_window"], 0, "{v}");
+    runtime.shutdown();
+}
+
+#[test]
 fn prometheus_scrape_carries_shard_labels_and_unlabelled_totals() {
     let runtime = sharded(2);
     // Serve a couple of scenarios first so the counters are non-zero.
@@ -161,12 +208,17 @@ fn prometheus_scrape_carries_shard_labels_and_unlabelled_totals() {
     assert!(head.starts_with("HTTP/1.1 200 OK"));
 
     // Unlabelled totals keep their single-engine names and shapes…
-    assert!(body.contains("# TYPE stormsim_requests_total counter"), "{body}");
+    assert!(
+        body.contains("# TYPE stormsim_requests_total counter"),
+        "{body}"
+    );
     assert!(body.contains("\nstormsim_requests_total 1\n"), "{body}");
     // …and every shard gets its own labelled series.
     for shard in 0..2 {
         assert!(
-            body.contains(&format!("stormsim_shard_requests_total{{shard=\"{shard}\"}}")),
+            body.contains(&format!(
+                "stormsim_shard_requests_total{{shard=\"{shard}\"}}"
+            )),
             "{body}"
         );
         assert!(
